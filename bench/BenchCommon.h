@@ -1,0 +1,83 @@
+//===- bench/BenchCommon.h - shared harness for the paper's experiments ------==//
+
+#ifndef SL_BENCH_BENCHCOMMON_H
+#define SL_BENCH_BENCHCOMMON_H
+
+#include "apps/Apps.h"
+#include "driver/Compiler.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sl::bench {
+
+/// Measures steady-state forwarding of a compiled app under infinite
+/// offered load.
+struct ForwardResult {
+  double Gbps = 0.0;
+  ixp::SimStats Stats;
+};
+
+inline ForwardResult runForwarding(const driver::CompiledApp &App,
+                                   const profile::Trace &Traffic,
+                                   uint64_t Cycles,
+                                   unsigned ThreadsPerME = 8) {
+  ixp::ChipParams Chip;
+  Chip.ThreadsPerME = ThreadsPerME;
+  auto Sim = driver::makeSimulator(App, Chip);
+  Sim->setTraffic([&Traffic](uint64_t I) -> const ixp::SimPacket * {
+    static thread_local ixp::SimPacket P;
+    const auto &T = Traffic[I % Traffic.size()];
+    P.Frame = T.Frame;
+    P.Port = T.Port;
+    return &P;
+  });
+  // Warm up (fills rings, caches), then measure.
+  Sim->run(Cycles / 5);
+  ixp::SimStats Before = Sim->run(0);
+  ixp::SimStats After = Sim->run(Cycles);
+  ForwardResult R;
+  R.Stats = After;
+  uint64_t DBytes = After.TxBytes - Before.TxBytes;
+  uint64_t DCycles = After.Cycles - Before.Cycles;
+  R.Gbps = DCycles ? double(DBytes) * 8.0 * Chip.ClockGHz / double(DCycles)
+                   : 0.0;
+  // Per-packet stats reported over the whole run (incl. warmup) — the
+  // ratios converge quickly.
+  return R;
+}
+
+/// Compiles one app bundle at a ladder level for a given ME count.
+inline std::unique_ptr<driver::CompiledApp>
+compileApp(const apps::AppBundle &App, driver::OptLevel Level,
+           unsigned NumMEs, bool StackOpt = true) {
+  driver::CompileOptions Opts;
+  Opts.Level = Level;
+  Opts.NumMEs = NumMEs;
+  Opts.StackOpt = StackOpt;
+  Opts.TxMetaFields = App.TxMetaFields;
+  DiagEngine Diags;
+  profile::Trace ProfTrace = App.makeTrace(0x9999, 256);
+  auto Compiled =
+      driver::compile(App.Source, ProfTrace, App.Tables, Opts, Diags);
+  if (!Compiled)
+    std::fprintf(stderr, "compile failed (%s @ %s, %u MEs):\n%s\n",
+                 App.Name.c_str(), driver::optLevelName(Level), NumMEs,
+                 Diags.str().c_str());
+  return Compiled;
+}
+
+/// True when "--quick" appears in argv (shorter sweeps for CI).
+inline bool quickMode(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I)
+    if (std::strcmp(argv[I], "--quick") == 0)
+      return true;
+  return false;
+}
+
+} // namespace sl::bench
+
+#endif // SL_BENCH_BENCHCOMMON_H

@@ -1,0 +1,51 @@
+//===- bench/abl_stack_layout.cpp - Sec. 5.4 stack layout ablation -------------==//
+//
+// The paper reports that the initial stack implementation (16-word minimum
+// aligned frames) pushed L3-Switch's stack into SRAM — over 100 dynamic
+// SRAM accesses per packet — and that packed frames ($pSP/$vSP) plus
+// aggressive inlining bring the whole stack back into Local Memory.
+//
+// This ablation compiles the applications at BASE (no mem2reg: every local
+// lives in a stack slot, the worst case for the layout) with the
+// optimization on and off and reports stack placement, the dynamic stack
+// SRAM traffic, and the forwarding rate.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+using namespace sl;
+using namespace sl::bench;
+
+int main(int argc, char **argv) {
+  uint64_t Cycles = quickMode(argc, argv) ? 150'000 : 500'000;
+
+  std::printf("Stack layout ablation (BASE code: every local is a stack "
+              "slot)\n");
+  std::printf("(paper: without the optimization L3-Switch made >100 SRAM "
+              "stack accesses per packet)\n\n");
+  std::printf("%-12s %-14s %10s %10s %14s %10s\n", "app", "frames",
+              "LM words", "SRAM words", "stackSRAM/pkt", "Gbps");
+
+  for (const apps::AppBundle &App : apps::allApps()) {
+    profile::Trace Traffic = App.makeTrace(0x57AC, 512);
+    for (bool StackOpt : {true, false}) {
+      auto Compiled = compileApp(App, driver::OptLevel::Base, /*NumMEs=*/4,
+                                 StackOpt);
+      if (!Compiled)
+        continue;
+      unsigned Lm = 0, Sram = 0;
+      for (const auto &Bin : Compiled->Images) {
+        Lm = std::max(Lm, Bin.Stack.LmWords);
+        Sram = std::max(Sram, Bin.Stack.SramWords);
+      }
+      ForwardResult R = runForwarding(*Compiled, Traffic, Cycles);
+      double StackPerPkt = R.Stats.perPacket(1, cg::MemClass::Stack);
+      std::printf("%-12s %-14s %10u %10u %14.1f %10.2f\n",
+                  App.Name.c_str(),
+                  StackOpt ? "packed ($pSP)" : "16-word min", Lm, Sram,
+                  StackPerPkt, R.Gbps);
+    }
+  }
+  return 0;
+}

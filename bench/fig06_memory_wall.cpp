@@ -1,0 +1,183 @@
+//===- bench/fig06_memory_wall.cpp - paper Figure 6 ---------------------------==//
+//
+// Reproduces the memory-access experiment of Sec. 5: all six programmable
+// MEs run a tight loop that only issues memory accesses (1..128 per 64-byte
+// packet) against one memory level at one access width, and we report the
+// achieved forwarding rate. The paper's headline: 2.5 Gbps is sustainable
+// with at most ~2 DRAM, ~8 SRAM, or ~64 Scratch accesses per packet, with
+// fractionally lower rates at the widest access sizes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cg/MEIR.h"
+#include "ir/Module.h"
+#include "ixp/Simulator.h"
+#include "rts/MemoryMap.h"
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+using namespace sl;
+using namespace sl::cg;
+
+namespace {
+
+/// Builds the access-only loop by hand (physical registers, no compiler).
+FlatCode buildLoop(MSpace Space, unsigned Words, unsigned Accesses) {
+  MCode C;
+  C.Name = "memloop";
+
+  MBlock Entry{"entry", {}};
+  {
+    MInstr I; // r1 = a safe, aligned address in the target space.
+    I.Op = MOp::MovImm;
+    I.Dst = 1;
+    I.Imm = 0x80;
+    Entry.Instrs.push_back(I);
+  }
+  {
+    MInstr I;
+    I.Op = MOp::Br;
+    I.Target = 1;
+    Entry.Instrs.push_back(I);
+  }
+
+  MBlock Dispatch{"dispatch", {}};
+  {
+    MInstr I;
+    I.Op = MOp::RingGet;
+    I.Class = MemClass::PktRing;
+    I.Dst = 0;
+    I.Ring = rts::RxRing;
+    Dispatch.Instrs.push_back(I);
+  }
+  {
+    MInstr I;
+    I.Op = MOp::BrCond;
+    I.Cond = MCond::Ne;
+    I.SrcA = 0;
+    I.SrcB = -1;
+    I.Imm = 0;
+    I.Target = 3; // got
+    Dispatch.Instrs.push_back(I);
+  }
+  {
+    MInstr I;
+    I.Op = MOp::CtxArb;
+    Dispatch.Instrs.push_back(I);
+  }
+  {
+    MInstr I;
+    I.Op = MOp::Br;
+    I.Target = 1;
+    Dispatch.Instrs.push_back(I);
+  }
+
+  MBlock Idle{"idle", {}}; // Unused filler to keep ids simple.
+  {
+    MInstr I;
+    I.Op = MOp::Br;
+    I.Target = 1;
+    Idle.Instrs.push_back(I);
+  }
+
+  MBlock Got{"got", {}};
+  for (unsigned A = 0; A != Accesses; ++A) {
+    MInstr I;
+    I.Op = MOp::MemRead;
+    I.Space = Space;
+    I.Class = MemClass::App;
+    I.SrcA = 1;
+    I.Imm = 0;
+    I.Xfer = 0;
+    I.Words = Words;
+    Got.Instrs.push_back(I);
+  }
+  {
+    MInstr I;
+    I.Op = MOp::RingPut;
+    I.Class = MemClass::PktRing;
+    I.SrcA = 0;
+    I.Ring = rts::TxRing;
+    Got.Instrs.push_back(I);
+  }
+  {
+    MInstr I;
+    I.Op = MOp::Br;
+    I.Target = 1;
+    Got.Instrs.push_back(I);
+  }
+
+  C.Blocks = {Entry, Dispatch, Idle, Got};
+  return flatten(C);
+}
+
+double measure(MSpace Space, unsigned Words, unsigned Accesses,
+               uint64_t Cycles) {
+  ir::Module Empty;
+  rts::MemoryMap Map = rts::buildMemoryMap(Empty);
+  ixp::ChipParams Chip;
+  ixp::Simulator Sim(Chip, Map);
+
+  FlatCode Code = buildLoop(Space, Words, Accesses);
+  Sim.loadAggregate(Code, {rts::RxRing}, Chip.ProgrammableMEs);
+
+  ixp::SimPacket Pkt;
+  Pkt.Frame.assign(64, 0xAB);
+  Sim.setTraffic([&Pkt](uint64_t) { return &Pkt; });
+
+  Sim.run(Cycles / 5); // Warm up.
+  ixp::SimStats Before = Sim.run(0);
+  ixp::SimStats After = Sim.run(Cycles);
+  uint64_t DBytes = After.TxBytes - Before.TxBytes;
+  uint64_t DCycles = After.Cycles - Before.Cycles;
+  return double(DBytes) * 8.0 * Chip.ClockGHz / double(DCycles);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  uint64_t Cycles = Quick ? 60'000 : 400'000;
+
+  struct Series {
+    const char *Name;
+    MSpace Space;
+    unsigned Words;
+  };
+  const Series AllSeries[] = {
+      {"Scratch (4B)", MSpace::Scratch, 1},
+      {"Scratch (32B)", MSpace::Scratch, 8},
+      {"SRAM (4B)", MSpace::Sram, 1},
+      {"SRAM (32B)", MSpace::Sram, 8},
+      {"DRAM (8B)", MSpace::Dram, 2},
+      {"DRAM (64B)", MSpace::Dram, 16},
+  };
+  const unsigned Counts[] = {1, 2, 4, 8, 16, 32, 64, 128};
+
+  std::printf("Figure 6: forwarding rate (Gbps) vs memory accesses per "
+              "64B packet\n");
+  std::printf("(6 MEs, access-only loop; paper: 2.5 Gbps needs <=2 DRAM, "
+              "<=8 SRAM, or <=64 Scratch accesses)\n\n");
+  std::printf("%-14s", "accesses/pkt");
+  for (unsigned N : Counts)
+    std::printf("%8u", N);
+  std::printf("\n");
+
+  for (const Series &S : AllSeries) {
+    std::printf("%-14s", S.Name);
+    for (unsigned N : Counts) {
+      double Gbps = measure(S.Space, S.Words, N, Cycles);
+      std::printf("%8.2f", Gbps);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nreference points: DRAM(8B) x2 = %.2f Gbps, "
+              "SRAM(4B) x8 = %.2f Gbps, Scratch(4B) x64 = %.2f Gbps\n",
+              measure(MSpace::Dram, 2, 2, Cycles),
+              measure(MSpace::Sram, 1, 8, Cycles),
+              measure(MSpace::Scratch, 1, 64, Cycles));
+  return 0;
+}

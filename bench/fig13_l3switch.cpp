@@ -1,0 +1,5 @@
+//===- bench/fig13_l3switch.cpp - paper Figure 13 ------------------------------==//
+#include "apps/Apps.h"
+#define FIG_APP() sl::apps::l3switch()
+#define FIG_TITLE "Figure 13 (L3-Switch)"
+#include "bench/fig_forwarding.inc"

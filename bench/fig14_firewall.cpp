@@ -1,0 +1,5 @@
+//===- bench/fig14_firewall.cpp - paper Figure 14 ------------------------------==//
+#include "apps/Apps.h"
+#define FIG_APP() sl::apps::firewall()
+#define FIG_TITLE "Figure 14 (Firewall)"
+#include "bench/fig_forwarding.inc"

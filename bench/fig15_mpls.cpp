@@ -1,0 +1,5 @@
+//===- bench/fig15_mpls.cpp - paper Figure 15 ----------------------------------==//
+#include "apps/Apps.h"
+#define FIG_APP() sl::apps::mpls()
+#define FIG_TITLE "Figure 15 (MPLS)"
+#include "bench/fig_forwarding.inc"

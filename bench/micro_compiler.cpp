@@ -1,0 +1,144 @@
+//===- bench/micro_compiler.cpp - compiler-phase microbenchmarks ----------------==//
+//
+// google-benchmark timings of the compiler itself (frontend, scalar
+// pipeline, the specialized passes, lowering, and a whole-app build) on
+// the L3-Switch application. Useful for keeping the compiler fast as it
+// grows; not a paper experiment.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+#include "baker/Lexer.h"
+#include "cg/Lowering.h"
+#include "cg/RegAlloc.h"
+#include "cg/StackLayout.h"
+#include "driver/Compiler.h"
+#include "ir/ASTLower.h"
+#include "map/Aggregation.h"
+#include "opt/Passes.h"
+#include "pktopt/Pac.h"
+#include "pktopt/Soar.h"
+#include "profile/Profiler.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace sl;
+
+namespace {
+
+const apps::AppBundle &app() {
+  static apps::AppBundle App = apps::l3switch();
+  return App;
+}
+
+void BM_Lex(benchmark::State &State) {
+  std::string Src = app().Source;
+  for (auto _ : State) {
+    DiagEngine D;
+    baker::Lexer L(Src, D);
+    benchmark::DoNotOptimize(L.lexAll());
+  }
+  State.SetBytesProcessed(int64_t(State.iterations()) * Src.size());
+}
+BENCHMARK(BM_Lex);
+
+void BM_ParseAndAnalyze(benchmark::State &State) {
+  std::string Src = app().Source;
+  for (auto _ : State) {
+    DiagEngine D;
+    benchmark::DoNotOptimize(baker::parseAndAnalyze(Src, D));
+  }
+}
+BENCHMARK(BM_ParseAndAnalyze);
+
+void BM_LowerToIR(benchmark::State &State) {
+  DiagEngine D;
+  auto Unit = baker::parseAndAnalyze(app().Source, D);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(ir::lowerProgram(*Unit, D));
+}
+BENCHMARK(BM_LowerToIR);
+
+void BM_ScalarPipelineO2(benchmark::State &State) {
+  DiagEngine D;
+  auto Unit = baker::parseAndAnalyze(app().Source, D);
+  for (auto _ : State) {
+    State.PauseTiming();
+    auto M = ir::lowerProgram(*Unit, D);
+    State.ResumeTiming();
+    opt::runO2(*M);
+  }
+}
+BENCHMARK(BM_ScalarPipelineO2);
+
+void BM_PacAndSoar(benchmark::State &State) {
+  DiagEngine D;
+  auto Unit = baker::parseAndAnalyze(app().Source, D);
+  for (auto _ : State) {
+    State.PauseTiming();
+    auto M = ir::lowerProgram(*Unit, D);
+    opt::runO2(*M);
+    State.ResumeTiming();
+    pktopt::runPac(*M);
+    pktopt::runSoar(*M);
+  }
+}
+BENCHMARK(BM_PacAndSoar);
+
+void BM_FunctionalProfiler(benchmark::State &State) {
+  DiagEngine D;
+  auto Unit = baker::parseAndAnalyze(app().Source, D);
+  auto M = ir::lowerProgram(*Unit, D);
+  profile::Profiler P(*M);
+  for (const auto &T : app().Tables)
+    P.interp().writeGlobal(T.Global, T.Index, T.Value);
+  profile::Trace Trace = app().makeTrace(1, 128);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(P.run(Trace));
+  State.SetItemsProcessed(int64_t(State.iterations()) * Trace.size());
+}
+BENCHMARK(BM_FunctionalProfiler);
+
+void BM_FullCompileSwc(benchmark::State &State) {
+  profile::Trace Trace = app().makeTrace(1, 128);
+  for (auto _ : State) {
+    driver::CompileOptions Opts;
+    Opts.Level = driver::OptLevel::Swc;
+    Opts.NumMEs = 6;
+    Opts.TxMetaFields = app().TxMetaFields;
+    DiagEngine D;
+    benchmark::DoNotOptimize(
+        driver::compile(app().Source, Trace, app().Tables, Opts, D));
+  }
+}
+BENCHMARK(BM_FullCompileSwc);
+
+void BM_SimulatorThroughput(benchmark::State &State) {
+  profile::Trace Trace = app().makeTrace(1, 128);
+  driver::CompileOptions Opts;
+  Opts.Level = driver::OptLevel::Swc;
+  Opts.NumMEs = 6;
+  Opts.TxMetaFields = app().TxMetaFields;
+  DiagEngine D;
+  auto App = driver::compile(app().Source, Trace, app().Tables, Opts, D);
+  profile::Trace Traffic = app().makeTrace(2, 256);
+  uint64_t Cycles = 0;
+  for (auto _ : State) {
+    ixp::ChipParams Chip;
+    auto Sim = driver::makeSimulator(*App, Chip);
+    Sim->setTraffic([&Traffic](uint64_t I) -> const ixp::SimPacket * {
+      static thread_local ixp::SimPacket P;
+      P.Frame = Traffic[I % Traffic.size()].Frame;
+      P.Port = Traffic[I % Traffic.size()].Port;
+      return &P;
+    });
+    benchmark::DoNotOptimize(Sim->run(50'000));
+    Cycles += 50'000;
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Cycles));
+}
+BENCHMARK(BM_SimulatorThroughput);
+
+} // namespace
+
+BENCHMARK_MAIN();

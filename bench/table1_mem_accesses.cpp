@@ -1,0 +1,76 @@
+//===- bench/table1_mem_accesses.cpp - paper Table 1 --------------------------==//
+//
+// Dynamic memory accesses per packet for each application as the relevant
+// optimizations are enabled (-O2 and SOAR only change instruction counts,
+// so the paper's table lists BASE, +O1, +PAC, +PHR, +SWC). "Packet"
+// accesses cover handle movement (Scratch rings), metadata (SRAM) and
+// packet data (DRAM); "Application" accesses cover the program's own
+// tables (plus stack and lock traffic).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+using namespace sl;
+using namespace sl::bench;
+using cg::MemClass;
+
+namespace {
+
+struct Row {
+  const char *Name;
+  driver::OptLevel Level;
+};
+
+void runApp(const apps::AppBundle &App, uint64_t Cycles) {
+  const Row Rows[] = {
+      {"+ SWC", driver::OptLevel::Swc}, {"+ PHR", driver::OptLevel::Phr},
+      {"+ PAC", driver::OptLevel::Pac}, {"+ -O1", driver::OptLevel::O1},
+      {"BASE", driver::OptLevel::Base},
+  };
+
+  std::printf("%s\n", App.Name.c_str());
+  std::printf("  %-8s %10s %8s %8s | %10s %8s | %8s  (instrs/pkt)\n", "",
+              "PktScratch", "PktSRAM", "PktDRAM", "AppScratch", "AppSRAM",
+              "Total");
+
+  profile::Trace Traffic = App.makeTrace(0x717171, 512);
+  for (const Row &R : Rows) {
+    auto Compiled = compileApp(App, R.Level, /*NumMEs=*/2);
+    if (!Compiled)
+      continue;
+    ForwardResult F = runForwarding(*Compiled, Traffic, Cycles);
+    const ixp::SimStats &S = F.Stats;
+
+    auto PP = [&](unsigned Space, MemClass C) {
+      return S.perPacket(Space, C);
+    };
+    double PktScr = PP(0, MemClass::PktRing);
+    double PktSram = PP(1, MemClass::PktMeta) + PP(1, MemClass::PktRing);
+    double PktDram = PP(2, MemClass::PktData);
+    double AppScr = PP(0, MemClass::App) + PP(0, MemClass::AppCache) +
+                    PP(0, MemClass::Lock);
+    double AppSram = PP(1, MemClass::App) + PP(1, MemClass::AppCache) +
+                     PP(1, MemClass::Stack);
+    double Total = PktScr + PktSram + PktDram + AppScr + AppSram;
+    double Ipp =
+        S.RxInjected ? double(S.Instrs) / double(S.RxInjected) : 0.0;
+
+    std::printf("  %-8s %10.1f %8.1f %8.1f | %10.1f %8.1f | %8.1f  (%.0f)\n",
+                R.Name, PktScr, PktSram, PktDram, AppScr, AppSram, Total,
+                Ipp);
+  }
+  std::printf("\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  uint64_t Cycles = quickMode(argc, argv) ? 150'000 : 600'000;
+  std::printf("Table 1: dynamic memory accesses per packet\n");
+  std::printf("(paper shape: PAC slashes packet SRAM/DRAM; PHR removes "
+              "head_ptr/metadata traffic; SWC cuts application SRAM)\n\n");
+  for (const apps::AppBundle &App : apps::allApps())
+    runApp(App, Cycles);
+  return 0;
+}

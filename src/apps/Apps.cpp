@@ -1,0 +1,753 @@
+//===- apps/Apps.cpp ---------------------------------------------------------------==//
+
+#include "apps/Apps.h"
+
+#include "interp/Bits.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace sl;
+using namespace sl::apps;
+using driver::TableInit;
+using interp::writeBitsBE;
+
+//===----------------------------------------------------------------------===//
+// Shared frame builders
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::vector<uint8_t> etherFrame(uint64_t Dst, uint64_t Src, uint16_t Type,
+                                size_t Len = 64) {
+  std::vector<uint8_t> F(Len, 0);
+  writeBitsBE(F.data(), 0, 48, Dst);
+  writeBitsBE(F.data(), 48, 48, Src);
+  writeBitsBE(F.data(), 96, 16, Type);
+  return F;
+}
+
+void putIpv4At(std::vector<uint8_t> &F, size_t ByteOff, uint32_t Saddr,
+               uint32_t Daddr, uint8_t Ttl, uint8_t Proto,
+               unsigned Hlen = 5) {
+  size_t B = ByteOff * 8;
+  writeBitsBE(F.data(), B + 0, 4, 4);
+  writeBitsBE(F.data(), B + 4, 4, Hlen);
+  writeBitsBE(F.data(), B + 16, 16,
+              static_cast<uint16_t>(F.size() - ByteOff));
+  writeBitsBE(F.data(), B + 64, 8, Ttl);
+  writeBitsBE(F.data(), B + 72, 8, Proto);
+  writeBitsBE(F.data(), B + 80, 16, 0xBEEF); // Pseudo checksum.
+  writeBitsBE(F.data(), B + 96, 32, Saddr);
+  writeBitsBE(F.data(), B + 128, 32, Daddr);
+}
+
+void putPortsAt(std::vector<uint8_t> &F, size_t ByteOff, uint16_t Sport,
+                uint16_t Dport) {
+  writeBitsBE(F.data(), ByteOff * 8, 16, Sport);
+  writeBitsBE(F.data(), ByteOff * 8 + 16, 16, Dport);
+}
+
+void putMplsAt(std::vector<uint8_t> &F, size_t ByteOff, uint32_t Label,
+               bool Bottom, uint8_t Ttl) {
+  size_t B = ByteOff * 8;
+  writeBitsBE(F.data(), B + 0, 20, Label);
+  writeBitsBE(F.data(), B + 20, 3, 0);
+  writeBitsBE(F.data(), B + 23, 1, Bottom ? 1 : 0);
+  writeBitsBE(F.data(), B + 24, 8, Ttl);
+}
+
+uint64_t portMac(unsigned Port) { return 0x00AA00000000ull + Port; }
+uint64_t hostMac(unsigned Id) { return 0x00CC00000000ull + Id; }
+uint64_t nhMac(unsigned Nh) { return 0x00BB00000000ull + Nh; }
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// L3-Switch
+//===----------------------------------------------------------------------===//
+
+static const char *L3SwitchSource = R"BAKER(
+// L3-Switch: bridges and routes IP packets (NPF IP forwarding benchmark).
+protocol ether {
+  dst : 48;
+  src : 48;
+  type : 16;
+  demux { 14 };
+};
+
+protocol ipv4 {
+  ver : 4;
+  hlen : 4;
+  tos : 8;
+  total_len : 16;
+  id : 16;
+  flags : 3;
+  frag : 13;
+  ttl : 8;
+  proto : 8;
+  checksum : 16;
+  saddr : 32;
+  daddr : 32;
+  demux { hlen << 2 };
+};
+
+metadata {
+  tx_port : 16;
+  nexthop : 16;
+};
+
+module l3_switch {
+  u64 port_mac[16];   // This router's MAC per port.
+  u64 mac_key[256];   // Bridging table: direct-hash with linear probing.
+  u32 mac_port[256];
+  u32 trie16[65536];  // Route trie root: bit31 = leaf, low 16 = nh/block.
+  u32 trie8[8192];    // 32 second-level blocks of 256 entries.
+  u64 nh_dmac[256];   // Next-hop rewrite info.
+  u32 nh_port[256];
+  u32 arp_count;
+  u32 drops;
+
+  channel l3_cc : ipv4;
+  channel enc_cc : ipv4;
+  channel bridge_cc : ether;
+  channel arp_cc : ether;
+
+  ppf l2_clsfr(ether_pkt * ph) {
+    if (ph->type == 0x0806) {
+      channel_put(arp_cc, ph);
+      return;
+    }
+    if (ph->type == 0x0800 && ph->dst == port_mac[ph->meta.rx_port & 15]) {
+      ipv4_pkt * iph = packet_decap(ph);
+      channel_put(l3_cc, iph);
+      return;
+    }
+    channel_put(bridge_cc, ph);
+  }
+
+  // Control traffic is rare: this lands on the XScale.
+  ppf arp_handler(ether_pkt * ph) {
+    arp_count = arp_count + 1;
+    packet_drop(ph);
+  }
+
+  ppf l2_bridge(ether_pkt * ph) {
+    u32 h = ph->dst ^ (ph->dst >> 32);
+    h = (h ^ (h >> 16)) & 255;
+    u32 i = h;
+    u32 tries = 0;
+    u32 out = 0xFFFF;
+    while (tries < 4) {
+      if (mac_key[i & 255] == ph->dst) {
+        out = mac_port[i & 255];
+        break;
+      }
+      i = i + 1;
+      tries = tries + 1;
+    }
+    if (out == 0xFFFF) {
+      drops = drops + 1;
+      packet_drop(ph);
+      return;
+    }
+    ph->meta.tx_port = out;
+    channel_put(tx, ph);
+  }
+
+  ppf l3_fwdr(ipv4_pkt * iph) {
+    if (iph->ver != 4 || iph->ttl <= 1) {
+      drops = drops + 1;
+      packet_drop(iph);
+      return;
+    }
+    u32 d = iph->daddr;
+    u32 e = trie16[d >> 16];
+    if (e == 0) {
+      drops = drops + 1;
+      packet_drop(iph);
+      return;
+    }
+    u32 nh = e & 0xFFFF;
+    if ((e & 0x80000000) == 0) {
+      u32 e2 = trie8[(e & 0xFFFF) * 256 + ((d >> 8) & 255)];
+      if (e2 == 0) {
+        drops = drops + 1;
+        packet_drop(iph);
+        return;
+      }
+      nh = e2 & 0xFFFF;
+    }
+    iph->ttl = iph->ttl - 1;
+    u32 sum = iph->checksum + 0x100;    // Incremental update for TTL-1.
+    sum = (sum & 0xFFFF) + (sum >> 16);
+    iph->checksum = sum;
+    iph->meta.nexthop = nh;
+    channel_put(enc_cc, iph);
+  }
+
+  ppf eth_encap(ipv4_pkt * iph) {
+    u32 nh = iph->meta.nexthop & 255;
+    ether_pkt * eph = packet_encap(iph);
+    eph->dst = nh_dmac[nh];
+    eph->src = port_mac[nh_port[nh] & 15];
+    eph->type = 0x0800;
+    eph->meta.tx_port = nh_port[nh];
+    channel_put(tx, eph);
+  }
+
+  wire rx -> l2_clsfr;
+  wire arp_cc -> arp_handler;
+  wire bridge_cc -> l2_bridge;
+  wire l3_cc -> l3_fwdr;
+  wire enc_cc -> eth_encap;
+}
+)BAKER";
+
+AppBundle sl::apps::l3switch() {
+  AppBundle B;
+  B.Name = "L3-Switch";
+  B.Source = L3SwitchSource;
+  B.TxMetaFields = {"tx_port"};
+
+  // Port MACs.
+  for (unsigned Pt = 0; Pt != 16; ++Pt)
+    B.Tables.push_back({"port_mac", Pt, portMac(Pt & 3)});
+
+  // Bridging table: 64 learned hosts at their hash positions.
+  for (unsigned Id = 0; Id != 64; ++Id) {
+    uint64_t Mac = hostMac(Id);
+    uint32_t H = static_cast<uint32_t>(Mac ^ (Mac >> 32));
+    H = (H ^ (H >> 16)) & 255;
+    B.Tables.push_back({"mac_key", H, Mac});
+    B.Tables.push_back({"mac_port", H, Id & 3});
+  }
+
+  // Routes: 48 /16 prefixes as root leaves, plus 8 /24 blocks.
+  for (unsigned K = 0; K != 48; ++K) {
+    uint32_t Idx = 0x0A00 + K * 37;
+    B.Tables.push_back({"trie16", Idx, 0x80000000u | (1 + K % 64)});
+  }
+  for (unsigned Blk = 0; Blk != 8; ++Blk) {
+    uint32_t Idx = 0xC000 + Blk; // 192.x/16 roots pointing at blocks 1..8.
+    B.Tables.push_back({"trie16", Idx, Blk + 1});
+    for (unsigned Sub = 0; Sub != 256; Sub += 2) // /24s, half populated.
+      B.Tables.push_back(
+          {"trie8", (Blk + 1) * 256 + Sub, 1 + (Blk * 31 + Sub) % 64});
+  }
+
+  // Next hops.
+  for (unsigned Nh = 1; Nh != 65; ++Nh) {
+    B.Tables.push_back({"nh_dmac", Nh, nhMac(Nh)});
+    B.Tables.push_back({"nh_port", Nh, Nh & 3});
+  }
+  return B;
+}
+
+//===----------------------------------------------------------------------===//
+// Firewall
+//===----------------------------------------------------------------------===//
+
+static const char *FirewallSource = R"BAKER(
+// Firewall: ordered-rule 5-tuple classifier between an internal and an
+// external network. The fast path assumes option-less IPv4 (hlen == 5);
+// anything else goes to the slow path.
+protocol ether {
+  dst : 48;
+  src : 48;
+  type : 16;
+  demux { 14 };
+};
+
+// IPv4 (no options) + L4 ports viewed as one fast-path header.
+protocol ip5 {
+  ver : 4;
+  hlen : 4;
+  tos : 8;
+  total_len : 16;
+  id : 16;
+  fl : 16;
+  ttl : 8;
+  proto : 8;
+  checksum : 16;
+  saddr : 32;
+  daddr : 32;
+  sport : 16;
+  dport : 16;
+  demux { 24 };
+};
+
+protocol ipv4opt {
+  ver : 4;
+  hlen : 4;
+  rest : 24;
+  demux { hlen << 2 };
+};
+
+metadata {
+  tx_port : 16;
+  flow_id : 16;
+};
+
+module firewall {
+  // Rules are packed two fields per 64-bit word so each check costs one
+  // wide SRAM read instead of two narrow ones (the style hand-written ME
+  // classifiers use).
+  u64 rule_src[64];    // saddr << 32 | smask.
+  u64 rule_dst[64];    // daddr << 32 | dmask.
+  u64 rule_sport[64];  // lo << 32 | hi.
+  u64 rule_dport[64];  // lo << 32 | hi.
+  u64 rule_pa[64];     // proto << 32 | action+1 (0 = unused slot).
+  u32 num_rules;
+  u32 denied;
+  u32 slow_count;
+
+  channel slow_cc : ether;
+
+  ppf fw_clsfr(ether_pkt * ph) {
+    if (ph->type != 0x0800) {
+      // Non-IP passes through transparently to the peer port.
+      ph->meta.tx_port = ph->meta.rx_port ^ 1;
+      channel_put(tx, ph);
+      return;
+    }
+    ip5_pkt * iph = packet_decap(ph);
+    if (iph->ver != 4 || iph->hlen != 5) {
+      ether_pkt * back = packet_encap(iph);
+      channel_put(slow_cc, back);
+      return;
+    }
+
+    u32 sa = iph->saddr;
+    u32 da = iph->daddr;
+    u32 sp = iph->sport;
+    u32 dp = iph->dport;
+    u32 proto = iph->proto;
+
+    u32 action = 0;       // Default deny.
+    u32 flow = 0xFFFF;
+    u32 n = num_rules;
+    for (u32 i = 0; i < n; i = i + 1) {
+      // Most discriminating field first: almost every non-matching rule
+      // is rejected after a single wide table read.
+      u64 rdp = rule_dport[i];
+      u32 dlo = rdp >> 32;
+      u32 dhi = rdp;
+      if (dp < dlo || dp > dhi) { continue; }
+      u64 rpa = rule_pa[i];
+      u32 rproto = rpa >> 32;
+      if (rproto != 0 && rproto != proto) { continue; }
+      u64 rd = rule_dst[i];
+      u32 dmask = rd;
+      if ((da & dmask) != (rd >> 32)) { continue; }
+      u64 rs = rule_src[i];
+      u32 smask = rs;
+      if ((sa & smask) != (rs >> 32)) { continue; }
+      u64 rsp = rule_sport[i];
+      u32 slo = rsp >> 32;
+      u32 shi = rsp;
+      if (sp < slo || sp > shi) { continue; }
+      action = rpa & 0xFFFF;  // Stored as action+1.
+      flow = i;
+      break;
+    }
+    if (flow != 0xFFFF) { action = action - 1; }
+
+    if (action == 0) {
+      denied = denied + 1;
+      packet_drop(iph);
+      return;
+    }
+    iph->meta.flow_id = flow;
+    ether_pkt * out = packet_encap(iph);
+    out->meta.tx_port = out->meta.rx_port ^ 1;
+    channel_put(tx, out);
+  }
+
+  // IP options / malformed headers: rare, handled off the fast path.
+  ppf fw_slow(ether_pkt * ph) {
+    slow_count = slow_count + 1;
+    packet_drop(ph);
+  }
+
+  wire rx -> fw_clsfr;
+  wire slow_cc -> fw_slow;
+}
+)BAKER";
+
+AppBundle sl::apps::firewall() {
+  AppBundle B;
+  B.Name = "Firewall";
+  B.Source = FirewallSource;
+  B.TxMetaFields = {"tx_port"};
+
+  auto rule = [&](unsigned I, uint32_t Sa, uint32_t Sm, uint32_t Da,
+                  uint32_t Dm, uint32_t SpLo, uint32_t SpHi, uint32_t DpLo,
+                  uint32_t DpHi, uint32_t Proto, uint32_t Action) {
+    B.Tables.push_back({"rule_src", I, (uint64_t(Sa) << 32) | Sm});
+    B.Tables.push_back({"rule_dst", I, (uint64_t(Da) << 32) | Dm});
+    B.Tables.push_back({"rule_sport", I, (uint64_t(SpLo) << 32) | SpHi});
+    B.Tables.push_back({"rule_dport", I, (uint64_t(DpLo) << 32) | DpHi});
+    B.Tables.push_back(
+        {"rule_pa", I, (uint64_t(Proto) << 32) | (Action + 1)});
+  };
+
+  unsigned N = 0;
+  // Real rule sets order by hit frequency with blanket denies up front:
+  // the noisy-subnet drop goes first, then the hot web allows (distinct
+  // service ports 80..95 from distinct /16 client subnets).
+  rule(N++, 0x0A050000, 0xFFFF0000, 0x00000000, 0x00000000, 0, 65535, 0,
+       65535, 0, 0);
+  for (unsigned K = 0; K != 16; ++K)
+    rule(N++, 0x0A000000 + (K << 16), 0xFFFF0000, 0xAC100000, 0xFFF00000, 0,
+         65535, 80 + K, 80 + K, 6, 1);
+  // DNS.
+  for (unsigned K = 0; K != 8; ++K)
+    rule(N++, 0x0A000000, 0xFF000000, 0xAC100000 + (K << 12), 0xFFFFF000, 0,
+         65535, 53, 53, 17, 1);
+  // Block telnet into specific service subnets from the outside.
+  for (unsigned K = 0; K != 8; ++K)
+    rule(N++, 0x0A000000, 0xFF000000, 0xAC100000 + (K << 8), 0xFFFFFF00, 0,
+         65535, 23, 23, 6, /*deny*/ 0);
+  // Catch-all allow for internal-to-external traffic.
+  rule(N++, 0xAC100000, 0xFFF00000, 0x00000000, 0x00000000, 0, 65535, 0,
+       65535, 0, 1);
+  // Catch-all allow high ports.
+  rule(N++, 0x00000000, 0x00000000, 0x00000000, 0x00000000, 1024, 65535,
+       1024, 65535, 0, 1);
+  B.Tables.push_back({"num_rules", 0, N});
+  return B;
+}
+
+//===----------------------------------------------------------------------===//
+// MPLS
+//===----------------------------------------------------------------------===//
+
+static const char *MplsSource = R"BAKER(
+// MPLS forwarding (NPF benchmark): label swap, swap+push, pop (incl.
+// penultimate-hop pop) and IP ingress (label push).
+protocol ether {
+  dst : 48;
+  src : 48;
+  type : 16;
+  demux { 14 };
+};
+
+protocol mpls {
+  label : 20;
+  exp : 3;
+  s : 1;
+  ttl : 8;
+  demux { 4 };
+};
+
+protocol ipv4 {
+  ver : 4;
+  hlen : 4;
+  tos : 8;
+  total_len : 16;
+  id : 16;
+  flags : 3;
+  frag : 13;
+  ttl : 8;
+  proto : 8;
+  checksum : 16;
+  saddr : 32;
+  daddr : 32;
+  demux { hlen << 2 };
+};
+
+metadata {
+  tx_port : 16;
+};
+
+module mpls_fwd {
+  u32 ilm_op[4096];   // 0 invalid, 1 swap, 2 swap+push, 3 pop.
+  u32 ilm_out[4096];  // Swap label / pop next-hop.
+  u32 ilm_push[4096]; // Outer label for swap+push.
+  u32 ilm_port[4096];
+  u32 fec16[65536];   // Ingress FEC: (port << 20) | label; 0 = no entry.
+  u64 port_mac[16];
+  u64 nh_dmac[64];
+  u32 drops;
+
+  channel lbl_cc : mpls;
+  channel ing_cc : ipv4;
+
+  ppf clsfr(ether_pkt * ph) {
+    if (ph->type == 0x8847) {
+      mpls_pkt * mp = packet_decap(ph);
+      channel_put(lbl_cc, mp);
+      return;
+    }
+    if (ph->type == 0x0800) {
+      ipv4_pkt * iph = packet_decap(ph);
+      channel_put(ing_cc, iph);
+      return;
+    }
+    drops = drops + 1;
+    packet_drop(ph);
+  }
+
+  ppf lsr(mpls_pkt * mp) {
+    u32 idx = mp->label & 4095;
+    u32 op = ilm_op[idx];
+    if (op == 0 || mp->ttl <= 1) {
+      drops = drops + 1;
+      packet_drop(mp);
+      return;
+    }
+    u32 outp = ilm_port[idx];
+
+    if (op == 1) {
+      // Swap in place.
+      mp->label = ilm_out[idx];
+      mp->ttl = mp->ttl - 1;
+      ether_pkt * eph = packet_encap(mp);
+      eph->dst = nh_dmac[outp & 63];
+      eph->src = port_mac[outp & 15];
+      eph->type = 0x8847;
+      eph->meta.tx_port = outp;
+      channel_put(tx, eph);
+      return;
+    }
+
+    if (op == 2) {
+      // Swap, then push a tunnel label on top.
+      mp->label = ilm_out[idx];
+      u32 t = mp->ttl - 1;
+      mp->ttl = t;
+      mpls_pkt * outer = packet_encap(mp);
+      outer->label = ilm_push[idx];
+      outer->exp = 0;
+      outer->s = 0;
+      outer->ttl = t;
+      ether_pkt * eph = packet_encap(outer);
+      eph->dst = nh_dmac[outp & 63];
+      eph->src = port_mac[outp & 15];
+      eph->type = 0x8847;
+      eph->meta.tx_port = outp;
+      channel_put(tx, eph);
+      return;
+    }
+
+    // op == 3: pop. Penultimate-hop pop for bottom-of-stack.
+    if (mp->s == 1) {
+      ipv4_pkt * iph = packet_decap(mp);
+      ether_pkt * eph = packet_encap(iph);
+      eph->dst = nh_dmac[outp & 63];
+      eph->src = port_mac[outp & 15];
+      eph->type = 0x0800;
+      eph->meta.tx_port = outp;
+      channel_put(tx, eph);
+      return;
+    }
+    mpls_pkt * inner = packet_decap(mp);
+    inner->ttl = inner->ttl - 1;
+    ether_pkt * eph = packet_encap(inner);
+    eph->dst = nh_dmac[outp & 63];
+    eph->src = port_mac[outp & 15];
+    eph->type = 0x8847;
+    eph->meta.tx_port = outp;
+    channel_put(tx, eph);
+  }
+
+  ppf ingress(ipv4_pkt * iph) {
+    u32 e = fec16[iph->daddr >> 16];
+    if (e == 0 || iph->ttl <= 1) {
+      drops = drops + 1;
+      packet_drop(iph);
+      return;
+    }
+    u32 outp = e >> 20;
+    iph->ttl = iph->ttl - 1;
+    mpls_pkt * mp = packet_encap(iph);
+    mp->label = e & 0xFFFFF;
+    mp->exp = 0;
+    mp->s = 1;
+    mp->ttl = 63;
+    ether_pkt * eph = packet_encap(mp);
+    eph->dst = nh_dmac[outp & 63];
+    eph->src = port_mac[outp & 15];
+    eph->type = 0x8847;
+    eph->meta.tx_port = outp;
+    channel_put(tx, eph);
+  }
+
+  wire rx -> clsfr;
+  wire lbl_cc -> lsr;
+  wire ing_cc -> ingress;
+}
+)BAKER";
+
+AppBundle sl::apps::mpls() {
+  AppBundle B;
+  B.Name = "MPLS";
+  B.Source = MplsSource;
+  B.TxMetaFields = {"tx_port"};
+
+  for (unsigned Pt = 0; Pt != 16; ++Pt)
+    B.Tables.push_back({"port_mac", Pt, portMac(Pt & 3)});
+  for (unsigned Nh = 0; Nh != 64; ++Nh)
+    B.Tables.push_back({"nh_dmac", Nh, nhMac(Nh)});
+
+  // ILM: labels 16..1039 cycle through swap / swap+push / pop.
+  for (unsigned L = 16; L != 1040; ++L) {
+    unsigned Op = 1 + (L % 3);
+    B.Tables.push_back({"ilm_op", L, Op});
+    B.Tables.push_back({"ilm_out", L, 1040 + (L * 7) % 1000});
+    B.Tables.push_back({"ilm_push", L, 2040 + (L * 13) % 1000});
+    B.Tables.push_back({"ilm_port", L, L & 3});
+  }
+  // FEC: 32 /16s map to labels.
+  for (unsigned K = 0; K != 32; ++K) {
+    uint32_t Idx = 0x0B00 + K * 11;
+    uint32_t Entry = ((K & 3) << 20) | (16 + (K * 29) % 1024);
+    B.Tables.push_back({"fec16", Idx, Entry});
+  }
+  return B;
+}
+
+//===----------------------------------------------------------------------===//
+// Traces
+//===----------------------------------------------------------------------===//
+
+profile::Trace AppBundle::makeTrace(uint64_t Seed, unsigned N) const {
+  profile::Trace T;
+  Rng R(Seed ^ 0x5EED0000);
+
+  if (Name == "L3-Switch") {
+    for (unsigned I = 0; I != N; ++I) {
+      uint16_t Port = static_cast<uint16_t>(R.nextBelow(4));
+      unsigned Kind = static_cast<unsigned>(R.nextBelow(100));
+      if (Kind < 70) {
+        // Routed: to this router's MAC, dst IP in an installed prefix.
+        uint32_t Dst;
+        if (R.chance(3, 4))
+          Dst = ((0x0A00u + static_cast<uint32_t>(R.nextBelow(48)) * 37)
+                 << 16) |
+                static_cast<uint32_t>(R.nextBelow(0x10000));
+        else
+          Dst = ((0xC000u + static_cast<uint32_t>(R.nextBelow(8))) << 16) |
+                (static_cast<uint32_t>(R.nextBelow(128)) * 2 << 8) |
+                static_cast<uint32_t>(R.nextBelow(256));
+        std::vector<uint8_t> F =
+            etherFrame(portMac(Port), hostMac(R.nextBelow(64)), 0x0800);
+        putIpv4At(F, 14, 0x0A000001 + static_cast<uint32_t>(R.nextBelow(9999)),
+                  Dst, 32 + static_cast<uint8_t>(R.nextBelow(32)), 6);
+        T.push_back({std::move(F), Port});
+      } else if (Kind < 95) {
+        // Bridged: to a learned host MAC.
+        std::vector<uint8_t> F =
+            etherFrame(hostMac(R.nextBelow(64)), hostMac(R.nextBelow(64)),
+                       0x0800);
+        putIpv4At(F, 14, 1, 2, 64, 17);
+        T.push_back({std::move(F), Port});
+      } else {
+        // ARP (control; exercised on the XScale path).
+        std::vector<uint8_t> F =
+            etherFrame(0xFFFFFFFFFFFFull, hostMac(R.nextBelow(64)), 0x0806);
+        T.push_back({std::move(F), Port});
+      }
+    }
+    return T;
+  }
+
+  if (Name == "Firewall") {
+    for (unsigned I = 0; I != N; ++I) {
+      uint16_t Port = static_cast<uint16_t>(R.nextBelow(2));
+      unsigned Kind = static_cast<unsigned>(R.nextBelow(100));
+      uint32_t Sa, Da;
+      uint16_t Sp, Dp;
+      uint8_t Proto = 6;
+      if (Kind < 60) {
+        // Outside -> inside web (mostly allowed; subnet K uses port
+        // 80+K). Popularity is strongly skewed toward the first rules,
+        // as in real rule sets ordered by hit frequency.
+        uint32_t K = static_cast<uint32_t>(std::min(
+            {R.nextBelow(16), R.nextBelow(16), R.nextBelow(16)}));
+        Sa = 0x0A000000 | (K << 16) |
+             static_cast<uint32_t>(R.nextBelow(0xFFFF));
+        Da = 0xAC100000 | static_cast<uint32_t>(R.nextBelow(0xFFFF));
+        Sp = static_cast<uint16_t>(1024 + R.nextBelow(60000));
+        Dp = static_cast<uint16_t>(80 + K);
+      } else if (Kind < 68) {
+        // Inside -> outside (catch-all allow).
+        Sa = 0xAC100000 | static_cast<uint32_t>(R.nextBelow(0xFFFFF));
+        Da = static_cast<uint32_t>(R.next());
+        Sp = static_cast<uint16_t>(1024 + R.nextBelow(60000));
+        Dp = static_cast<uint16_t>(R.nextBelow(65536));
+      } else if (Kind < 76) {
+        // Telnet probes (denied).
+        Sa = 0x0A000000 | static_cast<uint32_t>(R.nextBelow(0xFFFFFF));
+        Da = 0xAC100000 + (static_cast<uint32_t>(R.nextBelow(8)) << 8);
+        Sp = static_cast<uint16_t>(30000 + R.nextBelow(1000));
+        Dp = 23;
+      } else if (Kind < 88) {
+        // Noisy subnet (denied by rule 0).
+        Sa = 0x0A050000 | static_cast<uint32_t>(R.nextBelow(0xFFFF));
+        Da = static_cast<uint32_t>(R.next());
+        Sp = static_cast<uint16_t>(R.nextBelow(65536));
+        Dp = static_cast<uint16_t>(R.nextBelow(65536));
+      } else if (Kind < 95) {
+        // DNS (allowed).
+        Sa = 0x0A000000 | static_cast<uint32_t>(R.nextBelow(0xFFFFFF));
+        Da = 0xAC100000 | static_cast<uint32_t>(R.nextBelow(0xFFFFF));
+        Sp = static_cast<uint16_t>(1024 + R.nextBelow(60000));
+        Dp = 53;
+        Proto = 17;
+      } else {
+        // High-port peer traffic (allowed by the last rule).
+        Sa = static_cast<uint32_t>(R.next());
+        Da = static_cast<uint32_t>(R.next());
+        Sp = static_cast<uint16_t>(1024 + R.nextBelow(60000));
+        Dp = static_cast<uint16_t>(1024 + R.nextBelow(60000));
+      }
+      std::vector<uint8_t> F = etherFrame(portMac(Port), hostMac(I & 63),
+                                          0x0800);
+      putIpv4At(F, 14, Sa, Da, 64, Proto);
+      putPortsAt(F, 34, Sp, Dp);
+      T.push_back({std::move(F), Port});
+    }
+    return T;
+  }
+
+  assert(Name == "MPLS" && "unknown app");
+  for (unsigned I = 0; I != N; ++I) {
+    uint16_t Port = static_cast<uint16_t>(R.nextBelow(4));
+    unsigned Kind = static_cast<unsigned>(R.nextBelow(100));
+    if (Kind < 60) {
+      // Labeled packet with a stack of 1..3 labels.
+      unsigned Depth = 1 + static_cast<unsigned>(R.nextBelow(3));
+      std::vector<uint8_t> F = etherFrame(portMac(Port), hostMac(I & 63),
+                                          0x8847);
+      for (unsigned D = 0; D != Depth; ++D) {
+        uint32_t Label = 16 + static_cast<uint32_t>(R.nextBelow(1024));
+        putMplsAt(F, 14 + D * 4, Label, D + 1 == Depth,
+                  16 + static_cast<uint8_t>(R.nextBelow(48)));
+      }
+      putIpv4At(F, 14 + Depth * 4, 0x0A000001, 0x0B010203, 64, 6);
+      T.push_back({std::move(F), Port});
+    } else if (Kind < 90) {
+      // Plain IP for the ingress LER.
+      uint32_t Dst = ((0x0B00u + static_cast<uint32_t>(R.nextBelow(32)) * 11)
+                      << 16) |
+                     static_cast<uint32_t>(R.nextBelow(0x10000));
+      std::vector<uint8_t> F = etherFrame(portMac(Port), hostMac(I & 63),
+                                          0x0800);
+      putIpv4At(F, 14, 0x0A000001, Dst, 64, 6);
+      T.push_back({std::move(F), Port});
+    } else {
+      // Unknown ethertype (dropped).
+      std::vector<uint8_t> F = etherFrame(portMac(Port), hostMac(I & 63),
+                                          0x86DD);
+      T.push_back({std::move(F), Port});
+    }
+  }
+  return T;
+}
+
+std::vector<AppBundle> sl::apps::allApps() {
+  return {l3switch(), firewall(), mpls()};
+}

@@ -1,0 +1,48 @@
+//===- apps/Apps.h - the paper's three benchmark applications --------------------==//
+//
+// Baker implementations of the PLDI'05 evaluation workloads:
+//   L3-Switch — NPF IP forwarding: L2 classification, MAC-table bridging,
+//               trie route lookup, TTL/checksum update, re-encapsulation.
+//   Firewall  — ordered-rule 5-tuple classifier between two networks, with
+//               an options/slow path handled off the fast path.
+//   MPLS      — NPF MPLS forwarding: ingress label push, LSR swap /
+//               swap+push / pop (incl. stacked labels), egress to IP.
+//
+// Each bundle packages the Baker source, a deterministic control-plane
+// table configuration, the metadata fields Tx consumes, and an NPF-like
+// synthetic trace generator.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SL_APPS_APPS_H
+#define SL_APPS_APPS_H
+
+#include "driver/Compiler.h"
+#include "profile/Profiler.h"
+
+#include <string>
+#include <vector>
+
+namespace sl::apps {
+
+struct AppBundle {
+  std::string Name;
+  const char *Source = nullptr;
+  std::vector<driver::TableInit> Tables;
+  std::vector<std::string> TxMetaFields;
+
+  /// Generates a representative trace of \p N frames (64-byte minimum
+  /// frames unless the app needs larger).
+  profile::Trace makeTrace(uint64_t Seed, unsigned N) const;
+};
+
+AppBundle l3switch();
+AppBundle firewall();
+AppBundle mpls();
+
+/// All three, in paper order.
+std::vector<AppBundle> allApps();
+
+} // namespace sl::apps
+
+#endif // SL_APPS_APPS_H

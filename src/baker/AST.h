@@ -1,0 +1,463 @@
+//===- baker/AST.h - Baker abstract syntax tree ---------------------------==//
+//
+// The AST produced by the parser and annotated by Sema. Ownership is by
+// unique_ptr along the tree; cross references installed by Sema are raw
+// pointers into the same tree.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SL_BAKER_AST_H
+#define SL_BAKER_AST_H
+
+#include "baker/Type.h"
+#include "support/Casting.h"
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sl::baker {
+
+class Expr;
+class Stmt;
+class FuncDecl;
+class GlobalDecl;
+class VarDeclStmt;
+class ParamDecl;
+
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Base class of all Baker expressions. After Sema runs, every expression
+/// carries its computed type in Ty.
+class Expr {
+public:
+  enum class Kind {
+    IntLit,
+    BoolLit,
+    VarRef,
+    Unary,
+    Binary,
+    Cond,
+    Assign,
+    Call,
+    Index,
+    PktField,
+    MetaField,
+  };
+
+  virtual ~Expr() = default;
+
+  Kind kind() const { return K; }
+  SourceLoc Loc;
+  Type Ty; ///< Filled in by Sema.
+
+protected:
+  explicit Expr(Kind K, SourceLoc Loc) : Loc(Loc), K(K) {}
+
+private:
+  Kind K;
+};
+
+/// An integer literal, e.g. `0x0800`.
+class IntLitExpr : public Expr {
+public:
+  IntLitExpr(uint64_t Value, SourceLoc Loc)
+      : Expr(Kind::IntLit, Loc), Value(Value) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::IntLit; }
+
+  uint64_t Value;
+};
+
+/// `true` or `false`.
+class BoolLitExpr : public Expr {
+public:
+  BoolLitExpr(bool Value, SourceLoc Loc)
+      : Expr(Kind::BoolLit, Loc), Value(Value) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::BoolLit; }
+
+  bool Value;
+};
+
+/// A reference to a local variable, parameter, or module global.
+class VarRefExpr : public Expr {
+public:
+  VarRefExpr(std::string Name, SourceLoc Loc)
+      : Expr(Kind::VarRef, Loc), Name(std::move(Name)) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::VarRef; }
+
+  std::string Name;
+
+  // Exactly one of these is set by Sema.
+  VarDeclStmt *LocalDecl = nullptr;
+  ParamDecl *Param = nullptr;
+  GlobalDecl *Global = nullptr;
+};
+
+/// Unary operators.
+enum class UnOp { Neg, Not, BitNot };
+
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(UnOp Op, ExprPtr Sub, SourceLoc Loc)
+      : Expr(Kind::Unary, Loc), Op(Op), Sub(std::move(Sub)) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::Unary; }
+
+  UnOp Op;
+  ExprPtr Sub;
+};
+
+/// Binary operators (no assignment; see AssignExpr).
+enum class BinOp {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  Shr,
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  LogAnd,
+  LogOr,
+};
+
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(BinOp Op, ExprPtr LHS, ExprPtr RHS, SourceLoc Loc)
+      : Expr(Kind::Binary, Loc), Op(Op), LHS(std::move(LHS)),
+        RHS(std::move(RHS)) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::Binary; }
+
+  BinOp Op;
+  ExprPtr LHS, RHS;
+};
+
+/// The ternary conditional `c ? a : b`.
+class CondExpr : public Expr {
+public:
+  CondExpr(ExprPtr C, ExprPtr T, ExprPtr F, SourceLoc Loc)
+      : Expr(Kind::Cond, Loc), Cond(std::move(C)), TrueE(std::move(T)),
+        FalseE(std::move(F)) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::Cond; }
+
+  ExprPtr Cond, TrueE, FalseE;
+};
+
+/// Assignment `lhs = rhs` (also +=, -= desugared by the parser). The LHS
+/// must be a variable, array element, packet field, or metadata field.
+class AssignExpr : public Expr {
+public:
+  AssignExpr(ExprPtr LHS, ExprPtr RHS, SourceLoc Loc)
+      : Expr(Kind::Assign, Loc), LHS(std::move(LHS)), RHS(std::move(RHS)) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::Assign; }
+
+  ExprPtr LHS, RHS;
+};
+
+/// The packet-primitive builtins recognized by Sema.
+enum class Builtin {
+  None,       ///< Ordinary user function call.
+  Decap,      ///< packet_decap(ph)
+  Encap,      ///< packet_encap(ph)
+  Copy,       ///< packet_copy(ph)
+  Drop,       ///< packet_drop(ph)
+  ChannelPut, ///< channel_put(cc, ph)
+  PktLength,  ///< packet_length(ph)
+};
+
+/// A function call: either a user helper function or a builtin primitive.
+class CallExpr : public Expr {
+public:
+  CallExpr(std::string Callee, std::vector<ExprPtr> Args, SourceLoc Loc)
+      : Expr(Kind::Call, Loc), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::Call; }
+
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+
+  Builtin BI = Builtin::None; ///< Set by Sema.
+  FuncDecl *CalleeDecl = nullptr;
+  unsigned ChannelId = 0;   ///< For ChannelPut, set by Sema.
+  std::string EncapProto;   ///< For Encap/Decap: target protocol.
+};
+
+/// Array indexing on a module global: `table[i]`.
+class IndexExpr : public Expr {
+public:
+  IndexExpr(ExprPtr Base, ExprPtr Index, SourceLoc Loc)
+      : Expr(Kind::Index, Loc), Base(std::move(Base)),
+        Index(std::move(Index)) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::Index; }
+
+  ExprPtr Base, Index;
+};
+
+/// Protocol field access `ph->field`.
+class PktFieldExpr : public Expr {
+public:
+  PktFieldExpr(ExprPtr Handle, std::string Field, SourceLoc Loc)
+      : Expr(Kind::PktField, Loc), Handle(std::move(Handle)),
+        Field(std::move(Field)) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::PktField; }
+
+  ExprPtr Handle;
+  std::string Field;
+  unsigned BitOff = 0;   ///< Offset within header; set by Sema.
+  unsigned BitWidth = 0; ///< Field width; set by Sema.
+};
+
+/// Metadata access `ph->meta.field`.
+class MetaFieldExpr : public Expr {
+public:
+  MetaFieldExpr(ExprPtr Handle, std::string Field, SourceLoc Loc)
+      : Expr(Kind::MetaField, Loc), Handle(std::move(Handle)),
+        Field(std::move(Field)) {}
+  static bool classof(const Expr *E) { return E->kind() == Kind::MetaField; }
+
+  ExprPtr Handle;
+  std::string Field;
+  unsigned BitOff = 0;   ///< Offset within metadata block; set by Sema.
+  unsigned BitWidth = 0; ///< Field width; set by Sema.
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+class Stmt {
+public:
+  enum class Kind {
+    Block,
+    If,
+    While,
+    For,
+    Return,
+    Break,
+    Continue,
+    VarDecl,
+    Expr,
+    Critical,
+  };
+
+  virtual ~Stmt() = default;
+  Kind kind() const { return K; }
+  SourceLoc Loc;
+
+protected:
+  explicit Stmt(Kind K, SourceLoc Loc) : Loc(Loc), K(K) {}
+
+private:
+  Kind K;
+};
+
+class BlockStmt : public Stmt {
+public:
+  BlockStmt(std::vector<StmtPtr> Body, SourceLoc Loc)
+      : Stmt(Kind::Block, Loc), Body(std::move(Body)) {}
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Block; }
+
+  std::vector<StmtPtr> Body;
+};
+
+class IfStmt : public Stmt {
+public:
+  IfStmt(ExprPtr Cond, StmtPtr Then, StmtPtr Else, SourceLoc Loc)
+      : Stmt(Kind::If, Loc), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+  static bool classof(const Stmt *S) { return S->kind() == Kind::If; }
+
+  ExprPtr Cond;
+  StmtPtr Then, Else; ///< Else may be null.
+};
+
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(ExprPtr Cond, StmtPtr Body, SourceLoc Loc)
+      : Stmt(Kind::While, Loc), Cond(std::move(Cond)), Body(std::move(Body)) {}
+  static bool classof(const Stmt *S) { return S->kind() == Kind::While; }
+
+  ExprPtr Cond;
+  StmtPtr Body;
+};
+
+class ForStmt : public Stmt {
+public:
+  ForStmt(StmtPtr Init, ExprPtr Cond, ExprPtr Step, StmtPtr Body,
+          SourceLoc Loc)
+      : Stmt(Kind::For, Loc), Init(std::move(Init)), Cond(std::move(Cond)),
+        Step(std::move(Step)), Body(std::move(Body)) {}
+  static bool classof(const Stmt *S) { return S->kind() == Kind::For; }
+
+  StmtPtr Init; ///< May be null; a VarDecl or Expr statement.
+  ExprPtr Cond; ///< May be null (infinite loop).
+  ExprPtr Step; ///< May be null.
+  StmtPtr Body;
+};
+
+class ReturnStmt : public Stmt {
+public:
+  ReturnStmt(ExprPtr Value, SourceLoc Loc)
+      : Stmt(Kind::Return, Loc), Value(std::move(Value)) {}
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Return; }
+
+  ExprPtr Value; ///< May be null for `return;`.
+};
+
+class BreakStmt : public Stmt {
+public:
+  explicit BreakStmt(SourceLoc Loc) : Stmt(Kind::Break, Loc) {}
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Break; }
+};
+
+class ContinueStmt : public Stmt {
+public:
+  explicit ContinueStmt(SourceLoc Loc) : Stmt(Kind::Continue, Loc) {}
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Continue; }
+};
+
+/// A local variable declaration, scalar or packet handle.
+class VarDeclStmt : public Stmt {
+public:
+  VarDeclStmt(Type Ty, std::string Name, ExprPtr Init, SourceLoc Loc)
+      : Stmt(Kind::VarDecl, Loc), DeclTy(Ty), Name(std::move(Name)),
+        Init(std::move(Init)) {}
+  static bool classof(const Stmt *S) { return S->kind() == Kind::VarDecl; }
+
+  Type DeclTy;
+  std::string Name;
+  ExprPtr Init; ///< May be null for scalars; required for packet handles.
+};
+
+class ExprStmt : public Stmt {
+public:
+  ExprStmt(ExprPtr E, SourceLoc Loc) : Stmt(Kind::Expr, Loc), E(std::move(E)) {}
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Expr; }
+
+  ExprPtr E;
+};
+
+/// `critical (lockname) { ... }` — a named critical section.
+class CriticalStmt : public Stmt {
+public:
+  CriticalStmt(std::string LockName, StmtPtr Body, SourceLoc Loc)
+      : Stmt(Kind::Critical, Loc), LockName(std::move(LockName)),
+        Body(std::move(Body)) {}
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Critical; }
+
+  std::string LockName;
+  StmtPtr Body;
+  unsigned LockId = 0; ///< Set by Sema.
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+/// One named bit-field in a protocol or the metadata block.
+struct BitField {
+  std::string Name;
+  unsigned Bits = 0;
+  unsigned BitOff = 0; ///< Computed by Sema.
+  SourceLoc Loc;
+};
+
+/// `protocol NAME { fields...; demux { expr }; };`
+struct ProtocolDecl {
+  std::string Name;
+  std::vector<BitField> Fields;
+  ExprPtr Demux; ///< Header size in bytes; may reference field names.
+  SourceLoc Loc;
+
+  unsigned HeaderBits = 0;      ///< Sum of field widths; set by Sema.
+  bool DemuxIsConst = false;    ///< Set by Sema.
+  uint64_t DemuxConstBytes = 0; ///< Valid when DemuxIsConst.
+};
+
+/// `metadata { fields...; };` — the per-packet user metadata layout. The
+/// builtin field `rx_port : 16` is prepended implicitly.
+struct MetadataDecl {
+  std::vector<BitField> Fields;
+  SourceLoc Loc;
+};
+
+/// A module-scope global scalar or array.
+struct GlobalDecl {
+  Type ElemTy;
+  std::string Name;
+  uint64_t Count = 1;          ///< 1 for scalars.
+  bool IsArray = false;
+  std::vector<uint64_t> Init;  ///< Element initializers (may be empty).
+  SourceLoc Loc;
+  std::string ModuleName;
+};
+
+/// A function parameter.
+struct ParamDecl {
+  Type Ty;
+  std::string Name;
+  SourceLoc Loc;
+};
+
+/// A helper function or a PPF. PPFs have exactly one packet parameter and
+/// return void.
+struct FuncDecl {
+  Type RetTy;
+  std::string Name;
+  std::vector<ParamDecl> Params;
+  StmtPtr Body;
+  bool IsPpf = false;
+  SourceLoc Loc;
+  std::string ModuleName;
+};
+
+/// `channel NAME : PROTO;`
+struct ChannelDecl {
+  std::string Name;
+  std::string Proto;
+  SourceLoc Loc;
+  unsigned Id = 0;           ///< Set by Sema; 0 is the tx channel.
+  std::string DestPpf;       ///< Set from wiring.
+};
+
+/// `wire CHANNEL -> PPF;` — the channel named `rx` is the system input.
+struct WireDecl {
+  std::string From; ///< Channel name or `rx`.
+  std::string To;   ///< PPF name.
+  SourceLoc Loc;
+};
+
+/// A `module NAME { ... }` container.
+struct ModuleDecl {
+  std::string Name;
+  SourceLoc Loc;
+};
+
+/// The whole parsed program.
+struct Program {
+  std::vector<std::unique_ptr<ProtocolDecl>> Protocols;
+  std::unique_ptr<MetadataDecl> Metadata; ///< May be null.
+  std::vector<std::unique_ptr<ModuleDecl>> Modules;
+  std::vector<std::unique_ptr<GlobalDecl>> Globals;
+  std::vector<std::unique_ptr<FuncDecl>> Funcs;
+  std::vector<std::unique_ptr<ChannelDecl>> Channels;
+  std::vector<std::unique_ptr<WireDecl>> Wires;
+};
+
+} // namespace sl::baker
+
+#endif // SL_BAKER_AST_H

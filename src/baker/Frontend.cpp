@@ -1,0 +1,29 @@
+//===- baker/Frontend.cpp -------------------------------------------------==//
+
+#include "baker/Frontend.h"
+
+#include "baker/Lexer.h"
+#include "baker/Parser.h"
+
+using namespace sl;
+using namespace sl::baker;
+
+std::unique_ptr<CompiledUnit>
+sl::baker::parseAndAnalyze(const std::string &Source, DiagEngine &Diags) {
+  Lexer Lex(Source, Diags);
+  std::vector<Token> Toks = Lex.lexAll();
+  if (Diags.hasErrors())
+    return nullptr;
+
+  Parser P(std::move(Toks), Diags);
+  std::unique_ptr<Program> AST = P.parseProgram();
+  if (Diags.hasErrors() || !AST)
+    return nullptr;
+
+  auto Unit = std::make_unique<CompiledUnit>();
+  Unit->Sema = analyze(*AST, Diags);
+  Unit->AST = std::move(AST);
+  if (Diags.hasErrors())
+    return nullptr;
+  return Unit;
+}

@@ -1,0 +1,28 @@
+//===- baker/Frontend.h - one-call Baker frontend -------------------------==//
+
+#ifndef SL_BAKER_FRONTEND_H
+#define SL_BAKER_FRONTEND_H
+
+#include "baker/AST.h"
+#include "baker/Sema.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string>
+
+namespace sl::baker {
+
+/// A fully analyzed Baker program: the AST plus Sema's tables.
+struct CompiledUnit {
+  std::unique_ptr<Program> AST;
+  SemaResult Sema;
+};
+
+/// Lexes, parses and analyzes \p Source. Returns null on error (details in
+/// \p Diags).
+std::unique_ptr<CompiledUnit> parseAndAnalyze(const std::string &Source,
+                                              DiagEngine &Diags);
+
+} // namespace sl::baker
+
+#endif // SL_BAKER_FRONTEND_H

@@ -1,0 +1,379 @@
+//===- baker/Lexer.cpp ----------------------------------------------------==//
+
+#include "baker/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace sl;
+using namespace sl::baker;
+
+const char *sl::baker::tokKindName(TokKind Kind) {
+  switch (Kind) {
+  case TokKind::Eof:
+    return "end of file";
+  case TokKind::Identifier:
+    return "identifier";
+  case TokKind::IntLiteral:
+    return "integer literal";
+  case TokKind::KwProtocol:
+    return "'protocol'";
+  case TokKind::KwMetadata:
+    return "'metadata'";
+  case TokKind::KwModule:
+    return "'module'";
+  case TokKind::KwChannel:
+    return "'channel'";
+  case TokKind::KwWire:
+    return "'wire'";
+  case TokKind::KwDemux:
+    return "'demux'";
+  case TokKind::KwPpf:
+    return "'ppf'";
+  case TokKind::KwCritical:
+    return "'critical'";
+  case TokKind::KwIf:
+    return "'if'";
+  case TokKind::KwElse:
+    return "'else'";
+  case TokKind::KwWhile:
+    return "'while'";
+  case TokKind::KwFor:
+    return "'for'";
+  case TokKind::KwReturn:
+    return "'return'";
+  case TokKind::KwBreak:
+    return "'break'";
+  case TokKind::KwContinue:
+    return "'continue'";
+  case TokKind::KwTrue:
+    return "'true'";
+  case TokKind::KwFalse:
+    return "'false'";
+  case TokKind::KwVoid:
+    return "'void'";
+  case TokKind::KwBool:
+    return "'bool'";
+  case TokKind::KwInt:
+    return "'int'";
+  case TokKind::KwU8:
+    return "'u8'";
+  case TokKind::KwU16:
+    return "'u16'";
+  case TokKind::KwU32:
+    return "'u32'";
+  case TokKind::KwU64:
+    return "'u64'";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::LBracket:
+    return "'['";
+  case TokKind::RBracket:
+    return "']'";
+  case TokKind::Semi:
+    return "';'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Colon:
+    return "':'";
+  case TokKind::Dot:
+    return "'.'";
+  case TokKind::Arrow:
+  case TokKind::WireArrow:
+    return "'->'";
+  case TokKind::Assign:
+    return "'='";
+  case TokKind::PlusAssign:
+    return "'+='";
+  case TokKind::MinusAssign:
+    return "'-='";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Slash:
+    return "'/'";
+  case TokKind::Percent:
+    return "'%'";
+  case TokKind::Amp:
+    return "'&'";
+  case TokKind::Pipe:
+    return "'|'";
+  case TokKind::Caret:
+    return "'^'";
+  case TokKind::Tilde:
+    return "'~'";
+  case TokKind::Bang:
+    return "'!'";
+  case TokKind::Shl:
+    return "'<<'";
+  case TokKind::Shr:
+    return "'>>'";
+  case TokKind::Lt:
+    return "'<'";
+  case TokKind::Gt:
+    return "'>'";
+  case TokKind::Le:
+    return "'<='";
+  case TokKind::Ge:
+    return "'>='";
+  case TokKind::EqEq:
+    return "'=='";
+  case TokKind::NotEq:
+    return "'!='";
+  case TokKind::AmpAmp:
+    return "'&&'";
+  case TokKind::PipePipe:
+    return "'||'";
+  case TokKind::Question:
+    return "'?'";
+  }
+  return "<unknown token>";
+}
+
+Lexer::Lexer(std::string Source, DiagEngine &Diags)
+    : Src(std::move(Source)), Diags(Diags) {}
+
+char Lexer::peek(unsigned Ahead) const {
+  return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char C = Src[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+void Lexer::skipTrivia() {
+  while (!atEnd()) {
+    char C = peek();
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (!atEnd() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLoc Start = here();
+      advance();
+      advance();
+      bool Closed = false;
+      while (!atEnd()) {
+        if (peek() == '*' && peek(1) == '/') {
+          advance();
+          advance();
+          Closed = true;
+          break;
+        }
+        advance();
+      }
+      if (!Closed)
+        Diags.error(Start, "unterminated block comment");
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::lexNumber() {
+  Token T;
+  T.Kind = TokKind::IntLiteral;
+  T.Loc = here();
+  uint64_t Val = 0;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    advance();
+    advance();
+    bool Any = false;
+    while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+      char C = advance();
+      unsigned Digit = std::isdigit(static_cast<unsigned char>(C))
+                           ? unsigned(C - '0')
+                           : unsigned(std::tolower(C) - 'a') + 10;
+      Val = Val * 16 + Digit;
+      Any = true;
+    }
+    if (!Any)
+      Diags.error(T.Loc, "hexadecimal literal has no digits");
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      Val = Val * 10 + unsigned(advance() - '0');
+  }
+  T.IntVal = Val;
+  return T;
+}
+
+Token Lexer::lexIdentifier() {
+  static const std::unordered_map<std::string, TokKind> Keywords = {
+      {"protocol", TokKind::KwProtocol}, {"metadata", TokKind::KwMetadata},
+      {"module", TokKind::KwModule},     {"channel", TokKind::KwChannel},
+      {"wire", TokKind::KwWire},         {"demux", TokKind::KwDemux},
+      {"ppf", TokKind::KwPpf},           {"critical", TokKind::KwCritical},
+      {"if", TokKind::KwIf},             {"else", TokKind::KwElse},
+      {"while", TokKind::KwWhile},       {"for", TokKind::KwFor},
+      {"return", TokKind::KwReturn},     {"break", TokKind::KwBreak},
+      {"continue", TokKind::KwContinue}, {"true", TokKind::KwTrue},
+      {"false", TokKind::KwFalse},       {"void", TokKind::KwVoid},
+      {"bool", TokKind::KwBool},         {"int", TokKind::KwInt},
+      {"u8", TokKind::KwU8},             {"u16", TokKind::KwU16},
+      {"u32", TokKind::KwU32},           {"u64", TokKind::KwU64},
+  };
+
+  Token T;
+  T.Loc = here();
+  std::string Text;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    Text += advance();
+  auto It = Keywords.find(Text);
+  if (It != Keywords.end()) {
+    T.Kind = It->second;
+  } else {
+    T.Kind = TokKind::Identifier;
+    T.Text = std::move(Text);
+  }
+  return T;
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  Token T;
+  T.Loc = here();
+  if (atEnd()) {
+    T.Kind = TokKind::Eof;
+    return T;
+  }
+  char C = peek();
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifier();
+
+  advance();
+  auto two = [&](char Next, TokKind Both, TokKind One) {
+    if (peek() == Next) {
+      advance();
+      T.Kind = Both;
+    } else {
+      T.Kind = One;
+    }
+    return T;
+  };
+
+  switch (C) {
+  case '{':
+    T.Kind = TokKind::LBrace;
+    return T;
+  case '}':
+    T.Kind = TokKind::RBrace;
+    return T;
+  case '(':
+    T.Kind = TokKind::LParen;
+    return T;
+  case ')':
+    T.Kind = TokKind::RParen;
+    return T;
+  case '[':
+    T.Kind = TokKind::LBracket;
+    return T;
+  case ']':
+    T.Kind = TokKind::RBracket;
+    return T;
+  case ';':
+    T.Kind = TokKind::Semi;
+    return T;
+  case ',':
+    T.Kind = TokKind::Comma;
+    return T;
+  case ':':
+    T.Kind = TokKind::Colon;
+    return T;
+  case '.':
+    T.Kind = TokKind::Dot;
+    return T;
+  case '?':
+    T.Kind = TokKind::Question;
+    return T;
+  case '~':
+    T.Kind = TokKind::Tilde;
+    return T;
+  case '+':
+    return two('=', TokKind::PlusAssign, TokKind::Plus);
+  case '-':
+    if (peek() == '>') {
+      advance();
+      T.Kind = TokKind::Arrow;
+      return T;
+    }
+    return two('=', TokKind::MinusAssign, TokKind::Minus);
+  case '*':
+    T.Kind = TokKind::Star;
+    return T;
+  case '/':
+    T.Kind = TokKind::Slash;
+    return T;
+  case '%':
+    T.Kind = TokKind::Percent;
+    return T;
+  case '^':
+    T.Kind = TokKind::Caret;
+    return T;
+  case '&':
+    return two('&', TokKind::AmpAmp, TokKind::Amp);
+  case '|':
+    return two('|', TokKind::PipePipe, TokKind::Pipe);
+  case '!':
+    return two('=', TokKind::NotEq, TokKind::Bang);
+  case '=':
+    return two('=', TokKind::EqEq, TokKind::Assign);
+  case '<':
+    if (peek() == '<') {
+      advance();
+      T.Kind = TokKind::Shl;
+      return T;
+    }
+    return two('=', TokKind::Le, TokKind::Lt);
+  case '>':
+    if (peek() == '>') {
+      advance();
+      T.Kind = TokKind::Shr;
+      return T;
+    }
+    return two('=', TokKind::Ge, TokKind::Gt);
+  default:
+    Diags.error(T.Loc, "unexpected character '%c'", C);
+    T.Kind = TokKind::Eof;
+    return T;
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Toks;
+  while (true) {
+    Token T = next();
+    bool Done = T.is(TokKind::Eof);
+    Toks.push_back(std::move(T));
+    if (Done || Diags.hasErrors())
+      break;
+  }
+  if (!Toks.back().is(TokKind::Eof)) {
+    Token T;
+    T.Kind = TokKind::Eof;
+    Toks.push_back(T);
+  }
+  return Toks;
+}

@@ -1,0 +1,43 @@
+//===- baker/Lexer.h - Baker lexer ----------------------------------------==//
+
+#ifndef SL_BAKER_LEXER_H
+#define SL_BAKER_LEXER_H
+
+#include "baker/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace sl::baker {
+
+/// Converts Baker source text into a token stream. Supports //- and /*-style
+/// comments, decimal and hexadecimal integer literals, and reports malformed
+/// input through the DiagEngine.
+class Lexer {
+public:
+  Lexer(std::string Source, DiagEngine &Diags);
+
+  /// Lexes the whole buffer. Always ends with an Eof token.
+  std::vector<Token> lexAll();
+
+private:
+  Token next();
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool atEnd() const { return Pos >= Src.size(); }
+  SourceLoc here() const { return SourceLoc(Line, Col); }
+  void skipTrivia();
+  Token lexNumber();
+  Token lexIdentifier();
+
+  std::string Src;
+  DiagEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+};
+
+} // namespace sl::baker
+
+#endif // SL_BAKER_LEXER_H

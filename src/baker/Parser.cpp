@@ -1,0 +1,962 @@
+//===- baker/Parser.cpp ---------------------------------------------------==//
+
+#include "baker/Parser.h"
+
+#include <cassert>
+
+using namespace sl;
+using namespace sl::baker;
+
+Parser::Parser(std::vector<Token> Toks, DiagEngine &Diags)
+    : Toks(std::move(Toks)), Diags(Diags) {
+  assert(!this->Toks.empty() && this->Toks.back().is(TokKind::Eof) &&
+         "token stream must end with Eof");
+}
+
+Token Parser::take() {
+  Token T = Toks[Pos];
+  if (!T.is(TokKind::Eof))
+    ++Pos;
+  return T;
+}
+
+bool Parser::accept(TokKind K) {
+  if (!cur().is(K))
+    return false;
+  take();
+  return true;
+}
+
+bool Parser::expect(TokKind K, const char *Ctx) {
+  if (accept(K))
+    return true;
+  Diags.error(cur().Loc, "expected %s %s, found %s", tokKindName(K), Ctx,
+              tokKindName(cur().Kind));
+  return false;
+}
+
+/// After an error, skip to the next ';' or '}' so parsing can continue.
+void Parser::skipToRecovery() {
+  while (!cur().is(TokKind::Eof)) {
+    TokKind K = take().Kind;
+    if (K == TokKind::Semi || K == TokKind::RBrace)
+      return;
+  }
+}
+
+bool Parser::isTypeToken(TokKind K) const {
+  switch (K) {
+  case TokKind::KwVoid:
+  case TokKind::KwBool:
+  case TokKind::KwInt:
+  case TokKind::KwU8:
+  case TokKind::KwU16:
+  case TokKind::KwU32:
+  case TokKind::KwU64:
+    return true;
+  default:
+    return false;
+  }
+}
+
+Type Parser::parseScalarType() {
+  Token T = take();
+  switch (T.Kind) {
+  case TokKind::KwVoid:
+    return Type::makeVoid();
+  case TokKind::KwBool:
+    return Type::makeBool();
+  case TokKind::KwInt:
+    return Type::makeInt(32, /*IsSigned=*/true);
+  case TokKind::KwU8:
+    return Type::makeInt(8, false);
+  case TokKind::KwU16:
+    return Type::makeInt(16, false);
+  case TokKind::KwU32:
+    return Type::makeInt(32, false);
+  case TokKind::KwU64:
+    return Type::makeInt(64, false);
+  default:
+    Diags.error(T.Loc, "expected a type, found %s", tokKindName(T.Kind));
+    return Type::makeInt(32, false);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Program> Parser::parseProgram() {
+  auto P = std::make_unique<Program>();
+  while (!cur().is(TokKind::Eof) && !Diags.hasErrors())
+    parseTopLevel(*P);
+  return P;
+}
+
+void Parser::parseTopLevel(Program &P) {
+  switch (cur().Kind) {
+  case TokKind::KwProtocol:
+    if (auto D = parseProtocol())
+      P.Protocols.push_back(std::move(D));
+    return;
+  case TokKind::KwMetadata: {
+    auto M = parseMetadata();
+    if (!M)
+      return;
+    if (P.Metadata) {
+      Diags.error(M->Loc, "duplicate metadata declaration");
+      return;
+    }
+    P.Metadata = std::move(M);
+    return;
+  }
+  case TokKind::KwModule:
+    parseModule(P);
+    return;
+  case TokKind::KwPpf: {
+    if (auto F = parsePpf(""))
+      P.Funcs.push_back(std::move(F));
+    return;
+  }
+  default:
+    if (isTypeToken(cur().Kind)) {
+      parseGlobalOrFunc(P, "");
+      return;
+    }
+    Diags.error(cur().Loc, "expected a top-level declaration, found %s",
+                tokKindName(cur().Kind));
+    skipToRecovery();
+  }
+}
+
+std::unique_ptr<ProtocolDecl> Parser::parseProtocol() {
+  auto D = std::make_unique<ProtocolDecl>();
+  D->Loc = cur().Loc;
+  take(); // 'protocol'
+  if (!cur().is(TokKind::Identifier)) {
+    Diags.error(cur().Loc, "expected protocol name");
+    skipToRecovery();
+    return nullptr;
+  }
+  D->Name = take().Text;
+  if (!expect(TokKind::LBrace, "after protocol name"))
+    return nullptr;
+
+  while (!cur().is(TokKind::RBrace) && !cur().is(TokKind::Eof)) {
+    if (cur().is(TokKind::KwDemux)) {
+      SourceLoc DLoc = take().Loc;
+      if (!expect(TokKind::LBrace, "after 'demux'"))
+        return nullptr;
+      D->Demux = parseExpr();
+      if (!D->Demux)
+        return nullptr;
+      D->Demux->Loc = DLoc;
+      if (!expect(TokKind::RBrace, "after demux expression") ||
+          !expect(TokKind::Semi, "after demux clause"))
+        return nullptr;
+      continue;
+    }
+    BitField F;
+    F.Loc = cur().Loc;
+    if (!cur().is(TokKind::Identifier)) {
+      Diags.error(cur().Loc, "expected field name in protocol '%s'",
+                  D->Name.c_str());
+      skipToRecovery();
+      return nullptr;
+    }
+    F.Name = take().Text;
+    if (!expect(TokKind::Colon, "after field name"))
+      return nullptr;
+    if (!cur().is(TokKind::IntLiteral)) {
+      Diags.error(cur().Loc, "expected field bit width");
+      return nullptr;
+    }
+    F.Bits = static_cast<unsigned>(take().IntVal);
+    if (!expect(TokKind::Semi, "after field width"))
+      return nullptr;
+    D->Fields.push_back(std::move(F));
+  }
+  if (!expect(TokKind::RBrace, "to close protocol"))
+    return nullptr;
+  accept(TokKind::Semi);
+  if (!D->Demux)
+    Diags.error(D->Loc, "protocol '%s' is missing a demux clause",
+                D->Name.c_str());
+  return D;
+}
+
+std::unique_ptr<MetadataDecl> Parser::parseMetadata() {
+  auto D = std::make_unique<MetadataDecl>();
+  D->Loc = cur().Loc;
+  take(); // 'metadata'
+  if (!expect(TokKind::LBrace, "after 'metadata'"))
+    return nullptr;
+  while (!cur().is(TokKind::RBrace) && !cur().is(TokKind::Eof)) {
+    BitField F;
+    F.Loc = cur().Loc;
+    if (!cur().is(TokKind::Identifier)) {
+      Diags.error(cur().Loc, "expected metadata field name");
+      skipToRecovery();
+      return nullptr;
+    }
+    F.Name = take().Text;
+    if (!expect(TokKind::Colon, "after metadata field name"))
+      return nullptr;
+    if (!cur().is(TokKind::IntLiteral)) {
+      Diags.error(cur().Loc, "expected metadata field bit width");
+      return nullptr;
+    }
+    F.Bits = static_cast<unsigned>(take().IntVal);
+    if (!expect(TokKind::Semi, "after metadata field"))
+      return nullptr;
+    D->Fields.push_back(std::move(F));
+  }
+  if (!expect(TokKind::RBrace, "to close metadata"))
+    return nullptr;
+  accept(TokKind::Semi);
+  return D;
+}
+
+void Parser::parseModule(Program &P) {
+  auto M = std::make_unique<ModuleDecl>();
+  M->Loc = cur().Loc;
+  take(); // 'module'
+  if (!cur().is(TokKind::Identifier)) {
+    Diags.error(cur().Loc, "expected module name");
+    skipToRecovery();
+    return;
+  }
+  M->Name = take().Text;
+  if (!expect(TokKind::LBrace, "after module name"))
+    return;
+  std::string ModName = M->Name;
+  P.Modules.push_back(std::move(M));
+  while (!cur().is(TokKind::RBrace) && !cur().is(TokKind::Eof) &&
+         !Diags.hasErrors())
+    parseModuleItem(P, ModName);
+  expect(TokKind::RBrace, "to close module");
+  accept(TokKind::Semi);
+}
+
+void Parser::parseModuleItem(Program &P, const std::string &ModName) {
+  switch (cur().Kind) {
+  case TokKind::KwChannel:
+    if (auto C = parseChannel())
+      P.Channels.push_back(std::move(C));
+    return;
+  case TokKind::KwWire:
+    if (auto W = parseWire())
+      P.Wires.push_back(std::move(W));
+    return;
+  case TokKind::KwPpf:
+    if (auto F = parsePpf(ModName))
+      P.Funcs.push_back(std::move(F));
+    return;
+  default:
+    if (isTypeToken(cur().Kind)) {
+      parseGlobalOrFunc(P, ModName);
+      return;
+    }
+    Diags.error(cur().Loc, "expected a module item, found %s",
+                tokKindName(cur().Kind));
+    skipToRecovery();
+  }
+}
+
+std::unique_ptr<ChannelDecl> Parser::parseChannel() {
+  auto C = std::make_unique<ChannelDecl>();
+  C->Loc = cur().Loc;
+  take(); // 'channel'
+  if (!cur().is(TokKind::Identifier)) {
+    Diags.error(cur().Loc, "expected channel name");
+    skipToRecovery();
+    return nullptr;
+  }
+  C->Name = take().Text;
+  if (!expect(TokKind::Colon, "after channel name"))
+    return nullptr;
+  if (!cur().is(TokKind::Identifier)) {
+    Diags.error(cur().Loc, "expected protocol name after ':'");
+    return nullptr;
+  }
+  C->Proto = take().Text;
+  if (!expect(TokKind::Semi, "after channel declaration"))
+    return nullptr;
+  return C;
+}
+
+std::unique_ptr<WireDecl> Parser::parseWire() {
+  auto W = std::make_unique<WireDecl>();
+  W->Loc = cur().Loc;
+  take(); // 'wire'
+  if (!cur().is(TokKind::Identifier)) {
+    Diags.error(cur().Loc, "expected channel name after 'wire'");
+    skipToRecovery();
+    return nullptr;
+  }
+  W->From = take().Text;
+  if (!expect(TokKind::Arrow, "in wire declaration"))
+    return nullptr;
+  if (!cur().is(TokKind::Identifier)) {
+    Diags.error(cur().Loc, "expected PPF name after '->'");
+    return nullptr;
+  }
+  W->To = take().Text;
+  if (!expect(TokKind::Semi, "after wire declaration"))
+    return nullptr;
+  return W;
+}
+
+std::unique_ptr<FuncDecl> Parser::parsePpf(const std::string &ModName) {
+  auto F = std::make_unique<FuncDecl>();
+  F->Loc = cur().Loc;
+  F->IsPpf = true;
+  F->RetTy = Type::makeVoid();
+  F->ModuleName = ModName;
+  take(); // 'ppf'
+  if (!cur().is(TokKind::Identifier)) {
+    Diags.error(cur().Loc, "expected PPF name");
+    skipToRecovery();
+    return nullptr;
+  }
+  F->Name = take().Text;
+  if (!expect(TokKind::LParen, "after PPF name"))
+    return nullptr;
+  F->Params = parseParamList();
+  if (!expect(TokKind::RParen, "after PPF parameter"))
+    return nullptr;
+  if (!cur().is(TokKind::LBrace)) {
+    Diags.error(cur().Loc, "expected PPF body");
+    return nullptr;
+  }
+  F->Body = parseBlock();
+  return F->Body ? std::move(F) : nullptr;
+}
+
+void Parser::parseGlobalOrFunc(Program &P, const std::string &ModName) {
+  SourceLoc Loc = cur().Loc;
+  Type Ty = parseScalarType();
+  if (!cur().is(TokKind::Identifier)) {
+    Diags.error(cur().Loc, "expected a name after type");
+    skipToRecovery();
+    return;
+  }
+  std::string Name = take().Text;
+
+  if (cur().is(TokKind::LParen)) {
+    // Helper function.
+    take();
+    auto F = std::make_unique<FuncDecl>();
+    F->Loc = Loc;
+    F->RetTy = Ty;
+    F->Name = std::move(Name);
+    F->ModuleName = ModName;
+    F->Params = parseParamList();
+    if (!expect(TokKind::RParen, "after parameter list"))
+      return;
+    if (!cur().is(TokKind::LBrace)) {
+      Diags.error(cur().Loc, "expected function body");
+      return;
+    }
+    F->Body = parseBlock();
+    if (F->Body)
+      P.Funcs.push_back(std::move(F));
+    return;
+  }
+
+  // Global variable or array.
+  auto G = std::make_unique<GlobalDecl>();
+  G->Loc = Loc;
+  G->ElemTy = Ty;
+  G->Name = std::move(Name);
+  G->ModuleName = ModName;
+  if (Ty.isVoid()) {
+    Diags.error(Loc, "global '%s' cannot have type void", G->Name.c_str());
+    skipToRecovery();
+    return;
+  }
+  if (accept(TokKind::LBracket)) {
+    if (!cur().is(TokKind::IntLiteral)) {
+      Diags.error(cur().Loc, "expected array size");
+      skipToRecovery();
+      return;
+    }
+    G->Count = take().IntVal;
+    G->IsArray = true;
+    if (!expect(TokKind::RBracket, "after array size"))
+      return;
+    if (G->Count == 0) {
+      Diags.error(Loc, "array '%s' has zero size", G->Name.c_str());
+      return;
+    }
+  }
+  if (accept(TokKind::Assign)) {
+    if (accept(TokKind::LBrace)) {
+      while (!cur().is(TokKind::RBrace)) {
+        if (!cur().is(TokKind::IntLiteral)) {
+          Diags.error(cur().Loc, "expected integer initializer");
+          skipToRecovery();
+          return;
+        }
+        G->Init.push_back(take().IntVal);
+        if (!accept(TokKind::Comma))
+          break;
+      }
+      if (!expect(TokKind::RBrace, "to close initializer list"))
+        return;
+    } else if (cur().is(TokKind::IntLiteral)) {
+      G->Init.push_back(take().IntVal);
+    } else {
+      Diags.error(cur().Loc, "expected constant initializer");
+      skipToRecovery();
+      return;
+    }
+  }
+  if (!expect(TokKind::Semi, "after global declaration"))
+    return;
+  if (G->Init.size() > G->Count) {
+    Diags.error(G->Loc, "too many initializers for '%s'", G->Name.c_str());
+    return;
+  }
+  P.Globals.push_back(std::move(G));
+}
+
+std::vector<ParamDecl> Parser::parseParamList() {
+  std::vector<ParamDecl> Params;
+  if (cur().is(TokKind::RParen) || cur().is(TokKind::KwVoid)) {
+    accept(TokKind::KwVoid);
+    return Params;
+  }
+  while (true) {
+    ParamDecl D;
+    D.Loc = cur().Loc;
+    if (cur().is(TokKind::Identifier)) {
+      // Packet parameter: `<proto>_pkt * name`.
+      std::string TyName = take().Text;
+      const std::string Suffix = "_pkt";
+      if (TyName.size() <= Suffix.size() ||
+          TyName.compare(TyName.size() - Suffix.size(), Suffix.size(),
+                         Suffix) != 0) {
+        Diags.error(D.Loc, "unknown parameter type '%s' (packet parameters "
+                           "are written '<proto>_pkt * name')",
+                    TyName.c_str());
+        return Params;
+      }
+      std::string Proto = TyName.substr(0, TyName.size() - Suffix.size());
+      if (!expect(TokKind::Star, "in packet parameter"))
+        return Params;
+      D.Ty = Type::makePacket(Proto);
+    } else {
+      D.Ty = parseScalarType();
+    }
+    if (!cur().is(TokKind::Identifier)) {
+      Diags.error(cur().Loc, "expected parameter name");
+      return Params;
+    }
+    D.Name = take().Text;
+    Params.push_back(std::move(D));
+    if (!accept(TokKind::Comma))
+      return Params;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+StmtPtr Parser::parseBlock() {
+  SourceLoc Loc = cur().Loc;
+  if (!expect(TokKind::LBrace, "to open block"))
+    return nullptr;
+  std::vector<StmtPtr> Body;
+  while (!cur().is(TokKind::RBrace) && !cur().is(TokKind::Eof) &&
+         !Diags.hasErrors()) {
+    StmtPtr S = parseStmt();
+    if (!S)
+      return nullptr;
+    Body.push_back(std::move(S));
+  }
+  if (!expect(TokKind::RBrace, "to close block"))
+    return nullptr;
+  return std::make_unique<BlockStmt>(std::move(Body), Loc);
+}
+
+StmtPtr Parser::parseStmt() {
+  switch (cur().Kind) {
+  case TokKind::LBrace:
+    return parseBlock();
+  case TokKind::KwIf:
+    return parseIf();
+  case TokKind::KwWhile:
+    return parseWhile();
+  case TokKind::KwFor:
+    return parseFor();
+  case TokKind::KwCritical:
+    return parseCritical();
+  case TokKind::KwReturn: {
+    SourceLoc Loc = take().Loc;
+    ExprPtr V;
+    if (!cur().is(TokKind::Semi)) {
+      V = parseExpr();
+      if (!V)
+        return nullptr;
+    }
+    if (!expect(TokKind::Semi, "after return"))
+      return nullptr;
+    return std::make_unique<ReturnStmt>(std::move(V), Loc);
+  }
+  case TokKind::KwBreak: {
+    SourceLoc Loc = take().Loc;
+    if (!expect(TokKind::Semi, "after break"))
+      return nullptr;
+    return std::make_unique<BreakStmt>(Loc);
+  }
+  case TokKind::KwContinue: {
+    SourceLoc Loc = take().Loc;
+    if (!expect(TokKind::Semi, "after continue"))
+      return nullptr;
+    return std::make_unique<ContinueStmt>(Loc);
+  }
+  default:
+    return parseVarDeclOrExprStmt(/*ConsumeSemi=*/true);
+  }
+}
+
+StmtPtr Parser::parseIf() {
+  SourceLoc Loc = take().Loc; // 'if'
+  if (!expect(TokKind::LParen, "after 'if'"))
+    return nullptr;
+  ExprPtr Cond = parseExpr();
+  if (!Cond || !expect(TokKind::RParen, "after if condition"))
+    return nullptr;
+  StmtPtr Then = parseStmt();
+  if (!Then)
+    return nullptr;
+  StmtPtr Else;
+  if (accept(TokKind::KwElse)) {
+    Else = parseStmt();
+    if (!Else)
+      return nullptr;
+  }
+  return std::make_unique<IfStmt>(std::move(Cond), std::move(Then),
+                                  std::move(Else), Loc);
+}
+
+StmtPtr Parser::parseWhile() {
+  SourceLoc Loc = take().Loc; // 'while'
+  if (!expect(TokKind::LParen, "after 'while'"))
+    return nullptr;
+  ExprPtr Cond = parseExpr();
+  if (!Cond || !expect(TokKind::RParen, "after while condition"))
+    return nullptr;
+  StmtPtr Body = parseStmt();
+  if (!Body)
+    return nullptr;
+  return std::make_unique<WhileStmt>(std::move(Cond), std::move(Body), Loc);
+}
+
+StmtPtr Parser::parseFor() {
+  SourceLoc Loc = take().Loc; // 'for'
+  if (!expect(TokKind::LParen, "after 'for'"))
+    return nullptr;
+  StmtPtr Init;
+  if (!accept(TokKind::Semi)) {
+    Init = parseVarDeclOrExprStmt(/*ConsumeSemi=*/true);
+    if (!Init)
+      return nullptr;
+  }
+  ExprPtr Cond;
+  if (!cur().is(TokKind::Semi)) {
+    Cond = parseExpr();
+    if (!Cond)
+      return nullptr;
+  }
+  if (!expect(TokKind::Semi, "after for condition"))
+    return nullptr;
+  ExprPtr Step;
+  if (!cur().is(TokKind::RParen)) {
+    Step = parseExpr();
+    if (!Step)
+      return nullptr;
+  }
+  if (!expect(TokKind::RParen, "after for clauses"))
+    return nullptr;
+  StmtPtr Body = parseStmt();
+  if (!Body)
+    return nullptr;
+  return std::make_unique<ForStmt>(std::move(Init), std::move(Cond),
+                                   std::move(Step), std::move(Body), Loc);
+}
+
+StmtPtr Parser::parseCritical() {
+  SourceLoc Loc = take().Loc; // 'critical'
+  if (!expect(TokKind::LParen, "after 'critical'"))
+    return nullptr;
+  if (!cur().is(TokKind::Identifier)) {
+    Diags.error(cur().Loc, "expected lock name");
+    return nullptr;
+  }
+  std::string Lock = take().Text;
+  if (!expect(TokKind::RParen, "after lock name"))
+    return nullptr;
+  StmtPtr Body = parseBlock();
+  if (!Body)
+    return nullptr;
+  return std::make_unique<CriticalStmt>(std::move(Lock), std::move(Body), Loc);
+}
+
+StmtPtr Parser::parseVarDeclOrExprStmt(bool ConsumeSemi) {
+  SourceLoc Loc = cur().Loc;
+
+  // Scalar declaration: starts with a type keyword.
+  if (isTypeToken(cur().Kind)) {
+    Type Ty = parseScalarType();
+    if (!cur().is(TokKind::Identifier)) {
+      Diags.error(cur().Loc, "expected variable name");
+      return nullptr;
+    }
+    std::string Name = take().Text;
+    ExprPtr Init;
+    if (accept(TokKind::Assign)) {
+      Init = parseExpr();
+      if (!Init)
+        return nullptr;
+    }
+    if (ConsumeSemi && !expect(TokKind::Semi, "after declaration"))
+      return nullptr;
+    return std::make_unique<VarDeclStmt>(Ty, std::move(Name), std::move(Init),
+                                         Loc);
+  }
+
+  // Packet handle declaration: `<proto>_pkt * name = expr;`.
+  if (cur().is(TokKind::Identifier) && peek(1).is(TokKind::Star) &&
+      peek(2).is(TokKind::Identifier)) {
+    std::string TyName = take().Text;
+    const std::string Suffix = "_pkt";
+    if (TyName.size() <= Suffix.size() ||
+        TyName.compare(TyName.size() - Suffix.size(), Suffix.size(),
+                       Suffix) != 0) {
+      Diags.error(Loc, "unknown handle type '%s'", TyName.c_str());
+      return nullptr;
+    }
+    take(); // '*'
+    std::string Name = take().Text;
+    if (!expect(TokKind::Assign, "packet handles must be initialized"))
+      return nullptr;
+    ExprPtr Init = parseExpr();
+    if (!Init)
+      return nullptr;
+    if (ConsumeSemi && !expect(TokKind::Semi, "after declaration"))
+      return nullptr;
+    Type Ty = Type::makePacket(TyName.substr(0, TyName.size() - Suffix.size()));
+    return std::make_unique<VarDeclStmt>(Ty, std::move(Name), std::move(Init),
+                                         Loc);
+  }
+
+  ExprPtr E = parseExpr();
+  if (!E)
+    return nullptr;
+  if (ConsumeSemi && !expect(TokKind::Semi, "after expression"))
+    return nullptr;
+  return std::make_unique<ExprStmt>(std::move(E), Loc);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+ExprPtr Parser::parseExpr() { return parseAssign(); }
+
+/// Deep-copies an lvalue expression so `a += b` can desugar to `a = a + b`.
+ExprPtr Parser::cloneLValue(const Expr *E) {
+  switch (E->kind()) {
+  case Expr::Kind::VarRef: {
+    const auto *V = cast<VarRefExpr>(E);
+    return std::make_unique<VarRefExpr>(V->Name, V->Loc);
+  }
+  case Expr::Kind::Index: {
+    const auto *I = cast<IndexExpr>(E);
+    ExprPtr Base = cloneLValue(I->Base.get());
+    ExprPtr Idx = cloneLValue(I->Index.get());
+    if (!Base || !Idx)
+      return nullptr;
+    return std::make_unique<IndexExpr>(std::move(Base), std::move(Idx),
+                                       I->Loc);
+  }
+  case Expr::Kind::PktField: {
+    const auto *P = cast<PktFieldExpr>(E);
+    ExprPtr H = cloneLValue(P->Handle.get());
+    if (!H)
+      return nullptr;
+    return std::make_unique<PktFieldExpr>(std::move(H), P->Field, P->Loc);
+  }
+  case Expr::Kind::MetaField: {
+    const auto *M = cast<MetaFieldExpr>(E);
+    ExprPtr H = cloneLValue(M->Handle.get());
+    if (!H)
+      return nullptr;
+    return std::make_unique<MetaFieldExpr>(std::move(H), M->Field, M->Loc);
+  }
+  case Expr::Kind::IntLit: {
+    const auto *I = cast<IntLitExpr>(E);
+    return std::make_unique<IntLitExpr>(I->Value, I->Loc);
+  }
+  default:
+    Diags.error(E->Loc, "expression is too complex for compound assignment");
+    return nullptr;
+  }
+}
+
+ExprPtr Parser::parseAssign() {
+  ExprPtr LHS = parseCond();
+  if (!LHS)
+    return nullptr;
+  SourceLoc Loc = cur().Loc;
+  if (accept(TokKind::Assign)) {
+    ExprPtr RHS = parseAssign();
+    if (!RHS)
+      return nullptr;
+    return std::make_unique<AssignExpr>(std::move(LHS), std::move(RHS), Loc);
+  }
+  if (cur().is(TokKind::PlusAssign) || cur().is(TokKind::MinusAssign)) {
+    BinOp Op = cur().is(TokKind::PlusAssign) ? BinOp::Add : BinOp::Sub;
+    take();
+    ExprPtr RHS = parseAssign();
+    if (!RHS)
+      return nullptr;
+    ExprPtr LHSCopy = cloneLValue(LHS.get());
+    if (!LHSCopy)
+      return nullptr;
+    auto Sum = std::make_unique<BinaryExpr>(Op, std::move(LHSCopy),
+                                            std::move(RHS), Loc);
+    return std::make_unique<AssignExpr>(std::move(LHS), std::move(Sum), Loc);
+  }
+  return LHS;
+}
+
+ExprPtr Parser::parseCond() {
+  ExprPtr C = parseBinary(0);
+  if (!C)
+    return nullptr;
+  if (!cur().is(TokKind::Question))
+    return C;
+  SourceLoc Loc = take().Loc;
+  ExprPtr T = parseExpr();
+  if (!T || !expect(TokKind::Colon, "in conditional expression"))
+    return nullptr;
+  ExprPtr F = parseCond();
+  if (!F)
+    return nullptr;
+  return std::make_unique<CondExpr>(std::move(C), std::move(T), std::move(F),
+                                    Loc);
+}
+
+namespace {
+/// Binary operator precedence; higher binds tighter. -1 means "not binary".
+int binPrec(TokKind K) {
+  switch (K) {
+  case TokKind::PipePipe:
+    return 1;
+  case TokKind::AmpAmp:
+    return 2;
+  case TokKind::Pipe:
+    return 3;
+  case TokKind::Caret:
+    return 4;
+  case TokKind::Amp:
+    return 5;
+  case TokKind::EqEq:
+  case TokKind::NotEq:
+    return 6;
+  case TokKind::Lt:
+  case TokKind::Le:
+  case TokKind::Gt:
+  case TokKind::Ge:
+    return 7;
+  case TokKind::Shl:
+  case TokKind::Shr:
+    return 8;
+  case TokKind::Plus:
+  case TokKind::Minus:
+    return 9;
+  case TokKind::Star:
+  case TokKind::Slash:
+  case TokKind::Percent:
+    return 10;
+  default:
+    return -1;
+  }
+}
+
+BinOp binOpFor(TokKind K) {
+  switch (K) {
+  case TokKind::PipePipe:
+    return BinOp::LogOr;
+  case TokKind::AmpAmp:
+    return BinOp::LogAnd;
+  case TokKind::Pipe:
+    return BinOp::Or;
+  case TokKind::Caret:
+    return BinOp::Xor;
+  case TokKind::Amp:
+    return BinOp::And;
+  case TokKind::EqEq:
+    return BinOp::Eq;
+  case TokKind::NotEq:
+    return BinOp::Ne;
+  case TokKind::Lt:
+    return BinOp::Lt;
+  case TokKind::Le:
+    return BinOp::Le;
+  case TokKind::Gt:
+    return BinOp::Gt;
+  case TokKind::Ge:
+    return BinOp::Ge;
+  case TokKind::Shl:
+    return BinOp::Shl;
+  case TokKind::Shr:
+    return BinOp::Shr;
+  case TokKind::Plus:
+    return BinOp::Add;
+  case TokKind::Minus:
+    return BinOp::Sub;
+  case TokKind::Star:
+    return BinOp::Mul;
+  case TokKind::Slash:
+    return BinOp::Div;
+  case TokKind::Percent:
+    return BinOp::Rem;
+  default:
+    assert(false && "not a binary operator token");
+    return BinOp::Add;
+  }
+}
+} // namespace
+
+ExprPtr Parser::parseBinary(int MinPrec) {
+  ExprPtr LHS = parseUnary();
+  if (!LHS)
+    return nullptr;
+  while (true) {
+    int Prec = binPrec(cur().Kind);
+    if (Prec < 0 || Prec < MinPrec)
+      return LHS;
+    Token OpTok = take();
+    ExprPtr RHS = parseBinary(Prec + 1);
+    if (!RHS)
+      return nullptr;
+    LHS = std::make_unique<BinaryExpr>(binOpFor(OpTok.Kind), std::move(LHS),
+                                       std::move(RHS), OpTok.Loc);
+  }
+}
+
+ExprPtr Parser::parseUnary() {
+  SourceLoc Loc = cur().Loc;
+  if (accept(TokKind::Minus)) {
+    ExprPtr Sub = parseUnary();
+    if (!Sub)
+      return nullptr;
+    return std::make_unique<UnaryExpr>(UnOp::Neg, std::move(Sub), Loc);
+  }
+  if (accept(TokKind::Bang)) {
+    ExprPtr Sub = parseUnary();
+    if (!Sub)
+      return nullptr;
+    return std::make_unique<UnaryExpr>(UnOp::Not, std::move(Sub), Loc);
+  }
+  if (accept(TokKind::Tilde)) {
+    ExprPtr Sub = parseUnary();
+    if (!Sub)
+      return nullptr;
+    return std::make_unique<UnaryExpr>(UnOp::BitNot, std::move(Sub), Loc);
+  }
+  return parsePostfix();
+}
+
+ExprPtr Parser::parsePostfix() {
+  ExprPtr E = parsePrimary();
+  if (!E)
+    return nullptr;
+  while (true) {
+    if (cur().is(TokKind::Arrow)) {
+      SourceLoc Loc = take().Loc;
+      if (!cur().is(TokKind::Identifier)) {
+        Diags.error(cur().Loc, "expected field name after '->'");
+        return nullptr;
+      }
+      std::string Field = take().Text;
+      if (Field == "meta") {
+        if (!expect(TokKind::Dot, "after 'meta'"))
+          return nullptr;
+        if (!cur().is(TokKind::Identifier)) {
+          Diags.error(cur().Loc, "expected metadata field name");
+          return nullptr;
+        }
+        std::string MetaField = take().Text;
+        E = std::make_unique<MetaFieldExpr>(std::move(E), std::move(MetaField),
+                                            Loc);
+      } else {
+        E = std::make_unique<PktFieldExpr>(std::move(E), std::move(Field),
+                                           Loc);
+      }
+      continue;
+    }
+    if (cur().is(TokKind::LBracket)) {
+      SourceLoc Loc = take().Loc;
+      ExprPtr Index = parseExpr();
+      if (!Index || !expect(TokKind::RBracket, "after index"))
+        return nullptr;
+      E = std::make_unique<IndexExpr>(std::move(E), std::move(Index), Loc);
+      continue;
+    }
+    return E;
+  }
+}
+
+ExprPtr Parser::parsePrimary() {
+  SourceLoc Loc = cur().Loc;
+  switch (cur().Kind) {
+  case TokKind::IntLiteral: {
+    Token T = take();
+    return std::make_unique<IntLitExpr>(T.IntVal, Loc);
+  }
+  case TokKind::KwTrue:
+    take();
+    return std::make_unique<BoolLitExpr>(true, Loc);
+  case TokKind::KwFalse:
+    take();
+    return std::make_unique<BoolLitExpr>(false, Loc);
+  case TokKind::LParen: {
+    take();
+    ExprPtr E = parseExpr();
+    if (!E || !expect(TokKind::RParen, "to close parenthesized expression"))
+      return nullptr;
+    return E;
+  }
+  case TokKind::Identifier: {
+    std::string Name = take().Text;
+    if (cur().is(TokKind::LParen)) {
+      take();
+      std::vector<ExprPtr> Args;
+      if (!cur().is(TokKind::RParen)) {
+        while (true) {
+          ExprPtr A = parseExpr();
+          if (!A)
+            return nullptr;
+          Args.push_back(std::move(A));
+          if (!accept(TokKind::Comma))
+            break;
+        }
+      }
+      if (!expect(TokKind::RParen, "to close call"))
+        return nullptr;
+      return std::make_unique<CallExpr>(std::move(Name), std::move(Args), Loc);
+    }
+    return std::make_unique<VarRefExpr>(std::move(Name), Loc);
+  }
+  default:
+    Diags.error(Loc, "expected an expression, found %s",
+                tokKindName(cur().Kind));
+    return nullptr;
+  }
+}

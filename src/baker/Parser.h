@@ -1,0 +1,78 @@
+//===- baker/Parser.h - Baker recursive-descent parser --------------------==//
+
+#ifndef SL_BAKER_PARSER_H
+#define SL_BAKER_PARSER_H
+
+#include "baker/AST.h"
+#include "baker/Token.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <vector>
+
+namespace sl::baker {
+
+/// Recursive-descent parser for Baker. On error it reports via the
+/// DiagEngine and returns a partial Program; callers must check
+/// DiagEngine::hasErrors() before using the result.
+class Parser {
+public:
+  Parser(std::vector<Token> Toks, DiagEngine &Diags);
+
+  /// Parses a whole translation unit.
+  std::unique_ptr<Program> parseProgram();
+
+private:
+  // Token stream helpers.
+  const Token &cur() const { return Toks[Pos]; }
+  const Token &peek(unsigned Ahead = 1) const {
+    size_t I = Pos + Ahead;
+    return I < Toks.size() ? Toks[I] : Toks.back();
+  }
+  Token take();
+  bool accept(TokKind K);
+  bool expect(TokKind K, const char *Ctx);
+  void skipToRecovery();
+
+  bool isTypeToken(TokKind K) const;
+  Type parseScalarType();
+
+  // Declarations.
+  void parseTopLevel(Program &P);
+  std::unique_ptr<ProtocolDecl> parseProtocol();
+  std::unique_ptr<MetadataDecl> parseMetadata();
+  void parseModule(Program &P);
+  void parseModuleItem(Program &P, const std::string &ModName);
+  std::unique_ptr<ChannelDecl> parseChannel();
+  std::unique_ptr<WireDecl> parseWire();
+  std::unique_ptr<FuncDecl> parsePpf(const std::string &ModName);
+  void parseGlobalOrFunc(Program &P, const std::string &ModName);
+  std::vector<ParamDecl> parseParamList();
+
+  // Statements.
+  StmtPtr parseStmt();
+  StmtPtr parseBlock();
+  StmtPtr parseIf();
+  StmtPtr parseWhile();
+  StmtPtr parseFor();
+  StmtPtr parseCritical();
+  StmtPtr parseVarDeclOrExprStmt(bool ConsumeSemi);
+
+  // Expressions (precedence climbing).
+  ExprPtr parseExpr();
+  ExprPtr parseAssign();
+  ExprPtr parseCond();
+  ExprPtr parseBinary(int MinPrec);
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix();
+  ExprPtr parsePrimary();
+  ExprPtr cloneLValue(const Expr *E);
+
+  std::vector<Token> Toks;
+  DiagEngine &Diags;
+  size_t Pos = 0;
+};
+
+} // namespace sl::baker
+
+#endif // SL_BAKER_PARSER_H

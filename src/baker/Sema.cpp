@@ -1,0 +1,861 @@
+//===- baker/Sema.cpp -----------------------------------------------------==//
+
+#include "baker/Sema.h"
+
+#include "support/BitUtils.h"
+#include "support/Casting.h"
+
+#include <cassert>
+#include <functional>
+
+using namespace sl;
+using namespace sl::baker;
+
+namespace {
+
+/// Rounds a bit width up to the narrowest scalar type that holds it.
+unsigned storageBitsFor(unsigned Bits) {
+  if (Bits <= 8)
+    return 8;
+  if (Bits <= 16)
+    return 16;
+  if (Bits <= 32)
+    return 32;
+  return 64;
+}
+
+class Sema {
+public:
+  Sema(Program &P, DiagEngine &Diags) : P(P), Diags(Diags) {}
+
+  SemaResult run();
+
+private:
+  // Layout / table construction.
+  void buildProtocols();
+  void buildMetadata();
+  void buildGlobals();
+  void buildFuncs();
+  void buildWiring();
+
+  // Demux checking: the demux expression may reference protocol fields.
+  void checkDemux(ProtocolDecl &Proto);
+  bool foldDemux(const Expr *E, const ProtocolDecl &Proto, uint64_t &Out);
+
+  // Statement / expression checking.
+  void checkFunction(FuncDecl &F);
+  void checkStmt(Stmt *S);
+  void checkVarDecl(VarDeclStmt *D);
+  Type checkExpr(Expr *E);
+  Type checkCall(CallExpr *E, const Type *ExpectedPacket);
+  Type checkPacketInit(VarDeclStmt *D, CallExpr *CE);
+  bool isLValue(const Expr *E) const;
+  void requireScalar(const Expr *E, const char *Ctx);
+  bool convertible(const Type &From, const Type &To) const;
+
+  // Scope management.
+  struct ScopeEntry {
+    std::string Name;
+    VarDeclStmt *Local = nullptr;
+    ParamDecl *Param = nullptr;
+  };
+  void pushScope() { ScopeMarks.push_back(Scopes.size()); }
+  void popScope() {
+    Scopes.resize(ScopeMarks.back());
+    ScopeMarks.pop_back();
+  }
+  ScopeEntry *lookupLocal(const std::string &Name) {
+    for (size_t I = Scopes.size(); I != 0; --I)
+      if (Scopes[I - 1].Name == Name)
+        return &Scopes[I - 1];
+    return nullptr;
+  }
+
+  Program &P;
+  DiagEngine &Diags;
+  SemaResult R;
+
+  std::vector<ScopeEntry> Scopes;
+  std::vector<size_t> ScopeMarks;
+  FuncDecl *CurFunc = nullptr;
+  unsigned LoopDepth = 0;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Tables
+//===----------------------------------------------------------------------===//
+
+void Sema::buildProtocols() {
+  for (auto &ProtoPtr : P.Protocols) {
+    ProtocolDecl &Proto = *ProtoPtr;
+    if (R.Protocols.count(Proto.Name)) {
+      Diags.error(Proto.Loc, "duplicate protocol '%s'", Proto.Name.c_str());
+      continue;
+    }
+    unsigned Off = 0;
+    for (BitField &F : Proto.Fields) {
+      if (F.Bits == 0 || F.Bits > 64) {
+        Diags.error(F.Loc, "field '%s' width must be 1..64 bits",
+                    F.Name.c_str());
+        continue;
+      }
+      F.BitOff = Off;
+      Off += F.Bits;
+    }
+    Proto.HeaderBits = Off;
+    if (Off % 8 != 0)
+      Diags.warning(Proto.Loc,
+                    "protocol '%s' header is %u bits, not a whole number "
+                    "of bytes",
+                    Proto.Name.c_str(), Off);
+    R.Protocols[Proto.Name] = &Proto;
+  }
+  for (auto &ProtoPtr : P.Protocols)
+    checkDemux(*ProtoPtr);
+}
+
+bool Sema::foldDemux(const Expr *E, const ProtocolDecl &Proto, uint64_t &Out) {
+  if (const auto *I = dyn_cast<IntLitExpr>(E)) {
+    Out = I->Value;
+    return true;
+  }
+  if (const auto *B = dyn_cast<BinaryExpr>(E)) {
+    uint64_t L, Rv;
+    if (!foldDemux(B->LHS.get(), Proto, L) ||
+        !foldDemux(B->RHS.get(), Proto, Rv))
+      return false;
+    switch (B->Op) {
+    case BinOp::Add:
+      Out = L + Rv;
+      return true;
+    case BinOp::Sub:
+      Out = L - Rv;
+      return true;
+    case BinOp::Mul:
+      Out = L * Rv;
+      return true;
+    case BinOp::Shl:
+      Out = L << (Rv & 63);
+      return true;
+    case BinOp::Shr:
+      Out = L >> (Rv & 63);
+      return true;
+    default:
+      return false;
+    }
+  }
+  return false; // Field references are not compile-time constant.
+}
+
+void Sema::checkDemux(ProtocolDecl &Proto) {
+  if (!Proto.Demux)
+    return;
+
+  // Validate that any VarRefs inside demux name fields of this protocol.
+  // (A small recursive walk; demux grammar is arithmetic over fields/ints.)
+  std::function<void(Expr *)> Walk = [&](Expr *E) {
+    if (auto *V = dyn_cast<VarRefExpr>(E)) {
+      for (const BitField &F : Proto.Fields)
+        if (F.Name == V->Name)
+          return;
+      Diags.error(V->Loc, "demux of protocol '%s' references unknown "
+                          "field '%s'",
+                  Proto.Name.c_str(), V->Name.c_str());
+      return;
+    }
+    if (auto *B = dyn_cast<BinaryExpr>(E)) {
+      Walk(B->LHS.get());
+      Walk(B->RHS.get());
+      return;
+    }
+    if (isa<IntLitExpr>(E))
+      return;
+    Diags.error(E->Loc, "unsupported construct in demux expression");
+  };
+  Walk(Proto.Demux.get());
+
+  uint64_t Const = 0;
+  if (foldDemux(Proto.Demux.get(), Proto, Const)) {
+    Proto.DemuxIsConst = true;
+    Proto.DemuxConstBytes = Const;
+    if (Const * 8 != Proto.HeaderBits)
+      Diags.warning(Proto.Loc,
+                    "protocol '%s' demux (%llu bytes) does not match the "
+                    "declared field total (%u bits)",
+                    Proto.Name.c_str(),
+                    static_cast<unsigned long long>(Const), Proto.HeaderBits);
+  }
+}
+
+void Sema::buildMetadata() {
+  // Builtin rx_port comes first.
+  BitField RxPort;
+  RxPort.Name = "rx_port";
+  RxPort.Bits = 16;
+  RxPort.BitOff = 0;
+  R.MetaFields.push_back(RxPort);
+  unsigned Off = 16;
+
+  if (P.Metadata) {
+    for (BitField &F : P.Metadata->Fields) {
+      if (F.Bits == 0 || F.Bits > 32) {
+        Diags.error(F.Loc, "metadata field '%s' width must be 1..32 bits",
+                    F.Name.c_str());
+        continue;
+      }
+      for (const BitField &Prev : R.MetaFields)
+        if (Prev.Name == F.Name)
+          Diags.error(F.Loc, "duplicate metadata field '%s'", F.Name.c_str());
+      F.BitOff = Off;
+      Off += F.Bits;
+      R.MetaFields.push_back(F);
+    }
+  }
+  R.MetaBits = Off;
+}
+
+void Sema::buildGlobals() {
+  for (auto &G : P.Globals) {
+    if (R.Globals.count(G->Name)) {
+      Diags.error(G->Loc, "duplicate global '%s'", G->Name.c_str());
+      continue;
+    }
+    if (G->ElemTy.isPacket()) {
+      Diags.error(G->Loc, "globals cannot be packet handles");
+      continue;
+    }
+    R.Globals[G->Name] = G.get();
+  }
+}
+
+void Sema::buildFuncs() {
+  for (auto &F : P.Funcs) {
+    if (R.Funcs.count(F->Name)) {
+      Diags.error(F->Loc, "duplicate function '%s'", F->Name.c_str());
+      continue;
+    }
+    if (F->IsPpf) {
+      if (F->Params.size() != 1 || !F->Params[0].Ty.isPacket()) {
+        Diags.error(F->Loc, "PPF '%s' must take exactly one packet parameter",
+                    F->Name.c_str());
+        continue;
+      }
+      if (!F->RetTy.isVoid()) {
+        Diags.error(F->Loc, "PPF '%s' must return void", F->Name.c_str());
+        continue;
+      }
+    }
+    for (const ParamDecl &Param : F->Params) {
+      if (Param.Ty.isPacket() && !R.Protocols.count(Param.Ty.protocol()))
+        Diags.error(Param.Loc, "unknown protocol '%s'",
+                    Param.Ty.protocol().c_str());
+    }
+    R.Funcs[F->Name] = F.get();
+  }
+}
+
+void Sema::buildWiring() {
+  unsigned NextId = 1;
+  for (auto &C : P.Channels) {
+    if (C->Name == "rx" || C->Name == "tx") {
+      Diags.error(C->Loc, "channel name '%s' is reserved", C->Name.c_str());
+      continue;
+    }
+    for (ChannelDecl *Prev : R.Channels)
+      if (Prev->Name == C->Name)
+        Diags.error(C->Loc, "duplicate channel '%s'", C->Name.c_str());
+    if (!R.Protocols.count(C->Proto)) {
+      Diags.error(C->Loc, "channel '%s' has unknown protocol '%s'",
+                  C->Name.c_str(), C->Proto.c_str());
+      continue;
+    }
+    C->Id = NextId++;
+    R.Channels.push_back(C.get());
+  }
+
+  for (auto &W : P.Wires) {
+    auto FIt = R.Funcs.find(W->To);
+    if (FIt == R.Funcs.end() || !FIt->second->IsPpf) {
+      Diags.error(W->Loc, "wire target '%s' is not a PPF", W->To.c_str());
+      continue;
+    }
+    FuncDecl *Target = FIt->second;
+    if (W->From == "rx") {
+      if (R.EntryPpf) {
+        Diags.error(W->Loc, "multiple 'wire rx' declarations");
+        continue;
+      }
+      R.EntryPpf = Target;
+      R.EntryProto = Target->Params[0].Ty.protocol();
+      continue;
+    }
+    ChannelDecl *Chan = nullptr;
+    for (ChannelDecl *C : R.Channels)
+      if (C->Name == W->From)
+        Chan = C;
+    if (!Chan) {
+      Diags.error(W->Loc, "wire source '%s' is not a channel",
+                  W->From.c_str());
+      continue;
+    }
+    if (!Chan->DestPpf.empty()) {
+      Diags.error(W->Loc, "channel '%s' is already wired to '%s'",
+                  Chan->Name.c_str(), Chan->DestPpf.c_str());
+      continue;
+    }
+    if (Target->Params[0].Ty.protocol() != Chan->Proto) {
+      Diags.error(W->Loc,
+                  "channel '%s' carries '%s' packets but PPF '%s' expects "
+                  "'%s'",
+                  Chan->Name.c_str(), Chan->Proto.c_str(), Target->Name.c_str(),
+                  Target->Params[0].Ty.protocol().c_str());
+      continue;
+    }
+    Chan->DestPpf = Target->Name;
+    R.PpfInputs[Target->Name].push_back(Chan->Id);
+  }
+
+  for (ChannelDecl *C : R.Channels)
+    if (C->DestPpf.empty())
+      Diags.error(C->Loc, "channel '%s' is not wired to any PPF",
+                  C->Name.c_str());
+  bool HasPpf = false;
+  for (const auto &F : P.Funcs)
+    HasPpf |= F->IsPpf;
+  if (!R.EntryPpf && HasPpf) {
+    SourceLoc Loc;
+    if (!P.Funcs.empty())
+      Loc = P.Funcs.front()->Loc;
+    Diags.error(Loc, "program has no 'wire rx -> <ppf>' declaration");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Expression / statement checking
+//===----------------------------------------------------------------------===//
+
+bool Sema::convertible(const Type &From, const Type &To) const {
+  if (From == To)
+    return true;
+  if (From.isScalar() && To.isScalar())
+    return true; // Implicit widen/narrow with masking, C-style.
+  return false;
+}
+
+void Sema::requireScalar(const Expr *E, const char *Ctx) {
+  if (!E->Ty.isScalar() && !E->Ty.isVoid())
+    Diags.error(E->Loc, "%s requires a scalar value, got '%s'", Ctx,
+                E->Ty.str().c_str());
+}
+
+bool Sema::isLValue(const Expr *E) const {
+  switch (E->kind()) {
+  case Expr::Kind::VarRef: {
+    const auto *V = cast<VarRefExpr>(E);
+    // Packet handles and whole arrays are not assignable.
+    if (V->Ty.isPacket())
+      return false;
+    if (V->Global && V->Global->IsArray)
+      return false;
+    return true;
+  }
+  case Expr::Kind::Index:
+  case Expr::Kind::PktField:
+  case Expr::Kind::MetaField:
+    return true;
+  default:
+    return false;
+  }
+}
+
+Type Sema::checkExpr(Expr *E) {
+  switch (E->kind()) {
+  case Expr::Kind::IntLit: {
+    auto *I = cast<IntLitExpr>(E);
+    E->Ty = Type::makeInt(I->Value > 0xFFFFFFFFull ? 64 : 32, false);
+    return E->Ty;
+  }
+  case Expr::Kind::BoolLit:
+    E->Ty = Type::makeBool();
+    return E->Ty;
+
+  case Expr::Kind::VarRef: {
+    auto *V = cast<VarRefExpr>(E);
+    if (ScopeEntry *SE = lookupLocal(V->Name)) {
+      if (SE->Local) {
+        V->LocalDecl = SE->Local;
+        E->Ty = SE->Local->DeclTy;
+      } else {
+        V->Param = SE->Param;
+        E->Ty = SE->Param->Ty;
+      }
+      return E->Ty;
+    }
+    auto GIt = R.Globals.find(V->Name);
+    if (GIt != R.Globals.end()) {
+      V->Global = GIt->second;
+      E->Ty = GIt->second->ElemTy; // Scalar global; arrays via IndexExpr.
+      return E->Ty;
+    }
+    Diags.error(E->Loc, "use of undeclared identifier '%s'", V->Name.c_str());
+    E->Ty = Type::makeInt(32, false);
+    return E->Ty;
+  }
+
+  case Expr::Kind::Unary: {
+    auto *U = cast<UnaryExpr>(E);
+    Type SubTy = checkExpr(U->Sub.get());
+    switch (U->Op) {
+    case UnOp::Not:
+      if (!SubTy.isScalar())
+        Diags.error(E->Loc, "'!' requires a scalar operand");
+      E->Ty = Type::makeBool();
+      return E->Ty;
+    case UnOp::Neg:
+    case UnOp::BitNot:
+      requireScalar(U->Sub.get(), "unary operator");
+      E->Ty = SubTy.isInt() ? SubTy : Type::makeInt(32, false);
+      return E->Ty;
+    }
+    break;
+  }
+
+  case Expr::Kind::Binary: {
+    auto *B = cast<BinaryExpr>(E);
+    Type L = checkExpr(B->LHS.get());
+    Type Rt = checkExpr(B->RHS.get());
+    switch (B->Op) {
+    case BinOp::LogAnd:
+    case BinOp::LogOr:
+      requireScalar(B->LHS.get(), "logical operator");
+      requireScalar(B->RHS.get(), "logical operator");
+      E->Ty = Type::makeBool();
+      return E->Ty;
+    case BinOp::Eq:
+    case BinOp::Ne:
+    case BinOp::Lt:
+    case BinOp::Le:
+    case BinOp::Gt:
+    case BinOp::Ge:
+      if (L.isPacket() || Rt.isPacket())
+        Diags.error(E->Loc, "packet handles cannot be compared");
+      E->Ty = Type::makeBool();
+      return E->Ty;
+    default: {
+      requireScalar(B->LHS.get(), "arithmetic");
+      requireScalar(B->RHS.get(), "arithmetic");
+      unsigned Bits = 32;
+      bool Signed = false;
+      if (L.isInt() && Rt.isInt()) {
+        Bits = std::max(L.bits(), Rt.bits());
+        Signed = L.isSigned() && Rt.isSigned();
+      } else if (L.isInt()) {
+        Bits = L.bits();
+        Signed = L.isSigned();
+      } else if (Rt.isInt()) {
+        Bits = Rt.bits();
+        Signed = Rt.isSigned();
+      }
+      E->Ty = Type::makeInt(Bits, Signed);
+      return E->Ty;
+    }
+    }
+  }
+
+  case Expr::Kind::Cond: {
+    auto *C = cast<CondExpr>(E);
+    checkExpr(C->Cond.get());
+    requireScalar(C->Cond.get(), "conditional");
+    Type T = checkExpr(C->TrueE.get());
+    Type F = checkExpr(C->FalseE.get());
+    if (!convertible(F, T))
+      Diags.error(E->Loc, "conditional arms have incompatible types "
+                          "('%s' vs '%s')",
+                  T.str().c_str(), F.str().c_str());
+    E->Ty = T;
+    return E->Ty;
+  }
+
+  case Expr::Kind::Assign: {
+    auto *A = cast<AssignExpr>(E);
+    Type L = checkExpr(A->LHS.get());
+    Type Rt = checkExpr(A->RHS.get());
+    if (!isLValue(A->LHS.get()))
+      Diags.error(A->LHS->Loc, "expression is not assignable");
+    else if (!convertible(Rt, L))
+      Diags.error(E->Loc, "cannot assign '%s' to '%s'", Rt.str().c_str(),
+                  L.str().c_str());
+    E->Ty = L;
+    return E->Ty;
+  }
+
+  case Expr::Kind::Call:
+    return checkCall(cast<CallExpr>(E), nullptr);
+
+  case Expr::Kind::Index: {
+    auto *I = cast<IndexExpr>(E);
+    auto *Base = dyn_cast<VarRefExpr>(I->Base.get());
+    if (!Base) {
+      Diags.error(E->Loc, "only global arrays can be indexed");
+      E->Ty = Type::makeInt(32, false);
+      return E->Ty;
+    }
+    checkExpr(Base);
+    if (!Base->Global || !Base->Global->IsArray) {
+      Diags.error(E->Loc, "'%s' is not a global array", Base->Name.c_str());
+      E->Ty = Type::makeInt(32, false);
+      return E->Ty;
+    }
+    checkExpr(I->Index.get());
+    requireScalar(I->Index.get(), "array index");
+    E->Ty = Base->Global->ElemTy;
+    return E->Ty;
+  }
+
+  case Expr::Kind::PktField: {
+    auto *PF = cast<PktFieldExpr>(E);
+    Type HTy = checkExpr(PF->Handle.get());
+    if (!HTy.isPacket()) {
+      Diags.error(E->Loc, "'->' requires a packet handle");
+      E->Ty = Type::makeInt(32, false);
+      return E->Ty;
+    }
+    auto PIt = R.Protocols.find(HTy.protocol());
+    if (PIt == R.Protocols.end()) {
+      Diags.error(E->Loc, "unknown protocol '%s'", HTy.protocol().c_str());
+      E->Ty = Type::makeInt(32, false);
+      return E->Ty;
+    }
+    for (const BitField &F : PIt->second->Fields) {
+      if (F.Name == PF->Field) {
+        PF->BitOff = F.BitOff;
+        PF->BitWidth = F.Bits;
+        E->Ty = Type::makeInt(storageBitsFor(F.Bits), false);
+        return E->Ty;
+      }
+    }
+    Diags.error(E->Loc, "protocol '%s' has no field '%s'",
+                HTy.protocol().c_str(), PF->Field.c_str());
+    E->Ty = Type::makeInt(32, false);
+    return E->Ty;
+  }
+
+  case Expr::Kind::MetaField: {
+    auto *MF = cast<MetaFieldExpr>(E);
+    Type HTy = checkExpr(MF->Handle.get());
+    if (!HTy.isPacket())
+      Diags.error(E->Loc, "'->meta' requires a packet handle");
+    for (const BitField &F : R.MetaFields) {
+      if (F.Name == MF->Field) {
+        MF->BitOff = F.BitOff;
+        MF->BitWidth = F.Bits;
+        E->Ty = Type::makeInt(storageBitsFor(F.Bits), false);
+        return E->Ty;
+      }
+    }
+    Diags.error(E->Loc, "no metadata field named '%s'", MF->Field.c_str());
+    E->Ty = Type::makeInt(32, false);
+    return E->Ty;
+  }
+  }
+  assert(false && "unhandled expression kind");
+  return Type::makeVoid();
+}
+
+Type Sema::checkCall(CallExpr *E, const Type *ExpectedPacket) {
+  const std::string &Name = E->Callee;
+
+  auto checkHandleArg = [&](unsigned Idx) -> Type {
+    if (Idx >= E->Args.size())
+      return Type::makeVoid();
+    Type T = checkExpr(E->Args[Idx].get());
+    if (!T.isPacket())
+      Diags.error(E->Args[Idx]->Loc, "'%s' requires a packet handle",
+                  Name.c_str());
+    return T;
+  };
+
+  if (Name == "packet_decap" || Name == "packet_encap" ||
+      Name == "packet_copy") {
+    E->BI = Name == "packet_decap"  ? Builtin::Decap
+            : Name == "packet_encap" ? Builtin::Encap
+                                     : Builtin::Copy;
+    if (E->Args.size() != 1) {
+      Diags.error(E->Loc, "'%s' takes exactly one argument", Name.c_str());
+      E->Ty = Type::makeVoid();
+      return E->Ty;
+    }
+    Type ArgTy = checkHandleArg(0);
+    if (!ExpectedPacket) {
+      Diags.error(E->Loc, "'%s' result must initialize a packet handle "
+                          "declaration",
+                  Name.c_str());
+      E->Ty = ArgTy;
+      return E->Ty;
+    }
+    if (E->BI == Builtin::Copy && ArgTy.isPacket() &&
+        ExpectedPacket->isPacket() &&
+        ArgTy.protocol() != ExpectedPacket->protocol())
+      Diags.error(E->Loc, "packet_copy cannot change the protocol "
+                          "('%s' -> '%s')",
+                  ArgTy.protocol().c_str(), ExpectedPacket->protocol().c_str());
+    if (E->BI == Builtin::Encap && ExpectedPacket->isPacket()) {
+      E->EncapProto = ExpectedPacket->protocol();
+      auto It = R.Protocols.find(E->EncapProto);
+      if (It != R.Protocols.end() && !It->second->DemuxIsConst)
+        Diags.error(E->Loc, "packet_encap target protocol '%s' must have a "
+                            "constant-size header",
+                    E->EncapProto.c_str());
+    }
+    if (E->BI == Builtin::Decap && ExpectedPacket->isPacket())
+      E->EncapProto = ExpectedPacket->protocol(); // Inner protocol.
+    E->Ty = *ExpectedPacket;
+    return E->Ty;
+  }
+
+  if (Name == "packet_drop") {
+    E->BI = Builtin::Drop;
+    if (E->Args.size() != 1)
+      Diags.error(E->Loc, "'packet_drop' takes exactly one argument");
+    else
+      checkHandleArg(0);
+    E->Ty = Type::makeVoid();
+    return E->Ty;
+  }
+
+  if (Name == "packet_length") {
+    E->BI = Builtin::PktLength;
+    if (E->Args.size() != 1)
+      Diags.error(E->Loc, "'packet_length' takes exactly one argument");
+    else
+      checkHandleArg(0);
+    E->Ty = Type::makeInt(32, false);
+    return E->Ty;
+  }
+
+  if (Name == "channel_put") {
+    E->BI = Builtin::ChannelPut;
+    if (E->Args.size() != 2) {
+      Diags.error(E->Loc, "'channel_put' takes (channel, handle)");
+      E->Ty = Type::makeVoid();
+      return E->Ty;
+    }
+    auto *ChanRef = dyn_cast<VarRefExpr>(E->Args[0].get());
+    if (!ChanRef) {
+      Diags.error(E->Args[0]->Loc, "first argument of channel_put must name "
+                                   "a channel");
+      E->Ty = Type::makeVoid();
+      return E->Ty;
+    }
+    Type HandleTy = checkHandleArg(1);
+    if (ChanRef->Name == "tx") {
+      E->ChannelId = TxChannelId;
+    } else {
+      ChannelDecl *Chan = nullptr;
+      for (ChannelDecl *C : R.Channels)
+        if (C->Name == ChanRef->Name)
+          Chan = C;
+      if (!Chan) {
+        Diags.error(ChanRef->Loc, "unknown channel '%s'",
+                    ChanRef->Name.c_str());
+        E->Ty = Type::makeVoid();
+        return E->Ty;
+      }
+      if (HandleTy.isPacket() && HandleTy.protocol() != Chan->Proto)
+        Diags.error(E->Loc,
+                    "channel '%s' carries '%s' packets, cannot put '%s'",
+                    Chan->Name.c_str(), Chan->Proto.c_str(),
+                    HandleTy.protocol().c_str());
+      E->ChannelId = Chan->Id;
+    }
+    // Mark the channel name as resolved so lowering skips it.
+    ChanRef->Ty = Type::makeVoid();
+    E->Ty = Type::makeVoid();
+    return E->Ty;
+  }
+
+  // Ordinary user function call.
+  auto FIt = R.Funcs.find(Name);
+  if (FIt == R.Funcs.end()) {
+    Diags.error(E->Loc, "call to undeclared function '%s'", Name.c_str());
+    E->Ty = Type::makeInt(32, false);
+    return E->Ty;
+  }
+  FuncDecl *Callee = FIt->second;
+  if (Callee->IsPpf)
+    Diags.error(E->Loc, "PPF '%s' cannot be called directly; use channels",
+                Name.c_str());
+  E->CalleeDecl = Callee;
+  if (E->Args.size() != Callee->Params.size()) {
+    Diags.error(E->Loc, "'%s' expects %zu arguments, got %zu", Name.c_str(),
+                Callee->Params.size(), E->Args.size());
+  } else {
+    for (size_t I = 0; I != E->Args.size(); ++I) {
+      Type ArgTy = checkExpr(E->Args[I].get());
+      const Type &ParamTy = Callee->Params[I].Ty;
+      if (!convertible(ArgTy, ParamTy))
+        Diags.error(E->Args[I]->Loc,
+                    "argument %zu of '%s': cannot convert '%s' to '%s'",
+                    I + 1, Name.c_str(), ArgTy.str().c_str(),
+                    ParamTy.str().c_str());
+    }
+  }
+  E->Ty = Callee->RetTy;
+  return E->Ty;
+}
+
+void Sema::checkVarDecl(VarDeclStmt *D) {
+  if (lookupLocal(D->Name))
+    Diags.error(D->Loc, "redeclaration of '%s'", D->Name.c_str());
+
+  if (D->DeclTy.isPacket()) {
+    if (!R.Protocols.count(D->DeclTy.protocol()))
+      Diags.error(D->Loc, "unknown protocol '%s'",
+                  D->DeclTy.protocol().c_str());
+    auto *CE = dyn_cast_or_null<CallExpr>(D->Init.get());
+    if (!CE) {
+      Diags.error(D->Loc, "packet handle '%s' must be initialized with "
+                          "packet_decap/packet_encap/packet_copy",
+                  D->Name.c_str());
+    } else {
+      checkCall(CE, &D->DeclTy);
+      if (CE->BI != Builtin::Decap && CE->BI != Builtin::Encap &&
+          CE->BI != Builtin::Copy)
+        Diags.error(D->Loc, "packet handle '%s' must be initialized with "
+                            "packet_decap/packet_encap/packet_copy",
+                    D->Name.c_str());
+    }
+  } else if (D->Init) {
+    Type InitTy = checkExpr(D->Init.get());
+    if (!convertible(InitTy, D->DeclTy))
+      Diags.error(D->Loc, "cannot initialize '%s' with '%s'",
+                  D->DeclTy.str().c_str(), InitTy.str().c_str());
+  }
+
+  ScopeEntry SE;
+  SE.Name = D->Name;
+  SE.Local = D;
+  Scopes.push_back(std::move(SE));
+}
+
+void Sema::checkStmt(Stmt *S) {
+  switch (S->kind()) {
+  case Stmt::Kind::Block: {
+    auto *B = cast<BlockStmt>(S);
+    pushScope();
+    for (StmtPtr &Child : B->Body)
+      checkStmt(Child.get());
+    popScope();
+    return;
+  }
+  case Stmt::Kind::If: {
+    auto *I = cast<IfStmt>(S);
+    checkExpr(I->Cond.get());
+    requireScalar(I->Cond.get(), "if condition");
+    checkStmt(I->Then.get());
+    if (I->Else)
+      checkStmt(I->Else.get());
+    return;
+  }
+  case Stmt::Kind::While: {
+    auto *W = cast<WhileStmt>(S);
+    checkExpr(W->Cond.get());
+    requireScalar(W->Cond.get(), "while condition");
+    ++LoopDepth;
+    checkStmt(W->Body.get());
+    --LoopDepth;
+    return;
+  }
+  case Stmt::Kind::For: {
+    auto *F = cast<ForStmt>(S);
+    pushScope();
+    if (F->Init)
+      checkStmt(F->Init.get());
+    if (F->Cond) {
+      checkExpr(F->Cond.get());
+      requireScalar(F->Cond.get(), "for condition");
+    }
+    if (F->Step)
+      checkExpr(F->Step.get());
+    ++LoopDepth;
+    checkStmt(F->Body.get());
+    --LoopDepth;
+    popScope();
+    return;
+  }
+  case Stmt::Kind::Return: {
+    auto *Ret = cast<ReturnStmt>(S);
+    assert(CurFunc && "return outside function");
+    if (Ret->Value) {
+      Type T = checkExpr(Ret->Value.get());
+      if (CurFunc->RetTy.isVoid())
+        Diags.error(S->Loc, "void function '%s' cannot return a value",
+                    CurFunc->Name.c_str());
+      else if (!convertible(T, CurFunc->RetTy))
+        Diags.error(S->Loc, "cannot return '%s' from function returning '%s'",
+                    T.str().c_str(), CurFunc->RetTy.str().c_str());
+    } else if (!CurFunc->RetTy.isVoid()) {
+      Diags.error(S->Loc, "non-void function '%s' must return a value",
+                  CurFunc->Name.c_str());
+    }
+    return;
+  }
+  case Stmt::Kind::Break:
+  case Stmt::Kind::Continue:
+    if (LoopDepth == 0)
+      Diags.error(S->Loc, "break/continue outside of a loop");
+    return;
+  case Stmt::Kind::VarDecl:
+    checkVarDecl(cast<VarDeclStmt>(S));
+    return;
+  case Stmt::Kind::Expr:
+    checkExpr(cast<ExprStmt>(S)->E.get());
+    return;
+  case Stmt::Kind::Critical: {
+    auto *C = cast<CriticalStmt>(S);
+    auto It = R.Locks.find(C->LockName);
+    if (It == R.Locks.end()) {
+      unsigned Id = static_cast<unsigned>(R.Locks.size());
+      It = R.Locks.emplace(C->LockName, Id).first;
+    }
+    C->LockId = It->second;
+    checkStmt(C->Body.get());
+    return;
+  }
+  }
+  assert(false && "unhandled statement kind");
+}
+
+void Sema::checkFunction(FuncDecl &F) {
+  CurFunc = &F;
+  pushScope();
+  for (ParamDecl &Param : F.Params) {
+    ScopeEntry SE;
+    SE.Name = Param.Name;
+    SE.Param = &Param;
+    Scopes.push_back(std::move(SE));
+  }
+  checkStmt(F.Body.get());
+  popScope();
+  CurFunc = nullptr;
+}
+
+SemaResult Sema::run() {
+  buildProtocols();
+  buildMetadata();
+  buildGlobals();
+  buildFuncs();
+  buildWiring();
+  // Function bodies are checked even when wiring had errors so users see
+  // as many independent diagnostics as possible in one run.
+  for (auto &F : P.Funcs)
+    checkFunction(*F);
+  return std::move(R);
+}
+
+SemaResult sl::baker::analyze(Program &P, DiagEngine &Diags) {
+  Sema S(P, Diags);
+  return S.run();
+}

@@ -1,0 +1,56 @@
+//===- baker/Sema.h - Baker semantic analysis -----------------------------==//
+//
+// Sema resolves names, checks types, computes protocol/metadata bit layouts,
+// assigns channel and lock ids, and determines the dataflow wiring (which
+// PPF each channel feeds, and which PPF receives packets from Rx).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SL_BAKER_SEMA_H
+#define SL_BAKER_SEMA_H
+
+#include "baker/AST.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sl::baker {
+
+/// Channel ids: 0 is the implicit `tx` output channel; user channels get
+/// 1..N in declaration order.
+inline constexpr unsigned TxChannelId = 0;
+
+/// Results of semantic analysis, layered over the (now annotated) AST.
+struct SemaResult {
+  /// Protocol name -> declaration (field offsets computed).
+  std::map<std::string, ProtocolDecl *> Protocols;
+
+  /// Flattened metadata layout including the builtin rx_port field.
+  std::vector<BitField> MetaFields;
+  unsigned MetaBits = 0;
+
+  /// All user channels plus entry info. Channels[i] has Id == i + 1.
+  std::vector<ChannelDecl *> Channels;
+  FuncDecl *EntryPpf = nullptr;  ///< Target of `wire rx -> ...`.
+  std::string EntryProto;        ///< Protocol of packets delivered by Rx.
+
+  std::map<std::string, FuncDecl *> Funcs;
+  std::map<std::string, GlobalDecl *> Globals;
+
+  /// Lock name -> id, for critical sections.
+  std::map<std::string, unsigned> Locks;
+
+  /// PPF name -> ids of channels that feed it (empty for the entry PPF
+  /// unless channels also target it).
+  std::map<std::string, std::vector<unsigned>> PpfInputs;
+};
+
+/// Runs semantic analysis over \p P. Returns the analysis result; check
+/// \p Diags for errors before trusting it.
+SemaResult analyze(Program &P, DiagEngine &Diags);
+
+} // namespace sl::baker
+
+#endif // SL_BAKER_SEMA_H

@@ -1,0 +1,100 @@
+//===- baker/Token.h - Baker token definitions ----------------------------==//
+
+#ifndef SL_BAKER_TOKEN_H
+#define SL_BAKER_TOKEN_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+
+namespace sl::baker {
+
+/// Kinds of Baker tokens. Keywords are explicit kinds; identifiers carry
+/// their text.
+enum class TokKind {
+  Eof,
+  Identifier,
+  IntLiteral,
+
+  // Keywords.
+  KwProtocol,
+  KwMetadata,
+  KwModule,
+  KwChannel,
+  KwWire,
+  KwDemux,
+  KwPpf,
+  KwCritical,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  KwTrue,
+  KwFalse,
+  KwVoid,
+  KwBool,
+  KwInt,
+  KwU8,
+  KwU16,
+  KwU32,
+  KwU64,
+
+  // Punctuation.
+  LBrace,
+  RBrace,
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Colon,
+  Dot,
+  Arrow,      // ->
+  WireArrow,  // -> reused; parser context decides
+  Assign,     // =
+  PlusAssign, // +=
+  MinusAssign,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Amp,
+  Pipe,
+  Caret,
+  Tilde,
+  Bang,
+  Shl, // <<
+  Shr, // >>
+  Lt,
+  Gt,
+  Le,
+  Ge,
+  EqEq,
+  NotEq,
+  AmpAmp,
+  PipePipe,
+  Question,
+};
+
+/// One lexed token.
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  SourceLoc Loc;
+  std::string Text;    ///< Identifier spelling.
+  uint64_t IntVal = 0; ///< Value for IntLiteral.
+
+  bool is(TokKind K) const { return Kind == K; }
+};
+
+/// Human-readable name of a token kind, for diagnostics.
+const char *tokKindName(TokKind Kind);
+
+} // namespace sl::baker
+
+#endif // SL_BAKER_TOKEN_H

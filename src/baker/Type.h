@@ -1,0 +1,95 @@
+//===- baker/Type.h - Baker source-level types ----------------------------==//
+
+#ifndef SL_BAKER_TYPE_H
+#define SL_BAKER_TYPE_H
+
+#include <cassert>
+#include <string>
+
+namespace sl::baker {
+
+/// A Baker value type. Kept as a small value class: scalars (bool and the
+/// fixed-width unsigned/signed integers) plus packet handles, which carry the
+/// name of the protocol their header currently points at.
+class Type {
+public:
+  enum class Kind { Void, Bool, Int, Packet };
+
+  Type() : K(Kind::Void) {}
+
+  static Type makeVoid() { return Type(); }
+  static Type makeBool() {
+    Type T;
+    T.K = Kind::Bool;
+    T.Bits = 1;
+    return T;
+  }
+  /// \p Bits in {8,16,32,64}; \p IsSigned selects 'int' semantics.
+  static Type makeInt(unsigned Bits, bool IsSigned) {
+    assert((Bits == 8 || Bits == 16 || Bits == 32 || Bits == 64) &&
+           "unsupported integer width");
+    Type T;
+    T.K = Kind::Int;
+    T.Bits = Bits;
+    T.Signed = IsSigned;
+    return T;
+  }
+  static Type makePacket(std::string Proto) {
+    Type T;
+    T.K = Kind::Packet;
+    T.Proto = std::move(Proto);
+    return T;
+  }
+
+  Kind kind() const { return K; }
+  bool isVoid() const { return K == Kind::Void; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isInt() const { return K == Kind::Int; }
+  bool isPacket() const { return K == Kind::Packet; }
+  bool isScalar() const { return isBool() || isInt(); }
+
+  unsigned bits() const { return Bits; }
+  bool isSigned() const { return Signed; }
+  const std::string &protocol() const {
+    assert(isPacket() && "not a packet type");
+    return Proto;
+  }
+
+  bool operator==(const Type &RHS) const {
+    if (K != RHS.K)
+      return false;
+    if (K == Kind::Int)
+      return Bits == RHS.Bits && Signed == RHS.Signed;
+    if (K == Kind::Packet)
+      return Proto == RHS.Proto;
+    return true;
+  }
+  bool operator!=(const Type &RHS) const { return !(*this == RHS); }
+
+  /// Render for diagnostics, e.g. "u32" or "ipv4_pkt *".
+  std::string str() const {
+    switch (K) {
+    case Kind::Void:
+      return "void";
+    case Kind::Bool:
+      return "bool";
+    case Kind::Int:
+      if (Signed)
+        return "int";
+      return "u" + std::to_string(Bits);
+    case Kind::Packet:
+      return Proto + "_pkt *";
+    }
+    return "<invalid>";
+  }
+
+private:
+  Kind K;
+  unsigned Bits = 0;
+  bool Signed = false;
+  std::string Proto;
+};
+
+} // namespace sl::baker
+
+#endif // SL_BAKER_TYPE_H

@@ -1,0 +1,39 @@
+//===- cg/CgConfig.h - code generation configuration ---------------------------==//
+
+#ifndef SL_CG_CGCONFIG_H
+#define SL_CG_CGCONFIG_H
+
+namespace sl::cg {
+
+/// Controls which paper optimizations the code generator applies. The
+/// driver arranges these along the evaluation ladder BASE, -O1, -O2, +PAC,
+/// +SOAR, +PHR, +SWC (IR-level passes — scalar pipeline, PAC rewriting,
+/// SOAR annotation — run before lowering; these flags steer the expansion
+/// of packet primitives and globals).
+struct CgConfig {
+  /// -O2: packet primitives expand to short, width-specialized inline
+  /// sequences. Off (BASE/-O1): every access pays the generic
+  /// out-of-line-routine overhead the paper describes (~38+5w instrs).
+  bool InlineExpansion = false;
+
+  /// SOAR: honor StaticHdrOff/StaticAlign annotations (constant address
+  /// arithmetic and constant extraction shifts).
+  bool UseSoar = false;
+
+  /// PHR: keep buf_addr/head_off/frame_len in registers for the packet's
+  /// lifetime inside the aggregate; sync SRAM metadata only at channel
+  /// boundaries. Off: every primitive does its own SRAM traffic.
+  bool Phr = false;
+
+  /// SWC: expand loads of Cached globals into CAM + Local Memory lookups
+  /// with delayed-update coherency checks.
+  bool Swc = false;
+
+  /// Sec. 5.4 stack layout: packed, aligned frames; off = 16-word minimum
+  /// frame granularity (the paper's initial implementation).
+  bool StackOpt = true;
+};
+
+} // namespace sl::cg
+
+#endif // SL_CG_CGCONFIG_H

@@ -1,0 +1,1720 @@
+//===- cg/Lowering.cpp ------------------------------------------------------------==//
+//
+// Expansion strategy per packet primitive (see CgConfig for the knobs):
+//
+//  PktLoad/PktStore/PktLoadWide/PktStoreWide
+//    1. obtain buf_addr (+head_off unless the offset is static): one
+//       SRAM metadata read per access, or the per-packet context
+//       registers under PHR;
+//    2. address arithmetic — constant when SOAR resolved the offset,
+//       register arithmetic otherwise; unknown alignment reads one slack
+//       word and realigns in registers with variable shifts;
+//    3. extraction/insertion via shift/mask sequences (constant shifts
+//       when SOAR resolved offset or alignment).
+//    Scalar stores read-modify-write their word region unless the field
+//    covers it exactly.
+//
+//  PktDecap/PktEncap: head_off register update under PHR; SRAM
+//    read-modify-write of the head word otherwise.
+//
+//  ChannelPut: head_off write-back (PHR) + scratch ring put.
+//
+//  GLoad/GStore: SRAM/Scratch access; SWC-cached globals expand to
+//    cam_lookup + Local-Memory hit path with miss fill and delayed-update
+//    version checks in the dispatch loop.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cg/Lowering.h"
+
+#include "support/BitUtils.h"
+#include "support/Casting.h"
+
+#include <cassert>
+#include <map>
+#include <memory>
+#include <set>
+
+using namespace sl;
+using namespace sl::cg;
+using ir::Op;
+
+namespace {
+
+/// Where an IR value lives: one vreg, or two for i64 (Hi set).
+struct ValLoc {
+  int Lo = -1;
+  int Hi = -1;
+  bool is64() const { return Hi >= 0; }
+};
+
+/// Per-packet context registers (shared by every handle aliasing the same
+/// packet through decap/encap).
+struct HandleCtx {
+  int HReg = -1; ///< Metadata block address (the handle value).
+  int Buf = -1;  ///< buf_addr register (PHR).
+  int Head = -1; ///< head_off register (PHR).
+  int Len = -1;  ///< frame_len register (PHR).
+  bool Loaded = false;
+};
+
+class Lowerer {
+public:
+  Lowerer(ir::Module &M, const rts::MemoryMap &Map, const CgConfig &Cfg)
+      : M(M), Map(Map), Cfg(Cfg) {}
+
+  LoweredAggregate run(const std::vector<RootInput> &Roots,
+                       const std::string &Name);
+
+private:
+  // --- MEIR emission -------------------------------------------------------
+  int newBlock(const std::string &N) {
+    Code.Blocks.push_back(MBlock{N, {}});
+    return static_cast<int>(Code.Blocks.size() - 1);
+  }
+  void setBlock(int B) { CurBlock = B; }
+  MInstr &emit(MInstr I) {
+    Code.Blocks[CurBlock].Instrs.push_back(std::move(I));
+    return Code.Blocks[CurBlock].Instrs.back();
+  }
+  int reg() { return NextReg++; }
+
+  int movImm(int64_t V, const char *Why = "") {
+    MInstr I;
+    I.Op = MOp::MovImm;
+    I.Dst = reg();
+    I.Imm = V;
+    I.Comment = Why;
+    return emit(std::move(I)).Dst;
+  }
+  int alu(MOp O, int A, int B) {
+    MInstr I;
+    I.Op = O;
+    I.Dst = reg();
+    I.SrcA = A;
+    I.SrcB = B;
+    return emit(std::move(I)).Dst;
+  }
+  int aluImm(MOp O, int A, int64_t Imm) {
+    MInstr I;
+    I.Op = O;
+    I.Dst = reg();
+    I.SrcA = A;
+    I.Imm = Imm;
+    return emit(std::move(I)).Dst;
+  }
+  int mov(int A) {
+    MInstr I;
+    I.Op = MOp::Mov;
+    I.Dst = reg();
+    I.SrcA = A;
+    return emit(std::move(I)).Dst;
+  }
+  void movTo(int Dst, int A) {
+    MInstr I;
+    I.Op = MOp::Mov;
+    I.Dst = Dst;
+    I.SrcA = A;
+    emit(std::move(I));
+  }
+  void movImmTo(int Dst, int64_t V) {
+    MInstr I;
+    I.Op = MOp::MovImm;
+    I.Dst = Dst;
+    I.Imm = V;
+    emit(std::move(I));
+  }
+  int setCond(MCond C, int A, int B, int64_t Imm = 0) {
+    MInstr I;
+    I.Op = MOp::Set;
+    I.Cond = C;
+    I.Dst = reg();
+    I.SrcA = A;
+    I.SrcB = B;
+    I.Imm = Imm;
+    return emit(std::move(I)).Dst;
+  }
+  void brCond(MCond C, int A, int B, int64_t Imm, int Target) {
+    MInstr I;
+    I.Op = MOp::BrCond;
+    I.Cond = C;
+    I.SrcA = A;
+    I.SrcB = B;
+    I.Imm = Imm;
+    I.Target = Target;
+    emit(std::move(I));
+  }
+  void br(int Target) {
+    MInstr I;
+    I.Op = MOp::Br;
+    I.Target = Target;
+    emit(std::move(I));
+  }
+
+  /// Memory access. AddrReg < 0 means absolute address Imm.
+  MInstr &memOp(MOp O, MSpace Space, MemClass Class, int AddrReg,
+                int64_t Imm, unsigned XferBase, unsigned Words) {
+    MInstr I;
+    I.Op = O;
+    I.Space = Space;
+    I.Class = Class;
+    I.SrcA = AddrReg;
+    I.Imm = Imm;
+    I.Xfer = XferBase;
+    I.Words = Words;
+    return emit(std::move(I));
+  }
+  int xferToGpr(unsigned Slot) {
+    MInstr I;
+    I.Op = MOp::XferToGpr;
+    I.Dst = reg();
+    I.Xfer = Slot;
+    return emit(std::move(I)).Dst;
+  }
+  void gprToXfer(unsigned Slot, int Src) {
+    MInstr I;
+    I.Op = MOp::GprToXfer;
+    I.Xfer = Slot;
+    I.SrcA = Src;
+    emit(std::move(I));
+  }
+
+  // --- stack slots -----------------------------------------------------------
+  int newSlot(unsigned Words, unsigned FrameId) {
+    Result.Slots.push_back({Words, FrameId, /*IsSpill=*/false});
+    return static_cast<int>(Result.Slots.size() - 1);
+  }
+  int slotRead(int Slot, unsigned Word) {
+    MInstr I;
+    I.Op = MOp::LmRead;
+    I.Class = MemClass::Stack;
+    I.Dst = reg();
+    I.StackSlot = Slot;
+    I.SlotWord = Word;
+    return emit(std::move(I)).Dst;
+  }
+  void slotWrite(int Slot, unsigned Word, int Src) {
+    MInstr I;
+    I.Op = MOp::LmWrite;
+    I.Class = MemClass::Stack;
+    I.SrcA = Src;
+    I.StackSlot = Slot;
+    I.SlotWord = Word;
+    emit(std::move(I));
+  }
+
+  // --- values ------------------------------------------------------------------
+  ValLoc val(ir::Value *V);
+  void bind(const ir::Value *V, ValLoc L) { VMap[V] = L; }
+  std::shared_ptr<HandleCtx> ctxOf(ir::Value *Handle);
+  void ensureCtx(HandleCtx &Ctx);
+  void fetchBufHead(HandleCtx &Ctx, bool NeedHead);
+  void syncHead(ir::Instr *Site, HandleCtx &Ctx);
+
+  // --- bit helpers ----------------------------------------------------------------
+  int zero() {
+    if (ZeroReg < 0)
+      ZeroReg = movImm(0, "zero");
+    return ZeroReg;
+  }
+  int maskValue(int R, unsigned Bits) {
+    if (Bits >= 32)
+      return R;
+    return aluImm(MOp::And, R, (int64_t(1) << Bits) - 1);
+  }
+  int signExtendReg(int R, unsigned Bits) {
+    if (Bits >= 32)
+      return R;
+    int S = aluImm(MOp::Shl, R, 32 - Bits);
+    return aluImm(MOp::Asr, S, 32 - Bits);
+  }
+  ValLoc extractConst(const std::vector<int> &Words, unsigned StartBit,
+                      unsigned Width);
+  int extract32(const std::vector<int> &Words, unsigned StartBit,
+                unsigned Width);
+  void insert32(std::vector<int> &Words, unsigned StartBit, unsigned Width,
+                int Val);
+  void insertConst(std::vector<int> &Words, unsigned StartBit,
+                   unsigned Width, ValLoc Val);
+  std::vector<int> realignIn(const std::vector<int> &Raw, int LoBits,
+                             unsigned OutWords);
+  std::vector<int> realignOut(const std::vector<int> &W,
+                              const std::vector<int> &Raw, int LoBits);
+  int emitUDiv(int A, int B, bool WantRem);
+  void emitGenericOverhead(const char *What);
+
+  // --- packet regions -----------------------------------------------------------
+  struct Region {
+    int AddrReg = -1;     ///< Base register (buf_addr or computed address).
+    int64_t AddrImm = 0;  ///< Constant byte displacement.
+    int LoBits = -1;      ///< Dynamic realignment shift register, or -1.
+    unsigned Words = 0;   ///< Logical payload words.
+    unsigned FieldShift = 0; ///< Constant bit offset of payload in region.
+  };
+  Region pktRegion(ir::Instr *I, HandleCtx &Ctx, int64_t RelBitOff,
+                   unsigned BitWidth);
+  std::vector<int> readRegion(const Region &R, MemClass Class);
+  void writeRegion(const Region &R, MemClass Class,
+                   const std::vector<int> &W);
+
+  // --- IR lowering -----------------------------------------------------------------
+  void lowerRoot(ir::Function *F, int HandleReg);
+  void lowerInstr(ir::Instr *I);
+  void lowerBinary(ir::Instr *I);
+  void lowerCompare(ir::Instr *I);
+  void lowerPktAccess(ir::Instr *I);
+  void lowerMetaAccess(ir::Instr *I);
+  void lowerWideAccess(ir::Instr *I);
+  void lowerGlobalLoad(ir::Instr *I);
+  void lowerGlobalStore(ir::Instr *I);
+  using BasicBlockPtrConst = ir::BasicBlock *;
+  bool edgeHasPhiWork(ir::BasicBlock *Pred, ir::BasicBlock *Succ) const;
+  void emitPhiMoves(ir::BasicBlock *Pred, ir::BasicBlock *Succ,
+                    int PredBlockId);
+  void emitSwcDispatchCheck();
+
+  ir::Module &M;
+  const rts::MemoryMap &Map;
+  CgConfig Cfg;
+
+  MCode Code;
+  LoweredAggregate Result;
+  int NextReg = 0;
+  int CurBlock = 0;
+  int ZeroReg = -1;
+  int DispatchBlock = -1;
+
+  // Per-root lowering state (cleared between roots).
+  std::map<const ir::Value *, ValLoc> VMap;
+  std::map<const ir::Value *, std::vector<int>> WMap;
+  std::map<const ir::Value *, std::shared_ptr<HandleCtx>> HMap;
+  std::map<const ir::BasicBlock *, int> BlockMap;
+  std::map<const ir::Instr *, int> SlotMap;
+  /// Pre-created phi destination registers.
+  std::map<const ir::Instr *, ValLoc> PhiRegs;
+
+  std::vector<int> HandleRegs; ///< Handle register per root input.
+
+  // SWC state (per aggregate).
+  std::map<const ir::Global *, int> SwcVersionReg;
+  int SwcCounter = -1;
+  unsigned SwcInterval = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Bit manipulation helpers
+//===----------------------------------------------------------------------===//
+
+int Lowerer::extract32(const std::vector<int> &Words, unsigned StartBit,
+                       unsigned Width) {
+  assert(Width >= 1 && Width <= 32 && "extract32 range");
+  unsigned W0 = StartBit / 32;
+  unsigned Sh = StartBit % 32;
+  assert(W0 < Words.size() && "extract out of region");
+  if (Sh + Width <= 32) {
+    unsigned Right = 32 - Sh - Width;
+    int R = Words[W0];
+    if (Right)
+      R = aluImm(MOp::Shr, R, Right);
+    if (Sh != 0 && Width < 32)
+      R = maskValue(R, Width);
+    else if (Right == 0 && Sh != 0)
+      R = maskValue(R, Width);
+    return R;
+  }
+  unsigned Upper = 32 - Sh;        // Bits taken from word W0.
+  unsigned LowerW = Width - Upper; // Bits taken from word W0+1.
+  assert(W0 + 1 < Words.size() && "extract spans past region");
+  int A = Words[W0];
+  if (Sh != 0)
+    A = maskValue(A, Upper);
+  A = aluImm(MOp::Shl, A, LowerW);
+  int B = aluImm(MOp::Shr, Words[W0 + 1], 32 - LowerW);
+  return alu(MOp::Or, A, B);
+}
+
+ValLoc Lowerer::extractConst(const std::vector<int> &Words,
+                             unsigned StartBit, unsigned Width) {
+  ValLoc L;
+  if (Width <= 32) {
+    L.Lo = extract32(Words, StartBit, Width);
+    return L;
+  }
+  L.Hi = extract32(Words, StartBit, Width - 32);
+  L.Lo = extract32(Words, StartBit + Width - 32, 32);
+  return L;
+}
+
+void Lowerer::insert32(std::vector<int> &Words, unsigned StartBit,
+                       unsigned Width, int Val) {
+  assert(Width >= 1 && Width <= 32 && "insert32 range");
+  unsigned W0 = StartBit / 32;
+  unsigned Sh = StartBit % 32;
+  assert(W0 < Words.size() && "insert out of region");
+  uint64_t Mask = Width == 32 ? 0xFFFFFFFFull : ((1ull << Width) - 1);
+  if (Sh + Width <= 32) {
+    unsigned Right = 32 - Sh - Width;
+    if (Sh == 0 && Width == 32) {
+      Words[W0] = Val;
+      return;
+    }
+    int V = maskValue(Val, Width);
+    if (Right)
+      V = aluImm(MOp::Shl, V, Right);
+    uint64_t Keep = ~(Mask << Right) & 0xFFFFFFFFull;
+    int K = aluImm(MOp::And, Words[W0], static_cast<int64_t>(Keep));
+    Words[W0] = alu(MOp::Or, K, V);
+    return;
+  }
+  unsigned Upper = 32 - Sh;
+  unsigned LowerW = Width - Upper;
+  assert(W0 + 1 < Words.size() && "insert spans past region");
+  // Word W0: keep the top Sh bits, low Upper bits come from Val's top.
+  int Hi = aluImm(MOp::Shr, Val, LowerW);
+  Hi = maskValue(Hi, Upper);
+  uint64_t Keep0 = ~((1ull << Upper) - 1) & 0xFFFFFFFFull;
+  int K0 = aluImm(MOp::And, Words[W0], static_cast<int64_t>(Keep0));
+  Words[W0] = alu(MOp::Or, K0, Hi);
+  // Word W0+1: replace the top LowerW bits.
+  int LoPart = maskValue(Val, LowerW);
+  LoPart = aluImm(MOp::Shl, LoPart, 32 - LowerW);
+  uint64_t Keep1 = (1ull << (32 - LowerW)) - 1;
+  int K1 = aluImm(MOp::And, Words[W0 + 1], static_cast<int64_t>(Keep1));
+  Words[W0 + 1] = alu(MOp::Or, K1, LoPart);
+}
+
+void Lowerer::insertConst(std::vector<int> &Words, unsigned StartBit,
+                          unsigned Width, ValLoc Val) {
+  if (Width <= 32) {
+    insert32(Words, StartBit, Width, Val.Lo);
+    return;
+  }
+  assert(Val.is64() && "wide insert needs a 64-bit value");
+  insert32(Words, StartBit, Width - 32, Val.Hi);
+  insert32(Words, StartBit + Width - 32, 32, Val.Lo);
+}
+
+std::vector<int> Lowerer::realignIn(const std::vector<int> &Raw, int LoBits,
+                                    unsigned OutWords) {
+  // w[i] = (raw[i] << lo) | (raw[i+1] >> (32-lo)); shifts >= 32 yield 0.
+  int Inv = alu(MOp::Sub, movImm(32, "realign"), LoBits);
+  std::vector<int> W(OutWords);
+  for (unsigned I = 0; I != OutWords; ++I) {
+    int A = alu(MOp::Shl, Raw[I], LoBits);
+    int B = I + 1 < Raw.size() ? alu(MOp::Shr, Raw[I + 1], Inv) : zero();
+    W[I] = alu(MOp::Or, A, B);
+  }
+  return W;
+}
+
+std::vector<int> Lowerer::realignOut(const std::vector<int> &W,
+                                     const std::vector<int> &Raw,
+                                     int LoBits) {
+  unsigned N = static_cast<unsigned>(W.size());
+  assert(Raw.size() == N + 1 && "realignOut region shape");
+  int Inv = alu(MOp::Sub, movImm(32, "realign-out"), LoBits);
+  int AllOnes = movImm(0xFFFFFFFFll);
+  std::vector<int> Out(N + 1);
+  // First word keeps the top lo bits of raw[0].
+  int Low = alu(MOp::Shr, AllOnes, LoBits); // ones in the low 32-lo bits.
+  int KeepTop = alu(MOp::Xor, Low, AllOnes);
+  int First = alu(MOp::And, Raw[0], KeepTop);
+  Out[0] = alu(MOp::Or, First, alu(MOp::Shr, W[0], LoBits));
+  for (unsigned I = 1; I < N; ++I) {
+    int A = alu(MOp::Shl, W[I - 1], Inv);
+    int B = alu(MOp::Shr, W[I], LoBits);
+    Out[I] = alu(MOp::Or, A, B);
+  }
+  // Last word keeps the low 32-lo bits of raw[N].
+  int LastKeep = alu(MOp::And, Raw[N], Low);
+  Out[N] = alu(MOp::Or, alu(MOp::Shl, W[N - 1], Inv), LastKeep);
+  return Out;
+}
+
+int Lowerer::emitUDiv(int A, int B, bool WantRem) {
+  // Restoring division (the ME has no divide unit).
+  int Q = mov(zero());
+  int R = mov(zero());
+  int I = movImm(31, "udiv");
+  int LoopBB = newBlock("udiv.loop");
+  int SubBB = newBlock("udiv.sub");
+  int NextBB = newBlock("udiv.next");
+  int DoneBB = newBlock("udiv.done");
+  br(LoopBB);
+
+  setBlock(LoopBB);
+  int Bit = alu(MOp::Shr, A, I);
+  Bit = aluImm(MOp::And, Bit, 1);
+  int R2 = aluImm(MOp::Shl, R, 1);
+  R2 = alu(MOp::Or, R2, Bit);
+  movTo(R, R2);
+  brCond(MCond::Ult, R, B, 0, NextBB);
+  br(SubBB);
+
+  setBlock(SubBB);
+  movTo(R, alu(MOp::Sub, R, B));
+  int One = movImm(1);
+  movTo(Q, alu(MOp::Or, Q, alu(MOp::Shl, One, I)));
+  br(NextBB);
+
+  setBlock(NextBB);
+  movTo(I, aluImm(MOp::Sub, I, 1));
+  brCond(MCond::Sge, I, -1, 0, LoopBB);
+  br(DoneBB);
+
+  setBlock(DoneBB);
+  return WantRem ? R : Q;
+}
+
+void Lowerer::emitGenericOverhead(const char *What) {
+  if (Cfg.InlineExpansion)
+    return;
+  // BASE / -O1: packet primitives route through generic out-of-line
+  // routines; model their linkage and genericity bookkeeping (the paper
+  // measures ~38 + 5*words instructions per access).
+  int T = mov(zero());
+  for (int K = 0; K != 5; ++K)
+    T = aluImm(MOp::Add, T, 1);
+  for (int K = 0; K != 4; ++K)
+    T = aluImm(MOp::Shl, T, 1);
+  T = aluImm(MOp::And, T, 0xFF);
+  Code.Blocks[CurBlock].Instrs.back().Comment =
+      std::string("generic-routine overhead: ") + What;
+}
+
+//===----------------------------------------------------------------------===//
+// Handle context
+//===----------------------------------------------------------------------===//
+
+std::shared_ptr<HandleCtx> Lowerer::ctxOf(ir::Value *Handle) {
+  auto It = HMap.find(Handle);
+  if (It != HMap.end())
+    return It->second;
+  auto Ctx = std::make_shared<HandleCtx>();
+  ValLoc L = val(Handle);
+  Ctx->HReg = L.Lo;
+  HMap[Handle] = Ctx;
+  return Ctx;
+}
+
+void Lowerer::ensureCtx(HandleCtx &Ctx) {
+  if (!Cfg.Phr || Ctx.Loaded)
+    return;
+  memOp(MOp::MemRead, MSpace::Sram, MemClass::PktMeta, Ctx.HReg, 0, 0, 3)
+      .Comment = "load packet context";
+  Ctx.Buf = xferToGpr(0);
+  Ctx.Head = xferToGpr(1);
+  Ctx.Len = xferToGpr(2);
+  Ctx.Loaded = true;
+}
+
+void Lowerer::fetchBufHead(HandleCtx &Ctx, bool NeedHead) {
+  if (Cfg.Phr) {
+    ensureCtx(Ctx);
+    return;
+  }
+  // One SRAM metadata read per access (buf_addr + head_off).
+  memOp(MOp::MemRead, MSpace::Sram, MemClass::PktMeta, Ctx.HReg, 0, 0,
+        NeedHead ? 2u : 1u)
+      .Comment = "buf_addr/head_off fetch";
+  Ctx.Buf = xferToGpr(0);
+  if (NeedHead)
+    Ctx.Head = xferToGpr(1);
+}
+
+void Lowerer::syncHead(ir::Instr *Site, HandleCtx &Ctx) {
+  if (!Cfg.Phr)
+    return; // Non-PHR code keeps SRAM current at every decap/encap.
+  int HeadVal;
+  if (Cfg.UseSoar && Site->StaticHdrOff != ir::Instr::UnknownOff)
+    HeadVal = movImm(Site->StaticHdrOff, "head = static offset");
+  else if (Ctx.Loaded)
+    HeadVal = Ctx.Head;
+  else
+    return; // Context never touched: the SRAM copy is still current.
+  gprToXfer(0, HeadVal);
+  memOp(MOp::MemWrite, MSpace::Sram, MemClass::PktMeta, Ctx.HReg,
+        /*word1*/ 4, 0, 1)
+      .Comment = "head_off write-back";
+}
+
+//===----------------------------------------------------------------------===//
+// Packet data regions
+//===----------------------------------------------------------------------===//
+
+Lowerer::Region Lowerer::pktRegion(ir::Instr *I, HandleCtx &Ctx,
+                                   int64_t RelBitOff, unsigned BitWidth) {
+  Region R;
+  bool StaticOff = Cfg.UseSoar && I->StaticHdrOff != ir::Instr::UnknownOff;
+
+  if (StaticOff) {
+    fetchBufHead(Ctx, /*NeedHead=*/false);
+    int64_t AbsBit = I->StaticHdrOff * 8 + RelBitOff;
+    int64_t RegionBit = AbsBit >= 0 ? (AbsBit & ~int64_t(31))
+                                    : -((-AbsBit + 31) & ~int64_t(31));
+    R.AddrReg = Ctx.Buf;
+    R.AddrImm = RegionBit / 8;
+    R.FieldShift = static_cast<unsigned>(AbsBit - RegionBit);
+    R.Words =
+        static_cast<unsigned>((AbsBit + BitWidth - RegionBit + 31) / 32);
+    return R;
+  }
+
+  fetchBufHead(Ctx, /*NeedHead=*/true);
+  bool Align4 = Cfg.UseSoar && I->StaticAlign >= 4;
+  if (Align4) {
+    // Word boundaries are static relative to the header; only the base
+    // address is a register.
+    int64_t RegionBit = RelBitOff & ~int64_t(31);
+    R.FieldShift = static_cast<unsigned>(RelBitOff - RegionBit);
+    R.Words =
+        static_cast<unsigned>((RelBitOff + BitWidth - RegionBit + 31) / 32);
+    R.AddrReg = alu(MOp::Add, Ctx.Buf, Ctx.Head);
+    R.AddrImm = RegionBit / 8;
+    return R;
+  }
+
+  // Fully dynamic: realignment with one slack word.
+  int ByteOff = aluImm(MOp::Add, Ctx.Head, RelBitOff / 8);
+  int Addr = alu(MOp::Add, Ctx.Buf, ByteOff);
+  R.AddrReg = aluImm(MOp::And, Addr, ~int64_t(3));
+  int LoB = aluImm(MOp::And, Addr, 3);
+  int Lo = aluImm(MOp::Shl, LoB, 3);
+  if (RelBitOff % 8)
+    Lo = aluImm(MOp::Add, Lo, RelBitOff % 8);
+  R.LoBits = Lo;
+  R.FieldShift = static_cast<unsigned>(0);
+  R.Words = static_cast<unsigned>((RelBitOff % 8 + BitWidth + 31) / 32);
+  return R;
+}
+
+std::vector<int> Lowerer::readRegion(const Region &R, MemClass Class) {
+  unsigned RawWords = R.LoBits >= 0 ? R.Words + 1 : R.Words;
+  memOp(MOp::MemRead, MSpace::Dram, Class, R.AddrReg, R.AddrImm, 0,
+        RawWords);
+  std::vector<int> Raw(RawWords);
+  for (unsigned K = 0; K != RawWords; ++K)
+    Raw[K] = xferToGpr(K);
+  if (R.LoBits >= 0)
+    return realignIn(Raw, R.LoBits, R.Words);
+  return Raw;
+}
+
+void Lowerer::writeRegion(const Region &R, MemClass Class,
+                          const std::vector<int> &W) {
+  if (R.LoBits >= 0) {
+    unsigned RawWords = R.Words + 1;
+    memOp(MOp::MemRead, MSpace::Dram, Class, R.AddrReg, R.AddrImm, 0,
+          RawWords)
+        .Comment = "unaligned store RMW";
+    std::vector<int> Raw(RawWords);
+    for (unsigned K = 0; K != RawWords; ++K)
+      Raw[K] = xferToGpr(K);
+    std::vector<int> Out = realignOut(W, Raw, R.LoBits);
+    for (unsigned K = 0; K != RawWords; ++K)
+      gprToXfer(K, Out[K]);
+    memOp(MOp::MemWrite, MSpace::Dram, Class, R.AddrReg, R.AddrImm, 0,
+          RawWords);
+    return;
+  }
+  for (unsigned K = 0; K != R.Words; ++K)
+    gprToXfer(K, W[K]);
+  memOp(MOp::MemWrite, MSpace::Dram, Class, R.AddrReg, R.AddrImm, 0,
+        R.Words);
+}
+
+//===----------------------------------------------------------------------===//
+// Values
+//===----------------------------------------------------------------------===//
+
+ValLoc Lowerer::val(ir::Value *V) {
+  auto It = VMap.find(V);
+  if (It != VMap.end())
+    return It->second;
+  if (auto *C = dyn_cast<ir::ConstInt>(V)) {
+    ValLoc L;
+    if (C->type().isInt() && C->type().bits() == 64) {
+      L.Lo = movImm(static_cast<int64_t>(C->value() & 0xFFFFFFFFull));
+      L.Hi = movImm(static_cast<int64_t>(C->value() >> 32));
+    } else {
+      L.Lo = movImm(static_cast<int64_t>(C->value()));
+    }
+    return L;
+  }
+  assert(false && "value used before definition during lowering");
+  return ValLoc();
+}
+
+//===----------------------------------------------------------------------===//
+// Scalar instructions
+//===----------------------------------------------------------------------===//
+
+void Lowerer::lowerCompare(ir::Instr *I) {
+  unsigned Bits = I->operand(0)->type().bits();
+  ValLoc A = val(I->operand(0));
+  ValLoc B = val(I->operand(1));
+  MCond C;
+  bool Signed = false;
+  switch (I->op()) {
+  case Op::CmpEq:
+    C = MCond::Eq;
+    break;
+  case Op::CmpNe:
+    C = MCond::Ne;
+    break;
+  case Op::CmpULt:
+    C = MCond::Ult;
+    break;
+  case Op::CmpULe:
+    C = MCond::Ule;
+    break;
+  case Op::CmpUGt:
+    C = MCond::Ugt;
+    break;
+  case Op::CmpUGe:
+    C = MCond::Uge;
+    break;
+  case Op::CmpSLt:
+    C = MCond::Slt;
+    Signed = true;
+    break;
+  case Op::CmpSLe:
+    C = MCond::Sle;
+    Signed = true;
+    break;
+  case Op::CmpSGt:
+    C = MCond::Sgt;
+    Signed = true;
+    break;
+  default:
+    C = MCond::Sge;
+    Signed = true;
+    break;
+  }
+
+  ValLoc R;
+  if (Bits == 64) {
+    switch (C) {
+    case MCond::Eq:
+    case MCond::Ne: {
+      int XorLo = alu(MOp::Xor, A.Lo, B.Lo);
+      int XorHi = alu(MOp::Xor, A.Hi, B.Hi);
+      int OrAll = alu(MOp::Or, XorLo, XorHi);
+      R.Lo = setCond(C, OrAll, -1, 0);
+      break;
+    }
+    default: {
+      // lt = (a.hi < b.hi) | (a.hi == b.hi & a.lo < b.lo); derive the
+      // requested relation from lt/eq.
+      MCond HiRel = Signed ? MCond::Slt : MCond::Ult;
+      bool Swap = C == MCond::Ugt || C == MCond::Sgt || C == MCond::Uge ||
+                  C == MCond::Sge;
+      int ALo = Swap ? B.Lo : A.Lo, AHi = Swap ? B.Hi : A.Hi;
+      int BLo = Swap ? A.Lo : B.Lo, BHi = Swap ? A.Hi : B.Hi;
+      int HiLt = setCond(HiRel, AHi, BHi);
+      int HiEq = setCond(MCond::Eq, AHi, BHi);
+      int LoLt = setCond(MCond::Ult, ALo, BLo);
+      int Lt = alu(MOp::Or, HiLt, alu(MOp::And, HiEq, LoLt));
+      bool OrEqual = C == MCond::Ule || C == MCond::Sle || C == MCond::Uge ||
+                     C == MCond::Sge;
+      if (OrEqual) {
+        int EqLo = setCond(MCond::Eq, A.Lo, B.Lo);
+        int EqHi = setCond(MCond::Eq, A.Hi, B.Hi);
+        int Eq = alu(MOp::And, EqLo, EqHi);
+        R.Lo = alu(MOp::Or, Lt, Eq);
+      } else {
+        R.Lo = Lt;
+      }
+      break;
+    }
+    }
+    bind(I, R);
+    return;
+  }
+
+  int AReg = A.Lo, BReg = B.Lo;
+  if (Signed && Bits < 32) {
+    AReg = signExtendReg(AReg, Bits);
+    BReg = signExtendReg(BReg, Bits);
+  }
+  R.Lo = setCond(C, AReg, BReg);
+  bind(I, R);
+}
+
+void Lowerer::lowerBinary(ir::Instr *I) {
+  if (ir::isCompareOp(I->op())) {
+    lowerCompare(I);
+    return;
+  }
+  unsigned Bits = I->type().bits();
+  ValLoc A = val(I->operand(0));
+  ValLoc B = val(I->operand(1));
+  ValLoc R;
+
+  if (Bits == 64) {
+    switch (I->op()) {
+    case Op::Add: {
+      R.Lo = alu(MOp::Add, A.Lo, B.Lo);
+      int Carry = setCond(MCond::Ult, R.Lo, A.Lo);
+      int Hi = alu(MOp::Add, A.Hi, B.Hi);
+      R.Hi = alu(MOp::Add, Hi, Carry);
+      break;
+    }
+    case Op::Sub: {
+      int Borrow = setCond(MCond::Ult, A.Lo, B.Lo);
+      R.Lo = alu(MOp::Sub, A.Lo, B.Lo);
+      int Hi = alu(MOp::Sub, A.Hi, B.Hi);
+      R.Hi = alu(MOp::Sub, Hi, Borrow);
+      break;
+    }
+    case Op::And:
+      R.Lo = alu(MOp::And, A.Lo, B.Lo);
+      R.Hi = alu(MOp::And, A.Hi, B.Hi);
+      break;
+    case Op::Or:
+      R.Lo = alu(MOp::Or, A.Lo, B.Lo);
+      R.Hi = alu(MOp::Or, A.Hi, B.Hi);
+      break;
+    case Op::Xor:
+      R.Lo = alu(MOp::Xor, A.Lo, B.Lo);
+      R.Hi = alu(MOp::Xor, A.Hi, B.Hi);
+      break;
+    case Op::Shl:
+    case Op::LShr: {
+      // The amount must be compile-time constant; peek through the width
+      // conversions unoptimized (BASE) code leaves around literals.
+      ir::Value *Amt = I->operand(1);
+      while (auto *Cast = dyn_cast<ir::Instr>(Amt)) {
+        if (Cast->op() != Op::ZExt && Cast->op() != Op::SExt &&
+            Cast->op() != Op::Trunc)
+          break;
+        Amt = Cast->operand(0);
+      }
+      const auto *Sh = dyn_cast<ir::ConstInt>(Amt);
+      assert(Sh && "64-bit shifts require constant amounts");
+      unsigned K = static_cast<unsigned>(Sh->value() & 63);
+      bool Left = I->op() == Op::Shl;
+      if (K == 0) {
+        R = A;
+      } else if (K >= 32) {
+        if (Left) {
+          R.Hi = aluImm(MOp::Shl, A.Lo, K - 32);
+          R.Lo = zero();
+        } else {
+          R.Lo = aluImm(MOp::Shr, A.Hi, K - 32);
+          R.Hi = zero();
+        }
+      } else if (Left) {
+        int HiShift = aluImm(MOp::Shl, A.Hi, K);
+        int Carry = aluImm(MOp::Shr, A.Lo, 32 - K);
+        R.Hi = alu(MOp::Or, HiShift, Carry);
+        R.Lo = aluImm(MOp::Shl, A.Lo, K);
+      } else {
+        int LoShift = aluImm(MOp::Shr, A.Lo, K);
+        int Carry = aluImm(MOp::Shl, A.Hi, 32 - K);
+        R.Lo = alu(MOp::Or, LoShift, Carry);
+        R.Hi = aluImm(MOp::Shr, A.Hi, K);
+      }
+      break;
+    }
+    default:
+      assert(false && "unsupported 64-bit operation in ME lowering");
+      R.Lo = zero();
+      R.Hi = zero();
+    }
+    bind(I, R);
+    return;
+  }
+
+  switch (I->op()) {
+  case Op::Add:
+    R.Lo = maskValue(alu(MOp::Add, A.Lo, B.Lo), Bits);
+    break;
+  case Op::Sub:
+    R.Lo = maskValue(alu(MOp::Sub, A.Lo, B.Lo), Bits);
+    break;
+  case Op::Mul:
+    R.Lo = maskValue(alu(MOp::Mul, A.Lo, B.Lo), Bits);
+    break;
+  case Op::And:
+    R.Lo = alu(MOp::And, A.Lo, B.Lo);
+    break;
+  case Op::Or:
+    R.Lo = alu(MOp::Or, A.Lo, B.Lo);
+    break;
+  case Op::Xor:
+    R.Lo = alu(MOp::Xor, A.Lo, B.Lo);
+    break;
+  case Op::Shl:
+    R.Lo = maskValue(alu(MOp::Shl, A.Lo, B.Lo), Bits);
+    break;
+  case Op::LShr:
+    R.Lo = alu(MOp::Shr, A.Lo, B.Lo);
+    break;
+  case Op::AShr: {
+    int S = Bits < 32 ? signExtendReg(A.Lo, Bits) : A.Lo;
+    R.Lo = maskValue(alu(MOp::Asr, S, B.Lo), Bits);
+    break;
+  }
+  case Op::UDiv:
+    R.Lo = emitUDiv(A.Lo, B.Lo, /*WantRem=*/false);
+    break;
+  case Op::URem:
+    R.Lo = emitUDiv(A.Lo, B.Lo, /*WantRem=*/true);
+    break;
+  case Op::SDiv:
+  case Op::SRem: {
+    // |a| / |b| with sign fixups, branch-free.
+    int SA = Bits < 32 ? signExtendReg(A.Lo, Bits) : A.Lo;
+    int SB = Bits < 32 ? signExtendReg(B.Lo, Bits) : B.Lo;
+    int SignA = aluImm(MOp::Asr, SA, 31);
+    int SignB = aluImm(MOp::Asr, SB, 31);
+    int AbsA = alu(MOp::Sub, alu(MOp::Xor, SA, SignA), SignA);
+    int AbsB = alu(MOp::Sub, alu(MOp::Xor, SB, SignB), SignB);
+    int Res = emitUDiv(AbsA, AbsB, I->op() == Op::SRem);
+    int Sign = I->op() == Op::SRem ? SignA : alu(MOp::Xor, SignA, SignB);
+    int Fixed = alu(MOp::Sub, alu(MOp::Xor, Res, Sign), Sign);
+    R.Lo = maskValue(Fixed, Bits);
+    break;
+  }
+  default:
+    assert(false && "unhandled binary opcode");
+    R.Lo = zero();
+  }
+  bind(I, R);
+}
+
+//===----------------------------------------------------------------------===//
+// Packet / metadata / global accesses
+//===----------------------------------------------------------------------===//
+
+void Lowerer::lowerPktAccess(ir::Instr *I) {
+  auto Ctx = ctxOf(I->operand(0));
+  bool IsLoad = I->op() == Op::PktLoad;
+  emitGenericOverhead(IsLoad ? "pkt.load" : "pkt.store");
+  Region R = pktRegion(I, *Ctx, I->BitOff, I->BitWidth);
+
+  if (IsLoad) {
+    std::vector<int> W = readRegion(R, MemClass::PktData);
+    ValLoc V = extractConst(W, R.FieldShift, I->BitWidth);
+    // Widen to the IR result type.
+    if (I->type().bits() == 64 && !V.is64())
+      V.Hi = zero();
+    bind(I, V);
+    return;
+  }
+
+  ValLoc V = val(I->operand(1));
+  bool Covers = R.FieldShift == 0 && I->BitWidth == R.Words * 32 &&
+                R.LoBits < 0;
+  std::vector<int> W;
+  if (Covers) {
+    W.resize(R.Words);
+    if (I->BitWidth <= 32) {
+      W[0] = V.Lo;
+    } else {
+      W[0] = V.Hi;
+      W[1] = V.Lo;
+    }
+  } else {
+    W = readRegion(R, MemClass::PktData); // RMW.
+    insertConst(W, R.FieldShift, I->BitWidth, V);
+  }
+  writeRegion(R, MemClass::PktData, W);
+}
+
+void Lowerer::lowerMetaAccess(ir::Instr *I) {
+  auto Ctx = ctxOf(I->operand(0));
+  bool IsLoad = I->op() == Op::MetaLoad;
+  emitGenericOverhead(IsLoad ? "meta.load" : "meta.store");
+
+  unsigned StartWord = I->BitOff / 32;
+  unsigned EndWord = (I->BitOff + I->BitWidth + 31) / 32;
+  unsigned Words = EndWord - StartWord;
+  unsigned Shift = I->BitOff - StartWord * 32;
+  int64_t ByteOff = 12 + StartWord * 4; // After buf/head/len words.
+
+  if (IsLoad) {
+    memOp(MOp::MemRead, MSpace::Sram, MemClass::PktMeta, Ctx->HReg, ByteOff,
+          0, Words);
+    std::vector<int> W(Words);
+    for (unsigned K = 0; K != Words; ++K)
+      W[K] = xferToGpr(K);
+    ValLoc V = extractConst(W, Shift, I->BitWidth);
+    if (I->type().bits() == 64 && !V.is64())
+      V.Hi = zero();
+    bind(I, V);
+    return;
+  }
+
+  ValLoc V = val(I->operand(1));
+  bool Covers = Shift == 0 && I->BitWidth == Words * 32;
+  std::vector<int> W(Words);
+  if (!Covers) {
+    memOp(MOp::MemRead, MSpace::Sram, MemClass::PktMeta, Ctx->HReg, ByteOff,
+          0, Words)
+        .Comment = "meta RMW";
+    for (unsigned K = 0; K != Words; ++K)
+      W[K] = xferToGpr(K);
+    insertConst(W, Shift, I->BitWidth, V);
+  } else {
+    W[0] = V.Lo;
+    if (Words > 1)
+      W[1] = V.is64() ? V.Hi : zero();
+  }
+  for (unsigned K = 0; K != Words; ++K)
+    gprToXfer(K, W[K]);
+  memOp(MOp::MemWrite, MSpace::Sram, MemClass::PktMeta, Ctx->HReg, ByteOff,
+        0, Words);
+}
+
+void Lowerer::lowerWideAccess(ir::Instr *I) {
+  auto Ctx = ctxOf(I->operand(0));
+  bool IsLoad = I->op() == Op::PktLoadWide;
+  emitGenericOverhead(IsLoad ? "pkt.load.wide" : "pkt.store.wide");
+
+  if (I->Space == ir::WideSpace::Meta) {
+    int64_t ByteOff = 12 + I->ByteOff;
+    if (IsLoad) {
+      memOp(MOp::MemRead, MSpace::Sram, MemClass::PktMeta, Ctx->HReg,
+            ByteOff, 0, I->Words);
+      std::vector<int> W(I->Words);
+      for (unsigned K = 0; K != I->Words; ++K)
+        W[K] = xferToGpr(K);
+      WMap[I] = std::move(W);
+    } else {
+      const std::vector<int> &W = WMap.at(I->operand(1));
+      for (unsigned K = 0; K != I->Words; ++K)
+        gprToXfer(K, W[K]);
+      memOp(MOp::MemWrite, MSpace::Sram, MemClass::PktMeta, Ctx->HReg,
+            ByteOff, 0, I->Words);
+    }
+    return;
+  }
+
+  Region R = pktRegion(I, *Ctx, int64_t(I->ByteOff) * 8, I->Words * 32);
+  // With a static offset the header need not be word-aligned in DRAM: the
+  // logical wide value then sits FieldShift bits into the raw region.
+  if (IsLoad) {
+    std::vector<int> Raw = readRegion(R, MemClass::PktData);
+    if (R.LoBits < 0 && R.FieldShift != 0) {
+      std::vector<int> W(I->Words);
+      for (unsigned K = 0; K != I->Words; ++K)
+        W[K] = extract32(Raw, R.FieldShift + 32 * K, 32);
+      WMap[I] = std::move(W);
+    } else {
+      Raw.resize(I->Words, zero());
+      WMap[I] = std::move(Raw);
+    }
+  } else {
+    const std::vector<int> &W = WMap.at(I->operand(1));
+    if (R.LoBits < 0 && R.FieldShift != 0) {
+      std::vector<int> Raw = readRegion(R, MemClass::PktData); // RMW.
+      for (unsigned K = 0; K != I->Words; ++K)
+        insert32(Raw, R.FieldShift + 32 * K, 32, W[K]);
+      writeRegion(R, MemClass::PktData, Raw);
+    } else {
+      writeRegion(R, MemClass::PktData, W);
+    }
+  }
+}
+
+void Lowerer::lowerGlobalLoad(ir::Instr *I) {
+  const ir::Global *G = I->GlobalRef;
+  unsigned EW = rts::MemoryMap::elemWords(G);
+  ValLoc Idx = val(I->operand(0));
+  bool Cached = Cfg.Swc && G->Cached && Map.cacheFor(G);
+
+  MSpace Space =
+      G->Level == ir::MemLevel::Scratch ? MSpace::Scratch : MSpace::Sram;
+  int64_t Base = Space == MSpace::Scratch ? Map.ScratchGlobalBase.at(G)
+                                          : Map.GlobalBase.at(G);
+
+  auto homeRead = [&](MemClass Class) {
+    int Off = EW == 1 ? aluImm(MOp::Shl, Idx.Lo, 2)
+                      : aluImm(MOp::Shl, Idx.Lo, 3);
+    memOp(MOp::MemRead, Space, Class, Off, Base, 0, EW);
+    ValLoc V;
+    if (EW == 2) {
+      V.Hi = xferToGpr(0);
+      V.Lo = xferToGpr(1);
+    } else {
+      V.Lo = xferToGpr(0);
+    }
+    return V;
+  };
+
+  if (!Cached) {
+    ValLoc V = homeRead(MemClass::App);
+    if (I->type().bits() == 64 && !V.is64())
+      V.Hi = zero();
+    if (I->type().bits() < 32)
+      V.Lo = maskValue(V.Lo, I->type().bits());
+    bind(I, V);
+    return;
+  }
+
+  const rts::CacheCfg *CC = Map.cacheFor(G);
+  // cam_lookup; hit -> Local Memory; miss -> home + fill.
+  MInstr LK;
+  LK.Op = MOp::CamLookup;
+  LK.Dst = reg();
+  LK.SrcA = Idx.Lo;
+  LK.CamBase = CC->CamBase;
+  LK.CamSize = CC->CamEntries;
+  int LkRes = emit(std::move(LK)).Dst;
+  int Hit = aluImm(MOp::Shr, LkRes, 8);
+  int Entry = aluImm(MOp::And, LkRes, 0xFF);
+
+  int HitBB = newBlock("swc.hit");
+  int MissBB = newBlock("swc.miss");
+  int JoinBB = newBlock("swc.join");
+  ValLoc Out;
+  Out.Lo = reg();
+  if (EW == 2)
+    Out.Hi = reg();
+  brCond(MCond::Ne, Hit, -1, 0, HitBB);
+  br(MissBB);
+
+  setBlock(MissBB);
+  {
+    ValLoc V = homeRead(MemClass::AppCache);
+    MInstr CW;
+    CW.Op = MOp::CamWrite;
+    CW.SrcA = Idx.Lo;  // Tag.
+    CW.SrcB = Entry;   // Entry index.
+    CW.CamBase = CC->CamBase;
+    CW.CamSize = CC->CamEntries;
+    emit(std::move(CW));
+    // Fill the Local Memory line.
+    int LineOff = EW == 1 ? Entry : aluImm(MOp::Shl, Entry, 1);
+    MInstr LW;
+    LW.Op = MOp::LmWrite;
+    LW.Class = MemClass::AppCache;
+    LW.SrcA = V.Lo;
+    LW.SrcB = LineOff;
+    LW.Imm = CC->LmBase;
+    emit(std::move(LW));
+    if (EW == 2) {
+      MInstr LW2;
+      LW2.Op = MOp::LmWrite;
+      LW2.Class = MemClass::AppCache;
+      LW2.SrcA = V.Hi;
+      LW2.SrcB = LineOff;
+      LW2.Imm = CC->LmBase + 1;
+      emit(std::move(LW2));
+    }
+    movTo(Out.Lo, V.Lo);
+    if (EW == 2)
+      movTo(Out.Hi, V.Hi);
+    br(JoinBB);
+  }
+
+  setBlock(HitBB);
+  {
+    int LineOff = EW == 1 ? Entry : aluImm(MOp::Shl, Entry, 1);
+    MInstr LR;
+    LR.Op = MOp::LmRead;
+    LR.Class = MemClass::AppCache;
+    LR.Dst = reg();
+    LR.SrcB = LineOff;
+    LR.Imm = CC->LmBase;
+    int Lo = emit(std::move(LR)).Dst;
+    movTo(Out.Lo, Lo);
+    if (EW == 2) {
+      MInstr LR2;
+      LR2.Op = MOp::LmRead;
+      LR2.Class = MemClass::AppCache;
+      LR2.Dst = reg();
+      LR2.SrcB = LineOff;
+      LR2.Imm = CC->LmBase + 1;
+      movTo(Out.Hi, emit(std::move(LR2)).Dst);
+    }
+    br(JoinBB);
+  }
+
+  setBlock(JoinBB);
+  if (I->type().bits() == 64 && !Out.is64())
+    Out.Hi = zero();
+  if (I->type().bits() < 32)
+    Out.Lo = maskValue(Out.Lo, I->type().bits());
+  bind(I, Out);
+}
+
+void Lowerer::lowerGlobalStore(ir::Instr *I) {
+  const ir::Global *G = I->GlobalRef;
+  unsigned EW = rts::MemoryMap::elemWords(G);
+  ValLoc Idx = val(I->operand(0));
+  ValLoc V = val(I->operand(1));
+  MSpace Space =
+      G->Level == ir::MemLevel::Scratch ? MSpace::Scratch : MSpace::Sram;
+  int64_t Base = Space == MSpace::Scratch ? Map.ScratchGlobalBase.at(G)
+                                          : Map.GlobalBase.at(G);
+  int Off = EW == 1 ? aluImm(MOp::Shl, Idx.Lo, 2)
+                    : aluImm(MOp::Shl, Idx.Lo, 3);
+  if (EW == 2) {
+    gprToXfer(0, V.is64() ? V.Hi : zero());
+    gprToXfer(1, V.Lo);
+  } else {
+    gprToXfer(0, V.Lo);
+  }
+  memOp(MOp::MemWrite, Space, MemClass::App, Off, Base, 0, EW);
+
+  // Delayed-update store path: bump the version word so caching MEs
+  // eventually notice (Fig. 8 of the paper).
+  if (Cfg.Swc && G->Cached && Map.cacheFor(G)) {
+    const rts::CacheCfg *CC = Map.cacheFor(G);
+    memOp(MOp::MemRead, MSpace::Scratch, MemClass::AppCache, -1,
+          CC->VersionAddr, 0, 1)
+        .Comment = "version bump (read)";
+    int Ver = xferToGpr(0);
+    int NewVer = aluImm(MOp::Add, Ver, 1);
+    gprToXfer(0, NewVer);
+    memOp(MOp::MemWrite, MSpace::Scratch, MemClass::AppCache, -1,
+          CC->VersionAddr, 0, 1)
+        .Comment = "version bump (write)";
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Instruction dispatch
+//===----------------------------------------------------------------------===//
+
+void Lowerer::lowerInstr(ir::Instr *I) {
+  if (ir::isBinaryOp(I->op())) {
+    lowerBinary(I);
+    return;
+  }
+  switch (I->op()) {
+  case Op::ZExt: {
+    ValLoc A = val(I->operand(0));
+    ValLoc R;
+    if (I->type().bits() == 64) {
+      R.Lo = A.Lo;
+      R.Hi = zero();
+    } else {
+      R.Lo = A.Lo; // Already masked to the narrower width.
+    }
+    bind(I, R);
+    return;
+  }
+  case Op::SExt: {
+    unsigned SrcBits = I->operand(0)->type().bits();
+    ValLoc A = val(I->operand(0));
+    ValLoc R;
+    if (I->type().bits() == 64) {
+      int S = SrcBits < 32 ? signExtendReg(A.Lo, SrcBits) : A.Lo;
+      R.Lo = S;
+      R.Hi = aluImm(MOp::Asr, S, 31);
+    } else {
+      int S = signExtendReg(A.Lo, SrcBits);
+      R.Lo = maskValue(S, I->type().bits());
+    }
+    bind(I, R);
+    return;
+  }
+  case Op::Trunc: {
+    ValLoc A = val(I->operand(0));
+    ValLoc R;
+    R.Lo = maskValue(A.Lo, I->type().bits());
+    bind(I, R);
+    return;
+  }
+  case Op::Select: {
+    ValLoc C = val(I->operand(0));
+    ValLoc A = val(I->operand(1));
+    ValLoc B = val(I->operand(2));
+    // mask = 0 - c; r = (a & mask) | (b & ~mask).
+    int Mask = alu(MOp::Sub, zero(), C.Lo);
+    int NotMask = aluImm(MOp::Xor, Mask, 0xFFFFFFFFll);
+    ValLoc R;
+    R.Lo = alu(MOp::Or, alu(MOp::And, A.Lo, Mask),
+               alu(MOp::And, B.Lo, NotMask));
+    if (I->type().isInt() && I->type().bits() == 64)
+      R.Hi = alu(MOp::Or, alu(MOp::And, A.Hi, Mask),
+                 alu(MOp::And, B.Hi, NotMask));
+    bind(I, R);
+    return;
+  }
+  case Op::Alloca: {
+    unsigned Words = 1;
+    if (I->AllocTy.isInt() && I->AllocTy.bits() == 64)
+      Words = 2;
+    // Frame id comes from the inliner's block suffix bookkeeping: names
+    // like "x.inl7" belong to inline frame 7.
+    unsigned Frame = 0;
+    const std::string &N = I->name();
+    size_t Pos = N.rfind(".inl");
+    if (Pos != std::string::npos)
+      Frame = static_cast<unsigned>(
+          std::atoi(N.c_str() + Pos + 4) % 1024) + 1;
+    SlotMap[I] = newSlot(Words, Frame);
+    bind(I, ValLoc{zero(), -1});
+    return;
+  }
+  case Op::Load: {
+    auto *Slot = cast<ir::Instr>(I->operand(0));
+    int S = SlotMap.at(Slot);
+    ValLoc R;
+    R.Lo = slotRead(S, 0);
+    if (I->type().isInt() && I->type().bits() == 64)
+      R.Hi = slotRead(S, 1);
+    bind(I, R);
+    // A packet handle reloaded from the stack needs a fresh context.
+    return;
+  }
+  case Op::Store: {
+    auto *Slot = cast<ir::Instr>(I->operand(0));
+    int S = SlotMap.at(Slot);
+    ValLoc V = val(I->operand(1));
+    slotWrite(S, 0, V.Lo);
+    if (V.is64())
+      slotWrite(S, 1, V.Hi);
+    return;
+  }
+  case Op::GLoad:
+    lowerGlobalLoad(I);
+    return;
+  case Op::GStore:
+    lowerGlobalStore(I);
+    return;
+  case Op::PktLoad:
+  case Op::PktStore:
+    lowerPktAccess(I);
+    return;
+  case Op::MetaLoad:
+  case Op::MetaStore:
+    lowerMetaAccess(I);
+    return;
+  case Op::PktLoadWide:
+  case Op::PktStoreWide:
+    lowerWideAccess(I);
+    return;
+  case Op::WideExtract: {
+    const std::vector<int> &W = WMap.at(I->operand(0));
+    ValLoc V = extractConst(W, I->BitOff, I->BitWidth);
+    if (I->type().bits() == 64 && !V.is64())
+      V.Hi = zero();
+    bind(I, V);
+    return;
+  }
+  case Op::WideInsert: {
+    std::vector<int> W = WMap.at(I->operand(0)); // Copy (SSA).
+    insertConst(W, I->BitOff, I->BitWidth, val(I->operand(1)));
+    WMap[I] = std::move(W);
+    return;
+  }
+  case Op::WideZero: {
+    std::vector<int> W(I->Words, zero());
+    WMap[I] = std::move(W);
+    return;
+  }
+  case Op::PktDecap: {
+    auto Ctx = ctxOf(I->operand(0));
+    emitGenericOverhead("pkt.decap");
+    ValLoc Size = val(I->operand(1));
+    if (Cfg.Phr) {
+      // One ALU op keeps the register current; static-offset consumers use
+      // their constants and boundary sites materialize from annotations,
+      // but a later dynamic decap must still see the true head.
+      ensureCtx(*Ctx);
+      movTo(Ctx->Head, alu(MOp::Add, Ctx->Head, Size.Lo));
+    } else {
+      // SRAM read-modify-write of head_off.
+      memOp(MOp::MemRead, MSpace::Sram, MemClass::PktMeta, Ctx->HReg, 4, 0,
+            1)
+          .Comment = "decap: head RMW read";
+      int Head = xferToGpr(0);
+      int NewHead = alu(MOp::Add, Head, Size.Lo);
+      gprToXfer(0, NewHead);
+      memOp(MOp::MemWrite, MSpace::Sram, MemClass::PktMeta, Ctx->HReg, 4, 0,
+            1)
+          .Comment = "decap: head RMW write";
+    }
+    bind(I, ValLoc{Ctx->HReg, -1});
+    HMap[I] = Ctx; // Aliases the same packet.
+    return;
+  }
+  case Op::PktEncap: {
+    auto Ctx = ctxOf(I->operand(0));
+    emitGenericOverhead("pkt.encap");
+    if (Cfg.Phr) {
+      ensureCtx(*Ctx);
+      movTo(Ctx->Head, aluImm(MOp::Sub, Ctx->Head, I->SizeBytes));
+    } else {
+      memOp(MOp::MemRead, MSpace::Sram, MemClass::PktMeta, Ctx->HReg, 4, 0,
+            1)
+          .Comment = "encap: head RMW read";
+      int Head = xferToGpr(0);
+      int NewHead = aluImm(MOp::Sub, Head, I->SizeBytes);
+      gprToXfer(0, NewHead);
+      memOp(MOp::MemWrite, MSpace::Sram, MemClass::PktMeta, Ctx->HReg, 4, 0,
+            1)
+          .Comment = "encap: head RMW write";
+    }
+    bind(I, ValLoc{Ctx->HReg, -1});
+    HMap[I] = Ctx;
+    return;
+  }
+  case Op::PktCopy: {
+    auto Ctx = ctxOf(I->operand(0));
+    syncHead(I, *Ctx); // The RTS clones SRAM metadata; keep it current.
+    MInstr C;
+    C.Op = MOp::RtsPktCopy;
+    C.Dst = reg();
+    C.SrcA = Ctx->HReg;
+    int NewH = emit(std::move(C)).Dst;
+    bind(I, ValLoc{NewH, -1});
+    // Fresh context for the clone (loaded lazily on first access).
+    auto NewCtx = std::make_shared<HandleCtx>();
+    NewCtx->HReg = NewH;
+    HMap[I] = NewCtx;
+    return;
+  }
+  case Op::PktDrop: {
+    auto Ctx = ctxOf(I->operand(0));
+    MInstr D;
+    D.Op = MOp::RtsPktDrop;
+    D.SrcA = Ctx->HReg;
+    emit(std::move(D));
+    return;
+  }
+  case Op::PktLength: {
+    auto Ctx = ctxOf(I->operand(0));
+    ValLoc R;
+    if (Cfg.Phr) {
+      ensureCtx(*Ctx);
+      R.Lo = alu(MOp::Sub, Ctx->Len, Ctx->Head);
+    } else {
+      memOp(MOp::MemRead, MSpace::Sram, MemClass::PktMeta, Ctx->HReg, 4, 0,
+            2)
+          .Comment = "length fetch";
+      int Head = xferToGpr(0);
+      int Len = xferToGpr(1);
+      R.Lo = alu(MOp::Sub, Len, Head);
+    }
+    bind(I, R);
+    return;
+  }
+  case Op::ChannelPut: {
+    auto Ctx = ctxOf(I->operand(0));
+    syncHead(I, *Ctx);
+    MInstr P;
+    P.Op = MOp::RingPut;
+    P.Class = MemClass::PktRing;
+    P.SrcA = Ctx->HReg;
+    P.Ring = I->ChanId == 0 ? rts::TxRing : rts::ringOfChannel(I->ChanId);
+    emit(std::move(P));
+    return;
+  }
+  case Op::LockAcquire: {
+    int Spin = newBlock("lock.spin");
+    int Got = newBlock("lock.got");
+    br(Spin);
+    setBlock(Spin);
+    MInstr T;
+    T.Op = MOp::AtomicTestSet;
+    T.Class = MemClass::Lock;
+    T.Dst = reg();
+    T.Imm = Map.LockBase + I->LockId * 4;
+    int Old = emit(std::move(T)).Dst;
+    brCond(MCond::Eq, Old, -1, 0, Got);
+    MInstr Y;
+    Y.Op = MOp::CtxArb;
+    emit(std::move(Y));
+    br(Spin);
+    setBlock(Got);
+    return;
+  }
+  case Op::LockRelease: {
+    MInstr C;
+    C.Op = MOp::AtomicClear;
+    C.Class = MemClass::Lock;
+    C.Imm = Map.LockBase + I->LockId * 4;
+    emit(std::move(C));
+    return;
+  }
+  case Op::Call:
+    assert(false && "calls must be inlined before lowering");
+    return;
+  case Op::Phi:
+    // Handled via PhiRegs + edge moves.
+    bind(I, PhiRegs.at(I));
+    if (I->type().isPacket() && !HMap.count(I)) {
+      auto Ctx = std::make_shared<HandleCtx>();
+      Ctx->HReg = PhiRegs.at(I).Lo;
+      HMap[I] = Ctx;
+    }
+    return;
+  default:
+    assert(false && "unhandled IR opcode in lowering");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Control flow / roots / dispatch
+//===----------------------------------------------------------------------===//
+
+bool Lowerer::edgeHasPhiWork(ir::BasicBlock *Pred,
+                             ir::BasicBlock *Succ) const {
+  for (size_t K = 0; K != Succ->size(); ++K) {
+    ir::Instr *Phi = Succ->instr(K);
+    if (Phi->op() != Op::Phi)
+      break;
+    for (BasicBlockPtrConst PB : Phi->phiBlocks())
+      if (PB == Pred)
+        return true;
+  }
+  return false;
+}
+
+void Lowerer::emitPhiMoves(ir::BasicBlock *Pred, ir::BasicBlock *Succ,
+                           int PredBlockId) {
+  setBlock(PredBlockId);
+  // Gather the edge's parallel copy as word-level (src, dst) pairs.
+  std::vector<std::pair<int, int>> Moves;
+  for (size_t K = 0; K != Succ->size(); ++K) {
+    ir::Instr *Phi = Succ->instr(K);
+    if (Phi->op() != Op::Phi)
+      break;
+    for (unsigned In = 0; In != Phi->numOperands(); ++In) {
+      if (Phi->phiBlocks()[In] != Pred)
+        continue;
+      // Packet-typed phi: sync the incoming context's head first so a
+      // reload after the merge observes current state.
+      if (Phi->type().isPacket() && Cfg.Phr) {
+        auto It = HMap.find(Phi->operand(In));
+        if (It != HMap.end() && It->second->Loaded) {
+          gprToXfer(0, It->second->Head);
+          memOp(MOp::MemWrite, MSpace::Sram, MemClass::PktMeta,
+                It->second->HReg, 4, 0, 1)
+              .Comment = "phi head sync";
+        }
+      }
+      ValLoc Src = val(Phi->operand(In));
+      ValLoc Dst = PhiRegs.at(Phi);
+      if (Src.Lo != Dst.Lo)
+        Moves.push_back({Src.Lo, Dst.Lo});
+      if (Dst.Hi >= 0)
+        Moves.push_back({Src.is64() ? Src.Hi : zero(), Dst.Hi});
+      break;
+    }
+  }
+
+  // Sequentialize the parallel copy: emit moves whose destination no
+  // other pending move still reads; break cycles by saving one
+  // destination into a temporary.
+  while (!Moves.empty()) {
+    bool Progress = false;
+    for (size_t K = 0; K != Moves.size(); ++K) {
+      int Dst = Moves[K].second;
+      bool Read = false;
+      for (size_t J = 0; J != Moves.size(); ++J)
+        if (J != K && Moves[J].first == Dst)
+          Read = true;
+      if (Read)
+        continue;
+      movTo(Dst, Moves[K].first);
+      Moves.erase(Moves.begin() + static_cast<ptrdiff_t>(K));
+      Progress = true;
+      break;
+    }
+    if (Progress)
+      continue;
+    // Cycle: save the first move's destination, retarget readers.
+    int Saved = mov(Moves[0].second);
+    for (auto &[SrcR, DstR] : Moves)
+      if (SrcR == Moves[0].second)
+        SrcR = Saved;
+  }
+}
+
+void Lowerer::lowerRoot(ir::Function *F, int HandleReg) {
+  VMap.clear();
+  WMap.clear();
+  HMap.clear();
+  BlockMap.clear();
+  SlotMap.clear();
+  PhiRegs.clear();
+
+  assert(F->numArgs() == 1 && F->arg(0)->type().isPacket() &&
+         "roots are PPFs");
+  bind(F->arg(0), ValLoc{HandleReg, -1});
+  auto Ctx = std::make_shared<HandleCtx>();
+  Ctx->HReg = HandleReg;
+  HMap[F->arg(0)] = Ctx;
+  if (Cfg.Phr)
+    ensureCtx(*Ctx); // Per-packet context load, once per dispatch.
+
+  // Pre-create MEIR blocks and phi registers.
+  for (const auto &BB : F->blocks()) {
+    BlockMap[BB.get()] = newBlock(F->name() + "." + BB->name());
+    for (const auto &I : BB->instrs()) {
+      if (I->op() != Op::Phi)
+        break;
+      ValLoc L;
+      L.Lo = reg();
+      if (I->type().isInt() && I->type().bits() == 64)
+        L.Hi = reg();
+      PhiRegs[I.get()] = L;
+    }
+  }
+
+  br(BlockMap.at(F->entry()));
+
+  for (const auto &BB : F->blocks()) {
+    setBlock(BlockMap.at(BB.get()));
+    for (const auto &I : BB->instrs()) {
+      switch (I->op()) {
+      case Op::Br: {
+        emitPhiMoves(BB.get(), I->succ(0), CurBlock);
+        br(BlockMap.at(I->succ(0)));
+        break;
+      }
+      case Op::CondBr: {
+        ValLoc C = val(I->operand(0));
+        ir::BasicBlock *TB = I->succ(0);
+        ir::BasicBlock *FB = I->succ(1);
+        bool TWork = edgeHasPhiWork(BB.get(), TB);
+        bool FWork = edgeHasPhiWork(BB.get(), FB);
+        // Edge blocks only where an edge carries phi moves.
+        int TrueTarget = BlockMap.at(TB);
+        if (TWork)
+          TrueTarget = newBlock("edge.t");
+        brCond(MCond::Ne, C.Lo, -1, 0, TrueTarget);
+        if (FWork) {
+          emitPhiMoves(BB.get(), FB, CurBlock);
+          br(BlockMap.at(FB));
+        } else {
+          br(BlockMap.at(FB));
+        }
+        if (TWork) {
+          emitPhiMoves(BB.get(), TB, TrueTarget);
+          setBlock(TrueTarget);
+          br(BlockMap.at(TB));
+        }
+        break;
+      }
+      case Op::Ret:
+        br(DispatchBlock);
+        break;
+      default:
+        lowerInstr(I.get());
+        break;
+      }
+      if (I->isTerm())
+        break;
+    }
+  }
+}
+
+void Lowerer::emitSwcDispatchCheck() {
+  if (!Cfg.Swc || Map.Caches.empty())
+    return;
+  // counter++; if (counter >= interval) { counter = 0; check versions }.
+  int CheckBB = newBlock("swc.check");
+  int AfterBB = newBlock("swc.after");
+  movTo(SwcCounter, aluImm(MOp::Add, SwcCounter, 1));
+  brCond(MCond::Uge, SwcCounter, -1, SwcInterval, CheckBB);
+  br(AfterBB);
+
+  setBlock(CheckBB);
+  movImmTo(SwcCounter, 0);
+  for (const rts::CacheCfg &CC : Map.Caches) {
+    memOp(MOp::MemRead, MSpace::Scratch, MemClass::AppCache, -1,
+          CC.VersionAddr, 0, 1)
+        .Comment = "delayed-update version check";
+    int Ver = xferToGpr(0);
+    int SameBB = newBlock("swc.same");
+    int FlushBB = newBlock("swc.flush");
+    brCond(MCond::Eq, Ver, SwcVersionReg.at(CC.G), 0, SameBB);
+    br(FlushBB);
+    setBlock(FlushBB);
+    MInstr FL;
+    FL.Op = MOp::CamFlush;
+    FL.CamBase = CC.CamBase;
+    FL.CamSize = CC.CamEntries;
+    emit(std::move(FL));
+    movTo(SwcVersionReg.at(CC.G), Ver);
+    br(SameBB);
+    setBlock(SameBB);
+  }
+  br(AfterBB);
+  setBlock(AfterBB);
+}
+
+LoweredAggregate Lowerer::run(const std::vector<RootInput> &Roots,
+                              const std::string &Name) {
+  Code.Name = Name;
+
+  int Entry = newBlock("entry");
+  DispatchBlock = newBlock("dispatch");
+
+  setBlock(Entry);
+  // SWC init: seed version registers and the check counter.
+  if (Cfg.Swc && !Map.Caches.empty()) {
+    SwcCounter = movImm(0, "swc counter");
+    SwcInterval = ~0u;
+    for (const rts::CacheCfg &CC : Map.Caches) {
+      memOp(MOp::MemRead, MSpace::Scratch, MemClass::AppCache, -1,
+            CC.VersionAddr, 0, 1)
+          .Comment = "initial version";
+      SwcVersionReg[CC.G] = mov(xferToGpr(0));
+      SwcInterval = std::min(SwcInterval, CC.CheckInterval);
+    }
+  }
+  br(DispatchBlock);
+
+  setBlock(DispatchBlock);
+
+  // Poll each input ring; on a packet fall into that root's body.
+  std::vector<std::pair<int, unsigned>> Gots; // (block, root index)
+  int IdleBB = newBlock("idle");
+  for (unsigned K = 0; K != Roots.size(); ++K) {
+    MInstr G;
+    G.Op = MOp::RingGet;
+    G.Class = MemClass::PktRing;
+    G.Dst = reg();
+    G.Ring = Roots[K].Ring;
+    int H = emit(std::move(G)).Dst;
+    int GotBB = newBlock("got." + Roots[K].Root->name());
+    int NextBB = newBlock("poll.next");
+    brCond(MCond::Ne, H, -1, 0, GotBB);
+    br(NextBB);
+    Gots.push_back({GotBB, K});
+    // Stash the handle register id inside the Gots entry via map below.
+    HandleRegs.push_back(H);
+    setBlock(NextBB);
+    Result.InputRings.push_back(Roots[K].Ring);
+  }
+  // Nothing available: yield and try again.
+  br(IdleBB);
+  setBlock(IdleBB);
+  MInstr Y;
+  Y.Op = MOp::CtxArb;
+  emit(std::move(Y));
+  br(DispatchBlock);
+
+  for (unsigned K = 0; K != Roots.size(); ++K) {
+    setBlock(Gots[K].first);
+    // The delayed-update coherency check runs per received packet
+    // ("only checks on every ith packet", Sec. 5.2).
+    emitSwcDispatchCheck();
+    lowerRoot(Roots[K].Root, HandleRegs[K]);
+  }
+
+  Code.NumVRegs = static_cast<unsigned>(NextReg);
+  Result.Code = std::move(Code);
+  return std::move(Result);
+}
+
+} // namespace
+
+LoweredAggregate sl::cg::lowerAggregate(ir::Module &M,
+                                        const rts::MemoryMap &Map,
+                                        const CgConfig &Cfg,
+                                        const std::vector<RootInput> &Roots,
+                                        const std::string &Name) {
+  Lowerer L(M, Map, Cfg);
+  return L.run(Roots, Name);
+}

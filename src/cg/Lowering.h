@@ -1,0 +1,51 @@
+//===- cg/Lowering.h - IR aggregate -> MEIR --------------------------------==//
+//
+// Lowers one aggregate (a set of root PPFs fed by rings) into MEIR: a
+// dispatch loop that polls the aggregate's input rings, loads per-packet
+// context, and falls into the inlined PPF bodies. All calls must have been
+// inlined before lowering (the ME has no call hardware; the paper's
+// compilers convert calls into branches).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SL_CG_LOWERING_H
+#define SL_CG_LOWERING_H
+
+#include "cg/CgConfig.h"
+#include "cg/MEIR.h"
+#include "ir/Module.h"
+#include "rts/MemoryMap.h"
+
+#include <vector>
+
+namespace sl::cg {
+
+/// A root PPF with the ring that feeds it.
+struct RootInput {
+  ir::Function *Root = nullptr;
+  unsigned Ring = 0;
+};
+
+/// Stack slot descriptor produced by lowering / register allocation and
+/// consumed by the stack layout pass.
+struct StackSlotInfo {
+  unsigned Words = 1;
+  unsigned FrameId = 0; ///< Source frame (0 = root; N = inline frame N).
+  bool IsSpill = false;
+};
+
+struct LoweredAggregate {
+  MCode Code;
+  std::vector<StackSlotInfo> Slots;
+  std::vector<unsigned> InputRings;
+};
+
+/// Lowers the given roots into one MEIR aggregate.
+LoweredAggregate lowerAggregate(ir::Module &M, const rts::MemoryMap &Map,
+                                const CgConfig &Cfg,
+                                const std::vector<RootInput> &Roots,
+                                const std::string &Name);
+
+} // namespace sl::cg
+
+#endif // SL_CG_LOWERING_H

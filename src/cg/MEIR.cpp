@@ -1,0 +1,232 @@
+//===- cg/MEIR.cpp --------------------------------------------------------------==//
+
+#include "cg/MEIR.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <map>
+
+using namespace sl;
+using namespace sl::cg;
+
+const char *sl::cg::mopName(MOp Op) {
+  switch (Op) {
+  case MOp::Add:
+    return "add";
+  case MOp::Sub:
+    return "sub";
+  case MOp::Mul:
+    return "mul";
+  case MOp::And:
+    return "and";
+  case MOp::Or:
+    return "or";
+  case MOp::Xor:
+    return "xor";
+  case MOp::Shl:
+    return "shl";
+  case MOp::Shr:
+    return "shr";
+  case MOp::Asr:
+    return "asr";
+  case MOp::Mov:
+    return "mov";
+  case MOp::MovImm:
+    return "immed";
+  case MOp::Set:
+    return "set";
+  case MOp::Br:
+    return "br";
+  case MOp::BrCond:
+    return "br.cond";
+  case MOp::Halt:
+    return "halt";
+  case MOp::MemRead:
+    return "mem.read";
+  case MOp::MemWrite:
+    return "mem.write";
+  case MOp::XferToGpr:
+    return "xfer2gpr";
+  case MOp::GprToXfer:
+    return "gpr2xfer";
+  case MOp::LmRead:
+    return "lm.read";
+  case MOp::LmWrite:
+    return "lm.write";
+  case MOp::CamLookup:
+    return "cam.lookup";
+  case MOp::CamWrite:
+    return "cam.write";
+  case MOp::CamFlush:
+    return "cam.flush";
+  case MOp::RingGet:
+    return "ring.get";
+  case MOp::RingPut:
+    return "ring.put";
+  case MOp::AtomicTestSet:
+    return "scratch.test_and_set";
+  case MOp::AtomicClear:
+    return "scratch.clear";
+  case MOp::RtsPktCopy:
+    return "rts.pkt_copy";
+  case MOp::RtsPktDrop:
+    return "rts.pkt_drop";
+  case MOp::CtxArb:
+    return "ctx_arb";
+  }
+  return "<bad-mop>";
+}
+
+namespace {
+
+const char *condName(MCond C) {
+  switch (C) {
+  case MCond::Eq:
+    return "eq";
+  case MCond::Ne:
+    return "ne";
+  case MCond::Ult:
+    return "ult";
+  case MCond::Ule:
+    return "ule";
+  case MCond::Ugt:
+    return "ugt";
+  case MCond::Uge:
+    return "uge";
+  case MCond::Slt:
+    return "slt";
+  case MCond::Sle:
+    return "sle";
+  case MCond::Sgt:
+    return "sgt";
+  case MCond::Sge:
+    return "sge";
+  }
+  return "?";
+}
+
+const char *spaceName(MSpace S) {
+  switch (S) {
+  case MSpace::Scratch:
+    return "scratch";
+  case MSpace::Sram:
+    return "sram";
+  case MSpace::Dram:
+    return "dram";
+  }
+  return "?";
+}
+
+std::string regName(int R) {
+  if (R < 0)
+    return "_";
+  if (R < 16)
+    return formatString("a%d", R);
+  if (R < 32)
+    return formatString("b%d", R - 16);
+  return formatString("v%d", R);
+}
+
+} // namespace
+
+std::string sl::cg::printMCode(const MCode &C) {
+  std::string Out = "; aggregate " + C.Name + "\n";
+  for (size_t B = 0; B != C.Blocks.size(); ++B) {
+    Out += formatString(".L%zu_%s:\n", B, C.Blocks[B].Name.c_str());
+    for (const MInstr &I : C.Blocks[B].Instrs) {
+      Out += formatString("  %-22s", mopName(I.Op));
+      switch (I.Op) {
+      case MOp::BrCond:
+        Out += formatString("%s %s, ", condName(I.Cond),
+                            regName(I.SrcA).c_str());
+        Out += I.SrcB >= 0 ? regName(I.SrcB)
+                           : formatString("%lld", (long long)I.Imm);
+        Out += formatString(" -> .L%d", I.Target);
+        break;
+      case MOp::Br:
+        Out += formatString("-> .L%d", I.Target);
+        break;
+      case MOp::Set:
+        Out += formatString("%s = %s %s, ", regName(I.Dst).c_str(),
+                            condName(I.Cond), regName(I.SrcA).c_str());
+        Out += I.SrcB >= 0 ? regName(I.SrcB)
+                           : formatString("%lld", (long long)I.Imm);
+        break;
+      case MOp::MemRead:
+      case MOp::MemWrite:
+        Out += formatString("%s[%s+%lld], $x%u, ref_cnt=%u",
+                            spaceName(I.Space), regName(I.SrcA).c_str(),
+                            (long long)I.Imm, I.Xfer, I.Words);
+        break;
+      case MOp::XferToGpr:
+        Out += formatString("%s = $x%u", regName(I.Dst).c_str(), I.Xfer);
+        break;
+      case MOp::GprToXfer:
+        Out += formatString("$x%u = %s", I.Xfer, regName(I.SrcA).c_str());
+        break;
+      case MOp::LmRead:
+        Out += formatString("%s = lm[%s+%lld]%s", regName(I.Dst).c_str(),
+                            regName(I.SrcB).c_str(), (long long)I.Imm,
+                            I.LmFast ? " (fast)" : "");
+        break;
+      case MOp::LmWrite:
+        Out += formatString("lm[%s+%lld] = %s%s", regName(I.SrcB).c_str(),
+                            (long long)I.Imm, regName(I.SrcA).c_str(),
+                            I.LmFast ? " (fast)" : "");
+        break;
+      case MOp::RingGet:
+        Out += formatString("%s = ring[%u]", regName(I.Dst).c_str(), I.Ring);
+        break;
+      case MOp::RingPut:
+        Out += formatString("ring[%u] <- %s", I.Ring,
+                            regName(I.SrcA).c_str());
+        break;
+      case MOp::CamLookup:
+        Out += formatString("%s = cam[%u..%u](%s)", regName(I.Dst).c_str(),
+                            I.CamBase, I.CamBase + I.CamSize,
+                            regName(I.SrcA).c_str());
+        break;
+      default:
+        if (I.Dst >= 0)
+          Out += regName(I.Dst) + " = ";
+        if (I.SrcA >= 0)
+          Out += regName(I.SrcA);
+        if (I.SrcB >= 0)
+          Out += ", " + regName(I.SrcB);
+        else if (I.Op != MOp::Mov && I.Op != MOp::CtxArb &&
+                 I.Op != MOp::Halt)
+          Out += formatString(", %lld", (long long)I.Imm);
+        break;
+      }
+      if (!I.Comment.empty())
+        Out += "   ; " + I.Comment;
+      Out += "\n";
+    }
+  }
+  return Out;
+}
+
+FlatCode sl::cg::flatten(const MCode &C) {
+  FlatCode F;
+  F.Name = C.Name;
+  // Block id -> first instruction index.
+  std::map<int, int> BlockStart;
+  int Idx = 0;
+  for (size_t B = 0; B != C.Blocks.size(); ++B) {
+    BlockStart[static_cast<int>(B)] = Idx;
+    Idx += static_cast<int>(C.Blocks[B].Instrs.size());
+  }
+  for (const MBlock &B : C.Blocks)
+    for (const MInstr &I : B.Instrs)
+      F.Code.push_back(I);
+  for (MInstr &I : F.Code) {
+    if (I.Op == MOp::Br || I.Op == MOp::BrCond) {
+      auto It = BlockStart.find(I.Target);
+      assert(It != BlockStart.end() && "branch to unknown block");
+      I.Target = It->second;
+    }
+    F.CodeSlots += I.slots();
+  }
+  return F;
+}

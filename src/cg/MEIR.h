@@ -1,0 +1,193 @@
+//===- cg/MEIR.h - microengine-level IR ----------------------------------------==//
+//
+// MEIR is the code-generation IR (the paper's CGIR), a close model of the
+// IXP2400 microengine ISA:
+//   - 32 GPRs per thread in two banks; an ALU instruction with two register
+//     sources must draw them from different banks (register allocation
+//     enforces this),
+//   - explicit transfer registers between the core and the memory units;
+//     wide accesses (ref_cnt) move 1..16 words per instruction,
+//   - explicit memory spaces (Scratch / SRAM / DRAM) plus per-ME Local
+//     Memory and a 16-entry CAM,
+//   - cooperative multithreading: memory operations park the issuing
+//     thread; ctx_arb yields voluntarily.
+//
+// Before register allocation operands are virtual register ids; afterwards
+// they are physical ids 0..15 (bank A) and 16..31 (bank B).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SL_CG_MEIR_H
+#define SL_CG_MEIR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sl::cg {
+
+/// MEIR opcodes.
+enum class MOp : uint8_t {
+  // ALU: Dst = SrcA op (SrcB | Imm). One cycle.
+  Add,
+  Sub,
+  Mul, // The ME multiplier; modeled at 3 cycles.
+  And,
+  Or,
+  Xor,
+  Shl,
+  Shr, // Logical right shift.
+  Asr,
+  Mov,    // Dst = SrcA.
+  MovImm, // Dst = Imm (occupies 2 slots when Imm needs >16 bits).
+  Set,    // Dst = Cond(SrcA, SrcB|Imm) ? 1 : 0.
+
+  // Control flow. Branches cost an extra pipeline-bubble cycle.
+  Br,     // Unconditional, to Target.
+  BrCond, // if Cond(SrcA, SrcB|Imm) goto Target.
+  Halt,
+
+  // Memory unit operations (asynchronous; thread parks until done).
+  // Address = SrcA + Imm. Data moves through xfer slots [Xfer, Xfer+Words).
+  MemRead,
+  MemWrite,
+
+  // Transfer-register file moves (synchronous, 1 cycle).
+  XferToGpr, // Dst = xfer[Xfer].
+  GprToXfer, // xfer[Xfer] = SrcA.
+
+  // Local Memory: Dst/SrcA(data); address = SrcB + Imm words. 3 cycles, or
+  // 1 cycle when the encoder proved the offset-addressing form applies
+  // (LmFast flag).
+  LmRead,
+  LmWrite,
+
+  // CAM. Lookup: Dst = (hit << 8) | entry, for Key = SrcA, within the
+  // partition [CamBase, CamBase+CamSize). Write: entry SrcB gets tag SrcA.
+  CamLookup,
+  CamWrite,
+  CamFlush, // Invalidate the partition.
+
+  // Scratch rings (atomic through the scratch unit; one scratch access).
+  RingGet, // Dst = head of ring Imm, or 0 when empty.
+  RingPut, // Push SrcA onto ring Imm. Full ring drops (counted).
+
+  // Scratch atomics for critical sections (one scratch access each).
+  AtomicTestSet, // Dst = old value of lock word Imm; sets it to 1.
+  AtomicClear,   // Clear lock word Imm.
+
+  // Runtime-system macros (buffer management; see rts/).
+  RtsPktCopy, // Dst = fresh handle cloned from SrcA.
+  RtsPktDrop, // Release handle SrcA.
+
+  CtxArb, // Yield to the next ready thread.
+};
+
+enum class MCond : uint8_t { Eq, Ne, Ult, Ule, Ugt, Uge, Slt, Sle, Sgt, Sge };
+
+enum class MSpace : uint8_t { Scratch, Sram, Dram };
+
+/// Accounting class for Table-1 style reporting.
+enum class MemClass : uint8_t {
+  PktData,  ///< Packet bytes in DRAM.
+  PktMeta,  ///< Packet metadata block in SRAM (buf/head/len + user meta).
+  PktRing,  ///< Handle movement through scratch rings.
+  App,      ///< Application globals.
+  AppCache, ///< SWC miss/check traffic for cached globals.
+  Stack,    ///< Spills / stack frames.
+  Lock,     ///< Critical-section atomics.
+};
+
+/// One MEIR instruction.
+struct MInstr {
+  MOp Op = MOp::CtxArb;
+  MCond Cond = MCond::Eq;
+  MSpace Space = MSpace::Sram;
+  MemClass Class = MemClass::App;
+
+  int Dst = -1;  ///< Register operand (virtual, then physical).
+  int SrcA = -1;
+  int SrcB = -1; ///< -1 means Imm is the second operand.
+  int64_t Imm = 0;
+
+  unsigned Xfer = 0;  ///< First xfer slot.
+  unsigned Words = 0; ///< Xfer word count for MemRead/MemWrite.
+
+  int Target = -1; ///< Block id (pre-layout) / instr index (post-layout).
+
+  unsigned CamBase = 0, CamSize = 0;
+  unsigned Ring = 0;
+
+  bool LmFast = false; ///< Offset-addressable Local Memory access.
+
+  /// Stack-slot references (before StackLayout runs): LmRead/LmWrite or
+  /// MemRead/MemWrite with StackSlot >= 0 address logical slot word
+  /// (StackSlot, SlotWord). StackLayout turns them into final
+  /// thread-relative offsets (ThreadStack addressing) in Local Memory or
+  /// the SRAM overflow area.
+  int StackSlot = -1;
+  unsigned SlotWord = 0;
+  /// Address is relative to the executing thread's stack base.
+  bool ThreadStack = false;
+
+  std::string Comment; ///< For listings.
+
+  /// Instruction-store slots this instruction occupies. Immediates wider
+  /// than 16 bits need an extra immed word on the real ME.
+  unsigned slots() const {
+    bool BigImm = SrcB < 0 && (Imm < -32768 || Imm > 0xFFFF);
+    switch (Op) {
+    case MOp::MovImm:
+    case MOp::Add:
+    case MOp::Sub:
+    case MOp::And:
+    case MOp::Or:
+    case MOp::Xor:
+    case MOp::Set:
+    case MOp::BrCond:
+      return BigImm ? 2 : 1;
+    default:
+      return 1;
+    }
+  }
+};
+
+/// A basic block of MEIR.
+struct MBlock {
+  std::string Name;
+  std::vector<MInstr> Instrs;
+};
+
+/// One compiled aggregate: dispatch loop plus inlined PPF bodies.
+struct MCode {
+  std::string Name;
+  std::vector<MBlock> Blocks; ///< Blocks[0] is the entry.
+  unsigned NumVRegs = 0;      ///< Virtual register count before RA.
+
+  unsigned codeSlots() const {
+    unsigned N = 0;
+    for (const MBlock &B : Blocks)
+      for (const MInstr &I : B.Instrs)
+        N += I.slots();
+    return N;
+  }
+};
+
+/// Flattened, branch-resolved form executed by the simulator.
+struct FlatCode {
+  std::string Name;
+  std::vector<MInstr> Code; ///< Target fields are instruction indices.
+  unsigned CodeSlots = 0;
+};
+
+/// Renders MEIR as an assembly-like listing.
+std::string printMCode(const MCode &C);
+
+/// Lays blocks out in order and resolves branch targets.
+FlatCode flatten(const MCode &C);
+
+const char *mopName(MOp Op);
+
+} // namespace sl::cg
+
+#endif // SL_CG_MEIR_H

@@ -1,0 +1,443 @@
+//===- cg/RegAlloc.cpp -------------------------------------------------------------==//
+
+#include "cg/RegAlloc.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+#include <vector>
+
+using namespace sl;
+using namespace sl::cg;
+
+namespace {
+
+/// True if the instruction's SrcA/SrcB pair feeds the ALU's two read
+/// ports (the dual-bank restriction applies).
+bool needsBankSplit(const MInstr &I) {
+  if (I.SrcA < 0 || I.SrcB < 0)
+    return false;
+  switch (I.Op) {
+  case MOp::Add:
+  case MOp::Sub:
+  case MOp::Mul:
+  case MOp::And:
+  case MOp::Or:
+  case MOp::Xor:
+  case MOp::Shl:
+  case MOp::Shr:
+  case MOp::Asr:
+  case MOp::Set:
+  case MOp::BrCond:
+    return true;
+  default:
+    return false;
+  }
+}
+
+struct Interval {
+  int Start = -1;
+  int End = -1;
+  double Weight = 0.0; ///< Loop-depth-weighted use count (spill cost).
+  void extend(int P) {
+    if (Start < 0 || P < Start)
+      Start = P;
+    if (P > End)
+      End = P;
+  }
+};
+
+class Allocator {
+public:
+  explicit Allocator(LoweredAggregate &Agg) : Agg(Agg), C(Agg.Code) {}
+
+  RegAllocStats run();
+
+private:
+  void assignBanks();
+  bool tryAllocate();
+  void spill(const std::set<int> &Victims);
+  void computeIntervals();
+  void renumber(const std::map<int, int> &PhysOf);
+
+  LoweredAggregate &Agg;
+  MCode &C;
+  RegAllocStats Stats;
+  std::map<int, int> Bank; ///< vreg -> 0 (A) / 1 (B).
+  std::map<int, Interval> Live;
+  /// Registers created by spill rewriting: minimal intervals already, so
+  /// spilling them again can only regress (and once looped forever).
+  std::set<int> NoSpill;
+};
+
+void Allocator::assignBanks() {
+  // Greedy: walk the code; when a two-source instruction has both operands
+  // in the same bank (or would force it), copy the second source into a
+  // fresh register of the opposite bank.
+  for (MBlock &B : C.Blocks) {
+    for (size_t K = 0; K != B.Instrs.size(); ++K) {
+      MInstr &I = B.Instrs[K];
+      if (!needsBankSplit(I))
+        continue;
+      int &BA = Bank.emplace(I.SrcA, -1).first->second;
+      if (BA < 0)
+        BA = 0;
+      int &BB = Bank.emplace(I.SrcB, -1).first->second;
+      if (BB < 0) {
+        BB = 1 - BA;
+        continue;
+      }
+      if (BB != BA)
+        continue;
+      if (I.SrcA == I.SrcB) {
+        // Same register on both ports: a copy is mandatory.
+      }
+      // Conflict: copy SrcB into the opposite bank.
+      int Fresh = static_cast<int>(C.NumVRegs++);
+      Bank[Fresh] = 1 - BA;
+      MInstr Copy;
+      Copy.Op = MOp::Mov;
+      Copy.Dst = Fresh;
+      Copy.SrcA = I.SrcB;
+      Copy.Comment = "bank split";
+      B.Instrs.insert(B.Instrs.begin() + static_cast<ptrdiff_t>(K),
+                      std::move(Copy));
+      ++K; // Skip the copy; I reference is stale, reacquire.
+      B.Instrs[K].SrcB = Fresh;
+      ++Stats.BankCopies;
+    }
+  }
+  // Any register never constrained joins the emptier bank (balance).
+  unsigned CountA = 0, CountB = 0;
+  for (auto &[R, Bk] : Bank) {
+    if (Bk == 0)
+      ++CountA;
+    else if (Bk == 1)
+      ++CountB;
+  }
+  for (unsigned R = 0; R != C.NumVRegs; ++R) {
+    auto It = Bank.find(static_cast<int>(R));
+    if (It == Bank.end() || It->second < 0) {
+      int Bk = CountA <= CountB ? 0 : 1;
+      Bank[static_cast<int>(R)] = Bk;
+      (Bk == 0 ? CountA : CountB)++;
+    }
+  }
+}
+
+void Allocator::computeIntervals() {
+  Live.clear();
+
+  // Per-block liveness (backward dataflow), then positional intervals:
+  // a register's interval is the [min, max] envelope of every position
+  // where it is live. Registers genuinely live across the dispatch
+  // loop's back edge (loop counters, the zero register, SWC version
+  // registers) keep whole-loop intervals; everything created and consumed
+  // within one packet iteration stays short.
+  size_t NB = C.Blocks.size();
+  std::vector<int> BlockStart(NB, 0), BlockEnd(NB, 0);
+  int Pos = 0;
+  for (size_t B = 0; B != NB; ++B) {
+    BlockStart[B] = Pos;
+    Pos += static_cast<int>(C.Blocks[B].Instrs.size());
+    BlockEnd[B] = Pos - 1;
+  }
+
+  std::map<int, size_t> StartToBlock;
+  for (size_t B = 0; B != NB; ++B)
+    StartToBlock[BlockStart[B]] = B;
+
+  // Successors: branch targets plus fallthrough when a block does not end
+  // in an unconditional branch or halt.
+  std::vector<std::vector<size_t>> Succ(NB);
+  for (size_t B = 0; B != NB; ++B) {
+    bool Falls = true;
+    for (const MInstr &I : C.Blocks[B].Instrs) {
+      if (I.Op == MOp::Br || I.Op == MOp::BrCond) {
+        assert(I.Target >= 0 && static_cast<size_t>(I.Target) < NB &&
+               "branch target out of range");
+        Succ[B].push_back(static_cast<size_t>(I.Target));
+      }
+    }
+    if (!C.Blocks[B].Instrs.empty()) {
+      const MInstr &Last = C.Blocks[B].Instrs.back();
+      if (Last.Op == MOp::Br || Last.Op == MOp::Halt)
+        Falls = false;
+    }
+    if (Falls && B + 1 < NB)
+      Succ[B].push_back(B + 1);
+  }
+
+  // UEVar / VarKill per block.
+  std::vector<std::set<int>> UE(NB), Kill(NB), LiveOut(NB);
+  for (size_t B = 0; B != NB; ++B) {
+    for (const MInstr &I : C.Blocks[B].Instrs) {
+      if (I.SrcA >= 0 && !Kill[B].count(I.SrcA))
+        UE[B].insert(I.SrcA);
+      if (I.SrcB >= 0 && !Kill[B].count(I.SrcB))
+        UE[B].insert(I.SrcB);
+      if (I.Dst >= 0)
+        Kill[B].insert(I.Dst);
+    }
+  }
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t B = NB; B-- > 0;) {
+      std::set<int> Out;
+      for (size_t S : Succ[B]) {
+        // LiveIn(S) = UE(S) u (LiveOut(S) - Kill(S)).
+        for (int V : UE[S])
+          Out.insert(V);
+        for (int V : LiveOut[S])
+          if (!Kill[S].count(V))
+            Out.insert(V);
+      }
+      if (Out != LiveOut[B]) {
+        LiveOut[B] = std::move(Out);
+        Changed = true;
+      }
+    }
+  }
+
+  // Loop nesting depth per position (from back-edge spans), used to
+  // weight spill costs: evicting a register touched inside a loop pays on
+  // every iteration.
+  int TotalPos = Pos;
+  std::vector<unsigned> Depth(static_cast<size_t>(TotalPos), 0);
+  for (size_t B = 0; B != NB; ++B)
+    for (size_t S : Succ[B])
+      if (BlockStart[S] <= BlockStart[B])
+        for (int P2 = BlockStart[S]; P2 <= BlockEnd[B]; ++P2)
+          ++Depth[static_cast<size_t>(P2)];
+
+  // Build intervals.
+  Pos = 0;
+  for (size_t B = 0; B != NB; ++B) {
+    for (const MInstr &I : C.Blocks[B].Instrs) {
+      double W = 1.0;
+      for (unsigned D = 0; D != std::min(Depth[static_cast<size_t>(Pos)],
+                                         4u);
+           ++D)
+        W *= 10.0;
+      if (I.Dst >= 0) {
+        Live[I.Dst].extend(Pos);
+        Live[I.Dst].Weight += W;
+      }
+      if (I.SrcA >= 0) {
+        Live[I.SrcA].extend(Pos);
+        Live[I.SrcA].Weight += W;
+      }
+      if (I.SrcB >= 0) {
+        Live[I.SrcB].extend(Pos);
+        Live[I.SrcB].Weight += W;
+      }
+      ++Pos;
+    }
+    for (int V : LiveOut[B])
+      Live[V].extend(BlockEnd[B]);
+    // Live into the block (live-out of a predecessor edge reaching here).
+    for (size_t S : Succ[B]) {
+      for (int V : UE[S])
+        Live[V].extend(BlockStart[S]);
+      for (int V : LiveOut[S])
+        if (!Kill[S].count(V))
+          Live[V].extend(BlockStart[S]);
+    }
+  }
+
+  // Loop extension: an interval partially overlapping a back-edge span and
+  // live across it must cover the whole span. With real liveness this
+  // applies exactly to the registers in LiveOut of the back-edge source
+  // toward an earlier block.
+  for (size_t B = 0; B != NB; ++B) {
+    for (size_t S : Succ[B]) {
+      if (BlockStart[S] > BlockStart[B])
+        continue; // Forward edge.
+      for (int V : UE[S])
+        if (Live.count(V)) {
+          Live[V].extend(BlockStart[S]);
+          Live[V].extend(BlockEnd[B]);
+        }
+      for (int V : LiveOut[S])
+        if (!Kill[S].count(V) && Live.count(V)) {
+          Live[V].extend(BlockStart[S]);
+          Live[V].extend(BlockEnd[B]);
+        }
+    }
+  }
+}
+
+bool Allocator::tryAllocate() {
+  computeIntervals();
+
+  // Linear scan per bank.
+  std::map<int, int> PhysOf;
+  std::set<int> ToSpill;
+  for (int Bk = 0; Bk != 2; ++Bk) {
+    std::vector<std::pair<Interval, int>> Order;
+    for (auto &[R, Iv] : Live)
+      if (Bank[R] == Bk)
+        Order.push_back({Iv, R});
+    std::sort(Order.begin(), Order.end(),
+              [](const auto &A, const auto &B) {
+                return A.first.Start < B.first.Start;
+              });
+    struct ActiveReg {
+      int End;
+      int Phys;
+      int VReg;
+    };
+    std::vector<ActiveReg> Active;
+    std::set<int> FreePhys;
+    for (int P = 0; P != 16; ++P)
+      FreePhys.insert(Bk * 16 + P);
+
+    for (auto &[Iv, R] : Order) {
+      // Expire.
+      for (size_t K = Active.size(); K-- > 0;) {
+        if (Active[K].End < Iv.Start) {
+          FreePhys.insert(Active[K].Phys);
+          Active.erase(Active.begin() + static_cast<ptrdiff_t>(K));
+        }
+      }
+      if (!FreePhys.empty()) {
+        int P = *FreePhys.begin();
+        FreePhys.erase(FreePhys.begin());
+        Active.push_back({Iv.End, P, R});
+        PhysOf[R] = P;
+        continue;
+      }
+      // Spill the cheapest candidate by loop-weighted use DENSITY:
+      // long-lived rarely-used values go to the stack; loop-carried and
+      // freshly-created spill temporaries stay in registers.
+      auto density = [this](int VReg) {
+        const Interval &I2 = Live[VReg];
+        double Len = std::max(1, I2.End - I2.Start);
+        return I2.Weight / Len;
+      };
+      auto Victim = Active.end();
+      for (auto It = Active.begin(); It != Active.end(); ++It) {
+        if (NoSpill.count(It->VReg))
+          continue;
+        if (Victim == Active.end() ||
+            density(It->VReg) < density(Victim->VReg))
+          Victim = It;
+      }
+      bool CurSpillable = !NoSpill.count(R);
+      if (Victim != Active.end() &&
+          (!CurSpillable || density(Victim->VReg) <= density(R))) {
+        ToSpill.insert(Victim->VReg);
+        PhysOf[R] = Victim->Phys;
+        PhysOf.erase(Victim->VReg);
+        Victim->End = Iv.End;
+        Victim->VReg = R;
+      } else {
+        assert(CurSpillable && "register file exhausted by unspillables");
+        ToSpill.insert(R);
+      }
+    }
+  }
+
+  if (!ToSpill.empty()) {
+    spill(ToSpill);
+    return false;
+  }
+  renumber(PhysOf);
+  return true;
+}
+
+void Allocator::spill(const std::set<int> &Victims) {
+  Stats.SpilledRegs += static_cast<unsigned>(Victims.size());
+  // One stack slot per victim; every use loads into a fresh register,
+  // every def stores from a fresh register.
+  std::map<int, int> SlotOf;
+  for (int R : Victims) {
+    Agg.Slots.push_back({1, 0, /*IsSpill=*/true});
+    SlotOf[R] = static_cast<int>(Agg.Slots.size() - 1);
+  }
+  for (MBlock &B : C.Blocks) {
+    for (size_t K = 0; K < B.Instrs.size(); ++K) {
+      MInstr I = B.Instrs[K]; // Copy; the vector may reallocate.
+      bool Changed = false;
+
+      auto reloadOperand = [&](int &Src) {
+        if (Src < 0 || !SlotOf.count(Src))
+          return;
+        int Fresh = static_cast<int>(C.NumVRegs++);
+        Bank[Fresh] = Bank[Src];
+        NoSpill.insert(Fresh);
+        MInstr L;
+        L.Op = MOp::LmRead;
+        L.Class = MemClass::Stack;
+        L.Dst = Fresh;
+        L.StackSlot = SlotOf[Src];
+        L.Comment = "spill reload";
+        B.Instrs.insert(B.Instrs.begin() + static_cast<ptrdiff_t>(K),
+                        std::move(L));
+        ++K;
+        Src = Fresh;
+        Changed = true;
+      };
+      reloadOperand(I.SrcA);
+      reloadOperand(I.SrcB);
+
+      if (I.Dst >= 0 && SlotOf.count(I.Dst)) {
+        int Fresh = static_cast<int>(C.NumVRegs++);
+        Bank[Fresh] = Bank[I.Dst];
+        NoSpill.insert(Fresh);
+        int Slot = SlotOf[I.Dst];
+        I.Dst = Fresh;
+        B.Instrs[K] = I;
+        MInstr S;
+        S.Op = MOp::LmWrite;
+        S.Class = MemClass::Stack;
+        S.SrcA = Fresh;
+        S.StackSlot = Slot;
+        S.Comment = "spill store";
+        B.Instrs.insert(B.Instrs.begin() + static_cast<ptrdiff_t>(K + 1),
+                        std::move(S));
+        ++K;
+        continue;
+      }
+      if (Changed)
+        B.Instrs[K] = I;
+    }
+  }
+}
+
+void Allocator::renumber(const std::map<int, int> &PhysOf) {
+  for (MBlock &B : C.Blocks) {
+    for (MInstr &I : B.Instrs) {
+      auto remap = [&](int &R) {
+        if (R < 0)
+          return;
+        auto It = PhysOf.find(R);
+        assert(It != PhysOf.end() && "register without assignment");
+        R = It->second;
+      };
+      remap(I.Dst);
+      remap(I.SrcA);
+      remap(I.SrcB);
+    }
+  }
+}
+
+RegAllocStats Allocator::run() {
+  assignBanks();
+  for (unsigned Round = 0; Round != 16; ++Round) {
+    ++Stats.Rounds;
+    if (tryAllocate())
+      return Stats;
+  }
+  assert(false && "register allocation did not converge");
+  return Stats;
+}
+
+} // namespace
+
+RegAllocStats sl::cg::allocateRegisters(LoweredAggregate &Agg) {
+  Allocator A(Agg);
+  return A.run();
+}

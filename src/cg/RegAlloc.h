@@ -1,0 +1,35 @@
+//===- cg/RegAlloc.h - dual-bank register allocation ----------------------------==//
+//
+// The ME's 32 GPRs are split into two banks and an ALU instruction with two
+// register sources must draw them from different banks (paper Sec. 4.1).
+// Allocation proceeds in three steps:
+//   1. bank assignment — greedy 2-coloring of the source-pair conflict
+//      graph, breaking conflicts with copies,
+//   2. per-bank linear scan over live intervals,
+//   3. spill-everywhere rewriting for intervals that do not fit, with
+//      fresh stack slots (placed by the stack layout pass), iterated to a
+//      fixed point.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SL_CG_REGALLOC_H
+#define SL_CG_REGALLOC_H
+
+#include "cg/Lowering.h"
+#include "cg/MEIR.h"
+
+namespace sl::cg {
+
+struct RegAllocStats {
+  unsigned BankCopies = 0;   ///< Copies inserted to satisfy bank rules.
+  unsigned SpilledRegs = 0;  ///< Virtual registers sent to the stack.
+  unsigned Rounds = 0;
+};
+
+/// Allocates \p Agg.Code in place (virtual ids become physical 0..31:
+/// 0..15 bank A, 16..31 bank B). Spill slots are appended to Agg.Slots.
+RegAllocStats allocateRegisters(LoweredAggregate &Agg);
+
+} // namespace sl::cg
+
+#endif // SL_CG_REGALLOC_H

@@ -1,0 +1,113 @@
+//===- cg/StackLayout.cpp ----------------------------------------------------------==//
+
+#include "cg/StackLayout.h"
+
+#include "support/BitUtils.h"
+
+#include <cassert>
+#include <map>
+#include <vector>
+
+using namespace sl;
+using namespace sl::cg;
+
+StackLayoutStats sl::cg::layoutStack(LoweredAggregate &Agg,
+                                     const rts::MemoryMap &Map,
+                                     bool StackOpt) {
+  StackLayoutStats Stats;
+  const unsigned LmWords = Map.LmStackWordsPerThread;
+
+  // Assign a word offset to every slot.
+  std::vector<unsigned> SlotOff(Agg.Slots.size(), 0);
+  if (StackOpt) {
+    // Packed: frame-major order, no padding, no minimum frame size.
+    std::map<unsigned, std::vector<size_t>> ByFrame;
+    for (size_t S = 0; S != Agg.Slots.size(); ++S)
+      ByFrame[Agg.Slots[S].FrameId].push_back(S);
+    unsigned Off = 0;
+    for (auto &[Frame, Slots] : ByFrame) {
+      for (size_t S : Slots) {
+        SlotOff[S] = Off;
+        Off += Agg.Slots[S].Words;
+      }
+    }
+    Stats.TotalWords = Off;
+  } else {
+    // 16-word aligned frames with a 16-word minimum (the IXP offset
+    // addressing mode constraint the paper describes).
+    std::map<unsigned, std::vector<size_t>> ByFrame;
+    for (size_t S = 0; S != Agg.Slots.size(); ++S)
+      ByFrame[Agg.Slots[S].FrameId].push_back(S);
+    unsigned Off = 0;
+    for (auto &[Frame, Slots] : ByFrame) {
+      unsigned FrameBase = Off;
+      unsigned Within = 0;
+      for (size_t S : Slots) {
+        SlotOff[S] = FrameBase + Within;
+        Within += Agg.Slots[S].Words;
+      }
+      Off = FrameBase + static_cast<unsigned>(alignTo(std::max(Within, 16u),
+                                                      16));
+    }
+    Stats.TotalWords = Off;
+  }
+  Stats.LmWords = std::min(Stats.TotalWords, LmWords);
+  Stats.SramWords =
+      Stats.TotalWords > LmWords ? Stats.TotalWords - LmWords : 0;
+
+  // Rewrite the accesses.
+  for (MBlock &B : Agg.Code.Blocks) {
+    for (size_t K = 0; K < B.Instrs.size(); ++K) {
+      MInstr &I = B.Instrs[K];
+      if (I.StackSlot < 0)
+        continue;
+      assert((I.Op == MOp::LmRead || I.Op == MOp::LmWrite) &&
+             "stack access must be a local-memory op before layout");
+      unsigned Off = SlotOff[static_cast<size_t>(I.StackSlot)] + I.SlotWord;
+      if (Off < LmWords) {
+        // Stays in Local Memory. Offset addressing reaches the first 16
+        // words of the (aligned) frame in a single cycle.
+        unsigned FrameRel = StackOpt ? Off : Off % 16;
+        I.ThreadStack = true;
+        I.Imm = Off;
+        I.LmFast = FrameRel < 16;
+        I.StackSlot = -1;
+        (I.LmFast ? Stats.FastAccesses : Stats.SlowAccesses)++;
+        continue;
+      }
+      // Overflow to SRAM: expand into a memory-unit access.
+      unsigned SramOff = (Off - LmWords) * 4;
+      bool IsRead = I.Op == MOp::LmRead;
+      MInstr Mem;
+      Mem.Op = IsRead ? MOp::MemRead : MOp::MemWrite;
+      Mem.Space = MSpace::Sram;
+      Mem.Class = MemClass::Stack;
+      Mem.SrcA = -1;
+      Mem.Imm = SramOff;
+      Mem.ThreadStack = true;
+      Mem.Xfer = 12; // Keep clear of packet data transfers.
+      Mem.Words = 1;
+      Mem.Comment = "stack overflow (SRAM)";
+      ++Stats.SramAccesses;
+      if (IsRead) {
+        MInstr Move;
+        Move.Op = MOp::XferToGpr;
+        Move.Dst = I.Dst;
+        Move.Xfer = 12;
+        B.Instrs[K] = Mem;
+        B.Instrs.insert(B.Instrs.begin() + static_cast<ptrdiff_t>(K + 1),
+                        std::move(Move));
+      } else {
+        MInstr Move;
+        Move.Op = MOp::GprToXfer;
+        Move.Xfer = 12;
+        Move.SrcA = I.SrcA;
+        B.Instrs[K] = Mem;
+        B.Instrs.insert(B.Instrs.begin() + static_cast<ptrdiff_t>(K),
+                        std::move(Move));
+      }
+      ++K;
+    }
+  }
+  return Stats;
+}

@@ -1,0 +1,40 @@
+//===- cg/StackLayout.h - Sec. 5.4 stack layout --------------------------------==//
+//
+// Assigns final locations to stack slots (locals and spills):
+//   - with the optimization ON, frames are packed tightly and share one
+//     aligned region per thread (the $pSP/$vSP scheme), so nearly all of
+//     the stack fits the 48 Local Memory words a thread owns;
+//   - with it OFF (the paper's initial implementation), every source
+//     frame occupies a 16-word-aligned, minimum-16-word area, so larger
+//     programs overflow into SRAM — the paper observed >100 SRAM stack
+//     accesses per packet on L3-Switch in that mode.
+// Slots beyond the Local Memory budget land in the per-thread SRAM
+// overflow region.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SL_CG_STACKLAYOUT_H
+#define SL_CG_STACKLAYOUT_H
+
+#include "cg/Lowering.h"
+#include "rts/MemoryMap.h"
+
+namespace sl::cg {
+
+struct StackLayoutStats {
+  unsigned TotalWords = 0;
+  unsigned LmWords = 0;
+  unsigned SramWords = 0;
+  unsigned FastAccesses = 0; ///< 1-cycle offset-addressed LM accesses.
+  unsigned SlowAccesses = 0; ///< 3-cycle LM accesses.
+  unsigned SramAccesses = 0; ///< Static count of SRAM stack access sites.
+};
+
+/// Rewrites slot-relative stack accesses in \p Agg.Code into final
+/// thread-relative Local Memory or SRAM accesses.
+StackLayoutStats layoutStack(LoweredAggregate &Agg,
+                             const rts::MemoryMap &Map, bool StackOpt);
+
+} // namespace sl::cg
+
+#endif // SL_CG_STACKLAYOUT_H

@@ -1,0 +1,163 @@
+//===- cg/Wcet.cpp -----------------------------------------------------------------==//
+
+#include "cg/Wcet.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+#include <vector>
+
+using namespace sl;
+using namespace sl::cg;
+
+namespace {
+
+/// Worst-case cycles one instruction can cost a thread (its own issue plus
+/// the longest stall it can take, with an uncontended memory unit).
+double instrCost(const MInstr &I, const ixp::ChipParams &Chip) {
+  auto memCost = [&](const ixp::MemUnitParams &U, unsigned Words) {
+    return 1.0 + U.occupancy(Words) + U.LatencyCycles;
+  };
+  switch (I.Op) {
+  case MOp::MemRead:
+  case MOp::MemWrite:
+    switch (I.Space) {
+    case MSpace::Scratch:
+      return memCost(Chip.Scratch, I.Words);
+    case MSpace::Sram:
+      return memCost(Chip.Sram, I.Words);
+    case MSpace::Dram:
+      return memCost(Chip.Dram, I.Words);
+    }
+    return 1.0;
+  case MOp::RingGet:
+  case MOp::RingPut:
+  case MOp::AtomicTestSet:
+  case MOp::AtomicClear:
+  case MOp::RtsPktDrop:
+    return memCost(Chip.Scratch, 1);
+  case MOp::RtsPktCopy:
+    return 2.0 * memCost(Chip.Scratch, 1) + 2.0 * memCost(Chip.Dram, 16);
+  case MOp::LmRead:
+  case MOp::LmWrite:
+    return I.LmFast ? 1.0 : double(Chip.LmSlowCycles);
+  case MOp::Mul:
+    return 3.0;
+  case MOp::Br:
+  case MOp::BrCond: // Taken path assumed: worst case.
+    return 1.0 + Chip.BranchPenaltyCycles;
+  case MOp::CtxArb:
+    return 1.0;
+  default:
+    return 1.0;
+  }
+}
+
+} // namespace
+
+WcetResult sl::cg::analyzeWcet(const FlatCode &Code,
+                               const ixp::ChipParams &Chip,
+                               const WcetParams &P) {
+  WcetResult R;
+  size_t N = Code.Code.size();
+  if (N == 0)
+    return R;
+
+  // Build the instruction-level CFG: successors of i are i+1 (unless an
+  // unconditional branch/halt) plus the branch target.
+  std::vector<std::vector<size_t>> Succ(N);
+  for (size_t I = 0; I != N; ++I) {
+    const MInstr &In = Code.Code[I];
+    bool Falls = In.Op != MOp::Br && In.Op != MOp::Halt;
+    if (Falls && I + 1 < N)
+      Succ[I].push_back(I + 1);
+    if ((In.Op == MOp::Br || In.Op == MOp::BrCond) && In.Target >= 0)
+      Succ[I].push_back(static_cast<size_t>(In.Target));
+  }
+
+  // The dispatch loop's own back edge delimits packets: the largest-target
+  // backward branch whose target is near the start of the code is treated
+  // as "end of packet". Concretely: any edge to an instruction index <=
+  // the first RingGet is a dispatch edge, not an application loop.
+  size_t DispatchHead = 0;
+  for (size_t I = 0; I != N; ++I)
+    if (Code.Code[I].Op == MOp::RingGet) {
+      DispatchHead = I;
+      break;
+    }
+
+  // Tarjan-free SCC via iterative DFS would be overkill: identify natural
+  // loops by back edges (target <= source) above the dispatch head and
+  // collapse each loop's span, charging its longest internal path times
+  // the loop bound. Nested spans merge into their enclosing span.
+  struct Span {
+    size_t Lo, Hi;
+  };
+  std::vector<Span> Loops;
+  for (size_t I = 0; I != N; ++I)
+    for (size_t S : Succ[I])
+      if (S <= I) {
+        if (S <= DispatchHead)
+          continue; // Dispatch edge: next packet.
+        Loops.push_back({S, I});
+        ++R.Loops;
+      }
+  // Merge overlapping spans.
+  std::sort(Loops.begin(), Loops.end(),
+            [](const Span &A, const Span &B) { return A.Lo < B.Lo; });
+  std::vector<Span> Merged;
+  for (const Span &L : Loops) {
+    if (!Merged.empty() && L.Lo <= Merged.back().Hi)
+      Merged.back().Hi = std::max(Merged.back().Hi, L.Hi);
+    else
+      Merged.push_back(L);
+  }
+
+  // Longest path by position: cost[i] = worst cycles from i to the next
+  // dispatch-edge, computed backward. A merged loop span is treated as
+  // one super-node costing (span's straight-line worst cost) * bound —
+  // a sound over-approximation for the reducible loops the compiler
+  // emits (the span contains complete iterations).
+  std::vector<double> SpanCost(Merged.size(), 0.0);
+  for (size_t K = 0; K != Merged.size(); ++K) {
+    double C = 0.0;
+    for (size_t I = Merged[K].Lo; I <= Merged[K].Hi; ++I)
+      C += instrCost(Code.Code[I], Chip);
+    SpanCost[K] = C * P.DefaultLoopBound;
+  }
+
+  auto spanOf = [&](size_t I) -> int {
+    for (size_t K = 0; K != Merged.size(); ++K)
+      if (I >= Merged[K].Lo && I <= Merged[K].Hi)
+        return static_cast<int>(K);
+    return -1;
+  };
+
+  // Backward DP over the acyclic skeleton (loops collapsed).
+  std::vector<double> Cost(N, 0.0);
+  for (size_t I = N; I-- > 0;) {
+    int Sp = spanOf(I);
+    if (Sp >= 0) {
+      // Inside a loop span: jump to the span summary — cost from entering
+      // the span is its bound-weighted cost plus the exit continuation.
+      size_t Exit = Merged[static_cast<size_t>(Sp)].Hi + 1;
+      double Cont = Exit < N ? Cost[Exit] : 0.0;
+      Cost[I] = SpanCost[static_cast<size_t>(Sp)] + Cont;
+      continue;
+    }
+    double Best = 0.0;
+    for (size_t S : Succ[I]) {
+      if (S <= I) {
+        if (S <= DispatchHead)
+          continue; // Packet boundary.
+        continue;   // Back edges inside spans handled above.
+      }
+      Best = std::max(Best, Cost[S]);
+    }
+    Cost[I] = instrCost(Code.Code[I], Chip) + Best;
+  }
+
+  R.CyclesPerPacket = Cost[DispatchHead];
+  return R;
+}

@@ -1,0 +1,59 @@
+//===- cg/Wcet.h - worst-case execution time analysis ---------------------------==//
+//
+// Paper Sec. 5.1: "An important consideration in real-time applications
+// like packet processing is worst case execution time (WCET) analysis.
+// Computing bounds on task execution ... ensures that the network
+// processor can maintain a minimum line rate. This analysis can be
+// incorporated into our current compilation framework through an
+// iterative compilation design."
+//
+// This analyzer bounds the cycles one dispatch iteration (one packet) can
+// cost on an ME thread: the longest acyclic path through the dispatch
+// body, with natural loops collapsed and charged for a caller-supplied
+// iteration bound, and memory operations charged their worst-case
+// (uncontended latency + occupancy) service time. From the bound and the
+// thread count it derives the guaranteed forwarding rate floor of one ME.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SL_CG_WCET_H
+#define SL_CG_WCET_H
+
+#include "cg/MEIR.h"
+#include "ixp/ChipParams.h"
+
+namespace sl::cg {
+
+struct WcetParams {
+  /// Bound assumed for every loop the analysis cannot bound itself
+  /// (e.g. the restoring-division loop runs exactly 32 times; rule-scan
+  /// loops are bounded by the table size).
+  unsigned DefaultLoopBound = 32;
+};
+
+struct WcetResult {
+  double CyclesPerPacket = 0.0; ///< Worst-case thread cycles per packet.
+  unsigned Loops = 0;           ///< Natural loops collapsed (excl. dispatch).
+  bool Bounded = true;          ///< False if irreducible flow forced a cap.
+
+  /// Guaranteed minimum forwarding rate of one ME in packets/second:
+  /// with T threads covering memory stalls, an ME retires at least
+  /// T / WCET packets per WCET window in the worst case, clamped by
+  /// one-instruction-per-cycle issue.
+  double minPacketsPerSecond(const ixp::ChipParams &Chip,
+                             unsigned Threads) const {
+    if (CyclesPerPacket <= 0.0)
+      return 0.0;
+    double PerThread = Chip.ClockGHz * 1e9 / CyclesPerPacket;
+    return PerThread * Threads;
+  }
+};
+
+/// Analyzes one flattened aggregate. The dispatch loop itself (the back
+/// edge to the poll block) delimits packets and is not charged as a loop.
+WcetResult analyzeWcet(const FlatCode &Code, const ixp::ChipParams &Chip,
+                       const WcetParams &P = WcetParams());
+
+} // namespace sl::cg
+
+#endif // SL_CG_WCET_H

@@ -1,0 +1,211 @@
+//===- driver/Compiler.cpp ----------------------------------------------------------==//
+
+#include "driver/Compiler.h"
+
+#include "cg/Lowering.h"
+#include "ir/ASTLower.h"
+#include "ir/Verifier.h"
+#include "opt/Passes.h"
+#include "pktopt/Pac.h"
+#include "pktopt/Phr.h"
+#include "pktopt/Soar.h"
+
+#include <cassert>
+
+using namespace sl;
+using namespace sl::driver;
+
+const char *sl::driver::optLevelName(OptLevel L) {
+  switch (L) {
+  case OptLevel::Base:
+    return "BASE";
+  case OptLevel::O1:
+    return "+O1";
+  case OptLevel::O2:
+    return "+O2";
+  case OptLevel::Pac:
+    return "+PAC";
+  case OptLevel::Soar:
+    return "+SOAR";
+  case OptLevel::Phr:
+    return "+PHR";
+  case OptLevel::Swc:
+    return "+SWC";
+  }
+  return "?";
+}
+
+namespace {
+
+bool atLeast(OptLevel L, OptLevel Min) {
+  return static_cast<uint8_t>(L) >= static_cast<uint8_t>(Min);
+}
+
+/// One complete build attempt at a given size-estimate factor. Returns
+/// null if an aggregate missed the code store (caller retries with a
+/// bigger estimate).
+std::unique_ptr<CompiledApp> buildOnce(const std::string &Source,
+                                       const profile::Trace &ProfTrace,
+                                       const std::vector<TableInit> &Tables,
+                                       const CompileOptions &Opts,
+                                       double SizeFactor, DiagEngine &Diags,
+                                       bool &Oversize) {
+  Oversize = false;
+  auto App = std::make_unique<CompiledApp>();
+  App->Opts = Opts;
+  App->Tables = Tables;
+
+  App->Unit = baker::parseAndAnalyze(Source, Diags);
+  if (!App->Unit)
+    return nullptr;
+  App->IR = ir::lowerProgram(*App->Unit, Diags);
+  if (Diags.hasErrors())
+    return nullptr;
+  ir::Module &M = *App->IR;
+
+  // Tx-consumed metadata fields are externally visible (PHR must keep
+  // their SRAM backing).
+  for (const std::string &Name : Opts.TxMetaFields) {
+    const baker::BitField *F = App->metaField(Name);
+    if (!F) {
+      Diags.error(SourceLoc(), "unknown Tx metadata field '%s'",
+                  Name.c_str());
+      return nullptr;
+    }
+    M.ExternMetaRanges.push_back({F->BitOff, F->Bits});
+  }
+
+  // Functional profiler (Sec. 4.1).
+  profile::Profiler Prof(M);
+  for (const TableInit &T : Tables)
+    Prof.interp().writeGlobal(T.Global, T.Index, T.Value);
+  App->Prof = Prof.run(ProfTrace);
+
+  // Aggregate formation (Sec. 5.1).
+  map::MapParams MP = Opts.Map;
+  MP.NumMEs = Opts.NumMEs;
+  MP.MeInstrsPerIrInstr = SizeFactor;
+  App->Plan = map::formAggregates(M, App->Prof, MP);
+  map::applyPlan(M, App->Plan);
+
+  // The ME has no call hardware: all remaining calls are flattened.
+  opt::inlineCalls(M);
+
+  // Scalar ladder.
+  if (atLeast(Opts.Level, OptLevel::O1))
+    opt::runO1(M);
+  if (atLeast(Opts.Level, OptLevel::O2))
+    opt::runO2(M);
+
+  // PHR part 1: metadata localization, then clean up the new locals.
+  if (atLeast(Opts.Level, OptLevel::Phr)) {
+    pktopt::localizeMetadata(M);
+    opt::runO1(M);
+  }
+  if (atLeast(Opts.Level, OptLevel::Pac))
+    pktopt::runPac(M);
+  if (atLeast(Opts.Level, OptLevel::Soar))
+    pktopt::runSoar(M);
+  if (atLeast(Opts.Level, OptLevel::Swc))
+    pktopt::runSwc(M, App->Prof, Opts.Swc);
+
+  std::vector<std::string> Problems = ir::verifyModule(M);
+  for (const std::string &P : Problems)
+    Diags.error(SourceLoc(), "internal: IR verification failed: %s",
+                P.c_str());
+  if (Diags.hasErrors())
+    return nullptr;
+
+  App->Map = rts::buildMemoryMap(M);
+
+  cg::CgConfig Cfg;
+  Cfg.InlineExpansion = atLeast(Opts.Level, OptLevel::O2);
+  Cfg.UseSoar = atLeast(Opts.Level, OptLevel::Soar);
+  Cfg.Phr = atLeast(Opts.Level, OptLevel::Phr);
+  Cfg.Swc = atLeast(Opts.Level, OptLevel::Swc);
+  Cfg.StackOpt = Opts.StackOpt;
+
+  for (const map::Aggregate &Agg : App->Plan.Aggregates) {
+    // Roots: one per external input channel.
+    std::vector<cg::RootInput> Roots;
+    std::vector<unsigned> Rings;
+    for (unsigned Chan : Agg.InputChans) {
+      cg::RootInput R;
+      if (Chan == map::RxChanId) {
+        R.Root = M.EntryPpf;
+        R.Ring = rts::RxRing;
+      } else {
+        const ir::Channel *C = M.findChannel(Chan);
+        assert(C && C->Dest && "wired channel");
+        R.Root = C->Dest;
+        R.Ring = rts::ringOfChannel(Chan);
+      }
+      Roots.push_back(R);
+      Rings.push_back(R.Ring);
+    }
+    if (Roots.empty())
+      continue; // Fully merged into another aggregate.
+
+    std::string Name = Roots.front().Root->name();
+    cg::LoweredAggregate Low =
+        cg::lowerAggregate(M, App->Map, Cfg, Roots, Name);
+    AggregateBinary Bin;
+    Bin.RegAlloc = cg::allocateRegisters(Low);
+    Bin.Stack = cg::layoutStack(Low, App->Map, Cfg.StackOpt);
+    Bin.Code = cg::flatten(Low.Code);
+    Bin.Wcet = cg::analyzeWcet(Bin.Code, ixp::ChipParams());
+    Bin.Rings = Rings;
+    Bin.Copies = Agg.Copies;
+    Bin.OnXScale = Agg.OnXScale;
+
+    if (!Agg.OnXScale && Bin.Code.CodeSlots > 4096) {
+      Oversize = true;
+      return nullptr;
+    }
+    App->Images.push_back(std::move(Bin));
+  }
+  return App;
+}
+
+} // namespace
+
+std::unique_ptr<CompiledApp> sl::driver::compile(
+    const std::string &Source, const profile::Trace &ProfTrace,
+    const std::vector<TableInit> &Tables, const CompileOptions &Opts,
+    DiagEngine &Diags) {
+  double SizeFactor = Opts.Map.MeInstrsPerIrInstr;
+  for (unsigned Iter = 0; Iter != 6; ++Iter) {
+    bool Oversize = false;
+    auto App =
+        buildOnce(Source, ProfTrace, Tables, Opts, SizeFactor, Diags,
+                  Oversize);
+    if (App) {
+      App->PlanIterations = Iter + 1;
+      return App;
+    }
+    if (!Oversize)
+      return nullptr; // Real error; diagnostics are set.
+    // Feedback: the estimate was too small — re-plan with a larger one so
+    // aggregation splits (pipelines) sooner.
+    SizeFactor *= 1.8;
+    Diags.clear();
+  }
+  Diags.error(SourceLoc(), "could not fit aggregates into the ME code "
+                           "store after repeated re-planning");
+  return nullptr;
+}
+
+std::unique_ptr<ixp::Simulator>
+sl::driver::makeSimulator(const CompiledApp &App, ixp::ChipParams Chip) {
+  Chip.ProgrammableMEs = App.Opts.NumMEs;
+  auto Sim = std::make_unique<ixp::Simulator>(Chip, App.Map);
+  Sim->initGlobals(*App.IR);
+  for (const TableInit &T : App.Tables) {
+    ir::Global *G = App.IR->findGlobal(T.Global);
+    assert(G && "unknown table global");
+    Sim->writeGlobal(G, T.Index, T.Value);
+  }
+  for (const AggregateBinary &Bin : App.Images)
+    Sim->loadAggregate(Bin.Code, Bin.Rings, Bin.Copies, Bin.OnXScale);
+  return Sim;
+}

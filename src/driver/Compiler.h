@@ -1,0 +1,106 @@
+//===- driver/Compiler.h - the Shangri-La compiler facade ------------------------==//
+//
+// Runs the full pipeline of Figure 5:
+//
+//   Baker source -> AST -> IR -> Functional Profiler -> aggregate
+//   formation (IPA) -> scalar optimizations -> PHR metadata localization
+//   -> PAC -> SOAR -> SWC selection -> MEIR lowering -> register
+//   allocation -> stack layout -> loadable images.
+//
+// Code-store fitting is iterative (the paper's feedback design): if a
+// lowered aggregate exceeds the 4K instruction store, aggregate formation
+// reruns with a larger size estimate until everything fits or becomes a
+// pipeline.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SL_DRIVER_COMPILER_H
+#define SL_DRIVER_COMPILER_H
+
+#include "baker/Frontend.h"
+#include "cg/CgConfig.h"
+#include "cg/RegAlloc.h"
+#include "cg/StackLayout.h"
+#include "cg/Wcet.h"
+#include "ixp/Simulator.h"
+#include "map/Aggregation.h"
+#include "pktopt/Swc.h"
+#include "profile/Profiler.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sl::driver {
+
+/// The evaluation ladder of the paper (each level includes the previous).
+enum class OptLevel : uint8_t { Base, O1, O2, Pac, Soar, Phr, Swc };
+
+const char *optLevelName(OptLevel L);
+
+/// Initial contents of an application table (applied before profiling and
+/// before simulation — the control-plane configuration).
+struct TableInit {
+  std::string Global;
+  uint64_t Index = 0;
+  uint64_t Value = 0;
+};
+
+struct CompileOptions {
+  OptLevel Level = OptLevel::Swc;
+  unsigned NumMEs = 6;
+  bool StackOpt = true;
+  /// Metadata fields consumed by Tx (extern to PHR), e.g. "tx_port".
+  std::vector<std::string> TxMetaFields;
+  pktopt::SwcParams Swc;
+  map::MapParams Map; ///< NumMEs is overwritten from the field above.
+};
+
+/// One loadable ME (or XScale) image.
+struct AggregateBinary {
+  cg::FlatCode Code;
+  std::vector<unsigned> Rings;
+  unsigned Copies = 1;
+  bool OnXScale = false;
+  cg::StackLayoutStats Stack;
+  cg::RegAllocStats RegAlloc;
+  cg::WcetResult Wcet; ///< Worst-case cycles per packet (Sec. 5.1).
+};
+
+/// Everything the compiler produced for one application build.
+struct CompiledApp {
+  std::unique_ptr<baker::CompiledUnit> Unit;
+  std::unique_ptr<ir::Module> IR;
+  rts::MemoryMap Map;
+  map::MappingPlan Plan;
+  profile::ProfileData Prof;
+  std::vector<AggregateBinary> Images;
+  std::vector<TableInit> Tables;
+  CompileOptions Opts;
+  unsigned PlanIterations = 0;
+
+  /// Bit offset/width of a user metadata field (for decoding Tx records).
+  const baker::BitField *metaField(const std::string &Name) const {
+    for (const baker::BitField &F : Unit->Sema.MetaFields)
+      if (F.Name == Name)
+        return &F;
+    return nullptr;
+  }
+};
+
+/// Compiles \p Source at the given level. \p ProfTrace drives the
+/// Functional Profiler. Returns null on error (details in \p Diags).
+std::unique_ptr<CompiledApp> compile(const std::string &Source,
+                                     const profile::Trace &ProfTrace,
+                                     const std::vector<TableInit> &Tables,
+                                     const CompileOptions &Opts,
+                                     DiagEngine &Diags);
+
+/// Builds a simulator with the app's images loaded, globals initialized,
+/// and tables applied.
+std::unique_ptr<ixp::Simulator> makeSimulator(const CompiledApp &App,
+                                              ixp::ChipParams Chip);
+
+} // namespace sl::driver
+
+#endif // SL_DRIVER_COMPILER_H

@@ -1,0 +1,48 @@
+//===- interp/Bits.h - big-endian bit-string access ------------------------==//
+//
+// Packet headers are network-order bit strings: bit 0 is the MSB of byte 0.
+// These helpers implement field reads/writes at arbitrary bit offsets and
+// widths (1..64), shared by the interpreter and the simulator runtime.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SL_INTERP_BITS_H
+#define SL_INTERP_BITS_H
+
+#include <cassert>
+#include <cstdint>
+#include <cstddef>
+
+namespace sl::interp {
+
+/// Reads \p Width bits starting \p BitOff bits into \p Data, MSB-first.
+inline uint64_t readBitsBE(const uint8_t *Data, size_t BitOff,
+                           unsigned Width) {
+  assert(Width >= 1 && Width <= 64 && "width must be 1..64");
+  uint64_t Out = 0;
+  for (unsigned I = 0; I != Width; ++I) {
+    size_t Bit = BitOff + I;
+    unsigned Byte = static_cast<unsigned>(Bit >> 3);
+    unsigned Shift = 7u - static_cast<unsigned>(Bit & 7);
+    Out = (Out << 1) | ((Data[Byte] >> Shift) & 1u);
+  }
+  return Out;
+}
+
+/// Writes the low \p Width bits of \p Value at \p BitOff, MSB-first.
+inline void writeBitsBE(uint8_t *Data, size_t BitOff, unsigned Width,
+                        uint64_t Value) {
+  assert(Width >= 1 && Width <= 64 && "width must be 1..64");
+  for (unsigned I = 0; I != Width; ++I) {
+    size_t Bit = BitOff + I;
+    unsigned Byte = static_cast<unsigned>(Bit >> 3);
+    unsigned Shift = 7u - static_cast<unsigned>(Bit & 7);
+    uint8_t BitVal = (Value >> (Width - 1 - I)) & 1u;
+    Data[Byte] = static_cast<uint8_t>((Data[Byte] & ~(1u << Shift)) |
+                                      (BitVal << Shift));
+  }
+}
+
+} // namespace sl::interp
+
+#endif // SL_INTERP_BITS_H

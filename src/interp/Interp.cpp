@@ -1,0 +1,549 @@
+//===- interp/Interp.cpp ----------------------------------------------------==//
+
+#include "interp/Interp.h"
+
+#include "interp/Bits.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <cstdarg>
+
+using namespace sl;
+using namespace sl::interp;
+using ir::Op;
+
+namespace {
+
+uint64_t maskTo(uint64_t V, unsigned Bits) {
+  if (Bits >= 64)
+    return V;
+  return V & ((uint64_t(1) << Bits) - 1);
+}
+
+int64_t signExtend(uint64_t V, unsigned Bits) {
+  if (Bits >= 64)
+    return static_cast<int64_t>(V);
+  uint64_t Sign = uint64_t(1) << (Bits - 1);
+  return static_cast<int64_t>(((V & ((Sign << 1) - 1)) ^ Sign) - Sign);
+}
+
+} // namespace
+
+/// One function activation.
+struct Interpreter::Frame {
+  ir::Function *F = nullptr;
+  std::map<const ir::Value *, IVal> Env;
+  std::map<const ir::Instr *, IVal> Slots; ///< Alloca storage.
+};
+
+Interpreter::Interpreter(ir::Module &M) : M(M), Pkts(M.MetaBits) {
+  for (const auto &G : M.globals()) {
+    std::vector<uint64_t> State(G->count(), 0);
+    const auto &Init = G->init();
+    for (size_t I = 0; I != Init.size() && I != State.size(); ++I)
+      State[I] = maskTo(Init[I], G->elemBits());
+    Globals[G.get()] = std::move(State);
+  }
+}
+
+void Interpreter::writeGlobal(const std::string &Name, uint64_t Index,
+                              uint64_t Value) {
+  ir::Global *G = M.findGlobal(Name);
+  assert(G && "unknown global");
+  auto &State = Globals[G];
+  assert(Index < State.size() && "global index out of range");
+  State[Index] = maskTo(Value, G->elemBits());
+}
+
+uint64_t Interpreter::readGlobal(const std::string &Name,
+                                 uint64_t Index) const {
+  ir::Global *G = M.findGlobal(Name);
+  assert(G && "unknown global");
+  const auto &State = Globals.at(G);
+  assert(Index < State.size() && "global index out of range");
+  return State[Index];
+}
+
+void Interpreter::fail(const char *Fmt, ...) {
+  if (!Cur || Cur->Error)
+    return;
+  va_list Args;
+  va_start(Args, Fmt);
+  Cur->ErrorMsg = formatStringV(Fmt, Args);
+  va_end(Args);
+  Cur->Error = true;
+}
+
+Interpreter::IVal Interpreter::operandVal(Frame &FR, ir::Value *V) {
+  if (auto *C = dyn_cast<ir::ConstInt>(V)) {
+    IVal R;
+    R.Scalar = C->value();
+    return R;
+  }
+  auto It = FR.Env.find(V);
+  if (It == FR.Env.end()) {
+    fail("use of undefined value '%s'", V->name().c_str());
+    return IVal();
+  }
+  return It->second;
+}
+
+RunResult Interpreter::inject(const std::vector<uint8_t> &Frame,
+                              uint16_t RxPort) {
+  RunResult Result;
+  Cur = &Result;
+  Queue.clear();
+
+  if (!M.EntryPpf) {
+    fail("module has no entry PPF");
+    Cur = nullptr;
+    return Result;
+  }
+
+  uint64_t H = Pkts.create(Frame);
+  // rx_port is always the first metadata field (bit 0, width 16).
+  writeBitsBE(Pkts.get(H).Meta.data(), 0, 16, RxPort);
+
+  Queue.push_back({~0u, H}); // Entry marker.
+  while (!Queue.empty() && !Result.Error) {
+    auto [ChanId, Handle] = Queue.front();
+    Queue.erase(Queue.begin());
+    ir::Function *Target = nullptr;
+    if (ChanId == ~0u) {
+      Target = M.EntryPpf;
+    } else {
+      const ir::Channel *C = M.findChannel(ChanId);
+      assert(C && "unknown channel");
+      Target = C->Dest;
+    }
+    assert(Target && "channel without destination");
+    if (!Pkts.get(Handle).Alive) {
+      fail("packet delivered on a dead handle");
+      break;
+    }
+    std::vector<IVal> Args(1);
+    Args[0].Scalar = Handle;
+    callFunction(Target, std::move(Args));
+  }
+  Cur = nullptr;
+  return Result;
+}
+
+Interpreter::IVal Interpreter::callFunction(ir::Function *F,
+                                            std::vector<IVal> Args) {
+  if (CallDepth > 64) {
+    fail("call depth limit exceeded in '%s'", F->name().c_str());
+    return IVal();
+  }
+  ++CallDepth;
+  if (Hooks)
+    Hooks->onFuncEnter(F);
+
+  Frame FR;
+  FR.F = F;
+  assert(Args.size() == F->numArgs() && "argument count mismatch");
+  for (unsigned I = 0; I != F->numArgs(); ++I)
+    FR.Env[F->arg(I)] = Args[I];
+
+  ir::BasicBlock *BB = F->entry();
+  ir::BasicBlock *Prev = nullptr;
+  IVal RetVal;
+
+  while (BB && !Cur->Error) {
+    // Evaluate phis simultaneously against the edge we arrived on.
+    std::vector<std::pair<ir::Instr *, IVal>> PhiVals;
+    size_t Idx = 0;
+    for (; Idx != BB->size(); ++Idx) {
+      ir::Instr *I = BB->instr(Idx);
+      if (I->op() != Op::Phi)
+        break;
+      bool Found = false;
+      for (unsigned K = 0; K != I->numOperands(); ++K) {
+        if (I->phiBlocks()[K] == Prev) {
+          PhiVals.push_back({I, operandVal(FR, I->operand(K))});
+          Found = true;
+          break;
+        }
+      }
+      if (!Found) {
+        fail("phi in '%s' has no incoming for predecessor", F->name().c_str());
+        break;
+      }
+    }
+    for (auto &[I, V] : PhiVals)
+      FR.Env[I] = V;
+
+    ir::BasicBlock *Next = nullptr;
+    for (; Idx != BB->size() && !Cur->Error; ++Idx) {
+      ir::Instr *I = BB->instr(Idx);
+      ++Cur->Steps;
+      if (Cur->Steps > StepLimit) {
+        fail("step limit exceeded (infinite loop?)");
+        break;
+      }
+      if (Hooks)
+        Hooks->onInstr(I);
+
+      switch (I->op()) {
+      case Op::Br:
+        Next = I->succ(0);
+        break;
+      case Op::CondBr:
+        Next = operandVal(FR, I->operand(0)).Scalar ? I->succ(0) : I->succ(1);
+        break;
+      case Op::Ret:
+        if (I->numOperands())
+          RetVal = operandVal(FR, I->operand(0));
+        --CallDepth;
+        return RetVal;
+      default:
+        FR.Env[I] = evalInstr(FR, I);
+        break;
+      }
+    }
+    Prev = BB;
+    BB = Next;
+  }
+  --CallDepth;
+  return RetVal;
+}
+
+Interpreter::IVal Interpreter::evalInstr(Frame &FR, ir::Instr *I) {
+  IVal R;
+  auto scalar = [&](unsigned K) { return operandVal(FR, I->operand(K)).Scalar; };
+  unsigned Bits = I->type().isInt() ? I->type().bits() : 64;
+
+  switch (I->op()) {
+  // Arithmetic --------------------------------------------------------------
+  case Op::Add:
+    R.Scalar = maskTo(scalar(0) + scalar(1), Bits);
+    return R;
+  case Op::Sub:
+    R.Scalar = maskTo(scalar(0) - scalar(1), Bits);
+    return R;
+  case Op::Mul:
+    R.Scalar = maskTo(scalar(0) * scalar(1), Bits);
+    return R;
+  case Op::UDiv: {
+    uint64_t D = scalar(1);
+    if (D == 0) {
+      fail("division by zero");
+      return R;
+    }
+    R.Scalar = maskTo(scalar(0) / D, Bits);
+    return R;
+  }
+  case Op::SDiv: {
+    int64_t D = signExtend(scalar(1), Bits);
+    if (D == 0) {
+      fail("division by zero");
+      return R;
+    }
+    R.Scalar = maskTo(static_cast<uint64_t>(signExtend(scalar(0), Bits) / D),
+                      Bits);
+    return R;
+  }
+  case Op::URem: {
+    uint64_t D = scalar(1);
+    if (D == 0) {
+      fail("remainder by zero");
+      return R;
+    }
+    R.Scalar = maskTo(scalar(0) % D, Bits);
+    return R;
+  }
+  case Op::SRem: {
+    int64_t D = signExtend(scalar(1), Bits);
+    if (D == 0) {
+      fail("remainder by zero");
+      return R;
+    }
+    R.Scalar = maskTo(static_cast<uint64_t>(signExtend(scalar(0), Bits) % D),
+                      Bits);
+    return R;
+  }
+  case Op::And:
+    R.Scalar = scalar(0) & scalar(1);
+    return R;
+  case Op::Or:
+    R.Scalar = scalar(0) | scalar(1);
+    return R;
+  case Op::Xor:
+    R.Scalar = maskTo(scalar(0) ^ scalar(1), Bits);
+    return R;
+  case Op::Shl:
+    R.Scalar = maskTo(scalar(0) << (scalar(1) & 63), Bits);
+    return R;
+  case Op::LShr:
+    R.Scalar = scalar(0) >> (scalar(1) & 63);
+    return R;
+  case Op::AShr: {
+    unsigned W = I->operand(0)->type().bits();
+    R.Scalar =
+        maskTo(static_cast<uint64_t>(signExtend(scalar(0), W) >>
+                                     (scalar(1) & 63)),
+               Bits);
+    return R;
+  }
+
+  // Comparisons ---------------------------------------------------------------
+  case Op::CmpEq:
+    R.Scalar = scalar(0) == scalar(1);
+    return R;
+  case Op::CmpNe:
+    R.Scalar = scalar(0) != scalar(1);
+    return R;
+  case Op::CmpULt:
+    R.Scalar = scalar(0) < scalar(1);
+    return R;
+  case Op::CmpULe:
+    R.Scalar = scalar(0) <= scalar(1);
+    return R;
+  case Op::CmpUGt:
+    R.Scalar = scalar(0) > scalar(1);
+    return R;
+  case Op::CmpUGe:
+    R.Scalar = scalar(0) >= scalar(1);
+    return R;
+  case Op::CmpSLt:
+  case Op::CmpSLe:
+  case Op::CmpSGt:
+  case Op::CmpSGe: {
+    unsigned W = I->operand(0)->type().bits();
+    int64_t A = signExtend(scalar(0), W), B = signExtend(scalar(1), W);
+    switch (I->op()) {
+    case Op::CmpSLt:
+      R.Scalar = A < B;
+      break;
+    case Op::CmpSLe:
+      R.Scalar = A <= B;
+      break;
+    case Op::CmpSGt:
+      R.Scalar = A > B;
+      break;
+    default:
+      R.Scalar = A >= B;
+      break;
+    }
+    return R;
+  }
+
+  // Conversions ---------------------------------------------------------------
+  case Op::ZExt:
+    R.Scalar = scalar(0);
+    return R;
+  case Op::SExt: {
+    unsigned W = I->operand(0)->type().bits();
+    R.Scalar = maskTo(static_cast<uint64_t>(signExtend(scalar(0), W)), Bits);
+    return R;
+  }
+  case Op::Trunc:
+    R.Scalar = maskTo(scalar(0), Bits);
+    return R;
+  case Op::Select:
+    return scalar(0) ? operandVal(FR, I->operand(1))
+                     : operandVal(FR, I->operand(2));
+
+  // Stack ----------------------------------------------------------------------
+  case Op::Alloca:
+    FR.Slots[I]; // Default-initialize.
+    R.Scalar = 0;
+    return R;
+  case Op::Load: {
+    auto *Slot = cast<ir::Instr>(I->operand(0));
+    return FR.Slots[Slot];
+  }
+  case Op::Store: {
+    auto *Slot = cast<ir::Instr>(I->operand(0));
+    FR.Slots[Slot] = operandVal(FR, I->operand(1));
+    return R;
+  }
+
+  // Globals --------------------------------------------------------------------
+  case Op::GLoad: {
+    auto &State = Globals[I->GlobalRef];
+    uint64_t Idx = scalar(0);
+    if (Idx >= State.size()) {
+      fail("global '%s' index %llu out of range",
+           I->GlobalRef->name().c_str(),
+           static_cast<unsigned long long>(Idx));
+      return R;
+    }
+    if (Hooks)
+      Hooks->onGlobalAccess(I->GlobalRef, Idx, false);
+    R.Scalar = State[Idx];
+    return R;
+  }
+  case Op::GStore: {
+    auto &State = Globals[I->GlobalRef];
+    uint64_t Idx = scalar(0);
+    if (Idx >= State.size()) {
+      fail("global '%s' index %llu out of range",
+           I->GlobalRef->name().c_str(),
+           static_cast<unsigned long long>(Idx));
+      return R;
+    }
+    if (Hooks)
+      Hooks->onGlobalAccess(I->GlobalRef, Idx, true);
+    State[Idx] = maskTo(scalar(1), I->GlobalRef->elemBits());
+    return R;
+  }
+
+  // Calls ----------------------------------------------------------------------
+  case Op::Call: {
+    std::vector<IVal> Args;
+    for (unsigned K = 0; K != I->numOperands(); ++K)
+      Args.push_back(operandVal(FR, I->operand(K)));
+    return callFunction(I->Callee, std::move(Args));
+  }
+
+  // Packet intrinsics ------------------------------------------------------------
+  case Op::PktLoad: {
+    Packet &P = Pkts.get(scalar(0));
+    size_t AbsBit = size_t(P.HeadOff) * 8 + I->BitOff;
+    if ((AbsBit + I->BitWidth + 7) / 8 > P.Data.size()) {
+      fail("packet field read past end of packet");
+      return R;
+    }
+    R.Scalar = readBitsBE(P.Data.data(), AbsBit, I->BitWidth);
+    return R;
+  }
+  case Op::PktStore: {
+    Packet &P = Pkts.get(scalar(0));
+    size_t AbsBit = size_t(P.HeadOff) * 8 + I->BitOff;
+    if ((AbsBit + I->BitWidth + 7) / 8 > P.Data.size()) {
+      fail("packet field write past end of packet");
+      return R;
+    }
+    writeBitsBE(P.Data.data(), AbsBit, I->BitWidth,
+                maskTo(scalar(1), I->BitWidth));
+    return R;
+  }
+  case Op::MetaLoad: {
+    Packet &P = Pkts.get(scalar(0));
+    R.Scalar = readBitsBE(P.Meta.data(), I->BitOff, I->BitWidth);
+    return R;
+  }
+  case Op::MetaStore: {
+    Packet &P = Pkts.get(scalar(0));
+    writeBitsBE(P.Meta.data(), I->BitOff, I->BitWidth,
+                maskTo(scalar(1), I->BitWidth));
+    return R;
+  }
+  case Op::PktDecap: {
+    uint64_t H = scalar(0);
+    Packet &P = Pkts.get(H);
+    uint64_t Size = scalar(1);
+    if (P.HeadOff + Size > P.Data.size()) {
+      fail("decap past end of packet");
+      return R;
+    }
+    P.HeadOff += static_cast<uint32_t>(Size);
+    R.Scalar = H;
+    return R;
+  }
+  case Op::PktEncap: {
+    uint64_t H = scalar(0);
+    Packet &P = Pkts.get(H);
+    if (P.HeadOff < I->SizeBytes) {
+      fail("encap exceeds packet headroom");
+      return R;
+    }
+    P.HeadOff -= I->SizeBytes;
+    R.Scalar = H;
+    return R;
+  }
+  case Op::PktCopy:
+    R.Scalar = Pkts.clone(scalar(0));
+    return R;
+  case Op::PktDrop:
+    Pkts.drop(scalar(0));
+    return R;
+  case Op::PktLength: {
+    Packet &P = Pkts.get(scalar(0));
+    R.Scalar = P.Data.size() - P.HeadOff;
+    return R;
+  }
+  case Op::ChannelPut: {
+    uint64_t H = scalar(0);
+    if (Hooks)
+      Hooks->onChannelPut(I->ChanId);
+    if (I->ChanId == 0) {
+      Packet &P = Pkts.get(H);
+      TxPacket T;
+      T.Frame = Pkts.payloadFrom(H);
+      T.Meta = P.Meta;
+      Cur->Tx.push_back(std::move(T));
+      Pkts.drop(H);
+    } else {
+      Queue.push_back({I->ChanId, H});
+    }
+    return R;
+  }
+  case Op::LockAcquire:
+  case Op::LockRelease:
+    return R; // Single-threaded functional model.
+
+  // Wide (PAC) operations ----------------------------------------------------------
+  case Op::PktLoadWide: {
+    Packet &P = Pkts.get(scalar(0));
+    R.WideBytes.assign(size_t(I->Words) * 4, 0);
+    if (I->Space == ir::WideSpace::PktData) {
+      size_t Start = P.HeadOff + I->ByteOff;
+      if (Start + R.WideBytes.size() > P.Data.size() + 3) {
+        fail("wide packet read out of range");
+        return R;
+      }
+      for (size_t K = 0; K != R.WideBytes.size(); ++K)
+        R.WideBytes[K] = Start + K < P.Data.size() ? P.Data[Start + K] : 0;
+    } else {
+      for (size_t K = 0; K != R.WideBytes.size(); ++K)
+        R.WideBytes[K] =
+            I->ByteOff + K < P.Meta.size() ? P.Meta[I->ByteOff + K] : 0;
+    }
+    return R;
+  }
+  case Op::PktStoreWide: {
+    Packet &P = Pkts.get(scalar(0));
+    IVal W = operandVal(FR, I->operand(1));
+    if (W.WideBytes.size() != size_t(I->Words) * 4) {
+      fail("wide store size mismatch");
+      return R;
+    }
+    if (I->Space == ir::WideSpace::PktData) {
+      size_t Start = P.HeadOff + I->ByteOff;
+      for (size_t K = 0; K != W.WideBytes.size(); ++K)
+        if (Start + K < P.Data.size())
+          P.Data[Start + K] = W.WideBytes[K];
+    } else {
+      for (size_t K = 0; K != W.WideBytes.size(); ++K)
+        if (I->ByteOff + K < P.Meta.size())
+          P.Meta[I->ByteOff + K] = W.WideBytes[K];
+    }
+    return R;
+  }
+  case Op::WideExtract: {
+    IVal W = operandVal(FR, I->operand(0));
+    R.Scalar = readBitsBE(W.WideBytes.data(), I->BitOff, I->BitWidth);
+    return R;
+  }
+  case Op::WideInsert: {
+    R = operandVal(FR, I->operand(0));
+    writeBitsBE(R.WideBytes.data(), I->BitOff, I->BitWidth,
+                maskTo(scalar(1), I->BitWidth));
+    return R;
+  }
+  case Op::WideZero:
+    R.WideBytes.assign(size_t(I->Words) * 4, 0);
+    return R;
+
+  case Op::Br:
+  case Op::CondBr:
+  case Op::Ret:
+  case Op::Phi:
+    assert(false && "handled by the block loop");
+    return R;
+  }
+  assert(false && "unhandled opcode");
+  return R;
+}

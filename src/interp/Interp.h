@@ -1,0 +1,96 @@
+//===- interp/Interp.h - reference IR interpreter ---------------------------==//
+//
+// Executes lowered Baker programs functionally: one packet at a time through
+// the PPF dataflow. Serves three roles:
+//   1. golden model for compiler correctness tests (IR before/after passes
+//      and the generated ME code must agree with it),
+//   2. the engine of the Functional Profiler (via the Listener hooks),
+//   3. a quick way for examples to show application behaviour.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SL_INTERP_INTERP_H
+#define SL_INTERP_INTERP_H
+
+#include "interp/PacketModel.h"
+#include "ir/Module.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sl::interp {
+
+/// Profiling hooks. All callbacks are optional.
+class Listener {
+public:
+  virtual ~Listener() = default;
+  virtual void onFuncEnter(const ir::Function *F) {}
+  virtual void onInstr(const ir::Instr *I) {}
+  virtual void onChannelPut(unsigned ChanId) {}
+  virtual void onGlobalAccess(const ir::Global *G, uint64_t Index,
+                              bool IsStore) {}
+};
+
+/// A packet delivered to Tx: remaining frame bytes plus the final metadata
+/// block (bit-packed; rx_port at bit 0).
+struct TxPacket {
+  std::vector<uint8_t> Frame;
+  std::vector<uint8_t> Meta;
+};
+
+/// Result of running one packet through the program.
+struct RunResult {
+  std::vector<TxPacket> Tx;
+  bool Error = false;
+  std::string ErrorMsg;
+  uint64_t Steps = 0; ///< IR instructions executed.
+};
+
+/// The interpreter. Owns global-table state across packets (so control-plane
+/// writes persist) and a fresh PacketStore per run batch.
+class Interpreter {
+public:
+  explicit Interpreter(ir::Module &M);
+
+  void setListener(Listener *L) { Hooks = L; }
+
+  /// Control-plane access to global tables (the "store path" of SWC).
+  void writeGlobal(const std::string &Name, uint64_t Index, uint64_t Value);
+  uint64_t readGlobal(const std::string &Name, uint64_t Index) const;
+
+  /// Runs one frame through the program from Rx.
+  RunResult inject(const std::vector<uint8_t> &Frame, uint16_t RxPort);
+
+  /// Step budget per injected packet (runaway-loop guard).
+  void setStepLimit(uint64_t Limit) { StepLimit = Limit; }
+
+private:
+  struct IVal {
+    uint64_t Scalar = 0;
+    std::vector<uint8_t> WideBytes; ///< For wide (PAC) values.
+  };
+
+  struct Frame;
+
+  IVal callFunction(ir::Function *F, std::vector<IVal> Args);
+  IVal evalInstr(Frame &FR, ir::Instr *I);
+  IVal operandVal(Frame &FR, ir::Value *V);
+  void fail(const char *Fmt, ...) __attribute__((format(printf, 2, 3)));
+
+  ir::Module &M;
+  std::map<const ir::Global *, std::vector<uint64_t>> Globals;
+  PacketStore Pkts;
+  Listener *Hooks = nullptr;
+
+  // Per-run state.
+  RunResult *Cur = nullptr;
+  std::vector<std::pair<unsigned, uint64_t>> Queue; ///< (chan, handle).
+  uint64_t StepLimit = 2'000'000;
+  unsigned CallDepth = 0;
+};
+
+} // namespace sl::interp
+
+#endif // SL_INTERP_INTERP_H

@@ -1,0 +1,75 @@
+//===- interp/PacketModel.h - functional packet store ----------------------==//
+//
+// The functional model of packets used by the interpreter / profiler: a
+// packet is a byte buffer (with headroom for encapsulation) plus a metadata
+// block and the current header offset. Handles are dense integers.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SL_INTERP_PACKETMODEL_H
+#define SL_INTERP_PACKETMODEL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sl::interp {
+
+/// Headroom reserved in front of every received frame so that
+/// packet_encap() can prepend headers (MPLS label pushes etc.).
+inline constexpr unsigned PacketHeadroom = 64;
+
+/// One live packet.
+struct Packet {
+  std::vector<uint8_t> Data;  ///< Headroom + frame bytes.
+  uint32_t HeadOff = 0;       ///< Current header byte offset into Data.
+  std::vector<uint8_t> Meta;  ///< User metadata block (bit-packed).
+  bool Alive = false;
+};
+
+/// Owns all packets of one run; handles index into the store.
+class PacketStore {
+public:
+  explicit PacketStore(unsigned MetaBits) : MetaBytes((MetaBits + 7) / 8) {}
+
+  /// Creates a packet from \p Frame, placing the frame after the headroom.
+  /// The metadata block is zeroed.
+  uint64_t create(const std::vector<uint8_t> &Frame) {
+    Packet P;
+    P.Data.resize(PacketHeadroom + Frame.size());
+    for (size_t I = 0; I != Frame.size(); ++I)
+      P.Data[PacketHeadroom + I] = Frame[I];
+    P.HeadOff = PacketHeadroom;
+    P.Meta.assign(MetaBytes, 0);
+    P.Alive = true;
+    Pkts.push_back(std::move(P));
+    return Pkts.size() - 1;
+  }
+
+  /// Clones packet \p H (packet_copy).
+  uint64_t clone(uint64_t H) {
+    Packet P = get(H); // Copy.
+    Pkts.push_back(std::move(P));
+    return Pkts.size() - 1;
+  }
+
+  Packet &get(uint64_t H) { return Pkts.at(H); }
+  const Packet &get(uint64_t H) const { return Pkts.at(H); }
+  size_t size() const { return Pkts.size(); }
+
+  void drop(uint64_t H) { get(H).Alive = false; }
+
+  /// Frame bytes from the current header to the end.
+  std::vector<uint8_t> payloadFrom(uint64_t H) const {
+    const Packet &P = get(H);
+    return std::vector<uint8_t>(P.Data.begin() + P.HeadOff, P.Data.end());
+  }
+
+private:
+  unsigned MetaBytes;
+  std::vector<Packet> Pkts;
+};
+
+} // namespace sl::interp
+
+#endif // SL_INTERP_PACKETMODEL_H

@@ -1,0 +1,21 @@
+//===- ir/ASTLower.h - Baker AST to IR lowering ----------------------------==//
+
+#ifndef SL_IR_ASTLOWER_H
+#define SL_IR_ASTLOWER_H
+
+#include "baker/Frontend.h"
+#include "ir/Module.h"
+
+#include <memory>
+
+namespace sl::ir {
+
+/// Lowers an analyzed Baker program to IR. Locals become allocas (promoted
+/// to SSA later by mem2reg); packet primitives become intrinsics carrying
+/// header-relative bit offsets.
+std::unique_ptr<Module> lowerProgram(const baker::CompiledUnit &Unit,
+                                     DiagEngine &Diags);
+
+} // namespace sl::ir
+
+#endif // SL_IR_ASTLOWER_H

@@ -1,0 +1,100 @@
+//===- ir/BasicBlock.h - CFG nodes ----------------------------------------==//
+
+#ifndef SL_IR_BASICBLOCK_H
+#define SL_IR_BASICBLOCK_H
+
+#include "ir/Instr.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sl::ir {
+
+class Function;
+
+/// A straight-line sequence of instructions ending in a terminator.
+/// Owns its instructions.
+class BasicBlock {
+public:
+  explicit BasicBlock(std::string Name) : Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+  Function *parent() const { return Parent; }
+  void setParent(Function *F) { Parent = F; }
+
+  // Instruction list ----------------------------------------------------------
+  size_t size() const { return Instrs.size(); }
+  bool empty() const { return Instrs.empty(); }
+  Instr *instr(size_t I) const { return Instrs[I].get(); }
+  const std::vector<std::unique_ptr<Instr>> &instrs() const { return Instrs; }
+
+  /// Appends \p I (taking ownership).
+  Instr *append(std::unique_ptr<Instr> I) {
+    I->setParent(this);
+    Instrs.push_back(std::move(I));
+    return Instrs.back().get();
+  }
+
+  /// Inserts \p I before position \p Pos (taking ownership).
+  Instr *insertAt(size_t Pos, std::unique_ptr<Instr> I) {
+    assert(Pos <= Instrs.size() && "insert position out of range");
+    I->setParent(this);
+    auto It = Instrs.begin() + static_cast<ptrdiff_t>(Pos);
+    return Instrs.insert(It, std::move(I))->get();
+  }
+
+  /// Index of \p I within this block; asserts if absent.
+  size_t indexOf(const Instr *I) const {
+    for (size_t Idx = 0; Idx != Instrs.size(); ++Idx)
+      if (Instrs[Idx].get() == I)
+        return Idx;
+    assert(false && "instruction not in block");
+    return 0;
+  }
+
+  /// Unlinks and destroys the instruction at \p Pos. The instruction must
+  /// have no remaining users.
+  void erase(size_t Pos) {
+    assert(Pos < Instrs.size() && "erase position out of range");
+    assert(!Instrs[Pos]->hasUses() && "erasing an instruction with uses");
+    Instrs.erase(Instrs.begin() + static_cast<ptrdiff_t>(Pos));
+  }
+
+  /// Unlinks and destroys \p I (which must have no users).
+  void erase(Instr *I) { erase(indexOf(I)); }
+
+  /// Detaches the instruction at \p Pos without destroying it.
+  std::unique_ptr<Instr> detach(size_t Pos) {
+    assert(Pos < Instrs.size() && "detach position out of range");
+    std::unique_ptr<Instr> I = std::move(Instrs[Pos]);
+    Instrs.erase(Instrs.begin() + static_cast<ptrdiff_t>(Pos));
+    I->setParent(nullptr);
+    return I;
+  }
+
+  /// The block terminator, or null if the block is still being built.
+  Instr *terminator() const {
+    if (Instrs.empty())
+      return nullptr;
+    Instr *Last = Instrs.back().get();
+    return Last->isTerm() ? Last : nullptr;
+  }
+
+  /// Successor blocks (empty until terminated).
+  std::vector<BasicBlock *> successors() const {
+    if (Instr *T = terminator())
+      return T->succs();
+    return {};
+  }
+
+private:
+  std::string Name;
+  Function *Parent = nullptr;
+  std::vector<std::unique_ptr<Instr>> Instrs;
+};
+
+} // namespace sl::ir
+
+#endif // SL_IR_BASICBLOCK_H

@@ -1,0 +1,98 @@
+//===- ir/Clone.cpp ---------------------------------------------------------==//
+
+#include "ir/Clone.h"
+
+#include <cassert>
+
+using namespace sl;
+using namespace sl::ir;
+
+namespace {
+
+/// Copies opcode, type, and immediate attributes (not operands/successors).
+Instr *shallowCloneInstr(const Instr &I) {
+  auto *C = new Instr(I.op(), I.type());
+  C->setName(I.name());
+  C->BitOff = I.BitOff;
+  C->BitWidth = I.BitWidth;
+  C->ByteOff = I.ByteOff;
+  C->Words = I.Words;
+  C->Space = I.Space;
+  C->ChanId = I.ChanId;
+  C->LockId = I.LockId;
+  C->SizeBytes = I.SizeBytes;
+  C->AllocTy = I.AllocTy;
+  C->GlobalRef = I.GlobalRef;
+  C->Callee = I.Callee;
+  C->ProtoName = I.ProtoName;
+  C->FieldName = I.FieldName;
+  C->StaticHdrOff = I.StaticHdrOff;
+  C->StaticInOff = I.StaticInOff;
+  C->StaticAlign = I.StaticAlign;
+  C->HeadElided = I.HeadElided;
+  C->MetaLocalized = I.MetaLocalized;
+  C->Loc = I.Loc;
+  return C;
+}
+
+Value *mapValue(const Value *V, Function &Dst, CloneMap &Map) {
+  auto It = Map.Values.find(V);
+  if (It != Map.Values.end())
+    return It->second;
+  if (const auto *C = dyn_cast<ConstInt>(V)) {
+    Value *NewC = C->type().isInt() ? Dst.constInt(C->type(), C->value())
+                                    : Dst.undef(C->type());
+    Map.Values.emplace(V, NewC);
+    return NewC;
+  }
+  assert(false && "unmapped non-constant value in clone");
+  return nullptr;
+}
+
+} // namespace
+
+BasicBlock *sl::ir::cloneBody(const Function &Src, Function &Dst,
+                              CloneMap &Map, const std::string &Suffix) {
+  // Pass 1: create blocks and instruction shells.
+  for (const auto &BB : Src.blocks()) {
+    BasicBlock *NewBB = Dst.addBlock(BB->name() + Suffix);
+    Map.Blocks[BB.get()] = NewBB;
+    for (const auto &I : BB->instrs()) {
+      Instr *C = shallowCloneInstr(*I);
+      // Stack slots carry their inline frame in the name: the stack
+      // layout pass groups frames from it (Sec. 5.4).
+      if (C->op() == Op::Alloca && !Suffix.empty())
+        C->setName(C->name() + Suffix);
+      NewBB->append(std::unique_ptr<Instr>(C));
+      Map.Values[I.get()] = C;
+    }
+  }
+
+  // Pass 2: wire operands, successors, and phi blocks.
+  for (const auto &BB : Src.blocks()) {
+    BasicBlock *NewBB = Map.Blocks[BB.get()];
+    for (size_t K = 0; K != BB->size(); ++K) {
+      const Instr *I = BB->instr(K);
+      Instr *C = NewBB->instr(K);
+      for (unsigned OpIdx = 0; OpIdx != I->numOperands(); ++OpIdx)
+        C->addOperand(mapValue(I->operand(OpIdx), Dst, Map));
+      for (unsigned S = 0; S != I->numSuccs(); ++S)
+        C->addSucc(Map.Blocks.at(I->succ(S)));
+      for (BasicBlock *PB : I->phiBlocks())
+        C->phiBlocks().push_back(Map.Blocks.at(PB));
+    }
+  }
+  return Map.Blocks.at(Src.entry());
+}
+
+Function *sl::ir::cloneFunction(Module &M, const Function &F,
+                                const std::string &NewName) {
+  Function *NewF = M.addFunction(NewName, F.returnType(), F.isPpf());
+  CloneMap Map;
+  for (unsigned I = 0; I != F.numArgs(); ++I) {
+    Argument *A = NewF->addArg(F.arg(I)->type(), F.arg(I)->name());
+    Map.Values[F.arg(I)] = A;
+  }
+  cloneBody(F, *NewF, Map, "");
+  return NewF;
+}

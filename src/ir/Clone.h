@@ -1,0 +1,37 @@
+//===- ir/Clone.h - function and block cloning -----------------------------==//
+//
+// Cloning is used by the inliner (-O2) and by aggregate formation, which
+// duplicates hot PPFs across processing elements (Sec. 5.1 of the paper).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SL_IR_CLONE_H
+#define SL_IR_CLONE_H
+
+#include "ir/Module.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sl::ir {
+
+/// Maps original values/blocks to their clones.
+struct CloneMap {
+  std::map<const Value *, Value *> Values;
+  std::map<const BasicBlock *, BasicBlock *> Blocks;
+};
+
+/// Clones every block of \p Src into \p Dst (appending), rewriting operands
+/// through \p Map. Callers must pre-seed Map.Values for Src's arguments.
+/// Block names get \p Suffix appended. Returns the clone of Src's entry.
+BasicBlock *cloneBody(const Function &Src, Function &Dst, CloneMap &Map,
+                      const std::string &Suffix);
+
+/// Clones \p F into a new function \p NewName in module \p M.
+Function *cloneFunction(Module &M, const Function &F,
+                        const std::string &NewName);
+
+} // namespace sl::ir
+
+#endif // SL_IR_CLONE_H

@@ -1,0 +1,111 @@
+//===- ir/Dominators.cpp --------------------------------------------------==//
+
+#include "ir/Dominators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace sl;
+using namespace sl::ir;
+
+DomTree::DomTree(Function &F) {
+  // Depth-first postorder from the entry block.
+  std::vector<BasicBlock *> Post;
+  std::set<BasicBlock *> Seen;
+  std::vector<std::pair<BasicBlock *, unsigned>> Stack;
+  BasicBlock *Entry = F.entry();
+  Stack.push_back({Entry, 0});
+  Seen.insert(Entry);
+  while (!Stack.empty()) {
+    auto &[BB, Idx] = Stack.back();
+    std::vector<BasicBlock *> Succs = BB->successors();
+    if (Idx < Succs.size()) {
+      BasicBlock *S = Succs[Idx++];
+      if (Seen.insert(S).second)
+        Stack.push_back({S, 0});
+      continue;
+    }
+    Post.push_back(BB);
+    Stack.pop_back();
+  }
+  Rpo.assign(Post.rbegin(), Post.rend());
+  for (unsigned I = 0; I != Rpo.size(); ++I)
+    RpoIndex[Rpo[I]] = I;
+
+  auto Preds = F.predecessors();
+
+  // Cooper-Harvey-Kennedy iterative idom computation.
+  auto intersect = [&](BasicBlock *A, BasicBlock *B) {
+    while (A != B) {
+      while (RpoIndex.at(A) > RpoIndex.at(B))
+        A = IDom.at(A);
+      while (RpoIndex.at(B) > RpoIndex.at(A))
+        B = IDom.at(B);
+    }
+    return A;
+  };
+
+  IDom[Entry] = Entry;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *BB : Rpo) {
+      if (BB == Entry)
+        continue;
+      BasicBlock *NewIDom = nullptr;
+      for (BasicBlock *P : Preds[BB]) {
+        if (!RpoIndex.count(P) || !IDom.count(P))
+          continue; // Unreachable or not yet processed.
+        NewIDom = NewIDom ? intersect(NewIDom, P) : P;
+      }
+      if (!NewIDom)
+        continue;
+      auto It = IDom.find(BB);
+      if (It == IDom.end() || It->second != NewIDom) {
+        IDom[BB] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+  IDom[Entry] = nullptr; // Entry has no idom; self-link was just for CHK.
+
+  // Dominance frontiers.
+  for (BasicBlock *BB : Rpo) {
+    const auto &P = Preds[BB];
+    if (P.size() < 2)
+      continue;
+    for (BasicBlock *Pred : P) {
+      if (!RpoIndex.count(Pred))
+        continue;
+      BasicBlock *Runner = Pred;
+      while (Runner && Runner != IDom[BB]) {
+        auto &Front = DF[Runner];
+        if (std::find(Front.begin(), Front.end(), BB) == Front.end())
+          Front.push_back(BB);
+        Runner = IDom[Runner];
+      }
+    }
+  }
+}
+
+bool DomTree::dominates(BasicBlock *A, BasicBlock *B) const {
+  if (!reachable(B))
+    return false;
+  while (B) {
+    if (A == B)
+      return true;
+    auto It = IDom.find(B);
+    B = It == IDom.end() ? nullptr : It->second;
+  }
+  return false;
+}
+
+bool DomTree::dominates(const Instr *A, const Instr *B) const {
+  BasicBlock *ABlock = A->parent();
+  BasicBlock *BBlock = B->parent();
+  assert(ABlock && BBlock && "instructions must be in blocks");
+  if (ABlock != BBlock)
+    return dominates(ABlock, BBlock) && ABlock != BBlock;
+  return ABlock->indexOf(A) < BBlock->indexOf(B);
+}

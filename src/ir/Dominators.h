@@ -1,0 +1,60 @@
+//===- ir/Dominators.h - dominator tree and frontiers ---------------------==//
+//
+// Iterative dominator computation (Cooper-Harvey-Kennedy) plus dominance
+// frontiers, used by SSA construction and by PAC's dominance checks.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SL_IR_DOMINATORS_H
+#define SL_IR_DOMINATORS_H
+
+#include "ir/Function.h"
+
+#include <map>
+#include <vector>
+
+namespace sl::ir {
+
+/// Dominator information for one function. Snapshot: rebuild after CFG
+/// mutations.
+class DomTree {
+public:
+  explicit DomTree(Function &F);
+
+  /// Immediate dominator of \p BB (null for the entry block and for
+  /// unreachable blocks).
+  BasicBlock *idom(BasicBlock *BB) const {
+    auto It = IDom.find(BB);
+    return It == IDom.end() ? nullptr : It->second;
+  }
+
+  /// True if \p A dominates \p B (reflexive).
+  bool dominates(BasicBlock *A, BasicBlock *B) const;
+
+  /// True if instruction \p A dominates instruction \p B: either A's block
+  /// strictly dominates B's, or both share a block and A comes first.
+  bool dominates(const Instr *A, const Instr *B) const;
+
+  /// Blocks in the dominance frontier of \p BB.
+  const std::vector<BasicBlock *> &frontier(BasicBlock *BB) const {
+    static const std::vector<BasicBlock *> Empty;
+    auto It = DF.find(BB);
+    return It == DF.end() ? Empty : It->second;
+  }
+
+  /// True if \p BB is reachable from the entry block.
+  bool reachable(BasicBlock *BB) const { return RpoIndex.count(BB) != 0; }
+
+  /// Blocks in reverse postorder (reachable blocks only).
+  const std::vector<BasicBlock *> &rpo() const { return Rpo; }
+
+private:
+  std::map<BasicBlock *, BasicBlock *> IDom;
+  std::map<BasicBlock *, std::vector<BasicBlock *>> DF;
+  std::map<BasicBlock *, unsigned> RpoIndex;
+  std::vector<BasicBlock *> Rpo;
+};
+
+} // namespace sl::ir
+
+#endif // SL_IR_DOMINATORS_H

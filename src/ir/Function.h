@@ -1,0 +1,114 @@
+//===- ir/Function.h - IR functions ---------------------------------------==//
+
+#ifndef SL_IR_FUNCTION_H
+#define SL_IR_FUNCTION_H
+
+#include "ir/BasicBlock.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sl::ir {
+
+class Module;
+
+/// A Baker function or PPF lowered to a CFG. Owns its blocks, arguments,
+/// and constants.
+class Function {
+public:
+  Function(std::string Name, Type RetTy, bool IsPpf)
+      : Name(std::move(Name)), RetTy(RetTy), IsPpf(IsPpf) {}
+
+  const std::string &name() const { return Name; }
+  const Type &returnType() const { return RetTy; }
+  bool isPpf() const { return IsPpf; }
+  Module *parent() const { return Parent; }
+  void setParent(Module *M) { Parent = M; }
+
+  // Arguments -----------------------------------------------------------------
+  Argument *addArg(Type Ty, std::string ArgName) {
+    auto A = std::make_unique<Argument>(Ty, this,
+                                        static_cast<unsigned>(Args.size()));
+    A->setName(std::move(ArgName));
+    Args.push_back(std::move(A));
+    return Args.back().get();
+  }
+  unsigned numArgs() const { return static_cast<unsigned>(Args.size()); }
+  Argument *arg(unsigned I) const { return Args[I].get(); }
+
+  // Blocks --------------------------------------------------------------------
+  BasicBlock *addBlock(std::string BlockName) {
+    auto BB = std::make_unique<BasicBlock>(std::move(BlockName));
+    BB->setParent(this);
+    Blocks.push_back(std::move(BB));
+    return Blocks.back().get();
+  }
+  BasicBlock *entry() const {
+    assert(!Blocks.empty() && "function has no blocks");
+    return Blocks.front().get();
+  }
+  size_t numBlocks() const { return Blocks.size(); }
+  BasicBlock *block(size_t I) const { return Blocks[I].get(); }
+  const std::vector<std::unique_ptr<BasicBlock>> &blocks() const {
+    return Blocks;
+  }
+
+  /// Removes (and destroys) block \p BB; it must be unreferenced.
+  void eraseBlock(BasicBlock *BB) {
+    for (size_t I = 0; I != Blocks.size(); ++I) {
+      if (Blocks[I].get() == BB) {
+        Blocks.erase(Blocks.begin() + static_cast<ptrdiff_t>(I));
+        return;
+      }
+    }
+    assert(false && "block not in function");
+  }
+
+  /// Predecessor map, computed fresh from the current CFG.
+  std::map<BasicBlock *, std::vector<BasicBlock *>> predecessors() const {
+    std::map<BasicBlock *, std::vector<BasicBlock *>> Preds;
+    for (const auto &BB : Blocks)
+      Preds[BB.get()]; // Ensure every block has an entry.
+    for (const auto &BB : Blocks)
+      for (BasicBlock *S : BB->successors())
+        Preds[S].push_back(BB.get());
+    return Preds;
+  }
+
+  // Constants -----------------------------------------------------------------
+  /// Returns a (uniqued) integer constant of the given type.
+  ConstInt *constInt(Type Ty, uint64_t Val);
+
+  /// Returns an "undef" placeholder of \p Ty (used by SSA construction on
+  /// paths where a variable was never assigned). Reads of it yield zero.
+  Value *undef(Type Ty) {
+    if (Ty.isInt())
+      return constInt(Ty, 0);
+    Undefs.push_back(std::make_unique<ConstInt>(Ty, 0));
+    return Undefs.back().get();
+  }
+
+  /// Total instruction count (for size estimation).
+  size_t instrCount() const {
+    size_t N = 0;
+    for (const auto &BB : Blocks)
+      N += BB->size();
+    return N;
+  }
+
+private:
+  std::string Name;
+  Type RetTy;
+  bool IsPpf;
+  Module *Parent = nullptr;
+  std::vector<std::unique_ptr<Argument>> Args;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+  std::map<std::pair<uint8_t, uint64_t>, std::unique_ptr<ConstInt>> Consts;
+  std::vector<std::unique_ptr<ConstInt>> Undefs;
+};
+
+} // namespace sl::ir
+
+#endif // SL_IR_FUNCTION_H

@@ -1,0 +1,284 @@
+//===- ir/IRBuilder.h - instruction creation helpers -----------------------==//
+
+#ifndef SL_IR_IRBUILDER_H
+#define SL_IR_IRBUILDER_H
+
+#include "ir/Function.h"
+#include "ir/Module.h"
+
+#include <memory>
+#include <string>
+
+namespace sl::ir {
+
+/// Appends instructions to a basic block. All create* methods return the
+/// new instruction after appending it at the current insertion block.
+class IRBuilder {
+public:
+  explicit IRBuilder(Function *F) : F(F) {}
+
+  Function *function() const { return F; }
+  BasicBlock *insertBlock() const { return BB; }
+  void setInsertBlock(BasicBlock *Block) { BB = Block; }
+
+  /// True when the current block already has a terminator (further
+  /// straight-line emission would be dead).
+  bool terminated() const { return BB && BB->terminator() != nullptr; }
+
+  ConstInt *constInt(Type Ty, uint64_t Val) { return F->constInt(Ty, Val); }
+  ConstInt *i32(uint64_t Val) { return constInt(Type::intTy(32), Val); }
+  ConstInt *i1(bool Val) { return constInt(Type::boolTy(), Val ? 1 : 0); }
+
+  Instr *createBin(Op O, Value *L, Value *R) {
+    assert(isBinaryOp(O) && "not a binary opcode");
+    assert(L->type() == R->type() && "binary operand type mismatch");
+    Type Ty = isCompareOp(O) ? Type::boolTy() : L->type();
+    Instr *I = make(O, Ty);
+    I->addOperand(L);
+    I->addOperand(R);
+    return append(I);
+  }
+
+  Instr *createZExt(Value *V, Type To) { return createCast(Op::ZExt, V, To); }
+  Instr *createSExt(Value *V, Type To) { return createCast(Op::SExt, V, To); }
+  Instr *createTrunc(Value *V, Type To) {
+    return createCast(Op::Trunc, V, To);
+  }
+
+  Instr *createSelect(Value *C, Value *T, Value *E) {
+    assert(C->type().isBool() && "select condition must be i1");
+    assert(T->type() == E->type() && "select arm type mismatch");
+    Instr *I = make(Op::Select, T->type());
+    I->addOperand(C);
+    I->addOperand(T);
+    I->addOperand(E);
+    return append(I);
+  }
+
+  Instr *createAlloca(Type ElemTy, const std::string &Name) {
+    Instr *I = make(Op::Alloca, Type::intTy(32));
+    I->AllocTy = ElemTy;
+    I->setName(Name);
+    return append(I);
+  }
+
+  Instr *createLoad(Instr *Slot) {
+    assert(Slot->op() == Op::Alloca && "load from a non-alloca");
+    Instr *I = make(Op::Load, Slot->AllocTy);
+    I->addOperand(Slot);
+    return append(I);
+  }
+
+  Instr *createStore(Instr *Slot, Value *V) {
+    assert(Slot->op() == Op::Alloca && "store to a non-alloca");
+    Instr *I = make(Op::Store, Type::voidTy());
+    I->addOperand(Slot);
+    I->addOperand(V);
+    return append(I);
+  }
+
+  Instr *createGLoad(Global *G, Value *Index) {
+    Instr *I = make(Op::GLoad, Type::intTy(G->elemBits()));
+    I->GlobalRef = G;
+    I->addOperand(Index);
+    return append(I);
+  }
+
+  Instr *createGStore(Global *G, Value *Index, Value *V) {
+    Instr *I = make(Op::GStore, Type::voidTy());
+    I->GlobalRef = G;
+    I->addOperand(Index);
+    I->addOperand(V);
+    return append(I);
+  }
+
+  Instr *createBr(BasicBlock *Target) {
+    Instr *I = make(Op::Br, Type::voidTy());
+    I->addSucc(Target);
+    return append(I);
+  }
+
+  Instr *createCondBr(Value *Cond, BasicBlock *TrueBB, BasicBlock *FalseBB) {
+    assert(Cond->type().isBool() && "condbr condition must be i1");
+    Instr *I = make(Op::CondBr, Type::voidTy());
+    I->addOperand(Cond);
+    I->addSucc(TrueBB);
+    I->addSucc(FalseBB);
+    return append(I);
+  }
+
+  Instr *createRet(Value *V) {
+    Instr *I = make(Op::Ret, Type::voidTy());
+    if (V)
+      I->addOperand(V);
+    return append(I);
+  }
+
+  Instr *createCall(Function *Callee, const std::vector<Value *> &Args) {
+    Instr *I = make(Op::Call, Callee->returnType());
+    I->Callee = Callee;
+    for (Value *A : Args)
+      I->addOperand(A);
+    return append(I);
+  }
+
+  Instr *createPhi(Type Ty) { return append(make(Op::Phi, Ty)); }
+
+  Instr *createPktLoad(Value *Handle, unsigned BitOff, unsigned BitWidth,
+                       Type Ty) {
+    Instr *I = make(Op::PktLoad, Ty);
+    I->addOperand(Handle);
+    I->BitOff = BitOff;
+    I->BitWidth = BitWidth;
+    return append(I);
+  }
+
+  Instr *createPktStore(Value *Handle, unsigned BitOff, unsigned BitWidth,
+                        Value *V) {
+    Instr *I = make(Op::PktStore, Type::voidTy());
+    I->addOperand(Handle);
+    I->addOperand(V);
+    I->BitOff = BitOff;
+    I->BitWidth = BitWidth;
+    return append(I);
+  }
+
+  Instr *createMetaLoad(Value *Handle, unsigned BitOff, unsigned BitWidth,
+                        Type Ty) {
+    Instr *I = make(Op::MetaLoad, Ty);
+    I->addOperand(Handle);
+    I->BitOff = BitOff;
+    I->BitWidth = BitWidth;
+    return append(I);
+  }
+
+  Instr *createMetaStore(Value *Handle, unsigned BitOff, unsigned BitWidth,
+                         Value *V) {
+    Instr *I = make(Op::MetaStore, Type::voidTy());
+    I->addOperand(Handle);
+    I->addOperand(V);
+    I->BitOff = BitOff;
+    I->BitWidth = BitWidth;
+    return append(I);
+  }
+
+  Instr *createPktDecap(Value *Handle, Value *SizeBytes) {
+    Instr *I = make(Op::PktDecap, Type::packetTy());
+    I->addOperand(Handle);
+    I->addOperand(SizeBytes);
+    return append(I);
+  }
+
+  Instr *createPktEncap(Value *Handle, unsigned SizeBytes) {
+    Instr *I = make(Op::PktEncap, Type::packetTy());
+    I->addOperand(Handle);
+    I->SizeBytes = SizeBytes;
+    return append(I);
+  }
+
+  Instr *createPktCopy(Value *Handle) {
+    Instr *I = make(Op::PktCopy, Type::packetTy());
+    I->addOperand(Handle);
+    return append(I);
+  }
+
+  Instr *createPktDrop(Value *Handle) {
+    Instr *I = make(Op::PktDrop, Type::voidTy());
+    I->addOperand(Handle);
+    return append(I);
+  }
+
+  Instr *createPktLength(Value *Handle) {
+    Instr *I = make(Op::PktLength, Type::intTy(32));
+    I->addOperand(Handle);
+    return append(I);
+  }
+
+  Instr *createChannelPut(unsigned ChanId, Value *Handle) {
+    Instr *I = make(Op::ChannelPut, Type::voidTy());
+    I->ChanId = ChanId;
+    I->addOperand(Handle);
+    return append(I);
+  }
+
+  Instr *createLockAcquire(unsigned LockId) {
+    Instr *I = make(Op::LockAcquire, Type::voidTy());
+    I->LockId = LockId;
+    return append(I);
+  }
+
+  Instr *createLockRelease(unsigned LockId) {
+    Instr *I = make(Op::LockRelease, Type::voidTy());
+    I->LockId = LockId;
+    return append(I);
+  }
+
+  Instr *createPktLoadWide(Value *Handle, unsigned ByteOff, unsigned Words,
+                           WideSpace Space) {
+    Instr *I = make(Op::PktLoadWide, Type::wideTy(Words));
+    I->addOperand(Handle);
+    I->ByteOff = ByteOff;
+    I->Words = Words;
+    I->Space = Space;
+    return append(I);
+  }
+
+  Instr *createPktStoreWide(Value *Handle, unsigned ByteOff, unsigned Words,
+                            WideSpace Space, Value *Wide) {
+    Instr *I = make(Op::PktStoreWide, Type::voidTy());
+    I->addOperand(Handle);
+    I->addOperand(Wide);
+    I->ByteOff = ByteOff;
+    I->Words = Words;
+    I->Space = Space;
+    return append(I);
+  }
+
+  Instr *createWideExtract(Value *Wide, unsigned BitOff, unsigned BitWidth,
+                           Type Ty) {
+    Instr *I = make(Op::WideExtract, Ty);
+    I->addOperand(Wide);
+    I->BitOff = BitOff;
+    I->BitWidth = BitWidth;
+    return append(I);
+  }
+
+  Instr *createWideInsert(Value *Wide, Value *V, unsigned BitOff,
+                          unsigned BitWidth) {
+    Instr *I = make(Op::WideInsert, Wide->type());
+    I->addOperand(Wide);
+    I->addOperand(V);
+    I->BitOff = BitOff;
+    I->BitWidth = BitWidth;
+    return append(I);
+  }
+
+  Instr *createWideZero(unsigned Words) {
+    Instr *I = make(Op::WideZero, Type::wideTy(Words));
+    I->Words = Words;
+    return append(I);
+  }
+
+private:
+  Instr *createCast(Op O, Value *V, Type To) {
+    assert(V->type().isInt() && To.isInt() && "casts are integer-only");
+    Instr *I = make(O, To);
+    I->addOperand(V);
+    return append(I);
+  }
+
+  static Instr *make(Op O, Type Ty) { return new Instr(O, Ty); }
+
+  Instr *append(Instr *I) {
+    assert(BB && "no insertion block");
+    BB->append(std::unique_ptr<Instr>(I));
+    return I;
+  }
+
+  Function *F;
+  BasicBlock *BB = nullptr;
+};
+
+} // namespace sl::ir
+
+#endif // SL_IR_IRBUILDER_H

@@ -1,0 +1,234 @@
+//===- ir/Instr.cpp -------------------------------------------------------==//
+
+#include "ir/Instr.h"
+
+#include "ir/Function.h"
+
+using namespace sl;
+using namespace sl::ir;
+
+const char *sl::ir::opName(Op O) {
+  switch (O) {
+  case Op::Add:
+    return "add";
+  case Op::Sub:
+    return "sub";
+  case Op::Mul:
+    return "mul";
+  case Op::UDiv:
+    return "udiv";
+  case Op::SDiv:
+    return "sdiv";
+  case Op::URem:
+    return "urem";
+  case Op::SRem:
+    return "srem";
+  case Op::And:
+    return "and";
+  case Op::Or:
+    return "or";
+  case Op::Xor:
+    return "xor";
+  case Op::Shl:
+    return "shl";
+  case Op::LShr:
+    return "lshr";
+  case Op::AShr:
+    return "ashr";
+  case Op::CmpEq:
+    return "cmp.eq";
+  case Op::CmpNe:
+    return "cmp.ne";
+  case Op::CmpULt:
+    return "cmp.ult";
+  case Op::CmpULe:
+    return "cmp.ule";
+  case Op::CmpUGt:
+    return "cmp.ugt";
+  case Op::CmpUGe:
+    return "cmp.uge";
+  case Op::CmpSLt:
+    return "cmp.slt";
+  case Op::CmpSLe:
+    return "cmp.sle";
+  case Op::CmpSGt:
+    return "cmp.sgt";
+  case Op::CmpSGe:
+    return "cmp.sge";
+  case Op::ZExt:
+    return "zext";
+  case Op::SExt:
+    return "sext";
+  case Op::Trunc:
+    return "trunc";
+  case Op::Select:
+    return "select";
+  case Op::Alloca:
+    return "alloca";
+  case Op::Load:
+    return "load";
+  case Op::Store:
+    return "store";
+  case Op::GLoad:
+    return "gload";
+  case Op::GStore:
+    return "gstore";
+  case Op::Br:
+    return "br";
+  case Op::CondBr:
+    return "condbr";
+  case Op::Ret:
+    return "ret";
+  case Op::Call:
+    return "call";
+  case Op::Phi:
+    return "phi";
+  case Op::PktLoad:
+    return "pkt.load";
+  case Op::PktStore:
+    return "pkt.store";
+  case Op::MetaLoad:
+    return "meta.load";
+  case Op::MetaStore:
+    return "meta.store";
+  case Op::PktDecap:
+    return "pkt.decap";
+  case Op::PktEncap:
+    return "pkt.encap";
+  case Op::PktCopy:
+    return "pkt.copy";
+  case Op::PktDrop:
+    return "pkt.drop";
+  case Op::PktLength:
+    return "pkt.length";
+  case Op::ChannelPut:
+    return "chan.put";
+  case Op::LockAcquire:
+    return "lock.acquire";
+  case Op::LockRelease:
+    return "lock.release";
+  case Op::PktLoadWide:
+    return "pkt.load.wide";
+  case Op::PktStoreWide:
+    return "pkt.store.wide";
+  case Op::WideExtract:
+    return "wide.extract";
+  case Op::WideInsert:
+    return "wide.insert";
+  case Op::WideZero:
+    return "wide.zero";
+  }
+  return "<bad-op>";
+}
+
+bool sl::ir::isTerminator(Op O) {
+  return O == Op::Br || O == Op::CondBr || O == Op::Ret;
+}
+
+bool sl::ir::isBinaryOp(Op O) {
+  switch (O) {
+  case Op::Add:
+  case Op::Sub:
+  case Op::Mul:
+  case Op::UDiv:
+  case Op::SDiv:
+  case Op::URem:
+  case Op::SRem:
+  case Op::And:
+  case Op::Or:
+  case Op::Xor:
+  case Op::Shl:
+  case Op::LShr:
+  case Op::AShr:
+    return true;
+  default:
+    return isCompareOp(O);
+  }
+}
+
+bool sl::ir::isCompareOp(Op O) {
+  switch (O) {
+  case Op::CmpEq:
+  case Op::CmpNe:
+  case Op::CmpULt:
+  case Op::CmpULe:
+  case Op::CmpUGt:
+  case Op::CmpUGe:
+  case Op::CmpSLt:
+  case Op::CmpSLe:
+  case Op::CmpSGt:
+  case Op::CmpSGe:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool sl::ir::isPureOp(Op O) {
+  if (isBinaryOp(O))
+    return true;
+  switch (O) {
+  case Op::ZExt:
+  case Op::SExt:
+  case Op::Trunc:
+  case Op::Select:
+  case Op::Phi:
+  case Op::WideExtract:
+  case Op::WideInsert:
+  case Op::WideZero:
+    return true;
+  default:
+    return false;
+  }
+}
+
+void Value::replaceAllUsesWith(Value *New) {
+  assert(New != this && "replacing a value with itself");
+  // Users mutates while we rewrite, so iterate over a copy.
+  std::vector<Instr *> Copy = Users;
+  for (Instr *U : Copy)
+    for (unsigned I = 0, E = U->numOperands(); I != E; ++I)
+      if (U->operand(I) == this)
+        U->setOperand(I, New);
+  assert(Users.empty() && "stale uses after RAUW");
+}
+
+void Instr::removePhiIncoming(unsigned I) {
+  assert(op() == Op::Phi && "not a phi");
+  assert(I < numOperands() && "phi incoming index out of range");
+  if (Value *V = operand(I))
+    V->removeUser(this);
+  // Manual erase from the operand list.
+  // setOperand cannot shrink, so rebuild.
+  std::vector<Value *> NewOps;
+  std::vector<BasicBlock *> NewBlocks;
+  for (unsigned K = 0, E = numOperands(); K != E; ++K) {
+    if (K == I)
+      continue;
+    NewOps.push_back(operand(K));
+    NewBlocks.push_back(PhiBlocks[K]);
+  }
+  // Drop remaining uses, then re-add.
+  for (unsigned K = 0, E = numOperands(); K != E; ++K)
+    if (K != I && operand(K))
+      operand(K)->removeUser(this);
+  Ops.clear();
+  PhiBlocks.clear();
+  for (Value *V : NewOps)
+    addOperand(V);
+  PhiBlocks = std::move(NewBlocks);
+}
+
+ConstInt *Function::constInt(Type Ty, uint64_t Val) {
+  assert(Ty.isInt() && "constants must be integers");
+  uint64_t Masked =
+      Ty.bits() == 64 ? Val : (Val & ((uint64_t(1) << Ty.bits()) - 1));
+  auto Key = std::make_pair(static_cast<uint8_t>(Ty.bits()), Masked);
+  auto It = Consts.find(Key);
+  if (It != Consts.end())
+    return It->second.get();
+  auto C = std::make_unique<ConstInt>(Ty, Masked);
+  ConstInt *Ptr = C.get();
+  Consts.emplace(Key, std::move(C));
+  return Ptr;
+}

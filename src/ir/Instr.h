@@ -1,0 +1,230 @@
+//===- ir/Instr.h - IR instructions ---------------------------------------==//
+//
+// A single Instr class with an opcode enum and a small set of immediate
+// attributes covers the whole instruction set: scalar ALU ops, stack and
+// global memory, control flow, and the packet intrinsics that the
+// specialized optimizations (PAC / SOAR / PHR / SWC) analyze and rewrite.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SL_IR_INSTR_H
+#define SL_IR_INSTR_H
+
+#include "ir/Value.h"
+#include "support/SourceLoc.h"
+
+#include <climits>
+#include <cstdint>
+#include <vector>
+
+namespace sl::ir {
+
+class BasicBlock;
+class Function;
+class Global;
+
+/// IR opcodes.
+enum class Op : uint8_t {
+  // Integer arithmetic / logic. Two operands of identical integer type.
+  Add,
+  Sub,
+  Mul,
+  UDiv,
+  SDiv,
+  URem,
+  SRem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  LShr,
+  AShr,
+
+  // Comparisons: two identically typed integer operands, produce i1.
+  CmpEq,
+  CmpNe,
+  CmpULt,
+  CmpULe,
+  CmpUGt,
+  CmpUGe,
+  CmpSLt,
+  CmpSLe,
+  CmpSGt,
+  CmpSGe,
+
+  // Width conversions.
+  ZExt,
+  SExt,
+  Trunc,
+
+  // Select(cond, a, b).
+  Select,
+
+  // Stack slots. Alloca produces a slot; Load/Store move scalar or packet
+  // values through it. Baker has no address-taken locals, so the operand
+  // of Load/Store is always the Alloca itself.
+  Alloca,
+  Load,
+  Store,
+
+  // Module globals (SRAM or Scratch): GLoad(index) / GStore(index, value),
+  // with the Global referenced via the GlobalRef attribute.
+  GLoad,
+  GStore,
+
+  // Control flow.
+  Br,
+  CondBr,
+  Ret,
+  Call,
+  Phi,
+
+  // Packet intrinsics. Offsets are bit offsets relative to the handle's
+  // current header until SOAR resolves absolute positions.
+  PktLoad,   ///< (handle) attrs{BitOff,BitWidth} -> iN
+  PktStore,  ///< (handle, value) attrs{BitOff,BitWidth}
+  MetaLoad,  ///< (handle) attrs{BitOff,BitWidth} -> iN
+  MetaStore, ///< (handle, value) attrs{BitOff,BitWidth}
+  PktDecap,  ///< (handle, sizeBytes:i32) -> pkt
+  PktEncap,  ///< (handle) attrs{SizeBytes} -> pkt
+  PktCopy,   ///< (handle) -> pkt
+  PktDrop,   ///< (handle)
+  PktLength, ///< (handle) -> i32
+  ChannelPut, ///< (handle) attrs{ChanId}
+  LockAcquire, ///< attrs{LockId}
+  LockRelease, ///< attrs{LockId}
+
+  // Wide accesses created by PAC. Space selects packet DRAM data vs the
+  // SRAM metadata block. ByteOff is relative to the current header for
+  // Space==PktData, or absolute within the metadata block for Space==Meta.
+  PktLoadWide,  ///< (handle) attrs{ByteOff,Words,Space} -> wN
+  PktStoreWide, ///< (handle, wide) attrs{ByteOff,Words,Space}
+  WideExtract,  ///< (wide) attrs{BitOff,BitWidth} -> iN
+  WideInsert,   ///< (wide, value) attrs{BitOff,BitWidth} -> wN
+  WideZero,     ///< () attrs{Words} -> wN
+};
+
+/// Memory space of a wide (combined) access.
+enum class WideSpace : uint8_t { PktData, Meta };
+
+const char *opName(Op O);
+bool isTerminator(Op O);
+bool isBinaryOp(Op O);
+bool isCompareOp(Op O);
+/// True for instructions with no side effects whose results can be safely
+/// removed when unused.
+bool isPureOp(Op O);
+
+/// One IR instruction. Owned by its BasicBlock.
+class Instr : public Value {
+public:
+  Instr(Op O, Type Ty) : Value(VKind::Instr, Ty), Opcode(O) {}
+  ~Instr() override { dropOperands(); }
+
+  static bool classof(const Value *V) { return V->valueKind() == VKind::Instr; }
+
+  Op op() const { return Opcode; }
+  BasicBlock *parent() const { return Parent; }
+  void setParent(BasicBlock *BB) { Parent = BB; }
+
+  // Operands ---------------------------------------------------------------
+  unsigned numOperands() const { return static_cast<unsigned>(Ops.size()); }
+  Value *operand(unsigned I) const {
+    assert(I < Ops.size() && "operand index out of range");
+    return Ops[I];
+  }
+  void addOperand(Value *V) {
+    Ops.push_back(V);
+    if (V)
+      V->addUser(this);
+  }
+  void setOperand(unsigned I, Value *V) {
+    assert(I < Ops.size() && "operand index out of range");
+    if (Ops[I])
+      Ops[I]->removeUser(this);
+    Ops[I] = V;
+    if (V)
+      V->addUser(this);
+  }
+  /// Removes all operands (and this instr from their use lists).
+  void dropOperands() {
+    for (Value *V : Ops)
+      if (V)
+        V->removeUser(this);
+    Ops.clear();
+  }
+
+  // Successors (Br: [0]; CondBr: [true, false]) -----------------------------
+  unsigned numSuccs() const { return static_cast<unsigned>(Succs.size()); }
+  BasicBlock *succ(unsigned I) const {
+    assert(I < Succs.size() && "successor index out of range");
+    return Succs[I];
+  }
+  void setSucc(unsigned I, BasicBlock *BB) {
+    assert(I < Succs.size() && "successor index out of range");
+    Succs[I] = BB;
+  }
+  void addSucc(BasicBlock *BB) { Succs.push_back(BB); }
+  std::vector<BasicBlock *> &succs() { return Succs; }
+  const std::vector<BasicBlock *> &succs() const { return Succs; }
+
+  // Phi incoming blocks, parallel to operands --------------------------------
+  std::vector<BasicBlock *> &phiBlocks() { return PhiBlocks; }
+  const std::vector<BasicBlock *> &phiBlocks() const { return PhiBlocks; }
+  void addPhiIncoming(Value *V, BasicBlock *BB) {
+    addOperand(V);
+    PhiBlocks.push_back(BB);
+  }
+  void removePhiIncoming(unsigned I);
+
+  bool isTerm() const { return isTerminator(Opcode); }
+
+  // Attributes ---------------------------------------------------------------
+  // Interpretations depend on opcode; unused fields stay zero.
+  unsigned BitOff = 0;     ///< Pkt/Meta field or WideExtract/Insert offset.
+  unsigned BitWidth = 0;   ///< Field width in bits.
+  unsigned ByteOff = 0;    ///< Wide access byte offset.
+  unsigned Words = 0;      ///< Wide access word count.
+  WideSpace Space = WideSpace::PktData;
+  unsigned ChanId = 0;     ///< ChannelPut target.
+  unsigned LockId = 0;     ///< LockAcquire/Release.
+  unsigned SizeBytes = 0;  ///< PktEncap header size.
+  Type AllocTy;            ///< Alloca element type.
+  Global *GlobalRef = nullptr; ///< GLoad/GStore target.
+  Function *Callee = nullptr;  ///< Call target.
+  std::string ProtoName;   ///< Pkt intrinsics: protocol, for printing.
+  std::string FieldName;   ///< Pkt/Meta field name, for printing.
+
+  // Analysis annotations ------------------------------------------------------
+  /// Sentinel for "offset not statically known" (INT64_MIN).
+  static constexpr int64_t UnknownOff = INT64_MIN;
+  /// SOAR: byte offset of the current header relative to the start of
+  /// packet data, when statically known (UnknownOff otherwise; may be
+  /// negative after packet_encap). For accesses this is the accessed
+  /// handle's offset; for decap/encap it is the offset of the RESULT
+  /// handle.
+  int64_t StaticHdrOff = UnknownOff;
+  /// SOAR: for decap/encap, the statically known offset of the INPUT
+  /// handle (UnknownOff otherwise).
+  int64_t StaticInOff = UnknownOff;
+  /// SOAR: guaranteed alignment (bytes) of the current header; 0 unknown.
+  unsigned StaticAlign = 0;
+  /// PHR: head_ptr maintenance for this decap/encap was proven removable
+  /// (paired within the aggregate or statically resolved end-to-end).
+  bool HeadElided = false;
+  /// PHR: this meta access was localized to a register; no SRAM traffic.
+  bool MetaLocalized = false;
+
+  SourceLoc Loc;
+
+private:
+  Op Opcode;
+  BasicBlock *Parent = nullptr;
+  std::vector<Value *> Ops;
+  std::vector<BasicBlock *> Succs;
+  std::vector<BasicBlock *> PhiBlocks;
+};
+
+} // namespace sl::ir
+
+#endif // SL_IR_INSTR_H

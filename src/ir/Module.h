@@ -1,0 +1,149 @@
+//===- ir/Module.h - IR translation unit ----------------------------------==//
+
+#ifndef SL_IR_MODULE_H
+#define SL_IR_MODULE_H
+
+#include "ir/Function.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sl::ir {
+
+/// Which physical memory a global lives in. Decided by the IPA/global
+/// optimizer from profile data (SRAM by default; hot, small tables can be
+/// promoted to Scratch).
+enum class MemLevel : uint8_t { Sram, Scratch };
+
+/// A module-scope global scalar or array.
+class Global {
+public:
+  Global(std::string Name, unsigned ElemBits, uint64_t Count,
+         std::vector<uint64_t> Init)
+      : Name(std::move(Name)), ElemBits(ElemBits), Count(Count),
+        Init(std::move(Init)) {}
+
+  const std::string &name() const { return Name; }
+  unsigned elemBits() const { return ElemBits; }
+  uint64_t count() const { return Count; }
+  const std::vector<uint64_t> &init() const { return Init; }
+  uint64_t sizeBytes() const { return Count * (ElemBits / 8); }
+
+  MemLevel Level = MemLevel::Sram;
+
+  // SWC annotations (set by the software-caching pass).
+  bool Cached = false;
+  unsigned CacheCheckInterval = 0; ///< Check home location every N packets.
+
+private:
+  std::string Name;
+  unsigned ElemBits;
+  uint64_t Count;
+  std::vector<uint64_t> Init;
+};
+
+/// A communication channel. Id 0 is the implicit transmit (tx) channel.
+struct Channel {
+  unsigned Id = 0;
+  std::string Name;
+  std::string Proto;
+  Function *Dest = nullptr; ///< Null for tx.
+};
+
+/// Protocol summary retained for the runtime/interpreter (sizes only; field
+/// offsets were resolved into the instructions during lowering).
+struct ProtoInfo {
+  std::string Name;
+  unsigned HeaderBits = 0;
+  bool ConstSize = false;
+  uint64_t SizeBytes = 0; ///< Valid when ConstSize.
+};
+
+/// A whole lowered program.
+class Module {
+public:
+  Function *addFunction(std::string Name, Type RetTy, bool IsPpf) {
+    auto F = std::make_unique<Function>(std::move(Name), RetTy, IsPpf);
+    F->setParent(this);
+    Funcs.push_back(std::move(F));
+    return Funcs.back().get();
+  }
+  Function *findFunction(const std::string &Name) const {
+    for (const auto &F : Funcs)
+      if (F->name() == Name)
+        return F.get();
+    return nullptr;
+  }
+  const std::vector<std::unique_ptr<Function>> &functions() const {
+    return Funcs;
+  }
+  /// Removes (and destroys) \p F; no calls to it may remain.
+  void eraseFunction(Function *F) {
+    for (size_t I = 0; I != Funcs.size(); ++I) {
+      if (Funcs[I].get() == F) {
+        Funcs.erase(Funcs.begin() + static_cast<ptrdiff_t>(I));
+        return;
+      }
+    }
+    assert(false && "function not in module");
+  }
+
+  Global *addGlobal(std::string Name, unsigned ElemBits, uint64_t Count,
+                    std::vector<uint64_t> Init) {
+    Globals.push_back(std::make_unique<Global>(std::move(Name), ElemBits,
+                                               Count, std::move(Init)));
+    return Globals.back().get();
+  }
+  Global *findGlobal(const std::string &Name) const {
+    for (const auto &G : Globals)
+      if (G->name() == Name)
+        return G.get();
+    return nullptr;
+  }
+  const std::vector<std::unique_ptr<Global>> &globals() const {
+    return Globals;
+  }
+
+  std::vector<Channel> Channels; ///< Channels[0] is tx.
+  Function *EntryPpf = nullptr;  ///< Receives packets from Rx.
+  unsigned MetaBits = 16;        ///< User metadata block size (incl rx_port).
+  unsigned NumLocks = 0;
+
+  /// Metadata bit ranges visible outside the PPF dataflow (written by Rx or
+  /// consumed by Tx); PHR must not localize accesses to these. rx_port
+  /// [0,16) is always present; the driver adds the app's tx-consumed
+  /// fields.
+  std::vector<std::pair<unsigned, unsigned>> ExternMetaRanges = {{0, 16}};
+
+  bool isExternMeta(unsigned BitOff, unsigned BitWidth) const {
+    for (auto [Lo, Width] : ExternMetaRanges)
+      if (BitOff < Lo + Width && Lo < BitOff + BitWidth)
+        return true;
+    return false;
+  }
+  std::vector<ProtoInfo> Protos;
+
+  const ProtoInfo *findProto(const std::string &Name) const {
+    for (const ProtoInfo &P : Protos)
+      if (P.Name == Name)
+        return &P;
+    return nullptr;
+  }
+
+  const Channel *findChannel(unsigned Id) const {
+    for (const Channel &C : Channels)
+      if (C.Id == Id)
+        return &C;
+    return nullptr;
+  }
+
+private:
+  std::vector<std::unique_ptr<Function>> Funcs;
+  std::vector<std::unique_ptr<Global>> Globals;
+};
+
+} // namespace sl::ir
+
+#endif // SL_IR_MODULE_H

@@ -1,0 +1,158 @@
+//===- ir/Printer.cpp -----------------------------------------------------==//
+
+#include "ir/Printer.h"
+
+#include "ir/Module.h"
+#include "support/StringUtils.h"
+
+#include <map>
+
+using namespace sl;
+using namespace sl::ir;
+
+namespace {
+
+/// Assigns stable printed names: %<name> if named, else %tN.
+class NameMap {
+public:
+  explicit NameMap(const Function &F) {
+    for (unsigned I = 0; I != F.numArgs(); ++I)
+      nameOf(F.arg(I));
+    for (const auto &BB : F.blocks())
+      for (const auto &I : BB->instrs())
+        if (!I->type().isVoid())
+          nameOf(I.get());
+  }
+
+  std::string nameOf(const Value *V) {
+    if (const auto *C = dyn_cast<ConstInt>(V))
+      return formatString("%llu", static_cast<unsigned long long>(C->value()));
+    auto It = Names.find(V);
+    if (It != Names.end())
+      return It->second;
+    std::string N = V->name().empty()
+                        ? formatString("%%t%u", Counter++)
+                        : ("%" + V->name() + "." + std::to_string(Counter++));
+    Names.emplace(V, N);
+    return N;
+  }
+
+private:
+  std::map<const Value *, std::string> Names;
+  unsigned Counter = 0;
+};
+
+void printInstr(const Instr &I, NameMap &Names, std::string &Out) {
+  Out += "  ";
+  if (!I.type().isVoid())
+    Out += Names.nameOf(&I) + " = ";
+  Out += opName(I.op());
+  Out += " ";
+  if (!I.type().isVoid())
+    Out += I.type().str() + " ";
+
+  bool First = true;
+  auto comma = [&] {
+    if (!First)
+      Out += ", ";
+    First = false;
+  };
+
+  for (unsigned K = 0; K != I.numOperands(); ++K) {
+    comma();
+    Out += Names.nameOf(I.operand(K));
+    if (I.op() == Op::Phi && K < I.phiBlocks().size())
+      Out += " [" + I.phiBlocks()[K]->name() + "]";
+  }
+  for (unsigned K = 0; K != I.numSuccs(); ++K) {
+    comma();
+    Out += "^" + I.succ(K)->name();
+  }
+  if (I.Callee) {
+    comma();
+    Out += "@" + I.Callee->name();
+  }
+  if (I.GlobalRef) {
+    comma();
+    Out += "$" + I.GlobalRef->name();
+  }
+  switch (I.op()) {
+  case Op::PktLoad:
+  case Op::PktStore:
+  case Op::MetaLoad:
+  case Op::MetaStore:
+  case Op::WideExtract:
+  case Op::WideInsert:
+    Out += formatString(" {bit %u, width %u}", I.BitOff, I.BitWidth);
+    if (!I.FieldName.empty())
+      Out += " ; " + I.ProtoName +
+             (I.ProtoName.empty() ? "" : ".") + I.FieldName;
+    break;
+  case Op::PktLoadWide:
+  case Op::PktStoreWide:
+    Out += formatString(" {byte %u, words %u, %s}", I.ByteOff, I.Words,
+                        I.Space == WideSpace::PktData ? "dram" : "meta");
+    break;
+  case Op::PktEncap:
+    Out += formatString(" {size %u}", I.SizeBytes);
+    break;
+  case Op::ChannelPut:
+    Out += formatString(" {chan %u}", I.ChanId);
+    break;
+  case Op::LockAcquire:
+  case Op::LockRelease:
+    Out += formatString(" {lock %u}", I.LockId);
+    break;
+  case Op::Alloca:
+    Out += " {" + I.AllocTy.str() + "}";
+    break;
+  default:
+    break;
+  }
+  if (I.StaticHdrOff != Instr::UnknownOff)
+    Out += formatString(" !soar(off=%lld, align=%u)",
+                        static_cast<long long>(I.StaticHdrOff), I.StaticAlign);
+  Out += "\n";
+}
+
+} // namespace
+
+std::string sl::ir::printFunction(const Function &F) {
+  NameMap Names(F);
+  std::string Out = (F.isPpf() ? "ppf @" : "func @") + F.name() + "(";
+  for (unsigned I = 0; I != F.numArgs(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += F.arg(I)->type().str() + " " + Names.nameOf(F.arg(I));
+  }
+  Out += ") -> " + F.returnType().str() + " {\n";
+  for (const auto &BB : F.blocks()) {
+    Out += BB->name() + ":\n";
+    for (const auto &I : BB->instrs())
+      printInstr(*I, Names, Out);
+  }
+  Out += "}\n";
+  return Out;
+}
+
+std::string sl::ir::printModule(const Module &M) {
+  std::string Out;
+  for (const auto &G : M.globals()) {
+    Out += formatString("global $%s : i%u x %llu (%s%s)\n", G->name().c_str(),
+                        G->elemBits(),
+                        static_cast<unsigned long long>(G->count()),
+                        G->Level == MemLevel::Sram ? "sram" : "scratch",
+                        G->Cached ? ", cached" : "");
+  }
+  for (const Channel &C : M.Channels) {
+    Out += formatString("channel #%u %s : %s -> %s\n", C.Id, C.Name.c_str(),
+                        C.Proto.c_str(),
+                        C.Dest ? C.Dest->name().c_str() : "<tx>");
+  }
+  if (M.EntryPpf)
+    Out += "entry @" + M.EntryPpf->name() + "\n";
+  Out += "\n";
+  for (const auto &F : M.functions())
+    Out += printFunction(*F) + "\n";
+  return Out;
+}

@@ -1,0 +1,21 @@
+//===- ir/Printer.h - textual IR dump -------------------------------------==//
+
+#ifndef SL_IR_PRINTER_H
+#define SL_IR_PRINTER_H
+
+#include <string>
+
+namespace sl::ir {
+
+class Function;
+class Module;
+
+/// Renders \p F as readable text (for tests and the IR explorer example).
+std::string printFunction(const Function &F);
+
+/// Renders the whole module: globals, channels, then functions.
+std::string printModule(const Module &M);
+
+} // namespace sl::ir
+
+#endif // SL_IR_PRINTER_H

@@ -1,0 +1,89 @@
+//===- ir/Type.h - IR value types -----------------------------------------==//
+
+#ifndef SL_IR_TYPE_H
+#define SL_IR_TYPE_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace sl::ir {
+
+/// IR-level type. Integers carry an explicit bit width (1 for booleans).
+/// Packet is an opaque packet-handle. Wide is a contiguous group of 32-bit
+/// words produced by combined (PAC) memory accesses; it maps to a transfer
+/// register sequence in code generation.
+class Type {
+public:
+  enum class Kind : uint8_t { Void, Int, Packet, Wide };
+
+  Type() : K(Kind::Void) {}
+
+  static Type voidTy() { return Type(); }
+  static Type intTy(unsigned Bits) {
+    assert((Bits == 1 || Bits == 8 || Bits == 16 || Bits == 32 ||
+            Bits == 64) &&
+           "unsupported IR integer width");
+    Type T;
+    T.K = Kind::Int;
+    T.Bits = static_cast<uint8_t>(Bits);
+    return T;
+  }
+  static Type boolTy() { return intTy(1); }
+  static Type packetTy() {
+    Type T;
+    T.K = Kind::Packet;
+    return T;
+  }
+  static Type wideTy(unsigned Words) {
+    assert(Words >= 1 && Words <= 16 && "wide group of 1..16 words");
+    Type T;
+    T.K = Kind::Wide;
+    T.Words = static_cast<uint8_t>(Words);
+    return T;
+  }
+
+  Kind kind() const { return K; }
+  bool isVoid() const { return K == Kind::Void; }
+  bool isInt() const { return K == Kind::Int; }
+  bool isBool() const { return isInt() && Bits == 1; }
+  bool isPacket() const { return K == Kind::Packet; }
+  bool isWide() const { return K == Kind::Wide; }
+
+  unsigned bits() const {
+    assert(isInt() && "bits() on non-integer type");
+    return Bits;
+  }
+  unsigned words() const {
+    assert(isWide() && "words() on non-wide type");
+    return Words;
+  }
+
+  bool operator==(const Type &RHS) const {
+    return K == RHS.K && Bits == RHS.Bits && Words == RHS.Words;
+  }
+  bool operator!=(const Type &RHS) const { return !(*this == RHS); }
+
+  std::string str() const {
+    switch (K) {
+    case Kind::Void:
+      return "void";
+    case Kind::Int:
+      return "i" + std::to_string(Bits);
+    case Kind::Packet:
+      return "pkt";
+    case Kind::Wide:
+      return "w" + std::to_string(Words);
+    }
+    return "<invalid>";
+  }
+
+private:
+  Kind K;
+  uint8_t Bits = 0;
+  uint8_t Words = 0;
+};
+
+} // namespace sl::ir
+
+#endif // SL_IR_TYPE_H

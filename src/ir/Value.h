@@ -1,0 +1,102 @@
+//===- ir/Value.h - IR values ---------------------------------------------==//
+
+#ifndef SL_IR_VALUE_H
+#define SL_IR_VALUE_H
+
+#include "ir/Type.h"
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sl::ir {
+
+class Instr;
+class Function;
+
+/// Base of everything that can appear as an instruction operand.
+/// Maintains a use list (the instructions currently using this value,
+/// with multiplicity).
+class Value {
+public:
+  enum class VKind : uint8_t { ConstInt, Argument, Instr };
+
+  virtual ~Value() = default;
+
+  VKind valueKind() const { return VK; }
+  const Type &type() const { return Ty; }
+  void setType(Type T) { Ty = T; }
+
+  const std::string &name() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+
+  /// Users of this value (an instruction appears once per operand slot).
+  const std::vector<Instr *> &users() const { return Users; }
+  bool hasUses() const { return !Users.empty(); }
+  unsigned numUses() const { return static_cast<unsigned>(Users.size()); }
+
+  /// Rewrites every use of this value to \p New.
+  void replaceAllUsesWith(Value *New);
+
+protected:
+  Value(VKind VK, Type Ty) : VK(VK), Ty(Ty) {}
+
+private:
+  friend class Instr;
+  void addUser(Instr *I) { Users.push_back(I); }
+  void removeUser(Instr *I) {
+    auto It = std::find(Users.begin(), Users.end(), I);
+    if (It != Users.end())
+      Users.erase(It);
+  }
+
+  VKind VK;
+  Type Ty;
+  std::string Name;
+  std::vector<Instr *> Users;
+};
+
+/// A compile-time integer constant. Stored zero-extended; signed
+/// interpretation is per-operation.
+class ConstInt : public Value {
+public:
+  ConstInt(Type Ty, uint64_t Val) : Value(VKind::ConstInt, Ty), Val(Val) {}
+  static bool classof(const Value *V) {
+    return V->valueKind() == VKind::ConstInt;
+  }
+
+  uint64_t value() const { return Val; }
+  int64_t signedValue() const {
+    unsigned Bits = type().bits();
+    if (Bits == 64)
+      return static_cast<int64_t>(Val);
+    uint64_t Sign = uint64_t(1) << (Bits - 1);
+    return static_cast<int64_t>((Val ^ Sign) - Sign);
+  }
+
+private:
+  uint64_t Val;
+};
+
+/// A formal parameter of a Function.
+class Argument : public Value {
+public:
+  Argument(Type Ty, Function *Parent, unsigned Index)
+      : Value(VKind::Argument, Ty), Parent(Parent), Index(Index) {}
+  static bool classof(const Value *V) {
+    return V->valueKind() == VKind::Argument;
+  }
+
+  Function *parent() const { return Parent; }
+  unsigned index() const { return Index; }
+
+private:
+  Function *Parent;
+  unsigned Index;
+};
+
+} // namespace sl::ir
+
+#endif // SL_IR_VALUE_H

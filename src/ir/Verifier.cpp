@@ -1,0 +1,313 @@
+//===- ir/Verifier.cpp ----------------------------------------------------==//
+
+#include "ir/Verifier.h"
+
+#include "ir/Dominators.h"
+#include "ir/Module.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <set>
+
+using namespace sl;
+using namespace sl::ir;
+
+namespace {
+
+class Verifier {
+public:
+  explicit Verifier(Function &F) : F(F) {}
+
+  std::vector<std::string> run();
+
+private:
+  void fail(const Instr *I, const char *Fmt, ...)
+      __attribute__((format(printf, 3, 4)));
+  void checkBlock(BasicBlock &BB);
+  void checkInstr(Instr &I);
+  void checkTyping(Instr &I);
+  void checkDominance(DomTree &DT);
+
+  Function &F;
+  std::vector<std::string> Problems;
+};
+
+void Verifier::fail(const Instr *I, const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  std::string Msg = formatStringV(Fmt, Args);
+  va_end(Args);
+  std::string Where = F.name();
+  if (I && I->parent())
+    Where += ":" + I->parent()->name();
+  Problems.push_back(Where + ": " + Msg);
+}
+
+void Verifier::checkBlock(BasicBlock &BB) {
+  if (BB.empty()) {
+    fail(nullptr, "block '%s' is empty", BB.name().c_str());
+    return;
+  }
+  for (size_t I = 0; I != BB.size(); ++I) {
+    Instr *In = BB.instr(I);
+    if (In->parent() != &BB)
+      fail(In, "instruction parent link is stale");
+    bool IsLast = I + 1 == BB.size();
+    if (In->isTerm() != IsLast)
+      fail(In, IsLast ? "block '%s' does not end in a terminator"
+                      : "terminator in the middle of block '%s'",
+           BB.name().c_str());
+    if (In->op() == Op::Phi && I != 0) {
+      // Phis must be grouped at the top.
+      if (BB.instr(I - 1)->op() != Op::Phi)
+        fail(In, "phi is not at the start of its block");
+    }
+    checkInstr(*In);
+  }
+}
+
+void Verifier::checkInstr(Instr &I) {
+  // Use-list integrity: every operand must list this instruction as a user.
+  for (unsigned K = 0; K != I.numOperands(); ++K) {
+    Value *V = I.operand(K);
+    if (!V) {
+      fail(&I, "null operand %u of '%s'", K, opName(I.op()));
+      continue;
+    }
+    const auto &Users = V->users();
+    if (std::find(Users.begin(), Users.end(), &I) == Users.end())
+      fail(&I, "operand of '%s' does not list it as user", opName(I.op()));
+  }
+  checkTyping(I);
+}
+
+void Verifier::checkTyping(Instr &I) {
+  auto opTy = [&](unsigned K) { return I.operand(K)->type(); };
+
+  if (isBinaryOp(I.op())) {
+    if (I.numOperands() != 2)
+      return fail(&I, "'%s' needs two operands", opName(I.op()));
+    if (!opTy(0).isInt() || opTy(0) != opTy(1))
+      return fail(&I, "'%s' operand types differ", opName(I.op()));
+    if (isCompareOp(I.op()) ? !I.type().isBool() : I.type() != opTy(0))
+      return fail(&I, "'%s' result type mismatch", opName(I.op()));
+    return;
+  }
+
+  switch (I.op()) {
+  case Op::ZExt:
+  case Op::SExt:
+    if (I.numOperands() != 1 || !opTy(0).isInt() || !I.type().isInt() ||
+        opTy(0).bits() > I.type().bits())
+      fail(&I, "bad extension");
+    return;
+  case Op::Trunc:
+    if (I.numOperands() != 1 || !opTy(0).isInt() || !I.type().isInt() ||
+        opTy(0).bits() < I.type().bits())
+      fail(&I, "bad truncation");
+    return;
+  case Op::Select:
+    if (I.numOperands() != 3 || !opTy(0).isBool() || opTy(1) != opTy(2) ||
+        I.type() != opTy(1))
+      fail(&I, "bad select");
+    return;
+  case Op::Alloca:
+    if (I.AllocTy.isVoid())
+      fail(&I, "alloca of void");
+    return;
+  case Op::Load: {
+    auto *Slot = dyn_cast<Instr>(I.operand(0));
+    if (!Slot || Slot->op() != Op::Alloca)
+      fail(&I, "load source is not an alloca");
+    else if (I.type() != Slot->AllocTy)
+      fail(&I, "load type differs from slot type");
+    return;
+  }
+  case Op::Store: {
+    auto *Slot = dyn_cast<Instr>(I.operand(0));
+    if (!Slot || Slot->op() != Op::Alloca)
+      fail(&I, "store target is not an alloca");
+    else if (I.operand(1)->type() != Slot->AllocTy)
+      fail(&I, "store value type differs from slot type");
+    return;
+  }
+  case Op::GLoad:
+    if (!I.GlobalRef)
+      fail(&I, "gload without global");
+    else if (!I.type().isInt() || I.type().bits() != I.GlobalRef->elemBits())
+      fail(&I, "gload type mismatch");
+    return;
+  case Op::GStore:
+    if (!I.GlobalRef)
+      fail(&I, "gstore without global");
+    else if (I.operand(1)->type() != Type::intTy(I.GlobalRef->elemBits()))
+      fail(&I, "gstore value type mismatch");
+    return;
+  case Op::Br:
+    if (I.numSuccs() != 1)
+      fail(&I, "br must have one successor");
+    return;
+  case Op::CondBr:
+    if (I.numSuccs() != 2 || I.numOperands() != 1 || !opTy(0).isBool())
+      fail(&I, "bad condbr");
+    return;
+  case Op::Ret: {
+    bool WantsValue = !F.returnType().isVoid();
+    if (I.numOperands() != (WantsValue ? 1u : 0u))
+      fail(&I, "ret operand count mismatch");
+    else if (WantsValue && opTy(0) != F.returnType())
+      fail(&I, "ret type mismatch");
+    return;
+  }
+  case Op::Call: {
+    if (!I.Callee)
+      return fail(&I, "call without callee");
+    if (I.numOperands() != I.Callee->numArgs())
+      return fail(&I, "call argument count mismatch for '%s'",
+                  I.Callee->name().c_str());
+    for (unsigned K = 0; K != I.numOperands(); ++K)
+      if (opTy(K) != I.Callee->arg(K)->type())
+        fail(&I, "call argument %u type mismatch", K);
+    if (I.type() != I.Callee->returnType())
+      fail(&I, "call result type mismatch");
+    return;
+  }
+  case Op::Phi:
+    if (I.numOperands() != I.phiBlocks().size())
+      return fail(&I, "phi operand/block count mismatch");
+    for (unsigned K = 0; K != I.numOperands(); ++K)
+      if (opTy(K) != I.type())
+        fail(&I, "phi incoming %u type mismatch", K);
+    return;
+  case Op::PktLoad:
+  case Op::MetaLoad:
+    if (!opTy(0).isPacket() || !I.type().isInt() || I.BitWidth == 0 ||
+        I.BitWidth > I.type().bits())
+      fail(&I, "bad packet/meta load");
+    return;
+  case Op::PktStore:
+  case Op::MetaStore:
+    if (!opTy(0).isPacket() || !opTy(1).isInt() || I.BitWidth == 0 ||
+        I.BitWidth > opTy(1).bits())
+      fail(&I, "bad packet/meta store");
+    return;
+  case Op::PktDecap:
+    if (!opTy(0).isPacket() || opTy(1) != Type::intTy(32) ||
+        !I.type().isPacket())
+      fail(&I, "bad decap");
+    return;
+  case Op::PktEncap:
+    if (!opTy(0).isPacket() || !I.type().isPacket() || I.SizeBytes == 0)
+      fail(&I, "bad encap");
+    return;
+  case Op::PktCopy:
+    if (!opTy(0).isPacket() || !I.type().isPacket())
+      fail(&I, "bad copy");
+    return;
+  case Op::PktDrop:
+  case Op::ChannelPut:
+    if (!opTy(0).isPacket())
+      fail(&I, "'%s' needs a packet handle", opName(I.op()));
+    return;
+  case Op::PktLength:
+    if (!opTy(0).isPacket() || I.type() != Type::intTy(32))
+      fail(&I, "bad pkt.length");
+    return;
+  case Op::LockAcquire:
+  case Op::LockRelease:
+    return;
+  case Op::PktLoadWide:
+    if (!opTy(0).isPacket() || !I.type().isWide() ||
+        I.type().words() != I.Words || I.Words == 0)
+      fail(&I, "bad wide load");
+    return;
+  case Op::PktStoreWide:
+    if (!opTy(0).isPacket() || !opTy(1).isWide() ||
+        opTy(1).words() != I.Words)
+      fail(&I, "bad wide store");
+    return;
+  case Op::WideExtract:
+    if (!opTy(0).isWide() || !I.type().isInt() || I.BitWidth == 0 ||
+        I.BitWidth > I.type().bits() ||
+        I.BitOff + I.BitWidth > opTy(0).words() * 32)
+      fail(&I, "bad wide extract");
+    return;
+  case Op::WideInsert:
+    if (!opTy(0).isWide() || I.type() != opTy(0) || !opTy(1).isInt() ||
+        I.BitWidth == 0 || I.BitOff + I.BitWidth > opTy(0).words() * 32)
+      fail(&I, "bad wide insert");
+    return;
+  case Op::WideZero:
+    if (!I.type().isWide() || I.type().words() != I.Words)
+      fail(&I, "bad wide zero");
+    return;
+  default:
+    return;
+  }
+}
+
+void Verifier::checkDominance(DomTree &DT) {
+  auto Preds = F.predecessors();
+  for (const auto &BB : F.blocks()) {
+    if (!DT.reachable(BB.get()))
+      continue;
+    for (const auto &I : BB->instrs()) {
+      if (I->op() == Op::Phi) {
+        // Each incoming value must be available at the end of its block,
+        // and incoming blocks must match the actual predecessors.
+        auto &P = Preds[BB.get()];
+        if (I->phiBlocks().size() != P.size())
+          fail(I.get(), "phi incoming count (%zu) != predecessors (%zu)",
+               I->phiBlocks().size(), P.size());
+        for (unsigned K = 0; K != I->numOperands(); ++K) {
+          BasicBlock *In = I->phiBlocks()[K];
+          if (std::find(P.begin(), P.end(), In) == P.end())
+            fail(I.get(), "phi incoming block '%s' is not a predecessor",
+                 In->name().c_str());
+          auto *DefI = dyn_cast<Instr>(I->operand(K));
+          if (DefI && DT.reachable(In) &&
+              !(DT.dominates(DefI->parent(), In)))
+            fail(I.get(), "phi incoming value does not dominate edge");
+        }
+        continue;
+      }
+      for (unsigned K = 0; K != I->numOperands(); ++K) {
+        auto *DefI = dyn_cast<Instr>(I->operand(K));
+        if (DefI && !DT.dominates(DefI, I.get()))
+          fail(I.get(), "operand %u of '%s' does not dominate its use", K,
+               opName(I->op()));
+      }
+    }
+  }
+}
+
+std::vector<std::string> Verifier::run() {
+  if (F.numBlocks() == 0) {
+    fail(nullptr, "function has no blocks");
+    return std::move(Problems);
+  }
+  for (const auto &BB : F.blocks())
+    checkBlock(*BB);
+  if (Problems.empty()) {
+    DomTree DT(F);
+    checkDominance(DT);
+  }
+  return std::move(Problems);
+}
+
+} // namespace
+
+std::vector<std::string> sl::ir::verifyFunction(Function &F) {
+  Verifier V(F);
+  return V.run();
+}
+
+std::vector<std::string> sl::ir::verifyModule(Module &M) {
+  std::vector<std::string> All;
+  for (const auto &F : M.functions()) {
+    std::vector<std::string> P = verifyFunction(*F);
+    All.insert(All.end(), P.begin(), P.end());
+  }
+  return All;
+}

@@ -1,0 +1,25 @@
+//===- ir/Verifier.h - IR well-formedness checks ---------------------------==//
+
+#ifndef SL_IR_VERIFIER_H
+#define SL_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+namespace sl::ir {
+
+class Function;
+class Module;
+
+/// Checks structural invariants of \p F: terminators, operand typing,
+/// phi/predecessor consistency, SSA dominance of operand definitions, and
+/// use-list integrity. Returns human-readable problem descriptions (empty
+/// when the function is well-formed).
+std::vector<std::string> verifyFunction(Function &F);
+
+/// Verifies every function in \p M.
+std::vector<std::string> verifyModule(Module &M);
+
+} // namespace sl::ir
+
+#endif // SL_IR_VERIFIER_H

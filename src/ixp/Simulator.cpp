@@ -1,0 +1,589 @@
+//===- ixp/Simulator.cpp -----------------------------------------------------------==//
+
+#include "ixp/Simulator.h"
+
+#include "interp/Bits.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace sl;
+using namespace sl::ixp;
+using cg::MCond;
+using cg::MemClass;
+using cg::MInstr;
+using cg::MOp;
+
+namespace {
+
+constexpr unsigned SpScratch = 0, SpSram = 1, SpDram = 2;
+
+int64_t signed32(uint32_t V) { return static_cast<int32_t>(V); }
+
+bool evalCond(MCond C, uint32_t A, uint32_t B) {
+  switch (C) {
+  case MCond::Eq:
+    return A == B;
+  case MCond::Ne:
+    return A != B;
+  case MCond::Ult:
+    return A < B;
+  case MCond::Ule:
+    return A <= B;
+  case MCond::Ugt:
+    return A > B;
+  case MCond::Uge:
+    return A >= B;
+  case MCond::Slt:
+    return signed32(A) < signed32(B);
+  case MCond::Sle:
+    return signed32(A) <= signed32(B);
+  case MCond::Sgt:
+    return signed32(A) > signed32(B);
+  case MCond::Sge:
+    return signed32(A) >= signed32(B);
+  }
+  return false;
+}
+
+} // namespace
+
+Simulator::Simulator(const ChipParams &P, const rts::MemoryMap &Map)
+    : P(P), Map(Map) {
+  Scratch.assign(1 << 16, 0);
+  // SRAM: globals + metadata pool + per-thread stack overflow for every
+  // possible thread.
+  size_t SramSize = Map.StackSramBase +
+                    size_t(P.ProgrammableMEs + 1) * P.ThreadsPerME *
+                        Map.StackSramBytesPerThread +
+                    4096;
+  Sram.assign(SramSize, 0);
+  Dram.assign(size_t(Map.NumPktHandles + 1) * Map.BufBytes + 64, 0);
+
+  Units[SpScratch].P = P.Scratch;
+  Units[SpScratch].BankNextFree.assign(std::max(1u, P.ScratchBanks), 0);
+  Units[SpSram].P = P.Sram;
+  Units[SpSram].BankNextFree.assign(std::max(1u, P.SramBanks), 0);
+  Units[SpDram].P = P.Dram;
+  Units[SpDram].BankNextFree.assign(std::max(1u, P.DramBanks), 0);
+
+  Rings.resize(std::max(Map.NumRings, 2u));
+  // Handle 0 is the null handle; pool entries start at index 0 but we skip
+  // the one whose address would be 0 (MetaPoolBase is never 0).
+  for (unsigned I = 0; I != Map.NumPktHandles; ++I)
+    FreeHandles.push_back(Map.MetaPoolBase + I * Map.MetaBlockBytes);
+}
+
+unsigned Simulator::threadsLoaded() const {
+  unsigned N = 0;
+  for (const auto &C : Cores)
+    N += static_cast<unsigned>(C->Threads.size());
+  return N;
+}
+
+void Simulator::loadAggregate(const cg::FlatCode &Code,
+                              const std::vector<unsigned> &InputRings,
+                              unsigned Copies, bool OnXScale) {
+  (void)InputRings; // The code itself polls its rings.
+  assert(Code.CodeSlots <= P.CodeStoreSlots &&
+         "aggregate exceeds the ME instruction store");
+  OwnedCode.push_back(std::make_unique<cg::FlatCode>(Code));
+  const cg::FlatCode *Stored = OwnedCode.back().get();
+  unsigned N = OnXScale ? 1 : Copies;
+  for (unsigned K = 0; K != N; ++K) {
+    if (!OnXScale) {
+      assert(MEsUsed < P.ProgrammableMEs && "ME budget exceeded");
+      ++MEsUsed;
+    }
+    auto C = std::make_unique<Core>();
+    C->Code = Stored;
+    C->Threads.resize(OnXScale ? 1 : P.ThreadsPerME);
+    C->LocalMem.assign(P.LocalMemWords, 0);
+    C->XScale = OnXScale;
+    C->Index = static_cast<unsigned>(Cores.size());
+    Cores.push_back(std::move(C));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Memory
+//===----------------------------------------------------------------------===//
+
+std::vector<uint8_t> &Simulator::spaceBytes(unsigned Space) {
+  return Space == SpScratch ? Scratch : Space == SpSram ? Sram : Dram;
+}
+const std::vector<uint8_t> &Simulator::spaceBytes(unsigned Space) const {
+  return Space == SpScratch ? Scratch : Space == SpSram ? Sram : Dram;
+}
+
+uint32_t Simulator::readWord(unsigned Space, uint32_t Addr) const {
+  const auto &B = spaceBytes(Space);
+  assert(Addr % 4 == 0 && "unaligned word access");
+  assert(Addr + 4 <= B.size() && "memory access out of range");
+  return (uint32_t(B[Addr]) << 24) | (uint32_t(B[Addr + 1]) << 16) |
+         (uint32_t(B[Addr + 2]) << 8) | uint32_t(B[Addr + 3]);
+}
+
+void Simulator::writeWord(unsigned Space, uint32_t Addr, uint32_t Val) {
+  auto &B = spaceBytes(Space);
+  assert(Addr % 4 == 0 && "unaligned word access");
+  assert(Addr + 4 <= B.size() && "memory access out of range");
+  B[Addr] = uint8_t(Val >> 24);
+  B[Addr + 1] = uint8_t(Val >> 16);
+  B[Addr + 2] = uint8_t(Val >> 8);
+  B[Addr + 3] = uint8_t(Val);
+}
+
+uint64_t Simulator::memAccess(unsigned Space, unsigned Words,
+                              MemClass Class, uint32_t Addr, bool Charged) {
+  if (!Charged)
+    return Now + 1; // XScale path: cached, uncounted (Table 1 counts MEs).
+  ++Stats.Accesses[Space][static_cast<unsigned>(Class)];
+  MemUnit &U = Units[Space];
+  // Address-hashed bank selection (XOR-folded so strided buffers spread).
+  size_t NB = U.BankNextFree.size();
+  size_t Bank =
+      NB == 1 ? 0
+              : ((Addr >> 6) ^ (Addr >> 8) ^ (Addr >> 11)) & (NB - 1);
+  uint64_t &NextFree = U.BankNextFree[Bank];
+  uint64_t Start = std::max(Now, NextFree);
+  double Occ = U.P.occupancy(Words);
+  NextFree = Start + static_cast<uint64_t>(Occ + 0.5);
+  return Start + static_cast<uint64_t>(Occ + 0.5) + U.P.LatencyCycles;
+}
+
+//===----------------------------------------------------------------------===//
+// Rx / Tx
+//===----------------------------------------------------------------------===//
+
+uint32_t Simulator::allocHandle() {
+  if (FreeHandles.empty())
+    return 0;
+  uint32_t H = FreeHandles.back();
+  FreeHandles.pop_back();
+  return H;
+}
+
+void Simulator::freeHandle(uint32_t H) { FreeHandles.push_back(H); }
+
+uint32_t Simulator::bufBaseOf(uint32_t H) const {
+  unsigned Index = (H - Map.MetaPoolBase) / Map.MetaBlockBytes;
+  return Map.BufBase + Index * Map.BufBytes;
+}
+
+void Simulator::rxInject() {
+  if (!Traffic)
+    return;
+  auto &Ring = Rings[rts::RxRing];
+  for (unsigned K = 0; K != P.RxBatchPerCycle; ++K) {
+    if (Ring.size() >= P.RingCapacity)
+      return;
+    if (MaxInjected && Stats.RxInjected >= MaxInjected)
+      return;
+    const SimPacket *Pkt = Traffic(TrafficIndex);
+    if (!Pkt)
+      return;
+    uint32_t H = allocHandle();
+    if (!H)
+      return; // All buffers in flight; try next cycle.
+    ++TrafficIndex;
+
+    uint32_t Buf = bufBaseOf(H) + Map.Headroom;
+    assert(Pkt->Frame.size() + Map.Headroom <= Map.BufBytes &&
+           "frame exceeds the packet buffer");
+    // DMA the frame (Rx hardware path; not charged to the ME budget).
+    std::copy(Pkt->Frame.begin(), Pkt->Frame.end(), Dram.begin() + Buf);
+    writeWord(SpSram, H + 0, Buf);
+    writeWord(SpSram, H + 4, 0);
+    writeWord(SpSram, H + 8, static_cast<uint32_t>(Pkt->Frame.size()));
+    // Zero user metadata, then stamp rx_port (bit 0, width 16).
+    for (unsigned W = 0; W != Map.userMetaWords(); ++W)
+      writeWord(SpSram, H + 12 + W * 4, 0);
+    interp::writeBitsBE(&Sram[H + 12], 0, 16, Pkt->Port);
+    Ring.push_back(H);
+    ++Stats.RxInjected;
+  }
+}
+
+void Simulator::txDrain() {
+  auto &Ring = Rings[rts::TxRing];
+  while (!Ring.empty()) {
+    uint32_t H = Ring.front();
+    Ring.pop_front();
+    uint32_t Buf = readWord(SpSram, H + 0);
+    int32_t Head = static_cast<int32_t>(readWord(SpSram, H + 4));
+    uint32_t Len = readWord(SpSram, H + 8);
+    int64_t Bytes = int64_t(Len) - Head;
+    if (Bytes < 0)
+      Bytes = 0;
+    ++Stats.TxPackets;
+    Stats.TxBytes += static_cast<uint64_t>(Bytes);
+    if (Capture) {
+      SimTxRecord R;
+      int64_t Start = int64_t(Buf) + Head;
+      R.Frame.assign(Dram.begin() + Start, Dram.begin() + Start + Bytes);
+      R.Meta.assign(Sram.begin() + H + 12,
+                    Sram.begin() + H + 12 + Map.userMetaWords() * 4);
+      R.Cycle = Now;
+      Captured.push_back(std::move(R));
+    }
+    freeHandle(H);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// RTS macros
+//===----------------------------------------------------------------------===//
+
+uint32_t Simulator::rtsPktCopy(Core &C, Thread &T, uint32_t H) {
+  uint32_t NewH = allocHandle();
+  if (!NewH)
+    return 0; // Out of buffers; the copy is dropped.
+  uint32_t SrcBuf = readWord(SpSram, H + 0);
+  uint32_t NewBuf = bufBaseOf(NewH) + Map.Headroom;
+  // Clone buffer bytes (whole used region incl. headroom).
+  uint32_t SrcBase = bufBaseOf(H);
+  uint32_t NewBase = bufBaseOf(NewH);
+  std::copy(Dram.begin() + SrcBase, Dram.begin() + SrcBase + Map.BufBytes,
+            Dram.begin() + NewBase);
+  // Metadata: copy, then retarget buf_addr.
+  for (unsigned W = 0; W * 4 < Map.MetaBlockBytes; ++W)
+    writeWord(SpSram, NewH + W * 4, readWord(SpSram, H + W * 4));
+  writeWord(SpSram, NewH + 0, NewBuf + (SrcBuf - (SrcBase + Map.Headroom)));
+  // Charge: freelist pop/push (2 scratch) + buffer copy DMA (2 dram).
+  uint64_t Done = memAccess(SpScratch, 1, MemClass::PktRing, 0);
+  Done = std::max(Done, memAccess(SpScratch, 1, MemClass::PktRing, 0));
+  Done = std::max(Done, memAccess(SpDram, 16, MemClass::PktData, SrcBase));
+  Done = std::max(Done, memAccess(SpDram, 16, MemClass::PktData, NewBase));
+  T.ReadyAt = Done;
+  (void)C;
+  return NewH;
+}
+
+//===----------------------------------------------------------------------===//
+// Execution
+//===----------------------------------------------------------------------===//
+
+bool Simulator::execInstr(Core &C, Thread &T) {
+  const MInstr &I = C.Code->Code[T.PC];
+  ++Stats.Instrs;
+  unsigned NextPC = T.PC + 1;
+  bool Block = false;
+
+  auto gpr = [&](int R) -> uint32_t {
+    assert(R >= 0 && R < 32 && "bad register");
+    return T.Gpr[R];
+  };
+  auto setGpr = [&](int R, uint32_t V) {
+    assert(R >= 0 && R < 32 && "bad register");
+    T.Gpr[R] = V;
+  };
+  auto srcB = [&]() -> uint32_t {
+    return I.SrcB >= 0 ? gpr(I.SrcB) : static_cast<uint32_t>(I.Imm);
+  };
+
+  // Thread-relative stack addressing.
+  unsigned GlobalThread =
+      C.Index * P.ThreadsPerME + (&T - C.Threads.data());
+
+  switch (I.Op) {
+  case MOp::Add:
+    setGpr(I.Dst, gpr(I.SrcA) + srcB());
+    break;
+  case MOp::Sub:
+    setGpr(I.Dst, gpr(I.SrcA) - srcB());
+    break;
+  case MOp::Mul:
+    setGpr(I.Dst, gpr(I.SrcA) * srcB());
+    T.ReadyAt = Now + 3;
+    break;
+  case MOp::And:
+    setGpr(I.Dst, gpr(I.SrcA) & srcB());
+    break;
+  case MOp::Or:
+    setGpr(I.Dst, gpr(I.SrcA) | srcB());
+    break;
+  case MOp::Xor:
+    setGpr(I.Dst, gpr(I.SrcA) ^ srcB());
+    break;
+  case MOp::Shl: {
+    uint32_t S = srcB();
+    setGpr(I.Dst, S >= 32 ? 0 : gpr(I.SrcA) << S);
+    break;
+  }
+  case MOp::Shr: {
+    uint32_t S = srcB();
+    setGpr(I.Dst, S >= 32 ? 0 : gpr(I.SrcA) >> S);
+    break;
+  }
+  case MOp::Asr: {
+    uint32_t S = srcB();
+    int32_t V = static_cast<int32_t>(gpr(I.SrcA));
+    setGpr(I.Dst, static_cast<uint32_t>(S >= 31 ? V >> 31 : V >> S));
+    break;
+  }
+  case MOp::Mov:
+    setGpr(I.Dst, gpr(I.SrcA));
+    break;
+  case MOp::MovImm:
+    setGpr(I.Dst, static_cast<uint32_t>(I.Imm));
+    break;
+  case MOp::Set:
+    setGpr(I.Dst, evalCond(I.Cond, gpr(I.SrcA), srcB()) ? 1 : 0);
+    break;
+
+  case MOp::Br:
+    NextPC = static_cast<unsigned>(I.Target);
+    T.ReadyAt = Now + 1 + P.BranchPenaltyCycles;
+    break;
+  case MOp::BrCond:
+    if (evalCond(I.Cond, gpr(I.SrcA), srcB())) {
+      NextPC = static_cast<unsigned>(I.Target);
+      T.ReadyAt = Now + 1 + P.BranchPenaltyCycles;
+    }
+    break;
+  case MOp::Halt:
+    T.Halted = true;
+    return true;
+
+  case MOp::MemRead:
+  case MOp::MemWrite: {
+    unsigned Space = I.Space == cg::MSpace::Scratch  ? SpScratch
+                     : I.Space == cg::MSpace::Sram   ? SpSram
+                                                     : SpDram;
+    int64_t Addr = I.SrcA >= 0 ? int64_t(gpr(I.SrcA)) : 0;
+    Addr += I.Imm;
+    if (I.ThreadStack)
+      Addr += Map.StackSramBase +
+              int64_t(GlobalThread) * Map.StackSramBytesPerThread;
+    assert(Addr >= 0 && "negative memory address");
+    assert(I.Xfer + I.Words <= 24 && "transfer register file overflow");
+    if (I.Op == MOp::MemRead) {
+      for (unsigned W = 0; W != I.Words; ++W)
+        T.XferIn[I.Xfer + W] =
+            readWord(Space, static_cast<uint32_t>(Addr) + W * 4);
+    } else {
+      for (unsigned W = 0; W != I.Words; ++W)
+        writeWord(Space, static_cast<uint32_t>(Addr) + W * 4,
+                  T.XferOut[I.Xfer + W]);
+    }
+    T.ReadyAt = memAccess(Space, I.Words, I.Class,
+                          static_cast<uint32_t>(Addr), !C.XScale);
+    Block = true;
+    break;
+  }
+
+  case MOp::XferToGpr:
+    setGpr(I.Dst, T.XferIn[I.Xfer]);
+    break;
+  case MOp::GprToXfer:
+    T.XferOut[I.Xfer] = gpr(I.SrcA);
+    break;
+
+  case MOp::LmRead: {
+    assert(I.StackSlot < 0 && "stack layout must run before simulation");
+    int64_t W = I.SrcB >= 0 ? int64_t(gpr(I.SrcB)) : 0;
+    W += I.Imm;
+    if (I.ThreadStack)
+      W += int64_t(&T - C.Threads.data()) * Map.LmStackWordsPerThread;
+    assert(W >= 0 && W < int64_t(C.LocalMem.size()) && "LM out of range");
+    setGpr(I.Dst, C.LocalMem[static_cast<size_t>(W)]);
+    if (!I.LmFast)
+      T.ReadyAt = Now + P.LmSlowCycles;
+    break;
+  }
+  case MOp::LmWrite: {
+    assert(I.StackSlot < 0 && "stack layout must run before simulation");
+    int64_t W = I.SrcB >= 0 ? int64_t(gpr(I.SrcB)) : 0;
+    W += I.Imm;
+    if (I.ThreadStack)
+      W += int64_t(&T - C.Threads.data()) * Map.LmStackWordsPerThread;
+    assert(W >= 0 && W < int64_t(C.LocalMem.size()) && "LM out of range");
+    C.LocalMem[static_cast<size_t>(W)] = gpr(I.SrcA);
+    if (!I.LmFast)
+      T.ReadyAt = Now + P.LmSlowCycles;
+    break;
+  }
+
+  case MOp::CamLookup: {
+    uint32_t Key = gpr(I.SrcA);
+    unsigned Victim = 0;
+    uint64_t Oldest = ~uint64_t(0);
+    bool Hit = false;
+    unsigned HitEntry = 0;
+    for (unsigned E = 0; E != I.CamSize; ++E) {
+      CamEntry &CE = C.Cam[I.CamBase + E];
+      if (CE.Valid && CE.Tag == Key) {
+        Hit = true;
+        HitEntry = E;
+        CE.Lru = LruTick++;
+        break;
+      }
+      uint64_t Age = CE.Valid ? CE.Lru : 0;
+      if (Age < Oldest) {
+        Oldest = Age;
+        Victim = E;
+      }
+    }
+    setGpr(I.Dst, Hit ? (1u << 8) | HitEntry : Victim);
+    break;
+  }
+  case MOp::CamWrite: {
+    unsigned E = gpr(I.SrcB) & 0xFF;
+    assert(E < I.CamSize && "CAM entry outside partition");
+    CamEntry &CE = C.Cam[I.CamBase + E];
+    CE.Tag = gpr(I.SrcA);
+    CE.Valid = true;
+    CE.Lru = LruTick++;
+    break;
+  }
+  case MOp::CamFlush:
+    for (unsigned E = 0; E != I.CamSize; ++E)
+      C.Cam[I.CamBase + E].Valid = false;
+    break;
+
+  case MOp::RingGet: {
+    auto &Ring = Rings[I.Ring];
+    uint32_t H = 0;
+    if (!Ring.empty()) {
+      H = Ring.front();
+      Ring.pop_front();
+    }
+    setGpr(I.Dst, H);
+    T.ReadyAt = memAccess(SpScratch, 1, I.Class, I.Ring * 64, !C.XScale);
+    Block = true;
+    break;
+  }
+  case MOp::RingPut: {
+    auto &Ring = Rings[I.Ring];
+    if (Ring.size() < P.RingCapacity) {
+      Ring.push_back(gpr(I.SrcA));
+    } else {
+      freeHandle(gpr(I.SrcA)); // Back-pressure drop (rare; counted).
+      ++Stats.RxDroppedFull;
+    }
+    T.ReadyAt = memAccess(SpScratch, 1, I.Class, I.Ring * 64, !C.XScale);
+    Block = true;
+    break;
+  }
+
+  case MOp::AtomicTestSet: {
+    uint32_t Addr = static_cast<uint32_t>(I.Imm);
+    uint32_t Old = readWord(SpScratch, Addr);
+    writeWord(SpScratch, Addr, 1);
+    setGpr(I.Dst, Old);
+    T.ReadyAt = memAccess(SpScratch, 1, I.Class, Addr, !C.XScale);
+    Block = true;
+    break;
+  }
+  case MOp::AtomicClear:
+    writeWord(SpScratch, static_cast<uint32_t>(I.Imm), 0);
+    T.ReadyAt = memAccess(SpScratch, 1, I.Class,
+                          static_cast<uint32_t>(I.Imm), !C.XScale);
+    Block = true;
+    break;
+
+  case MOp::RtsPktCopy:
+    setGpr(I.Dst, rtsPktCopy(C, T, gpr(I.SrcA)));
+    Block = true;
+    break;
+  case MOp::RtsPktDrop:
+    freeHandle(gpr(I.SrcA));
+    T.ReadyAt = memAccess(SpScratch, 1, MemClass::PktRing, 0, !C.XScale);
+    Block = true;
+    break;
+
+  case MOp::CtxArb:
+    T.ReadyAt = Now + 1;
+    Block = true;
+    break;
+  }
+
+  T.PC = NextPC;
+  assert(T.PC < C.Code->Code.size() && "PC ran off the end");
+  return Block;
+}
+
+void Simulator::stepCore(Core &C) {
+  // Non-preemptive: run the current thread if it is ready; otherwise
+  // rotate round-robin to the next ready thread.
+  unsigned N = static_cast<unsigned>(C.Threads.size());
+  for (unsigned Tried = 0; Tried != N; ++Tried) {
+    Thread &T = C.Threads[C.Cur];
+    if (!T.Halted && T.ReadyAt <= Now) {
+      bool Blocked = execInstr(C, T);
+      if (Blocked)
+        C.Cur = (C.Cur + 1) % N; // Voluntary swap point.
+      return;
+    }
+    C.Cur = (C.Cur + 1) % N;
+  }
+  // Everyone waiting: idle cycle.
+}
+
+SimStats Simulator::run(uint64_t Cycles) {
+  uint64_t End = Now + Cycles;
+  while (Now < End) {
+    rxInject();
+    for (auto &C : Cores)
+      stepCore(*C);
+    txDrain();
+    ++Now;
+    if (MaxInjected && Stats.RxInjected >= MaxInjected && drained())
+      break;
+  }
+  Stats.Cycles = Now;
+  return Stats;
+}
+
+bool Simulator::drained() const {
+  for (const auto &R : Rings)
+    if (!R.empty())
+      return false;
+  return FreeHandles.size() == Map.NumPktHandles;
+}
+
+//===----------------------------------------------------------------------===//
+// Control plane
+//===----------------------------------------------------------------------===//
+
+void Simulator::initGlobals(const ir::Module &M) {
+  for (const auto &G : M.globals()) {
+    const auto &Init = G->init();
+    for (size_t I = 0; I != Init.size(); ++I)
+      writeGlobal(G.get(), I, Init[I]);
+  }
+}
+
+void Simulator::writeGlobal(const ir::Global *G, uint64_t Index,
+                            uint64_t Value) {
+  unsigned EW = rts::MemoryMap::elemWords(G);
+  bool IsScratch = G->Level == ir::MemLevel::Scratch;
+  uint32_t Base = IsScratch ? Map.ScratchGlobalBase.at(G)
+                            : Map.GlobalBase.at(G);
+  unsigned Space = IsScratch ? SpScratch : SpSram;
+  uint32_t Addr = Base + static_cast<uint32_t>(Index) * EW * 4;
+  if (EW == 2) {
+    writeWord(Space, Addr, static_cast<uint32_t>(Value >> 32));
+    writeWord(Space, Addr + 4, static_cast<uint32_t>(Value));
+  } else {
+    writeWord(Space, Addr, static_cast<uint32_t>(Value));
+  }
+  // Delayed-update store path for cached tables: bump the version word.
+  if (const rts::CacheCfg *CC = Map.cacheFor(G))
+    writeWord(SpScratch, CC->VersionAddr,
+              readWord(SpScratch, CC->VersionAddr) + 1);
+}
+
+uint64_t Simulator::readGlobal(const ir::Global *G, uint64_t Index) const {
+  unsigned EW = rts::MemoryMap::elemWords(G);
+  bool IsScratch = G->Level == ir::MemLevel::Scratch;
+  uint32_t Base = IsScratch ? Map.ScratchGlobalBase.at(G)
+                            : Map.GlobalBase.at(G);
+  unsigned Space = IsScratch ? SpScratch : SpSram;
+  uint32_t Addr = Base + static_cast<uint32_t>(Index) * EW * 4;
+  if (EW == 2)
+    return (uint64_t(readWord(Space, Addr)) << 32) |
+           readWord(Space, Addr + 4);
+  return readWord(Space, Addr);
+}

@@ -1,0 +1,188 @@
+//===- ixp/Simulator.h - cycle-approximate IXP2400 simulator ---------------------==//
+//
+// Executes MEIR aggregates on a model of the IXP2400: multithreaded MEs
+// with non-preemptive round-robin arbitration, shared Scratch/SRAM/DRAM
+// controllers with queueing (the source of the paper's bandwidth
+// saturation), per-ME Local Memory and CAM, scratch rings, and ideal
+// Rx/Tx devices on their two dedicated MEs.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SL_IXP_SIMULATOR_H
+#define SL_IXP_SIMULATOR_H
+
+#include "cg/MEIR.h"
+#include "ixp/ChipParams.h"
+#include "rts/MemoryMap.h"
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sl::ixp {
+
+/// One frame offered by the traffic generator.
+struct SimPacket {
+  std::vector<uint8_t> Frame;
+  uint16_t Port = 0;
+};
+
+/// A transmitted packet captured for functional comparison.
+struct SimTxRecord {
+  std::vector<uint8_t> Frame;
+  std::vector<uint8_t> Meta;
+  uint64_t Cycle = 0; ///< Transmit time.
+};
+
+struct SimStats {
+  uint64_t Cycles = 0;
+  uint64_t Instrs = 0;
+  uint64_t TxPackets = 0;
+  uint64_t TxBytes = 0;
+  uint64_t RxInjected = 0;
+  uint64_t RxDroppedFull = 0;
+
+  /// [space 0=Scratch 1=Sram 2=Dram][MemClass] access counts.
+  uint64_t Accesses[3][7] = {};
+
+  double forwardingGbps(double ClockGHz) const {
+    if (Cycles == 0)
+      return 0.0;
+    return double(TxBytes) * 8.0 * ClockGHz / double(Cycles);
+  }
+  /// Per processed packet (received; drops do the work too).
+  double perPacket(unsigned Space, cg::MemClass Class) const {
+    if (RxInjected == 0)
+      return 0.0;
+    return double(Accesses[Space][static_cast<unsigned>(Class)]) /
+           double(RxInjected);
+  }
+  double perPacketSpace(unsigned Space) const {
+    double N = 0;
+    for (unsigned C = 0; C != 7; ++C)
+      N += double(Accesses[Space][C]);
+    return RxInjected ? N / double(RxInjected) : 0.0;
+  }
+};
+
+/// The simulated chip.
+class Simulator {
+public:
+  Simulator(const ChipParams &P, const rts::MemoryMap &Map);
+
+  /// Loads \p Code onto \p Copies MEs (fails if the budget is exceeded).
+  /// XScale aggregates run on a dedicated management core instead.
+  void loadAggregate(const cg::FlatCode &Code,
+                     const std::vector<unsigned> &InputRings, unsigned Copies,
+                     bool OnXScale = false);
+
+  /// Installs the traffic source. Infinite backlog: the generator is
+  /// consulted whenever Rx has room. Return null to stop offering.
+  void setTraffic(std::function<const SimPacket *(uint64_t Index)> Gen) {
+    Traffic = std::move(Gen);
+  }
+
+  /// Limits Rx to at most \p N injected packets (0 = unlimited).
+  void setMaxInjected(uint64_t N) { MaxInjected = N; }
+
+  /// Records transmitted frames for functional comparison.
+  void enableCapture() { Capture = true; }
+  const std::vector<SimTxRecord> &captured() const { return Captured; }
+
+  // Control-plane (XScale / host) access to global tables. Writes to SWC
+  // cached globals bump the scratch version word (delayed-update store
+  // path).
+  void writeGlobal(const ir::Global *G, uint64_t Index, uint64_t Value);
+  uint64_t readGlobal(const ir::Global *G, uint64_t Index) const;
+  void initGlobals(const ir::Module &M);
+
+  /// Runs for \p Cycles cycles (or until Rx exhausted and pipeline idle in
+  /// finite mode).
+  SimStats run(uint64_t Cycles);
+
+  /// True when no packets are in flight and all rings are empty.
+  bool drained() const;
+
+  unsigned threadsLoaded() const;
+
+private:
+  struct Thread {
+    unsigned PC = 0;
+    uint32_t Gpr[32] = {};
+    uint32_t XferIn[24] = {};
+    uint32_t XferOut[24] = {};
+    uint64_t ReadyAt = 0;
+    bool Halted = false;
+  };
+
+  struct CamEntry {
+    uint32_t Tag = 0;
+    bool Valid = false;
+    uint64_t Lru = 0;
+  };
+
+  struct Core {
+    const cg::FlatCode *Code = nullptr;
+    std::vector<Thread> Threads;
+    unsigned Cur = 0;
+    CamEntry Cam[16];
+    std::vector<uint32_t> LocalMem;
+    bool XScale = false;
+    unsigned Index = 0;
+  };
+
+  struct MemUnit {
+    MemUnitParams P;
+    std::vector<uint64_t> BankNextFree;
+  };
+
+  // Execution.
+  void stepCore(Core &C);
+  bool execInstr(Core &C, Thread &T);
+  uint64_t memAccess(unsigned Space, unsigned Words, cg::MemClass Class,
+                     uint32_t Addr, bool Charged = true);
+  uint32_t readWord(unsigned Space, uint32_t Addr) const;
+  void writeWord(unsigned Space, uint32_t Addr, uint32_t Val);
+  std::vector<uint8_t> &spaceBytes(unsigned Space);
+  const std::vector<uint8_t> &spaceBytes(unsigned Space) const;
+
+  // Rx / Tx devices.
+  void rxInject();
+  void txDrain();
+  uint32_t allocHandle();
+  void freeHandle(uint32_t H);
+  uint32_t bufBaseOf(uint32_t H) const;
+
+  // RTS macros.
+  uint32_t rtsPktCopy(Core &C, Thread &T, uint32_t H);
+
+  ChipParams P;
+  rts::MemoryMap Map;
+
+  std::vector<uint8_t> Scratch, Sram, Dram;
+  MemUnit Units[3];
+
+  std::vector<std::unique_ptr<Core>> Cores;
+  std::vector<std::unique_ptr<cg::FlatCode>> OwnedCode;
+  std::vector<std::deque<uint32_t>> Rings;
+  std::vector<uint32_t> FreeHandles;
+
+  std::function<const SimPacket *(uint64_t)> Traffic;
+  uint64_t TrafficIndex = 0;
+  uint64_t MaxInjected = 0;
+  bool Capture = false;
+  std::vector<SimTxRecord> Captured;
+
+  uint64_t Now = 0;
+  SimStats Stats;
+  uint64_t LruTick = 1;
+  unsigned MEsUsed = 0;
+};
+
+} // namespace sl::ixp
+
+#endif // SL_IXP_SIMULATOR_H

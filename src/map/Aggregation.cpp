@@ -1,0 +1,421 @@
+//===- map/Aggregation.cpp -----------------------------------------------------==//
+
+#include "map/Aggregation.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cassert>
+#include <set>
+
+using namespace sl;
+using namespace sl::map;
+using ir::Function;
+using ir::Op;
+
+namespace {
+
+/// Helper functions transitively callable from \p Roots.
+std::set<Function *> reachableHelpers(const std::vector<Function *> &Roots) {
+  std::set<Function *> Seen;
+  std::vector<Function *> Work(Roots.begin(), Roots.end());
+  std::set<Function *> Out;
+  for (Function *R : Roots)
+    Seen.insert(R);
+  while (!Work.empty()) {
+    Function *F = Work.back();
+    Work.pop_back();
+    for (const auto &BB : F->blocks())
+      for (const auto &I : BB->instrs())
+        if (I->op() == Op::Call && Seen.insert(I->Callee).second) {
+          Out.insert(I->Callee);
+          Work.push_back(I->Callee);
+        }
+  }
+  return Out;
+}
+
+/// Channels whose producers include a put site in some function of \p Set.
+std::set<unsigned> putChannels(const std::set<Function *> &Set) {
+  std::set<unsigned> Out;
+  for (Function *F : Set)
+    for (const auto &BB : F->blocks())
+      for (const auto &I : BB->instrs())
+        if (I->op() == Op::ChannelPut)
+          Out.insert(I->ChanId);
+  return Out;
+}
+
+class Former {
+public:
+  Former(ir::Module &M, const profile::ProfileData &Prof, const MapParams &P)
+      : M(M), Prof(Prof), P(P) {}
+
+  MappingPlan run();
+
+private:
+  double ppfCost(Function *F) const;
+  double aggregateCost(const Aggregate &A) const;
+  double estMeInstrs(const Aggregate &A) const;
+  double planThroughput(const std::vector<Aggregate> &Aggs,
+                        std::vector<unsigned> *CopiesOut = nullptr) const;
+  /// Per-packet frequency of channel \p Id.
+  double chanFreq(unsigned Id) const {
+    auto It = Prof.ChannelPuts.find(Id);
+    if (It == Prof.ChannelPuts.end() || Prof.Packets == 0)
+      return 0.0;
+    return double(It->second) / double(Prof.Packets);
+  }
+  /// Total channel traffic (per packet) crossing between A and B.
+  double crossingCost(const Aggregate &A, const Aggregate &B) const;
+  Aggregate merged(const Aggregate &A, const Aggregate &B) const;
+  void computeInputs(Aggregate &A) const;
+  void log(const char *Fmt, ...) __attribute__((format(printf, 2, 3)));
+
+  ir::Module &M;
+  const profile::ProfileData &Prof;
+  const MapParams &P;
+  std::string LogBuf;
+};
+
+void Former::log(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  LogBuf += formatStringV(Fmt, Args);
+  va_end(Args);
+  LogBuf += "\n";
+}
+
+double Former::ppfCost(Function *F) const {
+  return Prof.instrsPerPacket(F) +
+         Prof.memPerPacket(F) * P.MemAccessCycles;
+}
+
+double Former::aggregateCost(const Aggregate &A) const {
+  double Cost = 0.0;
+  std::set<Function *> Helpers = reachableHelpers(A.Funcs);
+  for (Function *F : A.Funcs)
+    Cost += ppfCost(F);
+  for (Function *H : Helpers)
+    Cost += ppfCost(H);
+
+  // External input channels cost a ring get (plus producer-side put) per
+  // arriving packet.
+  std::set<Function *> Members(A.Funcs.begin(), A.Funcs.end());
+  for (const ir::Channel &C : M.Channels) {
+    if (C.Id == 0 || !C.Dest || !Members.count(C.Dest))
+      continue;
+    // Does any producer live outside the aggregate?
+    bool External = false;
+    for (const auto &F : M.functions()) {
+      if (Members.count(F.get()))
+        continue;
+      for (const auto &BB : F->blocks())
+        for (const auto &I : BB->instrs())
+          External |= (I->op() == Op::ChannelPut && I->ChanId == C.Id);
+    }
+    if (External)
+      Cost += chanFreq(C.Id) * P.ChannelCostCycles;
+  }
+  if (M.EntryPpf && Members.count(M.EntryPpf))
+    Cost += P.ChannelCostCycles / 2.0; // Rx ring get.
+  return Cost;
+}
+
+double Former::estMeInstrs(const Aggregate &A) const {
+  double N = 0.0;
+  for (Function *F : A.Funcs)
+    N += double(F->instrCount());
+  for (Function *H : reachableHelpers(A.Funcs))
+    N += double(H->instrCount());
+  return N * P.MeInstrsPerIrInstr;
+}
+
+double Former::crossingCost(const Aggregate &A, const Aggregate &B) const {
+  std::set<Function *> SetA(A.Funcs.begin(), A.Funcs.end());
+  std::set<Function *> SetB(B.Funcs.begin(), B.Funcs.end());
+  std::set<unsigned> PutsA = putChannels(SetA);
+  std::set<unsigned> PutsB = putChannels(SetB);
+  double Cost = 0.0;
+  for (const ir::Channel &C : M.Channels) {
+    if (C.Id == 0 || !C.Dest)
+      continue;
+    if (SetB.count(C.Dest) && PutsA.count(C.Id))
+      Cost += chanFreq(C.Id) * P.ChannelCostCycles;
+    if (SetA.count(C.Dest) && PutsB.count(C.Id))
+      Cost += chanFreq(C.Id) * P.ChannelCostCycles;
+  }
+  return Cost;
+}
+
+Aggregate Former::merged(const Aggregate &A, const Aggregate &B) const {
+  Aggregate R;
+  R.Funcs = A.Funcs;
+  R.Funcs.insert(R.Funcs.end(), B.Funcs.begin(), B.Funcs.end());
+  R.Copies = std::max(A.Copies, B.Copies);
+  R.CostPerPacket = aggregateCost(R);
+  R.EstMeInstrs = estMeInstrs(R);
+  return R;
+}
+
+double Former::planThroughput(const std::vector<Aggregate> &Aggs,
+                              std::vector<unsigned> *CopiesOut) const {
+  // MAP_TO_MES model: every ME aggregate needs at least one ME; remaining
+  // MEs go one at a time to the bottleneck stage (stage duplication /
+  // pipeline replication both fall out of this greedy fill).
+  std::vector<unsigned> Copies;
+  std::vector<double> Costs;
+  unsigned Used = 0;
+  for (const Aggregate &A : Aggs) {
+    if (A.OnXScale)
+      continue;
+    Copies.push_back(1);
+    Costs.push_back(std::max(A.CostPerPacket, 1e-9));
+    ++Used;
+  }
+  if (Copies.empty() || Used > P.NumMEs) {
+    if (CopiesOut)
+      CopiesOut->clear();
+    return 0.0;
+  }
+  while (Used < P.NumMEs) {
+    size_t Worst = 0;
+    for (size_t I = 1; I != Copies.size(); ++I)
+      if (double(Copies[I]) / Costs[I] < double(Copies[Worst]) / Costs[Worst])
+        Worst = I;
+    ++Copies[Worst];
+    ++Used;
+  }
+  double T = 1e30;
+  for (size_t I = 0; I != Copies.size(); ++I)
+    T = std::min(T, double(Copies[I]) / Costs[I]);
+  if (CopiesOut)
+    *CopiesOut = std::move(Copies);
+  return T;
+}
+
+void Former::computeInputs(Aggregate &A) const {
+  A.InputChans.clear();
+  std::set<Function *> Members(A.Funcs.begin(), A.Funcs.end());
+  if (M.EntryPpf && Members.count(M.EntryPpf))
+    A.InputChans.push_back(RxChanId);
+  for (const ir::Channel &C : M.Channels) {
+    if (C.Id == 0 || !C.Dest || !Members.count(C.Dest))
+      continue;
+    bool External = false;
+    for (const auto &F : M.functions()) {
+      if (Members.count(F.get()))
+        continue;
+      for (const auto &BB : F->blocks())
+        for (const auto &I : BB->instrs())
+          External |= (I->op() == Op::ChannelPut && I->ChanId == C.Id);
+    }
+    if (External)
+      A.InputChans.push_back(C.Id);
+  }
+}
+
+MappingPlan Former::run() {
+  std::vector<Aggregate> Aggs;
+
+  // One aggregate per PPF; cold PPFs go straight to the XScale.
+  for (const auto &F : M.functions()) {
+    if (!F->isPpf())
+      continue;
+    Aggregate A;
+    A.Funcs.push_back(F.get());
+    A.CostPerPacket = aggregateCost(A);
+    A.EstMeInstrs = estMeInstrs(A);
+    double Freq = Prof.callFrequency(F.get());
+    double Limit = double(P.CodeStoreInstrs) * P.CodeStoreBudget;
+    if (F.get() != M.EntryPpf &&
+        (Freq < P.XScaleFreqThreshold || A.EstMeInstrs > Limit)) {
+      A.OnXScale = true;
+      log("xscale: %s (freq %.4f, est %.0f instrs)", F->name().c_str(), Freq,
+          A.EstMeInstrs);
+    }
+    Aggs.push_back(std::move(A));
+  }
+
+  double Limit = double(P.CodeStoreInstrs) * P.CodeStoreBudget;
+  bool Done = false;
+  unsigned Guard = 0;
+  while (!Done && ++Guard < 256) {
+    Done = true;
+
+    // DUPLICATE the dominating stage when it is much slower than the rest.
+    // (With the greedy-fill model this mostly confirms what MAP_TO_MES
+    // would do anyway, but it biases the merge loop's comparisons.)
+    if (P.AllowDuplication) {
+      int Dom = -1, Next = -1;
+      for (unsigned I = 0; I != Aggs.size(); ++I) {
+        if (Aggs[I].OnXScale)
+          continue;
+        double C = Aggs[I].CostPerPacket / double(Aggs[I].Copies);
+        if (Dom < 0 || C > Aggs[Dom].CostPerPacket / Aggs[Dom].Copies) {
+          Next = Dom;
+          Dom = int(I);
+        } else if (Next < 0 ||
+                   C > Aggs[Next].CostPerPacket / Aggs[Next].Copies) {
+          Next = int(I);
+        }
+      }
+      // The greedy fill in planThroughput() already duplicates the
+      // dominating stage onto spare MEs, so no explicit state change is
+      // needed here; the check remains for the ablation log.
+      if (Dom >= 0 && Next >= 0) {
+        double DomC = Aggs[Dom].CostPerPacket / Aggs[Dom].Copies;
+        double NextC = Aggs[Next].CostPerPacket / Aggs[Next].Copies;
+        if (DomC > P.DominanceRatio * NextC && Aggs.size() > 1)
+          log("dominating stage: %s (%.0f vs %.0f cycles/pkt)",
+              Aggs[Dom].Funcs.front()->name().c_str(), DomC, NextC);
+      }
+    }
+
+    // MERGE the pair with the highest channel cost that improves (or at
+    // least preserves) throughput and fits the code store.
+    if (P.AllowMerging) {
+      struct Pair {
+        unsigned A, B;
+        double Cost;
+      };
+      std::vector<Pair> Pairs;
+      for (unsigned I = 0; I != Aggs.size(); ++I)
+        for (unsigned J = I + 1; J != Aggs.size(); ++J) {
+          if (Aggs[I].OnXScale || Aggs[J].OnXScale)
+            continue;
+          double C = crossingCost(Aggs[I], Aggs[J]);
+          if (C > 0.0)
+            Pairs.push_back({I, J, C});
+        }
+      std::sort(Pairs.begin(), Pairs.end(),
+                [](const Pair &X, const Pair &Y) { return X.Cost > Y.Cost; });
+      for (const Pair &Pr : Pairs) {
+        Aggregate Merged = merged(Aggs[Pr.A], Aggs[Pr.B]);
+        if (Merged.EstMeInstrs > Limit)
+          continue;
+        std::vector<Aggregate> Trial;
+        for (unsigned K = 0; K != Aggs.size(); ++K)
+          if (K != Pr.A && K != Pr.B)
+            Trial.push_back(Aggs[K]);
+        Trial.push_back(Merged);
+        if (planThroughput(Trial) + 1e-12 >= planThroughput(Aggs)) {
+          log("merge: %s + %s (channel cost %.2f)",
+              Aggs[Pr.A].Funcs.front()->name().c_str(),
+              Aggs[Pr.B].Funcs.front()->name().c_str(), Pr.Cost);
+          Aggs = std::move(Trial);
+          Done = false;
+          break;
+        }
+      }
+      if (!Done)
+        continue;
+    }
+
+    // RELAX: if more stages than MEs remain, force the cheapest merge that
+    // fits, accepting a throughput loss.
+    unsigned Slots = 0;
+    for (const Aggregate &A : Aggs)
+      if (!A.OnXScale)
+        Slots += A.Copies;
+    if (Slots > P.NumMEs) {
+      bool Merged2 = false;
+      for (unsigned I = 0; I != Aggs.size() && !Merged2; ++I)
+        for (unsigned J = I + 1; J != Aggs.size() && !Merged2; ++J) {
+          if (Aggs[I].OnXScale || Aggs[J].OnXScale)
+            continue;
+          Aggregate Try = merged(Aggs[I], Aggs[J]);
+          if (Try.EstMeInstrs > Limit)
+            continue;
+          log("relax-merge: %s + %s",
+              Aggs[I].Funcs.front()->name().c_str(),
+              Aggs[J].Funcs.front()->name().c_str());
+          std::vector<Aggregate> Trial;
+          for (unsigned K = 0; K != Aggs.size(); ++K)
+            if (K != I && K != J)
+              Trial.push_back(Aggs[K]);
+          Trial.push_back(Try);
+          Aggs = std::move(Trial);
+          Merged2 = true;
+          Done = false;
+        }
+      // If nothing fits we fall through and ship an over-committed plan;
+      // the loader time-multiplexes in that case.
+    }
+  }
+
+  // MAP_TO_MES: greedy fill of the remaining MEs (stage duplication and
+  // pipeline replication combined).
+  std::vector<unsigned> FinalCopies;
+  double T = planThroughput(Aggs, &FinalCopies);
+  if (P.Replicate && !FinalCopies.empty()) {
+    size_t K = 0;
+    for (Aggregate &A : Aggs) {
+      if (A.OnXScale)
+        continue;
+      A.Copies = FinalCopies[K++];
+      if (A.Copies > 1)
+        log("map: %s x%u MEs", A.Funcs.front()->name().c_str(), A.Copies);
+    }
+  } else {
+    for (Aggregate &A : Aggs)
+      if (!A.OnXScale)
+        A.Copies = 1;
+  }
+
+  MappingPlan Plan;
+  for (Aggregate &A : Aggs) {
+    A.CostPerPacket = aggregateCost(A);
+    A.EstMeInstrs = estMeInstrs(A);
+    computeInputs(A);
+    Plan.Aggregates.push_back(std::move(A));
+  }
+  // MEs first, XScale last, hot first (stable cosmetic order).
+  std::stable_sort(Plan.Aggregates.begin(), Plan.Aggregates.end(),
+                   [](const Aggregate &A, const Aggregate &B) {
+                     return A.OnXScale < B.OnXScale;
+                   });
+  Plan.PredictedThroughput = T;
+  Plan.Log = std::move(LogBuf);
+  return Plan;
+}
+
+} // namespace
+
+MappingPlan sl::map::formAggregates(ir::Module &M,
+                                    const profile::ProfileData &Prof,
+                                    const MapParams &P) {
+  Former F(M, Prof, P);
+  return F.run();
+}
+
+unsigned sl::map::applyPlan(ir::Module &M, const MappingPlan &Plan) {
+  unsigned Converted = 0;
+  for (const auto &F : M.functions()) {
+    unsigned FAgg = Plan.aggregateOf(F.get());
+    for (const auto &BB : F->blocks()) {
+      for (size_t Idx = 0; Idx != BB->size(); ++Idx) {
+        ir::Instr *I = BB->instr(Idx);
+        if (I->op() != Op::ChannelPut || I->ChanId == 0)
+          continue;
+        const ir::Channel *C = M.findChannel(I->ChanId);
+        assert(C && C->Dest && "wired channel expected");
+        unsigned DestAgg = Plan.aggregateOf(C->Dest);
+        if (FAgg == ~0u || DestAgg != FAgg)
+          continue;
+        // Same aggregate: the channel collapses into a direct call.
+        ir::Value *Handle = I->operand(0);
+        auto *Call = new ir::Instr(Op::Call, C->Dest->returnType());
+        Call->Callee = C->Dest;
+        Call->addOperand(Handle);
+        Call->Loc = I->Loc;
+        BB->insertAt(Idx, std::unique_ptr<ir::Instr>(Call));
+        I->dropOperands();
+        BB->erase(I);
+        ++Converted;
+      }
+    }
+  }
+  return Converted;
+}

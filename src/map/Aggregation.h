@@ -1,0 +1,86 @@
+//===- map/Aggregation.h - aggregate formation (paper Sec. 5.1) --------------==//
+//
+// Aggregation maps PPFs onto processing elements to maximize the packet
+// forwarding rate. The throughput model is Equation 1:
+//
+//     t  ∝  n * k / p
+//
+// with n MEs, p pipeline stages (aggregates) and k the throughput of the
+// slowest stage. The formation algorithm follows the paper's Fig. 7
+// pseudo-code: repeatedly duplicate a dominating stage or merge the
+// aggregate pair with the highest channel cost, subject to the per-ME code
+// store limit; map infrequently executed aggregates to the XScale; then
+// replicate the whole pipeline over the remaining MEs.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SL_MAP_AGGREGATION_H
+#define SL_MAP_AGGREGATION_H
+
+#include "ir/Module.h"
+#include "profile/Profiler.h"
+
+#include <string>
+#include <vector>
+
+namespace sl::map {
+
+/// Pseudo channel id used for the Rx input in aggregate wiring.
+inline constexpr unsigned RxChanId = 0xFFFFFFFFu;
+
+struct MapParams {
+  unsigned NumMEs = 6;              ///< Programmable MEs (2 of 8 are Rx/Tx).
+  unsigned CodeStoreInstrs = 4096;  ///< ME instruction store entries.
+  double CodeStoreBudget = 0.85;    ///< Fraction usable by one aggregate.
+  double MeInstrsPerIrInstr = 3.0;  ///< Lowering expansion estimate.
+  double MemAccessCycles = 90.0;    ///< Avg memory latency for cost model.
+  double ChannelCostCycles = 120.0; ///< Ring put+get per crossing.
+  double XScaleFreqThreshold = 0.02; ///< Colder PPFs go to the XScale.
+  double DominanceRatio = 1.8;      ///< EXEC_TIME(dom) >> next threshold.
+  bool AllowDuplication = true;     ///< Ablation knobs.
+  bool AllowMerging = true;
+  /// Replicate the final pipeline over all remaining MEs. Disable for
+  /// deterministic single-copy runs (functional comparisons).
+  bool Replicate = true;
+};
+
+/// One aggregate: a set of PPFs (and the helpers they call) co-located on
+/// a processing element.
+struct Aggregate {
+  std::vector<ir::Function *> Funcs;
+  /// External inputs: RxChanId and/or ids of channels whose producer lives
+  /// in another aggregate.
+  std::vector<unsigned> InputChans;
+  bool OnXScale = false;
+  unsigned Copies = 1; ///< MEs this aggregate is loaded onto.
+  double CostPerPacket = 0.0; ///< Estimated cycles per packet.
+  double EstMeInstrs = 0.0;   ///< Estimated code-store footprint.
+};
+
+struct MappingPlan {
+  std::vector<Aggregate> Aggregates; ///< ME aggregates first, then XScale.
+  double PredictedThroughput = 0.0;  ///< Relative (packets per cycle).
+  std::string Log;                   ///< Human-readable decision trail.
+
+  /// The aggregate containing \p F, or ~0u.
+  unsigned aggregateOf(const ir::Function *F) const {
+    for (unsigned I = 0; I != Aggregates.size(); ++I)
+      for (const ir::Function *G : Aggregates[I].Funcs)
+        if (G == F)
+          return I;
+    return ~0u;
+  }
+};
+
+/// Forms aggregates from profile data.
+MappingPlan formAggregates(ir::Module &M, const profile::ProfileData &Prof,
+                           const MapParams &P = MapParams());
+
+/// Rewrites the module for the plan: a channel_put whose destination PPF
+/// lives in the same aggregate becomes a direct call (the inliner then
+/// merges the bodies). Returns the number of converted puts.
+unsigned applyPlan(ir::Module &M, const MappingPlan &Plan);
+
+} // namespace sl::map
+
+#endif // SL_MAP_AGGREGATION_H

@@ -1,0 +1,233 @@
+//===- opt/ConstFold.cpp - constant folding and algebraic identities ----------==//
+
+#include "opt/Passes.h"
+
+#include <cassert>
+
+using namespace sl;
+using namespace sl::ir;
+
+namespace {
+
+uint64_t maskTo(uint64_t V, unsigned Bits) {
+  if (Bits >= 64)
+    return V;
+  return V & ((uint64_t(1) << Bits) - 1);
+}
+
+int64_t signExtend(uint64_t V, unsigned Bits) {
+  if (Bits >= 64)
+    return static_cast<int64_t>(V);
+  uint64_t Sign = uint64_t(1) << (Bits - 1);
+  return static_cast<int64_t>(((V & ((Sign << 1) - 1)) ^ Sign) - Sign);
+}
+
+/// Evaluates a binary opcode on constants. Returns false for trapping
+/// cases (division by zero) which must not fold.
+bool evalBinary(Op O, uint64_t A, uint64_t B, unsigned Bits, uint64_t &Out) {
+  switch (O) {
+  case Op::Add:
+    Out = maskTo(A + B, Bits);
+    return true;
+  case Op::Sub:
+    Out = maskTo(A - B, Bits);
+    return true;
+  case Op::Mul:
+    Out = maskTo(A * B, Bits);
+    return true;
+  case Op::UDiv:
+    if (!B)
+      return false;
+    Out = maskTo(A / B, Bits);
+    return true;
+  case Op::SDiv:
+    if (!B)
+      return false;
+    Out = maskTo(static_cast<uint64_t>(signExtend(A, Bits) /
+                                       signExtend(B, Bits)),
+                 Bits);
+    return true;
+  case Op::URem:
+    if (!B)
+      return false;
+    Out = maskTo(A % B, Bits);
+    return true;
+  case Op::SRem:
+    if (!B)
+      return false;
+    Out = maskTo(static_cast<uint64_t>(signExtend(A, Bits) %
+                                       signExtend(B, Bits)),
+                 Bits);
+    return true;
+  case Op::And:
+    Out = A & B;
+    return true;
+  case Op::Or:
+    Out = A | B;
+    return true;
+  case Op::Xor:
+    Out = maskTo(A ^ B, Bits);
+    return true;
+  case Op::Shl:
+    Out = maskTo(A << (B & 63), Bits);
+    return true;
+  case Op::LShr:
+    Out = A >> (B & 63);
+    return true;
+  case Op::AShr:
+    Out = maskTo(static_cast<uint64_t>(signExtend(A, Bits) >> (B & 63)),
+                 Bits);
+    return true;
+  case Op::CmpEq:
+    Out = A == B;
+    return true;
+  case Op::CmpNe:
+    Out = A != B;
+    return true;
+  case Op::CmpULt:
+    Out = A < B;
+    return true;
+  case Op::CmpULe:
+    Out = A <= B;
+    return true;
+  case Op::CmpUGt:
+    Out = A > B;
+    return true;
+  case Op::CmpUGe:
+    Out = A >= B;
+    return true;
+  case Op::CmpSLt:
+    Out = signExtend(A, Bits) < signExtend(B, Bits);
+    return true;
+  case Op::CmpSLe:
+    Out = signExtend(A, Bits) <= signExtend(B, Bits);
+    return true;
+  case Op::CmpSGt:
+    Out = signExtend(A, Bits) > signExtend(B, Bits);
+    return true;
+  case Op::CmpSGe:
+    Out = signExtend(A, Bits) >= signExtend(B, Bits);
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Algebraic identities with one constant operand. Returns the value the
+/// instruction simplifies to, or null.
+Value *simplifyIdentity(Instr *I, Function &F) {
+  if (!isBinaryOp(I->op()) || isCompareOp(I->op()))
+    return nullptr;
+  Value *L = I->operand(0);
+  Value *R = I->operand(1);
+  const auto *RC = dyn_cast<ConstInt>(R);
+  const auto *LC = dyn_cast<ConstInt>(L);
+  unsigned Bits = I->type().bits();
+
+  switch (I->op()) {
+  case Op::Add:
+    if (RC && RC->value() == 0)
+      return L;
+    if (LC && LC->value() == 0)
+      return R;
+    return nullptr;
+  case Op::Sub:
+    if (RC && RC->value() == 0)
+      return L;
+    if (L == R)
+      return F.constInt(I->type(), 0);
+    return nullptr;
+  case Op::Mul:
+    if (RC && RC->value() == 1)
+      return L;
+    if (LC && LC->value() == 1)
+      return R;
+    if ((RC && RC->value() == 0) || (LC && LC->value() == 0))
+      return F.constInt(I->type(), 0);
+    return nullptr;
+  case Op::And:
+    if (RC && RC->value() == maskTo(~uint64_t(0), Bits))
+      return L;
+    if ((RC && RC->value() == 0) || (LC && LC->value() == 0))
+      return F.constInt(I->type(), 0);
+    if (L == R)
+      return L;
+    return nullptr;
+  case Op::Or:
+    if (RC && RC->value() == 0)
+      return L;
+    if (LC && LC->value() == 0)
+      return R;
+    if (L == R)
+      return L;
+    return nullptr;
+  case Op::Xor:
+    if (RC && RC->value() == 0)
+      return L;
+    if (L == R)
+      return F.constInt(I->type(), 0);
+    return nullptr;
+  case Op::Shl:
+  case Op::LShr:
+  case Op::AShr:
+    if (RC && RC->value() == 0)
+      return L;
+    return nullptr;
+  case Op::UDiv:
+  case Op::SDiv:
+    if (RC && RC->value() == 1)
+      return L;
+    return nullptr;
+  default:
+    return nullptr;
+  }
+}
+
+} // namespace
+
+bool sl::opt::constantFold(Function &F) {
+  bool Changed = false;
+  for (const auto &BB : F.blocks()) {
+    for (size_t Idx = 0; Idx < BB->size();) {
+      Instr *I = BB->instr(Idx);
+      Value *Repl = nullptr;
+
+      if (isBinaryOp(I->op())) {
+        const auto *A = dyn_cast<ConstInt>(I->operand(0));
+        const auto *B = dyn_cast<ConstInt>(I->operand(1));
+        if (A && B) {
+          uint64_t Out;
+          unsigned Bits = I->operand(0)->type().bits();
+          if (evalBinary(I->op(), A->value(), B->value(), Bits, Out))
+            Repl = F.constInt(I->type(), Out);
+        }
+        if (!Repl)
+          Repl = simplifyIdentity(I, F);
+      } else if (I->op() == Op::ZExt || I->op() == Op::Trunc) {
+        if (const auto *C = dyn_cast<ConstInt>(I->operand(0)))
+          Repl = F.constInt(I->type(), maskTo(C->value(), I->type().bits()));
+      } else if (I->op() == Op::SExt) {
+        if (const auto *C = dyn_cast<ConstInt>(I->operand(0))) {
+          unsigned SrcBits = I->operand(0)->type().bits();
+          Repl = F.constInt(
+              I->type(),
+              maskTo(static_cast<uint64_t>(signExtend(C->value(), SrcBits)),
+                     I->type().bits()));
+        }
+      } else if (I->op() == Op::Select) {
+        if (const auto *C = dyn_cast<ConstInt>(I->operand(0)))
+          Repl = C->value() ? I->operand(1) : I->operand(2);
+        else if (I->operand(1) == I->operand(2))
+          Repl = I->operand(1);
+      }
+
+      if (Repl && Repl != I) {
+        replaceAndErase(I, Repl);
+        Changed = true;
+        continue; // Same index now holds the next instruction.
+      }
+      ++Idx;
+    }
+  }
+  return Changed;
+}

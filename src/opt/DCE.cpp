@@ -1,0 +1,65 @@
+//===- opt/DCE.cpp - dead code elimination -------------------------------------==//
+
+#include "opt/Passes.h"
+
+using namespace sl;
+using namespace sl::ir;
+
+namespace {
+
+/// Instructions that may be deleted when their result is unused.
+bool isRemovableWhenUnused(const Instr *I) {
+  if (isPureOp(I->op()))
+    return true;
+  switch (I->op()) {
+  case Op::Load:
+  case Op::GLoad:
+  case Op::PktLoad:
+  case Op::MetaLoad:
+  case Op::PktLoadWide:
+  case Op::PktLength:
+  case Op::Alloca:
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+bool sl::opt::deadCodeElim(Function &F) {
+  bool Changed = false;
+  bool Local = true;
+  while (Local) {
+    Local = false;
+    for (const auto &BB : F.blocks()) {
+      for (size_t Idx = BB->size(); Idx-- > 0;) {
+        Instr *I = BB->instr(Idx);
+        if (I->isTerm())
+          continue;
+        if (!I->hasUses() && isRemovableWhenUnused(I)) {
+          I->dropOperands();
+          BB->erase(Idx);
+          Changed = Local = true;
+          continue;
+        }
+        // A slot that is only ever stored to is dead: delete the stores,
+        // then the alloca itself falls out on the next sweep.
+        if (I->op() == Op::Alloca) {
+          bool OnlyStores = true;
+          for (Instr *U : I->users())
+            OnlyStores &= (U->op() == Op::Store && U->operand(0) == I);
+          if (OnlyStores && I->hasUses()) {
+            std::vector<Instr *> Stores(I->users().begin(), I->users().end());
+            for (Instr *S : Stores) {
+              S->dropOperands();
+              S->parent()->erase(S);
+            }
+            Changed = Local = true;
+          }
+        }
+      }
+    }
+  }
+  return Changed;
+}

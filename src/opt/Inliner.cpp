@@ -1,0 +1,148 @@
+//===- opt/Inliner.cpp - aggressive call inlining -----------------------------==//
+//
+// -O2 "inlines base packet handling routines": every call to a non-PPF
+// helper under the size limit is expanded at the call site. Baker has no
+// recursion, so iterating to a fixed point terminates. Aggressive inlining
+// is also a prerequisite of the stack-layout optimization (Sec. 5.4):
+// merged frames eliminate call overhead slots and let the whole stack fit
+// in Local Memory.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Passes.h"
+
+#include "ir/Clone.h"
+
+#include <cassert>
+#include <vector>
+
+using namespace sl;
+using namespace sl::ir;
+
+namespace {
+
+unsigned InlineCounter = 0;
+
+/// Expands one call site. Returns true on success.
+bool inlineOneCall(Function &Caller, Instr *Call) {
+  Function *Callee = Call->Callee;
+  BasicBlock *CallBB = Call->parent();
+  size_t CallPos = CallBB->indexOf(Call);
+  std::string Suffix = ".inl" + std::to_string(InlineCounter++);
+
+  // Split the call block: instructions after the call move to a new block.
+  BasicBlock *Cont = Caller.addBlock(CallBB->name() + ".cont" + Suffix);
+  while (CallBB->size() > CallPos + 1) {
+    auto I = CallBB->detach(CallPos + 1);
+    Cont->append(std::move(I));
+  }
+  // Successor phis must now refer to Cont (the block holding the old
+  // terminator).
+  for (BasicBlock *S : Cont->successors()) {
+    for (size_t K = 0; K != S->size(); ++K) {
+      Instr *Phi = S->instr(K);
+      if (Phi->op() != Op::Phi)
+        break;
+      for (auto &PB : Phi->phiBlocks())
+        if (PB == CallBB)
+          PB = Cont;
+    }
+  }
+
+  // Clone the callee body.
+  CloneMap Map;
+  for (unsigned I = 0; I != Callee->numArgs(); ++I)
+    Map.Values[Callee->arg(I)] = Call->operand(I);
+  BasicBlock *InlEntry = cloneBody(*Callee, Caller, Map, Suffix);
+
+  // Rewrite cloned rets into branches to Cont, collecting return values.
+  std::vector<std::pair<BasicBlock *, Value *>> Rets;
+  for (const auto &BB : Callee->blocks()) {
+    BasicBlock *NewBB = Map.Blocks.at(BB.get());
+    Instr *T = NewBB->terminator();
+    if (!T || T->op() != Op::Ret)
+      continue;
+    Value *RetVal = T->numOperands() ? T->operand(0) : nullptr;
+    T->dropOperands();
+    NewBB->erase(T);
+    auto *Br = new Instr(Op::Br, Type::voidTy());
+    Br->addSucc(Cont);
+    NewBB->append(std::unique_ptr<Instr>(Br));
+    Rets.push_back({NewBB, RetVal});
+  }
+  assert(!Rets.empty() && "callee had no return");
+
+  // Replace the call's value with the merged return value.
+  if (!Call->type().isVoid()) {
+    if (Rets.size() == 1) {
+      Call->replaceAllUsesWith(Rets[0].second);
+    } else {
+      auto *Phi = new Instr(Op::Phi, Call->type());
+      Cont->insertAt(0, std::unique_ptr<Instr>(Phi));
+      for (auto &[BB, V] : Rets)
+        Phi->addPhiIncoming(V ? V : Caller.undef(Call->type()), BB);
+      Call->replaceAllUsesWith(Phi);
+    }
+  }
+
+  // Replace the call instruction with a branch into the inlined entry.
+  Call->dropOperands();
+  CallBB->erase(Call);
+  auto *Enter = new Instr(Op::Br, Type::voidTy());
+  Enter->addSucc(InlEntry);
+  CallBB->append(std::unique_ptr<Instr>(Enter));
+  return true;
+}
+
+} // namespace
+
+void sl::opt::inlineCalls(Module &M, unsigned CalleeSizeLimit) {
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const auto &F : M.functions()) {
+      for (size_t B = 0; B != F->numBlocks() && !Changed; ++B) {
+        BasicBlock *BB = F->block(B);
+        for (size_t I = 0; I != BB->size(); ++I) {
+          Instr *In = BB->instr(I);
+          if (In->op() != Op::Call)
+            continue;
+          Function *Callee = In->Callee;
+          // PPF-to-PPF calls exist only after aggregation collapsed a
+          // channel; they are always inlined so the aggregate becomes one
+          // body.
+          if (Callee == F.get())
+            continue;
+          if (Callee->instrCount() > CalleeSizeLimit)
+            continue;
+          inlineOneCall(*F, In);
+          Changed = true;
+          break;
+        }
+      }
+      if (Changed)
+        break;
+    }
+  }
+
+  // Drop helper functions that no longer have any callers.
+  bool Removed = true;
+  while (Removed) {
+    Removed = false;
+    for (const auto &F : M.functions()) {
+      if (F->isPpf())
+        continue;
+      bool Called = false;
+      for (const auto &Other : M.functions())
+        for (const auto &BB : Other->blocks())
+          for (const auto &In : BB->instrs())
+            if (In->op() == Op::Call && In->Callee == F.get())
+              Called = true;
+      if (!Called) {
+        M.eraseFunction(F.get());
+        Removed = true;
+        break;
+      }
+    }
+  }
+}

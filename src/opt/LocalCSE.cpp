@@ -1,0 +1,104 @@
+//===- opt/LocalCSE.cpp - block-local redundancy elimination ------------------==//
+//
+// Implements the redundancy-elimination half of the paper's -O1 scalar
+// pipeline: repeated pure computations and repeated packet/metadata/global
+// loads within a block collapse to the first occurrence. Loads are
+// invalidated conservatively at stores, calls, locks, channel puts, and at
+// encapsulation boundaries (decap/encap change what header-relative
+// offsets mean).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Passes.h"
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+using namespace sl;
+using namespace sl::ir;
+
+namespace {
+
+/// Structural key of an instruction: opcode + type + operands + immediates.
+using Key = std::tuple<Op, std::string, std::vector<const Value *>, unsigned,
+                       unsigned, unsigned, unsigned, const void *>;
+
+Key keyOf(const Instr *I) {
+  std::vector<const Value *> Ops;
+  for (unsigned K = 0; K != I->numOperands(); ++K)
+    Ops.push_back(I->operand(K));
+  return Key(I->op(), I->type().str(), std::move(Ops), I->BitOff, I->BitWidth,
+             I->ByteOff, I->Words,
+             static_cast<const void *>(I->GlobalRef));
+}
+
+bool isCseableLoad(Op O) {
+  switch (O) {
+  case Op::PktLoad:
+  case Op::MetaLoad:
+  case Op::GLoad:
+  case Op::PktLoadWide:
+  case Op::PktLength:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Does \p O invalidate previously seen loads?
+bool killsLoads(Op O) {
+  switch (O) {
+  case Op::PktStore:
+  case Op::MetaStore:
+  case Op::GStore:
+  case Op::PktStoreWide:
+  case Op::Call:
+  case Op::LockAcquire:
+  case Op::LockRelease:
+  case Op::ChannelPut:
+  case Op::PktDecap:
+  case Op::PktEncap:
+  case Op::PktCopy:
+  case Op::PktDrop:
+  case Op::Store: // Alloca stores do not alias, but stay conservative.
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+bool sl::opt::localCSE(Function &F) {
+  bool Changed = false;
+  for (const auto &BB : F.blocks()) {
+    std::map<Key, Instr *> Pure;
+    std::map<Key, Instr *> Loads;
+    for (size_t Idx = 0; Idx < BB->size();) {
+      Instr *I = BB->instr(Idx);
+
+      if (killsLoads(I->op()))
+        Loads.clear();
+
+      bool IsPure = isPureOp(I->op()) && I->op() != Op::Phi;
+      bool IsLoad = isCseableLoad(I->op());
+      if (!IsPure && !IsLoad) {
+        ++Idx;
+        continue;
+      }
+
+      auto &Table = IsPure ? Pure : Loads;
+      Key K = keyOf(I);
+      auto It = Table.find(K);
+      if (It != Table.end()) {
+        replaceAndErase(I, It->second);
+        Changed = true;
+        continue;
+      }
+      Table.emplace(std::move(K), I);
+      ++Idx;
+    }
+  }
+  return Changed;
+}

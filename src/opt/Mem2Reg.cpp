@@ -1,0 +1,181 @@
+//===- opt/Mem2Reg.cpp - SSA construction -------------------------------------==//
+//
+// Standard alloca promotion: phi insertion at iterated dominance frontiers
+// followed by a dominator-tree renaming walk. Every Baker local qualifies
+// (the language has no address-taken variables).
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Passes.h"
+
+#include "ir/Dominators.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+using namespace sl;
+using namespace sl::ir;
+
+namespace {
+
+struct AllocaInfo {
+  Instr *Slot = nullptr;
+  std::set<BasicBlock *> DefBlocks;
+  std::vector<Instr *> Loads, Stores;
+};
+
+} // namespace
+
+bool sl::opt::mem2reg(Function &F) {
+  // Collect promotable allocas. All uses must be Load/Store (true by
+  // construction, but verify defensively).
+  std::vector<AllocaInfo> Allocas;
+  for (const auto &BB : F.blocks()) {
+    for (const auto &I : BB->instrs()) {
+      if (I->op() != Op::Alloca)
+        continue;
+      AllocaInfo Info;
+      Info.Slot = I.get();
+      bool Promotable = true;
+      for (Instr *U : I->users()) {
+        if (U->op() == Op::Load) {
+          Info.Loads.push_back(U);
+        } else if (U->op() == Op::Store && U->operand(0) == I.get()) {
+          Info.Stores.push_back(U);
+          Info.DefBlocks.insert(U->parent());
+        } else {
+          Promotable = false;
+          break;
+        }
+      }
+      if (Promotable)
+        Allocas.push_back(std::move(Info));
+    }
+  }
+  if (Allocas.empty())
+    return false;
+
+  DomTree DT(F);
+
+  // Phase 1: insert (empty) phis at iterated dominance frontiers.
+  // PhiFor[(block, allocaIdx)] -> phi instruction.
+  std::map<std::pair<BasicBlock *, size_t>, Instr *> PhiFor;
+  for (size_t A = 0; A != Allocas.size(); ++A) {
+    std::vector<BasicBlock *> Work(Allocas[A].DefBlocks.begin(),
+                                   Allocas[A].DefBlocks.end());
+    std::set<BasicBlock *> HasPhi;
+    while (!Work.empty()) {
+      BasicBlock *BB = Work.back();
+      Work.pop_back();
+      if (!DT.reachable(BB))
+        continue;
+      for (BasicBlock *FB : DT.frontier(BB)) {
+        if (!HasPhi.insert(FB).second)
+          continue;
+        auto *Phi = new Instr(Op::Phi, Allocas[A].Slot->AllocTy);
+        Phi->setName(Allocas[A].Slot->name());
+        FB->insertAt(0, std::unique_ptr<Instr>(Phi));
+        PhiFor[{FB, A}] = Phi;
+        if (!Allocas[A].DefBlocks.count(FB))
+          Work.push_back(FB);
+      }
+    }
+  }
+
+  // Phase 2: renaming walk over the dominator tree.
+  std::map<BasicBlock *, std::vector<BasicBlock *>> DomKids;
+  for (BasicBlock *BB : DT.rpo())
+    if (BasicBlock *Parent = DT.idom(BB))
+      DomKids[Parent].push_back(BB);
+
+  std::map<Instr *, size_t> SlotIndex;
+  for (size_t A = 0; A != Allocas.size(); ++A)
+    SlotIndex[Allocas[A].Slot] = A;
+
+  // Current SSA value per alloca, maintained along the walk.
+  std::vector<Value *> Cur(Allocas.size(), nullptr);
+  for (size_t A = 0; A != Allocas.size(); ++A)
+    Cur[A] = F.undef(Allocas[A].Slot->AllocTy);
+
+  struct WalkFrame {
+    BasicBlock *BB;
+    std::vector<Value *> Saved;
+    bool Visited = false;
+  };
+  std::vector<WalkFrame> Stack;
+  Stack.push_back({F.entry(), {}, false});
+
+  std::vector<Instr *> ToErase;
+
+  while (!Stack.empty()) {
+    WalkFrame &Frame = Stack.back();
+    if (Frame.Visited) {
+      Cur = std::move(Frame.Saved);
+      Stack.pop_back();
+      continue;
+    }
+    Frame.Visited = true;
+    Frame.Saved = Cur;
+    BasicBlock *BB = Frame.BB;
+
+    for (size_t I = 0; I != BB->size(); ++I) {
+      Instr *In = BB->instr(I);
+      if (In->op() == Op::Phi) {
+        // Phis we inserted define a new current value.
+        for (size_t A = 0; A != Allocas.size(); ++A) {
+          auto It = PhiFor.find({BB, A});
+          if (It != PhiFor.end() && It->second == In) {
+            Cur[A] = In;
+            break;
+          }
+        }
+        continue;
+      }
+      if (In->op() == Op::Load) {
+        auto *Slot = cast<Instr>(In->operand(0));
+        auto SIt = SlotIndex.find(Slot);
+        if (SIt == SlotIndex.end())
+          continue;
+        In->replaceAllUsesWith(Cur[SIt->second]);
+        In->dropOperands();
+        ToErase.push_back(In);
+        continue;
+      }
+      if (In->op() == Op::Store) {
+        auto *Slot = cast<Instr>(In->operand(0));
+        auto SIt = SlotIndex.find(Slot);
+        if (SIt == SlotIndex.end())
+          continue;
+        Cur[SIt->second] = In->operand(1);
+        In->dropOperands();
+        ToErase.push_back(In);
+        continue;
+      }
+    }
+
+    // Fill phi operands in successors for the edge BB -> S.
+    for (BasicBlock *S : BB->successors()) {
+      for (size_t A = 0; A != Allocas.size(); ++A) {
+        auto It = PhiFor.find({S, A});
+        if (It != PhiFor.end())
+          It->second->addPhiIncoming(Cur[A], BB);
+      }
+    }
+
+    for (BasicBlock *Kid : DomKids[BB])
+      Stack.push_back({Kid, {}, false});
+  }
+
+  for (Instr *I : ToErase)
+    I->parent()->erase(I);
+  for (AllocaInfo &Info : Allocas) {
+    assert(!Info.Slot->hasUses() && "alloca still used after promotion");
+    Info.Slot->parent()->erase(Info.Slot);
+  }
+
+  // Phis that ended up with no incoming entries (unreachable blocks kept
+  // around) would be malformed; the CFG pass removes those blocks first,
+  // so just assert here.
+  return true;
+}

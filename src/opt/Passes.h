@@ -1,0 +1,56 @@
+//===- opt/Passes.h - scalar optimization pipeline --------------------------==//
+//
+// The "traditional scalar optimizations" of the paper's -O1/-O2 ladder:
+// CFG simplification, SSA construction (mem2reg), SSA-based constant
+// folding, local redundancy elimination, dead code elimination, and the
+// aggressive inliner enabled at -O2.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SL_OPT_PASSES_H
+#define SL_OPT_PASSES_H
+
+#include "ir/Module.h"
+
+namespace sl::opt {
+
+/// Removes unreachable blocks, folds constant conditional branches, merges
+/// straight-line block chains, and simplifies trivial phis.
+/// Returns true if anything changed.
+bool simplifyCfg(ir::Function &F);
+
+/// Promotes allocas to SSA registers with phi insertion at iterated
+/// dominance frontiers. Returns true if anything changed.
+bool mem2reg(ir::Function &F);
+
+/// Folds constant expressions and applies algebraic identities.
+bool constantFold(ir::Function &F);
+
+/// Block-local common subexpression elimination, including redundant
+/// packet/metadata/global loads (with conservative invalidation at stores,
+/// calls, encap/decap and lock boundaries).
+bool localCSE(ir::Function &F);
+
+/// Deletes unused side-effect-free instructions.
+bool deadCodeElim(ir::Function &F);
+
+/// Inlines calls to non-PPF helper functions whose size does not exceed
+/// \p CalleeSizeLimit instructions. Runs to a fixed point (Baker has no
+/// recursion). Fully-inlined helpers that became unreferenced are removed.
+void inlineCalls(ir::Module &M, unsigned CalleeSizeLimit = 2048);
+
+/// Runs the -O1 scalar pipeline on one function to a fixed point.
+void runScalarPipeline(ir::Function &F);
+
+/// -O1 over the whole module.
+void runO1(ir::Module &M);
+
+/// -O2: aggressive inlining, then the scalar pipeline.
+void runO2(ir::Module &M);
+
+/// Shared helper: RAUW-and-erase an instruction that was replaced.
+void replaceAndErase(ir::Instr *I, ir::Value *Replacement);
+
+} // namespace sl::opt
+
+#endif // SL_OPT_PASSES_H

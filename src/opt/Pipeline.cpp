@@ -1,0 +1,32 @@
+//===- opt/Pipeline.cpp - -O1 / -O2 drivers ------------------------------------==//
+
+#include "opt/Passes.h"
+
+using namespace sl;
+using namespace sl::ir;
+
+void sl::opt::runScalarPipeline(Function &F) {
+  // Iterate the pass sequence until nothing changes (bounded in practice;
+  // the cap is a safety net against pass ping-pong).
+  for (unsigned Round = 0; Round != 8; ++Round) {
+    bool Changed = false;
+    Changed |= simplifyCfg(F);
+    Changed |= mem2reg(F);
+    Changed |= constantFold(F);
+    Changed |= localCSE(F);
+    Changed |= deadCodeElim(F);
+    Changed |= simplifyCfg(F);
+    if (!Changed)
+      return;
+  }
+}
+
+void sl::opt::runO1(Module &M) {
+  for (const auto &F : M.functions())
+    runScalarPipeline(*F);
+}
+
+void sl::opt::runO2(Module &M) {
+  inlineCalls(M);
+  runO1(M);
+}

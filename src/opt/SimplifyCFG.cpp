@@ -1,0 +1,190 @@
+//===- opt/SimplifyCFG.cpp ---------------------------------------------------==//
+
+#include "opt/Passes.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace sl;
+using namespace sl::ir;
+
+void sl::opt::replaceAndErase(Instr *I, Value *Replacement) {
+  if (Replacement)
+    I->replaceAllUsesWith(Replacement);
+  I->dropOperands();
+  I->parent()->erase(I);
+}
+
+namespace {
+
+/// Removes incoming phi entries in \p BB for predecessor \p Pred.
+void removePhiEdge(BasicBlock *BB, BasicBlock *Pred) {
+  for (size_t I = 0; I != BB->size(); ++I) {
+    Instr *In = BB->instr(I);
+    if (In->op() != Op::Phi)
+      break;
+    for (unsigned K = 0; K != In->numOperands(); ++K) {
+      if (In->phiBlocks()[K] == Pred) {
+        In->removePhiIncoming(K);
+        break;
+      }
+    }
+  }
+}
+
+bool removeUnreachable(Function &F) {
+  std::set<BasicBlock *> Reach;
+  std::vector<BasicBlock *> Work{F.entry()};
+  Reach.insert(F.entry());
+  while (!Work.empty()) {
+    BasicBlock *BB = Work.back();
+    Work.pop_back();
+    for (BasicBlock *S : BB->successors())
+      if (Reach.insert(S).second)
+        Work.push_back(S);
+  }
+  if (Reach.size() == F.numBlocks())
+    return false;
+
+  std::vector<BasicBlock *> Dead;
+  for (const auto &BB : F.blocks())
+    if (!Reach.count(BB.get()))
+      Dead.push_back(BB.get());
+
+  // Detach phi edges from dead predecessors, then break def-use links of
+  // dead instructions so destruction order does not matter.
+  for (BasicBlock *D : Dead)
+    for (BasicBlock *S : D->successors())
+      if (Reach.count(S))
+        removePhiEdge(S, D);
+  for (BasicBlock *D : Dead)
+    for (size_t I = 0; I != D->size(); ++I)
+      D->instr(I)->dropOperands();
+  for (BasicBlock *D : Dead) {
+    while (!D->empty())
+      D->erase(D->size() - 1);
+    F.eraseBlock(D);
+  }
+  return true;
+}
+
+bool foldConstBranches(Function &F) {
+  bool Changed = false;
+  for (const auto &BB : F.blocks()) {
+    Instr *T = BB->terminator();
+    if (!T || T->op() != Op::CondBr)
+      continue;
+    BasicBlock *TrueBB = T->succ(0);
+    BasicBlock *FalseBB = T->succ(1);
+    const auto *C = dyn_cast<ConstInt>(T->operand(0));
+    if (!C && TrueBB != FalseBB)
+      continue;
+    BasicBlock *Taken = C ? (C->value() ? TrueBB : FalseBB) : TrueBB;
+    BasicBlock *NotTaken = Taken == TrueBB ? FalseBB : TrueBB;
+    // When both arms targeted the same block, the phi there carried two
+    // entries for this predecessor; exactly one must go either way.
+    removePhiEdge(NotTaken, BB.get());
+    T->dropOperands();
+    T->succs().clear();
+    T->addSucc(Taken);
+    // Rewrite opcode by replacing the instruction in place.
+    size_t Pos = BB->indexOf(T);
+    auto Old = BB->detach(Pos);
+    auto *NewBr = new Instr(Op::Br, Type::voidTy());
+    NewBr->addSucc(Taken);
+    BB->insertAt(Pos, std::unique_ptr<Instr>(NewBr));
+    Changed = true;
+  }
+  return Changed;
+}
+
+bool simplifyPhis(Function &F) {
+  bool Changed = false;
+  for (const auto &BB : F.blocks()) {
+    for (size_t I = 0; I < BB->size();) {
+      Instr *In = BB->instr(I);
+      if (In->op() != Op::Phi) {
+        ++I;
+        continue;
+      }
+      Value *Same = nullptr;
+      bool Uniform = true;
+      for (unsigned K = 0; K != In->numOperands(); ++K) {
+        Value *V = In->operand(K);
+        if (V == In)
+          continue; // Self-reference.
+        if (Same && V != Same) {
+          Uniform = false;
+          break;
+        }
+        Same = V;
+      }
+      if (Uniform && Same) {
+        opt::replaceAndErase(In, Same);
+        Changed = true;
+        continue;
+      }
+      ++I;
+    }
+  }
+  return Changed;
+}
+
+bool mergeBlocks(Function &F) {
+  bool Changed = false;
+  bool LocalChange = true;
+  while (LocalChange) {
+    LocalChange = false;
+    auto Preds = F.predecessors();
+    for (const auto &BBPtr : F.blocks()) {
+      BasicBlock *BB = BBPtr.get();
+      Instr *T = BB->terminator();
+      if (!T || T->op() != Op::Br)
+        continue;
+      BasicBlock *Succ = T->succ(0);
+      if (Succ == BB || Succ == F.entry())
+        continue;
+      if (Preds[Succ].size() != 1)
+        continue;
+      // Phis in Succ have exactly one incoming; fold them first.
+      while (!Succ->empty() && Succ->instr(0)->op() == Op::Phi) {
+        Instr *Phi = Succ->instr(0);
+        assert(Phi->numOperands() == 1 && "single-pred block phi arity");
+        opt::replaceAndErase(Phi, Phi->operand(0));
+      }
+      // Remove BB's branch, splice Succ's instructions into BB.
+      T->dropOperands();
+      BB->erase(T);
+      while (!Succ->empty()) {
+        auto I = Succ->detach(0);
+        BB->append(std::move(I));
+      }
+      // Phis in the successors of the merged block must now name BB.
+      for (BasicBlock *S2 : BB->successors()) {
+        for (size_t K = 0; K != S2->size(); ++K) {
+          Instr *Phi = S2->instr(K);
+          if (Phi->op() != Op::Phi)
+            break;
+          for (auto &PB : Phi->phiBlocks())
+            if (PB == Succ)
+              PB = BB;
+        }
+      }
+      F.eraseBlock(Succ);
+      Changed = LocalChange = true;
+      break; // Predecessor map is stale; recompute.
+    }
+  }
+  return Changed;
+}
+
+} // namespace
+
+bool sl::opt::simplifyCfg(Function &F) {
+  bool Changed = false;
+  Changed |= foldConstBranches(F);
+  Changed |= removeUnreachable(F);
+  Changed |= simplifyPhis(F);
+  Changed |= mergeBlocks(F);
+  return Changed;
+}

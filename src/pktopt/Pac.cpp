@@ -1,0 +1,495 @@
+//===- pktopt/Pac.cpp ----------------------------------------------------------==//
+
+#include "pktopt/Pac.h"
+
+#include "ir/Dominators.h"
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+#include <vector>
+
+using namespace sl;
+using namespace sl::pktopt;
+using ir::BasicBlock;
+using ir::Instr;
+using ir::Op;
+using ir::Type;
+using ir::Value;
+using ir::WideSpace;
+
+namespace {
+
+/// Widest combinable access, in 32-bit words (DRAM moves up to 64B per
+/// instruction; SRAM metadata up to 32B).
+unsigned maxWordsFor(WideSpace Space) {
+  return Space == WideSpace::PktData ? 16 : 8;
+}
+
+/// Maximum dead space allowed between two combined accesses (paper: even
+/// accesses separated by 32 or 64 bits benefit from combining).
+constexpr unsigned MaxGapBits = 64;
+
+/// Ops that unconditionally end all open combining groups.
+bool isHardBarrier(Op O) {
+  switch (O) {
+  case Op::PktDecap:
+  case Op::PktEncap:
+  case Op::PktCopy:
+  case Op::PktDrop:
+  case Op::ChannelPut:
+  case Op::Call:
+  case Op::LockAcquire:
+  case Op::LockRelease:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Memory-space class of a packet/meta access op (-1 if not an access).
+int spaceClassOf(const Instr *I) {
+  switch (I->op()) {
+  case Op::PktLoad:
+  case Op::PktStore:
+    return 0;
+  case Op::MetaLoad:
+  case Op::MetaStore:
+    return 1;
+  case Op::PktLoadWide:
+  case Op::PktStoreWide:
+    return I->Space == WideSpace::PktData ? 0 : 1;
+  default:
+    return -1;
+  }
+}
+
+bool isLoadAccess(Op O) {
+  return O == Op::PktLoad || O == Op::MetaLoad || O == Op::PktLoadWide;
+}
+
+/// Bit range touched by an access instruction (within its space).
+std::pair<unsigned, unsigned> bitRangeOf(const Instr *I) {
+  if (I->op() == Op::PktLoadWide || I->op() == Op::PktStoreWide)
+    return {I->ByteOff * 8, I->Words * 32};
+  return {I->BitOff, I->BitWidth};
+}
+
+struct Access {
+  Instr *I;
+  unsigned BitOff;
+  unsigned BitWidth;
+};
+
+struct Group {
+  Value *Handle = nullptr;
+  std::vector<Access> Members;
+  unsigned MinBit = 0, MaxBit = 0;
+  /// Ranges stored to (same handle/space) since the group opened. A later
+  /// load must not join if its bits were redefined — the combined wide
+  /// load executes at the FIRST member\'s position and would read stale
+  /// data.
+  std::vector<std::pair<unsigned, unsigned>> StoresSeen;
+};
+
+/// Builds maximal same-handle groups of accesses of \p AccessOp in \p BB.
+/// Groups close at hard barriers and — per the paper's dependence rules —
+/// at accesses of the opposite kind whose ranges may overlap the group
+/// (precisely when the handle matches, conservatively otherwise).
+std::vector<Group> collectGroups(BasicBlock &BB, Op AccessOp, bool ForLoads,
+                                 unsigned MaxWords, int SpaceClass) {
+  std::vector<Group> Done;
+  std::vector<Group> Open;
+  auto closeGroup = [&](size_t GIdx) {
+    if (Open[GIdx].Members.size() >= 2)
+      Done.push_back(std::move(Open[GIdx]));
+    Open.erase(Open.begin() + static_cast<ptrdiff_t>(GIdx));
+  };
+  auto flushAll = [&] {
+    for (Group &G : Open)
+      if (G.Members.size() >= 2)
+        Done.push_back(std::move(G));
+    Open.clear();
+  };
+
+  for (size_t Idx = 0; Idx != BB.size(); ++Idx) {
+    Instr *I = BB.instr(Idx);
+    if (I->op() == AccessOp) {
+      Value *H = I->operand(0);
+      unsigned Off = I->BitOff, W = I->BitWidth;
+      // Accesses via a different handle may alias this packet at another
+      // offset (handles created by decap/encap earlier in the block);
+      // close foreign-handle groups before grouping this access.
+      for (size_t G = Open.size(); G-- > 0;)
+        if (Open[G].Handle != H)
+          closeGroup(G);
+      bool Placed = false;
+      for (Group &G : Open) {
+        if (G.Handle != H)
+          continue;
+        bool Redefined = false;
+        for (auto [SLo, SW] : G.StoresSeen)
+          Redefined |= (SLo < Off + W && Off < SLo + SW);
+        if (Redefined)
+          continue;
+        unsigned NewMin = std::min(G.MinBit, Off);
+        unsigned NewMax = std::max(G.MaxBit, Off + W);
+        unsigned StartByte = (NewMin / 8) & ~3u;
+        unsigned Span = NewMax - StartByte * 8;
+        if (Span > MaxWords * 32)
+          continue;
+        // Gap rule: do not bridge more than MaxGapBits of dead space.
+        unsigned Gap = 0;
+        if (Off > G.MaxBit)
+          Gap = Off - G.MaxBit;
+        else if (Off + W < G.MinBit)
+          Gap = G.MinBit - (Off + W);
+        if (Gap > MaxGapBits)
+          continue;
+        G.Members.push_back({I, Off, W});
+        G.MinBit = NewMin;
+        G.MaxBit = NewMax;
+        Placed = true;
+        break;
+      }
+      if (!Placed) {
+        Group G;
+        G.Handle = H;
+        G.Members.push_back({I, Off, W});
+        G.MinBit = Off;
+        G.MaxBit = Off + W;
+        Open.push_back(std::move(G));
+      }
+      continue;
+    }
+    if (isHardBarrier(I->op())) {
+      flushAll();
+      continue;
+    }
+    int Cls = spaceClassOf(I);
+    if (Cls != SpaceClass)
+      continue; // Accesses in another space never interfere.
+    bool OtherIsLoad = isLoadAccess(I->op());
+    if (OtherIsLoad == ForLoads)
+      continue; // Loads never conflict with load groups, stores w/ stores.
+    auto [OBit, OWidth] = bitRangeOf(I);
+    for (size_t G = Open.size(); G-- > 0;) {
+      if (Open[G].Handle != I->operand(0)) {
+        // Distinct handles may alias the same packet; be conservative.
+        closeGroup(G);
+        continue;
+      }
+      bool Overlap = false;
+      for (const Access &A : Open[G].Members)
+        Overlap |= (OBit < A.BitOff + A.BitWidth && A.BitOff < OBit + OWidth);
+      if (Overlap) {
+        closeGroup(G);
+        continue;
+      }
+      if (!ForLoads)
+        continue;
+      // A store that misses every current member still poisons those bits
+      // for future members of this load group.
+      Open[G].StoresSeen.push_back({OBit, OWidth});
+    }
+  }
+  flushAll();
+  return Done;
+}
+
+/// Rewrites one group of loads into PktLoadWide + WideExtracts. Members
+/// may live in different blocks; the first member (the leader) dominates
+/// all of them.
+void rewriteLoadGroup(const Group &G, WideSpace Space, PacResult &Stats) {
+  unsigned ByteOff = (G.MinBit / 8) & ~3u;
+  unsigned Words = (G.MaxBit - ByteOff * 8 + 31) / 32;
+  assert(Words >= 1 && "empty group");
+
+  Instr *First = G.Members.front().I;
+  BasicBlock &BB = *First->parent();
+  size_t Pos = BB.indexOf(First);
+  auto *WideLoad = new Instr(Op::PktLoadWide, Type::wideTy(Words));
+  WideLoad->addOperand(G.Handle);
+  WideLoad->ByteOff = ByteOff;
+  WideLoad->Words = Words;
+  WideLoad->Space = Space;
+  WideLoad->StaticHdrOff = First->StaticHdrOff;
+  WideLoad->StaticAlign = First->StaticAlign;
+  WideLoad->Loc = First->Loc;
+  BB.insertAt(Pos, std::unique_ptr<Instr>(WideLoad));
+
+  for (const Access &A : G.Members) {
+    Instr *L = A.I;
+    BasicBlock &LBB = *L->parent();
+    size_t LPos = LBB.indexOf(L);
+    auto *Ext = new Instr(Op::WideExtract, L->type());
+    Ext->addOperand(WideLoad);
+    Ext->BitOff = A.BitOff - ByteOff * 8;
+    Ext->BitWidth = A.BitWidth;
+    Ext->ProtoName = L->ProtoName;
+    Ext->FieldName = L->FieldName;
+    Ext->Loc = L->Loc;
+    LBB.insertAt(LPos, std::unique_ptr<Instr>(Ext));
+    L->replaceAllUsesWith(Ext);
+    L->dropOperands();
+    LBB.erase(L);
+    ++Stats.CombinedLoads;
+  }
+  ++Stats.WideLoads;
+}
+
+/// Rewrites one group of stores into (RMW load +) inserts + wide store.
+void rewriteStoreGroup(BasicBlock &BB, const Group &G, WideSpace Space,
+                       PacResult &Stats) {
+  unsigned ByteOff = (G.MinBit / 8) & ~3u;
+  unsigned Words = (G.MaxBit - ByteOff * 8 + 31) / 32;
+
+  // Coverage: when every bit of the region is written we can skip the
+  // read-modify-write load.
+  std::vector<bool> Covered(Words * 32, false);
+  for (const Access &A : G.Members)
+    for (unsigned B = 0; B != A.BitWidth; ++B)
+      Covered[A.BitOff - ByteOff * 8 + B] = true;
+  bool Full = std::all_of(Covered.begin(), Covered.end(),
+                          [](bool B) { return B; });
+
+  Instr *Last = G.Members.back().I;
+  size_t Pos = BB.indexOf(Last);
+
+  Instr *Base;
+  if (Full) {
+    Base = new Instr(Op::WideZero, Type::wideTy(Words));
+    Base->Words = Words;
+  } else {
+    Base = new Instr(Op::PktLoadWide, Type::wideTy(Words));
+    Base->addOperand(G.Handle);
+    Base->ByteOff = ByteOff;
+    Base->Words = Words;
+    Base->Space = Space;
+    Base->StaticHdrOff = Last->StaticHdrOff;
+    Base->StaticAlign = Last->StaticAlign;
+  }
+  Base->Loc = Last->Loc;
+  BB.insertAt(Pos++, std::unique_ptr<Instr>(Base));
+
+  Value *Cur = Base;
+  for (const Access &A : G.Members) {
+    auto *Ins = new Instr(Op::WideInsert, Type::wideTy(Words));
+    Ins->addOperand(Cur);
+    Ins->addOperand(A.I->operand(1));
+    Ins->BitOff = A.BitOff - ByteOff * 8;
+    Ins->BitWidth = A.BitWidth;
+    Ins->FieldName = A.I->FieldName;
+    Ins->Loc = A.I->Loc;
+    BB.insertAt(Pos++, std::unique_ptr<Instr>(Ins));
+    Cur = Ins;
+  }
+
+  auto *WideStore = new Instr(Op::PktStoreWide, Type::voidTy());
+  WideStore->addOperand(G.Handle);
+  WideStore->addOperand(Cur);
+  WideStore->ByteOff = ByteOff;
+  WideStore->Words = Words;
+  WideStore->Space = Space;
+  WideStore->StaticHdrOff = Last->StaticHdrOff;
+  WideStore->StaticAlign = Last->StaticAlign;
+  WideStore->Loc = Last->Loc;
+  BB.insertAt(Pos, std::unique_ptr<Instr>(WideStore));
+
+  for (const Access &A : G.Members) {
+    A.I->dropOperands();
+    BB.erase(A.I);
+    ++Stats.CombinedStores;
+  }
+  ++Stats.WideStores;
+}
+
+/// Whole-function, dominance-based load combining (the paper's four-step
+/// algorithm of Sec. 5.3.1): candidate loads on the same handle combine
+/// when the leader dominates the member and no conflicting access lies on
+/// any path between them.
+class GlobalLoadCombiner {
+public:
+  GlobalLoadCombiner(ir::Function &F, Op LoadOp, WideSpace Space,
+                     PacResult &Stats)
+      : F(F), LoadOp(LoadOp), Space(Space), Stats(Stats), DT(F),
+        Preds(F.predecessors()) {}
+
+  void run() {
+    int SpaceClass = Space == WideSpace::PktData ? 0 : 1;
+    unsigned MaxWords = maxWordsFor(Space);
+
+    // Collect candidate loads in RPO.
+    std::vector<Instr *> Loads;
+    for (BasicBlock *BB : DT.rpo())
+      for (const auto &I : BB->instrs())
+        if (I->op() == LoadOp)
+          Loads.push_back(I.get());
+
+    std::vector<Group> Groups;
+    for (Instr *L : Loads) {
+      bool Placed = false;
+      for (Group &G : Groups) {
+        if (G.Handle != L->operand(0))
+          continue;
+        unsigned NewMin = std::min(G.MinBit, L->BitOff);
+        unsigned NewMax = std::max(G.MaxBit, L->BitOff + L->BitWidth);
+        unsigned StartByte = (NewMin / 8) & ~3u;
+        if (NewMax - StartByte * 8 > MaxWords * 32)
+          continue;
+        unsigned Gap = 0;
+        if (L->BitOff > G.MaxBit)
+          Gap = L->BitOff - G.MaxBit;
+        else if (L->BitOff + L->BitWidth < G.MinBit)
+          Gap = G.MinBit - (L->BitOff + L->BitWidth);
+        if (Gap > MaxGapBits)
+          continue;
+        Instr *Leader = G.Members.front().I;
+        if (Leader != L && !DT.dominates(Leader, L))
+          continue;
+        if (!pathClean(Leader, L, L->BitOff, L->BitWidth, SpaceClass))
+          continue;
+        G.Members.push_back({L, L->BitOff, L->BitWidth});
+        G.MinBit = NewMin;
+        G.MaxBit = NewMax;
+        Placed = true;
+        break;
+      }
+      if (!Placed) {
+        Group G;
+        G.Handle = L->operand(0);
+        G.Members.push_back({L, L->BitOff, L->BitWidth});
+        G.MinBit = L->BitOff;
+        G.MaxBit = L->BitOff + L->BitWidth;
+        Groups.push_back(std::move(G));
+      }
+    }
+
+    for (const Group &G : Groups)
+      if (G.Members.size() >= 2)
+        rewriteLoadGroup(G, Space, Stats);
+  }
+
+private:
+  /// Does instruction \p I invalidate an early read of \p Handle bits
+  /// [BitOff, BitOff+W)?
+  bool conflicts(const Instr *I, const ir::Value *Handle, unsigned BitOff,
+                 unsigned W, int SpaceClass) const {
+    if (isHardBarrier(I->op()))
+      return true;
+    if (spaceClassOf(I) != SpaceClass)
+      return false;
+    if (isLoadAccess(I->op()))
+      return false;
+    if (I->operand(0) != Handle)
+      return true; // Possible alias at another offset: conservative.
+    auto [SLo, SW] = bitRangeOf(I);
+    return SLo < BitOff + W && BitOff < SLo + SW;
+  }
+
+  /// No conflicting access on any path from \p A (exclusive) to \p B
+  /// (exclusive) for the member bits.
+  bool pathClean(Instr *A, Instr *B, unsigned BitOff, unsigned W,
+                 int SpaceClass) {
+    const ir::Value *Handle = A->operand(0);
+    BasicBlock *D = A->parent();
+    BasicBlock *E = B->parent();
+    if (D == E) {
+      size_t From = D->indexOf(A) + 1;
+      size_t To = D->indexOf(B);
+      for (size_t K = From; K < To; ++K)
+        if (conflicts(D->instr(K), Handle, BitOff, W, SpaceClass))
+          return false;
+      return true;
+    }
+    // Blocks on some D->E path: reachable from D and reaching E.
+    std::set<BasicBlock *> Fwd;
+    std::vector<BasicBlock *> Work{D};
+    Fwd.insert(D);
+    while (!Work.empty()) {
+      BasicBlock *X = Work.back();
+      Work.pop_back();
+      for (BasicBlock *S : X->successors())
+        if (Fwd.insert(S).second)
+          Work.push_back(S);
+    }
+    std::set<BasicBlock *> Bwd;
+    Work.push_back(E);
+    Bwd.insert(E);
+    while (!Work.empty()) {
+      BasicBlock *X = Work.back();
+      Work.pop_back();
+      auto It = Preds.find(X);
+      if (It == Preds.end())
+        continue;
+      for (BasicBlock *Pd : It->second)
+        if (Bwd.insert(Pd).second)
+          Work.push_back(Pd);
+    }
+    for (BasicBlock *X : Fwd) {
+      if (!Bwd.count(X))
+        continue;
+      size_t From = 0, To = X->size();
+      if (X == D)
+        From = X->indexOf(A) + 1;
+      if (X == E)
+        To = X->indexOf(B);
+      if (X == D && X != E)
+        To = X->size();
+      for (size_t K = From; K < To; ++K)
+        if (conflicts(X->instr(K), Handle, BitOff, W, SpaceClass))
+          return false;
+    }
+    return true;
+  }
+
+  ir::Function &F;
+  Op LoadOp;
+  WideSpace Space;
+  PacResult &Stats;
+  ir::DomTree DT;
+  std::map<BasicBlock *, std::vector<BasicBlock *>> Preds;
+};
+
+void runStoresOnBlock(BasicBlock &BB, Op LoadOp, Op StoreOp,
+                      WideSpace Space, PacResult &Stats) {
+  unsigned MaxWords = maxWordsFor(Space);
+  int SpaceClass = Space == WideSpace::PktData ? 0 : 1;
+  (void)LoadOp;
+  for (const Group &G : collectGroups(BB, StoreOp, /*ForLoads=*/false,
+                                      MaxWords, SpaceClass))
+    rewriteStoreGroup(BB, G, Space, Stats);
+}
+
+} // namespace
+
+PacResult sl::pktopt::runPac(ir::Function &F) {
+  PacResult Stats;
+  if (F.numBlocks() == 0)
+    return Stats;
+  // Loads combine across blocks under dominance; stores stay block-local
+  // (a combined store must not move across paths that bypass a member).
+  GlobalLoadCombiner(F, Op::PktLoad, WideSpace::PktData, Stats).run();
+  GlobalLoadCombiner(F, Op::MetaLoad, WideSpace::Meta, Stats).run();
+  for (const auto &BB : F.blocks()) {
+    runStoresOnBlock(*BB, Op::PktLoad, Op::PktStore, WideSpace::PktData,
+                     Stats);
+    runStoresOnBlock(*BB, Op::MetaLoad, Op::MetaStore, WideSpace::Meta,
+                     Stats);
+  }
+  return Stats;
+}
+
+PacResult sl::pktopt::runPac(ir::Module &M) {
+  PacResult Total;
+  for (const auto &F : M.functions()) {
+    PacResult R = runPac(*F);
+    Total.CombinedLoads += R.CombinedLoads;
+    Total.CombinedStores += R.CombinedStores;
+    Total.WideLoads += R.WideLoads;
+    Total.WideStores += R.WideStores;
+  }
+  return Total;
+}

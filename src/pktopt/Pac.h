@@ -1,0 +1,36 @@
+//===- pktopt/Pac.h - packet access combining --------------------------------==//
+//
+// Paper Sec. 5.3.1: combines multiple protocol-field (DRAM) and metadata
+// (SRAM) accesses into single wide accesses. Candidates must use the same
+// packet handle, fall within the width one memory instruction can move,
+// satisfy dominance, and have no intervening conflicting access. Combined
+// loads become PktLoadWide + WideExtract; combined stores become
+// (optional RMW PktLoadWide) + WideInsert chain + PktStoreWide.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SL_PKTOPT_PAC_H
+#define SL_PKTOPT_PAC_H
+
+#include "ir/Module.h"
+
+namespace sl::pktopt {
+
+struct PacResult {
+  unsigned CombinedLoads = 0;  ///< Original loads folded into wide loads.
+  unsigned CombinedStores = 0; ///< Original stores folded into wide stores.
+  unsigned WideLoads = 0;
+  unsigned WideStores = 0;
+};
+
+/// Runs PAC over one function. Combining is performed within basic blocks
+/// (after -O2 inlining the hot paths are long extended blocks, which is
+/// where the paper's combining opportunities live).
+PacResult runPac(ir::Function &F);
+
+/// Runs PAC over every function of \p M.
+PacResult runPac(ir::Module &M);
+
+} // namespace sl::pktopt
+
+#endif // SL_PKTOPT_PAC_H

@@ -1,0 +1,140 @@
+//===- pktopt/Phr.cpp ----------------------------------------------------------==//
+
+#include "pktopt/Phr.h"
+
+#include "support/Casting.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+using namespace sl;
+using namespace sl::pktopt;
+using ir::BasicBlock;
+using ir::Function;
+using ir::Instr;
+using ir::Op;
+using ir::Type;
+
+namespace {
+
+struct RangeKey {
+  unsigned BitOff;
+  unsigned BitWidth;
+  bool operator<(const RangeKey &O) const {
+    return BitOff != O.BitOff ? BitOff < O.BitOff : BitWidth < O.BitWidth;
+  }
+};
+
+struct RangeUse {
+  std::set<Function *> Funcs;
+  std::vector<Instr *> Accesses;
+  bool ExactOnly = true; ///< All accesses have identical (off, width).
+};
+
+} // namespace
+
+unsigned sl::pktopt::localizeMetadata(ir::Module &M) {
+  // Gather all metadata accesses, grouped by exact bit range; any wide
+  // (already PAC-combined) metadata access disables localization for the
+  // bits it covers.
+  std::map<RangeKey, RangeUse> Uses;
+  std::vector<std::pair<unsigned, unsigned>> WideRanges;
+  std::set<Function *> FuncsWithCopy;
+
+  for (const auto &F : M.functions()) {
+    for (const auto &BB : F->blocks()) {
+      for (const auto &I : BB->instrs()) {
+        if (I->op() == Op::MetaLoad || I->op() == Op::MetaStore) {
+          RangeKey K{I->BitOff, I->BitWidth};
+          RangeUse &U = Uses[K];
+          U.Funcs.insert(F.get());
+          U.Accesses.push_back(I.get());
+        } else if ((I->op() == Op::PktLoadWide ||
+                    I->op() == Op::PktStoreWide) &&
+                   I->Space == ir::WideSpace::Meta) {
+          WideRanges.push_back({I->ByteOff * 8, I->Words * 32});
+        } else if (I->op() == Op::PktCopy) {
+          FuncsWithCopy.insert(F.get());
+        }
+      }
+    }
+  }
+
+  // Overlapping distinct ranges also disqualify each other.
+  auto overlaps = [](unsigned ALo, unsigned AW, unsigned BLo, unsigned BW) {
+    return ALo < BLo + BW && BLo < ALo + AW;
+  };
+
+  unsigned Localized = 0;
+  for (auto &[Key, Use] : Uses) {
+    if (Use.Funcs.size() != 1)
+      continue;
+    Function *F = *Use.Funcs.begin();
+    if (FuncsWithCopy.count(F))
+      continue; // Two live packets could alias one shadow local.
+    if (M.isExternMeta(Key.BitOff, Key.BitWidth))
+      continue;
+    bool Clash = false;
+    for (const auto &[WLo, WW] : WideRanges)
+      Clash |= overlaps(Key.BitOff, Key.BitWidth, WLo, WW);
+    for (const auto &[OtherKey, OtherUse] : Uses)
+      if (!(OtherKey.BitOff == Key.BitOff &&
+            OtherKey.BitWidth == Key.BitWidth))
+        Clash |= overlaps(Key.BitOff, Key.BitWidth, OtherKey.BitOff,
+                          OtherKey.BitWidth);
+    if (Clash)
+      continue;
+
+    // All accesses must share one storage type (they do by construction —
+    // same field, same lowering — but verify before rewriting).
+    Instr *FirstAcc = Use.Accesses.front();
+    Type StoreTy = FirstAcc->op() == Op::MetaLoad
+                       ? FirstAcc->type()
+                       : FirstAcc->operand(1)->type();
+    bool TypesAgree = true;
+    for (Instr *A : Use.Accesses) {
+      Type T = A->op() == Op::MetaLoad ? A->type() : A->operand(1)->type();
+      TypesAgree &= (T == StoreTy);
+    }
+    if (!TypesAgree)
+      continue;
+
+    // Shadow local, zero-initialized like the metadata block itself.
+    BasicBlock *Entry = F->entry();
+    auto *Slot = new Instr(Op::Alloca, Type::intTy(32));
+    Slot->AllocTy = StoreTy;
+    Slot->setName("meta." + FirstAcc->FieldName);
+    Entry->insertAt(0, std::unique_ptr<Instr>(Slot));
+    auto *Init = new Instr(Op::Store, Type::voidTy());
+    Init->addOperand(Slot);
+    Init->addOperand(F->constInt(StoreTy, 0));
+    Entry->insertAt(1, std::unique_ptr<Instr>(Init));
+
+    for (Instr *A : Use.Accesses) {
+      BasicBlock *BB = A->parent();
+      size_t Pos = BB->indexOf(A);
+      if (A->op() == Op::MetaLoad) {
+        auto *L = new Instr(Op::Load, StoreTy);
+        L->addOperand(Slot);
+        L->FieldName = A->FieldName;
+        L->MetaLocalized = true;
+        BB->insertAt(Pos, std::unique_ptr<Instr>(L));
+        A->replaceAllUsesWith(L);
+        A->dropOperands();
+        BB->erase(A);
+      } else {
+        auto *S = new Instr(Op::Store, Type::voidTy());
+        S->addOperand(Slot);
+        S->addOperand(A->operand(1));
+        S->FieldName = A->FieldName;
+        S->MetaLocalized = true;
+        BB->insertAt(Pos, std::unique_ptr<Instr>(S));
+        A->dropOperands();
+        BB->erase(A);
+      }
+    }
+    ++Localized;
+  }
+  return Localized;
+}

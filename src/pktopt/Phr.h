@@ -1,0 +1,34 @@
+//===- pktopt/Phr.h - packet handling removal ---------------------------------==//
+//
+// Paper Sec. 5.3.3. PHR has two halves in this implementation:
+//
+//  1. Metadata localization (here): a metadata field accessed by exactly
+//     one function (aggregate), and not visible to Rx/Tx, never needs its
+//     SRAM backing — accesses become ordinary locals and are promoted to
+//     registers by mem2reg.
+//
+//  2. head_ptr maintenance removal (in code generation): when PHR is
+//     enabled the generated dispatch keeps buf_addr/head_ptr in registers
+//     for the lifetime of a packet inside an aggregate and only
+//     synchronizes the SRAM metadata at channel boundaries; paired and
+//     statically resolved (SOAR) encap/decap sites then emit no memory
+//     traffic at all. Without PHR every primitive does its own SRAM
+//     read/modify/write, which is the paper's BASE behaviour.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SL_PKTOPT_PHR_H
+#define SL_PKTOPT_PHR_H
+
+#include "ir/Module.h"
+
+namespace sl::pktopt {
+
+/// Rewrites single-function, non-external metadata fields into stack
+/// locals (run mem2reg afterwards to finish the job). Returns the number
+/// of fields localized.
+unsigned localizeMetadata(ir::Module &M);
+
+} // namespace sl::pktopt
+
+#endif // SL_PKTOPT_PHR_H

@@ -1,0 +1,278 @@
+//===- pktopt/Soar.cpp ---------------------------------------------------------==//
+
+#include "pktopt/Soar.h"
+
+#include "support/BitUtils.h"
+#include "support/Casting.h"
+
+#include <cassert>
+#include <climits>
+
+using namespace sl;
+using namespace sl::pktopt;
+using ir::Op;
+
+namespace {
+
+constexpr int64_t UnknownOff = ir::Instr::UnknownOff;
+
+bool isConst(const HandleFact &F) { return F.Off >= 0 || F.Off <= -3; }
+// Encoding: Off == -2 top, -1 bottom, anything else is the constant value.
+// Negative constants (encap before the Rx header) are encoded shifted:
+// we store value v as v if v >= 0, else v - 2 (so -1 -> -3, -2 -> -4 ...).
+
+int64_t encodeOff(int64_t V) { return V >= 0 ? V : V - 2; }
+int64_t decodeOff(int64_t E) { return E >= 0 ? E : E + 2; }
+
+HandleFact meet(const HandleFact &A, const HandleFact &B) {
+  HandleFact R;
+  if (A.Off == -2)
+    R.Off = B.Off;
+  else if (B.Off == -2)
+    R.Off = A.Off;
+  else if (A.Off == B.Off)
+    R.Off = A.Off;
+  else
+    R.Off = -1;
+
+  if (A.Align == 0)
+    R.Align = B.Align;
+  else if (B.Align == 0)
+    R.Align = A.Align;
+  else
+    R.Align = std::min(A.Align, B.Align);
+  return R;
+}
+
+bool factEq(const HandleFact &A, const HandleFact &B) {
+  return A.Off == B.Off && A.Align == B.Align;
+}
+
+/// Guaranteed power-of-two alignment (bytes) of a dynamic i32 size value.
+/// `x << 2` (the ipv4 header-length idiom) is 4-byte aligned, etc.
+unsigned alignOfSize(const ir::Value *V) {
+  if (const auto *C = dyn_cast<ir::ConstInt>(V))
+    return static_cast<unsigned>(alignmentOf(C->value(), 8));
+  if (const auto *I = dyn_cast<ir::Instr>(V)) {
+    if (I->op() == Op::Shl) {
+      if (const auto *Sh = dyn_cast<ir::ConstInt>(I->operand(1))) {
+        uint64_t K = Sh->value();
+        if (K >= 3)
+          return 8;
+        return 1u << K;
+      }
+    }
+    if (I->op() == Op::Mul) {
+      if (const auto *C = dyn_cast<ir::ConstInt>(I->operand(1)))
+        return static_cast<unsigned>(alignmentOf(C->value(), 8));
+    }
+  }
+  return 1;
+}
+
+class SoarAnalysis {
+public:
+  explicit SoarAnalysis(ir::Module &M) : M(M) {}
+
+  SoarResult run();
+
+private:
+  HandleFact factOf(const ir::Value *V) {
+    auto It = R.Facts.find(V);
+    return It == R.Facts.end() ? HandleFact::top() : It->second;
+  }
+  bool update(const ir::Value *V, const HandleFact &New) {
+    HandleFact Old = factOf(V);
+    HandleFact Met = meet(Old, New);
+    if (factEq(Old, Met))
+      return false;
+    R.Facts[V] = Met;
+    return true;
+  }
+
+  bool transferFunction(ir::Function &F);
+  void annotate();
+
+  ir::Module &M;
+  SoarResult R;
+};
+
+bool SoarAnalysis::transferFunction(ir::Function &F) {
+  bool Changed = false;
+
+  // Seed argument facts.
+  for (unsigned A = 0; A != F.numArgs(); ++A) {
+    ir::Argument *Arg = F.arg(A);
+    if (!Arg->type().isPacket())
+      continue;
+    HandleFact In = HandleFact::top();
+    if (&F == M.EntryPpf && A == 0)
+      In = meet(In, HandleFact::entry());
+    for (const ir::Channel &C : M.Channels)
+      if (C.Dest == &F) {
+        auto It = R.ChannelIn.find(C.Id);
+        if (It != R.ChannelIn.end())
+          In = meet(In, It->second);
+      }
+    // Helper-function call sites feed packet parameters too.
+    for (const auto &Other : M.functions())
+      for (const auto &BB : Other->blocks())
+        for (const auto &I : BB->instrs())
+          if (I->op() == Op::Call && I->Callee == &F)
+            In = meet(In, factOf(I->operand(A)));
+    Changed |= update(Arg, In);
+  }
+
+  for (const auto &BB : F.blocks()) {
+    for (const auto &I : BB->instrs()) {
+      switch (I->op()) {
+      case Op::PktDecap: {
+        HandleFact In = factOf(I->operand(0));
+        HandleFact Out;
+        const auto *Size = dyn_cast<ir::ConstInt>(I->operand(1));
+        if (In.Off == -2) {
+          Out.Off = -2; // Not yet reached.
+        } else if (isConst(In) && Size) {
+          Out.Off = encodeOff(decodeOff(In.Off) +
+                              static_cast<int64_t>(Size->value()));
+        } else {
+          Out.Off = -1;
+        }
+        unsigned SizeAlign =
+            Size ? static_cast<unsigned>(alignmentOf(Size->value(), 8))
+                 : alignOfSize(I->operand(1));
+        Out.Align = In.Align == 0 ? 0 : std::min(In.Align, SizeAlign);
+        Changed |= update(I.get(), Out);
+        break;
+      }
+      case Op::PktEncap: {
+        HandleFact In = factOf(I->operand(0));
+        HandleFact Out;
+        if (In.Off == -2)
+          Out.Off = -2;
+        else if (isConst(In))
+          Out.Off = encodeOff(decodeOff(In.Off) -
+                              static_cast<int64_t>(I->SizeBytes));
+        else
+          Out.Off = -1;
+        unsigned SizeAlign = static_cast<unsigned>(
+            alignmentOf(I->SizeBytes, 8));
+        Out.Align = In.Align == 0 ? 0 : std::min(In.Align, SizeAlign);
+        Changed |= update(I.get(), Out);
+        break;
+      }
+      case Op::PktCopy:
+        Changed |= update(I.get(), factOf(I->operand(0)));
+        break;
+      case Op::Phi:
+        if (I->type().isPacket()) {
+          HandleFact Acc = HandleFact::top();
+          for (unsigned K = 0; K != I->numOperands(); ++K)
+            Acc = meet(Acc, factOf(I->operand(K)));
+          Changed |= update(I.get(), Acc);
+        }
+        break;
+      case Op::Select:
+        if (I->type().isPacket()) {
+          HandleFact Acc =
+              meet(factOf(I->operand(1)), factOf(I->operand(2)));
+          Changed |= update(I.get(), Acc);
+        }
+        break;
+      case Op::ChannelPut: {
+        HandleFact In = factOf(I->operand(0));
+        auto It = R.ChannelIn.find(I->ChanId);
+        HandleFact Old =
+            It == R.ChannelIn.end() ? HandleFact::top() : It->second;
+        HandleFact Met = meet(Old, In);
+        if (!factEq(Old, Met)) {
+          R.ChannelIn[I->ChanId] = Met;
+          Changed = true;
+        }
+        break;
+      }
+      case Op::Load:
+        // Unpromoted packet locals (BASE builds): handle flows through a
+        // stack slot; treat the loaded value as unknown-offset.
+        if (I->type().isPacket())
+          Changed |= update(I.get(), HandleFact{-1, 1});
+        break;
+      default:
+        break;
+      }
+    }
+  }
+  return Changed;
+}
+
+void SoarAnalysis::annotate() {
+  for (const auto &F : M.functions()) {
+    for (const auto &BB : F->blocks()) {
+      for (const auto &I : BB->instrs()) {
+        switch (I->op()) {
+        case Op::PktLoad:
+        case Op::PktStore:
+        case Op::PktLoadWide:
+        case Op::PktStoreWide: {
+          if (I->op() != Op::PktLoad && I->op() != Op::PktStore &&
+              I->Space != ir::WideSpace::PktData)
+            break; // Metadata block accesses have absolute offsets already.
+          HandleFact In = factOf(I->operand(0));
+          ++R.TotalAccesses;
+          if (isConst(In)) {
+            I->StaticHdrOff = decodeOff(In.Off);
+            ++R.ResolvedAccesses;
+          } else {
+            I->StaticHdrOff = UnknownOff;
+          }
+          I->StaticAlign = In.Align;
+          break;
+        }
+        case Op::PktDecap:
+        case Op::PktEncap: {
+          HandleFact In = factOf(I->operand(0));
+          HandleFact Out = factOf(I.get());
+          I->StaticInOff = isConst(In) ? decodeOff(In.Off) : UnknownOff;
+          I->StaticHdrOff = isConst(Out) ? decodeOff(Out.Off) : UnknownOff;
+          I->StaticAlign = Out.Align;
+          break;
+        }
+        case Op::ChannelPut:
+        case Op::PktDrop:
+        case Op::PktCopy:
+        case Op::PktLength: {
+          // Code generation wants the handle's offset at boundary sites
+          // (head_ptr materialization before rings, copies, length).
+          HandleFact In = factOf(I->operand(0));
+          I->StaticHdrOff = isConst(In) ? decodeOff(In.Off) : UnknownOff;
+          I->StaticAlign = In.Align;
+          break;
+        }
+        default:
+          break;
+        }
+      }
+    }
+  }
+}
+
+SoarResult SoarAnalysis::run() {
+  // Monotone descent: iterate to fixpoint (bounded by lattice height x
+  // number of handle values; the cap is a safety net).
+  for (unsigned Round = 0; Round != 64; ++Round) {
+    bool Changed = false;
+    for (const auto &F : M.functions())
+      Changed |= transferFunction(*F);
+    if (!Changed)
+      break;
+  }
+  annotate();
+  return std::move(R);
+}
+
+} // namespace
+
+SoarResult sl::pktopt::runSoar(ir::Module &M) {
+  SoarAnalysis A(M);
+  return A.run();
+}

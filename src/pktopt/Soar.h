@@ -1,0 +1,53 @@
+//===- pktopt/Soar.h - static offset and alignment resolution ---------------==//
+//
+// Paper Sec. 5.3.2: a whole-program dataflow analysis over packet handles
+// that determines, per packet access / encapsulation site, the byte offset
+// of the current header relative to the start of packet data (the initial
+// head_ptr) and its guaranteed alignment. The offset lattice is
+// top / constant-n / bottom (Fig. 10); the alignment lattice is
+// top / {8,4,2,1} / bottom with MIN_ALIGNMENT as the meet (Fig. 11).
+//
+// Handles flow through PPF arguments (fed by Rx or channels), decap/encap,
+// copies, phis, calls, and channel_put sites; the analysis iterates across
+// functions until the per-channel meets stabilize.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SL_PKTOPT_SOAR_H
+#define SL_PKTOPT_SOAR_H
+
+#include "ir/Module.h"
+
+#include <cstdint>
+#include <map>
+
+namespace sl::pktopt {
+
+/// Lattice element for the offset/alignment pair of one handle value.
+struct HandleFact {
+  // Offset: -2 = top (unvisited), -1 = bottom (unknown), >=0 constant.
+  int64_t Off = -2;
+  // Alignment (bytes): 0 = top, 1 = bottom-ish (no guarantee beyond byte),
+  // {2,4,8} = known power-of-two alignment. Meet is min.
+  unsigned Align = 0;
+
+  static HandleFact top() { return HandleFact{-2, 0}; }
+  static HandleFact entry() { return HandleFact{0, 8}; } // Rx: quadword.
+  bool isTop() const { return Off == -2 && Align == 0; }
+};
+
+/// Results indexed by SSA value (handles) and the per-channel meets.
+struct SoarResult {
+  std::map<const ir::Value *, HandleFact> Facts;
+  std::map<unsigned, HandleFact> ChannelIn; ///< What each channel carries.
+  unsigned ResolvedAccesses = 0;            ///< Accesses with const offset.
+  unsigned TotalAccesses = 0;
+};
+
+/// Runs the analysis and annotates packet-access instructions
+/// (StaticHdrOff / StaticInOff / StaticAlign).
+SoarResult runSoar(ir::Module &M);
+
+} // namespace sl::pktopt
+
+#endif // SL_PKTOPT_SOAR_H

@@ -1,0 +1,87 @@
+//===- pktopt/Swc.cpp ----------------------------------------------------------==//
+
+#include "pktopt/Swc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+using namespace sl;
+using namespace sl::pktopt;
+
+SwcResult sl::pktopt::runSwc(ir::Module &M, const profile::ProfileData &Prof,
+                             const SwcParams &P) {
+  SwcResult R;
+  if (Prof.Packets == 0)
+    return R;
+
+  struct Candidate {
+    ir::Global *G;
+    double LoadRate;
+    double StoreRate;
+    double HitRate;
+  };
+  std::vector<Candidate> Cands;
+
+  // Structural safety: a global written by the packet-processing code
+  // itself can never be delayed-update cached — the writing ME's own
+  // cache would go stale against its just-written home location. Only
+  // tables maintained from the control plane qualify (paper Sec. 5.2:
+  // "frequently read by the packet processing cores, but infrequently
+  // written by maintenance, control or initialization code").
+  std::set<const ir::Global *> StoredByDataPlane;
+  for (const auto &F : M.functions())
+    for (const auto &BB : F->blocks())
+      for (const auto &I : BB->instrs())
+        if (I->op() == ir::Op::GStore)
+          StoredByDataPlane.insert(I->GlobalRef);
+
+  for (const auto &GPtr : M.globals()) {
+    ir::Global *G = GPtr.get();
+    if (StoredByDataPlane.count(G))
+      continue;
+    auto It = Prof.Globals.find(G);
+    if (It == Prof.Globals.end())
+      continue;
+    const profile::GlobalStats &S = It->second;
+    double LoadRate = double(S.Loads) / double(Prof.Packets);
+    double StoreRate = double(S.Stores) / double(Prof.Packets);
+    if (LoadRate < P.MinLoadsPerPacket)
+      continue;
+    if (StoreRate > P.MaxStoresPerPacket)
+      continue;
+    if (S.EstHitRate < P.MinHitRate)
+      continue;
+    Cands.push_back({G, LoadRate, StoreRate, S.EstHitRate});
+  }
+
+  // Hottest first; ties broken toward smaller tables (cheaper to cache).
+  std::sort(Cands.begin(), Cands.end(), [](const Candidate &A,
+                                           const Candidate &B) {
+    if (A.LoadRate != B.LoadRate)
+      return A.LoadRate > B.LoadRate;
+    return A.G->sizeBytes() < B.G->sizeBytes();
+  });
+  if (Cands.size() > P.MaxCachedGlobals)
+    Cands.resize(P.MaxCachedGlobals);
+
+  for (const Candidate &C : Cands) {
+    C.G->Cached = true;
+    // Equation 2. A zero observed store rate still gets a finite (maximal)
+    // interval: the control plane may write at runtime even if the trace
+    // never did.
+    double StoreRate = std::max(C.StoreRate, P.ControlPlaneStoreRate);
+    double LoadCheckRate = StoreRate * C.LoadRate / P.ErrorRate;
+    unsigned Interval;
+    if (LoadCheckRate <= 0.0) {
+      Interval = P.MaxCheckInterval;
+    } else {
+      double Raw = 1.0 / LoadCheckRate;
+      Interval = static_cast<unsigned>(
+          std::clamp(Raw, 1.0, double(P.MaxCheckInterval)));
+    }
+    C.G->CacheCheckInterval = Interval;
+    R.Cached.push_back(C.G);
+  }
+  return R;
+}

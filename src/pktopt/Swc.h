@@ -1,0 +1,52 @@
+//===- pktopt/Swc.h - delayed-update software-controlled caching --------------==//
+//
+// Paper Sec. 5.2: picks read-mostly, high-hit-rate global tables from the
+// Functional Profiler's statistics and marks them for software caching.
+// The generated code (cg) then caches elements in Local Memory with the
+// 16-entry CAM as the tag store, and checks the home location only every
+// i-th packet. The check interval follows Equation 2:
+//
+//     r_load_check = r_store * r_load / r_error
+//
+// where all rates are per packet and r_error is the user's tolerated
+// packet-delivery error rate (network protocols tolerate delivery errors;
+// TCP retransmits, QoS and firewalls drop by design).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SL_PKTOPT_SWC_H
+#define SL_PKTOPT_SWC_H
+
+#include "ir/Module.h"
+#include "profile/Profiler.h"
+
+#include <vector>
+
+namespace sl::pktopt {
+
+struct SwcParams {
+  double MinLoadsPerPacket = 0.5; ///< Must be hot on the fast path.
+  double MaxStoresPerPacket = 0.05; ///< Read-mostly requirement.
+  double MinHitRate = 0.6;        ///< Estimated CAM-LRU hit rate.
+  unsigned MaxCachedGlobals = 2;  ///< CAM entries are shared per ME.
+  double ErrorRate = 1e-3;        ///< Tolerated delivery error per packet.
+  /// Expected control-plane store rate (per packet) used for Equation 2
+  /// when the profiling trace contains no stores; route updates etc.
+  /// arrive outside the data plane, so this is a user estimate just like
+  /// the error budget.
+  double ControlPlaneStoreRate = 0.0;
+  unsigned MaxCheckInterval = 4096;
+};
+
+struct SwcResult {
+  std::vector<ir::Global *> Cached;
+};
+
+/// Selects cache candidates and annotates them (Global::Cached /
+/// Global::CacheCheckInterval).
+SwcResult runSwc(ir::Module &M, const profile::ProfileData &Prof,
+                 const SwcParams &P = SwcParams());
+
+} // namespace sl::pktopt
+
+#endif // SL_PKTOPT_SWC_H

@@ -1,0 +1,99 @@
+//===- profile/Profiler.h - the Functional Profiler -------------------------==//
+//
+// Paper Sec. 4.1: right after lowering, the Functional Profiler interprets
+// the program over a user-supplied packet trace and collects
+//   - relative PPF execution times (instruction and memory-access counts),
+//   - communication-channel utilizations,
+//   - global data structure access frequencies and estimated hit rates.
+// The results drive aggregate formation (Sec. 5.1), Scratch promotion, and
+// software-cache candidate selection (Sec. 5.2).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SL_PROFILE_PROFILER_H
+#define SL_PROFILE_PROFILER_H
+
+#include "interp/Interp.h"
+#include "ir/Module.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace sl::profile {
+
+/// One packet of a profiling trace.
+struct TracePacket {
+  std::vector<uint8_t> Frame;
+  uint16_t Port = 0;
+};
+
+using Trace = std::vector<TracePacket>;
+
+/// Per-function profile counters.
+struct FuncStats {
+  uint64_t Calls = 0;
+  uint64_t Instrs = 0;      ///< IR instructions executed inside the function.
+  uint64_t MemAccesses = 0; ///< Packet/meta/global accesses executed.
+};
+
+/// Per-global profile counters.
+struct GlobalStats {
+  uint64_t Loads = 0;
+  uint64_t Stores = 0;
+  /// Estimated hit rate of a 16-entry LRU cache over accessed elements
+  /// (the IXP CAM has 16 entries). In [0, 1].
+  double EstHitRate = 0.0;
+};
+
+/// Aggregated results over a whole trace.
+struct ProfileData {
+  uint64_t Packets = 0;
+  std::map<const ir::Function *, FuncStats> Funcs;
+  std::map<unsigned, uint64_t> ChannelPuts; ///< Channel id -> puts.
+  std::map<const ir::Global *, GlobalStats> Globals;
+
+  /// Average executed IR instructions per injected packet for \p F.
+  double instrsPerPacket(const ir::Function *F) const {
+    auto It = Funcs.find(F);
+    if (It == Funcs.end() || Packets == 0)
+      return 0.0;
+    return double(It->second.Instrs) / double(Packets);
+  }
+
+  /// Average memory accesses per injected packet for \p F.
+  double memPerPacket(const ir::Function *F) const {
+    auto It = Funcs.find(F);
+    if (It == Funcs.end() || Packets == 0)
+      return 0.0;
+    return double(It->second.MemAccesses) / double(Packets);
+  }
+
+  /// Fraction of packets that traverse \p F.
+  double callFrequency(const ir::Function *F) const {
+    auto It = Funcs.find(F);
+    if (It == Funcs.end() || Packets == 0)
+      return 0.0;
+    return double(It->second.Calls) / double(Packets);
+  }
+};
+
+/// Runs the functional profiler. Use interp() to install table contents
+/// (routes, rules, labels) before calling run().
+class Profiler {
+public:
+  explicit Profiler(ir::Module &M);
+
+  interp::Interpreter &interp() { return I; }
+
+  /// Interprets every trace packet and returns the collected statistics.
+  ProfileData run(const Trace &T);
+
+private:
+  ir::Module &M;
+  interp::Interpreter I;
+};
+
+} // namespace sl::profile
+
+#endif // SL_PROFILE_PROFILER_H

@@ -1,0 +1,90 @@
+//===- rts/MemoryMap.cpp --------------------------------------------------------==//
+
+#include "rts/MemoryMap.h"
+
+#include "support/BitUtils.h"
+
+#include <cassert>
+
+using namespace sl;
+using namespace sl::rts;
+
+MemoryMap sl::rts::buildMemoryMap(const ir::Module &M,
+                                  unsigned NumPktHandles) {
+  MemoryMap Map;
+  Map.UserMetaBits = M.MetaBits;
+
+  // SRAM: globals first (word aligned), then the metadata pool, then the
+  // stack overflow region.
+  uint32_t Sram = 64; // Keep address 0 unused; 0 is the "null handle".
+  for (const auto &G : M.globals()) {
+    if (G->Level == ir::MemLevel::Scratch)
+      continue;
+    Map.GlobalBase[G.get()] = Sram;
+    Sram += static_cast<uint32_t>(G->count() * MemoryMap::elemWords(G.get()) *
+                                  4);
+    Sram = static_cast<uint32_t>(alignTo(Sram, 8));
+  }
+  Map.MetaBlockBytes = 12 + Map.userMetaWords() * 4;
+  Map.MetaPoolBase = Sram;
+  Map.NumPktHandles = NumPktHandles;
+  Sram += NumPktHandles * Map.MetaBlockBytes;
+  Sram = static_cast<uint32_t>(alignTo(Sram, 64));
+  Map.StackSramBase = Sram;
+
+  // Scratch: rings are modeled by index (no byte addressing needed); locks
+  // and cache version words do use scratch addresses.
+  unsigned MaxChan = 0;
+  for (const ir::Channel &C : M.Channels)
+    MaxChan = std::max(MaxChan, C.Id);
+  Map.NumRings = 2 + MaxChan; // rx, tx, channels 1..MaxChan.
+  uint32_t Scratch = 64;
+  Map.LockBase = Scratch;
+  Scratch += std::max(1u, M.NumLocks) * 4;
+  Map.VersionBase = Scratch;
+
+  // DRAM buffers.
+  Map.BufBase = 0;
+
+  // SWC cache partitions: split the 16 CAM entries evenly among cached
+  // globals; lines live in Local Memory above the stacks.
+  std::vector<const ir::Global *> Cached;
+  for (const auto &G : M.globals())
+    if (G->Cached)
+      Cached.push_back(G.get());
+  if (!Cached.empty()) {
+    unsigned PerGlobal = 16 / static_cast<unsigned>(Cached.size());
+    assert(PerGlobal >= 1 && "too many cached globals for the CAM");
+    unsigned CamNext = 0;
+    unsigned LmNext = Map.LmCacheBase;
+    for (const ir::Global *G : Cached) {
+      CacheCfg C;
+      C.G = G;
+      C.CamBase = CamNext;
+      C.CamEntries = PerGlobal;
+      C.LineWords = MemoryMap::elemWords(G);
+      C.LmBase = LmNext;
+      C.VersionAddr = Map.VersionBase +
+                      static_cast<uint32_t>(Map.Caches.size()) * 4;
+      C.CheckInterval = std::max(1u, G->CacheCheckInterval);
+      CamNext += PerGlobal;
+      LmNext += PerGlobal * C.LineWords;
+      assert(LmNext <= 640 && "Local Memory cache overflow");
+      Map.Caches.push_back(C);
+    }
+  }
+
+  // Scratch-promoted globals live after the version words.
+  uint32_t ScratchTop = Map.VersionBase +
+                        static_cast<uint32_t>(Map.Caches.size() + 1) * 4;
+  ScratchTop = static_cast<uint32_t>(alignTo(ScratchTop, 8));
+  for (const auto &G : M.globals()) {
+    if (G->Level != ir::MemLevel::Scratch)
+      continue;
+    Map.ScratchGlobalBase[G.get()] = ScratchTop;
+    ScratchTop += static_cast<uint32_t>(
+        G->count() * MemoryMap::elemWords(G.get()) * 4);
+    ScratchTop = static_cast<uint32_t>(alignTo(ScratchTop, 8));
+  }
+  return Map;
+}

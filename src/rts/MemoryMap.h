@@ -1,0 +1,103 @@
+//===- rts/MemoryMap.h - runtime layout contract -------------------------------==//
+//
+// The runtime system fixes where everything lives; the code generator bakes
+// these addresses into the ME code and the simulator's devices (Rx/Tx,
+// control plane) honor the same layout.
+//
+// SRAM:    [globals][packet metadata pool][stack overflow area]
+// Scratch: [rings][locks][cache version words]
+// DRAM:    [packet buffers]
+//
+// A packet handle is the SRAM byte address of its metadata block:
+//   word 0: buf_addr  — DRAM byte address of the packet data start
+//   word 1: head_off  — signed byte offset of the current header
+//   word 2: frame_len — bytes from the initial data start to the end
+//   word 3+: user metadata (bit-packed, rx_port first)
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SL_RTS_MEMORYMAP_H
+#define SL_RTS_MEMORYMAP_H
+
+#include "ir/Module.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace sl::rts {
+
+/// Ring indices: Rx delivers fresh handles on ring 0; Tx consumes ring 1;
+/// user channel id c (>= 1) maps to ring 1 + c.
+inline constexpr unsigned RxRing = 0;
+inline constexpr unsigned TxRing = 1;
+inline unsigned ringOfChannel(unsigned ChanId) { return 1 + ChanId; }
+
+/// SWC per-global cache configuration (per ME; every ME gets the same
+/// partitioning).
+struct CacheCfg {
+  const ir::Global *G = nullptr;
+  unsigned CamBase = 0;    ///< First CAM entry of this global's partition.
+  unsigned CamEntries = 0;
+  unsigned LmBase = 0;     ///< Local Memory word where its lines start.
+  unsigned LineWords = 1;  ///< Words per cached element.
+  uint32_t VersionAddr = 0; ///< Scratch address of the version word.
+  unsigned CheckInterval = 0;
+};
+
+struct MemoryMap {
+  // --- SRAM ---------------------------------------------------------------
+  std::map<const ir::Global *, uint32_t> GlobalBase; ///< SRAM byte address.
+  std::map<const ir::Global *, uint32_t> ScratchGlobalBase;
+  uint32_t MetaPoolBase = 0;
+  unsigned MetaBlockBytes = 0; ///< 12 + user metadata words * 4.
+  unsigned NumPktHandles = 0;  ///< Metadata pool entries.
+  uint32_t StackSramBase = 0;  ///< Per-thread SRAM stack overflow region.
+  unsigned StackSramBytesPerThread = 4096;
+
+  // --- Scratch -------------------------------------------------------------
+  unsigned NumRings = 0;
+  uint32_t LockBase = 0;    ///< NumLocks words.
+  uint32_t VersionBase = 0; ///< One word per cached global.
+
+  // --- DRAM ---------------------------------------------------------------
+  uint32_t BufBase = 0;
+  unsigned BufBytes = 2048; ///< Per-packet buffer.
+  unsigned Headroom = 64;   ///< Bytes reserved in front for encap.
+
+  // --- Per-ME Local Memory ------------------------------------------------
+  unsigned LmStackWordsPerThread = 48; ///< Sec. 5.4: 48 words per thread.
+  unsigned LmCacheBase = 384;          ///< 8 threads * 48 words.
+
+  std::vector<CacheCfg> Caches;
+
+  /// Words one element of \p G occupies in SRAM (element-per-word layout,
+  /// so index arithmetic stays cheap on the ME).
+  static unsigned elemWords(const ir::Global *G) {
+    return (G->elemBits() + 31) / 32;
+  }
+
+  unsigned userMetaWords() const { return (UserMetaBits + 31) / 32; }
+  unsigned UserMetaBits = 16;
+
+  /// Metadata word indices.
+  static constexpr unsigned MetaWordBuf = 0;
+  static constexpr unsigned MetaWordHead = 1;
+  static constexpr unsigned MetaWordLen = 2;
+  static constexpr unsigned MetaWordUser = 3;
+
+  const CacheCfg *cacheFor(const ir::Global *G) const {
+    for (const CacheCfg &C : Caches)
+      if (C.G == G)
+        return &C;
+    return nullptr;
+  }
+};
+
+/// Computes the layout for \p M. Cached globals (SWC annotations) get CAM
+/// partitions and Local Memory lines.
+MemoryMap buildMemoryMap(const ir::Module &M, unsigned NumPktHandles = 512);
+
+} // namespace sl::rts
+
+#endif // SL_RTS_MEMORYMAP_H

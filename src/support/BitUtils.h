@@ -1,0 +1,52 @@
+//===- support/BitUtils.h - bit and alignment helpers --------------------===//
+
+#ifndef SL_SUPPORT_BITUTILS_H
+#define SL_SUPPORT_BITUTILS_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace sl {
+
+/// Returns a mask with the low \p Bits bits set. \p Bits may be 0..64.
+inline uint64_t maskLow(unsigned Bits) {
+  assert(Bits <= 64 && "mask wider than 64 bits");
+  if (Bits == 64)
+    return ~uint64_t(0);
+  return (uint64_t(1) << Bits) - 1;
+}
+
+/// Rounds \p Value up to the next multiple of \p Align (a power of two).
+inline uint64_t alignTo(uint64_t Value, uint64_t Align) {
+  assert(Align != 0 && (Align & (Align - 1)) == 0 && "align not a power of 2");
+  return (Value + Align - 1) & ~(Align - 1);
+}
+
+/// Returns true if \p Value is a multiple of \p Align (a power of two).
+inline bool isAligned(uint64_t Value, uint64_t Align) {
+  assert(Align != 0 && (Align & (Align - 1)) == 0 && "align not a power of 2");
+  return (Value & (Align - 1)) == 0;
+}
+
+/// Largest power-of-two alignment dividing \p Value, capped at \p Cap.
+/// alignmentOf(0) returns Cap.
+inline uint64_t alignmentOf(uint64_t Value, uint64_t Cap = 8) {
+  uint64_t A = 1;
+  while (A < Cap && (Value & A) == 0)
+    A <<= 1;
+  if ((Value & (A - 1)) != 0)
+    A = 1;
+  while (A > 1 && (Value % A) != 0)
+    A >>= 1;
+  return A;
+}
+
+/// Ceiling division for unsigned integers.
+inline uint64_t divideCeil(uint64_t Num, uint64_t Den) {
+  assert(Den != 0 && "division by zero");
+  return (Num + Den - 1) / Den;
+}
+
+} // namespace sl
+
+#endif // SL_SUPPORT_BITUTILS_H

@@ -1,0 +1,67 @@
+//===- support/Casting.h - LLVM-style isa/cast/dyn_cast ------------------===//
+//
+// Part of the Shangri-La reproduction. Lightweight, classof-based RTTI in
+// the style of llvm/Support/Casting.h: opt-in per class hierarchy, no
+// v-table requirement beyond what the hierarchy already has.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SL_SUPPORT_CASTING_H
+#define SL_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace sl {
+
+/// Returns true if \p Val is an instance of type \p To. \p Val must be
+/// non-null. \p To must provide `static bool classof(const From *)`.
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+template <typename To, typename From,
+          typename = std::enable_if_t<!std::is_pointer_v<From>>>
+bool isa(const From &Val) {
+  return To::classof(&Val);
+}
+
+/// Checked downcast: asserts that \p Val really is a \p To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+template <typename To, typename From> To &cast(From &Val) {
+  assert(isa<To>(&Val) && "cast<> argument of incompatible type");
+  return static_cast<To &>(Val);
+}
+
+/// Checking downcast: returns null when \p Val is not a \p To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Like dyn_cast<>, but tolerates a null argument (propagates null).
+template <typename To, typename From> To *dyn_cast_or_null(From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+template <typename To, typename From>
+const To *dyn_cast_or_null(const From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+} // namespace sl
+
+#endif // SL_SUPPORT_CASTING_H

@@ -1,0 +1,53 @@
+//===- support/Diagnostics.cpp --------------------------------------------==//
+
+#include "support/Diagnostics.h"
+
+#include "support/StringUtils.h"
+
+#include <cstdarg>
+
+using namespace sl;
+
+void DiagEngine::report(DiagKind Kind, SourceLoc Loc, const char *Fmt,
+                        va_list Args) {
+  Diag D;
+  D.Kind = Kind;
+  D.Loc = Loc;
+  D.Message = formatStringV(Fmt, Args);
+  Diags.push_back(std::move(D));
+  if (Kind == DiagKind::Error)
+    ++NumErrors;
+}
+
+void DiagEngine::error(SourceLoc Loc, const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  report(DiagKind::Error, Loc, Fmt, Args);
+  va_end(Args);
+}
+
+void DiagEngine::warning(SourceLoc Loc, const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  report(DiagKind::Warning, Loc, Fmt, Args);
+  va_end(Args);
+}
+
+void DiagEngine::note(SourceLoc Loc, const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  report(DiagKind::Note, Loc, Fmt, Args);
+  va_end(Args);
+}
+
+std::string DiagEngine::str() const {
+  std::string Out;
+  for (const Diag &D : Diags) {
+    const char *Sev = D.Kind == DiagKind::Error     ? "error"
+                      : D.Kind == DiagKind::Warning ? "warning"
+                                                    : "note";
+    Out += formatString("%u:%u: %s: %s\n", D.Loc.Line, D.Loc.Col, Sev,
+                        D.Message.c_str());
+  }
+  return Out;
+}

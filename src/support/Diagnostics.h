@@ -1,0 +1,66 @@
+//===- support/Diagnostics.h - error collection ---------------------------==//
+//
+// The compiler reports user errors through a DiagEngine rather than
+// exceptions (the libraries are exception-free). Phases check
+// DiagEngine::hasErrors() and bail out early.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SL_SUPPORT_DIAGNOSTICS_H
+#define SL_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace sl {
+
+/// Severity of a diagnostic.
+enum class DiagKind { Error, Warning, Note };
+
+/// One reported diagnostic.
+struct Diag {
+  DiagKind Kind;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Collects diagnostics produced while compiling one program.
+class DiagEngine {
+public:
+  /// Reports an error at \p Loc. printf-style.
+  void error(SourceLoc Loc, const char *Fmt, ...)
+      __attribute__((format(printf, 3, 4)));
+
+  /// Reports a warning at \p Loc. printf-style.
+  void warning(SourceLoc Loc, const char *Fmt, ...)
+      __attribute__((format(printf, 3, 4)));
+
+  /// Reports a note at \p Loc. printf-style.
+  void note(SourceLoc Loc, const char *Fmt, ...)
+      __attribute__((format(printf, 3, 4)));
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diag> &diags() const { return Diags; }
+
+  /// Renders every diagnostic as "line:col: severity: message\n".
+  std::string str() const;
+
+  /// Drops all collected diagnostics.
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+private:
+  void report(DiagKind Kind, SourceLoc Loc, const char *Fmt, va_list Args);
+
+  std::vector<Diag> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace sl
+
+#endif // SL_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,55 @@
+//===- support/Rng.h - deterministic random numbers ----------------------===//
+//
+// Trace generators and property tests need reproducible randomness that is
+// stable across platforms and standard-library versions, so we use an
+// explicit xorshift64* generator instead of <random> engines.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SL_SUPPORT_RNG_H
+#define SL_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace sl {
+
+/// xorshift64* pseudo-random generator with a fixed, documented algorithm.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9E3779B97F4A7C15ull)
+      : State(Seed ? Seed : 0x9E3779B97F4A7C15ull) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    State ^= State >> 12;
+    State ^= State << 25;
+    State ^= State >> 27;
+    return State * 0x2545F4914F6CDD1Dull;
+  }
+
+  /// Uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "empty range");
+    return next() % Bound;
+  }
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  uint64_t nextInRange(uint64_t Lo, uint64_t Hi) {
+    assert(Lo <= Hi && "inverted range");
+    return Lo + nextBelow(Hi - Lo + 1);
+  }
+
+  /// Bernoulli draw: true with probability \p Num / \p Den.
+  bool chance(uint64_t Num, uint64_t Den) {
+    assert(Den != 0 && "zero denominator");
+    return nextBelow(Den) < Num;
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace sl
+
+#endif // SL_SUPPORT_RNG_H

@@ -1,0 +1,27 @@
+//===- support/SourceLoc.h - source positions ----------------------------===//
+
+#ifndef SL_SUPPORT_SOURCELOC_H
+#define SL_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+
+namespace sl {
+
+/// A 1-based (line, column) position in a Baker source buffer. Line 0 means
+/// "unknown location" (compiler-synthesized constructs).
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  SourceLoc() = default;
+  SourceLoc(uint32_t Line, uint32_t Col) : Line(Line), Col(Col) {}
+
+  bool isValid() const { return Line != 0; }
+  bool operator==(const SourceLoc &RHS) const {
+    return Line == RHS.Line && Col == RHS.Col;
+  }
+};
+
+} // namespace sl
+
+#endif // SL_SUPPORT_SOURCELOC_H

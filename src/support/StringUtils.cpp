@@ -1,0 +1,67 @@
+//===- support/StringUtils.cpp --------------------------------------------==//
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cstdio>
+
+using namespace sl;
+
+std::string sl::formatStringV(const char *Fmt, va_list Args) {
+  va_list Copy;
+  va_copy(Copy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Copy);
+  va_end(Copy);
+  if (Needed <= 0)
+    return std::string();
+  std::string Out(static_cast<size_t>(Needed), '\0');
+  std::vsnprintf(Out.data(), Out.size() + 1, Fmt, Args);
+  return Out;
+}
+
+std::string sl::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  std::string Out = formatStringV(Fmt, Args);
+  va_end(Args);
+  return Out;
+}
+
+std::vector<std::string> sl::splitString(const std::string &S, char Sep) {
+  std::vector<std::string> Parts;
+  size_t Start = 0;
+  while (true) {
+    size_t Pos = S.find(Sep, Start);
+    if (Pos == std::string::npos) {
+      Parts.push_back(S.substr(Start));
+      return Parts;
+    }
+    Parts.push_back(S.substr(Start, Pos - Start));
+    Start = Pos + 1;
+  }
+}
+
+std::string sl::trimString(const std::string &S) {
+  size_t Begin = 0, End = S.size();
+  while (Begin < End && std::isspace(static_cast<unsigned char>(S[Begin])))
+    ++Begin;
+  while (End > Begin && std::isspace(static_cast<unsigned char>(S[End - 1])))
+    --End;
+  return S.substr(Begin, End - Begin);
+}
+
+bool sl::startsWith(const std::string &S, const std::string &Prefix) {
+  return S.size() >= Prefix.size() &&
+         S.compare(0, Prefix.size(), Prefix) == 0;
+}
+
+std::string sl::joinStrings(const std::vector<std::string> &Parts,
+                            const std::string &Sep) {
+  std::string Out;
+  for (size_t I = 0; I != Parts.size(); ++I) {
+    if (I != 0)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}

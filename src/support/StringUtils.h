@@ -1,0 +1,39 @@
+//===- support/StringUtils.h - string formatting helpers -----------------===//
+//
+// printf-style formatting into std::string, plus small parsing helpers used
+// across the compiler. The library deliberately avoids <iostream>.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SL_SUPPORT_STRINGUTILS_H
+#define SL_SUPPORT_STRINGUTILS_H
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace sl {
+
+/// printf into a freshly allocated std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// vprintf into a freshly allocated std::string.
+std::string formatStringV(const char *Fmt, va_list Args);
+
+/// Splits \p S at each occurrence of \p Sep; keeps empty pieces.
+std::vector<std::string> splitString(const std::string &S, char Sep);
+
+/// Returns \p S with leading and trailing ASCII whitespace removed.
+std::string trimString(const std::string &S);
+
+/// Returns true if \p S begins with \p Prefix.
+bool startsWith(const std::string &S, const std::string &Prefix);
+
+/// Joins \p Parts with \p Sep between consecutive elements.
+std::string joinStrings(const std::vector<std::string> &Parts,
+                        const std::string &Sep);
+
+} // namespace sl
+
+#endif // SL_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,348 @@
+//===- tests/AppsTest.cpp - the three paper applications ---------------------==//
+
+#include "apps/Apps.h"
+#include "driver/Compiler.h"
+#include "interp/Bits.h"
+#include "interp/Interp.h"
+#include "ir/ASTLower.h"
+
+#include <gtest/gtest.h>
+
+using namespace sl;
+using namespace sl::apps;
+using namespace sl::driver;
+
+namespace {
+
+std::unique_ptr<interp::Interpreter> makeInterp(const AppBundle &App,
+                                                std::unique_ptr<ir::Module> &M,
+                                                baker::CompiledUnit *&UnitOut) {
+  static std::vector<std::unique_ptr<baker::CompiledUnit>> Units;
+  DiagEngine Diags;
+  auto Unit = baker::parseAndAnalyze(App.Source, Diags);
+  EXPECT_NE(Unit, nullptr) << App.Name << ": " << Diags.str();
+  if (!Unit)
+    return nullptr;
+  M = ir::lowerProgram(*Unit, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  UnitOut = Unit.get();
+  Units.push_back(std::move(Unit));
+  auto I = std::make_unique<interp::Interpreter>(*M);
+  for (const TableInit &T : App.Tables)
+    I->writeGlobal(T.Global, T.Index, T.Value);
+  return I;
+}
+
+uint64_t metaOf(const baker::CompiledUnit *Unit,
+                const std::vector<uint8_t> &Meta, const char *Field) {
+  for (const baker::BitField &F : Unit->Sema.MetaFields)
+    if (F.Name == Field)
+      return interp::readBitsBE(Meta.data(), F.BitOff, F.Bits);
+  ADD_FAILURE() << "no metadata field " << Field;
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Functional behaviour (reference interpreter)
+//===----------------------------------------------------------------------===//
+
+TEST(L3Switch, RoutesToNextHop) {
+  AppBundle App = l3switch();
+  std::unique_ptr<ir::Module> M;
+  baker::CompiledUnit *Unit = nullptr;
+  auto I = makeInterp(App, M, Unit);
+
+  // Destination 10.0+37K.x.x hits a /16 leaf with nh = 1 + K%64; K=0.
+  std::vector<uint8_t> F(64, 0);
+  interp::writeBitsBE(F.data(), 0, 48, 0x00AA00000000ull + 2); // port 2 MAC
+  interp::writeBitsBE(F.data(), 96, 16, 0x0800);
+  interp::writeBitsBE(F.data(), 14 * 8 + 0, 4, 4);
+  interp::writeBitsBE(F.data(), 14 * 8 + 4, 4, 5);
+  interp::writeBitsBE(F.data(), 14 * 8 + 64, 8, 33); // ttl
+  interp::writeBitsBE(F.data(), 14 * 8 + 80, 16, 0x1000);
+  interp::writeBitsBE(F.data(), 14 * 8 + 128, 32, 0x0A00'0001u | 0x123);
+
+  interp::RunResult R = I->inject(F, 2);
+  ASSERT_FALSE(R.Error) << R.ErrorMsg;
+  ASSERT_EQ(R.Tx.size(), 1u);
+  // Rewritten ether header: dst is next-hop 1's MAC.
+  EXPECT_EQ(interp::readBitsBE(R.Tx[0].Frame.data(), 0, 48),
+            0x00BB00000000ull + 1);
+  EXPECT_EQ(metaOf(Unit, R.Tx[0].Meta, "tx_port"), 1u & 3u);
+  // TTL decremented.
+  EXPECT_EQ(interp::readBitsBE(R.Tx[0].Frame.data(), 14 * 8 + 64, 8), 32u);
+  EXPECT_EQ(I->readGlobal("drops", 0), 0u);
+}
+
+TEST(L3Switch, BridgesKnownMacAndDropsUnknown) {
+  AppBundle App = l3switch();
+  std::unique_ptr<ir::Module> M;
+  baker::CompiledUnit *Unit = nullptr;
+  auto I = makeInterp(App, M, Unit);
+
+  std::vector<uint8_t> F(64, 0);
+  interp::writeBitsBE(F.data(), 0, 48, 0x00CC00000000ull + 7); // host 7
+  interp::writeBitsBE(F.data(), 96, 16, 0x0800);
+  interp::RunResult R = I->inject(F, 0);
+  ASSERT_FALSE(R.Error) << R.ErrorMsg;
+  ASSERT_EQ(R.Tx.size(), 1u);
+  EXPECT_EQ(metaOf(Unit, R.Tx[0].Meta, "tx_port"), 7u & 3u);
+
+  // Unknown MAC: dropped and counted.
+  std::vector<uint8_t> F2(64, 0);
+  interp::writeBitsBE(F2.data(), 0, 48, 0x00DD000000FFull);
+  interp::writeBitsBE(F2.data(), 96, 16, 0x0800);
+  interp::RunResult R2 = I->inject(F2, 0);
+  EXPECT_TRUE(R2.Tx.empty());
+  EXPECT_EQ(I->readGlobal("drops", 0), 1u);
+}
+
+TEST(L3Switch, ArpGoesToControlPath) {
+  AppBundle App = l3switch();
+  std::unique_ptr<ir::Module> M;
+  baker::CompiledUnit *Unit = nullptr;
+  auto I = makeInterp(App, M, Unit);
+  std::vector<uint8_t> F(64, 0);
+  interp::writeBitsBE(F.data(), 96, 16, 0x0806);
+  interp::RunResult R = I->inject(F, 1);
+  EXPECT_TRUE(R.Tx.empty());
+  EXPECT_EQ(I->readGlobal("arp_count", 0), 1u);
+}
+
+TEST(L3Switch, TtlExpiryDrops) {
+  AppBundle App = l3switch();
+  std::unique_ptr<ir::Module> M;
+  baker::CompiledUnit *Unit = nullptr;
+  auto I = makeInterp(App, M, Unit);
+  std::vector<uint8_t> F(64, 0);
+  interp::writeBitsBE(F.data(), 0, 48, 0x00AA00000000ull);
+  interp::writeBitsBE(F.data(), 96, 16, 0x0800);
+  interp::writeBitsBE(F.data(), 14 * 8 + 0, 4, 4);
+  interp::writeBitsBE(F.data(), 14 * 8 + 4, 4, 5);
+  interp::writeBitsBE(F.data(), 14 * 8 + 64, 8, 1); // ttl = 1
+  interp::writeBitsBE(F.data(), 14 * 8 + 128, 32, 0x0A000001);
+  interp::RunResult R = I->inject(F, 0);
+  EXPECT_TRUE(R.Tx.empty());
+  EXPECT_EQ(I->readGlobal("drops", 0), 1u);
+}
+
+TEST(Firewall, AllowsWebDeniesTelnet) {
+  AppBundle App = firewall();
+  std::unique_ptr<ir::Module> M;
+  baker::CompiledUnit *Unit = nullptr;
+  auto I = makeInterp(App, M, Unit);
+
+  auto mkPkt = [](uint32_t Sa, uint32_t Da, uint16_t Sp, uint16_t Dp,
+                  uint8_t Proto) {
+    std::vector<uint8_t> F(64, 0);
+    interp::writeBitsBE(F.data(), 96, 16, 0x0800);
+    interp::writeBitsBE(F.data(), 14 * 8 + 0, 4, 4);
+    interp::writeBitsBE(F.data(), 14 * 8 + 4, 4, 5);
+    interp::writeBitsBE(F.data(), 14 * 8 + 72, 8, Proto);
+    interp::writeBitsBE(F.data(), 14 * 8 + 96, 32, Sa);
+    interp::writeBitsBE(F.data(), 14 * 8 + 128, 32, Da);
+    interp::writeBitsBE(F.data(), 34 * 8, 16, Sp);
+    interp::writeBitsBE(F.data(), 34 * 8 + 16, 16, Dp);
+    return F;
+  };
+
+  // Web from 10.0/16 to 172.16 -> allowed by the first web rule.
+  auto R1 = I->inject(mkPkt(0x0A000005, 0xAC100001, 5555, 80, 6), 0);
+  ASSERT_EQ(R1.Tx.size(), 1u);
+  EXPECT_EQ(metaOf(Unit, R1.Tx[0].Meta, "flow_id"), 1u);
+  EXPECT_EQ(metaOf(Unit, R1.Tx[0].Meta, "tx_port"), 1u);
+  // The whole ether frame passes through unmodified.
+  EXPECT_EQ(R1.Tx[0].Frame.size(), 64u);
+
+  // Telnet to the blocked service range -> denied.
+  auto R2 = I->inject(mkPkt(0x0A000005, 0xAC100001, 30000, 23, 6), 0);
+  EXPECT_TRUE(R2.Tx.empty());
+  EXPECT_EQ(I->readGlobal("denied", 0), 1u);
+
+  // Noisy subnet -> denied regardless of ports.
+  auto R3 = I->inject(mkPkt(0x0A050001, 0x01020304, 2000, 2000, 6), 1);
+  EXPECT_TRUE(R3.Tx.empty());
+  EXPECT_EQ(I->readGlobal("denied", 0), 2u);
+}
+
+TEST(Firewall, OptionsGoToSlowPath) {
+  AppBundle App = firewall();
+  std::unique_ptr<ir::Module> M;
+  baker::CompiledUnit *Unit = nullptr;
+  auto I = makeInterp(App, M, Unit);
+  std::vector<uint8_t> F(64, 0);
+  interp::writeBitsBE(F.data(), 96, 16, 0x0800);
+  interp::writeBitsBE(F.data(), 14 * 8 + 0, 4, 4);
+  interp::writeBitsBE(F.data(), 14 * 8 + 4, 4, 6); // hlen 6: options.
+  auto R = I->inject(F, 0);
+  EXPECT_TRUE(R.Tx.empty());
+  EXPECT_EQ(I->readGlobal("slow_count", 0), 1u);
+}
+
+TEST(Firewall, NonIpPassesThrough) {
+  AppBundle App = firewall();
+  std::unique_ptr<ir::Module> M;
+  baker::CompiledUnit *Unit = nullptr;
+  auto I = makeInterp(App, M, Unit);
+  std::vector<uint8_t> F(64, 0);
+  interp::writeBitsBE(F.data(), 96, 16, 0x86DD);
+  auto R = I->inject(F, 1);
+  ASSERT_EQ(R.Tx.size(), 1u);
+  EXPECT_EQ(metaOf(Unit, R.Tx[0].Meta, "tx_port"), 0u); // 1 ^ 1.
+}
+
+TEST(Mpls, SwapPushPopBehave) {
+  AppBundle App = mpls();
+  std::unique_ptr<ir::Module> M;
+  baker::CompiledUnit *Unit = nullptr;
+  auto I = makeInterp(App, M, Unit);
+
+  auto mkLabeled = [](uint32_t Label, bool Bottom, uint8_t Ttl,
+                      unsigned Depth2Label = 0) {
+    std::vector<uint8_t> F(64, 0);
+    interp::writeBitsBE(F.data(), 96, 16, 0x8847);
+    interp::writeBitsBE(F.data(), 14 * 8, 20, Label);
+    interp::writeBitsBE(F.data(), 14 * 8 + 23, 1, Bottom ? 1 : 0);
+    interp::writeBitsBE(F.data(), 14 * 8 + 24, 8, Ttl);
+    if (Depth2Label) {
+      interp::writeBitsBE(F.data(), 18 * 8, 20, Depth2Label);
+      interp::writeBitsBE(F.data(), 18 * 8 + 23, 1, 1);
+      interp::writeBitsBE(F.data(), 18 * 8 + 24, 8, Ttl);
+    }
+    return F;
+  };
+
+  // Label 16: op = 1 + 16%3 = 2 (swap+push): out frame has two labels.
+  auto R1 = I->inject(mkLabeled(16, true, 40), 0);
+  ASSERT_EQ(R1.Tx.size(), 1u);
+  EXPECT_EQ(interp::readBitsBE(R1.Tx[0].Frame.data(), 96, 16), 0x8847u);
+  uint64_t Outer = interp::readBitsBE(R1.Tx[0].Frame.data(), 14 * 8, 20);
+  uint64_t Inner = interp::readBitsBE(R1.Tx[0].Frame.data(), 18 * 8, 20);
+  EXPECT_EQ(Outer, 2040u + (16 * 13) % 1000);
+  EXPECT_EQ(Inner, 1040u + (16 * 7) % 1000);
+  // Frame grew by 4 bytes (pushed label).
+  EXPECT_EQ(R1.Tx[0].Frame.size(), 68u);
+
+  // Label 18: op = 1 (swap in place): same size, swapped label.
+  auto R2 = I->inject(mkLabeled(18, true, 40), 0);
+  ASSERT_EQ(R2.Tx.size(), 1u);
+  EXPECT_EQ(R2.Tx[0].Frame.size(), 64u);
+  EXPECT_EQ(interp::readBitsBE(R2.Tx[0].Frame.data(), 14 * 8, 20),
+            1040u + (18 * 7) % 1000);
+
+  // Label 17: op = 3 (pop), bottom-of-stack: becomes IP, shrinks 4B.
+  auto R3 = I->inject(mkLabeled(17, true, 40), 0);
+  ASSERT_EQ(R3.Tx.size(), 1u);
+  EXPECT_EQ(interp::readBitsBE(R3.Tx[0].Frame.data(), 96, 16), 0x0800u);
+  EXPECT_EQ(R3.Tx[0].Frame.size(), 60u);
+
+  // Label 17 with a second label below: pop keeps it MPLS.
+  auto R4 = I->inject(mkLabeled(17, false, 40, /*Depth2=*/20), 0);
+  ASSERT_EQ(R4.Tx.size(), 1u);
+  EXPECT_EQ(interp::readBitsBE(R4.Tx[0].Frame.data(), 96, 16), 0x8847u);
+  EXPECT_EQ(interp::readBitsBE(R4.Tx[0].Frame.data(), 14 * 8, 20), 20u);
+}
+
+TEST(Mpls, IngressPushesLabel) {
+  AppBundle App = mpls();
+  std::unique_ptr<ir::Module> M;
+  baker::CompiledUnit *Unit = nullptr;
+  auto I = makeInterp(App, M, Unit);
+  std::vector<uint8_t> F(64, 0);
+  interp::writeBitsBE(F.data(), 96, 16, 0x0800);
+  interp::writeBitsBE(F.data(), 14 * 8 + 0, 4, 4);
+  interp::writeBitsBE(F.data(), 14 * 8 + 4, 4, 5);
+  interp::writeBitsBE(F.data(), 14 * 8 + 64, 8, 64);
+  interp::writeBitsBE(F.data(), 14 * 8 + 128, 32, 0x0B000001u); // FEC K=0.
+  auto R = I->inject(F, 0);
+  ASSERT_EQ(R.Tx.size(), 1u);
+  EXPECT_EQ(interp::readBitsBE(R.Tx[0].Frame.data(), 96, 16), 0x8847u);
+  EXPECT_EQ(interp::readBitsBE(R.Tx[0].Frame.data(), 14 * 8, 20), 16u);
+  EXPECT_EQ(R.Tx[0].Frame.size(), 68u);
+}
+
+//===----------------------------------------------------------------------===//
+// Compiled-versus-interpreter equivalence on the real applications
+//===----------------------------------------------------------------------===//
+
+void appLadderCheck(const AppBundle &App, OptLevel Level, unsigned NumMEs) {
+  profile::Trace Trace = App.makeTrace(0xABCDE, 96);
+
+  CompileOptions Opts;
+  Opts.Level = Level;
+  Opts.NumMEs = NumMEs;
+  Opts.TxMetaFields = App.TxMetaFields;
+  // Single copy of every stage: with one thread per ME the pipeline stays
+  // FIFO and the transmit order matches the interpreter exactly.
+  Opts.Map.Replicate = false;
+  Opts.Map.AllowDuplication = false;
+  DiagEngine Diags;
+  auto Compiled = compile(App.Source, Trace, App.Tables, Opts, Diags);
+  ASSERT_NE(Compiled, nullptr) << App.Name << ": " << Diags.str();
+
+  ixp::ChipParams Chip;
+  Chip.ThreadsPerME = 1;
+  auto Sim = makeSimulator(*Compiled, Chip);
+  Sim->enableCapture();
+  Sim->setMaxInjected(Trace.size());
+  Sim->setTraffic([&Trace](uint64_t I) -> const ixp::SimPacket * {
+    static thread_local ixp::SimPacket P;
+    if (I >= Trace.size())
+      return nullptr;
+    P.Frame = Trace[I].Frame;
+    P.Port = Trace[I].Port;
+    return &P;
+  });
+  Sim->run(80'000'000);
+  ASSERT_TRUE(Sim->drained()) << App.Name << " did not drain";
+
+  // Reference.
+  std::unique_ptr<ir::Module> M;
+  baker::CompiledUnit *Unit = nullptr;
+  AppBundle Fresh = App;
+  auto I = makeInterp(Fresh, M, Unit);
+  std::vector<interp::TxPacket> Ref;
+  for (const auto &P : Trace) {
+    auto R = I->inject(P.Frame, P.Port);
+    ASSERT_FALSE(R.Error) << R.ErrorMsg;
+    for (auto &Tx : R.Tx)
+      Ref.push_back(std::move(Tx));
+  }
+
+  const auto &Got = Sim->captured();
+  ASSERT_EQ(Got.size(), Ref.size()) << App.Name;
+  for (size_t K = 0; K != Ref.size(); ++K)
+    ASSERT_EQ(Got[K].Frame, Ref[K].Frame) << App.Name << " packet " << K;
+}
+
+struct AppLevel {
+  const char *App;
+  const char *LevelName;
+  OptLevel Level;
+};
+
+class AppEquivalence : public ::testing::TestWithParam<AppLevel> {};
+
+TEST_P(AppEquivalence, CompiledMatchesReference) {
+  AppBundle App = GetParam().App == std::string("l3switch") ? l3switch()
+                  : GetParam().App == std::string("firewall") ? firewall()
+                                                              : mpls();
+  appLadderCheck(App, GetParam().Level, /*NumMEs=*/3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Apps, AppEquivalence,
+    ::testing::Values(AppLevel{"l3switch", "BASE", OptLevel::Base},
+                      AppLevel{"l3switch", "PAC", OptLevel::Pac},
+                      AppLevel{"l3switch", "SWC", OptLevel::Swc},
+                      AppLevel{"firewall", "BASE", OptLevel::Base},
+                      AppLevel{"firewall", "PAC", OptLevel::Pac},
+                      AppLevel{"firewall", "SWC", OptLevel::Swc},
+                      AppLevel{"mpls", "BASE", OptLevel::Base},
+                      AppLevel{"mpls", "PAC", OptLevel::Pac},
+                      AppLevel{"mpls", "SWC", OptLevel::Swc}),
+    [](const ::testing::TestParamInfo<AppLevel> &Info) {
+      return std::string(Info.param.App) + "_" + Info.param.LevelName;
+    });
+
+} // namespace

@@ -1,0 +1,355 @@
+//===- tests/CgTest.cpp - code generator unit tests ---------------------------==//
+
+#include "cg/Lowering.h"
+#include "cg/MEIR.h"
+#include "cg/RegAlloc.h"
+#include "cg/StackLayout.h"
+#include "ir/ASTLower.h"
+#include "map/Aggregation.h"
+#include "opt/Passes.h"
+#include "pktopt/Soar.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+#include <set>
+
+using namespace sl;
+using namespace sl::cg;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// MEIR basics
+//===----------------------------------------------------------------------===//
+
+TEST(MEIR, SlotAccounting) {
+  MInstr Small;
+  Small.Op = MOp::MovImm;
+  Small.Imm = 100;
+  EXPECT_EQ(Small.slots(), 1u);
+
+  MInstr Big;
+  Big.Op = MOp::MovImm;
+  Big.Imm = 0x12345678;
+  EXPECT_EQ(Big.slots(), 2u);
+
+  MInstr AluBig;
+  AluBig.Op = MOp::Add;
+  AluBig.SrcA = 0;
+  AluBig.SrcB = -1;
+  AluBig.Imm = 1 << 20;
+  EXPECT_EQ(AluBig.slots(), 2u);
+
+  MInstr Mem;
+  Mem.Op = MOp::MemRead;
+  Mem.Imm = 0x123456; // Address displacement is not an ALU immediate.
+  EXPECT_EQ(Mem.slots(), 1u);
+}
+
+TEST(MEIR, FlattenResolvesTargets) {
+  MCode C;
+  C.Name = "t";
+  MBlock B0{"b0", {}}, B1{"b1", {}}, B2{"b2", {}};
+  MInstr Br;
+  Br.Op = MOp::BrCond;
+  Br.Cond = MCond::Eq;
+  Br.SrcA = 0;
+  Br.SrcB = -1;
+  Br.Target = 2;
+  B0.Instrs.push_back(Br);
+  MInstr B;
+  B.Op = MOp::Br;
+  B.Target = 0;
+  B1.Instrs.push_back(B);
+  MInstr H;
+  H.Op = MOp::Halt;
+  B2.Instrs.push_back(H);
+  C.Blocks = {B0, B1, B2};
+
+  FlatCode F = flatten(C);
+  ASSERT_EQ(F.Code.size(), 3u);
+  EXPECT_EQ(F.Code[0].Target, 2); // B2 starts at index 2.
+  EXPECT_EQ(F.Code[1].Target, 0);
+  EXPECT_EQ(F.CodeSlots, 3u);
+}
+
+TEST(MEIR, PrinterShowsStructure) {
+  MCode C;
+  C.Name = "demo";
+  MBlock B{"entry", {}};
+  MInstr I;
+  I.Op = MOp::Add;
+  I.Dst = 3;
+  I.SrcA = 17; // Bank B register 1.
+  I.SrcB = 2;
+  B.Instrs.push_back(I);
+  C.Blocks = {B};
+  std::string S = printMCode(C);
+  EXPECT_NE(S.find("demo"), std::string::npos);
+  EXPECT_NE(S.find("add"), std::string::npos);
+  EXPECT_NE(S.find("b1"), std::string::npos); // Physical name.
+}
+
+//===----------------------------------------------------------------------===//
+// Register allocation properties
+//===----------------------------------------------------------------------===//
+
+/// Builds a random straight-line MEIR program with many live values and
+/// checks the allocator's postconditions.
+LoweredAggregate randomProgram(uint64_t Seed, unsigned NumOps) {
+  Rng R(Seed);
+  LoweredAggregate Agg;
+  MCode &C = Agg.Code;
+  C.Name = "rand";
+  MBlock B{"entry", {}};
+  std::vector<int> Defined;
+  int Next = 0;
+  auto def = [&]() {
+    Defined.push_back(Next);
+    return Next++;
+  };
+  // Seed values.
+  for (int K = 0; K != 6; ++K) {
+    MInstr I;
+    I.Op = MOp::MovImm;
+    I.Dst = def();
+    I.Imm = static_cast<int64_t>(R.nextBelow(1000));
+    B.Instrs.push_back(I);
+  }
+  for (unsigned K = 0; K != NumOps; ++K) {
+    MInstr I;
+    I.Op = R.chance(1, 4) ? MOp::Xor : MOp::Add;
+    I.SrcA = Defined[R.nextBelow(Defined.size())];
+    if (R.chance(2, 3)) {
+      I.SrcB = Defined[R.nextBelow(Defined.size())];
+    } else {
+      I.SrcB = -1;
+      I.Imm = static_cast<int64_t>(R.nextBelow(100));
+    }
+    I.Dst = def();
+    B.Instrs.push_back(I);
+  }
+  // Keep a random subset alive until the end.
+  for (unsigned K = 0; K != 8; ++K) {
+    MInstr I;
+    I.Op = MOp::GprToXfer;
+    I.Xfer = K;
+    I.SrcA = Defined[R.nextBelow(Defined.size())];
+    B.Instrs.push_back(I);
+  }
+  MInstr H;
+  H.Op = MOp::Halt;
+  B.Instrs.push_back(H);
+  C.Blocks = {B};
+  C.NumVRegs = static_cast<unsigned>(Next);
+  return Agg;
+}
+
+class RegAllocProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RegAllocProperty, PhysicalAndBankLegal) {
+  LoweredAggregate Agg = randomProgram(GetParam(), 120);
+  allocateRegisters(Agg);
+  for (const MBlock &B : Agg.Code.Blocks) {
+    for (const MInstr &I : B.Instrs) {
+      if (I.Dst >= 0) {
+        EXPECT_LT(I.Dst, 32);
+      }
+      if (I.SrcA >= 0) {
+        EXPECT_LT(I.SrcA, 32);
+      }
+      if (I.SrcB >= 0) {
+        EXPECT_LT(I.SrcB, 32);
+      }
+      // The dual-bank rule: two register sources in different banks.
+      bool TwoRegSources = I.SrcA >= 0 && I.SrcB >= 0;
+      bool IsAlu = I.Op == MOp::Add || I.Op == MOp::Xor;
+      if (TwoRegSources && IsAlu) {
+        EXPECT_NE(I.SrcA / 16, I.SrcB / 16)
+            << "bank conflict: " << I.SrcA << " vs " << I.SrcB;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegAllocProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(RegAlloc, SpillsWhenPressureExceedsFile) {
+  // 48 simultaneously-live values cannot fit 32 registers.
+  Rng R(7);
+  LoweredAggregate Agg;
+  MCode &C = Agg.Code;
+  MBlock B{"entry", {}};
+  int Next = 0;
+  for (int K = 0; K != 48; ++K) {
+    MInstr I;
+    I.Op = MOp::MovImm;
+    I.Dst = Next++;
+    I.Imm = K;
+    B.Instrs.push_back(I);
+  }
+  for (int K = 0; K != 48; ++K) {
+    MInstr I;
+    I.Op = MOp::GprToXfer;
+    I.Xfer = static_cast<unsigned>(K % 16);
+    I.SrcA = K;
+    B.Instrs.push_back(I);
+  }
+  MInstr H;
+  H.Op = MOp::Halt;
+  B.Instrs.push_back(H);
+  C.Blocks = {B};
+  C.NumVRegs = static_cast<unsigned>(Next);
+
+  RegAllocStats S = allocateRegisters(Agg);
+  EXPECT_GT(S.SpilledRegs, 0u);
+  // Spills became stack slots.
+  EXPECT_GE(Agg.Slots.size(), S.SpilledRegs);
+}
+
+//===----------------------------------------------------------------------===//
+// Stack layout
+//===----------------------------------------------------------------------===//
+
+TEST(StackLayout, PackedFitsLocalMemory) {
+  LoweredAggregate Agg;
+  MBlock B{"entry", {}};
+  for (int K = 0; K != 10; ++K) {
+    Agg.Slots.push_back({1, static_cast<unsigned>(K % 3), false});
+    MInstr W;
+    W.Op = MOp::LmWrite;
+    W.Class = MemClass::Stack;
+    W.SrcA = 0;
+    W.StackSlot = K;
+    B.Instrs.push_back(W);
+  }
+  MInstr H;
+  H.Op = MOp::Halt;
+  B.Instrs.push_back(H);
+  Agg.Code.Blocks = {B};
+
+  ir::Module Empty;
+  rts::MemoryMap Map = rts::buildMemoryMap(Empty);
+  StackLayoutStats S = layoutStack(Agg, Map, /*StackOpt=*/true);
+  EXPECT_EQ(S.TotalWords, 10u);
+  EXPECT_EQ(S.SramWords, 0u);
+  EXPECT_EQ(S.SramAccesses, 0u);
+  // All accesses rewritten to thread-relative local memory.
+  for (const MInstr &I : Agg.Code.Blocks[0].Instrs)
+    if (I.Op == MOp::LmWrite) {
+      EXPECT_TRUE(I.ThreadStack);
+      EXPECT_LT(I.Imm, 48);
+      EXPECT_EQ(I.StackSlot, -1);
+    }
+}
+
+TEST(StackLayout, MinFrameModeOverflowsToSram) {
+  LoweredAggregate Agg;
+  MBlock B{"entry", {}};
+  // 5 frames x 2 slots: packed = 10 words; 16-word frames = 80 words.
+  for (int K = 0; K != 10; ++K) {
+    Agg.Slots.push_back({1, static_cast<unsigned>(K / 2), false});
+    MInstr W;
+    W.Op = MOp::LmRead;
+    W.Class = MemClass::Stack;
+    W.Dst = 0;
+    W.StackSlot = K;
+    B.Instrs.push_back(W);
+  }
+  MInstr H;
+  H.Op = MOp::Halt;
+  B.Instrs.push_back(H);
+  Agg.Code.Blocks = {B};
+
+  ir::Module Empty;
+  rts::MemoryMap Map = rts::buildMemoryMap(Empty);
+  StackLayoutStats S = layoutStack(Agg, Map, /*StackOpt=*/false);
+  EXPECT_EQ(S.TotalWords, 80u);
+  EXPECT_GT(S.SramWords, 0u);
+  EXPECT_GT(S.SramAccesses, 0u);
+  // Overflow accesses became SRAM memory operations.
+  bool SawSram = false;
+  for (const MInstr &I : Agg.Code.Blocks[0].Instrs)
+    SawSram |= (I.Op == MOp::MemRead && I.Space == MSpace::Sram &&
+                I.Class == MemClass::Stack);
+  EXPECT_TRUE(SawSram);
+}
+
+//===----------------------------------------------------------------------===//
+// Lowering invariants
+//===----------------------------------------------------------------------===//
+
+TEST(Lowering, CodeSizeLadderShrinks) {
+  // Optimized expansions must be substantially smaller than BASE.
+  const char *Src = R"(
+    protocol ether { dst:48; src:48; type:16; demux { 14 }; };
+    module m {
+      u32 g;
+      ppf f(ether_pkt * ph) {
+        g = ph->dst ^ ph->src ^ ph->type;
+        ph->type = 0x0800;
+        channel_put(tx, ph);
+      }
+      wire rx -> f;
+    }
+  )";
+  auto sizeAt = [&](bool Inline, bool Soar, bool Phr) {
+    DiagEngine D;
+    auto Unit = baker::parseAndAnalyze(Src, D);
+    auto M = ir::lowerProgram(*Unit, D);
+    opt::runO2(*M);
+    if (Soar)
+      pktopt::runSoar(*M);
+    rts::MemoryMap Map = rts::buildMemoryMap(*M);
+    CgConfig Cfg;
+    Cfg.InlineExpansion = Inline;
+    Cfg.UseSoar = Soar;
+    Cfg.Phr = Phr;
+    std::vector<RootInput> Roots{{M->EntryPpf, rts::RxRing}};
+    LoweredAggregate Low = lowerAggregate(*M, Map, Cfg, Roots, "f");
+    allocateRegisters(Low);
+    layoutStack(Low, Map, true);
+    return flatten(Low.Code).CodeSlots;
+  };
+
+  unsigned Base = sizeAt(false, false, false);
+  unsigned O2 = sizeAt(true, false, false);
+  unsigned SoarSz = sizeAt(true, true, false);
+  unsigned PhrSz = sizeAt(true, true, true);
+  EXPECT_LT(O2, Base) << "inline expansion must beat the generic routine";
+  EXPECT_LT(SoarSz, O2) << "static offsets must shorten access code";
+  EXPECT_LE(PhrSz, SoarSz + 8) << "PHR must not bloat the code";
+}
+
+TEST(Lowering, EveryBlockTerminates) {
+  DiagEngine D;
+  auto Unit = baker::parseAndAnalyze(R"(
+    protocol e { a:32; b:32; demux { 8 }; };
+    module m {
+      u32 g;
+      ppf f(e_pkt * ph) {
+        u32 x = ph->a / (ph->b + 1);
+        g = x % 7;
+        channel_put(tx, ph);
+      }
+      wire rx -> f;
+    }
+  )",
+                                      D);
+  ASSERT_NE(Unit, nullptr) << D.str();
+  auto M = ir::lowerProgram(*Unit, D);
+  opt::runO2(*M);
+  rts::MemoryMap Map = rts::buildMemoryMap(*M);
+  CgConfig Cfg;
+  Cfg.InlineExpansion = true;
+  std::vector<RootInput> Roots{{M->EntryPpf, rts::RxRing}};
+  LoweredAggregate Low = lowerAggregate(*M, Map, Cfg, Roots, "f");
+  for (const MBlock &B : Low.Code.Blocks) {
+    ASSERT_FALSE(B.Instrs.empty()) << B.Name;
+    MOp Last = B.Instrs.back().Op;
+    EXPECT_TRUE(Last == MOp::Br || Last == MOp::Halt) << B.Name;
+  }
+}
+
+} // namespace

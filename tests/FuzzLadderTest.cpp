@@ -1,0 +1,244 @@
+//===- tests/FuzzLadderTest.cpp - randomized differential testing ------------==//
+//
+// Generates random (but always well-formed) Baker programs — random
+// protocol layouts, random packet/metadata/global accesses, arithmetic,
+// branches, bounded loops, decap/encap chains — and checks that the code
+// compiled at the top of the optimization ladder and executed on the
+// simulated IXP2400 emits byte-identical frames to the reference
+// interpreter.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Compiler.h"
+#include "interp/Interp.h"
+#include "ir/ASTLower.h"
+#include "support/Rng.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace sl;
+using namespace sl::driver;
+
+namespace {
+
+/// Generates one random program plus the description of its protocols.
+class ProgramGen {
+public:
+  explicit ProgramGen(uint64_t Seed) : R(Seed) {}
+
+  std::string generate() {
+    // Outer protocol: random byte-aligned layout, 8..24 bytes.
+    unsigned OuterBytes = 8 + static_cast<unsigned>(R.nextBelow(3)) * 8;
+    std::string Src = protocolDecl("outer", OuterBytes);
+    // Inner protocol: fixed-size too (so encap is legal).
+    unsigned InnerBytes = 4 + static_cast<unsigned>(R.nextBelow(2)) * 4;
+    Src += protocolDecl("inner", InnerBytes);
+
+    Src += "metadata { m0 : 16; m1 : 32; };\n";
+    Src += "module fuzz {\n";
+    Src += "  u32 tab[16];\n  u32 acc;\n  u64 wide;\n";
+    Src += "  ppf f(outer_pkt * ph) {\n";
+    Src += "    u32 a = 1;\n    u32 b = 2;\n";
+    Depth = 0;
+    for (unsigned K = 0, N = 6 + static_cast<unsigned>(R.nextBelow(8));
+         K != N; ++K)
+      Src += stmt("ph", "outer");
+    Src += "    channel_put(tx, ph);\n";
+    Src += "  }\n  wire rx -> f;\n}\n";
+    return Src;
+  }
+
+  unsigned OuterFieldCount = 0;
+
+private:
+  std::string protocolDecl(const std::string &Name, unsigned Bytes) {
+    std::string S = "protocol " + Name + " {\n";
+    unsigned Bits = Bytes * 8;
+    unsigned I = 0;
+    Fields[Name].clear();
+    while (Bits > 0) {
+      static const unsigned Widths[] = {4, 8, 12, 16, 20, 24, 32, 48};
+      unsigned W = Widths[R.nextBelow(8)];
+      if (W > Bits)
+        W = Bits;
+      std::string F = formatString("%s_f%u", Name.c_str(), I++);
+      S += "  " + F + " : " + std::to_string(W) + ";\n";
+      Fields[Name].push_back(F);
+      Bits -= W;
+    }
+    S += "  demux { " + std::to_string(Bytes) + " };\n};\n";
+    return S;
+  }
+
+  std::string field(const std::string &Proto) {
+    const auto &V = Fields[Proto];
+    return V[R.nextBelow(V.size())];
+  }
+
+  std::string expr(const std::string &H, const std::string &Proto,
+                   unsigned Depth2 = 0) {
+    switch (R.nextBelow(Depth2 > 2 ? 4 : 7)) {
+    case 0:
+      return std::to_string(R.nextBelow(1000));
+    case 1:
+      return "a";
+    case 2:
+      return "b";
+    case 3:
+      return "acc";
+    case 4:
+      return H + "->" + field(Proto);
+    case 5:
+      return "tab[(" + expr(H, Proto, Depth2 + 1) + ") & 15]";
+    default: {
+      static const char *Ops[] = {"+", "-", "^", "&", "|"};
+      return "(" + expr(H, Proto, Depth2 + 1) + " " +
+             Ops[R.nextBelow(5)] + " " + expr(H, Proto, Depth2 + 1) + ")";
+    }
+    }
+  }
+
+  std::string cond(const std::string &H, const std::string &Proto) {
+    static const char *Rel[] = {"<", "<=", "==", "!=", ">", ">="};
+    return expr(H, Proto, 1) + " " + Rel[R.nextBelow(6)] + " " +
+           expr(H, Proto, 1);
+  }
+
+  std::string stmt(const std::string &H, const std::string &Proto) {
+    ++Depth;
+    std::string S;
+    switch (R.nextBelow(Depth > 2 ? 6 : 9)) {
+    case 0:
+      S = "    a = " + expr(H, Proto) + ";\n";
+      break;
+    case 1:
+      S = "    b = " + expr(H, Proto) + ";\n";
+      break;
+    case 2:
+      S = "    acc = acc + (" + expr(H, Proto) + ");\n";
+      break;
+    case 3:
+      S = "    " + H + "->" + field(Proto) + " = " + expr(H, Proto) +
+          ";\n";
+      break;
+    case 4:
+      S = "    " + H + "->meta.m1 = " + expr(H, Proto) + ";\n";
+      break;
+    case 5:
+      S = "    tab[(" + expr(H, Proto) + ") & 15] = " + expr(H, Proto) +
+          ";\n";
+      break;
+    case 6: {
+      S = "    if (" + cond(H, Proto) + ") {\n  " + stmt(H, Proto) +
+          "  } else {\n  " + stmt(H, Proto) + "  }\n";
+      break;
+    }
+    case 7: {
+      // Bounded loop.
+      std::string V = formatString("i%u", LoopId++);
+      S = "    for (u32 " + V + " = 0; " + V + " < " +
+          std::to_string(1 + R.nextBelow(5)) + "; " + V + " = " + V +
+          " + 1) {\n  " + stmt(H, Proto) + "  }\n";
+      break;
+    }
+    default: {
+      // Decap to inner, poke a field, encap back (paired; PHR fodder).
+      std::string Hi = formatString("p%u", LoopId++);
+      std::string Ho = formatString("q%u", LoopId++);
+      S = "    {\n";
+      S = "    inner_pkt * " + Hi + " = packet_decap(" + H + ");\n";
+      S += "    " + Hi + "->" + field("inner") + " = " +
+           expr(Hi, "inner") + ";\n";
+      S += "    outer_pkt * " + Ho + " = packet_encap(" + Hi + ");\n";
+      S += "    " + Ho + "->" + field(Proto) + " = " + expr(Ho, Proto) +
+           ";\n";
+      break;
+    }
+    }
+    --Depth;
+    return S;
+  }
+
+  Rng R;
+  std::map<std::string, std::vector<std::string>> Fields;
+  unsigned LoopId = 0;
+  unsigned Depth = 0;
+};
+
+class FuzzLadder : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzLadder, SimMatchesInterpreter) {
+  ProgramGen Gen(GetParam());
+  std::string Src = Gen.generate();
+  SCOPED_TRACE(Src);
+
+  // Traffic: random frames, always big enough for outer+inner headers.
+  Rng R(GetParam() ^ 0xF00D);
+  profile::Trace Trace;
+  for (unsigned I = 0; I != 48; ++I) {
+    std::vector<uint8_t> F(64);
+    for (auto &Byte : F)
+      Byte = static_cast<uint8_t>(R.next());
+    Trace.push_back({F, static_cast<uint16_t>(R.nextBelow(4))});
+  }
+
+  // Reference.
+  DiagEngine D;
+  auto Unit = baker::parseAndAnalyze(Src, D);
+  ASSERT_NE(Unit, nullptr) << D.str();
+  auto RefM = ir::lowerProgram(*Unit, D);
+  interp::Interpreter RefI(*RefM);
+  std::vector<interp::TxPacket> Ref;
+  for (const auto &P : Trace) {
+    auto Res = RefI.inject(P.Frame, P.Port);
+    ASSERT_FALSE(Res.Error) << Res.ErrorMsg;
+    for (auto &T : Res.Tx)
+      Ref.push_back(std::move(T));
+  }
+
+  for (OptLevel L : {OptLevel::O2, OptLevel::Soar, OptLevel::Swc}) {
+    CompileOptions Opts;
+    Opts.Level = L;
+    Opts.NumMEs = 1;
+    Opts.Map.Replicate = false;
+    DiagEngine Diags;
+    auto App = compile(Src, Trace, {}, Opts, Diags);
+    ASSERT_NE(App, nullptr) << Diags.str();
+
+    ixp::ChipParams Chip;
+    Chip.ThreadsPerME = 1;
+    auto Sim = makeSimulator(*App, Chip);
+    Sim->enableCapture();
+    Sim->setMaxInjected(Trace.size());
+    Sim->setTraffic([&Trace](uint64_t I) -> const ixp::SimPacket * {
+      static thread_local ixp::SimPacket P;
+      if (I >= Trace.size())
+        return nullptr;
+      P.Frame = Trace[I].Frame;
+      P.Port = Trace[I].Port;
+      return &P;
+    });
+    Sim->run(40'000'000);
+    ASSERT_TRUE(Sim->drained()) << "did not drain at "
+                                << optLevelName(L);
+    const auto &Got = Sim->captured();
+    ASSERT_EQ(Got.size(), Ref.size()) << optLevelName(L);
+    for (size_t K = 0; K != Ref.size(); ++K)
+      ASSERT_EQ(Got[K].Frame, Ref[K].Frame)
+          << optLevelName(L) << " packet " << K;
+    // Interpreter-level table state must match too.
+    ir::Global *Tab = App->IR->findGlobal("tab");
+    ir::Global *Acc = App->IR->findGlobal("acc");
+    for (unsigned K = 0; K != 16; ++K)
+      EXPECT_EQ(Sim->readGlobal(Tab, K), RefI.readGlobal("tab", K))
+          << optLevelName(L) << " tab[" << K << "]";
+    EXPECT_EQ(Sim->readGlobal(Acc, 0), RefI.readGlobal("acc", 0))
+        << optLevelName(L);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzLadder,
+                         ::testing::Range<uint64_t>(1, 21));
+
+} // namespace

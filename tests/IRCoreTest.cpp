@@ -1,0 +1,158 @@
+//===- tests/IRCoreTest.cpp - IR structures, verifier, dominators ------------==//
+
+#include "ir/ASTLower.h"
+#include "ir/Dominators.h"
+#include "ir/IRBuilder.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "tests/TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace sl;
+using namespace sl::ir;
+
+namespace {
+
+std::string support_join(const std::vector<std::string> &V) {
+  std::string Out;
+  for (const std::string &S : V)
+    Out += S + "\n";
+  return Out;
+}
+
+std::unique_ptr<Module> lower(const char *Src) {
+  DiagEngine Diags;
+  auto Unit = baker::parseAndAnalyze(Src, Diags);
+  EXPECT_NE(Unit, nullptr) << Diags.str();
+  if (!Unit)
+    return nullptr;
+  auto M = lowerProgram(*Unit, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return M;
+}
+
+TEST(IRCore, UseListsTrackOperands) {
+  Function F("f", Type::voidTy(), false);
+  IRBuilder B(&F);
+  B.setInsertBlock(F.addBlock("entry"));
+  ConstInt *C1 = B.i32(1);
+  ConstInt *C2 = B.i32(2);
+  Instr *Add = B.createBin(Op::Add, C1, C2);
+  Instr *Mul = B.createBin(Op::Mul, Add, Add);
+  EXPECT_EQ(Add->numUses(), 2u);
+  B.createRet(nullptr);
+
+  // RAUW moves uses.
+  Add->replaceAllUsesWith(C1);
+  EXPECT_EQ(Add->numUses(), 0u);
+  EXPECT_EQ(Mul->operand(0), C1);
+  EXPECT_EQ(Mul->operand(1), C1);
+}
+
+TEST(IRCore, ConstantsAreUniqued) {
+  Function F("f", Type::voidTy(), false);
+  EXPECT_EQ(F.constInt(Type::intTy(32), 5), F.constInt(Type::intTy(32), 5));
+  EXPECT_NE(F.constInt(Type::intTy(32), 5), F.constInt(Type::intTy(64), 5));
+  // Values are masked to the type width before uniquing.
+  EXPECT_EQ(F.constInt(Type::intTy(8), 0x1FF),
+            F.constInt(Type::intTy(8), 0xFF));
+}
+
+TEST(IRCore, VerifierAcceptsLoweredPrograms) {
+  auto M = lower(sl::tests::MiniForward);
+  ASSERT_NE(M, nullptr);
+  std::vector<std::string> Problems = verifyModule(*M);
+  EXPECT_TRUE(Problems.empty())
+      << support_join(Problems);
+}
+
+TEST(IRCore, VerifierAcceptsRouter) {
+  auto M = lower(sl::tests::MiniRouter);
+  ASSERT_NE(M, nullptr);
+  std::vector<std::string> Problems = verifyModule(*M);
+  EXPECT_TRUE(Problems.empty()) << support_join(Problems);
+}
+
+TEST(IRCore, VerifierCatchesMissingTerminator) {
+  Function F("f", Type::voidTy(), false);
+  IRBuilder B(&F);
+  B.setInsertBlock(F.addBlock("entry"));
+  B.createBin(Op::Add, B.i32(1), B.i32(2));
+  // No terminator.
+  std::vector<std::string> Problems = verifyFunction(F);
+  EXPECT_FALSE(Problems.empty());
+}
+
+TEST(IRCore, VerifierCatchesTypeMismatch) {
+  Function F("f", Type::voidTy(), false);
+  IRBuilder B(&F);
+  B.setInsertBlock(F.addBlock("entry"));
+  Instr *Add = B.createBin(Op::Add, B.i32(1), B.i32(2));
+  B.createRet(nullptr);
+  // Corrupt the type after the fact.
+  Add->setType(Type::intTy(64));
+  std::vector<std::string> Problems = verifyFunction(F);
+  EXPECT_FALSE(Problems.empty());
+}
+
+TEST(IRCore, DominatorsOnDiamond) {
+  Function F("f", Type::voidTy(), false);
+  IRBuilder B(&F);
+  BasicBlock *Entry = F.addBlock("entry");
+  BasicBlock *Left = F.addBlock("left");
+  BasicBlock *Right = F.addBlock("right");
+  BasicBlock *Join = F.addBlock("join");
+  B.setInsertBlock(Entry);
+  B.createCondBr(F.constInt(Type::boolTy(), 1), Left, Right);
+  B.setInsertBlock(Left);
+  B.createBr(Join);
+  B.setInsertBlock(Right);
+  B.createBr(Join);
+  B.setInsertBlock(Join);
+  B.createRet(nullptr);
+
+  DomTree DT(F);
+  EXPECT_EQ(DT.idom(Join), Entry);
+  EXPECT_EQ(DT.idom(Left), Entry);
+  EXPECT_TRUE(DT.dominates(Entry, Join));
+  EXPECT_FALSE(DT.dominates(Left, Join));
+  // Left and Right each have Join in their dominance frontier.
+  const auto &DF = DT.frontier(Left);
+  ASSERT_EQ(DF.size(), 1u);
+  EXPECT_EQ(DF[0], Join);
+}
+
+TEST(IRCore, DominatorsInstructionOrder) {
+  Function F("f", Type::voidTy(), false);
+  IRBuilder B(&F);
+  B.setInsertBlock(F.addBlock("entry"));
+  Instr *A = B.createBin(Op::Add, B.i32(1), B.i32(2));
+  Instr *C = B.createBin(Op::Add, A, A);
+  B.createRet(nullptr);
+  DomTree DT(F);
+  EXPECT_TRUE(DT.dominates(A, C));
+  EXPECT_FALSE(DT.dominates(C, A));
+}
+
+TEST(IRCore, PrinterProducesText) {
+  auto M = lower(sl::tests::MiniRouter);
+  std::string Text = printModule(*M);
+  EXPECT_NE(Text.find("ppf @classify"), std::string::npos);
+  EXPECT_NE(Text.find("pkt.decap"), std::string::npos);
+  EXPECT_NE(Text.find("chan.put"), std::string::npos);
+  EXPECT_NE(Text.find("global $route_hi"), std::string::npos);
+}
+
+TEST(IRCore, LoweredChannelsAndEntry) {
+  auto M = lower(sl::tests::MiniRouter);
+  ASSERT_NE(M->EntryPpf, nullptr);
+  EXPECT_EQ(M->EntryPpf->name(), "classify");
+  ASSERT_EQ(M->Channels.size(), 2u);
+  EXPECT_EQ(M->Channels[0].Name, "tx");
+  EXPECT_EQ(M->Channels[1].Name, "ip_cc");
+  ASSERT_NE(M->Channels[1].Dest, nullptr);
+  EXPECT_EQ(M->Channels[1].Dest->name(), "route");
+}
+
+} // namespace

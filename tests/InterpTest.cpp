@@ -1,0 +1,272 @@
+//===- tests/InterpTest.cpp - reference interpreter tests --------------------==//
+
+#include "interp/Bits.h"
+#include "interp/Interp.h"
+#include "ir/ASTLower.h"
+#include "tests/TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace sl;
+using namespace sl::interp;
+
+namespace {
+
+std::unique_ptr<ir::Module> lower(const char *Src) {
+  DiagEngine Diags;
+  auto Unit = baker::parseAndAnalyze(Src, Diags);
+  EXPECT_NE(Unit, nullptr) << Diags.str();
+  if (!Unit)
+    return nullptr;
+  auto M = ir::lowerProgram(*Unit, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return M;
+}
+
+/// Builds a 64-byte ethernet frame. dst/src MACs and ethertype at the
+/// standard offsets, everything else zero unless specified.
+std::vector<uint8_t> etherFrame(uint64_t Dst, uint64_t Src, uint16_t Type,
+                                size_t Len = 64) {
+  std::vector<uint8_t> F(Len, 0);
+  writeBitsBE(F.data(), 0, 48, Dst);
+  writeBitsBE(F.data(), 48, 48, Src);
+  writeBitsBE(F.data(), 96, 16, Type);
+  return F;
+}
+
+/// Wraps an IPv4 header (20 bytes, no options) after the 14-byte ether
+/// header.
+void putIpv4(std::vector<uint8_t> &F, uint32_t SrcIp, uint32_t DstIp,
+             uint8_t Ttl) {
+  size_t Base = 14 * 8;
+  writeBitsBE(F.data(), Base + 0, 4, 4);    // ver
+  writeBitsBE(F.data(), Base + 4, 4, 5);    // hlen = 5 words
+  writeBitsBE(F.data(), Base + 64, 8, Ttl); // ttl
+  writeBitsBE(F.data(), Base + 96, 32, SrcIp);
+  writeBitsBE(F.data(), Base + 128, 32, DstIp);
+}
+
+TEST(Bits, RoundTripAtOddOffsets) {
+  uint8_t Buf[16] = {0};
+  writeBitsBE(Buf, 3, 13, 0x1ABC & 0x1FFF);
+  EXPECT_EQ(readBitsBE(Buf, 3, 13), 0x1ABCull & 0x1FFF);
+  writeBitsBE(Buf, 48, 48, 0xAABBCCDDEEFFull);
+  EXPECT_EQ(readBitsBE(Buf, 48, 48), 0xAABBCCDDEEFFull);
+  // First write is untouched.
+  EXPECT_EQ(readBitsBE(Buf, 3, 13), 0x1ABCull & 0x1FFF);
+}
+
+TEST(Bits, NetworkOrderBytes) {
+  uint8_t Buf[4] = {0};
+  writeBitsBE(Buf, 0, 16, 0x0800);
+  EXPECT_EQ(Buf[0], 0x08);
+  EXPECT_EQ(Buf[1], 0x00);
+}
+
+TEST(Interp, ForwardsAndCounts) {
+  auto M = lower(sl::tests::MiniForward);
+  Interpreter I(*M);
+
+  RunResult R = I.inject(etherFrame(1, 2, 0x0800), /*RxPort=*/3);
+  ASSERT_FALSE(R.Error) << R.ErrorMsg;
+  ASSERT_EQ(R.Tx.size(), 1u);
+  // Metadata: rx_port at bit 0, outp at bit 16 (== rx_port + 1).
+  EXPECT_EQ(readBitsBE(R.Tx[0].Meta.data(), 0, 16), 3u);
+  EXPECT_EQ(readBitsBE(R.Tx[0].Meta.data(), 16, 16), 4u);
+  EXPECT_EQ(I.readGlobal("counter", 0), 1u);
+
+  I.inject(etherFrame(1, 2, 0x0800), 0);
+  EXPECT_EQ(I.readGlobal("counter", 0), 2u);
+}
+
+TEST(Interp, RouterRoutesViaChannel) {
+  auto M = lower(sl::tests::MiniRouter);
+  Interpreter I(*M);
+  // Route table: nibble 0xA -> hop 7.
+  I.writeGlobal("route_hi", 0xA, 7);
+
+  std::vector<uint8_t> F = etherFrame(1, 2, 0x0800);
+  putIpv4(F, 0x0A000001, 0xA0000001, 64); // dst top nibble = 0xA
+  RunResult R = I.inject(F, 0);
+  ASSERT_FALSE(R.Error) << R.ErrorMsg;
+  ASSERT_EQ(R.Tx.size(), 1u);
+  // nexthop metadata (bit 16, width 16) == 7.
+  EXPECT_EQ(readBitsBE(R.Tx[0].Meta.data(), 16, 16), 7u);
+  // The Tx frame starts at the IPv4 header (ether was decapped); TTL
+  // (bits 64..71) was decremented to 63.
+  EXPECT_EQ(readBitsBE(R.Tx[0].Frame.data(), 64, 8), 63u);
+  EXPECT_EQ(I.readGlobal("drops", 0), 0u);
+}
+
+TEST(Interp, RouterDropsUnroutable) {
+  auto M = lower(sl::tests::MiniRouter);
+  Interpreter I(*M);
+  std::vector<uint8_t> F = etherFrame(1, 2, 0x0800);
+  putIpv4(F, 1, 0x10, 64); // dst nibble 0 -> no route
+  RunResult R = I.inject(F, 0);
+  ASSERT_FALSE(R.Error) << R.ErrorMsg;
+  EXPECT_TRUE(R.Tx.empty());
+  EXPECT_EQ(I.readGlobal("drops", 0), 1u);
+}
+
+TEST(Interp, RouterDropsNonIp) {
+  auto M = lower(sl::tests::MiniRouter);
+  Interpreter I(*M);
+  RunResult R = I.inject(etherFrame(1, 2, 0x0806), 0); // ARP
+  ASSERT_FALSE(R.Error) << R.ErrorMsg;
+  EXPECT_TRUE(R.Tx.empty());
+  EXPECT_EQ(I.readGlobal("drops", 0), 1u);
+}
+
+TEST(Interp, ControlFlowAndLoops) {
+  auto M = lower(R"(
+    protocol e { x : 8; demux { 1 }; };
+    module m {
+      u32 result;
+      u32 sum_to(u32 n) {
+        u32 acc = 0;
+        for (u32 i = 1; i <= n; i = i + 1) {
+          if (i % 2 == 0) { continue; }
+          acc = acc + i;
+        }
+        return acc;
+      }
+      ppf f(e_pkt * ph) {
+        result = sum_to(9);
+        channel_put(tx, ph);
+      }
+      wire rx -> f;
+    }
+  )");
+  Interpreter I(*M);
+  RunResult R = I.inject({1, 2, 3, 4}, 0);
+  ASSERT_FALSE(R.Error) << R.ErrorMsg;
+  EXPECT_EQ(I.readGlobal("result", 0), 1u + 3 + 5 + 7 + 9);
+}
+
+TEST(Interp, ShortCircuitEvaluation) {
+  auto M = lower(R"(
+    protocol e { x : 8; demux { 1 }; };
+    module m {
+      u32 calls;
+      u32 result;
+      bool bump() { calls = calls + 1; return true; }
+      ppf f(e_pkt * ph) {
+        if (false && bump()) { result = 1; }
+        if (true || bump()) { result = result + 2; }
+        channel_put(tx, ph);
+      }
+      wire rx -> f;
+    }
+  )");
+  Interpreter I(*M);
+  RunResult R = I.inject({0}, 0);
+  ASSERT_FALSE(R.Error) << R.ErrorMsg;
+  EXPECT_EQ(I.readGlobal("calls", 0), 0u) << "short circuit must skip bump()";
+  EXPECT_EQ(I.readGlobal("result", 0), 2u);
+}
+
+TEST(Interp, SixtyFourBitFieldCompare) {
+  auto M = lower(R"(
+    protocol e { dst : 48; src : 48; type : 16; demux { 14 }; };
+    module m {
+      u64 mac0;
+      u32 hit;
+      ppf f(e_pkt * ph) {
+        if (ph->dst == mac0) { hit = hit + 1; }
+        channel_put(tx, ph);
+      }
+      wire rx -> f;
+    }
+  )");
+  Interpreter I(*M);
+  I.writeGlobal("mac0", 0, 0x001122334455ull);
+  RunResult R = I.inject(etherFrame(0x001122334455ull, 9, 0), 0);
+  ASSERT_FALSE(R.Error) << R.ErrorMsg;
+  EXPECT_EQ(I.readGlobal("hit", 0), 1u);
+  I.inject(etherFrame(0x001122334456ull, 9, 0), 0);
+  EXPECT_EQ(I.readGlobal("hit", 0), 1u);
+}
+
+TEST(Interp, EncapPushesHeader) {
+  auto M = lower(R"(
+    protocol inner { a : 32; demux { 4 }; };
+    protocol shim { label : 20; exp : 3; s : 1; ttl : 8; demux { 4 }; };
+    module m {
+      ppf f(inner_pkt * ph) {
+        shim_pkt * sp = packet_encap(ph);
+        sp->label = 0x12345;
+        sp->ttl = 255;
+        channel_put(tx, sp);
+      }
+      wire rx -> f;
+    }
+  )");
+  Interpreter I(*M);
+  RunResult R = I.inject({0xAA, 0xBB, 0xCC, 0xDD}, 0);
+  ASSERT_FALSE(R.Error) << R.ErrorMsg;
+  ASSERT_EQ(R.Tx.size(), 1u);
+  ASSERT_EQ(R.Tx[0].Frame.size(), 8u);
+  EXPECT_EQ(readBitsBE(R.Tx[0].Frame.data(), 0, 20), 0x12345u);
+  EXPECT_EQ(readBitsBE(R.Tx[0].Frame.data(), 24, 8), 255u);
+  EXPECT_EQ(R.Tx[0].Frame[4], 0xAA);
+}
+
+TEST(Interp, PacketCopyIsIndependent) {
+  auto M = lower(R"(
+    protocol e { x : 8; y : 8; demux { 2 }; };
+    module m {
+      ppf f(e_pkt * ph) {
+        e_pkt * dup = packet_copy(ph);
+        dup->x = 0xFF;
+        channel_put(tx, dup);
+        channel_put(tx, ph);
+      }
+      wire rx -> f;
+    }
+  )");
+  Interpreter I(*M);
+  RunResult R = I.inject({0x11, 0x22}, 0);
+  ASSERT_FALSE(R.Error) << R.ErrorMsg;
+  ASSERT_EQ(R.Tx.size(), 2u);
+  EXPECT_EQ(R.Tx[0].Frame[0], 0xFF); // Modified copy.
+  EXPECT_EQ(R.Tx[1].Frame[0], 0x11); // Original untouched.
+}
+
+TEST(Interp, InfiniteLoopHitsStepLimit) {
+  auto M = lower(R"(
+    protocol e { x : 8; demux { 1 }; };
+    module m {
+      u32 g;
+      ppf f(e_pkt * ph) {
+        while (true) { g = g + 1; }
+      }
+      wire rx -> f;
+    }
+  )");
+  Interpreter I(*M);
+  I.setStepLimit(10000);
+  RunResult R = I.inject({0}, 0);
+  EXPECT_TRUE(R.Error);
+  EXPECT_NE(R.ErrorMsg.find("step limit"), std::string::npos);
+}
+
+TEST(Interp, CriticalSectionsExecute) {
+  auto M = lower(R"(
+    protocol e { x : 8; demux { 1 }; };
+    module m {
+      u32 g;
+      ppf f(e_pkt * ph) {
+        critical (l) { g = g + 1; }
+        channel_put(tx, ph);
+      }
+      wire rx -> f;
+    }
+  )");
+  Interpreter I(*M);
+  RunResult R = I.inject({0}, 0);
+  ASSERT_FALSE(R.Error) << R.ErrorMsg;
+  EXPECT_EQ(I.readGlobal("g", 0), 1u);
+}
+
+} // namespace

@@ -1,0 +1,126 @@
+//===- tests/LexerTest.cpp - Baker lexer unit tests -------------------------==//
+
+#include "baker/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace sl;
+using namespace sl::baker;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Src) {
+  DiagEngine Diags;
+  Lexer L(Src, Diags);
+  std::vector<Token> Toks = L.lexAll();
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return Toks;
+}
+
+TEST(Lexer, EmptyInput) {
+  std::vector<Token> T = lex("");
+  ASSERT_EQ(T.size(), 1u);
+  EXPECT_TRUE(T[0].is(TokKind::Eof));
+}
+
+TEST(Lexer, Keywords) {
+  std::vector<Token> T = lex("protocol module ppf channel wire demux");
+  ASSERT_EQ(T.size(), 7u);
+  EXPECT_TRUE(T[0].is(TokKind::KwProtocol));
+  EXPECT_TRUE(T[1].is(TokKind::KwModule));
+  EXPECT_TRUE(T[2].is(TokKind::KwPpf));
+  EXPECT_TRUE(T[3].is(TokKind::KwChannel));
+  EXPECT_TRUE(T[4].is(TokKind::KwWire));
+  EXPECT_TRUE(T[5].is(TokKind::KwDemux));
+}
+
+TEST(Lexer, Identifiers) {
+  std::vector<Token> T = lex("foo _bar x42 ether_pkt");
+  ASSERT_EQ(T.size(), 5u);
+  EXPECT_EQ(T[0].Text, "foo");
+  EXPECT_EQ(T[1].Text, "_bar");
+  EXPECT_EQ(T[2].Text, "x42");
+  EXPECT_EQ(T[3].Text, "ether_pkt");
+}
+
+TEST(Lexer, DecimalLiterals) {
+  std::vector<Token> T = lex("0 7 4294967295 18446744073709551615");
+  ASSERT_EQ(T.size(), 5u);
+  EXPECT_EQ(T[0].IntVal, 0u);
+  EXPECT_EQ(T[1].IntVal, 7u);
+  EXPECT_EQ(T[2].IntVal, 4294967295u);
+  EXPECT_EQ(T[3].IntVal, 18446744073709551615ull);
+}
+
+TEST(Lexer, HexLiterals) {
+  std::vector<Token> T = lex("0x0 0x0800 0xDEADbeef");
+  ASSERT_EQ(T.size(), 4u);
+  EXPECT_EQ(T[0].IntVal, 0u);
+  EXPECT_EQ(T[1].IntVal, 0x800u);
+  EXPECT_EQ(T[2].IntVal, 0xDEADBEEFu);
+}
+
+TEST(Lexer, OperatorsMultiChar) {
+  std::vector<Token> T = lex("-> << >> <= >= == != && || += -=");
+  ASSERT_EQ(T.size(), 12u);
+  EXPECT_TRUE(T[0].is(TokKind::Arrow));
+  EXPECT_TRUE(T[1].is(TokKind::Shl));
+  EXPECT_TRUE(T[2].is(TokKind::Shr));
+  EXPECT_TRUE(T[3].is(TokKind::Le));
+  EXPECT_TRUE(T[4].is(TokKind::Ge));
+  EXPECT_TRUE(T[5].is(TokKind::EqEq));
+  EXPECT_TRUE(T[6].is(TokKind::NotEq));
+  EXPECT_TRUE(T[7].is(TokKind::AmpAmp));
+  EXPECT_TRUE(T[8].is(TokKind::PipePipe));
+  EXPECT_TRUE(T[9].is(TokKind::PlusAssign));
+  EXPECT_TRUE(T[10].is(TokKind::MinusAssign));
+}
+
+TEST(Lexer, OperatorAdjacency) {
+  // '<<' must win over '<' '<'; '->' over '-' '>'.
+  std::vector<Token> T = lex("a<<b a<b a->b a-b");
+  ASSERT_EQ(T.size(), 13u);
+  EXPECT_TRUE(T[1].is(TokKind::Shl));
+  EXPECT_TRUE(T[4].is(TokKind::Lt));
+  EXPECT_TRUE(T[7].is(TokKind::Arrow));
+  EXPECT_TRUE(T[10].is(TokKind::Minus));
+}
+
+TEST(Lexer, LineComments) {
+  std::vector<Token> T = lex("a // comment to end\nb");
+  ASSERT_EQ(T.size(), 3u);
+  EXPECT_EQ(T[0].Text, "a");
+  EXPECT_EQ(T[1].Text, "b");
+  EXPECT_EQ(T[1].Loc.Line, 2u);
+}
+
+TEST(Lexer, BlockComments) {
+  std::vector<Token> T = lex("a /* x\ny */ b");
+  ASSERT_EQ(T.size(), 3u);
+  EXPECT_EQ(T[1].Text, "b");
+}
+
+TEST(Lexer, UnterminatedBlockCommentIsError) {
+  DiagEngine Diags;
+  Lexer L("a /* never closed", Diags);
+  L.lexAll();
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lexer, UnexpectedCharacterIsError) {
+  DiagEngine Diags;
+  Lexer L("a @ b", Diags);
+  L.lexAll();
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lexer, SourceLocations) {
+  std::vector<Token> T = lex("ab\n  cd");
+  ASSERT_GE(T.size(), 2u);
+  EXPECT_EQ(T[0].Loc.Line, 1u);
+  EXPECT_EQ(T[0].Loc.Col, 1u);
+  EXPECT_EQ(T[1].Loc.Line, 2u);
+  EXPECT_EQ(T[1].Loc.Col, 3u);
+}
+
+} // namespace

@@ -1,0 +1,199 @@
+//===- tests/MapRtsTest.cpp - aggregation and runtime-layout unit tests ------==//
+
+#include "interp/Bits.h"
+#include "ir/ASTLower.h"
+#include "ir/Clone.h"
+#include "ir/Printer.h"
+#include "map/Aggregation.h"
+#include "profile/Profiler.h"
+#include "rts/MemoryMap.h"
+#include "tests/TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace sl;
+
+namespace {
+
+std::unique_ptr<ir::Module> lower(const char *Src) {
+  DiagEngine Diags;
+  auto Unit = baker::parseAndAnalyze(Src, Diags);
+  EXPECT_NE(Unit, nullptr) << Diags.str();
+  return ir::lowerProgram(*Unit, Diags);
+}
+
+profile::ProfileData routerProfile(ir::Module &M) {
+  profile::Profiler P(M);
+  P.interp().writeGlobal("route_hi", 0xA, 7);
+  profile::Trace T;
+  for (unsigned I = 0; I != 64; ++I) {
+    std::vector<uint8_t> F(64, 0);
+    F[12] = 0x08;
+    interp::writeBitsBE(F.data(), 14 * 8 + 4, 4, 5);
+    interp::writeBitsBE(F.data(), 14 * 8 + 128, 32, 0xA0000001);
+    T.push_back({F, 0});
+  }
+  return P.run(T);
+}
+
+//===----------------------------------------------------------------------===//
+// Aggregation
+//===----------------------------------------------------------------------===//
+
+TEST(Aggregation, MergesHotChannelAndReplicates) {
+  auto M = lower(sl::tests::MiniRouter);
+  profile::ProfileData Prof = routerProfile(*M);
+  map::MapParams P;
+  P.NumMEs = 4;
+  map::MappingPlan Plan = map::formAggregates(*M, Prof, P);
+
+  // classify and route end up together (ip_cc is hot), replicated 4x.
+  unsigned MeAggs = 0;
+  for (const auto &A : Plan.Aggregates) {
+    if (A.OnXScale)
+      continue;
+    ++MeAggs;
+    EXPECT_EQ(A.Copies, 4u);
+    EXPECT_EQ(A.Funcs.size(), 2u);
+  }
+  EXPECT_EQ(MeAggs, 1u);
+  EXPECT_GT(Plan.PredictedThroughput, 0.0);
+}
+
+TEST(Aggregation, ApplyPlanConvertsInternalPuts) {
+  auto M = lower(sl::tests::MiniRouter);
+  profile::ProfileData Prof = routerProfile(*M);
+  map::MapParams P;
+  P.NumMEs = 2;
+  map::MappingPlan Plan = map::formAggregates(*M, Prof, P);
+  unsigned Converted = map::applyPlan(*M, Plan);
+  EXPECT_EQ(Converted, 1u); // The ip_cc put became a call.
+  // The call's callee is `route`.
+  ir::Function *Classify = M->findFunction("classify");
+  bool SawCall = false;
+  for (const auto &BB : Classify->blocks())
+    for (const auto &I : BB->instrs())
+      if (I->op() == ir::Op::Call)
+        SawCall = (I->Callee->name() == "route");
+  EXPECT_TRUE(SawCall);
+}
+
+TEST(Aggregation, NoMergeFlagKeepsPipeline) {
+  auto M = lower(sl::tests::MiniRouter);
+  profile::ProfileData Prof = routerProfile(*M);
+  map::MapParams P;
+  P.NumMEs = 4;
+  P.AllowMerging = false;
+  map::MappingPlan Plan = map::formAggregates(*M, Prof, P);
+  unsigned MeAggs = 0;
+  for (const auto &A : Plan.Aggregates)
+    if (!A.OnXScale)
+      ++MeAggs;
+  EXPECT_EQ(MeAggs, 2u) << "forced pipeline keeps both stages";
+}
+
+TEST(Aggregation, GreedyFillFavorsTheBottleneck) {
+  auto M = lower(sl::tests::MiniRouter);
+  profile::ProfileData Prof = routerProfile(*M);
+  map::MapParams P;
+  P.NumMEs = 5;
+  P.AllowMerging = false;
+  map::MappingPlan Plan = map::formAggregates(*M, Prof, P);
+  // 5 MEs over 2 stages: the costlier stage gets the extra MEs.
+  unsigned Total = 0;
+  const map::Aggregate *Costly = nullptr;
+  for (const auto &A : Plan.Aggregates) {
+    if (A.OnXScale)
+      continue;
+    Total += A.Copies;
+    if (!Costly || A.CostPerPacket > Costly->CostPerPacket)
+      Costly = &A;
+  }
+  EXPECT_EQ(Total, 5u);
+  ASSERT_NE(Costly, nullptr);
+  EXPECT_GE(Costly->Copies, 3u);
+}
+
+TEST(Aggregation, InputChannelsComputed) {
+  auto M = lower(sl::tests::MiniRouter);
+  profile::ProfileData Prof = routerProfile(*M);
+  map::MapParams P;
+  P.NumMEs = 2;
+  P.AllowMerging = false;
+  map::MappingPlan Plan = map::formAggregates(*M, Prof, P);
+  bool SawRx = false, SawChan = false;
+  for (const auto &A : Plan.Aggregates)
+    for (unsigned C : A.InputChans) {
+      SawRx |= (C == map::RxChanId);
+      SawChan |= (C == 1);
+    }
+  EXPECT_TRUE(SawRx);
+  EXPECT_TRUE(SawChan);
+}
+
+//===----------------------------------------------------------------------===//
+// Memory map
+//===----------------------------------------------------------------------===//
+
+TEST(MemoryMap, LayoutIsDisjointAndAligned) {
+  auto M = lower(sl::tests::MiniRouter);
+  rts::MemoryMap Map = rts::buildMemoryMap(*M);
+
+  // Globals: non-overlapping, word-aligned, below the metadata pool.
+  struct Range {
+    uint32_t Lo, Hi;
+  };
+  std::vector<Range> Rs;
+  for (const auto &[G, Base] : Map.GlobalBase) {
+    EXPECT_EQ(Base % 4, 0u);
+    uint32_t Size =
+        static_cast<uint32_t>(G->count() * rts::MemoryMap::elemWords(G) * 4);
+    EXPECT_LE(Base + Size, Map.MetaPoolBase);
+    Rs.push_back({Base, Base + Size});
+  }
+  for (size_t A = 0; A != Rs.size(); ++A)
+    for (size_t B = A + 1; B != Rs.size(); ++B)
+      EXPECT_TRUE(Rs[A].Hi <= Rs[B].Lo || Rs[B].Hi <= Rs[A].Lo)
+          << "global ranges overlap";
+
+  EXPECT_GT(Map.MetaBlockBytes, 12u);
+  EXPECT_GT(Map.NumRings, 2u); // rx, tx, ip_cc.
+  EXPECT_GT(Map.StackSramBase,
+            Map.MetaPoolBase + Map.NumPktHandles * Map.MetaBlockBytes - 1);
+}
+
+TEST(MemoryMap, CachePartitionsShareTheCam) {
+  auto M = lower(sl::tests::MiniRouter);
+  // Mark two globals cached.
+  M->findGlobal("route_hi")->Cached = true;
+  M->findGlobal("route_hi")->CacheCheckInterval = 64;
+  M->findGlobal("drops")->Cached = true;
+  rts::MemoryMap Map = rts::buildMemoryMap(*M);
+  ASSERT_EQ(Map.Caches.size(), 2u);
+  EXPECT_EQ(Map.Caches[0].CamEntries, 8u);
+  EXPECT_EQ(Map.Caches[1].CamEntries, 8u);
+  EXPECT_EQ(Map.Caches[0].CamBase, 0u);
+  EXPECT_EQ(Map.Caches[1].CamBase, 8u);
+  EXPECT_NE(Map.Caches[0].VersionAddr, Map.Caches[1].VersionAddr);
+  // Lines live above the per-thread stacks.
+  EXPECT_GE(Map.Caches[0].LmBase, Map.LmCacheBase);
+}
+
+//===----------------------------------------------------------------------===//
+// Cloning
+//===----------------------------------------------------------------------===//
+
+TEST(Clone, FunctionCloneIsBehaviorallyIdentical) {
+  auto M = lower(sl::tests::MiniForward);
+  ir::Function *F = M->findFunction("fwd");
+  ir::Function *Copy = ir::cloneFunction(*M, *F, "fwd.copy");
+  EXPECT_EQ(Copy->numArgs(), F->numArgs());
+  EXPECT_EQ(Copy->instrCount(), F->instrCount());
+  EXPECT_EQ(Copy->numBlocks(), F->numBlocks());
+  // Printed bodies match modulo names.
+  std::string A = ir::printFunction(*F);
+  std::string B = ir::printFunction(*Copy);
+  EXPECT_EQ(A.size(), B.size() - std::string(".copy").size());
+}
+
+} // namespace

@@ -1,0 +1,302 @@
+//===- tests/OptTest.cpp - scalar optimization pass tests --------------------==//
+
+#include "interp/Bits.h"
+#include "interp/Interp.h"
+#include "ir/ASTLower.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "opt/Passes.h"
+#include "support/Rng.h"
+#include "tests/TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace sl;
+using namespace sl::ir;
+
+namespace {
+
+std::unique_ptr<Module> lower(const char *Src) {
+  DiagEngine Diags;
+  auto Unit = baker::parseAndAnalyze(Src, Diags);
+  EXPECT_NE(Unit, nullptr) << Diags.str();
+  if (!Unit)
+    return nullptr;
+  return lowerProgram(*Unit, Diags);
+}
+
+void expectVerifies(Module &M) {
+  std::vector<std::string> Problems = verifyModule(M);
+  std::string Joined;
+  for (const auto &P : Problems)
+    Joined += P + "\n";
+  EXPECT_TRUE(Problems.empty()) << Joined;
+}
+
+size_t countOps(const Function &F, Op O) {
+  size_t N = 0;
+  for (const auto &BB : F.blocks())
+    for (const auto &I : BB->instrs())
+      N += I->op() == O;
+  return N;
+}
+
+/// Runs the same random frame batch through two modules and compares all
+/// observable outputs (tx frames + metadata + globals).
+void expectEquivalent(Module &MA, Module &MB, uint64_t Seed,
+                      unsigned NumPackets = 64) {
+  interp::Interpreter IA(MA);
+  interp::Interpreter IB(MB);
+  Rng R(Seed);
+  for (unsigned P = 0; P != NumPackets; ++P) {
+    size_t Len = 34 + R.nextBelow(31);
+    std::vector<uint8_t> Frame(Len);
+    for (auto &Byte : Frame)
+      Byte = static_cast<uint8_t>(R.next());
+    // Keep ethertype sometimes-IP so both router paths get traffic.
+    if (R.chance(1, 2)) {
+      Frame[12] = 0x08;
+      Frame[13] = 0x00;
+    }
+    uint16_t Port = static_cast<uint16_t>(R.nextBelow(4));
+    interp::RunResult RA = IA.inject(Frame, Port);
+    interp::RunResult RB = IB.inject(Frame, Port);
+    ASSERT_EQ(RA.Error, RB.Error) << RA.ErrorMsg << " vs " << RB.ErrorMsg;
+    ASSERT_EQ(RA.Tx.size(), RB.Tx.size()) << "packet " << P;
+    for (size_t T = 0; T != RA.Tx.size(); ++T) {
+      EXPECT_EQ(RA.Tx[T].Frame, RB.Tx[T].Frame) << "packet " << P;
+      EXPECT_EQ(RA.Tx[T].Meta, RB.Tx[T].Meta) << "packet " << P;
+    }
+  }
+  for (const auto &G : MA.globals())
+    for (uint64_t I = 0; I != G->count(); ++I)
+      EXPECT_EQ(IA.readGlobal(G->name(), I), IB.readGlobal(G->name(), I))
+          << G->name() << "[" << I << "]";
+}
+
+TEST(Opt, Mem2RegRemovesAllAllocas) {
+  auto M = lower(sl::tests::MiniRouter);
+  for (const auto &F : M->functions()) {
+    opt::simplifyCfg(*F);
+    opt::mem2reg(*F);
+    EXPECT_EQ(countOps(*F, Op::Alloca), 0u) << F->name();
+    EXPECT_EQ(countOps(*F, Op::Load), 0u) << F->name();
+    EXPECT_EQ(countOps(*F, Op::Store), 0u) << F->name();
+  }
+  expectVerifies(*M);
+}
+
+TEST(Opt, Mem2RegPreservesBehavior) {
+  auto MA = lower(sl::tests::MiniRouter);
+  auto MB = lower(sl::tests::MiniRouter);
+  interp::Interpreter Pre(*MA); // Set identical tables in both.
+  for (const auto &F : MB->functions()) {
+    opt::simplifyCfg(*F);
+    opt::mem2reg(*F);
+  }
+  expectVerifies(*MB);
+  interp::Interpreter IA(*MA);
+  interp::Interpreter IB(*MB);
+  IA.writeGlobal("route_hi", 0xA, 3);
+  IB.writeGlobal("route_hi", 0xA, 3);
+  std::vector<uint8_t> F(64, 0);
+  F[12] = 0x08; // ethertype ipv4
+  interp::writeBitsBE(F.data(), 14 * 8 + 4, 4, 5);       // hlen
+  interp::writeBitsBE(F.data(), 14 * 8 + 128, 32, 0xA0000000); // dst
+  auto RA = IA.inject(F, 0);
+  auto RB = IB.inject(F, 0);
+  ASSERT_FALSE(RA.Error) << RA.ErrorMsg;
+  ASSERT_FALSE(RB.Error) << RB.ErrorMsg;
+  ASSERT_EQ(RA.Tx.size(), 1u);
+  ASSERT_EQ(RB.Tx.size(), 1u);
+  EXPECT_EQ(RA.Tx[0].Frame, RB.Tx[0].Frame);
+}
+
+TEST(Opt, ConstantFoldFoldsArithmetic) {
+  auto M = lower(R"(
+    module m {
+      u32 g;
+      u32 f() { return (3 + 4) * 2 - (10 / 5); }
+    }
+  )");
+  Function *F = M->findFunction("f");
+  opt::runScalarPipeline(*F);
+  // The function body should be a single `ret 12`.
+  ASSERT_EQ(F->numBlocks(), 1u);
+  Instr *T = F->entry()->terminator();
+  ASSERT_NE(T, nullptr);
+  ASSERT_EQ(T->op(), Op::Ret);
+  const auto *C = dyn_cast<ConstInt>(T->operand(0));
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->value(), 12u);
+}
+
+TEST(Opt, ConstantFoldDoesNotFoldDivByZero) {
+  auto M = lower(R"(
+    module m {
+      u32 g;
+      u32 f(u32 x) { return 7 / (x - x); }
+    }
+  )");
+  Function *F = M->findFunction("f");
+  opt::runScalarPipeline(*F);
+  // x - x folds to 0, but 7/0 must survive as a (trapping) udiv.
+  EXPECT_EQ(countOps(*F, Op::UDiv), 1u);
+}
+
+TEST(Opt, IdentitySimplifications) {
+  auto M = lower(R"(
+    module m {
+      u32 f(u32 x) { return ((x + 0) * 1 | 0) ^ 0; }
+    }
+  )");
+  Function *F = M->findFunction("f");
+  opt::runScalarPipeline(*F);
+  // Everything reduces to `ret x`.
+  ASSERT_EQ(F->numBlocks(), 1u);
+  Instr *T = F->entry()->terminator();
+  ASSERT_EQ(T->op(), Op::Ret);
+  EXPECT_EQ(T->operand(0), F->arg(0));
+}
+
+TEST(Opt, LocalCSECollapsesRepeatedPktLoads) {
+  auto M = lower(R"(
+    protocol e { a : 16; b : 16; demux { 4 }; };
+    module m {
+      u32 g;
+      ppf f(e_pkt * ph) {
+        g = ph->a + ph->a + ph->a;
+        channel_put(tx, ph);
+      }
+      wire rx -> f;
+    }
+  )");
+  Function *F = M->findFunction("f");
+  opt::simplifyCfg(*F);
+  opt::mem2reg(*F);
+  size_t Before = countOps(*F, Op::PktLoad);
+  EXPECT_EQ(Before, 3u);
+  opt::localCSE(*F);
+  opt::deadCodeElim(*F);
+  EXPECT_EQ(countOps(*F, Op::PktLoad), 1u);
+  expectVerifies(*M);
+}
+
+TEST(Opt, CSEDoesNotCrossStores) {
+  auto M = lower(R"(
+    protocol e { a : 16; b : 16; demux { 4 }; };
+    module m {
+      u32 g;
+      ppf f(e_pkt * ph) {
+        u32 x = ph->a;
+        ph->a = 5;
+        u32 y = ph->a;
+        g = x + y;
+        channel_put(tx, ph);
+      }
+      wire rx -> f;
+    }
+  )");
+  Function *F = M->findFunction("f");
+  opt::simplifyCfg(*F);
+  opt::mem2reg(*F);
+  opt::localCSE(*F);
+  opt::deadCodeElim(*F);
+  // Both loads must remain: the store in between invalidates.
+  EXPECT_EQ(countOps(*F, Op::PktLoad), 2u);
+}
+
+TEST(Opt, DCERemovesDeadComputation) {
+  auto M = lower(R"(
+    module m {
+      u32 f(u32 x) {
+        u32 dead = x * 12345;
+        u32 dead2 = dead + 99;
+        return x;
+      }
+    }
+  )");
+  Function *F = M->findFunction("f");
+  opt::runScalarPipeline(*F);
+  EXPECT_EQ(countOps(*F, Op::Mul), 0u);
+  EXPECT_EQ(countOps(*F, Op::Add), 0u);
+}
+
+TEST(Opt, InlinerExpandsHelpers) {
+  auto M = lower(R"(
+    protocol e { a : 16; b : 16; demux { 4 }; };
+    module m {
+      u32 g;
+      u32 twice(u32 x) { return x + x; }
+      u32 quad(u32 x) { return twice(twice(x)); }
+      ppf f(e_pkt * ph) {
+        g = quad(ph->a);
+        channel_put(tx, ph);
+      }
+      wire rx -> f;
+    }
+  )");
+  opt::inlineCalls(*M);
+  Function *F = M->findFunction("f");
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(countOps(*F, Op::Call), 0u);
+  // Fully inlined helpers are removed from the module.
+  EXPECT_EQ(M->findFunction("twice"), nullptr);
+  EXPECT_EQ(M->findFunction("quad"), nullptr);
+  expectVerifies(*M);
+}
+
+TEST(Opt, InlinerPreservesBehavior) {
+  const char *Src = R"(
+    protocol e { a : 16; b : 16; demux { 4 }; };
+    module m {
+      u32 g;
+      u32 clamp(u32 x, u32 hi) { if (x > hi) { return hi; } return x; }
+      ppf f(e_pkt * ph) {
+        g = clamp(ph->a, 1000) + clamp(ph->b, 50);
+        channel_put(tx, ph);
+      }
+      wire rx -> f;
+    }
+  )";
+  auto MA = lower(Src);
+  auto MB = lower(Src);
+  opt::runO2(*MB);
+  expectVerifies(*MB);
+  expectEquivalent(*MA, *MB, /*Seed=*/42);
+}
+
+struct EquivCase {
+  const char *Name;
+  const char *Src;
+};
+
+class PipelineEquivalence : public ::testing::TestWithParam<EquivCase> {};
+
+TEST_P(PipelineEquivalence, O1MatchesBase) {
+  auto MA = lower(GetParam().Src);
+  auto MB = lower(GetParam().Src);
+  ASSERT_NE(MA, nullptr);
+  ASSERT_NE(MB, nullptr);
+  opt::runO1(*MB);
+  expectVerifies(*MB);
+  expectEquivalent(*MA, *MB, 7);
+}
+
+TEST_P(PipelineEquivalence, O2MatchesBase) {
+  auto MA = lower(GetParam().Src);
+  auto MB = lower(GetParam().Src);
+  opt::runO2(*MB);
+  expectVerifies(*MB);
+  expectEquivalent(*MA, *MB, 1234);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, PipelineEquivalence,
+    ::testing::Values(EquivCase{"forward", sl::tests::MiniForward},
+                      EquivCase{"router", sl::tests::MiniRouter}),
+    [](const ::testing::TestParamInfo<EquivCase> &Info) {
+      return Info.param.Name;
+    });
+
+} // namespace

@@ -1,0 +1,173 @@
+//===- tests/ParserTest.cpp - Baker parser unit tests ------------------------==//
+
+#include "baker/Lexer.h"
+#include "baker/Parser.h"
+#include "tests/TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace sl;
+using namespace sl::baker;
+
+namespace {
+
+std::unique_ptr<Program> parse(const std::string &Src, bool ExpectOk = true) {
+  DiagEngine Diags;
+  Lexer L(Src, Diags);
+  Parser P(L.lexAll(), Diags);
+  std::unique_ptr<Program> Prog = P.parseProgram();
+  if (ExpectOk)
+    EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  else
+    EXPECT_TRUE(Diags.hasErrors());
+  return Prog;
+}
+
+TEST(Parser, ProtocolDecl) {
+  auto P = parse("protocol ether { dst : 48; src : 48; type : 16; "
+                 "demux { 14 }; };");
+  ASSERT_EQ(P->Protocols.size(), 1u);
+  const ProtocolDecl &D = *P->Protocols[0];
+  EXPECT_EQ(D.Name, "ether");
+  ASSERT_EQ(D.Fields.size(), 3u);
+  EXPECT_EQ(D.Fields[0].Name, "dst");
+  EXPECT_EQ(D.Fields[0].Bits, 48u);
+  EXPECT_NE(D.Demux, nullptr);
+}
+
+TEST(Parser, ProtocolRequiresDemux) {
+  parse("protocol p { a : 8; };", /*ExpectOk=*/false);
+}
+
+TEST(Parser, MetadataDecl) {
+  auto P = parse("metadata { flow : 32; color : 2; };");
+  ASSERT_NE(P->Metadata, nullptr);
+  ASSERT_EQ(P->Metadata->Fields.size(), 2u);
+  EXPECT_EQ(P->Metadata->Fields[1].Name, "color");
+  EXPECT_EQ(P->Metadata->Fields[1].Bits, 2u);
+}
+
+TEST(Parser, ModuleWithGlobalsAndChannel) {
+  auto P = parse(R"(
+    protocol e { x : 8; demux { 1 }; };
+    module m {
+      u32 table[64] = { 1, 2, 3 };
+      u16 scalar = 7;
+      channel c : e;
+      ppf f(e_pkt * ph) { channel_put(c, ph); }
+      wire rx -> f;
+      wire c -> f;
+    }
+  )");
+  ASSERT_EQ(P->Globals.size(), 2u);
+  EXPECT_TRUE(P->Globals[0]->IsArray);
+  EXPECT_EQ(P->Globals[0]->Count, 64u);
+  ASSERT_EQ(P->Globals[0]->Init.size(), 3u);
+  EXPECT_EQ(P->Channels.size(), 1u);
+  EXPECT_EQ(P->Wires.size(), 2u);
+  ASSERT_EQ(P->Funcs.size(), 1u);
+  EXPECT_TRUE(P->Funcs[0]->IsPpf);
+}
+
+TEST(Parser, PacketHandleDecl) {
+  auto P = parse(R"(
+    protocol a { x : 8; demux { 1 }; };
+    protocol b { y : 8; demux { 1 }; };
+    module m {
+      ppf f(a_pkt * ph) {
+        b_pkt * inner = packet_decap(ph);
+        channel_put(tx, inner);
+      }
+      wire rx -> f;
+    }
+  )");
+  const auto *Body = cast<BlockStmt>(P->Funcs[0]->Body.get());
+  ASSERT_GE(Body->Body.size(), 1u);
+  const auto *Decl = dyn_cast<VarDeclStmt>(Body->Body[0].get());
+  ASSERT_NE(Decl, nullptr);
+  EXPECT_TRUE(Decl->DeclTy.isPacket());
+  EXPECT_EQ(Decl->DeclTy.protocol(), "b");
+}
+
+TEST(Parser, OperatorPrecedence) {
+  auto P = parse(R"(
+    module m { u32 g;
+      u32 f(u32 a, u32 b) { return a + b * 2 == a << 1 | b ? 1 : 0; }
+    }
+  )");
+  ASSERT_EQ(P->Funcs.size(), 1u);
+  const auto *Body = cast<BlockStmt>(P->Funcs[0]->Body.get());
+  const auto *Ret = dyn_cast<ReturnStmt>(Body->Body[0].get());
+  ASSERT_NE(Ret, nullptr);
+  EXPECT_EQ(Ret->Value->kind(), Expr::Kind::Cond);
+}
+
+TEST(Parser, CompoundAssignDesugars) {
+  auto P = parse("module m { u32 g; u32 f() { g += 3; return g; } }");
+  const auto *Body = cast<BlockStmt>(P->Funcs[0]->Body.get());
+  const auto *ES = dyn_cast<ExprStmt>(Body->Body[0].get());
+  ASSERT_NE(ES, nullptr);
+  const auto *Assign = dyn_cast<AssignExpr>(ES->E.get());
+  ASSERT_NE(Assign, nullptr);
+  const auto *Sum = dyn_cast<BinaryExpr>(Assign->RHS.get());
+  ASSERT_NE(Sum, nullptr);
+  EXPECT_EQ(Sum->Op, BinOp::Add);
+}
+
+TEST(Parser, ControlFlowStatements) {
+  auto P = parse(R"(
+    module m {
+      u32 f(u32 n) {
+        u32 acc = 0;
+        for (u32 i = 0; i < n; i = i + 1) {
+          if (i == 3) { continue; }
+          acc = acc + i;
+          while (acc > 100) { acc = acc - 7; break; }
+        }
+        return acc;
+      }
+    }
+  )");
+  EXPECT_EQ(P->Funcs.size(), 1u);
+}
+
+TEST(Parser, CriticalSection) {
+  auto P = parse(R"(
+    module m {
+      u32 g;
+      u32 f() { critical (glock) { g = g + 1; } return g; }
+    }
+  )");
+  const auto *Body = cast<BlockStmt>(P->Funcs[0]->Body.get());
+  const auto *C = dyn_cast<CriticalStmt>(Body->Body[0].get());
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->LockName, "glock");
+}
+
+TEST(Parser, MetaFieldAccess) {
+  auto P = parse(R"(
+    protocol e { x : 8; demux { 1 }; };
+    metadata { color : 4; };
+    module m {
+      ppf f(e_pkt * ph) { ph->meta.color = 3; channel_put(tx, ph); }
+      wire rx -> f;
+    }
+  )");
+  const auto *Body = cast<BlockStmt>(P->Funcs[0]->Body.get());
+  const auto *ES = cast<ExprStmt>(Body->Body[0].get());
+  const auto *Assign = cast<AssignExpr>(ES->E.get());
+  EXPECT_EQ(Assign->LHS->kind(), Expr::Kind::MetaField);
+}
+
+TEST(Parser, ErrorOnGarbage) { parse("protocol ;;;", /*ExpectOk=*/false); }
+
+TEST(Parser, ErrorOnMissingSemicolon) {
+  parse("module m { u32 f() { return 1 } }", /*ExpectOk=*/false);
+}
+
+TEST(Parser, FullPrograms) {
+  parse(sl::tests::MiniForward);
+  parse(sl::tests::MiniRouter);
+}
+
+} // namespace

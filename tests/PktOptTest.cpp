@@ -1,0 +1,640 @@
+//===- tests/PktOptTest.cpp - SOAR / PAC / PHR / SWC tests --------------------==//
+
+#include "interp/Bits.h"
+#include "interp/Interp.h"
+#include "ir/ASTLower.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "opt/Passes.h"
+#include "pktopt/Pac.h"
+#include "pktopt/Phr.h"
+#include "pktopt/Soar.h"
+#include "pktopt/Swc.h"
+#include "profile/Profiler.h"
+#include "support/Rng.h"
+#include "tests/TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace sl;
+using namespace sl::ir;
+
+namespace {
+
+const char *PacLoadsSrc = R"(
+  protocol ether { dst:48; src:48; type:16; demux { 14 }; };
+  module m {
+    u64 sum;
+    ppf f(ether_pkt * ph) {
+      sum = ph->dst + ph->src + ph->type;
+      channel_put(tx, ph);
+    }
+    wire rx -> f;
+  }
+)";
+
+std::unique_ptr<Module> lower(const char *Src, bool O2 = true) {
+  DiagEngine Diags;
+  auto Unit = baker::parseAndAnalyze(Src, Diags);
+  EXPECT_NE(Unit, nullptr) << Diags.str();
+  if (!Unit)
+    return nullptr;
+  auto M = lowerProgram(*Unit, Diags);
+  if (O2)
+    opt::runO2(*M);
+  return M;
+}
+
+void expectVerifies(Module &M) {
+  std::vector<std::string> Problems = verifyModule(M);
+  std::string Joined;
+  for (const auto &P : Problems)
+    Joined += P + "\n";
+  EXPECT_TRUE(Problems.empty()) << Joined;
+}
+
+size_t countOps(const Function &F, Op O) {
+  size_t N = 0;
+  for (const auto &BB : F.blocks())
+    for (const auto &I : BB->instrs())
+      N += I->op() == O;
+  return N;
+}
+
+std::vector<Instr *> findOps(Function &F, Op O) {
+  std::vector<Instr *> Out;
+  for (const auto &BB : F.blocks())
+    for (const auto &I : BB->instrs())
+      if (I->op() == O)
+        Out.push_back(I.get());
+  return Out;
+}
+
+/// Frame-level equivalence (ignores metadata, which PHR may localize).
+void expectFrameEquivalent(Module &MA, Module &MB, uint64_t Seed,
+                           unsigned NumPackets = 96) {
+  interp::Interpreter IA(MA);
+  interp::Interpreter IB(MB);
+  Rng R(Seed);
+  for (unsigned P = 0; P != NumPackets; ++P) {
+    size_t Len = 34 + R.nextBelow(31);
+    std::vector<uint8_t> Frame(Len);
+    for (auto &Byte : Frame)
+      Byte = static_cast<uint8_t>(R.next());
+    if (R.chance(1, 2)) {
+      Frame[12] = 0x08;
+      Frame[13] = 0x00;
+    }
+    auto RA = IA.inject(Frame, static_cast<uint16_t>(R.nextBelow(4)));
+    auto RB = IB.inject(Frame, static_cast<uint16_t>(R.nextBelow(4)));
+    ASSERT_EQ(RA.Error, RB.Error) << RA.ErrorMsg << " / " << RB.ErrorMsg;
+    ASSERT_EQ(RA.Tx.size(), RB.Tx.size()) << "packet " << P;
+    for (size_t T = 0; T != RA.Tx.size(); ++T)
+      EXPECT_EQ(RA.Tx[T].Frame, RB.Tx[T].Frame) << "packet " << P;
+  }
+  for (const auto &G : MA.globals())
+    for (uint64_t I = 0; I != G->count(); ++I)
+      EXPECT_EQ(IA.readGlobal(G->name(), I), IB.readGlobal(G->name(), I));
+}
+
+//===----------------------------------------------------------------------===//
+// SOAR
+//===----------------------------------------------------------------------===//
+
+TEST(Soar, EntryHandleHasOffsetZero) {
+  auto M = lower(PacLoadsSrc);
+  pktopt::SoarResult R = pktopt::runSoar(*M);
+  Function *F = M->findFunction("f");
+  std::vector<Instr *> Loads = findOps(*F, Op::PktLoad);
+  ASSERT_FALSE(Loads.empty());
+  for (Instr *I : Loads) {
+    EXPECT_EQ(I->StaticHdrOff, 0);
+    EXPECT_EQ(I->StaticAlign, 8u);
+  }
+  EXPECT_GT(R.TotalAccesses, 0u);
+  EXPECT_EQ(R.ResolvedAccesses, R.TotalAccesses);
+}
+
+TEST(Soar, OffsetFlowsThroughDecapAndChannel) {
+  auto M = lower(sl::tests::MiniRouter);
+  pktopt::runSoar(*M);
+  // In `route`, the handle arrived over ip_cc after an ether decap:
+  // offset 14, alignment gcd(8, 14) = 2.
+  Function *Route = M->findFunction("route");
+  ASSERT_NE(Route, nullptr);
+  std::vector<Instr *> Loads = findOps(*Route, Op::PktLoad);
+  ASSERT_FALSE(Loads.empty());
+  for (Instr *I : Loads) {
+    EXPECT_EQ(I->StaticHdrOff, 14);
+    EXPECT_EQ(I->StaticAlign, 2u);
+  }
+}
+
+TEST(Soar, VariableDecapGoesUnknownButKeepsAlignment) {
+  auto M = lower(R"(
+    protocol ether { dst:48; src:48; type:16; demux { 14 }; };
+    protocol ipv4 { ver:4; hlen:4; tos:8; total_len:16; id:16; fl:16;
+                    ttl:8; proto:8; checksum:16; src:32; dst:32;
+                    demux { hlen << 2 }; };
+    protocol tcp { sport:16; dport:16; seq:32; demux { 8 }; };
+    module m {
+      u32 g;
+      ppf f(ether_pkt * ph) {
+        ipv4_pkt * ip = packet_decap(ph);
+        tcp_pkt * t = packet_decap(ip);
+        g = t->sport;
+        channel_put(tx, t);
+      }
+      wire rx -> f;
+    }
+  )");
+  pktopt::runSoar(*M);
+  Function *F = M->findFunction("f");
+  bool SawUnknown = false;
+  for (Instr *I : findOps(*F, Op::PktLoad)) {
+    if (I->FieldName == "sport") {
+      EXPECT_EQ(I->StaticHdrOff, Instr::UnknownOff);
+      // ether(14) + ipv4(hlen<<2): 14 is 2-aligned, hlen<<2 is 4-aligned.
+      EXPECT_EQ(I->StaticAlign, 2u);
+      SawUnknown = true;
+    }
+  }
+  EXPECT_TRUE(SawUnknown);
+}
+
+TEST(Soar, EncapYieldsNegativeOffset) {
+  auto M = lower(R"(
+    protocol inner { a : 32; demux { 4 }; };
+    protocol shim { label : 32; demux { 4 }; };
+    module m {
+      ppf f(inner_pkt * ph) {
+        shim_pkt * sp = packet_encap(ph);
+        sp->label = 1;
+        channel_put(tx, sp);
+      }
+      wire rx -> f;
+    }
+  )");
+  pktopt::runSoar(*M);
+  Function *F = M->findFunction("f");
+  std::vector<Instr *> Stores = findOps(*F, Op::PktStore);
+  ASSERT_EQ(Stores.size(), 1u);
+  EXPECT_EQ(Stores[0]->StaticHdrOff, -4);
+  std::vector<Instr *> Encaps = findOps(*F, Op::PktEncap);
+  ASSERT_EQ(Encaps.size(), 1u);
+  EXPECT_EQ(Encaps[0]->StaticInOff, 0);
+  EXPECT_EQ(Encaps[0]->StaticHdrOff, -4);
+}
+
+TEST(Soar, ConflictingChannelOffsetsMeetToUnknown) {
+  auto M = lower(R"(
+    protocol a { x : 32; demux { 4 }; };
+    protocol b { y : 64; demux { 8 }; };
+    module m {
+      channel c : a;
+      u32 g;
+      ppf entry(a_pkt * ph) {
+        if (ph->x == 0) {
+          channel_put(c, ph);           // offset 0
+        } else {
+          b_pkt * inner = packet_decap(ph);
+          a_pkt * deeper = packet_decap(inner);
+          channel_put(c, deeper);       // offset 12
+        }
+      }
+      ppf sink(a_pkt * ph) {
+        g = ph->x;
+        channel_put(tx, ph);
+      }
+      wire rx -> entry;
+      wire c -> sink;
+    }
+  )");
+  ASSERT_NE(M, nullptr);
+  pktopt::runSoar(*M);
+  Function *Sink = M->findFunction("sink");
+  std::vector<Instr *> Loads = findOps(*Sink, Op::PktLoad);
+  ASSERT_FALSE(Loads.empty());
+  EXPECT_EQ(Loads[0]->StaticHdrOff, Instr::UnknownOff);
+}
+
+//===----------------------------------------------------------------------===//
+// PAC
+//===----------------------------------------------------------------------===//
+
+TEST(Pac, CombinesAdjacentLoads) {
+  auto M = lower(PacLoadsSrc);
+  Function *F = M->findFunction("f");
+  EXPECT_EQ(countOps(*F, Op::PktLoad), 3u);
+  pktopt::PacResult R = pktopt::runPac(*M);
+  EXPECT_EQ(R.CombinedLoads, 3u);
+  EXPECT_EQ(R.WideLoads, 1u);
+  EXPECT_EQ(countOps(*F, Op::PktLoad), 0u);
+  EXPECT_EQ(countOps(*F, Op::PktLoadWide), 1u);
+  EXPECT_EQ(countOps(*F, Op::WideExtract), 3u);
+  std::vector<Instr *> Wide = findOps(*F, Op::PktLoadWide);
+  EXPECT_EQ(Wide[0]->ByteOff, 0u);
+  EXPECT_EQ(Wide[0]->Words, 4u); // 112 bits -> 4 words.
+  expectVerifies(*M);
+}
+
+TEST(Pac, CombinedLoadsPreserveBehavior) {
+  auto MA = lower(PacLoadsSrc);
+  auto MB = lower(PacLoadsSrc);
+  pktopt::runPac(*MB);
+  expectVerifies(*MB);
+  expectFrameEquivalent(*MA, *MB, 99);
+}
+
+TEST(Pac, CombinesStoresFullCoverage) {
+  const char *Src = R"(
+    protocol ether { dst:48; src:48; type:16; demux { 14 }; };
+    module m {
+      u64 newmac;
+      ppf f(ether_pkt * ph) {
+        ph->dst = newmac;
+        ph->src = 0x112233445566;
+        channel_put(tx, ph);
+      }
+      wire rx -> f;
+    }
+  )";
+  auto M = lower(Src);
+  Function *F = M->findFunction("f");
+  pktopt::PacResult R = pktopt::runPac(*M);
+  EXPECT_EQ(R.CombinedStores, 2u);
+  EXPECT_EQ(countOps(*F, Op::PktStore), 0u);
+  EXPECT_EQ(countOps(*F, Op::PktStoreWide), 1u);
+  // dst+src cover 96 bits exactly: full coverage, no RMW load.
+  EXPECT_EQ(countOps(*F, Op::PktLoadWide), 0u);
+  EXPECT_EQ(countOps(*F, Op::WideZero), 1u);
+  expectVerifies(*M);
+
+  auto MA = lower(Src);
+  expectFrameEquivalent(*MA, *M, 5);
+}
+
+TEST(Pac, PartialStoreGroupUsesRmw) {
+  const char *Src = R"(
+    protocol ipv4 { ver:4; hlen:4; tos:8; total_len:16; id:16; fl:16;
+                    ttl:8; proto:8; checksum:16; src:32; dst:32;
+                    demux { hlen << 2 }; };
+    module m {
+      ppf f(ipv4_pkt * ph) {
+        ph->ttl = ph->ttl - 1;
+        ph->checksum = ph->checksum + 1;
+        channel_put(tx, ph);
+      }
+      wire rx -> f;
+    }
+  )";
+  auto M = lower(Src);
+  Function *F = M->findFunction("f");
+  pktopt::runPac(*M);
+  // ttl(8) + checksum(16) do not cover the word (proto untouched): RMW.
+  EXPECT_EQ(countOps(*F, Op::PktStoreWide), 1u);
+  EXPECT_GE(countOps(*F, Op::PktLoadWide), 1u);
+  EXPECT_EQ(countOps(*F, Op::WideZero), 0u);
+  expectVerifies(*M);
+
+  auto MA = lower(Src);
+  expectFrameEquivalent(*MA, *M, 17);
+}
+
+TEST(Pac, DoesNotCombineAcrossConflictingStore) {
+  auto M = lower(R"(
+    protocol e { a:32; b:32; demux { 8 }; };
+    module m {
+      u32 g;
+      ppf f(e_pkt * ph) {
+        u32 x = ph->a;
+        ph->b = 7;
+        u32 y = ph->b;
+        g = x + y;
+        channel_put(tx, ph);
+      }
+      wire rx -> f;
+    }
+  )");
+  Function *F = M->findFunction("f");
+  pktopt::PacResult R = pktopt::runPac(*M);
+  // The store between the loads is a barrier; nothing combines.
+  EXPECT_EQ(R.WideLoads, 0u);
+  EXPECT_EQ(countOps(*F, Op::PktLoad), 2u);
+}
+
+TEST(Pac, RespectsWidthLimit) {
+  // Two accesses 128 bytes apart cannot merge into one DRAM access.
+  auto M = lower(R"(
+    protocol big { f0:32;
+      p0:64; p1:64; p2:64; p3:64; p4:64; p5:64; p6:64; p7:64;
+      p8:64; p9:64; pa:64; pb:64; pc:64; pd:64; pe:64; pf:64;
+      f1:32; demux { 136 }; };
+    module m {
+      u32 g;
+      ppf f(big_pkt * ph) {
+        g = ph->f0 + ph->f1;
+        channel_put(tx, ph);
+      }
+      wire rx -> f;
+    }
+  )");
+  Function *F = M->findFunction("f");
+  pktopt::PacResult R = pktopt::runPac(*M);
+  EXPECT_EQ(R.WideLoads, 0u);
+  EXPECT_EQ(countOps(*F, Op::PktLoad), 2u);
+}
+
+TEST(Pac, CombinesMetadataAccesses) {
+  auto M = lower(R"(
+    protocol e { x:8; demux { 1 }; };
+    metadata { a : 16; b : 16; c : 32; };
+    module m {
+      u32 g;
+      ppf f(e_pkt * ph) {
+        ph->meta.a = 1;
+        ph->meta.b = 2;
+        ph->meta.c = 3;
+        channel_put(tx, ph);
+      }
+      wire rx -> f;
+    }
+  )");
+  Function *F = M->findFunction("f");
+  pktopt::PacResult R = pktopt::runPac(*M);
+  EXPECT_EQ(R.CombinedStores, 3u);
+  std::vector<Instr *> Wide = findOps(*F, Op::PktStoreWide);
+  ASSERT_EQ(Wide.size(), 1u);
+  EXPECT_EQ(Wide[0]->Space, WideSpace::Meta);
+  expectVerifies(*M);
+}
+
+TEST(Pac, RandomizedEquivalenceOnRouter) {
+  auto MA = lower(sl::tests::MiniRouter);
+  auto MB = lower(sl::tests::MiniRouter);
+  pktopt::runPac(*MB);
+  expectVerifies(*MB);
+  interp::Interpreter Seed(*MA);
+  expectFrameEquivalent(*MA, *MB, 2024, 128);
+}
+
+//===----------------------------------------------------------------------===//
+// PHR (metadata localization)
+//===----------------------------------------------------------------------===//
+
+TEST(Phr, LocalizesSingleFunctionField) {
+  auto M = lower(R"(
+    protocol e { x:8; demux { 1 }; };
+    metadata { scratchpad : 32; };
+    module m {
+      u32 g;
+      ppf f(e_pkt * ph) {
+        ph->meta.scratchpad = ph->x * 2;
+        g = ph->meta.scratchpad + 1;
+        channel_put(tx, ph);
+      }
+      wire rx -> f;
+    }
+  )");
+  Function *F = M->findFunction("f");
+  EXPECT_EQ(countOps(*F, Op::MetaStore), 1u);
+  EXPECT_EQ(countOps(*F, Op::MetaLoad), 1u);
+  unsigned N = pktopt::localizeMetadata(*M);
+  EXPECT_EQ(N, 1u);
+  EXPECT_EQ(countOps(*F, Op::MetaStore), 0u);
+  EXPECT_EQ(countOps(*F, Op::MetaLoad), 0u);
+  opt::runScalarPipeline(*F);
+  expectVerifies(*M);
+}
+
+TEST(Phr, KeepsExternAndCrossFunctionFields) {
+  auto M = lower(R"(
+    protocol e { x:8; demux { 1 }; };
+    metadata { flow : 32; };
+    module m {
+      channel c : e;
+      u32 g;
+      ppf a(e_pkt * ph) {
+        ph->meta.flow = ph->x;     // Written here...
+        channel_put(c, ph);
+      }
+      ppf b(e_pkt * ph) {
+        g = ph->meta.flow;          // ...read in another aggregate.
+        g = g + ph->meta.rx_port;   // rx_port is extern (written by Rx).
+        channel_put(tx, ph);
+      }
+      wire rx -> a;
+      wire c -> b;
+    }
+  )");
+  unsigned N = pktopt::localizeMetadata(*M);
+  EXPECT_EQ(N, 0u);
+  Function *A = M->findFunction("a");
+  Function *B = M->findFunction("b");
+  EXPECT_EQ(countOps(*A, Op::MetaStore), 1u);
+  EXPECT_EQ(countOps(*B, Op::MetaLoad), 2u);
+}
+
+TEST(Phr, LocalizationPreservesFrames) {
+  const char *Src = R"(
+    protocol e { x:8; y:8; demux { 2 }; };
+    metadata { tmp : 16; };
+    module m {
+      u32 g;
+      ppf f(e_pkt * ph) {
+        ph->meta.tmp = ph->x + 1;
+        if (ph->meta.tmp > 10) { ph->y = 0xFF; }
+        g = g + ph->meta.tmp;
+        channel_put(tx, ph);
+      }
+      wire rx -> f;
+    }
+  )";
+  auto MA = lower(Src);
+  auto MB = lower(Src);
+  EXPECT_EQ(pktopt::localizeMetadata(*MB), 1u);
+  opt::runO1(*MB);
+  expectVerifies(*MB);
+  expectFrameEquivalent(*MA, *MB, 31);
+}
+
+//===----------------------------------------------------------------------===//
+// SWC
+//===----------------------------------------------------------------------===//
+
+TEST(Swc, SelectsHotReadMostlyGlobal) {
+  auto M = lower(sl::tests::MiniRouter);
+  profile::Profiler P(*M);
+  P.interp().writeGlobal("route_hi", 0xA, 7);
+  P.interp().writeGlobal("route_hi", 0x5, 3);
+
+  profile::Trace T;
+  Rng R(3);
+  for (unsigned I = 0; I != 200; ++I) {
+    std::vector<uint8_t> F(64, 0);
+    F[12] = 0x08;
+    interp::writeBitsBE(F.data(), 14 * 8 + 4, 4, 5);
+    uint32_t Dst = R.chance(1, 2) ? 0xA1234567 : 0x51234567;
+    interp::writeBitsBE(F.data(), 14 * 8 + 128, 32, Dst);
+    T.push_back({F, 0});
+  }
+  profile::ProfileData Prof = P.run(T);
+
+  pktopt::SwcResult SR = pktopt::runSwc(*M, Prof);
+  ASSERT_EQ(SR.Cached.size(), 1u);
+  EXPECT_EQ(SR.Cached[0]->name(), "route_hi");
+  EXPECT_TRUE(SR.Cached[0]->Cached);
+  // No stores in the trace: the check interval takes its maximum.
+  EXPECT_EQ(SR.Cached[0]->CacheCheckInterval, 4096u);
+}
+
+TEST(Swc, RejectsWriteHeavyGlobal) {
+  // `drops` is written per packet (a counter) and must not be cached.
+  auto M = lower(sl::tests::MiniRouter);
+  profile::Profiler P(*M);
+  profile::Trace T;
+  for (unsigned I = 0; I != 50; ++I) {
+    std::vector<uint8_t> F(64, 0); // Non-IP -> drop path increments drops.
+    T.push_back({F, 0});
+  }
+  profile::ProfileData Prof = P.run(T);
+  pktopt::SwcResult SR = pktopt::runSwc(*M, Prof);
+  for (ir::Global *G : SR.Cached)
+    EXPECT_NE(G->name(), "drops");
+}
+
+TEST(Swc, CheckIntervalFollowsEquationTwo) {
+  auto M = lower(R"(
+    protocol e { x:8; demux { 1 }; };
+    module m {
+      u32 table[4];
+      u32 g;
+      ppf f(e_pkt * ph) {
+        g = table[ph->x & 3];
+        channel_put(tx, ph);
+      }
+      wire rx -> f;
+    }
+  )");
+  profile::Profiler P(*M);
+  profile::Trace T;
+  for (unsigned I = 0; I != 1000; ++I)
+    T.push_back({{static_cast<uint8_t>(I & 3)}, 0});
+  profile::ProfileData Prof = P.run(T);
+
+  // The table is only written from the control plane; Equation 2 uses the
+  // operator's expected store rate. r_store = 0.1, r_load = 1.0,
+  // r_error = 1e-3 -> check rate 100/packet -> interval clamps to 1.
+  pktopt::SwcParams Params;
+  Params.ErrorRate = 1e-3;
+  Params.ControlPlaneStoreRate = 0.1;
+  pktopt::SwcResult SR = pktopt::runSwc(*M, Prof, Params);
+  bool Found = false;
+  for (ir::Global *G : SR.Cached) {
+    if (G->name() != "table")
+      continue;
+    Found = true;
+    EXPECT_EQ(G->CacheCheckInterval, 1u);
+  }
+  EXPECT_TRUE(Found);
+
+  // A gentler store estimate lengthens the interval per the formula:
+  // 0.0001 * 1.0 / 1e-3 = 0.1/packet -> every 10 packets.
+  for (const auto &G : M->globals())
+    G->Cached = false;
+  Params.ControlPlaneStoreRate = 0.0001;
+  pktopt::SwcResult SR2 = pktopt::runSwc(*M, Prof, Params);
+  ASSERT_EQ(SR2.Cached.size(), 1u);
+  EXPECT_EQ(SR2.Cached[0]->CacheCheckInterval, 10u);
+}
+
+TEST(Swc, RefusesDataPlaneWrittenTables) {
+  // A table the PPF itself writes must never be cached: the writing ME's
+  // own delayed-update cache would serve stale data it just overwrote.
+  auto M = lower(R"(
+    protocol e { x:8; demux { 1 }; };
+    module m {
+      u32 table[4];
+      u32 g;
+      ppf f(e_pkt * ph) {
+        g = table[ph->x & 3];
+        if (ph->x == 0) { table[1] = g + 1; }
+        channel_put(tx, ph);
+      }
+      wire rx -> f;
+    }
+  )");
+  profile::Profiler P(*M);
+  profile::Trace T;
+  for (unsigned I = 0; I != 200; ++I)
+    T.push_back({{static_cast<uint8_t>(I & 3)}, 0});
+  profile::ProfileData Prof = P.run(T);
+  pktopt::SwcParams Params;
+  Params.MaxStoresPerPacket = 1.0; // Even with a permissive rate limit...
+  pktopt::SwcResult SR = pktopt::runSwc(*M, Prof, Params);
+  for (ir::Global *G : SR.Cached)
+    EXPECT_NE(G->name(), "table") << "...the structural check must veto";
+}
+
+//===----------------------------------------------------------------------===//
+// Profiler
+//===----------------------------------------------------------------------===//
+
+TEST(Profiler, CountsCallsInstrsAndChannels) {
+  auto M = lower(sl::tests::MiniRouter, /*O2=*/false);
+  profile::Profiler P(*M);
+  P.interp().writeGlobal("route_hi", 0xA, 7);
+
+  profile::Trace T;
+  for (unsigned I = 0; I != 10; ++I) {
+    std::vector<uint8_t> F(64, 0);
+    F[12] = 0x08;
+    interp::writeBitsBE(F.data(), 14 * 8 + 4, 4, 5);
+    interp::writeBitsBE(F.data(), 14 * 8 + 128, 32, 0xA0000001);
+    T.push_back({F, 0});
+  }
+  // Plus 5 ARP packets that are dropped in classify.
+  for (unsigned I = 0; I != 5; ++I)
+    T.push_back({std::vector<uint8_t>(64, 0), 0});
+
+  profile::ProfileData Prof = P.run(T);
+  EXPECT_EQ(Prof.Packets, 15u);
+
+  Function *Classify = M->findFunction("classify");
+  Function *Route = M->findFunction("route");
+  EXPECT_DOUBLE_EQ(Prof.callFrequency(Classify), 1.0);
+  EXPECT_DOUBLE_EQ(Prof.callFrequency(Route), 10.0 / 15.0);
+  EXPECT_GT(Prof.instrsPerPacket(Classify), 0.0);
+  EXPECT_GT(Prof.memPerPacket(Route), 0.0);
+  // ip_cc (id 1) saw the 10 IP packets; tx (id 0) the 10 forwarded.
+  EXPECT_EQ(Prof.ChannelPuts.at(1), 10u);
+  EXPECT_EQ(Prof.ChannelPuts.at(0), 10u);
+}
+
+TEST(Profiler, EstimatesHitRate) {
+  auto M = lower(R"(
+    protocol e { x:8; demux { 1 }; };
+    module m {
+      u32 t[256];
+      u32 g;
+      ppf f(e_pkt * ph) { g = t[ph->x]; channel_put(tx, ph); }
+      wire rx -> f;
+    }
+  )");
+  profile::Profiler P(*M);
+  profile::Trace Hot, Cold;
+  Rng R(11);
+  for (unsigned I = 0; I != 400; ++I) {
+    Hot.push_back({{static_cast<uint8_t>(R.nextBelow(4))}, 0});
+    Cold.push_back({{static_cast<uint8_t>(R.nextBelow(256))}, 0});
+  }
+  profile::ProfileData ProfHot = P.run(Hot);
+  ir::Global *G = M->findGlobal("t");
+  EXPECT_GT(ProfHot.Globals.at(G).EstHitRate, 0.9);
+
+  profile::Profiler P2(*M);
+  profile::ProfileData ProfCold = P2.run(Cold);
+  EXPECT_LT(ProfCold.Globals.at(G).EstHitRate, 0.3);
+}
+
+} // namespace

@@ -1,0 +1,215 @@
+//===- tests/SemaTest.cpp - Baker semantic analysis tests --------------------==//
+
+#include "baker/Frontend.h"
+#include "tests/TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace sl;
+using namespace sl::baker;
+
+namespace {
+
+std::unique_ptr<CompiledUnit> analyzeOk(const std::string &Src) {
+  DiagEngine Diags;
+  auto Unit = parseAndAnalyze(Src, Diags);
+  EXPECT_NE(Unit, nullptr) << Diags.str();
+  return Unit;
+}
+
+void analyzeErr(const std::string &Src, const std::string &Needle) {
+  DiagEngine Diags;
+  auto Unit = parseAndAnalyze(Src, Diags);
+  EXPECT_EQ(Unit, nullptr);
+  EXPECT_TRUE(Diags.hasErrors());
+  if (!Needle.empty()) {
+    EXPECT_NE(Diags.str().find(Needle), std::string::npos) << Diags.str();
+  }
+}
+
+TEST(Sema, ProtocolFieldOffsets) {
+  auto U = analyzeOk(sl::tests::MiniForward);
+  const ProtocolDecl *E = U->Sema.Protocols.at("ether");
+  EXPECT_EQ(E->Fields[0].BitOff, 0u);
+  EXPECT_EQ(E->Fields[1].BitOff, 48u);
+  EXPECT_EQ(E->Fields[2].BitOff, 96u);
+  EXPECT_EQ(E->HeaderBits, 112u);
+  EXPECT_TRUE(E->DemuxIsConst);
+  EXPECT_EQ(E->DemuxConstBytes, 14u);
+}
+
+TEST(Sema, VariableDemuxIsNotConst) {
+  auto U = analyzeOk(sl::tests::MiniRouter);
+  const ProtocolDecl *V4 = U->Sema.Protocols.at("ipv4");
+  EXPECT_FALSE(V4->DemuxIsConst);
+  EXPECT_EQ(V4->HeaderBits, 160u);
+}
+
+TEST(Sema, MetadataLayoutIncludesRxPort) {
+  auto U = analyzeOk(sl::tests::MiniForward);
+  ASSERT_EQ(U->Sema.MetaFields.size(), 2u);
+  EXPECT_EQ(U->Sema.MetaFields[0].Name, "rx_port");
+  EXPECT_EQ(U->Sema.MetaFields[0].BitOff, 0u);
+  EXPECT_EQ(U->Sema.MetaFields[1].Name, "outp");
+  EXPECT_EQ(U->Sema.MetaFields[1].BitOff, 16u);
+  EXPECT_EQ(U->Sema.MetaBits, 32u);
+}
+
+TEST(Sema, WiringResolved) {
+  auto U = analyzeOk(sl::tests::MiniRouter);
+  ASSERT_NE(U->Sema.EntryPpf, nullptr);
+  EXPECT_EQ(U->Sema.EntryPpf->Name, "classify");
+  ASSERT_EQ(U->Sema.Channels.size(), 1u);
+  EXPECT_EQ(U->Sema.Channels[0]->Name, "ip_cc");
+  EXPECT_EQ(U->Sema.Channels[0]->DestPpf, "route");
+  EXPECT_EQ(U->Sema.Channels[0]->Id, 1u);
+}
+
+TEST(Sema, PktFieldTypesAndOffsets) {
+  auto U = analyzeOk(sl::tests::MiniForward);
+  // counter = counter + 1 type-checks as u32; field offsets were filled.
+  const FuncDecl *F = U->Sema.Funcs.at("fwd");
+  EXPECT_TRUE(F->IsPpf);
+}
+
+TEST(Sema, ErrorUndeclaredVariable) {
+  analyzeErr(R"(
+    module m { u32 f() { return nope; } }
+  )",
+             "undeclared identifier");
+}
+
+TEST(Sema, ErrorUnknownChannel) {
+  analyzeErr(R"(
+    protocol e { x : 8; demux { 1 }; };
+    module m {
+      ppf f(e_pkt * ph) { channel_put(ghost, ph); }
+      wire rx -> f;
+    }
+  )",
+             "unknown channel");
+}
+
+TEST(Sema, ErrorChannelProtocolMismatch) {
+  analyzeErr(R"(
+    protocol a { x : 8; demux { 1 }; };
+    protocol b { y : 8; demux { 1 }; };
+    module m {
+      channel c : a;
+      ppf f(b_pkt * ph) { channel_put(tx, ph); }
+      wire rx -> f;
+      wire c -> f;
+    }
+  )",
+             "expects");
+}
+
+TEST(Sema, ErrorWireToMissingPpf) {
+  analyzeErr(R"(
+    protocol e { x : 8; demux { 1 }; };
+    module m {
+      ppf f(e_pkt * ph) { channel_put(tx, ph); }
+      wire rx -> nothere;
+    }
+  )",
+             "not a PPF");
+}
+
+TEST(Sema, ErrorMissingRxWire) {
+  analyzeErr(R"(
+    protocol e { x : 8; demux { 1 }; };
+    module m { ppf f(e_pkt * ph) { channel_put(tx, ph); } }
+  )",
+             "wire rx");
+}
+
+TEST(Sema, ErrorUnknownProtocolField) {
+  analyzeErr(R"(
+    protocol e { x : 8; demux { 1 }; };
+    module m {
+      ppf f(e_pkt * ph) { ph->ghost = 1; channel_put(tx, ph); }
+      wire rx -> f;
+    }
+  )",
+             "no field");
+}
+
+TEST(Sema, ErrorPpfReturnsValue) {
+  analyzeErr(R"(
+    protocol e { x : 8; demux { 1 }; };
+    module m {
+      ppf f(e_pkt * ph) { return 3; }
+      wire rx -> f;
+    }
+  )",
+             "");
+}
+
+TEST(Sema, ErrorBreakOutsideLoop) {
+  analyzeErr("module m { u32 f() { break; return 0; } }", "outside");
+}
+
+TEST(Sema, ErrorEncapVariableSizeProtocol) {
+  analyzeErr(R"(
+    protocol v { len : 8; demux { len }; };
+    protocol e { x : 8; demux { 1 }; };
+    module m {
+      ppf f(e_pkt * ph) {
+        v_pkt * outer = packet_encap(ph);
+        channel_put(tx, outer);
+      }
+      wire rx -> f;
+    }
+  )",
+             "constant-size");
+}
+
+TEST(Sema, ErrorPacketHandleWithoutInit) {
+  analyzeErr(R"(
+    protocol e { x : 8; demux { 1 }; };
+    module m {
+      ppf f(e_pkt * ph) {
+        e_pkt * other = 5;
+        channel_put(tx, ph);
+      }
+      wire rx -> f;
+    }
+  )",
+             "");
+}
+
+TEST(Sema, ErrorCallPpfDirectly) {
+  analyzeErr(R"(
+    protocol e { x : 8; demux { 1 }; };
+    module m {
+      ppf g(e_pkt * ph) { channel_put(tx, ph); }
+      ppf f(e_pkt * ph) { g(ph); }
+      wire rx -> f;
+    }
+  )",
+             "cannot be called");
+}
+
+TEST(Sema, LocksGetStableIds) {
+  auto U = analyzeOk(R"(
+    module m {
+      u32 a; u32 b;
+      u32 f() {
+        critical (l1) { a = a + 1; }
+        critical (l2) { b = b + 1; }
+        critical (l1) { a = a + 2; }
+        return a + b;
+      }
+    }
+  )");
+  EXPECT_EQ(U->Sema.Locks.size(), 2u);
+  EXPECT_EQ(U->Sema.Locks.at("l1"), 0u);
+  EXPECT_EQ(U->Sema.Locks.at("l2"), 1u);
+}
+
+TEST(Sema, FullProgramsAnalyze) {
+  analyzeOk(sl::tests::MiniForward);
+  analyzeOk(sl::tests::MiniRouter);
+}
+
+} // namespace

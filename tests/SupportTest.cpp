@@ -1,0 +1,105 @@
+//===- tests/SupportTest.cpp - support library unit tests --------------------==//
+
+#include "support/BitUtils.h"
+#include "support/Diagnostics.h"
+#include "support/Rng.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+#include <set>
+
+using namespace sl;
+
+namespace {
+
+TEST(BitUtils, MaskLow) {
+  EXPECT_EQ(maskLow(0), 0u);
+  EXPECT_EQ(maskLow(1), 1u);
+  EXPECT_EQ(maskLow(16), 0xFFFFu);
+  EXPECT_EQ(maskLow(64), ~uint64_t(0));
+}
+
+TEST(BitUtils, AlignTo) {
+  EXPECT_EQ(alignTo(0, 8), 0u);
+  EXPECT_EQ(alignTo(1, 8), 8u);
+  EXPECT_EQ(alignTo(8, 8), 8u);
+  EXPECT_EQ(alignTo(9, 4), 12u);
+  EXPECT_TRUE(isAligned(64, 64));
+  EXPECT_FALSE(isAligned(65, 2));
+}
+
+TEST(BitUtils, AlignmentOf) {
+  EXPECT_EQ(alignmentOf(0), 8u);
+  EXPECT_EQ(alignmentOf(14), 2u);
+  EXPECT_EQ(alignmentOf(12), 4u);
+  EXPECT_EQ(alignmentOf(16), 8u);
+  EXPECT_EQ(alignmentOf(7), 1u);
+}
+
+TEST(BitUtils, DivideCeil) {
+  EXPECT_EQ(divideCeil(0, 4), 0u);
+  EXPECT_EQ(divideCeil(1, 4), 1u);
+  EXPECT_EQ(divideCeil(4, 4), 1u);
+  EXPECT_EQ(divideCeil(5, 4), 2u);
+}
+
+TEST(StringUtils, FormatString) {
+  EXPECT_EQ(formatString("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(formatString("empty"), "empty");
+  // Long output exceeds any small internal buffer.
+  std::string Long = formatString("%0200d", 5);
+  EXPECT_EQ(Long.size(), 200u);
+}
+
+TEST(StringUtils, SplitTrimJoin) {
+  auto Parts = splitString("a,b,,c", ',');
+  ASSERT_EQ(Parts.size(), 4u);
+  EXPECT_EQ(Parts[2], "");
+  EXPECT_EQ(trimString("  x y \t"), "x y");
+  EXPECT_EQ(trimString(""), "");
+  EXPECT_EQ(joinStrings({"a", "b"}, "::"), "a::b");
+  EXPECT_TRUE(startsWith("prefix-rest", "prefix"));
+  EXPECT_FALSE(startsWith("pre", "prefix"));
+}
+
+TEST(Diagnostics, CollectsAndCounts) {
+  DiagEngine D;
+  EXPECT_FALSE(D.hasErrors());
+  D.warning(SourceLoc(1, 2), "careful with %s", "this");
+  EXPECT_FALSE(D.hasErrors());
+  D.error(SourceLoc(3, 4), "bad %d", 42);
+  D.note(SourceLoc(3, 5), "see here");
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_EQ(D.errorCount(), 1u);
+  std::string S = D.str();
+  EXPECT_NE(S.find("1:2: warning: careful with this"), std::string::npos);
+  EXPECT_NE(S.find("3:4: error: bad 42"), std::string::npos);
+  D.clear();
+  EXPECT_FALSE(D.hasErrors());
+}
+
+TEST(Rng, DeterministicAndUniformish) {
+  Rng A(42), B(42), C(43);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+  bool Differs = false;
+  for (int I = 0; I != 10; ++I)
+    Differs |= (B.next() != C.next());
+  EXPECT_TRUE(Differs);
+
+  Rng R(7);
+  std::set<uint64_t> Seen;
+  unsigned Counts[8] = {};
+  for (int I = 0; I != 8000; ++I)
+    ++Counts[R.nextBelow(8)];
+  for (unsigned K = 0; K != 8; ++K)
+    EXPECT_NEAR(double(Counts[K]), 1000.0, 250.0);
+
+  for (int I = 0; I != 100; ++I) {
+    uint64_t V = R.nextInRange(10, 20);
+    EXPECT_GE(V, 10u);
+    EXPECT_LE(V, 20u);
+  }
+}
+
+} // namespace

@@ -1,0 +1,100 @@
+//===- tests/TestPrograms.h - shared Baker snippets for tests --------------==//
+
+#ifndef SL_TESTS_TESTPROGRAMS_H
+#define SL_TESTS_TESTPROGRAMS_H
+
+namespace sl::tests {
+
+/// A minimal forwarding program: bumps a counter, stamps an output port in
+/// metadata, forwards every packet to tx.
+inline const char *MiniForward = R"(
+protocol ether {
+  dst : 48;
+  src : 48;
+  type : 16;
+  demux { 14 };
+};
+
+metadata {
+  outp : 16;
+};
+
+module m {
+  u32 counter;
+
+  ppf fwd(ether_pkt * ph) {
+    ph->meta.outp = ph->meta.rx_port + 1;
+    counter = counter + 1;
+    channel_put(tx, ph);
+  }
+
+  wire rx -> fwd;
+}
+)";
+
+/// Exercises decap with a variable-size header (ipv4 via its length field),
+/// table lookup, loops and a second PPF via a channel.
+inline const char *MiniRouter = R"(
+protocol ether {
+  dst : 48;
+  src : 48;
+  type : 16;
+  demux { 14 };
+};
+
+protocol ipv4 {
+  ver : 4;
+  hlen : 4;
+  tos : 8;
+  total_len : 16;
+  id : 16;
+  flags : 3;
+  frag : 13;
+  ttl : 8;
+  proto : 8;
+  checksum : 16;
+  src : 32;
+  dst : 32;
+  demux { hlen << 2 };
+};
+
+metadata {
+  nexthop : 16;
+};
+
+module r {
+  u32 route_hi[16];
+  u32 drops;
+  channel ip_cc : ipv4;
+
+  ppf classify(ether_pkt * ph) {
+    if (ph->type == 0x0800) {
+      ipv4_pkt * iph = packet_decap(ph);
+      channel_put(ip_cc, iph);
+    } else {
+      packet_drop(ph);
+      drops = drops + 1;
+    }
+  }
+
+  ppf route(ipv4_pkt * iph) {
+    u32 key = iph->dst >> 28;
+    u32 hop = route_hi[key];
+    if (hop == 0) {
+      packet_drop(iph);
+      drops = drops + 1;
+      return;
+    }
+    iph->meta.nexthop = hop;
+    iph->ttl = iph->ttl - 1;
+    channel_put(tx, iph);
+  }
+
+  wire rx -> classify;
+  wire ip_cc -> route;
+}
+)";
+
+} // namespace sl::tests
+
+#endif // SL_TESTS_TESTPROGRAMS_H

@@ -1,0 +1,120 @@
+//===- tests/WcetTest.cpp - worst-case execution time analysis ---------------==//
+
+#include "apps/Apps.h"
+#include "cg/Wcet.h"
+#include "driver/Compiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace sl;
+using namespace sl::cg;
+
+namespace {
+
+std::unique_ptr<driver::CompiledApp> compileApp(const apps::AppBundle &App,
+                                                driver::OptLevel L) {
+  driver::CompileOptions Opts;
+  Opts.Level = L;
+  Opts.NumMEs = 2;
+  Opts.TxMetaFields = App.TxMetaFields;
+  DiagEngine Diags;
+  profile::Trace T = App.makeTrace(1, 128);
+  auto C = driver::compile(App.Source, T, App.Tables, Opts, Diags);
+  EXPECT_NE(C, nullptr) << Diags.str();
+  return C;
+}
+
+TEST(Wcet, BoundsAreFiniteAndPositive) {
+  for (const apps::AppBundle &App : apps::allApps()) {
+    auto C = compileApp(App, driver::OptLevel::Swc);
+    ASSERT_NE(C, nullptr);
+    for (const auto &Bin : C->Images) {
+      if (Bin.OnXScale)
+        continue;
+      EXPECT_GT(Bin.Wcet.CyclesPerPacket, 0.0) << App.Name;
+      EXPECT_LT(Bin.Wcet.CyclesPerPacket, 1e7) << App.Name;
+    }
+  }
+}
+
+TEST(Wcet, OptimizationTightensTheBound) {
+  // The whole point of the ladder: the worst case must improve too
+  // (guaranteed line rate, not just average throughput).
+  apps::AppBundle App = apps::l3switch();
+  auto Base = compileApp(App, driver::OptLevel::Base);
+  auto Best = compileApp(App, driver::OptLevel::Swc);
+  ASSERT_NE(Base, nullptr);
+  ASSERT_NE(Best, nullptr);
+  double WBase = 0, WBest = 0;
+  for (const auto &Bin : Base->Images)
+    if (!Bin.OnXScale)
+      WBase = std::max(WBase, Bin.Wcet.CyclesPerPacket);
+  for (const auto &Bin : Best->Images)
+    if (!Bin.OnXScale)
+      WBest = std::max(WBest, Bin.Wcet.CyclesPerPacket);
+  EXPECT_LT(WBest, WBase);
+}
+
+TEST(Wcet, BoundDominatesObservedLatency) {
+  // Run the simulator and verify the WCET bound is not violated by the
+  // observed average (a weak but meaningful soundness check: the bound
+  // must sit above the per-packet average cost with headroom).
+  apps::AppBundle App = apps::mpls();
+  auto C = compileApp(App, driver::OptLevel::Swc);
+  ASSERT_NE(C, nullptr);
+  ixp::ChipParams Chip;
+  auto Sim = driver::makeSimulator(*C, Chip);
+  profile::Trace Traffic = App.makeTrace(3, 256);
+  Sim->setTraffic([&Traffic](uint64_t I) -> const ixp::SimPacket * {
+    static thread_local ixp::SimPacket P;
+    P.Frame = Traffic[I % Traffic.size()].Frame;
+    P.Port = Traffic[I % Traffic.size()].Port;
+    return &P;
+  });
+  ixp::SimStats S = Sim->run(300'000);
+  ASSERT_GT(S.TxPackets, 0u);
+  double AvgInstr = double(S.Instrs) / double(S.RxInjected);
+  double Wcet = 0;
+  for (const auto &Bin : C->Images)
+    if (!Bin.OnXScale)
+      Wcet = std::max(Wcet, Bin.Wcet.CyclesPerPacket);
+  EXPECT_GT(Wcet, AvgInstr) << "worst case must exceed the average";
+}
+
+TEST(Wcet, LoopBoundScalesTheBound) {
+  // A program with a loop: doubling the assumed bound must increase WCET.
+  const char *Src = R"(
+    protocol e { x:8; demux { 1 }; };
+    module m {
+      u32 t[64];
+      u32 g;
+      ppf f(e_pkt * ph) {
+        u32 s = 0;
+        for (u32 i = 0; i < 64; i = i + 1) { s = s + t[i]; }
+        g = s;
+        channel_put(tx, ph);
+      }
+      wire rx -> f;
+    }
+  )";
+  driver::CompileOptions Opts;
+  Opts.Level = driver::OptLevel::O2;
+  Opts.NumMEs = 1;
+  DiagEngine Diags;
+  profile::Trace T;
+  for (unsigned I = 0; I != 8; ++I)
+    T.push_back({{1}, 0});
+  auto C = driver::compile(Src, T, {}, Opts, Diags);
+  ASSERT_NE(C, nullptr) << Diags.str();
+
+  ixp::ChipParams Chip;
+  WcetParams P8, P64;
+  P8.DefaultLoopBound = 8;
+  P64.DefaultLoopBound = 64;
+  WcetResult R8 = analyzeWcet(C->Images[0].Code, Chip, P8);
+  WcetResult R64 = analyzeWcet(C->Images[0].Code, Chip, P64);
+  EXPECT_GT(R8.Loops, 0u);
+  EXPECT_GT(R64.CyclesPerPacket, R8.CyclesPerPacket * 4);
+}
+
+} // namespace
