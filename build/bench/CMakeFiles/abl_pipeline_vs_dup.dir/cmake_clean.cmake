@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_pipeline_vs_dup.dir/abl_pipeline_vs_dup.cpp.o"
+  "CMakeFiles/abl_pipeline_vs_dup.dir/abl_pipeline_vs_dup.cpp.o.d"
+  "abl_pipeline_vs_dup"
+  "abl_pipeline_vs_dup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_pipeline_vs_dup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

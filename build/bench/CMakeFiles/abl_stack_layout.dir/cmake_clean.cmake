@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_stack_layout.dir/abl_stack_layout.cpp.o"
+  "CMakeFiles/abl_stack_layout.dir/abl_stack_layout.cpp.o.d"
+  "abl_stack_layout"
+  "abl_stack_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_stack_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_stack_layout.
+# This may be replaced when dependencies are built.

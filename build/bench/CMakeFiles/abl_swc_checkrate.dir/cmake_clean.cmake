@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_swc_checkrate.dir/abl_swc_checkrate.cpp.o"
+  "CMakeFiles/abl_swc_checkrate.dir/abl_swc_checkrate.cpp.o.d"
+  "abl_swc_checkrate"
+  "abl_swc_checkrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_swc_checkrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_memory_wall.dir/fig06_memory_wall.cpp.o"
+  "CMakeFiles/fig06_memory_wall.dir/fig06_memory_wall.cpp.o.d"
+  "fig06_memory_wall"
+  "fig06_memory_wall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_memory_wall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_l3switch.dir/fig13_l3switch.cpp.o"
+  "CMakeFiles/fig13_l3switch.dir/fig13_l3switch.cpp.o.d"
+  "fig13_l3switch"
+  "fig13_l3switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_l3switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_firewall.dir/fig14_firewall.cpp.o"
+  "CMakeFiles/fig14_firewall.dir/fig14_firewall.cpp.o.d"
+  "fig14_firewall"
+  "fig14_firewall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_firewall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_mpls.dir/fig15_mpls.cpp.o"
+  "CMakeFiles/fig15_mpls.dir/fig15_mpls.cpp.o.d"
+  "fig15_mpls"
+  "fig15_mpls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_mpls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

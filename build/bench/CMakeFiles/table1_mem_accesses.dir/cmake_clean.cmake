@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_mem_accesses.dir/table1_mem_accesses.cpp.o"
+  "CMakeFiles/table1_mem_accesses.dir/table1_mem_accesses.cpp.o.d"
+  "table1_mem_accesses"
+  "table1_mem_accesses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_mem_accesses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

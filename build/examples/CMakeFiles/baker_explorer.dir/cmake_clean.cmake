@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baker_explorer.dir/baker_explorer.cpp.o"
+  "CMakeFiles/baker_explorer.dir/baker_explorer.cpp.o.d"
+  "baker_explorer"
+  "baker_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baker_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for baker_explorer.
+# This may be replaced when dependencies are built.

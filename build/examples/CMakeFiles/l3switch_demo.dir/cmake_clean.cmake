@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l3switch_demo.dir/l3switch_demo.cpp.o"
+  "CMakeFiles/l3switch_demo.dir/l3switch_demo.cpp.o.d"
+  "l3switch_demo"
+  "l3switch_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l3switch_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

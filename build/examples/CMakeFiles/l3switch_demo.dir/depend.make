@@ -1,0 +1,2 @@
+# Empty dependencies file for l3switch_demo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpls_demo.dir/mpls_demo.cpp.o"
+  "CMakeFiles/mpls_demo.dir/mpls_demo.cpp.o.d"
+  "mpls_demo"
+  "mpls_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpls_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

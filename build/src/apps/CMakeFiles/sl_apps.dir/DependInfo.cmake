@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/Apps.cpp" "src/apps/CMakeFiles/sl_apps.dir/Apps.cpp.o" "gcc" "src/apps/CMakeFiles/sl_apps.dir/Apps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/sl_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/sl_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/sl_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sl_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ixp/CMakeFiles/sl_ixp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cg/CMakeFiles/sl_cg.dir/DependInfo.cmake"
+  "/root/repo/build/src/map/CMakeFiles/sl_map.dir/DependInfo.cmake"
+  "/root/repo/build/src/pktopt/CMakeFiles/sl_pktopt.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/sl_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/rts/CMakeFiles/sl_rts.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/sl_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/baker/CMakeFiles/sl_baker.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sl_apps.dir/Apps.cpp.o"
+  "CMakeFiles/sl_apps.dir/Apps.cpp.o.d"
+  "libsl_apps.a"
+  "libsl_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sl_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baker/Frontend.cpp" "src/baker/CMakeFiles/sl_baker.dir/Frontend.cpp.o" "gcc" "src/baker/CMakeFiles/sl_baker.dir/Frontend.cpp.o.d"
+  "/root/repo/src/baker/Lexer.cpp" "src/baker/CMakeFiles/sl_baker.dir/Lexer.cpp.o" "gcc" "src/baker/CMakeFiles/sl_baker.dir/Lexer.cpp.o.d"
+  "/root/repo/src/baker/Parser.cpp" "src/baker/CMakeFiles/sl_baker.dir/Parser.cpp.o" "gcc" "src/baker/CMakeFiles/sl_baker.dir/Parser.cpp.o.d"
+  "/root/repo/src/baker/Sema.cpp" "src/baker/CMakeFiles/sl_baker.dir/Sema.cpp.o" "gcc" "src/baker/CMakeFiles/sl_baker.dir/Sema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/sl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

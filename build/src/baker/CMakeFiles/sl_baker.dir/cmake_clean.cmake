@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sl_baker.dir/Frontend.cpp.o"
+  "CMakeFiles/sl_baker.dir/Frontend.cpp.o.d"
+  "CMakeFiles/sl_baker.dir/Lexer.cpp.o"
+  "CMakeFiles/sl_baker.dir/Lexer.cpp.o.d"
+  "CMakeFiles/sl_baker.dir/Parser.cpp.o"
+  "CMakeFiles/sl_baker.dir/Parser.cpp.o.d"
+  "CMakeFiles/sl_baker.dir/Sema.cpp.o"
+  "CMakeFiles/sl_baker.dir/Sema.cpp.o.d"
+  "libsl_baker.a"
+  "libsl_baker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sl_baker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

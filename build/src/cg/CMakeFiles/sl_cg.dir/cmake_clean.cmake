@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sl_cg.dir/Lowering.cpp.o"
+  "CMakeFiles/sl_cg.dir/Lowering.cpp.o.d"
+  "CMakeFiles/sl_cg.dir/MEIR.cpp.o"
+  "CMakeFiles/sl_cg.dir/MEIR.cpp.o.d"
+  "CMakeFiles/sl_cg.dir/RegAlloc.cpp.o"
+  "CMakeFiles/sl_cg.dir/RegAlloc.cpp.o.d"
+  "CMakeFiles/sl_cg.dir/StackLayout.cpp.o"
+  "CMakeFiles/sl_cg.dir/StackLayout.cpp.o.d"
+  "CMakeFiles/sl_cg.dir/Wcet.cpp.o"
+  "CMakeFiles/sl_cg.dir/Wcet.cpp.o.d"
+  "libsl_cg.a"
+  "libsl_cg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sl_cg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sl_driver.dir/Compiler.cpp.o"
+  "CMakeFiles/sl_driver.dir/Compiler.cpp.o.d"
+  "libsl_driver.a"
+  "libsl_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sl_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sl_interp.dir/Interp.cpp.o"
+  "CMakeFiles/sl_interp.dir/Interp.cpp.o.d"
+  "libsl_interp.a"
+  "libsl_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sl_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/ASTLower.cpp" "src/ir/CMakeFiles/sl_ir.dir/ASTLower.cpp.o" "gcc" "src/ir/CMakeFiles/sl_ir.dir/ASTLower.cpp.o.d"
+  "/root/repo/src/ir/Clone.cpp" "src/ir/CMakeFiles/sl_ir.dir/Clone.cpp.o" "gcc" "src/ir/CMakeFiles/sl_ir.dir/Clone.cpp.o.d"
+  "/root/repo/src/ir/Dominators.cpp" "src/ir/CMakeFiles/sl_ir.dir/Dominators.cpp.o" "gcc" "src/ir/CMakeFiles/sl_ir.dir/Dominators.cpp.o.d"
+  "/root/repo/src/ir/Instr.cpp" "src/ir/CMakeFiles/sl_ir.dir/Instr.cpp.o" "gcc" "src/ir/CMakeFiles/sl_ir.dir/Instr.cpp.o.d"
+  "/root/repo/src/ir/Printer.cpp" "src/ir/CMakeFiles/sl_ir.dir/Printer.cpp.o" "gcc" "src/ir/CMakeFiles/sl_ir.dir/Printer.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/ir/CMakeFiles/sl_ir.dir/Verifier.cpp.o" "gcc" "src/ir/CMakeFiles/sl_ir.dir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baker/CMakeFiles/sl_baker.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sl_ir.dir/ASTLower.cpp.o"
+  "CMakeFiles/sl_ir.dir/ASTLower.cpp.o.d"
+  "CMakeFiles/sl_ir.dir/Clone.cpp.o"
+  "CMakeFiles/sl_ir.dir/Clone.cpp.o.d"
+  "CMakeFiles/sl_ir.dir/Dominators.cpp.o"
+  "CMakeFiles/sl_ir.dir/Dominators.cpp.o.d"
+  "CMakeFiles/sl_ir.dir/Instr.cpp.o"
+  "CMakeFiles/sl_ir.dir/Instr.cpp.o.d"
+  "CMakeFiles/sl_ir.dir/Printer.cpp.o"
+  "CMakeFiles/sl_ir.dir/Printer.cpp.o.d"
+  "CMakeFiles/sl_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/sl_ir.dir/Verifier.cpp.o.d"
+  "libsl_ir.a"
+  "libsl_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sl_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ixp/Simulator.cpp" "src/ixp/CMakeFiles/sl_ixp.dir/Simulator.cpp.o" "gcc" "src/ixp/CMakeFiles/sl_ixp.dir/Simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cg/CMakeFiles/sl_cg.dir/DependInfo.cmake"
+  "/root/repo/build/src/rts/CMakeFiles/sl_rts.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/sl_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sl_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/sl_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/baker/CMakeFiles/sl_baker.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

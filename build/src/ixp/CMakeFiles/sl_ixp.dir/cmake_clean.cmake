@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sl_ixp.dir/Simulator.cpp.o"
+  "CMakeFiles/sl_ixp.dir/Simulator.cpp.o.d"
+  "libsl_ixp.a"
+  "libsl_ixp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sl_ixp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sl_map.dir/Aggregation.cpp.o"
+  "CMakeFiles/sl_map.dir/Aggregation.cpp.o.d"
+  "libsl_map.a"
+  "libsl_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sl_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/ConstFold.cpp" "src/opt/CMakeFiles/sl_opt.dir/ConstFold.cpp.o" "gcc" "src/opt/CMakeFiles/sl_opt.dir/ConstFold.cpp.o.d"
+  "/root/repo/src/opt/DCE.cpp" "src/opt/CMakeFiles/sl_opt.dir/DCE.cpp.o" "gcc" "src/opt/CMakeFiles/sl_opt.dir/DCE.cpp.o.d"
+  "/root/repo/src/opt/Inliner.cpp" "src/opt/CMakeFiles/sl_opt.dir/Inliner.cpp.o" "gcc" "src/opt/CMakeFiles/sl_opt.dir/Inliner.cpp.o.d"
+  "/root/repo/src/opt/LocalCSE.cpp" "src/opt/CMakeFiles/sl_opt.dir/LocalCSE.cpp.o" "gcc" "src/opt/CMakeFiles/sl_opt.dir/LocalCSE.cpp.o.d"
+  "/root/repo/src/opt/Mem2Reg.cpp" "src/opt/CMakeFiles/sl_opt.dir/Mem2Reg.cpp.o" "gcc" "src/opt/CMakeFiles/sl_opt.dir/Mem2Reg.cpp.o.d"
+  "/root/repo/src/opt/Pipeline.cpp" "src/opt/CMakeFiles/sl_opt.dir/Pipeline.cpp.o" "gcc" "src/opt/CMakeFiles/sl_opt.dir/Pipeline.cpp.o.d"
+  "/root/repo/src/opt/SimplifyCFG.cpp" "src/opt/CMakeFiles/sl_opt.dir/SimplifyCFG.cpp.o" "gcc" "src/opt/CMakeFiles/sl_opt.dir/SimplifyCFG.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/sl_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sl_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/baker/CMakeFiles/sl_baker.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

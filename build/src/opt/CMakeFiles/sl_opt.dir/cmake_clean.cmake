@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sl_opt.dir/ConstFold.cpp.o"
+  "CMakeFiles/sl_opt.dir/ConstFold.cpp.o.d"
+  "CMakeFiles/sl_opt.dir/DCE.cpp.o"
+  "CMakeFiles/sl_opt.dir/DCE.cpp.o.d"
+  "CMakeFiles/sl_opt.dir/Inliner.cpp.o"
+  "CMakeFiles/sl_opt.dir/Inliner.cpp.o.d"
+  "CMakeFiles/sl_opt.dir/LocalCSE.cpp.o"
+  "CMakeFiles/sl_opt.dir/LocalCSE.cpp.o.d"
+  "CMakeFiles/sl_opt.dir/Mem2Reg.cpp.o"
+  "CMakeFiles/sl_opt.dir/Mem2Reg.cpp.o.d"
+  "CMakeFiles/sl_opt.dir/Pipeline.cpp.o"
+  "CMakeFiles/sl_opt.dir/Pipeline.cpp.o.d"
+  "CMakeFiles/sl_opt.dir/SimplifyCFG.cpp.o"
+  "CMakeFiles/sl_opt.dir/SimplifyCFG.cpp.o.d"
+  "libsl_opt.a"
+  "libsl_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sl_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

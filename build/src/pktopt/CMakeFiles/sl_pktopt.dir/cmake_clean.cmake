@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sl_pktopt.dir/Pac.cpp.o"
+  "CMakeFiles/sl_pktopt.dir/Pac.cpp.o.d"
+  "CMakeFiles/sl_pktopt.dir/Phr.cpp.o"
+  "CMakeFiles/sl_pktopt.dir/Phr.cpp.o.d"
+  "CMakeFiles/sl_pktopt.dir/Soar.cpp.o"
+  "CMakeFiles/sl_pktopt.dir/Soar.cpp.o.d"
+  "CMakeFiles/sl_pktopt.dir/Swc.cpp.o"
+  "CMakeFiles/sl_pktopt.dir/Swc.cpp.o.d"
+  "libsl_pktopt.a"
+  "libsl_pktopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sl_pktopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sl_profile.dir/Profiler.cpp.o"
+  "CMakeFiles/sl_profile.dir/Profiler.cpp.o.d"
+  "libsl_profile.a"
+  "libsl_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sl_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sl_rts.dir/MemoryMap.cpp.o"
+  "CMakeFiles/sl_rts.dir/MemoryMap.cpp.o.d"
+  "libsl_rts.a"
+  "libsl_rts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sl_rts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

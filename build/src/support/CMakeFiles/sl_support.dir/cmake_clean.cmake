@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sl_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/sl_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/sl_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/sl_support.dir/StringUtils.cpp.o.d"
+  "libsl_support.a"
+  "libsl_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sl_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/AppsTest.cpp" "tests/CMakeFiles/sl_tests.dir/AppsTest.cpp.o" "gcc" "tests/CMakeFiles/sl_tests.dir/AppsTest.cpp.o.d"
+  "/root/repo/tests/CgTest.cpp" "tests/CMakeFiles/sl_tests.dir/CgTest.cpp.o" "gcc" "tests/CMakeFiles/sl_tests.dir/CgTest.cpp.o.d"
+  "/root/repo/tests/EndToEndTest.cpp" "tests/CMakeFiles/sl_tests.dir/EndToEndTest.cpp.o" "gcc" "tests/CMakeFiles/sl_tests.dir/EndToEndTest.cpp.o.d"
+  "/root/repo/tests/FuzzLadderTest.cpp" "tests/CMakeFiles/sl_tests.dir/FuzzLadderTest.cpp.o" "gcc" "tests/CMakeFiles/sl_tests.dir/FuzzLadderTest.cpp.o.d"
+  "/root/repo/tests/IRCoreTest.cpp" "tests/CMakeFiles/sl_tests.dir/IRCoreTest.cpp.o" "gcc" "tests/CMakeFiles/sl_tests.dir/IRCoreTest.cpp.o.d"
+  "/root/repo/tests/InterpTest.cpp" "tests/CMakeFiles/sl_tests.dir/InterpTest.cpp.o" "gcc" "tests/CMakeFiles/sl_tests.dir/InterpTest.cpp.o.d"
+  "/root/repo/tests/LexerTest.cpp" "tests/CMakeFiles/sl_tests.dir/LexerTest.cpp.o" "gcc" "tests/CMakeFiles/sl_tests.dir/LexerTest.cpp.o.d"
+  "/root/repo/tests/MapRtsTest.cpp" "tests/CMakeFiles/sl_tests.dir/MapRtsTest.cpp.o" "gcc" "tests/CMakeFiles/sl_tests.dir/MapRtsTest.cpp.o.d"
+  "/root/repo/tests/OptTest.cpp" "tests/CMakeFiles/sl_tests.dir/OptTest.cpp.o" "gcc" "tests/CMakeFiles/sl_tests.dir/OptTest.cpp.o.d"
+  "/root/repo/tests/ParserTest.cpp" "tests/CMakeFiles/sl_tests.dir/ParserTest.cpp.o" "gcc" "tests/CMakeFiles/sl_tests.dir/ParserTest.cpp.o.d"
+  "/root/repo/tests/PktOptTest.cpp" "tests/CMakeFiles/sl_tests.dir/PktOptTest.cpp.o" "gcc" "tests/CMakeFiles/sl_tests.dir/PktOptTest.cpp.o.d"
+  "/root/repo/tests/SemaTest.cpp" "tests/CMakeFiles/sl_tests.dir/SemaTest.cpp.o" "gcc" "tests/CMakeFiles/sl_tests.dir/SemaTest.cpp.o.d"
+  "/root/repo/tests/SimulatorTest.cpp" "tests/CMakeFiles/sl_tests.dir/SimulatorTest.cpp.o" "gcc" "tests/CMakeFiles/sl_tests.dir/SimulatorTest.cpp.o.d"
+  "/root/repo/tests/SupportTest.cpp" "tests/CMakeFiles/sl_tests.dir/SupportTest.cpp.o" "gcc" "tests/CMakeFiles/sl_tests.dir/SupportTest.cpp.o.d"
+  "/root/repo/tests/WcetTest.cpp" "tests/CMakeFiles/sl_tests.dir/WcetTest.cpp.o" "gcc" "tests/CMakeFiles/sl_tests.dir/WcetTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/sl_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/sl_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/ixp/CMakeFiles/sl_ixp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cg/CMakeFiles/sl_cg.dir/DependInfo.cmake"
+  "/root/repo/build/src/map/CMakeFiles/sl_map.dir/DependInfo.cmake"
+  "/root/repo/build/src/rts/CMakeFiles/sl_rts.dir/DependInfo.cmake"
+  "/root/repo/build/src/pktopt/CMakeFiles/sl_pktopt.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/sl_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/sl_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/sl_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/sl_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/baker/CMakeFiles/sl_baker.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
