@@ -5,9 +5,11 @@
 
 #include "apps/Apps.h"
 #include "driver/Compiler.h"
+#include "support/Json.h"
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -19,15 +21,22 @@ namespace sl::bench {
 struct ForwardResult {
   double Gbps = 0.0;
   ixp::SimStats Stats;
+  ixp::SimTelemetry Telem; ///< Snapshot at the end of the measured run.
 };
 
 inline ForwardResult runForwarding(const driver::CompiledApp &App,
                                    const profile::Trace &Traffic,
                                    uint64_t Cycles,
-                                   unsigned ThreadsPerME = 8) {
+                                   unsigned ThreadsPerME = 8,
+                                   ixp::Simulator *Prebuilt = nullptr) {
   ixp::ChipParams Chip;
   Chip.ThreadsPerME = ThreadsPerME;
-  auto Sim = driver::makeSimulator(App, Chip);
+  std::unique_ptr<ixp::Simulator> Owned;
+  ixp::Simulator *Sim = Prebuilt;
+  if (!Sim) {
+    Owned = driver::makeSimulator(App, Chip);
+    Sim = Owned.get();
+  }
   Sim->setTraffic([&Traffic](uint64_t I) -> const ixp::SimPacket * {
     static thread_local ixp::SimPacket P;
     const auto &T = Traffic[I % Traffic.size()];
@@ -41,6 +50,7 @@ inline ForwardResult runForwarding(const driver::CompiledApp &App,
   ixp::SimStats After = Sim->run(Cycles);
   ForwardResult R;
   R.Stats = After;
+  R.Telem = Sim->telemetry();
   uint64_t DBytes = After.TxBytes - Before.TxBytes;
   uint64_t DCycles = After.Cycles - Before.Cycles;
   R.Gbps = DCycles ? double(DBytes) * 8.0 * Chip.ClockGHz / double(DCycles)
@@ -76,6 +86,36 @@ inline bool quickMode(int argc, char **argv) {
     if (std::strcmp(argv[I], "--quick") == 0)
       return true;
   return false;
+}
+
+/// Value of a "--flag <value>" pair in argv, or null when absent.
+inline const char *argValue(int argc, char **argv, const char *Flag) {
+  for (int I = 1; I + 1 < argc; ++I)
+    if (std::strcmp(argv[I], Flag) == 0)
+      return argv[I + 1];
+  return nullptr;
+}
+
+/// Runs one traced simulation of \p App and writes the Chrome-trace JSON
+/// to \p Path (loadable in chrome://tracing or Perfetto).
+inline bool exportTrace(const driver::CompiledApp &App,
+                        const profile::Trace &Traffic, uint64_t Cycles,
+                        const char *Path) {
+  ixp::ChipParams Chip;
+  auto Sim = driver::makeSimulator(App, Chip);
+  Sim->enableTrace();
+  runForwarding(App, Traffic, Cycles, Chip.ThreadsPerME, Sim.get());
+  std::ofstream OS(Path);
+  if (!OS) {
+    std::fprintf(stderr, "cannot open %s for writing\n", Path);
+    return false;
+  }
+  Sim->tracer()->exportChromeTrace(OS);
+  std::fprintf(stderr, "trace (%zu events, %llu dropped) -> %s\n",
+               Sim->tracer()->events().size(),
+               static_cast<unsigned long long>(Sim->tracer()->dropped()),
+               Path);
+  return true;
 }
 
 } // namespace sl::bench

@@ -22,7 +22,8 @@ struct Row {
   driver::OptLevel Level;
 };
 
-void runApp(const apps::AppBundle &App, uint64_t Cycles) {
+void runApp(const apps::AppBundle &App, uint64_t Cycles,
+            support::JsonWriter *W) {
   const Row Rows[] = {
       {"+ SWC", driver::OptLevel::Swc}, {"+ PHR", driver::OptLevel::Phr},
       {"+ PAC", driver::OptLevel::Pac}, {"+ -O1", driver::OptLevel::O1},
@@ -59,6 +60,20 @@ void runApp(const apps::AppBundle &App, uint64_t Cycles) {
     std::printf("  %-8s %10.1f %8.1f %8.1f | %10.1f %8.1f | %8.1f  (%.0f)\n",
                 R.Name, PktScr, PktSram, PktDram, AppScr, AppSram, Total,
                 Ipp);
+    if (W) {
+      W->beginObject();
+      W->field("app", App.Name);
+      W->field("level", R.Name);
+      W->field("pktScratchPerPkt", PktScr);
+      W->field("pktSramPerPkt", PktSram);
+      W->field("pktDramPerPkt", PktDram);
+      W->field("appScratchPerPkt", AppScr);
+      W->field("appSramPerPkt", AppSram);
+      W->field("instrsPerPkt", Ipp);
+      W->key("telemetry");
+      ixp::writeTelemetry(*W, S, F.Telem);
+      W->endObject();
+    }
   }
   std::printf("\n");
 }
@@ -67,10 +82,35 @@ void runApp(const apps::AppBundle &App, uint64_t Cycles) {
 
 int main(int argc, char **argv) {
   uint64_t Cycles = quickMode(argc, argv) ? 150'000 : 600'000;
+  const char *StatsPath = argValue(argc, argv, "--stats-json");
   std::printf("Table 1: dynamic memory accesses per packet\n");
   std::printf("(paper shape: PAC slashes packet SRAM/DRAM; PHR removes "
               "head_ptr/metadata traffic; SWC cuts application SRAM)\n\n");
+
+  std::ofstream StatsOS;
+  std::unique_ptr<support::JsonWriter> W;
+  if (StatsPath) {
+    StatsOS.open(StatsPath);
+    if (!StatsOS) {
+      std::fprintf(stderr, "cannot open %s for writing\n", StatsPath);
+      return 1;
+    }
+    W = std::make_unique<support::JsonWriter>(StatsOS);
+    W->beginObject();
+    W->field("table", "Table 1: dynamic memory accesses per packet");
+    W->field("measuredCycles", Cycles);
+    W->key("rows");
+    W->beginArray();
+  }
+
   for (const apps::AppBundle &App : apps::allApps())
-    runApp(App, Cycles);
+    runApp(App, Cycles, W.get());
+
+  if (W) {
+    W->endArray();
+    W->endObject();
+    StatsOS << '\n';
+    std::fprintf(stderr, "stats -> %s\n", StatsPath);
+  }
   return 0;
 }

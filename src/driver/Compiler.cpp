@@ -205,7 +205,11 @@ sl::driver::makeSimulator(const CompiledApp &App, ixp::ChipParams Chip) {
     assert(G && "unknown table global");
     Sim->writeGlobal(G, T.Index, T.Value);
   }
-  for (const AggregateBinary &Bin : App.Images)
-    Sim->loadAggregate(Bin.Code, Bin.Rings, Bin.Copies, Bin.OnXScale);
+  for (const AggregateBinary &Bin : App.Images) {
+    bool Loaded =
+        Sim->loadAggregate(Bin.Code, Bin.Rings, Bin.Copies, Bin.OnXScale);
+    assert(Loaded && "compiler produced an unloadable mapping");
+    (void)Loaded;
+  }
   return Sim;
 }

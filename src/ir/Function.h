@@ -21,6 +21,19 @@ public:
   Function(std::string Name, Type RetTy, bool IsPpf)
       : Name(std::move(Name)), RetTy(RetTy), IsPpf(IsPpf) {}
 
+  ~Function() { dropAllReferences(); }
+
+  /// Severs every def-use edge rooted in this function: clears each
+  /// instruction's operand list (removing it from the operands' use
+  /// lists). ~Instr would otherwise unlink from operands one instruction
+  /// at a time, touching values (instructions in earlier blocks, earlier
+  /// instructions in the same block) that were already destroyed.
+  void dropAllReferences() {
+    for (const auto &BB : Blocks)
+      for (const auto &I : BB->instrs())
+        I->dropOperands();
+  }
+
   const std::string &name() const { return Name; }
   const Type &returnType() const { return RetTy; }
   bool isPpf() const { return IsPpf; }
@@ -103,10 +116,14 @@ private:
   Type RetTy;
   bool IsPpf;
   Module *Parent = nullptr;
+  // Keep Blocks declared last: members are destroyed in reverse
+  // declaration order, and even though ~Function severs the use graph up
+  // front, partially-destroyed passes (e.g. an exception mid-construction)
+  // still destroy Blocks before the values its instructions reference.
   std::vector<std::unique_ptr<Argument>> Args;
-  std::vector<std::unique_ptr<BasicBlock>> Blocks;
   std::map<std::pair<uint8_t, uint64_t>, std::unique_ptr<ConstInt>> Consts;
   std::vector<std::unique_ptr<ConstInt>> Undefs;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
 };
 
 } // namespace sl::ir

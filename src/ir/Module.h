@@ -64,6 +64,15 @@ struct ProtoInfo {
 /// A whole lowered program.
 class Module {
 public:
+  /// Sever every def-use edge in the module before any Function is
+  /// destroyed: after inlining/cloning an instruction may still hold an
+  /// operand owned by a different function, and ~Instr would touch that
+  /// operand's use list after its owner was freed.
+  ~Module() {
+    for (const auto &F : Funcs)
+      F->dropAllReferences();
+  }
+
   Function *addFunction(std::string Name, Type RetTy, bool IsPpf) {
     auto F = std::make_unique<Function>(std::move(Name), RetTy, IsPpf);
     F->setParent(this);

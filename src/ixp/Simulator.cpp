@@ -68,6 +68,7 @@ Simulator::Simulator(const ChipParams &P, const rts::MemoryMap &Map)
   Units[SpDram].BankNextFree.assign(std::max(1u, P.DramBanks), 0);
 
   Rings.resize(std::max(Map.NumRings, 2u));
+  RingStats.resize(Rings.size());
   // Handle 0 is the null handle; pool entries start at index 0 but we skip
   // the one whose address would be 0 (MetaPoolBase is never 0).
   for (unsigned I = 0; I != Map.NumPktHandles; ++I)
@@ -81,20 +82,20 @@ unsigned Simulator::threadsLoaded() const {
   return N;
 }
 
-void Simulator::loadAggregate(const cg::FlatCode &Code,
+bool Simulator::loadAggregate(const cg::FlatCode &Code,
                               const std::vector<unsigned> &InputRings,
                               unsigned Copies, bool OnXScale) {
   (void)InputRings; // The code itself polls its rings.
-  assert(Code.CodeSlots <= P.CodeStoreSlots &&
-         "aggregate exceeds the ME instruction store");
+  if (Code.CodeSlots > P.CodeStoreSlots)
+    return false; // Aggregate exceeds the ME instruction store.
+  unsigned N = OnXScale ? 1 : Copies;
+  if (!OnXScale && MEsUsed + N > P.ProgrammableMEs)
+    return false; // ME budget exceeded; load nothing.
   OwnedCode.push_back(std::make_unique<cg::FlatCode>(Code));
   const cg::FlatCode *Stored = OwnedCode.back().get();
-  unsigned N = OnXScale ? 1 : Copies;
   for (unsigned K = 0; K != N; ++K) {
-    if (!OnXScale) {
-      assert(MEsUsed < P.ProgrammableMEs && "ME budget exceeded");
+    if (!OnXScale)
       ++MEsUsed;
-    }
     auto C = std::make_unique<Core>();
     C->Code = Stored;
     C->Threads.resize(OnXScale ? 1 : P.ThreadsPerME);
@@ -103,6 +104,7 @@ void Simulator::loadAggregate(const cg::FlatCode &Code,
     C->Index = static_cast<unsigned>(Cores.size());
     Cores.push_back(std::move(C));
   }
+  return true;
 }
 
 //===----------------------------------------------------------------------===//
@@ -148,8 +150,136 @@ uint64_t Simulator::memAccess(unsigned Space, unsigned Words,
   uint64_t &NextFree = U.BankNextFree[Bank];
   uint64_t Start = std::max(Now, NextFree);
   double Occ = U.P.occupancy(Words);
-  NextFree = Start + static_cast<uint64_t>(Occ + 0.5);
-  return Start + static_cast<uint64_t>(Occ + 0.5) + U.P.LatencyCycles;
+  uint64_t Svc = static_cast<uint64_t>(Occ + 0.5);
+  NextFree = Start + Svc;
+  uint64_t Done = Start + Svc + U.P.LatencyCycles;
+
+  // Controller telemetry: queueing delay, occupancy, issue-to-data
+  // latency histogram and a backlog-derived queue-depth high-water mark
+  // (requests ahead ~= backlog cycles / minimal occupancy).
+  MemUnitTelemetry &MT = U.Telem;
+  ++MT.Accesses;
+  uint64_t Wait = Start - Now;
+  MT.WaitCycles += Wait;
+  MT.ServiceCycles += Svc;
+  if (Wait) {
+    uint64_t Ahead = static_cast<uint64_t>(double(Wait) / U.P.OccBase) + 1;
+    MT.QueueHighWater = std::max(MT.QueueHighWater, Ahead);
+  }
+  uint64_t Lat = Done - Now;
+  unsigned B = 0;
+  while (B < MemUnitTelemetry::NumBuckets - 1 &&
+         Lat >= MemUnitTelemetry::BucketBound[B])
+    ++B;
+  ++MT.LatencyHist[B];
+
+  if (Trace) {
+    TraceEvent E;
+    E.Start = Now;
+    E.Dur = static_cast<uint32_t>(Lat);
+    E.Arg = Addr;
+    E.ME = CurME;
+    E.Thread = CurThread;
+    E.K = TraceEvent::Mem;
+    E.Space = static_cast<uint8_t>(Space);
+    Trace->record(E);
+  }
+  return Done;
+}
+
+//===----------------------------------------------------------------------===//
+// Telemetry
+//===----------------------------------------------------------------------===//
+
+void Simulator::ringEnqueued(unsigned Ring, unsigned ME, unsigned Th) {
+  RingTelemetry &RS = RingStats[Ring];
+  ++RS.Enqueues;
+  uint64_t Depth = Rings[Ring].size();
+  RS.MaxDepth = std::max(RS.MaxDepth, Depth);
+  if (Trace) {
+    TraceEvent E;
+    E.Start = Now;
+    E.Arg = static_cast<uint32_t>(Depth);
+    E.ME = static_cast<uint16_t>(ME);
+    E.Thread = static_cast<uint16_t>(Th);
+    E.K = TraceEvent::Ring;
+    E.Space = static_cast<uint8_t>(Ring);
+    Trace->record(E);
+  }
+}
+
+void Simulator::ringDequeued(unsigned Ring, unsigned ME, unsigned Th) {
+  RingTelemetry &RS = RingStats[Ring];
+  ++RS.Dequeues;
+  if (Trace) {
+    TraceEvent E;
+    E.Start = Now;
+    E.Arg = static_cast<uint32_t>(Rings[Ring].size());
+    E.ME = static_cast<uint16_t>(ME);
+    E.Thread = static_cast<uint16_t>(Th);
+    E.K = TraceEvent::Ring;
+    E.Space = static_cast<uint8_t>(Ring);
+    Trace->record(E);
+  }
+}
+
+void Simulator::flushSlice(Core &C) {
+  if (!Trace || C.SliceThread < 0)
+    return;
+  TraceEvent E;
+  E.Start = C.SliceStart;
+  E.Dur = static_cast<uint32_t>(C.SliceLast + 1 - C.SliceStart);
+  E.Arg = C.SliceInstrs;
+  E.ME = static_cast<uint16_t>(C.Index);
+  E.Thread = static_cast<uint16_t>(C.SliceThread);
+  E.K = TraceEvent::Exec;
+  Trace->record(E);
+  C.SliceThread = -1;
+  C.SliceInstrs = 0;
+}
+
+SimTelemetry Simulator::telemetry() const {
+  SimTelemetry T;
+  T.Cycles = Now;
+  T.MEs.reserve(Cores.size());
+  for (const auto &CP : Cores) {
+    const Core &C = *CP;
+    METelemetry ME;
+    ME.Index = C.Index;
+    ME.XScale = C.XScale;
+    ME.Cycles = Now;
+    ME.IdleCycles = C.IdleCycles;
+    ME.Threads.reserve(C.Threads.size());
+    for (const Thread &Th : C.Threads) {
+      ThreadTelemetry TT;
+      TT.Busy = Th.Busy;
+      TT.MemStall = Th.MemStall;
+      TT.RingWait = Th.RingWait;
+      TT.Instrs = Th.Instrs;
+      TT.Aborts = Th.Aborts;
+      // Stalls are attributed eagerly when ReadyAt is set; if the thread
+      // is still blocked, the tail past the current cycle has not been
+      // simulated yet — take it back so buckets cover exactly [0, Now).
+      if (Th.ReadyAt > Now) {
+        uint64_t Over = Th.ReadyAt - Now;
+        uint64_t *Bucket = Th.LastStall == StallKind::Mem    ? &TT.MemStall
+                           : Th.LastStall == StallKind::Ring ? &TT.RingWait
+                                                             : &TT.Busy;
+        *Bucket -= std::min(*Bucket, Over);
+      }
+      uint64_t Acct = TT.Busy + TT.MemStall + TT.RingWait;
+      TT.Idle = Now >= Acct ? Now - Acct : 0;
+      ME.Threads.push_back(TT);
+    }
+    T.MEs.push_back(std::move(ME));
+  }
+  for (unsigned S = 0; S != 3; ++S) {
+    T.Units[S] = Units[S].Telem;
+    T.Units[S].Banks = Units[S].BankNextFree.size();
+  }
+  T.Rings = RingStats;
+  T.TraceEventsDropped = Trace ? Trace->dropped() : 0;
+  return T;
 }
 
 //===----------------------------------------------------------------------===//
@@ -176,8 +306,10 @@ void Simulator::rxInject() {
     return;
   auto &Ring = Rings[rts::RxRing];
   for (unsigned K = 0; K != P.RxBatchPerCycle; ++K) {
-    if (Ring.size() >= P.RingCapacity)
+    if (Ring.size() >= P.RingCapacity) {
+      ++RingStats[rts::RxRing].FullStalls;
       return;
+    }
     if (MaxInjected && Stats.RxInjected >= MaxInjected)
       return;
     const SimPacket *Pkt = Traffic(TrafficIndex);
@@ -202,6 +334,15 @@ void Simulator::rxInject() {
     interp::writeBitsBE(&Sram[H + 12], 0, 16, Pkt->Port);
     Ring.push_back(H);
     ++Stats.RxInjected;
+    ringEnqueued(rts::RxRing, RxDeviceId, 0);
+    if (Trace) {
+      TraceEvent E;
+      E.Start = Now;
+      E.Arg = H;
+      E.ME = RxDeviceId;
+      E.K = TraceEvent::Rx;
+      Trace->record(E);
+    }
   }
 }
 
@@ -210,6 +351,7 @@ void Simulator::txDrain() {
   while (!Ring.empty()) {
     uint32_t H = Ring.front();
     Ring.pop_front();
+    ringDequeued(rts::TxRing, TxDeviceId, 0);
     uint32_t Buf = readWord(SpSram, H + 0);
     int32_t Head = static_cast<int32_t>(readWord(SpSram, H + 4));
     uint32_t Len = readWord(SpSram, H + 8);
@@ -218,6 +360,14 @@ void Simulator::txDrain() {
       Bytes = 0;
     ++Stats.TxPackets;
     Stats.TxBytes += static_cast<uint64_t>(Bytes);
+    if (Trace) {
+      TraceEvent E;
+      E.Start = Now;
+      E.Arg = static_cast<uint32_t>(Bytes);
+      E.ME = TxDeviceId;
+      E.K = TraceEvent::Tx;
+      Trace->record(E);
+    }
     if (Capture) {
       SimTxRecord R;
       int64_t Start = int64_t(Buf) + Head;
@@ -267,6 +417,9 @@ uint32_t Simulator::rtsPktCopy(Core &C, Thread &T, uint32_t H) {
 bool Simulator::execInstr(Core &C, Thread &T) {
   const MInstr &I = C.Code->Code[T.PC];
   ++Stats.Instrs;
+  ++T.Instrs;
+  ++T.Busy; // The issue cycle; blocked cycles are attributed below.
+  StallKind SK = StallKind::None;
   unsigned NextPC = T.PC + 1;
   bool Block = false;
 
@@ -335,11 +488,13 @@ bool Simulator::execInstr(Core &C, Thread &T) {
   case MOp::Br:
     NextPC = static_cast<unsigned>(I.Target);
     T.ReadyAt = Now + 1 + P.BranchPenaltyCycles;
+    ++T.Aborts;
     break;
   case MOp::BrCond:
     if (evalCond(I.Cond, gpr(I.SrcA), srcB())) {
       NextPC = static_cast<unsigned>(I.Target);
       T.ReadyAt = Now + 1 + P.BranchPenaltyCycles;
+      ++T.Aborts;
     }
     break;
   case MOp::Halt:
@@ -369,6 +524,7 @@ bool Simulator::execInstr(Core &C, Thread &T) {
     }
     T.ReadyAt = memAccess(Space, I.Words, I.Class,
                           static_cast<uint32_t>(Addr), !C.XScale);
+    SK = StallKind::Mem;
     Block = true;
     break;
   }
@@ -448,9 +604,13 @@ bool Simulator::execInstr(Core &C, Thread &T) {
     if (!Ring.empty()) {
       H = Ring.front();
       Ring.pop_front();
+      ringDequeued(I.Ring, CurME, CurThread);
+    } else {
+      ++RingStats[I.Ring].EmptyGets;
     }
     setGpr(I.Dst, H);
     T.ReadyAt = memAccess(SpScratch, 1, I.Class, I.Ring * 64, !C.XScale);
+    SK = StallKind::Ring;
     Block = true;
     break;
   }
@@ -458,11 +618,14 @@ bool Simulator::execInstr(Core &C, Thread &T) {
     auto &Ring = Rings[I.Ring];
     if (Ring.size() < P.RingCapacity) {
       Ring.push_back(gpr(I.SrcA));
+      ringEnqueued(I.Ring, CurME, CurThread);
     } else {
       freeHandle(gpr(I.SrcA)); // Back-pressure drop (rare; counted).
       ++Stats.RxDroppedFull;
+      ++RingStats[I.Ring].FullStalls;
     }
     T.ReadyAt = memAccess(SpScratch, 1, I.Class, I.Ring * 64, !C.XScale);
+    SK = StallKind::Ring;
     Block = true;
     break;
   }
@@ -473,6 +636,7 @@ bool Simulator::execInstr(Core &C, Thread &T) {
     writeWord(SpScratch, Addr, 1);
     setGpr(I.Dst, Old);
     T.ReadyAt = memAccess(SpScratch, 1, I.Class, Addr, !C.XScale);
+    SK = StallKind::Mem;
     Block = true;
     break;
   }
@@ -480,16 +644,19 @@ bool Simulator::execInstr(Core &C, Thread &T) {
     writeWord(SpScratch, static_cast<uint32_t>(I.Imm), 0);
     T.ReadyAt = memAccess(SpScratch, 1, I.Class,
                           static_cast<uint32_t>(I.Imm), !C.XScale);
+    SK = StallKind::Mem;
     Block = true;
     break;
 
   case MOp::RtsPktCopy:
     setGpr(I.Dst, rtsPktCopy(C, T, gpr(I.SrcA)));
+    SK = StallKind::Mem;
     Block = true;
     break;
   case MOp::RtsPktDrop:
     freeHandle(gpr(I.SrcA));
     T.ReadyAt = memAccess(SpScratch, 1, MemClass::PktRing, 0, !C.XScale);
+    SK = StallKind::Mem;
     Block = true;
     break;
 
@@ -498,6 +665,19 @@ bool Simulator::execInstr(Core &C, Thread &T) {
     Block = true;
     break;
   }
+
+  // Attribute the cycles this thread will now spend blocked. The tail
+  // past the end of the run is clamped back out in telemetry().
+  if (T.ReadyAt > Now + 1) {
+    uint64_t StallCycles = T.ReadyAt - (Now + 1);
+    if (SK == StallKind::Mem)
+      T.MemStall += StallCycles;
+    else if (SK == StallKind::Ring)
+      T.RingWait += StallCycles;
+    else
+      T.Busy += StallCycles; // Execution latency (mul, branch, slow LM).
+  }
+  T.LastStall = SK;
 
   T.PC = NextPC;
   assert(T.PC < C.Code->Code.size() && "PC ran off the end");
@@ -511,6 +691,21 @@ void Simulator::stepCore(Core &C) {
   for (unsigned Tried = 0; Tried != N; ++Tried) {
     Thread &T = C.Threads[C.Cur];
     if (!T.Halted && T.ReadyAt <= Now) {
+      CurME = static_cast<uint16_t>(C.Index);
+      CurThread = static_cast<uint16_t>(C.Cur);
+      if (Trace) {
+        // Extend or open this thread's execution slice.
+        if (C.SliceThread == static_cast<int>(C.Cur) &&
+            C.SliceLast + 1 == Now) {
+          C.SliceLast = Now;
+          ++C.SliceInstrs;
+        } else {
+          flushSlice(C);
+          C.SliceThread = static_cast<int>(C.Cur);
+          C.SliceStart = C.SliceLast = Now;
+          C.SliceInstrs = 1;
+        }
+      }
       bool Blocked = execInstr(C, T);
       if (Blocked)
         C.Cur = (C.Cur + 1) % N; // Voluntary swap point.
@@ -519,6 +714,7 @@ void Simulator::stepCore(Core &C) {
     C.Cur = (C.Cur + 1) % N;
   }
   // Everyone waiting: idle cycle.
+  ++C.IdleCycles;
 }
 
 SimStats Simulator::run(uint64_t Cycles) {
@@ -532,6 +728,9 @@ SimStats Simulator::run(uint64_t Cycles) {
     if (MaxInjected && Stats.RxInjected >= MaxInjected && drained())
       break;
   }
+  if (Trace)
+    for (auto &C : Cores)
+      flushSlice(*C);
   Stats.Cycles = Now;
   return Stats;
 }

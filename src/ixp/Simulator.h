@@ -13,6 +13,7 @@
 
 #include "cg/MEIR.h"
 #include "ixp/ChipParams.h"
+#include "ixp/Telemetry.h"
 #include "rts/MemoryMap.h"
 
 #include <cstdint>
@@ -74,9 +75,11 @@ class Simulator {
 public:
   Simulator(const ChipParams &P, const rts::MemoryMap &Map);
 
-  /// Loads \p Code onto \p Copies MEs (fails if the budget is exceeded).
-  /// XScale aggregates run on a dedicated management core instead.
-  void loadAggregate(const cg::FlatCode &Code,
+  /// Loads \p Code onto \p Copies MEs. XScale aggregates run on a
+  /// dedicated management core instead. Returns false (loading nothing)
+  /// when the ME budget or the per-ME instruction store would be
+  /// exceeded — callers decide whether that is fatal.
+  bool loadAggregate(const cg::FlatCode &Code,
                      const std::vector<unsigned> &InputRings, unsigned Copies,
                      bool OnXScale = false);
 
@@ -109,6 +112,21 @@ public:
 
   unsigned threadsLoaded() const;
 
+  /// Builds a consistent snapshot of the per-component counters (stall
+  /// attribution is clamped to the current cycle, idle derived so each
+  /// thread's buckets sum to the ME's cycle count). Cheap; callable
+  /// mid-run.
+  SimTelemetry telemetry() const;
+
+  /// Enables event tracing into a bounded buffer (recording costs one
+  /// branch per event when enabled and nothing when disabled; simulated
+  /// behavior and SimStats are unaffected either way).
+  void enableTrace(size_t MaxEvents = 1u << 20) {
+    Trace = std::make_unique<Tracer>(MaxEvents);
+  }
+  Tracer *tracer() { return Trace.get(); }
+  const Tracer *tracer() const { return Trace.get(); }
+
 private:
   struct Thread {
     unsigned PC = 0;
@@ -117,6 +135,16 @@ private:
     uint32_t XferOut[24] = {};
     uint64_t ReadyAt = 0;
     bool Halted = false;
+
+    // Cycle accounting (see Telemetry.h). Stalls are attributed eagerly
+    // when ReadyAt is set; telemetry() clamps the tail that lies beyond
+    // the current cycle using LastStall.
+    uint64_t Busy = 0;
+    uint64_t MemStall = 0;
+    uint64_t RingWait = 0;
+    uint64_t Instrs = 0;
+    uint64_t Aborts = 0;
+    StallKind LastStall = StallKind::None;
   };
 
   struct CamEntry {
@@ -133,11 +161,20 @@ private:
     std::vector<uint32_t> LocalMem;
     bool XScale = false;
     unsigned Index = 0;
+
+    uint64_t IdleCycles = 0; ///< Cycles with no runnable thread.
+    // Open execution slice for the tracer (contiguous instructions by one
+    // thread); flushed on thread switch, gap, or trace export.
+    int SliceThread = -1;
+    uint64_t SliceStart = 0;
+    uint64_t SliceLast = 0;
+    uint32_t SliceInstrs = 0;
   };
 
   struct MemUnit {
     MemUnitParams P;
     std::vector<uint64_t> BankNextFree;
+    MemUnitTelemetry Telem;
   };
 
   // Execution.
@@ -169,6 +206,7 @@ private:
   std::vector<std::unique_ptr<Core>> Cores;
   std::vector<std::unique_ptr<cg::FlatCode>> OwnedCode;
   std::vector<std::deque<uint32_t>> Rings;
+  std::vector<RingTelemetry> RingStats;
   std::vector<uint32_t> FreeHandles;
 
   std::function<const SimPacket *(uint64_t)> Traffic;
@@ -181,6 +219,19 @@ private:
   SimStats Stats;
   uint64_t LruTick = 1;
   unsigned MEsUsed = 0;
+
+  std::unique_ptr<Tracer> Trace;
+  // Issuing context, so memAccess can stamp trace events with the ME /
+  // thread that initiated the transaction. Device-initiated work (Rx/Tx
+  // DMA) uses the pseudo-IDs below.
+  uint16_t CurME = RxDeviceId;
+  uint16_t CurThread = 0;
+  static constexpr uint16_t RxDeviceId = 1000;
+  static constexpr uint16_t TxDeviceId = 1001;
+
+  void flushSlice(Core &C);
+  void ringEnqueued(unsigned Ring, unsigned ME, unsigned Th);
+  void ringDequeued(unsigned Ring, unsigned ME, unsigned Th);
 };
 
 } // namespace sl::ixp

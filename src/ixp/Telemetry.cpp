@@ -1,0 +1,249 @@
+//===- ixp/Telemetry.cpp - telemetry JSON / Chrome-trace exporters ----------------==//
+
+#include "ixp/Telemetry.h"
+
+#include "ixp/Simulator.h"
+#include "support/Json.h"
+
+#include <ostream>
+#include <string>
+
+using namespace sl;
+using namespace sl::ixp;
+using support::JsonWriter;
+
+namespace {
+
+const char *memClassName(unsigned C) {
+  static const char *Names[7] = {"pktData", "pktMeta", "pktRing", "app",
+                                 "appCache", "stack", "lock"};
+  return C < 7 ? Names[C] : "?";
+}
+
+} // namespace
+
+void sl::ixp::writeTelemetryJson(std::ostream &OS, const SimStats &Stats,
+                                 const SimTelemetry &Telem) {
+  JsonWriter W(OS);
+  writeTelemetry(W, Stats, Telem);
+  OS << '\n';
+}
+
+void sl::ixp::writeTelemetry(JsonWriter &W, const SimStats &Stats,
+                             const SimTelemetry &Telem) {
+  W.beginObject();
+  W.field("cycles", Telem.Cycles);
+
+  // Aggregate chip-wide stats (the pre-existing SimStats).
+  W.key("stats");
+  W.beginObject();
+  W.field("instrs", Stats.Instrs);
+  W.field("txPackets", Stats.TxPackets);
+  W.field("txBytes", Stats.TxBytes);
+  W.field("rxInjected", Stats.RxInjected);
+  W.field("rxDroppedFull", Stats.RxDroppedFull);
+  W.key("accesses");
+  W.beginObject();
+  for (unsigned S = 0; S != 3; ++S) {
+    W.key(SimTelemetry::unitName(S));
+    W.beginObject();
+    for (unsigned C = 0; C != 7; ++C)
+      if (Stats.Accesses[S][C])
+        W.field(memClassName(C), Stats.Accesses[S][C]);
+    W.endObject();
+  }
+  W.endObject();
+  W.endObject();
+
+  // Per-ME / per-thread cycle accounting.
+  W.key("mes");
+  W.beginArray();
+  for (const METelemetry &ME : Telem.MEs) {
+    W.beginObject();
+    W.field("index", ME.Index);
+    W.field("xscale", ME.XScale);
+    W.field("cycles", ME.Cycles);
+    W.field("utilization", ME.utilization());
+    W.field("idleCycles", ME.IdleCycles);
+    W.key("threads");
+    W.beginArray();
+    for (const ThreadTelemetry &T : ME.Threads) {
+      W.beginObject();
+      W.field("busy", T.Busy);
+      W.field("memStall", T.MemStall);
+      W.field("ringWait", T.RingWait);
+      W.field("idle", T.Idle);
+      W.field("instrs", T.Instrs);
+      W.field("aborts", T.Aborts);
+      W.endObject();
+    }
+    W.endArray();
+    W.endObject();
+  }
+  W.endArray();
+
+  // Memory controllers.
+  W.key("units");
+  W.beginArray();
+  for (unsigned S = 0; S != 3; ++S) {
+    const MemUnitTelemetry &U = Telem.Units[S];
+    W.beginObject();
+    W.field("name", SimTelemetry::unitName(S));
+    W.field("accesses", U.Accesses);
+    W.field("waitCycles", U.WaitCycles);
+    W.field("serviceCycles", U.ServiceCycles);
+    W.field("queueHighWater", U.QueueHighWater);
+    W.field("banks", U.Banks);
+    W.field("avgWaitCycles", U.avgWait());
+    W.field("saturation", U.saturation(Telem.Cycles));
+    W.key("latencyHistBounds");
+    W.beginArray();
+    for (uint64_t B : MemUnitTelemetry::BucketBound)
+      W.value(B);
+    W.endArray();
+    W.key("latencyHist");
+    W.beginArray();
+    for (uint64_t H : U.LatencyHist)
+      W.value(H);
+    W.endArray();
+    W.endObject();
+  }
+  W.endArray();
+
+  // Rings.
+  W.key("rings");
+  W.beginArray();
+  for (size_t R = 0; R != Telem.Rings.size(); ++R) {
+    const RingTelemetry &T = Telem.Rings[R];
+    W.beginObject();
+    W.field("index", uint64_t(R));
+    W.field("enqueues", T.Enqueues);
+    W.field("dequeues", T.Dequeues);
+    W.field("maxDepth", T.MaxDepth);
+    W.field("fullStalls", T.FullStalls);
+    W.field("emptyGets", T.EmptyGets);
+    W.endObject();
+  }
+  W.endArray();
+
+  W.field("traceEventsDropped", Telem.TraceEventsDropped);
+  W.endObject();
+}
+
+//===----------------------------------------------------------------------===//
+// Chrome trace format
+//===----------------------------------------------------------------------===//
+
+void Tracer::exportChromeTrace(std::ostream &OS) const {
+  // Compact output (no pretty-printing): traces are large and tooling
+  // only cares about validity.
+  JsonWriter W(OS, /*Pretty=*/false);
+  W.beginObject();
+  W.key("traceEvents");
+  W.beginArray();
+
+  // Name the ME "processes" so Perfetto shows readable tracks. Rx/Tx
+  // device events use pid 1000/1001.
+  auto metaName = [&](unsigned Pid, const char *Name) {
+    W.beginObject();
+    W.field("name", "process_name");
+    W.field("ph", "M");
+    W.field("pid", uint64_t(Pid));
+    W.key("args");
+    W.beginObject();
+    W.field("name", Name);
+    W.endObject();
+    W.endObject();
+  };
+  // Ring events issued by the Rx/Tx devices carry the device pseudo-ME
+  // (pid 1000/1001); exclude those or we would name a thousand fake MEs.
+  unsigned MaxME = 0;
+  for (const TraceEvent &E : Events)
+    if ((E.K == TraceEvent::Exec || E.K == TraceEvent::Mem ||
+         E.K == TraceEvent::Ring) &&
+        E.ME < 1000)
+      MaxME = E.ME > MaxME ? E.ME : MaxME;
+  for (unsigned M = 0; M <= MaxME; ++M) {
+    std::string N = "ME" + std::to_string(M);
+    metaName(M, N.c_str());
+  }
+  metaName(1000, "RxDevice");
+  metaName(1001, "TxDevice");
+
+  for (const TraceEvent &E : Events) {
+    W.beginObject();
+    const char *Name = "?";
+    const char *Cat = "sim";
+    unsigned Pid = E.ME;
+    switch (E.K) {
+    case TraceEvent::Exec:
+      Name = "exec";
+      Cat = "sched";
+      break;
+    case TraceEvent::Mem:
+      Name = SimTelemetry::unitName(E.Space);
+      Cat = "mem";
+      break;
+    case TraceEvent::Ring:
+      Name = E.Space == 0 ? "ring:rx" : E.Space == 1 ? "ring:tx" : "ring";
+      Cat = "ring";
+      break;
+    case TraceEvent::Rx:
+      Name = "rx";
+      Cat = "pkt";
+      Pid = 1000;
+      break;
+    case TraceEvent::Tx:
+      Name = "tx";
+      Cat = "pkt";
+      Pid = 1001;
+      break;
+    }
+    W.field("name", Name);
+    W.field("cat", Cat);
+    // Instant events use ph "i" (with scope), spans use complete events.
+    if (E.Dur == 0) {
+      W.field("ph", "i");
+      W.field("s", "t");
+    } else {
+      W.field("ph", "X");
+      W.field("dur", uint64_t(E.Dur));
+    }
+    W.field("ts", E.Start);
+    W.field("pid", uint64_t(Pid));
+    W.field("tid", uint64_t(E.Thread));
+    W.key("args");
+    W.beginObject();
+    switch (E.K) {
+    case TraceEvent::Exec:
+      W.field("instrs", uint64_t(E.Arg));
+      break;
+    case TraceEvent::Mem:
+      W.field("addr", uint64_t(E.Arg));
+      break;
+    case TraceEvent::Ring:
+      W.field("ring", uint64_t(E.Space));
+      W.field("depth", uint64_t(E.Arg));
+      break;
+    case TraceEvent::Rx:
+      W.field("handle", uint64_t(E.Arg));
+      break;
+    case TraceEvent::Tx:
+      W.field("bytes", uint64_t(E.Arg));
+      break;
+    }
+    W.endObject();
+    W.endObject();
+  }
+  W.endArray();
+  // Timestamps are ME cycles, not microseconds; the unit hint keeps
+  // viewers from rescaling them confusingly.
+  W.field("displayTimeUnit", "ns");
+  W.key("otherData");
+  W.beginObject();
+  W.field("timestampUnit", "cycles");
+  W.field("droppedEvents", Dropped);
+  W.endObject();
+  W.endObject();
+  OS << '\n';
+}

@@ -1,0 +1,197 @@
+//===- ixp/Telemetry.h - simulator observability layer ---------------------------==//
+//
+// Structured per-component counters for the IXP model, answering the
+// questions the paper's evaluation turns on (Figs. 6, 13-15, Table 1):
+// which ME stalls and on what, which memory controller saturates, where
+// rings back up. Three pieces:
+//
+//  * SimTelemetry — a consistent snapshot of per-ME/per-thread cycle
+//    accounting (busy / memory-stall / ring-wait / idle buckets),
+//    per-memory-unit queueing telemetry with a fixed-bucket latency
+//    histogram, and per-ring occupancy counters. Returned by
+//    Simulator::telemetry() alongside the existing SimStats.
+//
+//  * Tracer — an optional bounded in-memory event recorder (scheduling
+//    slices, memory transactions, ring operations, Rx/Tx). The simulator
+//    only touches it behind `if (Trace)` so the hot path is unaffected
+//    when tracing is off. Events export as Chrome trace format JSON
+//    (loadable in chrome://tracing or Perfetto) where each ME is a
+//    process and each thread a track.
+//
+//  * JSON exporters — writeTelemetryJson() for the counter snapshot
+//    (schema documented in docs/observability.md).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SL_IXP_TELEMETRY_H
+#define SL_IXP_TELEMETRY_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace sl::support {
+class JsonWriter;
+}
+
+namespace sl::ixp {
+
+struct SimStats;
+
+/// What a blocked thread is waiting on; selects the stall bucket that
+/// accumulates the wait cycles.
+enum class StallKind : uint8_t {
+  None, ///< Not blocked (or execution latency, charged to Busy).
+  Mem,  ///< Outstanding Scratch/SRAM/DRAM transaction.
+  Ring, ///< Scratch-ring get/put in flight.
+};
+
+/// Cycle accounting for one hardware thread. Every simulated cycle of the
+/// owning ME lands in exactly one bucket, so
+///   Busy + MemStall + RingWait + Idle == METelemetry::Cycles.
+struct ThreadTelemetry {
+  uint64_t Busy = 0;     ///< Issued an instruction (incl. exec latency).
+  uint64_t MemStall = 0; ///< Waiting on a memory controller.
+  uint64_t RingWait = 0; ///< Waiting on a scratch-ring operation.
+  uint64_t Idle = 0;     ///< Ready-but-unscheduled or halted.
+  uint64_t Instrs = 0;   ///< Instructions executed.
+  uint64_t Aborts = 0;   ///< Taken branches (pipeline aborts on the ME).
+
+  uint64_t total() const { return Busy + MemStall + RingWait + Idle; }
+};
+
+/// One microengine (or the XScale management core).
+struct METelemetry {
+  unsigned Index = 0;
+  bool XScale = false;
+  uint64_t Cycles = 0;     ///< Cycles this core was simulated.
+  uint64_t IdleCycles = 0; ///< Cycles with no runnable thread at all.
+  std::vector<ThreadTelemetry> Threads;
+
+  /// Fraction of cycles the ME issued an instruction (one thread can
+  /// issue per cycle, so this is the classic "ME utilization").
+  double utilization() const {
+    if (Cycles == 0)
+      return 0.0;
+    uint64_t Busy = 0;
+    for (const ThreadTelemetry &T : Threads)
+      Busy += T.Busy;
+    return double(Busy) / double(Cycles);
+  }
+};
+
+/// One memory controller (Scratch / SRAM / DRAM).
+struct MemUnitTelemetry {
+  /// Latency histogram bucket upper bounds, in cycles; the last bucket is
+  /// open-ended. Fixed so exports are comparable across runs.
+  static constexpr unsigned NumBuckets = 8;
+  static constexpr uint64_t BucketBound[NumBuckets - 1] = {
+      32, 64, 128, 256, 512, 1024, 2048};
+
+  uint64_t Accesses = 0;       ///< Requests issued to this unit.
+  uint64_t WaitCycles = 0;     ///< Total queueing delay before service.
+  uint64_t ServiceCycles = 0;  ///< Total occupancy consumed (all banks).
+  uint64_t QueueHighWater = 0; ///< Max requests ahead of an issue (est.).
+  uint64_t Banks = 1;          ///< Parallel banks behind the controller.
+  uint64_t LatencyHist[NumBuckets] = {}; ///< Issue-to-data latency.
+
+  double avgWait() const {
+    return Accesses ? double(WaitCycles) / double(Accesses) : 0.0;
+  }
+  /// Fraction of available bank-time spent serving; ~1.0 means the
+  /// controller is the bottleneck (the paper's memory wall).
+  double saturation(uint64_t Cycles) const {
+    if (Cycles == 0 || Banks == 0)
+      return 0.0;
+    return double(ServiceCycles) / (double(Cycles) * double(Banks));
+  }
+};
+
+/// One scratch ring.
+struct RingTelemetry {
+  uint64_t Enqueues = 0;
+  uint64_t Dequeues = 0;
+  uint64_t MaxDepth = 0;    ///< High-water occupancy.
+  uint64_t FullStalls = 0;  ///< Enqueue attempts refused: ring at capacity.
+  uint64_t EmptyGets = 0;   ///< Gets that returned the null handle.
+};
+
+/// Snapshot of everything above. Cheap to copy; taken on demand so the
+/// simulator can keep running afterwards.
+struct SimTelemetry {
+  uint64_t Cycles = 0;
+  std::vector<METelemetry> MEs;
+  MemUnitTelemetry Units[3]; ///< [0]=Scratch [1]=SRAM [2]=DRAM.
+  std::vector<RingTelemetry> Rings;
+  uint64_t TraceEventsDropped = 0; ///< Tracer buffer overflow count.
+
+  static const char *unitName(unsigned Space) {
+    return Space == 0 ? "scratch" : Space == 1 ? "sram" : "dram";
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Event tracing
+//===----------------------------------------------------------------------===//
+
+/// A single trace event. Compact (32 bytes) because traces hold millions.
+struct TraceEvent {
+  enum Kind : uint8_t {
+    Exec, ///< Contiguous run of instructions by one thread. Arg = instrs.
+    Mem,  ///< Memory transaction. Space = unit, Arg = address.
+    Ring, ///< Ring get/put. Space = ring index, Arg = depth after.
+    Rx,   ///< Packet injected. Arg = handle.
+    Tx,   ///< Packet transmitted. Arg = bytes.
+  };
+  uint64_t Start = 0; ///< Cycle the event began.
+  uint32_t Dur = 0;   ///< Duration in cycles (0 = instant).
+  uint32_t Arg = 0;
+  uint16_t ME = 0;
+  uint16_t Thread = 0;
+  Kind K = Exec;
+  uint8_t Space = 0;
+};
+
+/// Bounded in-memory event buffer. Recording is a bounds check plus a
+/// push_back; events past the cap are counted but dropped (the trace
+/// stays a prefix of the run rather than a random sample).
+class Tracer {
+public:
+  explicit Tracer(size_t MaxEvents = 1u << 20) : Cap(MaxEvents) {
+    Events.reserve(Cap < 4096 ? Cap : 4096);
+  }
+
+  void record(const TraceEvent &E) {
+    if (Events.size() < Cap)
+      Events.push_back(E);
+    else
+      ++Dropped;
+  }
+
+  const std::vector<TraceEvent> &events() const { return Events; }
+  uint64_t dropped() const { return Dropped; }
+
+  /// Writes the whole buffer as Chrome trace format JSON: one "process"
+  /// per ME (plus pseudo-processes for Rx/Tx devices), one "thread" track
+  /// per hardware thread, "X" complete events with ts/dur in cycles.
+  void exportChromeTrace(std::ostream &OS) const;
+
+private:
+  size_t Cap;
+  std::vector<TraceEvent> Events;
+  uint64_t Dropped = 0;
+};
+
+/// Writes the telemetry snapshot (plus the aggregate SimStats) as JSON.
+/// Schema: docs/observability.md.
+void writeTelemetryJson(std::ostream &OS, const SimStats &Stats,
+                        const SimTelemetry &Telem);
+
+/// Same, but emits the object through an in-flight writer so callers
+/// (e.g. the benchmark harness) can nest it inside a larger document.
+void writeTelemetry(support::JsonWriter &W, const SimStats &Stats,
+                    const SimTelemetry &Telem);
+
+} // namespace sl::ixp
+
+#endif // SL_IXP_TELEMETRY_H

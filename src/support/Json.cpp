@@ -1,0 +1,115 @@
+//===- support/Json.cpp ------------------------------------------------------------==//
+
+#include "support/Json.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace sl::support;
+
+std::string sl::support::jsonEscape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C & 0xFF);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+void JsonWriter::indent() {
+  if (!Pretty)
+    return;
+  OS << '\n';
+  for (size_t I = 0; I != HasElem.size(); ++I)
+    OS << "  ";
+}
+
+void JsonWriter::separate() {
+  if (PendingKey) {
+    PendingKey = false;
+    return; // The key already emitted the comma for this member.
+  }
+  if (!HasElem.empty()) {
+    if (HasElem.back())
+      OS << ',';
+    HasElem.back() = true;
+    indent();
+  }
+}
+
+void JsonWriter::open(char C) {
+  separate();
+  OS << C;
+  HasElem.push_back(false);
+}
+
+void JsonWriter::close(char C) {
+  bool Had = HasElem.back();
+  HasElem.pop_back();
+  if (Had)
+    indent();
+  OS << C;
+}
+
+void JsonWriter::key(std::string_view K) {
+  separate();
+  OS << '"' << jsonEscape(K) << "\":";
+  if (Pretty)
+    OS << ' ';
+  PendingKey = true;
+}
+
+void JsonWriter::value(std::string_view V) {
+  separate();
+  OS << '"' << jsonEscape(V) << '"';
+}
+
+void JsonWriter::value(bool V) {
+  separate();
+  OS << (V ? "true" : "false");
+}
+
+void JsonWriter::value(uint64_t V) {
+  separate();
+  OS << V;
+}
+
+void JsonWriter::value(int64_t V) {
+  separate();
+  OS << V;
+}
+
+void JsonWriter::value(double V) {
+  separate();
+  if (!std::isfinite(V)) {
+    OS << "null"; // JSON has no Inf/NaN.
+    return;
+  }
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  OS << Buf;
+}

@@ -1,0 +1,78 @@
+//===- support/Json.h - minimal streaming JSON writer ----------------------------==//
+//
+// A small, dependency-free JSON emitter used by the simulator telemetry
+// exporters and the benchmark harness. It streams to a std::ostream and
+// tracks nesting so commas and indentation are inserted automatically:
+//
+//   JsonWriter W(OS);
+//   W.beginObject();
+//   W.field("cycles", Cycles);
+//   W.key("threads"); W.beginArray();
+//   for (...) { W.beginObject(); ... W.endObject(); }
+//   W.endArray();
+//   W.endObject();
+//
+// Only what the telemetry schema needs: objects, arrays, strings, bools,
+// integers and doubles (doubles are emitted with enough precision to
+// round-trip).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SL_SUPPORT_JSON_H
+#define SL_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sl::support {
+
+/// Escapes \p S for inclusion inside a JSON string literal (quotes not
+/// included).
+std::string jsonEscape(std::string_view S);
+
+class JsonWriter {
+public:
+  explicit JsonWriter(std::ostream &OS, bool Pretty = true)
+      : OS(OS), Pretty(Pretty) {}
+
+  void beginObject() { open('{'); }
+  void endObject() { close('}'); }
+  void beginArray() { open('['); }
+  void endArray() { close(']'); }
+
+  /// Emits the key of the next member of the enclosing object.
+  void key(std::string_view K);
+
+  void value(std::string_view V);
+  void value(const char *V) { value(std::string_view(V)); }
+  void value(bool V);
+  void value(double V);
+  void value(uint64_t V);
+  void value(int64_t V);
+  void value(unsigned V) { value(uint64_t(V)); }
+  void value(int V) { value(int64_t(V)); }
+
+  template <typename T> void field(std::string_view K, T V) {
+    key(K);
+    value(V);
+  }
+
+private:
+  void open(char C);
+  void close(char C);
+  void separate(); ///< Comma/newline before a sibling element.
+  void indent();
+
+  std::ostream &OS;
+  bool Pretty;
+  /// One frame per open container: true once a first element was written.
+  std::vector<bool> HasElem;
+  bool PendingKey = false;
+};
+
+} // namespace sl::support
+
+#endif // SL_SUPPORT_JSON_H
