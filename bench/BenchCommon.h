@@ -5,6 +5,7 @@
 
 #include "apps/Apps.h"
 #include "driver/Compiler.h"
+#include "driver/Feedback.h"
 #include "support/Json.h"
 
 #include <cstdio>
@@ -20,6 +21,7 @@ namespace sl::bench {
 /// offered load.
 struct ForwardResult {
   double Gbps = 0.0;
+  double PktPerKCycle = 0.0; ///< Forwarded packets per 1000 cycles.
   ixp::SimStats Stats;
   ixp::SimTelemetry Telem; ///< Snapshot at the end of the measured run.
 };
@@ -55,6 +57,10 @@ inline ForwardResult runForwarding(const driver::CompiledApp &App,
   uint64_t DCycles = After.Cycles - Before.Cycles;
   R.Gbps = DCycles ? double(DBytes) * 8.0 * Chip.ClockGHz / double(DCycles)
                    : 0.0;
+  R.PktPerKCycle =
+      DCycles ? 1000.0 * double(After.TxPackets - Before.TxPackets) /
+                    double(DCycles)
+              : 0.0;
   // Per-packet stats reported over the whole run (incl. warmup) — the
   // ratios converge quickly.
   return R;
@@ -66,7 +72,7 @@ compileApp(const apps::AppBundle &App, driver::OptLevel Level,
            unsigned NumMEs, bool StackOpt = true) {
   driver::CompileOptions Opts;
   Opts.Level = Level;
-  Opts.NumMEs = NumMEs;
+  Opts.Map.NumMEs = NumMEs;
   Opts.StackOpt = StackOpt;
   Opts.TxMetaFields = App.TxMetaFields;
   DiagEngine Diags;

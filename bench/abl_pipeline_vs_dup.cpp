@@ -25,7 +25,7 @@ int main(int argc, char **argv) {
     for (bool AllowMerge : {true, false}) {
       driver::CompileOptions Opts;
       Opts.Level = driver::OptLevel::Phr;
-      Opts.NumMEs = 6;
+      Opts.Map.NumMEs = 6;
       Opts.TxMetaFields = App.TxMetaFields;
       Opts.Map.AllowMerging = AllowMerge;
       DiagEngine Diags;

@@ -53,7 +53,7 @@ int main(int argc, char **argv) {
   for (unsigned Interval : {1u, 4u, 16u, 64u, 256u}) {
     driver::CompileOptions Opts;
     Opts.Level = driver::OptLevel::Swc;
-    Opts.NumMEs = 2;
+    Opts.Map.NumMEs = 2;
     Opts.TxMetaFields = {"tag"};
     Opts.Swc.MinLoadsPerPacket = 0.5;
     Opts.Swc.MaxCheckInterval = Interval; // The sweep knob.

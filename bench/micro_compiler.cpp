@@ -104,7 +104,7 @@ void BM_FullCompileSwc(benchmark::State &State) {
   for (auto _ : State) {
     driver::CompileOptions Opts;
     Opts.Level = driver::OptLevel::Swc;
-    Opts.NumMEs = 6;
+    Opts.Map.NumMEs = 6;
     Opts.TxMetaFields = app().TxMetaFields;
     DiagEngine D;
     benchmark::DoNotOptimize(
@@ -117,7 +117,7 @@ void BM_SimulatorThroughput(benchmark::State &State) {
   profile::Trace Trace = app().makeTrace(1, 128);
   driver::CompileOptions Opts;
   Opts.Level = driver::OptLevel::Swc;
-  Opts.NumMEs = 6;
+  Opts.Map.NumMEs = 6;
   Opts.TxMetaFields = app().TxMetaFields;
   DiagEngine D;
   auto App = driver::compile(app().Source, Trace, app().Tables, Opts, D);

@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Runs the paper's forwarding benchmarks (Figures 13/14/15) plus the
+# feedback-mapping ablation, each with --stats-json, and consolidates
+# the per-bench outputs into one BENCH_results.json:
+#
+#   gbps        per app, per optimization level, per ME count
+#   feedback    static vs feedback pkts/kcycle per app and code store
+#
+# Usage: bench/run_benches.sh [--quick] [BUILD_DIR [OUT_DIR]]
+#   --quick    shorter simulations (CI mode), forwarded to every bench
+#   BUILD_DIR  cmake build tree (default: build)
+#   OUT_DIR    where per-bench JSON and BENCH_results.json land
+#              (default: BUILD_DIR/bench_results)
+
+set -euo pipefail
+
+QUICK=""
+if [[ "${1:-}" == "--quick" ]]; then
+  QUICK="--quick"
+  shift
+fi
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-$BUILD_DIR/bench_results}"
+BENCH_DIR="$BUILD_DIR/bench"
+
+if [[ ! -d "$BENCH_DIR" ]]; then
+  echo "error: $BENCH_DIR not found (build the project first)" >&2
+  exit 1
+fi
+mkdir -p "$OUT_DIR"
+
+run() {
+  local name="$1"
+  echo "== $name $QUICK" >&2
+  "$BENCH_DIR/$name" $QUICK --stats-json "$OUT_DIR/$name.json"
+}
+
+run fig13_l3switch
+run fig14_firewall
+run fig15_mpls
+run abl_feedback_mapping
+
+python3 - "$OUT_DIR" <<'EOF'
+import json, os, sys
+
+out_dir = sys.argv[1]
+
+def load(name):
+    with open(os.path.join(out_dir, name + ".json")) as f:
+        return json.load(f)
+
+results = {"benchmarks": {}, "feedback": {}}
+
+# Figures 13/14/15: packets-per-second proxy (Gbps on 64B frames) per
+# app, per ladder level, per ME count.
+for fig in ("fig13_l3switch", "fig14_firewall", "fig15_mpls"):
+    d = load(fig)
+    app = d["app"]
+    levels = {}
+    for cell in d["cells"]:
+        levels.setdefault(cell["level"], {})[str(cell["mes"])] = cell["gbps"]
+    results["benchmarks"][app] = {
+        "figure": d["figure"],
+        "measuredCycles": d["measuredCycles"],
+        "gbpsByLevel": levels,
+    }
+
+# Feedback ablation: static vs feedback mapping at +SWC.
+fb = load("abl_feedback_mapping")
+results["feedback"] = {
+    "level": fb["level"],
+    "mes": fb["mes"],
+    "measuredCycles": fb["measuredCycles"],
+    "feedbackAtLeastStatic": fb["feedbackAtLeastStatic"],
+    "configs": [
+        {
+            "app": c["app"],
+            "codeStoreInstrs": c["codeStoreInstrs"],
+            "staticPktPerKCycle": c["static"]["pktPerKCycle"],
+            "feedbackPktPerKCycle": c["feedback"]["pktPerKCycle"],
+            "gainPct": c["feedback"]["gainPct"],
+            "rounds": len(c["feedback"]["rounds"]),
+            "bestRound": c["feedback"]["bestRound"],
+            "fixedPoint": c["feedback"]["fixedPoint"],
+        }
+        for c in fb["configs"]
+    ],
+}
+
+path = os.path.join(out_dir, "BENCH_results.json")
+with open(path, "w") as f:
+    json.dump(results, f, indent=2)
+    f.write("\n")
+print(f"consolidated -> {path}")
+
+if not fb["feedbackAtLeastStatic"]:
+    print("FAIL: feedback mapping regressed below static", file=sys.stderr)
+    sys.exit(1)
+EOF

@@ -68,7 +68,7 @@ int main() {
   // 2. Compile at the most optimized level of the paper's ladder.
   CompileOptions Opts;
   Opts.Level = OptLevel::Swc;
-  Opts.NumMEs = 2; // Keep lock contention on the stats counters sane.
+  Opts.Map.NumMEs = 2; // Keep lock contention on the stats counters sane.
   Opts.TxMetaFields = {"tx_port"};
   DiagEngine Diags;
   auto App = compile(Source, Trace, {}, Opts, Diags);
@@ -97,7 +97,7 @@ int main() {
   ixp::SimStats Stats = Sim->run(400'000);
 
   std::printf("\n== simulation (%llu cycles @ %.1f GHz, %u MEs) ==\n",
-              (unsigned long long)Stats.Cycles, Chip.ClockGHz, Opts.NumMEs);
+              (unsigned long long)Stats.Cycles, Chip.ClockGHz, Opts.Map.NumMEs);
   std::printf("forwarded       %llu packets (%.2f Gbps on 64B frames)\n",
               (unsigned long long)Stats.TxPackets,
               Stats.forwardingGbps(Chip.ClockGHz));

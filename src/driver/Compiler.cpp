@@ -81,11 +81,21 @@ std::unique_ptr<CompiledApp> buildOnce(const std::string &Source,
     Prof.interp().writeGlobal(T.Global, T.Index, T.Value);
   App->Prof = Prof.run(ProfTrace);
 
-  // Aggregate formation (Sec. 5.1).
+  // Aggregate formation (Sec. 5.1). With a valid telemetry overlay the
+  // decisions are priced from measurement; the oversize-retry growth
+  // (SizeFactor / the configured estimate) scales the measured expansion
+  // too, so code-store misses still force splits in feedback mode.
   map::MapParams MP = Opts.Map;
-  MP.NumMEs = Opts.NumMEs;
   MP.MeInstrsPerIrInstr = SizeFactor;
-  App->Plan = map::formAggregates(M, App->Prof, MP);
+  if (Opts.Measured.valid()) {
+    map::MeasuredCostModel CM(App->Prof, MP, Opts.Measured,
+                              SizeFactor / Opts.Map.MeInstrsPerIrInstr);
+    App->Plan = map::formAggregates(M, App->Prof, MP, CM);
+    App->MeInstrsPerIrInstrUsed = CM.meInstrsPerIrInstr();
+  } else {
+    App->Plan = map::formAggregates(M, App->Prof, MP);
+    App->MeInstrsPerIrInstrUsed = SizeFactor;
+  }
   map::applyPlan(M, App->Plan);
 
   // The ME has no call hardware: all remaining calls are flattened.
@@ -125,7 +135,9 @@ std::unique_ptr<CompiledApp> buildOnce(const std::string &Source,
   Cfg.Swc = atLeast(Opts.Level, OptLevel::Swc);
   Cfg.StackOpt = Opts.StackOpt;
 
-  for (const map::Aggregate &Agg : App->Plan.Aggregates) {
+  for (unsigned AggIdx = 0; AggIdx != App->Plan.Aggregates.size();
+       ++AggIdx) {
+    const map::Aggregate &Agg = App->Plan.Aggregates[AggIdx];
     // Roots: one per external input channel.
     std::vector<cg::RootInput> Roots;
     std::vector<unsigned> Rings;
@@ -157,8 +169,10 @@ std::unique_ptr<CompiledApp> buildOnce(const std::string &Source,
     Bin.Rings = Rings;
     Bin.Copies = Agg.Copies;
     Bin.OnXScale = Agg.OnXScale;
+    Bin.Name = Name;
+    Bin.PlanIndex = AggIdx;
 
-    if (!Agg.OnXScale && Bin.Code.CodeSlots > 4096) {
+    if (!Agg.OnXScale && Bin.Code.CodeSlots > Opts.Map.CodeStoreInstrs) {
       Oversize = true;
       return nullptr;
     }
@@ -197,7 +211,8 @@ std::unique_ptr<CompiledApp> sl::driver::compile(
 
 std::unique_ptr<ixp::Simulator>
 sl::driver::makeSimulator(const CompiledApp &App, ixp::ChipParams Chip) {
-  Chip.ProgrammableMEs = App.Opts.NumMEs;
+  Chip.ProgrammableMEs = App.Opts.Map.NumMEs;
+  Chip.CodeStoreSlots = App.Opts.Map.CodeStoreInstrs;
   auto Sim = std::make_unique<ixp::Simulator>(Chip, App.Map);
   Sim->initGlobals(*App.IR);
   for (const TableInit &T : App.Tables) {

@@ -23,7 +23,7 @@
 #include "cg/StackLayout.h"
 #include "cg/Wcet.h"
 #include "ixp/Simulator.h"
-#include "map/Aggregation.h"
+#include "map/CostModel.h"
 #include "pktopt/Swc.h"
 #include "profile/Profiler.h"
 
@@ -48,12 +48,18 @@ struct TableInit {
 
 struct CompileOptions {
   OptLevel Level = OptLevel::Swc;
-  unsigned NumMEs = 6;
   bool StackOpt = true;
   /// Metadata fields consumed by Tx (extern to PHR), e.g. "tx_port".
   std::vector<std::string> TxMetaFields;
   pktopt::SwcParams Swc;
-  map::MapParams Map; ///< NumMEs is overwritten from the field above.
+  /// Mapping model parameters. Map.NumMEs and Map.CodeStoreInstrs are the
+  /// single source of truth for the ME budget and instruction store: the
+  /// mapper, the oversize check, and makeSimulator() all read them here.
+  map::MapParams Map;
+  /// Telemetry-derived cost overlay. When valid() the mapper prices
+  /// formation with a MeasuredCostModel instead of the static estimates;
+  /// compileWithFeedback (driver/Feedback.h) fills this per round.
+  map::MeasuredCosts Measured;
 };
 
 /// One loadable ME (or XScale) image.
@@ -62,6 +68,8 @@ struct AggregateBinary {
   std::vector<unsigned> Rings;
   unsigned Copies = 1;
   bool OnXScale = false;
+  std::string Name;         ///< Root PPF name (aggregate label).
+  unsigned PlanIndex = ~0u; ///< Index into CompiledApp::Plan.Aggregates.
   cg::StackLayoutStats Stack;
   cg::RegAllocStats RegAlloc;
   cg::WcetResult Wcet; ///< Worst-case cycles per packet (Sec. 5.1).
@@ -78,6 +86,10 @@ struct CompiledApp {
   std::vector<TableInit> Tables;
   CompileOptions Opts;
   unsigned PlanIterations = 0;
+  /// Expansion factor the final plan was formed with (measured or static,
+  /// including oversize-retry growth) — needed to recover per-aggregate
+  /// IR sizes from Aggregate::EstMeInstrs when attributing telemetry.
+  double MeInstrsPerIrInstrUsed = 0.0;
 
   /// Bit offset/width of a user metadata field (for decoding Tx records).
   const baker::BitField *metaField(const std::string &Name) const {

@@ -1,0 +1,241 @@
+//===- driver/Feedback.cpp - closed-loop mapping tuner -------------------------==//
+
+#include "driver/Feedback.h"
+
+#include "rts/MemoryMap.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <memory>
+
+using namespace sl;
+using namespace sl::driver;
+
+std::string sl::driver::planSignature(const map::MappingPlan &Plan) {
+  std::vector<std::string> Lines;
+  for (const map::Aggregate &A : Plan.Aggregates) {
+    std::vector<std::string> Names;
+    for (const ir::Function *F : A.Funcs)
+      Names.push_back(F->name());
+    std::sort(Names.begin(), Names.end());
+    std::string L = A.OnXScale ? "XS" : "ME";
+    L += " x" + std::to_string(A.OnXScale ? 1u : A.Copies) + ":";
+    for (const std::string &N : Names)
+      L += " " + N;
+    Lines.push_back(std::move(L));
+  }
+  std::sort(Lines.begin(), Lines.end());
+  std::string Sig;
+  for (const std::string &L : Lines) {
+    Sig += L;
+    Sig += '\n';
+  }
+  return Sig;
+}
+
+namespace {
+
+std::vector<ixp::CoreGroup> coreGroupsOf(const CompiledApp &App) {
+  std::vector<ixp::CoreGroup> Groups;
+  for (const AggregateBinary &B : App.Images)
+    Groups.push_back({B.Name, B.OnXScale ? 1u : B.Copies, B.OnXScale});
+  return Groups;
+}
+
+/// Approximate ME issue cycles burned per empty-ring poll: the get, the
+/// result test, and the taken loop-back branch (the scratch access wait
+/// itself lands in the RingWait bucket, which attribution excludes).
+constexpr double SpinBusyPerEmptyGet = 3.0;
+
+struct CalibRun {
+  ixp::SimStats Stats;
+  ixp::SimTelemetry Telem;
+  std::vector<ixp::GroupTelemetry> Groups;
+  double PktPerKCycle = 0.0;
+};
+
+CalibRun calibrate(const CompiledApp &App, const profile::Trace &Traffic,
+                   const FeedbackOptions &FB) {
+  CalibRun R;
+  auto Sim = makeSimulator(App, FB.Chip);
+  auto Pkt = std::make_shared<ixp::SimPacket>();
+  Sim->setTraffic(
+      [&Traffic, Pkt](uint64_t I) -> const ixp::SimPacket * {
+        if (Traffic.empty())
+          return nullptr;
+        const profile::TracePacket &T = Traffic[I % Traffic.size()];
+        Pkt->Frame = T.Frame;
+        Pkt->Port = T.Port;
+        return Pkt.get();
+      });
+  R.Stats = Sim->run(FB.CalibCycles);
+  R.Telem = Sim->telemetry();
+  R.Groups = ixp::attributeToGroups(R.Telem, coreGroupsOf(App));
+  R.PktPerKCycle = R.Stats.Cycles ? 1000.0 * double(R.Stats.TxPackets) /
+                                        double(R.Stats.Cycles)
+                                  : 0.0;
+  return R;
+}
+
+} // namespace
+
+map::MeasuredCosts sl::driver::attributeCosts(const CompiledApp &App,
+                                              const ixp::SimTelemetry &Telem,
+                                              const ixp::SimStats &Stats) {
+  map::MeasuredCosts MC;
+  std::vector<ixp::GroupTelemetry> GT =
+      ixp::attributeToGroups(Telem, coreGroupsOf(App));
+
+  // Ring operations issued by MEs: both ends of every successful transfer
+  // minus the Rx/Tx devices' (uncharged) ends, plus empty polls and full
+  // puts — those pay the scratch access and its wait all the same.
+  uint64_t Enq = 0, Deq = 0, Empty = 0, Full = 0;
+  for (size_t Ri = 0; Ri != Telem.Rings.size(); ++Ri) {
+    Enq += Telem.Rings[Ri].Enqueues;
+    Deq += Telem.Rings[Ri].Dequeues;
+    Empty += Telem.Rings[Ri].EmptyGets;
+    if (Ri != rts::RxRing) // Rx-ring full-stalls are the Rx device's.
+      Full += Telem.Rings[Ri].FullStalls;
+  }
+  int64_t MEOps = int64_t(Enq + Deq + Empty + Full) -
+                  int64_t(Stats.RxInjected + Stats.TxPackets);
+  if (MEOps < 0)
+    MEOps = 0;
+
+  uint64_t RingWaitTotal = 0, MemStallTotal = 0;
+  for (const ixp::GroupTelemetry &G : GT)
+    if (!G.OnXScale) {
+      RingWaitTotal += G.RingWait;
+      MemStallTotal += G.MemStall;
+    }
+  if (MEOps > 0) // A crossing is one put plus one get.
+    MC.ChannelCostCycles = 2.0 * double(RingWaitTotal) / double(MEOps);
+
+  uint64_t Accesses = 0;
+  for (unsigned Sp = 0; Sp != 3; ++Sp)
+    Accesses += Telem.Units[Sp].Accesses;
+  int64_t MemOps = int64_t(Accesses) - MEOps; // Non-ring accesses.
+  if (MemOps > 0)
+    MC.MemAccessCycles = double(MemStallTotal) / double(MemOps);
+
+  // Per-aggregate thread-cycles -> per-PPF cycles per packet, split by
+  // profiled work share. Also fold the flattened images into a measured
+  // lowering-expansion factor (actual slots over formation-time IR size).
+  double PreIrInstrs = 0.0;
+  uint64_t Slots = 0;
+  for (size_t I = 0; I != App.Images.size(); ++I) {
+    const AggregateBinary &B = App.Images[I];
+    if (B.OnXScale)
+      continue; // Uncharged core; nothing to price for the ME model.
+    const map::Aggregate &A = App.Plan.Aggregates[B.PlanIndex];
+    Slots += B.Code.CodeSlots;
+    if (App.MeInstrsPerIrInstrUsed > 0.0)
+      PreIrInstrs += A.EstMeInstrs / App.MeInstrsPerIrInstrUsed;
+
+    uint64_t Pkts = 0;
+    double Spin = 0.0;
+    for (unsigned Ring : B.Rings) {
+      Pkts += Telem.Rings[Ring].Dequeues;
+      Spin += SpinBusyPerEmptyGet * double(Telem.Rings[Ring].EmptyGets);
+    }
+    if (!Pkts)
+      continue;
+    double Cycles = double(GT[I].Busy + GT[I].MemStall) - Spin;
+    if (Cycles < 0.0)
+      Cycles = 0.0;
+    double PerPkt = Cycles / double(Pkts);
+
+    double WSum = 0.0;
+    for (const ir::Function *F : A.Funcs)
+      WSum += App.Prof.workWeight(F, App.Opts.Map.MemAccessCycles);
+    for (const ir::Function *F : A.Funcs) {
+      double W = WSum > 0.0
+                     ? App.Prof.workWeight(F, App.Opts.Map.MemAccessCycles) /
+                           WSum
+                     : 1.0 / double(A.Funcs.size());
+      MC.FuncCycles[F->name()] += PerPkt * W;
+    }
+  }
+  if (PreIrInstrs > 0.0)
+    MC.MeInstrsPerIrInstr = double(Slots) / PreIrInstrs;
+  MC.CalibPackets = Stats.TxPackets;
+  return MC;
+}
+
+FeedbackResult sl::driver::compileWithFeedback(
+    const std::string &Source, const profile::Trace &ProfTrace,
+    const profile::Trace &CalibTraffic, const std::vector<TableInit> &Tables,
+    const CompileOptions &Opts, const FeedbackOptions &FB,
+    DiagEngine &Diags) {
+  FeedbackResult R;
+  CompileOptions O = Opts;
+  O.Measured = map::MeasuredCosts{}; // Round 0 is always the static plan.
+
+  std::vector<std::unique_ptr<CompiledApp>> Candidates;
+  Candidates.push_back(compile(Source, ProfTrace, Tables, O, Diags));
+  if (!Candidates.back())
+    return R;
+
+  CalibRun C = calibrate(*Candidates.back(), CalibTraffic, FB);
+  {
+    FeedbackRound FR;
+    FR.Round = 0;
+    FR.PredictedThroughput = Candidates.back()->Plan.PredictedThroughput;
+    FR.MeasuredPktPerKCycle = C.PktPerKCycle;
+    FR.PlanSignature = planSignature(Candidates.back()->Plan);
+    FR.MapLog = Candidates.back()->Plan.Log;
+    FR.Groups = C.Groups;
+    R.Rounds.push_back(std::move(FR));
+  }
+  double BestMeasured = C.PktPerKCycle;
+  size_t BestCandidate = 0;
+  map::MeasuredCosts MC =
+      attributeCosts(*Candidates.back(), C.Telem, C.Stats);
+
+  for (unsigned Round = 1; Round < FB.MaxRounds && MC.valid(); ++Round) {
+    O.Measured = MC;
+    DiagEngine RoundDiags; // A failed re-plan keeps the incumbent.
+    auto Next = compile(Source, ProfTrace, Tables, O, RoundDiags);
+    if (!Next)
+      break;
+
+    std::string Sig = planSignature(Next->Plan);
+    if (Sig == R.Rounds.back().PlanSignature) {
+      // Fixed point: measured costs reproduce the plan they came from.
+      // Identical plans lower to identical images, so re-measuring would
+      // return the previous round's numbers verbatim.
+      FeedbackRound FR;
+      FR.Round = Round;
+      FR.PredictedThroughput = Next->Plan.PredictedThroughput;
+      FR.MeasuredPktPerKCycle = R.Rounds.back().MeasuredPktPerKCycle;
+      FR.Costs = MC;
+      FR.PlanSignature = std::move(Sig);
+      FR.MapLog = Next->Plan.Log;
+      R.Rounds.push_back(std::move(FR));
+      R.FixedPoint = true;
+      break;
+    }
+
+    C = calibrate(*Next, CalibTraffic, FB);
+    FeedbackRound FR;
+    FR.Round = Round;
+    FR.PredictedThroughput = Next->Plan.PredictedThroughput;
+    FR.MeasuredPktPerKCycle = C.PktPerKCycle;
+    FR.Costs = MC;
+    FR.PlanSignature = std::move(Sig);
+    FR.MapLog = Next->Plan.Log;
+    FR.Groups = C.Groups;
+    R.Rounds.push_back(std::move(FR));
+
+    MC = attributeCosts(*Next, C.Telem, C.Stats);
+    Candidates.push_back(std::move(Next));
+    if (C.PktPerKCycle > BestMeasured * (1.0 + FB.MinGain)) {
+      BestMeasured = C.PktPerKCycle;
+      BestCandidate = Candidates.size() - 1;
+      R.BestRound = Round;
+    }
+  }
+
+  R.App = std::move(Candidates[BestCandidate]);
+  return R;
+}

@@ -1,0 +1,99 @@
+//===- driver/Feedback.h - closed-loop mapping tuner ---------------------------==//
+//
+// The paper's compiler is a feedback design: aggregate formation runs on
+// estimates, and lowered reality feeds back into re-planning. compile()
+// already iterates on one signal (code-store misses). This header closes
+// the loop on the other one — performance:
+//
+//   compile (static costs) -> simulate a short calibration slice ->
+//   attribute telemetry to aggregates -> re-form aggregates with a
+//   MeasuredCosts overlay -> repeat (bounded) until the plan reaches a
+//   fixed point or stops improving.
+//
+// The attribution step turns SimTelemetry into per-function cycle costs:
+// each loaded aggregate's busy + memory-stall thread-cycles (minus an
+// estimate of empty-ring polling) are divided by the packets that
+// traversed its input rings and split over member PPFs by profiled work
+// share. Ring-wait cycles per ring operation give the measured channel
+// crossing cost, and the flattened images give the real lowering
+// expansion — the three quantities the CostModel interface prices.
+//
+// Everything here is deterministic: the same source, profile trace and
+// calibration trace produce the same final MappingPlan.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SL_DRIVER_FEEDBACK_H
+#define SL_DRIVER_FEEDBACK_H
+
+#include "driver/Compiler.h"
+#include "ixp/Attribution.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sl::driver {
+
+struct FeedbackOptions {
+  /// Total simulate/remap rounds, including the static baseline's
+  /// calibration run. Bounded by design (paper-style feedback, not a
+  /// search): at most MaxRounds simulations and MaxRounds - 1 re-plans.
+  unsigned MaxRounds = 4;
+  /// Calibration slice length in cycles per round.
+  uint64_t CalibCycles = 120'000;
+  /// A re-planned mapping must beat the incumbent's measured throughput
+  /// by this relative margin to be adopted (hysteresis: keeps marginal,
+  /// noise-level flips from churning the plan).
+  double MinGain = 0.01;
+  /// Chip model for calibration runs. ProgrammableMEs / CodeStoreSlots
+  /// are overwritten from CompileOptions::Map (single source of truth).
+  ixp::ChipParams Chip;
+};
+
+/// One simulate/remap round's record, kept for --stats-json surfacing.
+struct FeedbackRound {
+  unsigned Round = 0;              ///< 0 = static baseline.
+  double PredictedThroughput = 0;  ///< Formation model's relative estimate.
+  double MeasuredPktPerKCycle = 0; ///< Calibration: Tx packets / kcycle.
+  map::MeasuredCosts Costs;  ///< Overlay used to FORM this round's plan
+                             ///< (empty/invalid for the static round 0).
+  std::string PlanSignature; ///< Canonical plan text (see planSignature).
+  std::string MapLog;        ///< Formation decision trail.
+  std::vector<ixp::GroupTelemetry> Groups; ///< Per-aggregate buckets.
+};
+
+struct FeedbackResult {
+  std::unique_ptr<CompiledApp> App; ///< Best measured candidate (null on
+                                    ///< compile error; see Diags).
+  std::vector<FeedbackRound> Rounds;
+  unsigned BestRound = 0;
+  bool FixedPoint = false; ///< Re-planning reproduced the previous plan.
+};
+
+/// Canonical text of a plan's shape: one line per aggregate (sorted
+/// member names, placement, copies), lines sorted. Two plans with equal
+/// signatures lower to identical images.
+std::string planSignature(const map::MappingPlan &Plan);
+
+/// Derives a MeasuredCosts overlay from one calibration run of \p App.
+/// \p Telem / \p Stats must come from the same simulator after the run.
+map::MeasuredCosts attributeCosts(const CompiledApp &App,
+                                  const ixp::SimTelemetry &Telem,
+                                  const ixp::SimStats &Stats);
+
+/// Compiles \p Source, then iterates calibration + re-planning as
+/// described above. \p CalibTraffic drives the calibration simulations
+/// (cycled under infinite offered load). Returns the best-measured
+/// candidate plus the per-round records.
+FeedbackResult compileWithFeedback(const std::string &Source,
+                                   const profile::Trace &ProfTrace,
+                                   const profile::Trace &CalibTraffic,
+                                   const std::vector<TableInit> &Tables,
+                                   const CompileOptions &Opts,
+                                   const FeedbackOptions &FB,
+                                   DiagEngine &Diags);
+
+} // namespace sl::driver
+
+#endif // SL_DRIVER_FEEDBACK_H

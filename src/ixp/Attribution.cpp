@@ -1,0 +1,34 @@
+//===- ixp/Attribution.cpp -----------------------------------------------------==//
+
+#include "ixp/Attribution.h"
+
+using namespace sl;
+using namespace sl::ixp;
+
+std::vector<GroupTelemetry>
+sl::ixp::attributeToGroups(const SimTelemetry &T,
+                           const std::vector<CoreGroup> &Groups) {
+  std::vector<GroupTelemetry> Out;
+  Out.reserve(Groups.size());
+  size_t Core = 0;
+  for (const CoreGroup &G : Groups) {
+    GroupTelemetry GT;
+    GT.Name = G.Name;
+    GT.OnXScale = G.OnXScale;
+    unsigned N = G.OnXScale ? 1 : G.NumCores;
+    for (unsigned K = 0; K != N && Core != T.MEs.size(); ++K, ++Core) {
+      const METelemetry &ME = T.MEs[Core];
+      ++GT.Cores;
+      GT.Cycles += ME.Cycles;
+      for (const ThreadTelemetry &Th : ME.Threads) {
+        GT.Busy += Th.Busy;
+        GT.MemStall += Th.MemStall;
+        GT.RingWait += Th.RingWait;
+        GT.Idle += Th.Idle;
+        GT.Instrs += Th.Instrs;
+      }
+    }
+    Out.push_back(std::move(GT));
+  }
+  return Out;
+}

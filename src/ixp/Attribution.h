@@ -1,0 +1,57 @@
+//===- ixp/Attribution.h - aggregate-level telemetry attribution -------------==//
+//
+// The simulator reports telemetry per core (per ME), but the compiler
+// reasons in aggregates. loadAggregate creates cores in call order — one
+// per replicated copy — so a loaded plan induces a partition of the core
+// list into contiguous groups. attributeToGroups() folds a SimTelemetry
+// snapshot over that partition, giving per-aggregate cycle buckets
+// (busy / memory stall / ring wait / idle) that the driver's feedback
+// loop turns into a MeasuredCosts overlay (driver/Feedback.h).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SL_IXP_ATTRIBUTION_H
+#define SL_IXP_ATTRIBUTION_H
+
+#include "ixp/Telemetry.h"
+
+#include <string>
+#include <vector>
+
+namespace sl::ixp {
+
+/// One loaded aggregate's claim on the core list: the next \p NumCores
+/// simulated cores (in load order) belong to it.
+struct CoreGroup {
+  std::string Name;      ///< Aggregate label (root PPF name).
+  unsigned NumCores = 1; ///< Copies loaded (always 1 for XScale).
+  bool OnXScale = false;
+};
+
+/// Cycle accounting summed over one group's cores and threads.
+struct GroupTelemetry {
+  std::string Name;
+  bool OnXScale = false;
+  unsigned Cores = 0;
+  uint64_t Cycles = 0; ///< Summed simulated cycles (Cores x elapsed).
+  uint64_t Busy = 0;
+  uint64_t MemStall = 0;
+  uint64_t RingWait = 0;
+  uint64_t Idle = 0;
+  uint64_t Instrs = 0;
+
+  /// Fraction of the group's cycle budget spent issuing instructions.
+  double utilization() const {
+    return Cycles ? double(Busy) / double(Cycles) : 0.0;
+  }
+};
+
+/// Partitions \p T.MEs over \p Groups in order. Groups beyond the number
+/// of simulated cores get zeroed entries; surplus cores are ignored (the
+/// caller's plan must match what was actually loaded).
+std::vector<GroupTelemetry>
+attributeToGroups(const SimTelemetry &T, const std::vector<CoreGroup> &Groups);
+
+} // namespace sl::ixp
+
+#endif // SL_IXP_ATTRIBUTION_H

@@ -86,7 +86,7 @@ bool Simulator::loadAggregate(const cg::FlatCode &Code,
                               const std::vector<unsigned> &InputRings,
                               unsigned Copies, bool OnXScale) {
   (void)InputRings; // The code itself polls its rings.
-  if (Code.CodeSlots > P.CodeStoreSlots)
+  if (!OnXScale && Code.CodeSlots > P.CodeStoreSlots)
     return false; // Aggregate exceeds the ME instruction store.
   unsigned N = OnXScale ? 1 : Copies;
   if (!OnXScale && MEsUsed + N > P.ProgrammableMEs)

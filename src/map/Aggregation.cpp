@@ -2,6 +2,7 @@
 
 #include "map/Aggregation.h"
 
+#include "map/CostModel.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
@@ -49,8 +50,9 @@ std::set<unsigned> putChannels(const std::set<Function *> &Set) {
 
 class Former {
 public:
-  Former(ir::Module &M, const profile::ProfileData &Prof, const MapParams &P)
-      : M(M), Prof(Prof), P(P) {}
+  Former(ir::Module &M, const profile::ProfileData &Prof, const MapParams &P,
+         const CostModel &CM)
+      : M(M), Prof(Prof), P(P), CM(CM) {}
 
   MappingPlan run();
 
@@ -76,6 +78,7 @@ private:
   ir::Module &M;
   const profile::ProfileData &Prof;
   const MapParams &P;
+  const CostModel &CM;
   std::string LogBuf;
 };
 
@@ -87,10 +90,7 @@ void Former::log(const char *Fmt, ...) {
   LogBuf += "\n";
 }
 
-double Former::ppfCost(Function *F) const {
-  return Prof.instrsPerPacket(F) +
-         Prof.memPerPacket(F) * P.MemAccessCycles;
-}
+double Former::ppfCost(Function *F) const { return CM.funcCycles(F); }
 
 double Former::aggregateCost(const Aggregate &A) const {
   double Cost = 0.0;
@@ -116,10 +116,10 @@ double Former::aggregateCost(const Aggregate &A) const {
           External |= (I->op() == Op::ChannelPut && I->ChanId == C.Id);
     }
     if (External)
-      Cost += chanFreq(C.Id) * P.ChannelCostCycles;
+      Cost += chanFreq(C.Id) * CM.channelCostCycles();
   }
   if (M.EntryPpf && Members.count(M.EntryPpf))
-    Cost += P.ChannelCostCycles / 2.0; // Rx ring get.
+    Cost += CM.channelCostCycles() / 2.0; // Rx ring get.
   return Cost;
 }
 
@@ -129,7 +129,7 @@ double Former::estMeInstrs(const Aggregate &A) const {
     N += double(F->instrCount());
   for (Function *H : reachableHelpers(A.Funcs))
     N += double(H->instrCount());
-  return N * P.MeInstrsPerIrInstr;
+  return N * CM.meInstrsPerIrInstr();
 }
 
 double Former::crossingCost(const Aggregate &A, const Aggregate &B) const {
@@ -142,9 +142,9 @@ double Former::crossingCost(const Aggregate &A, const Aggregate &B) const {
     if (C.Id == 0 || !C.Dest)
       continue;
     if (SetB.count(C.Dest) && PutsA.count(C.Id))
-      Cost += chanFreq(C.Id) * P.ChannelCostCycles;
+      Cost += chanFreq(C.Id) * CM.channelCostCycles();
     if (SetA.count(C.Dest) && PutsB.count(C.Id))
-      Cost += chanFreq(C.Id) * P.ChannelCostCycles;
+      Cost += chanFreq(C.Id) * CM.channelCostCycles();
   }
   return Cost;
 }
@@ -218,6 +218,9 @@ void Former::computeInputs(Aggregate &A) const {
 
 MappingPlan Former::run() {
   std::vector<Aggregate> Aggs;
+
+  log("cost model: %s (channel %.1f cyc/crossing, expansion %.2fx)",
+      CM.name(), CM.channelCostCycles(), CM.meInstrsPerIrInstr());
 
   // One aggregate per PPF; cold PPFs go straight to the XScale.
   for (const auto &F : M.functions()) {
@@ -386,7 +389,15 @@ MappingPlan Former::run() {
 MappingPlan sl::map::formAggregates(ir::Module &M,
                                     const profile::ProfileData &Prof,
                                     const MapParams &P) {
-  Former F(M, Prof, P);
+  StaticCostModel CM(Prof, P);
+  Former F(M, Prof, P, CM);
+  return F.run();
+}
+
+MappingPlan sl::map::formAggregates(ir::Module &M,
+                                    const profile::ProfileData &Prof,
+                                    const MapParams &P, const CostModel &CM) {
+  Former F(M, Prof, P, CM);
   return F.run();
 }
 

@@ -21,9 +21,12 @@
 #include "profile/Profiler.h"
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace sl::map {
+
+class CostModel;
 
 /// Pseudo channel id used for the Rx input in aggregate wiring.
 inline constexpr unsigned RxChanId = 0xFFFFFFFFu;
@@ -62,19 +65,33 @@ struct MappingPlan {
   double PredictedThroughput = 0.0;  ///< Relative (packets per cycle).
   std::string Log;                   ///< Human-readable decision trail.
 
-  /// The aggregate containing \p F, or ~0u.
+  /// The aggregate containing \p F, or ~0u. applyPlan calls this per
+  /// instruction, so the membership index is built lazily on first use
+  /// and memoized. Call invalidateIndex() after mutating Aggregates.
   unsigned aggregateOf(const ir::Function *F) const {
-    for (unsigned I = 0; I != Aggregates.size(); ++I)
-      for (const ir::Function *G : Aggregates[I].Funcs)
-        if (G == F)
-          return I;
-    return ~0u;
+    if (FuncToAgg.empty())
+      for (unsigned I = 0; I != Aggregates.size(); ++I)
+        for (const ir::Function *G : Aggregates[I].Funcs)
+          FuncToAgg.emplace(G, I);
+    auto It = FuncToAgg.find(F);
+    return It == FuncToAgg.end() ? ~0u : It->second;
   }
+
+  void invalidateIndex() { FuncToAgg.clear(); }
+
+private:
+  mutable std::unordered_map<const ir::Function *, unsigned> FuncToAgg;
 };
 
-/// Forms aggregates from profile data.
+/// Forms aggregates from profile data with the paper's static estimates
+/// (equivalent to passing a StaticCostModel below).
 MappingPlan formAggregates(ir::Module &M, const profile::ProfileData &Prof,
                            const MapParams &P = MapParams());
+
+/// Forms aggregates pricing every decision through \p CM — the feedback
+/// loop passes a MeasuredCostModel here to re-plan from telemetry.
+MappingPlan formAggregates(ir::Module &M, const profile::ProfileData &Prof,
+                           const MapParams &P, const CostModel &CM);
 
 /// Rewrites the module for the plan: a channel_put whose destination PPF
 /// lives in the same aggregate becomes a direct call (the inliner then

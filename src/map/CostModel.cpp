@@ -1,0 +1,22 @@
+//===- map/CostModel.cpp -------------------------------------------------------==//
+
+#include "map/CostModel.h"
+
+#include "ir/Function.h"
+
+using namespace sl;
+using namespace sl::map;
+
+double MeasuredCostModel::funcCycles(const ir::Function *F) const {
+  auto It = MC.FuncCycles.find(F->name());
+  if (It != MC.FuncCycles.end())
+    return It->second;
+  // Helpers: measured PPF costs already include the helpers they call
+  // (attribution distributes whole-aggregate cycles over member PPFs), so
+  // pricing them again would double-count.
+  if (!F->isPpf())
+    return 0.0;
+  // A PPF the calibration never ran on an ME (XScale-mapped, or newly
+  // reachable): fall back to the a-priori estimate.
+  return Fallback.funcCycles(F);
+}

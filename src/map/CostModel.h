@@ -1,0 +1,121 @@
+//===- map/CostModel.h - pricing interface for aggregate formation -----------==//
+//
+// Aggregate formation (Fig. 7) prices three things: the cycles a PPF
+// costs per packet, the ring cycles a channel crossing costs, and the
+// code-store footprint of an aggregate (via the ME-instructions-per-
+// IR-instruction expansion). The CostModel interface abstracts those
+// three quantities so the same formation algorithm can run from
+//
+//  * StaticCostModel — the paper's a-priori estimates (profile counts
+//    priced with MapParams constants), used on the first compile, and
+//
+//  * MeasuredCostModel — a telemetry overlay (MeasuredCosts) produced by
+//    attributing a calibration simulation back to aggregates, used by the
+//    driver's closed feedback loop (driver/Feedback.h). Functions the
+//    calibration never ran on an ME (e.g. XScale-mapped slow paths) fall
+//    back to the static estimate.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SL_MAP_COSTMODEL_H
+#define SL_MAP_COSTMODEL_H
+
+#include "map/Aggregation.h"
+
+#include <map>
+#include <string>
+
+namespace sl::map {
+
+/// Pricing oracle for aggregate formation. All costs are cycles per
+/// packet except meInstrsPerIrInstr (a dimensionless expansion factor).
+class CostModel {
+public:
+  virtual ~CostModel() = default;
+
+  /// Execution cycles per packet spent inside \p F (instruction issue
+  /// plus memory stalls; channel crossings are priced separately).
+  virtual double funcCycles(const ir::Function *F) const = 0;
+
+  /// Ring put + get cycles per channel crossing between aggregates.
+  virtual double channelCostCycles() const = 0;
+
+  /// Lowered ME instructions per IR instruction (code-store estimate).
+  virtual double meInstrsPerIrInstr() const = 0;
+
+  virtual const char *name() const = 0;
+};
+
+/// The paper's a-priori model: profile counts priced with the MapParams
+/// constants (MemAccessCycles, ChannelCostCycles, MeInstrsPerIrInstr).
+class StaticCostModel final : public CostModel {
+public:
+  StaticCostModel(const profile::ProfileData &Prof, const MapParams &P)
+      : Prof(Prof), P(P) {}
+
+  double funcCycles(const ir::Function *F) const override {
+    return Prof.instrsPerPacket(F) + Prof.memPerPacket(F) * P.MemAccessCycles;
+  }
+  double channelCostCycles() const override { return P.ChannelCostCycles; }
+  double meInstrsPerIrInstr() const override { return P.MeInstrsPerIrInstr; }
+  const char *name() const override { return "static"; }
+
+private:
+  const profile::ProfileData &Prof;
+  const MapParams &P;
+};
+
+/// Telemetry-derived replacement costs, attributed from a calibration
+/// simulation (driver::attributeCosts). Keyed by function *name* so the
+/// overlay survives recompilation of the same source (each compile builds
+/// a fresh ir::Module with fresh Function pointers).
+struct MeasuredCosts {
+  /// Cycles per packet per PPF (thread-cycles: issue + memory stall).
+  /// Helper costs are folded into the PPFs that call them.
+  std::map<std::string, double> FuncCycles;
+  /// Measured ring put+get cycles per crossing (0 = no rings observed;
+  /// the model falls back to the static constant).
+  double ChannelCostCycles = 0.0;
+  /// Measured lowering expansion from the actual flattened images.
+  double MeInstrsPerIrInstr = 0.0;
+  /// Measured average memory-stall cycles per (non-ring) access.
+  double MemAccessCycles = 0.0;
+  /// Packets forwarded during the calibration slice.
+  uint64_t CalibPackets = 0;
+
+  bool valid() const {
+    return CalibPackets > 0 && !FuncCycles.empty() && MeInstrsPerIrInstr > 0.0;
+  }
+};
+
+/// Prices formation from a MeasuredCosts overlay with static fallbacks:
+/// unmeasured PPFs use the a-priori formula, helpers cost zero (their
+/// cycles are already folded into the measured PPF costs).
+class MeasuredCostModel final : public CostModel {
+public:
+  /// \p ExpansionScale multiplies the measured expansion; the driver's
+  /// oversize-retry loop passes its cumulative growth factor here so
+  /// code-store misses still force splits under the measured model.
+  MeasuredCostModel(const profile::ProfileData &Prof, const MapParams &P,
+                    const MeasuredCosts &MC, double ExpansionScale = 1.0)
+      : Fallback(Prof, P), MC(MC), ExpansionScale(ExpansionScale) {}
+
+  double funcCycles(const ir::Function *F) const override;
+  double channelCostCycles() const override {
+    return MC.ChannelCostCycles > 0.0 ? MC.ChannelCostCycles
+                                      : Fallback.channelCostCycles();
+  }
+  double meInstrsPerIrInstr() const override {
+    return MC.MeInstrsPerIrInstr * ExpansionScale;
+  }
+  const char *name() const override { return "measured"; }
+
+private:
+  StaticCostModel Fallback;
+  const MeasuredCosts &MC;
+  double ExpansionScale;
+};
+
+} // namespace sl::map
+
+#endif // SL_MAP_COSTMODEL_H

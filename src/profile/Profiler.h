@@ -69,6 +69,14 @@ struct ProfileData {
     return double(It->second.MemAccesses) / double(Packets);
   }
 
+  /// Relative work weight of \p F: instruction work plus memory work
+  /// priced at \p MemCycles per access. The feedback mapper uses this to
+  /// split a measured per-aggregate cycle cost back onto the member
+  /// functions in proportion to their profiled share of the work.
+  double workWeight(const ir::Function *F, double MemCycles) const {
+    return instrsPerPacket(F) + memPerPacket(F) * MemCycles;
+  }
+
   /// Fraction of packets that traverse \p F.
   double callFrequency(const ir::Function *F) const {
     auto It = Funcs.find(F);

@@ -270,7 +270,7 @@ void appLadderCheck(const AppBundle &App, OptLevel Level, unsigned NumMEs) {
 
   CompileOptions Opts;
   Opts.Level = Level;
-  Opts.NumMEs = NumMEs;
+  Opts.Map.NumMEs = NumMEs;
   Opts.TxMetaFields = App.TxMetaFields;
   // Single copy of every stage: with one thread per ME the pipeline stays
   // FIFO and the transmit order matches the interpreter exactly.

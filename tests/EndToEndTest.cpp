@@ -72,7 +72,7 @@ void checkProgram(const char *Src, const std::vector<TableInit> &Tables,
                   const std::vector<std::string> &TxMeta = {}) {
   CompileOptions Opts;
   Opts.Level = Level;
-  Opts.NumMEs = 1; // Deterministic ordering for the comparison.
+  Opts.Map.NumMEs = 1; // Deterministic ordering for the comparison.
   Opts.TxMetaFields = TxMeta;
 
   DiagEngine Diags;
@@ -192,7 +192,7 @@ TEST(EndToEnd, OptimizationReducesMemoryTraffic) {
   auto measure = [&](OptLevel L) {
     CompileOptions Opts;
     Opts.Level = L;
-    Opts.NumMEs = 1;
+    Opts.Map.NumMEs = 1;
     DiagEngine Diags;
     auto App = compile(sl::tests::MiniRouter, T, Tables, Opts, Diags);
     EXPECT_NE(App, nullptr) << Diags.str();
@@ -240,7 +240,7 @@ TEST(EndToEnd, L3SwitchTelemetryRegression) {
   auto measure = [&](OptLevel L) {
     CompileOptions Opts;
     Opts.Level = L;
-    Opts.NumMEs = 2;
+    Opts.Map.NumMEs = 2;
     Opts.TxMetaFields = App.TxMetaFields;
     DiagEngine Diags;
     profile::Trace Prof = App.makeTrace(0x9999, 256);

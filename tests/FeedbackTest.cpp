@@ -1,0 +1,349 @@
+//===- tests/FeedbackTest.cpp - cost models, attribution, feedback loop ------==//
+//
+// Covers the telemetry-driven mapping feedback stack: the CostModel
+// interface behind aggregate formation, the formation ablation knobs
+// (AllowDuplication / AllowMerging / Replicate), SimTelemetry-to-aggregate
+// attribution, and compileWithFeedback's boundedness / determinism /
+// functional-equivalence guarantees.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+#include "driver/Feedback.h"
+#include "interp/Bits.h"
+#include "ir/ASTLower.h"
+#include "map/CostModel.h"
+#include "tests/TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace sl;
+
+namespace {
+
+std::unique_ptr<ir::Module> lower(const char *Src) {
+  DiagEngine Diags;
+  auto Unit = baker::parseAndAnalyze(Src, Diags);
+  EXPECT_NE(Unit, nullptr) << Diags.str();
+  return ir::lowerProgram(*Unit, Diags);
+}
+
+profile::ProfileData routerProfile(ir::Module &M) {
+  profile::Profiler P(M);
+  P.interp().writeGlobal("route_hi", 0xA, 7);
+  profile::Trace T;
+  for (unsigned I = 0; I != 64; ++I) {
+    std::vector<uint8_t> F(64, 0);
+    F[12] = 0x08;
+    interp::writeBitsBE(F.data(), 14 * 8 + 4, 4, 5);
+    interp::writeBitsBE(F.data(), 14 * 8 + 128, 32, 0xA0000001);
+    T.push_back({F, 0});
+  }
+  return P.run(T);
+}
+
+//===----------------------------------------------------------------------===//
+// CostModel
+//===----------------------------------------------------------------------===//
+
+TEST(CostModel, StaticModelMatchesDefaultFormation) {
+  auto M = lower(sl::tests::MiniRouter);
+  profile::ProfileData Prof = routerProfile(*M);
+  map::MapParams P;
+  P.NumMEs = 4;
+  map::MappingPlan Legacy = map::formAggregates(*M, Prof, P);
+  map::StaticCostModel CM(Prof, P);
+  map::MappingPlan Explicit = map::formAggregates(*M, Prof, P, CM);
+  EXPECT_EQ(driver::planSignature(Legacy), driver::planSignature(Explicit));
+  EXPECT_DOUBLE_EQ(Legacy.PredictedThroughput, Explicit.PredictedThroughput);
+}
+
+TEST(CostModel, MeasuredOverlayWithStaticFallback) {
+  auto M = lower(sl::tests::MiniRouter);
+  profile::ProfileData Prof = routerProfile(*M);
+  map::MapParams P;
+  map::StaticCostModel Static(Prof, P);
+
+  ir::Function *Classify = M->findFunction("classify");
+  ir::Function *Route = M->findFunction("route");
+  ASSERT_NE(Classify, nullptr);
+  ASSERT_NE(Route, nullptr);
+
+  map::MeasuredCosts MC;
+  MC.FuncCycles["classify"] = 321.5; // Only classify was measured.
+  MC.ChannelCostCycles = 77.0;
+  MC.MeInstrsPerIrInstr = 2.25;
+  MC.CalibPackets = 100;
+  ASSERT_TRUE(MC.valid());
+
+  map::MeasuredCostModel CM(Prof, P, MC);
+  EXPECT_DOUBLE_EQ(CM.funcCycles(Classify), 321.5);
+  // Unmeasured PPF: falls back to the a-priori formula.
+  EXPECT_DOUBLE_EQ(CM.funcCycles(Route), Static.funcCycles(Route));
+  EXPECT_DOUBLE_EQ(CM.channelCostCycles(), 77.0);
+  EXPECT_DOUBLE_EQ(CM.meInstrsPerIrInstr(), 2.25);
+
+  // The oversize-retry growth factor scales the measured expansion.
+  map::MeasuredCostModel Scaled(Prof, P, MC, 1.8);
+  EXPECT_DOUBLE_EQ(Scaled.meInstrsPerIrInstr(), 2.25 * 1.8);
+
+  // Zero channel measurement falls back to the static constant.
+  map::MeasuredCosts NoChan = MC;
+  NoChan.ChannelCostCycles = 0.0;
+  map::MeasuredCostModel CM2(Prof, P, NoChan);
+  EXPECT_DOUBLE_EQ(CM2.channelCostCycles(), P.ChannelCostCycles);
+}
+
+TEST(CostModel, HelpersCostZeroUnderMeasuredModel) {
+  // Helper (non-PPF) cycles are already folded into the measured PPF
+  // numbers; pricing them again would double-count.
+  auto M = lower(sl::tests::MiniRouter);
+  profile::ProfileData Prof = routerProfile(*M);
+  map::MapParams P;
+  map::MeasuredCosts MC;
+  MC.FuncCycles["classify"] = 100.0;
+  MC.MeInstrsPerIrInstr = 2.0;
+  MC.CalibPackets = 1;
+  map::MeasuredCostModel CM(Prof, P, MC);
+  for (const auto &F : M->functions())
+    if (!F->isPpf()) {
+      EXPECT_DOUBLE_EQ(CM.funcCycles(F.get()), 0.0) << F->name();
+    }
+}
+
+//===----------------------------------------------------------------------===//
+// Formation ablation knobs
+//===----------------------------------------------------------------------===//
+
+TEST(Aggregation, DuplicationKnobOnlyBiasesTheLog) {
+  auto M = lower(sl::tests::MiniRouter);
+  profile::ProfileData Prof = routerProfile(*M);
+  map::MapParams P;
+  P.NumMEs = 4;
+  P.AllowMerging = false; // Keep two ME stages so dominance can trigger.
+  P.DominanceRatio = 0.0; // Any imbalance counts as dominance.
+
+  map::MappingPlan WithDup = map::formAggregates(*M, Prof, P);
+  EXPECT_NE(WithDup.Log.find("dominating stage"), std::string::npos);
+
+  P.AllowDuplication = false;
+  map::MappingPlan NoDup = map::formAggregates(*M, Prof, P);
+  EXPECT_EQ(NoDup.Log.find("dominating stage"), std::string::npos);
+
+  // The greedy ME fill subsumes explicit duplication: disabling the knob
+  // must not change the resulting plan shape.
+  EXPECT_EQ(driver::planSignature(WithDup), driver::planSignature(NoDup));
+}
+
+TEST(Aggregation, ReplicateOffKeepsSingleCopies) {
+  auto M = lower(sl::tests::MiniRouter);
+  profile::ProfileData Prof = routerProfile(*M);
+  map::MapParams P;
+  P.NumMEs = 4;
+  P.Replicate = false;
+  map::MappingPlan Plan = map::formAggregates(*M, Prof, P);
+  unsigned MeAggs = 0;
+  for (const auto &A : Plan.Aggregates) {
+    if (A.OnXScale)
+      continue;
+    ++MeAggs;
+    EXPECT_EQ(A.Copies, 1u);
+  }
+  EXPECT_GE(MeAggs, 1u);
+}
+
+TEST(Aggregation, AggregateOfIndexesAllMembers) {
+  auto M = lower(sl::tests::MiniRouter);
+  profile::ProfileData Prof = routerProfile(*M);
+  map::MapParams P;
+  P.NumMEs = 2;
+  P.AllowMerging = false;
+  map::MappingPlan Plan = map::formAggregates(*M, Prof, P);
+  for (unsigned I = 0; I != Plan.Aggregates.size(); ++I)
+    for (const ir::Function *F : Plan.Aggregates[I].Funcs)
+      EXPECT_EQ(Plan.aggregateOf(F), I);
+  // A function from a different module is in no aggregate.
+  auto Other = lower(sl::tests::MiniRouter);
+  EXPECT_EQ(Plan.aggregateOf(Other->findFunction("classify")), ~0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Telemetry attribution
+//===----------------------------------------------------------------------===//
+
+TEST(Attribution, PartitionsCoresContiguously) {
+  ixp::SimTelemetry T;
+  T.Cycles = 1000;
+  for (unsigned Core = 0; Core != 3; ++Core) {
+    ixp::METelemetry ME;
+    ME.Index = Core;
+    ME.Cycles = 1000;
+    for (unsigned Th = 0; Th != 2; ++Th) {
+      ixp::ThreadTelemetry Thr;
+      Thr.Busy = 100 * (Core + 1);
+      Thr.MemStall = 10 * (Core + 1);
+      Thr.RingWait = Core + 1;
+      Thr.Idle = 5;
+      Thr.Instrs = 50 * (Core + 1);
+      ME.Threads.push_back(Thr);
+    }
+    T.MEs.push_back(std::move(ME));
+  }
+
+  std::vector<ixp::CoreGroup> Groups = {{"front", 2, false},
+                                        {"back", 1, false},
+                                        {"ghost", 1, false}};
+  auto GT = ixp::attributeToGroups(T, Groups);
+  ASSERT_EQ(GT.size(), 3u);
+
+  EXPECT_EQ(GT[0].Name, "front");
+  EXPECT_EQ(GT[0].Cores, 2u);
+  EXPECT_EQ(GT[0].Cycles, 2000u);
+  EXPECT_EQ(GT[0].Busy, 2u * 100 + 2u * 200);
+  EXPECT_EQ(GT[0].MemStall, 2u * 10 + 2u * 20);
+  EXPECT_EQ(GT[0].RingWait, 2u * 1 + 2u * 2);
+  EXPECT_EQ(GT[0].Instrs, 2u * 50 + 2u * 100);
+
+  EXPECT_EQ(GT[1].Cores, 1u);
+  EXPECT_EQ(GT[1].Busy, 2u * 300);
+  EXPECT_DOUBLE_EQ(GT[1].utilization(), 600.0 / 1000.0);
+
+  // A group beyond the simulated core count yields a zeroed entry.
+  EXPECT_EQ(GT[2].Cores, 0u);
+  EXPECT_EQ(GT[2].Busy, 0u);
+  EXPECT_DOUBLE_EQ(GT[2].utilization(), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Feedback loop
+//===----------------------------------------------------------------------===//
+
+struct FeedbackRun {
+  driver::FeedbackResult FR;
+  driver::CompileOptions Opts;
+};
+
+FeedbackRun runFeedback(const apps::AppBundle &App, unsigned StoreInstrs,
+                        bool Replicate = true) {
+  FeedbackRun R;
+  R.Opts.Level = driver::OptLevel::Swc;
+  R.Opts.Map.NumMEs = 6;
+  R.Opts.Map.CodeStoreInstrs = StoreInstrs;
+  R.Opts.Map.Replicate = Replicate;
+  R.Opts.TxMetaFields = App.TxMetaFields;
+  driver::FeedbackOptions FB;
+  FB.CalibCycles = 60'000;
+  DiagEngine Diags;
+  profile::Trace ProfTrace = App.makeTrace(0x9999, 256);
+  profile::Trace Calib = App.makeTrace(0x13141516, 256);
+  R.FR = driver::compileWithFeedback(App.Source, ProfTrace, Calib,
+                                     App.Tables, R.Opts, FB, Diags);
+  EXPECT_NE(R.FR.App, nullptr) << Diags.str();
+  return R;
+}
+
+TEST(Feedback, BoundedDeterministicAndAttributed) {
+  apps::AppBundle App = apps::l3switch();
+  // The constrained store is the interesting regime: the static 3x
+  // expansion estimate splits the pipeline, the measured ~2x re-merges it.
+  FeedbackRun A = runFeedback(App, 640);
+  FeedbackRun B = runFeedback(App, 640);
+  ASSERT_NE(A.FR.App, nullptr);
+  ASSERT_NE(B.FR.App, nullptr);
+
+  // Bounded: at most MaxRounds simulate/remap rounds.
+  EXPECT_LE(A.FR.Rounds.size(), size_t(driver::FeedbackOptions().MaxRounds));
+  ASSERT_GE(A.FR.Rounds.size(), 2u) << "measured costs must trigger a remap";
+
+  // Deterministic: same source + traces => identical round-by-round plans.
+  ASSERT_EQ(A.FR.Rounds.size(), B.FR.Rounds.size());
+  for (size_t I = 0; I != A.FR.Rounds.size(); ++I) {
+    EXPECT_EQ(A.FR.Rounds[I].PlanSignature, B.FR.Rounds[I].PlanSignature);
+    EXPECT_DOUBLE_EQ(A.FR.Rounds[I].MeasuredPktPerKCycle,
+                     B.FR.Rounds[I].MeasuredPktPerKCycle);
+  }
+  EXPECT_EQ(A.FR.BestRound, B.FR.BestRound);
+  EXPECT_EQ(A.FR.FixedPoint, B.FR.FixedPoint);
+  EXPECT_EQ(driver::planSignature(A.FR.App->Plan),
+            driver::planSignature(B.FR.App->Plan));
+
+  // Attribution produced a usable overlay for round 1.
+  const map::MeasuredCosts &MC = A.FR.Rounds[1].Costs;
+  EXPECT_TRUE(MC.valid());
+  EXPECT_GT(MC.CalibPackets, 0u);
+  EXPECT_GT(MC.MeInstrsPerIrInstr, 1.0);
+  EXPECT_LT(MC.MeInstrsPerIrInstr, 5.0);
+  for (const auto &[Name, Cycles] : MC.FuncCycles)
+    EXPECT_GE(Cycles, 0.0) << Name;
+
+  // Round 0 is always the static baseline.
+  EXPECT_EQ(A.FR.Rounds[0].Round, 0u);
+  EXPECT_FALSE(A.FR.Rounds[0].Costs.valid());
+}
+
+TEST(Feedback, RemapAtMeasuredFixedPointIsStable) {
+  // Re-forming aggregates twice from the same MeasuredCosts overlay must
+  // reproduce the same plan (the loop's fixed-point test relies on it).
+  apps::AppBundle App = apps::l3switch();
+  FeedbackRun A = runFeedback(App, 640);
+  ASSERT_NE(A.FR.App, nullptr);
+  ASSERT_GE(A.FR.Rounds.size(), 2u);
+  const map::MeasuredCosts &MC = A.FR.Rounds.back().Costs;
+  ASSERT_TRUE(MC.valid());
+
+  driver::CompileOptions O = A.Opts;
+  O.Measured = MC;
+  DiagEngine D1, D2;
+  profile::Trace ProfTrace = App.makeTrace(0x9999, 256);
+  auto C1 = driver::compile(App.Source, ProfTrace, App.Tables, O, D1);
+  auto C2 = driver::compile(App.Source, ProfTrace, App.Tables, O, D2);
+  ASSERT_NE(C1, nullptr) << D1.str();
+  ASSERT_NE(C2, nullptr) << D2.str();
+  EXPECT_EQ(driver::planSignature(C1->Plan), driver::planSignature(C2->Plan));
+}
+
+TEST(Feedback, ReplicateOffOutputBitIdentical) {
+  // With Replicate=false the static and feedback-mapped binaries must
+  // forward identical packets: remapping may only move work, not change it.
+  apps::AppBundle App = apps::l3switch();
+  driver::CompileOptions Opts;
+  Opts.Level = driver::OptLevel::Swc;
+  Opts.Map.NumMEs = 6;
+  Opts.Map.Replicate = false;
+  Opts.TxMetaFields = App.TxMetaFields;
+  DiagEngine Diags;
+  profile::Trace ProfTrace = App.makeTrace(0x9999, 256);
+  profile::Trace Traffic = App.makeTrace(0x13141516, 256);
+
+  auto Static = driver::compile(App.Source, ProfTrace, App.Tables, Opts,
+                                Diags);
+  ASSERT_NE(Static, nullptr) << Diags.str();
+  FeedbackRun FB = runFeedback(App, 4096, /*Replicate=*/false);
+  ASSERT_NE(FB.FR.App, nullptr);
+
+  auto capture = [&](const driver::CompiledApp &A) {
+    ixp::ChipParams Chip;
+    auto Sim = driver::makeSimulator(A, Chip);
+    Sim->enableCapture();
+    ixp::SimPacket P;
+    Sim->setTraffic([&](uint64_t I) {
+      const profile::TracePacket &T = Traffic[I % Traffic.size()];
+      P.Frame = T.Frame;
+      P.Port = T.Port;
+      return &P;
+    });
+    Sim->run(150'000);
+    return Sim->captured();
+  };
+
+  std::vector<ixp::SimTxRecord> SOut = capture(*Static);
+  std::vector<ixp::SimTxRecord> FOut = capture(*FB.FR.App);
+  ASSERT_GT(SOut.size(), 0u);
+  ASSERT_EQ(SOut.size(), FOut.size());
+  for (size_t I = 0; I != SOut.size(); ++I) {
+    EXPECT_EQ(SOut[I].Frame, FOut[I].Frame) << "frame " << I;
+    EXPECT_EQ(SOut[I].Meta, FOut[I].Meta) << "meta " << I;
+  }
+}
+
+} // namespace

@@ -200,7 +200,7 @@ TEST_P(FuzzLadder, SimMatchesInterpreter) {
   for (OptLevel L : {OptLevel::O2, OptLevel::Soar, OptLevel::Swc}) {
     CompileOptions Opts;
     Opts.Level = L;
-    Opts.NumMEs = 1;
+    Opts.Map.NumMEs = 1;
     Opts.Map.Replicate = false;
     DiagEngine Diags;
     auto App = compile(Src, Trace, {}, Opts, Diags);

@@ -48,7 +48,7 @@ std::unique_ptr<Simulator> runMiniForward(const profile::Trace &T,
                                           bool WithTrace = false) {
   driver::CompileOptions Opts;
   Opts.Level = driver::OptLevel::Swc;
-  Opts.NumMEs = NumMEs;
+  Opts.Map.NumMEs = NumMEs;
   DiagEngine Diags;
   auto App = driver::compile(sl::tests::MiniForward, T, {}, Opts, Diags);
   EXPECT_NE(App, nullptr) << Diags.str();
@@ -198,7 +198,7 @@ TEST(SimTelemetry, TraceBufferBoundIsRespected) {
   profile::Trace T = simpleTrace(41, 64);
   driver::CompileOptions Opts;
   Opts.Level = driver::OptLevel::Swc;
-  Opts.NumMEs = 1;
+  Opts.Map.NumMEs = 1;
   DiagEngine Diags;
   auto App = driver::compile(sl::tests::MiniForward, T, {}, Opts, Diags);
   ASSERT_NE(App, nullptr) << Diags.str();
@@ -319,7 +319,7 @@ TEST(SimNegative, CaptureRecordsTxAfterInjectionCutoff) {
   profile::Trace T = simpleTrace(61, 24);
   driver::CompileOptions Opts;
   Opts.Level = driver::OptLevel::Swc;
-  Opts.NumMEs = 1;
+  Opts.Map.NumMEs = 1;
   DiagEngine Diags;
   auto App = driver::compile(sl::tests::MiniForward, T, {}, Opts, Diags);
   ASSERT_NE(App, nullptr) << Diags.str();

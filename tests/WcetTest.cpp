@@ -15,7 +15,7 @@ std::unique_ptr<driver::CompiledApp> compileApp(const apps::AppBundle &App,
                                                 driver::OptLevel L) {
   driver::CompileOptions Opts;
   Opts.Level = L;
-  Opts.NumMEs = 2;
+  Opts.Map.NumMEs = 2;
   Opts.TxMetaFields = App.TxMetaFields;
   DiagEngine Diags;
   profile::Trace T = App.makeTrace(1, 128);
@@ -99,7 +99,7 @@ TEST(Wcet, LoopBoundScalesTheBound) {
   )";
   driver::CompileOptions Opts;
   Opts.Level = driver::OptLevel::O2;
-  Opts.NumMEs = 1;
+  Opts.Map.NumMEs = 1;
   DiagEngine Diags;
   profile::Trace T;
   for (unsigned I = 0; I != 8; ++I)
