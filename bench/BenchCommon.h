@@ -67,14 +67,20 @@ inline ForwardResult runForwarding(const driver::CompiledApp &App,
 }
 
 /// Compiles one app bundle at a ladder level for a given ME count.
+/// \p Observer (optional) receives pass timings and remarks; attaching it
+/// is observation-only.
 inline std::unique_ptr<driver::CompiledApp>
 compileApp(const apps::AppBundle &App, driver::OptLevel Level,
-           unsigned NumMEs, bool StackOpt = true) {
+           unsigned NumMEs, bool StackOpt = true,
+           obs::CompileObserver *Observer = nullptr) {
   driver::CompileOptions Opts;
   Opts.Level = Level;
   Opts.Map.NumMEs = NumMEs;
   Opts.StackOpt = StackOpt;
   Opts.TxMetaFields = App.TxMetaFields;
+  Opts.Observer = Observer;
+  if (Observer)
+    Observer->setContext(App.Name, driver::optLevelName(Level));
   DiagEngine Diags;
   profile::Trace ProfTrace = App.makeTrace(0x9999, 256);
   auto Compiled =
@@ -94,12 +100,78 @@ inline bool quickMode(int argc, char **argv) {
   return false;
 }
 
-/// Value of a "--flag <value>" pair in argv, or null when absent.
+/// Value of a "--flag <value>" pair or "--flag=value" in argv, or null
+/// when absent.
 inline const char *argValue(int argc, char **argv, const char *Flag) {
-  for (int I = 1; I + 1 < argc; ++I)
-    if (std::strcmp(argv[I], Flag) == 0)
+  size_t N = std::strlen(Flag);
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], Flag) == 0 && I + 1 < argc)
       return argv[I + 1];
+    if (std::strncmp(argv[I], Flag, N) == 0 && argv[I][N] == '=')
+      return argv[I] + N + 1;
+  }
   return nullptr;
+}
+
+/// Handles the shared compiler-observability flags:
+///
+///   --opt-report <file>      machine-readable JSON opt-report
+///   --compile-trace <file>   Chrome-trace view of compile time
+///   --print-ir-after <pass>  dump IR to stderr after the named phase
+///
+/// When any is present, runs one instrumented compile of \p App at
+/// \p Level and writes the requested artifacts. Returns true when a flag
+/// was handled (the caller's normal run proceeds either way — the
+/// instrumented compile is a separate, observation-only build).
+inline bool handleObsFlags(int argc, char **argv, const apps::AppBundle &App,
+                           driver::OptLevel Level = driver::OptLevel::Swc,
+                           unsigned NumMEs = 4) {
+  const char *ReportPath = argValue(argc, argv, "--opt-report");
+  const char *TracePath = argValue(argc, argv, "--compile-trace");
+  const char *PrintAfter = argValue(argc, argv, "--print-ir-after");
+  if (!ReportPath && !TracePath && !PrintAfter)
+    return false;
+
+  obs::CompileObserver Obs;
+  Obs.setContext(App.Name, driver::optLevelName(Level));
+  driver::CompileOptions Opts;
+  Opts.Level = Level;
+  Opts.Map.NumMEs = NumMEs;
+  Opts.TxMetaFields = App.TxMetaFields;
+  Opts.Observer = &Obs;
+  if (PrintAfter)
+    Opts.PrintIrAfter = PrintAfter;
+  DiagEngine Diags;
+  profile::Trace ProfTrace = App.makeTrace(0x9999, 256);
+  auto Compiled =
+      driver::compile(App.Source, ProfTrace, App.Tables, Opts, Diags);
+  if (!Compiled) {
+    std::fprintf(stderr, "opt-report compile failed (%s):\n%s\n",
+                 App.Name.c_str(), Diags.str().c_str());
+    return true;
+  }
+  if (ReportPath) {
+    std::ofstream OS(ReportPath);
+    if (!OS) {
+      std::fprintf(stderr, "cannot open %s for writing\n", ReportPath);
+    } else {
+      Obs.writeJson(OS);
+      std::fprintf(stderr, "opt-report (%zu passes, %zu remarks) -> %s\n",
+                   Obs.passes().size(), Obs.Remarks.remarks().size(),
+                   ReportPath);
+    }
+  }
+  if (TracePath) {
+    std::ofstream OS(TracePath);
+    if (!OS) {
+      std::fprintf(stderr, "cannot open %s for writing\n", TracePath);
+    } else {
+      Obs.exportChromeTrace(OS);
+      std::fprintf(stderr, "compile-trace (%zu passes) -> %s\n",
+                   Obs.passes().size(), TracePath);
+    }
+  }
+  return true;
 }
 
 /// Runs one traced simulation of \p App and writes the Chrome-trace JSON

@@ -11,6 +11,11 @@
 
 #include "bench/BenchCommon.h"
 
+#include "obs/CrossCheck.h"
+
+#include <map>
+#include <utility>
+
 using namespace sl;
 using namespace sl::bench;
 using cg::MemClass;
@@ -22,8 +27,12 @@ struct Row {
   driver::OptLevel Level;
 };
 
-void runApp(const apps::AppBundle &App, uint64_t Cycles,
-            support::JsonWriter *W) {
+/// Per-app findings, tagged with the app name for the JSON section.
+using FindingList =
+    std::vector<std::pair<std::string, obs::CrossCheckFinding>>;
+
+bool runApp(const apps::AppBundle &App, uint64_t Cycles,
+            support::JsonWriter *W, FindingList &AllFindings) {
   const Row Rows[] = {
       {"+ SWC", driver::OptLevel::Swc}, {"+ PHR", driver::OptLevel::Phr},
       {"+ PAC", driver::OptLevel::Pac}, {"+ -O1", driver::OptLevel::O1},
@@ -36,8 +45,10 @@ void runApp(const apps::AppBundle &App, uint64_t Cycles,
               "Total");
 
   profile::Trace Traffic = App.makeTrace(0x717171, 512);
+  std::map<std::string, obs::LevelObs> Levels;
   for (const Row &R : Rows) {
-    auto Compiled = compileApp(App, R.Level, /*NumMEs=*/2);
+    obs::CompileObserver Observer;
+    auto Compiled = compileApp(App, R.Level, /*NumMEs=*/2, true, &Observer);
     if (!Compiled)
       continue;
     ForwardResult F = runForwarding(*Compiled, Traffic, Cycles);
@@ -60,6 +71,15 @@ void runApp(const apps::AppBundle &App, uint64_t Cycles,
     std::printf("  %-8s %10.1f %8.1f %8.1f | %10.1f %8.1f | %8.1f  (%.0f)\n",
                 R.Name, PktScr, PktSram, PktDram, AppScr, AppSram, Total,
                 Ipp);
+
+    // Static side (compiler remarks) + measured side, one LevelObs each:
+    // the cross-check harness reconciles them after the ladder finishes.
+    obs::LevelObs L;
+    L.Level = R.Name;
+    L.PktAccessesPerPkt = PktScr + PktSram + PktDram;
+    L.AppSramPerPkt = AppSram;
+    obs::summarizeRemarks(Observer.Remarks, L);
+    Levels[R.Name] = L;
     if (W) {
       W->beginObject();
       W->field("app", App.Name);
@@ -75,7 +95,22 @@ void runApp(const apps::AppBundle &App, uint64_t Cycles,
       W->endObject();
     }
   }
+
+  bool Ok = true;
+  if (Levels.count("+ -O1") && Levels.count("+ PAC") &&
+      Levels.count("+ PHR") && Levels.count("+ SWC")) {
+    obs::CrossCheckResult CC =
+        obs::crossCheckTable1(Levels["+ -O1"], Levels["+ PAC"],
+                              Levels["+ PHR"], Levels["+ SWC"]);
+    for (const obs::CrossCheckFinding &F : CC.Findings) {
+      std::printf("  [%s] %-13s %-18s %s\n", F.Ok ? "ok" : "FAIL",
+                  F.Check.c_str(), F.Levels.c_str(), F.Detail.c_str());
+      AllFindings.push_back({App.Name, F});
+    }
+    Ok = CC.ok();
+  }
   std::printf("\n");
+  return Ok;
 }
 
 } // namespace
@@ -103,14 +138,34 @@ int main(int argc, char **argv) {
     W->beginArray();
   }
 
+  FindingList Findings;
+  bool AllOk = true;
   for (const apps::AppBundle &App : apps::allApps())
-    runApp(App, Cycles, W.get());
+    AllOk &= runApp(App, Cycles, W.get(), Findings);
 
   if (W) {
     W->endArray();
+    W->key("crosscheck");
+    W->beginArray();
+    for (const auto &[AppName, F] : Findings) {
+      W->beginObject();
+      W->field("app", AppName);
+      W->field("check", F.Check);
+      W->field("levels", F.Levels);
+      W->field("ok", F.Ok);
+      W->field("detail", F.Detail);
+      W->endObject();
+    }
+    W->endArray();
+    W->field("crosscheckOk", AllOk);
     W->endObject();
     StatsOS << '\n';
     std::fprintf(stderr, "stats -> %s\n", StatsPath);
+  }
+  if (!AllOk) {
+    std::fprintf(stderr, "cross-check FAILED: a fired optimization's "
+                         "measured effect contradicts its remarks\n");
+    return 1;
   }
   return 0;
 }

@@ -7,6 +7,13 @@
 // optimization does to real code.
 //
 // Usage: baker_explorer [file.bk] [--base|--o1|--o2|--pac|--soar|--phr|--swc]
+//                       [--opt-report[=]<file>] [--compile-trace[=]<file>]
+//                       [--print-ir-after[=]<pass>]
+//
+// --opt-report writes the machine-readable JSON opt-report (per-pass wall
+// time, IR deltas, PAC/SOAR/PHR/SWC remarks); --compile-trace writes a
+// Chrome-trace view of compile time; --print-ir-after dumps the IR after
+// the named phase (o1, o2, phr, pac, soar, ... or "*" for all).
 //
 //===----------------------------------------------------------------------===//
 
@@ -16,15 +23,18 @@
 #include "ir/ASTLower.h"
 #include "ir/Printer.h"
 #include "map/Aggregation.h"
+#include "obs/OptReport.h"
 #include "opt/Passes.h"
 #include "pktopt/Pac.h"
 #include "pktopt/Phr.h"
 #include "pktopt/Soar.h"
+#include "pktopt/Swc.h"
 #include "profile/Profiler.h"
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 using namespace sl;
@@ -65,23 +75,45 @@ module sample {
 }
 )";
 
+/// "--flag value" or "--flag=value"; consumes the value argv slot too.
+static const char *flagValue(int argc, char **argv, int &I,
+                             const char *Flag) {
+  size_t N = std::strlen(Flag);
+  if (std::strcmp(argv[I], Flag) == 0 && I + 1 < argc)
+    return argv[++I];
+  if (std::strncmp(argv[I], Flag, N) == 0 && argv[I][N] == '=')
+    return argv[I] + N + 1;
+  return nullptr;
+}
+
 int main(int argc, char **argv) {
   std::string Source = Sample;
-  bool DoO1 = true, DoO2 = true, DoPac = true, DoSoar = true, DoPhr = true;
+  bool DoO1 = true, DoO2 = true, DoPac = true, DoSoar = true, DoPhr = true,
+       DoSwc = true;
+  const char *ReportPath = nullptr, *TracePath = nullptr,
+             *PrintAfter = nullptr;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg == "--base")
-      DoO1 = DoO2 = DoPac = DoSoar = DoPhr = false;
+      DoO1 = DoO2 = DoPac = DoSoar = DoPhr = DoSwc = false;
     else if (Arg == "--o1")
-      DoO2 = DoPac = DoSoar = DoPhr = false;
+      DoO2 = DoPac = DoSoar = DoPhr = DoSwc = false;
     else if (Arg == "--o2")
-      DoPac = DoSoar = DoPhr = false;
+      DoPac = DoSoar = DoPhr = DoSwc = false;
     else if (Arg == "--pac")
-      DoSoar = DoPhr = false;
+      DoSoar = DoPhr = DoSwc = false;
     else if (Arg == "--soar")
-      DoPhr = false;
-    else if (Arg == "--phr" || Arg == "--swc")
+      DoPhr = DoSwc = false;
+    else if (Arg == "--phr")
+      DoSwc = false;
+    else if (Arg == "--swc")
       ; // Everything on.
+    else if (const char *V = flagValue(argc, argv, I, "--opt-report"))
+      ReportPath = V;
+    else if (const char *V = flagValue(argc, argv, I, "--compile-trace"))
+      TracePath = V;
+    else if (const char *V = flagValue(argc, argv, I, "--print-ir-after"))
+      PrintAfter = V;
     else {
       std::ifstream In(Arg);
       if (!In) {
@@ -93,6 +125,11 @@ int main(int argc, char **argv) {
       Source = SS.str();
     }
   }
+
+  std::unique_ptr<obs::CompileObserver> Obs;
+  if (ReportPath || TracePath)
+    Obs = std::make_unique<obs::CompileObserver>();
+  obs::RemarkEmitter *Rem = Obs ? &Obs->Remarks : nullptr;
 
   DiagEngine Diags;
   auto Unit = baker::parseAndAnalyze(Source, Diags);
@@ -123,26 +160,67 @@ int main(int argc, char **argv) {
                                                ? "(single aggregate)\n"
                                                : Plan.Log.c_str());
 
-  if (DoO1)
-    opt::runO1(*M);
-  if (DoO2)
-    opt::runO2(*M);
+  auto dumpAfter = [&](const char *Phase) {
+    if (PrintAfter && (std::strcmp(PrintAfter, "*") == 0 ||
+                       std::strcmp(PrintAfter, Phase) == 0))
+      std::printf("=== IR after %s ===\n%s\n", Phase,
+                  ir::printModule(*M).c_str());
+  };
+  auto beginP = [&](const char *Name) {
+    return Obs ? Obs->beginPass(Name, M.get()) : size_t(0);
+  };
+  auto endP = [&](size_t Tok, unsigned Rounds = 0) {
+    if (Obs)
+      Obs->endPass(Tok, M.get(), Rounds);
+  };
+
+  if (DoO1) {
+    size_t Tok = beginP("o1");
+    endP(Tok, opt::runO1(*M, Rem));
+    dumpAfter("o1");
+  }
+  if (DoO2) {
+    size_t Tok = beginP("o2");
+    endP(Tok, opt::runO2(*M, Rem));
+    dumpAfter("o2");
+  }
   if (DoPhr) {
-    pktopt::localizeMetadata(*M);
-    opt::runO1(*M);
+    size_t Tok = beginP("phr");
+    pktopt::localizeMetadata(*M, Rem);
+    endP(Tok);
+    dumpAfter("phr");
+    Tok = beginP("phr-cleanup");
+    endP(Tok, opt::runO1(*M, Rem));
+    dumpAfter("phr-cleanup");
   }
   if (DoPac) {
-    pktopt::PacResult PR = pktopt::runPac(*M);
+    size_t Tok = beginP("pac");
+    pktopt::PacResult PR = pktopt::runPac(*M, Rem);
+    endP(Tok);
     std::printf("=== PAC: combined %u loads into %u wide loads, "
                 "%u stores into %u wide stores ===\n",
                 PR.CombinedLoads, PR.WideLoads, PR.CombinedStores,
                 PR.WideStores);
+    dumpAfter("pac");
   }
   if (DoSoar) {
-    pktopt::SoarResult SR = pktopt::runSoar(*M);
+    size_t Tok = beginP("soar");
+    pktopt::SoarResult SR = pktopt::runSoar(*M, Rem);
+    endP(Tok);
     std::printf("=== SOAR: %u of %u packet accesses statically "
                 "resolved ===\n",
                 SR.ResolvedAccesses, SR.TotalAccesses);
+    dumpAfter("soar");
+  }
+  if (DoSwc) {
+    size_t Tok = beginP("swc");
+    pktopt::SwcResult SR =
+        pktopt::runSwc(*M, PD, pktopt::SwcParams(), Rem);
+    endP(Tok);
+    std::printf("=== SWC: %zu table(s) selected for software-controlled "
+                "caching ===\n",
+                SR.Cached.size());
+    dumpAfter("swc");
   }
   std::printf("\n=== IR after optimization ===\n%s\n",
               ir::printModule(*M).c_str());
@@ -153,6 +231,8 @@ int main(int argc, char **argv) {
   Cfg.InlineExpansion = DoO2;
   Cfg.UseSoar = DoSoar;
   Cfg.Phr = DoPhr;
+  Cfg.Swc = DoSwc;
+  Cfg.Rem = Rem;
   std::vector<cg::RootInput> Roots{{M->EntryPpf, rts::RxRing}};
   cg::LoweredAggregate Low =
       cg::lowerAggregate(*M, Map, Cfg, Roots, M->EntryPpf->name());
@@ -163,5 +243,29 @@ int main(int argc, char **argv) {
               "%u words) ===\n%s",
               Low.Code.codeSlots(), RA.BankCopies, RA.SpilledRegs,
               SL.TotalWords, cg::printMCode(Low.Code).c_str());
+
+  if (Obs) {
+    Obs->finalize();
+    if (ReportPath) {
+      std::ofstream OS(ReportPath);
+      if (!OS) {
+        std::fprintf(stderr, "cannot open %s for writing\n", ReportPath);
+        return 1;
+      }
+      Obs->writeJson(OS);
+      std::fprintf(stderr, "opt-report (%zu passes, %zu remarks) -> %s\n",
+                   Obs->passes().size(), Obs->Remarks.remarks().size(),
+                   ReportPath);
+    }
+    if (TracePath) {
+      std::ofstream OS(TracePath);
+      if (!OS) {
+        std::fprintf(stderr, "cannot open %s for writing\n", TracePath);
+        return 1;
+      }
+      Obs->exportChromeTrace(OS);
+      std::fprintf(stderr, "compile-trace -> %s\n", TracePath);
+    }
+  }
   return 0;
 }

@@ -3,6 +3,10 @@
 #ifndef SL_CG_CGCONFIG_H
 #define SL_CG_CGCONFIG_H
 
+namespace sl::obs {
+class RemarkEmitter;
+}
+
 namespace sl::cg {
 
 /// Controls which paper optimizations the code generator applies. The
@@ -32,6 +36,13 @@ struct CgConfig {
   /// Sec. 5.4 stack layout: packed, aligned frames; off = 16-word minimum
   /// frame granularity (the paper's initial implementation).
   bool StackOpt = true;
+
+  /// Observation-only remark sink. When set and Phr is on, lowering emits
+  /// "phr" fired remarks at decap/encap sites whose SRAM head_ptr
+  /// read-modify-write was replaced by a register update (PHR part 2 —
+  /// the half of packet handling removal that lives in code generation).
+  /// Null disables; codegen decisions never depend on it. Not owned.
+  obs::RemarkEmitter *Rem = nullptr;
 };
 
 } // namespace sl::cg

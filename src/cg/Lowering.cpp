@@ -27,6 +27,7 @@
 
 #include "cg/Lowering.h"
 
+#include "obs/Remark.h"
 #include "support/BitUtils.h"
 #include "support/Casting.h"
 
@@ -1319,6 +1320,12 @@ void Lowerer::lowerInstr(ir::Instr *I) {
       // but a later dynamic decap must still see the true head.
       ensureCtx(*Ctx);
       movTo(Ctx->Head, alu(MOp::Add, Ctx->Head, Size.Lo));
+      if (Cfg.Rem)
+        Cfg.Rem->remark("phr", obs::RemarkKind::Fired,
+                        "head-update-in-register",
+                        I->parent()->parent()->name(), I->Loc)
+            .arg("site", "decap")
+            .arg("savedAccesses", 2u);
     } else {
       // SRAM read-modify-write of head_off.
       memOp(MOp::MemRead, MSpace::Sram, MemClass::PktMeta, Ctx->HReg, 4, 0,
@@ -1341,6 +1348,12 @@ void Lowerer::lowerInstr(ir::Instr *I) {
     if (Cfg.Phr) {
       ensureCtx(*Ctx);
       movTo(Ctx->Head, aluImm(MOp::Sub, Ctx->Head, I->SizeBytes));
+      if (Cfg.Rem)
+        Cfg.Rem->remark("phr", obs::RemarkKind::Fired,
+                        "head-update-in-register",
+                        I->parent()->parent()->name(), I->Loc)
+            .arg("site", "encap")
+            .arg("savedAccesses", 2u);
     } else {
       memOp(MOp::MemRead, MSpace::Sram, MemClass::PktMeta, Ctx->HReg, 4, 0,
             1)

@@ -4,6 +4,7 @@
 
 #include "cg/Lowering.h"
 #include "ir/ASTLower.h"
+#include "ir/Printer.h"
 #include "ir/Verifier.h"
 #include "opt/Passes.h"
 #include "pktopt/Pac.h"
@@ -11,6 +12,7 @@
 #include "pktopt/Soar.h"
 
 #include <cassert>
+#include <iostream>
 
 using namespace sl;
 using namespace sl::driver;
@@ -41,6 +43,46 @@ bool atLeast(OptLevel L, OptLevel Min) {
   return static_cast<uint8_t>(L) >= static_cast<uint8_t>(Min);
 }
 
+/// Instrumentation shim around one pipeline phase. Null observer => both
+/// hooks are no-ops, so the uninstrumented path costs two pointer tests.
+class PhaseScope {
+public:
+  PhaseScope(obs::CompileObserver *Obs, const char *Name,
+             const ir::Module *M)
+      : Obs(Obs), M(M) {
+    if (Obs)
+      Token = Obs->beginPass(Name, M);
+  }
+  /// Records the fixed-point round count a scalar-pipeline phase ran.
+  void setRounds(unsigned R) { Rounds = R; }
+  /// For phases that create the module: measure it on the way out.
+  void setModule(const ir::Module *NewM) { M = NewM; }
+  void end() {
+    if (Obs && !Ended)
+      Obs->endPass(Token, M, Rounds);
+    Ended = true;
+  }
+  ~PhaseScope() { end(); }
+
+private:
+  obs::CompileObserver *Obs;
+  const ir::Module *M;
+  size_t Token = 0;
+  unsigned Rounds = 0;
+  bool Ended = false;
+};
+
+/// --print-ir-after support: dump to stderr after the named phase ("*"
+/// matches all). Debug aid only; output format is ir::printModule.
+void maybeDumpIr(const CompileOptions &Opts, const char *Phase,
+                 const ir::Module *M) {
+  if (Opts.PrintIrAfter.empty() || !M)
+    return;
+  if (Opts.PrintIrAfter != "*" && Opts.PrintIrAfter != Phase)
+    return;
+  std::cerr << ";; IR after " << Phase << "\n" << ir::printModule(*M);
+}
+
 /// One complete build attempt at a given size-estimate factor. Returns
 /// null if an aggregate missed the code store (caller retries with a
 /// bigger estimate).
@@ -55,13 +97,25 @@ std::unique_ptr<CompiledApp> buildOnce(const std::string &Source,
   App->Opts = Opts;
   App->Tables = Tables;
 
-  App->Unit = baker::parseAndAnalyze(Source, Diags);
+  obs::CompileObserver *Obs = Opts.Observer;
+  obs::RemarkEmitter *Rem = Obs ? &Obs->Remarks : nullptr;
+
+  {
+    PhaseScope P(Obs, "parse", nullptr);
+    App->Unit = baker::parseAndAnalyze(Source, Diags);
+  }
   if (!App->Unit)
     return nullptr;
-  App->IR = ir::lowerProgram(*App->Unit, Diags);
+  {
+    PhaseScope P(Obs, "ir-lower", nullptr);
+    App->IR = ir::lowerProgram(*App->Unit, Diags);
+    if (App->IR)
+      P.setModule(App->IR.get());
+  }
   if (Diags.hasErrors())
     return nullptr;
   ir::Module &M = *App->IR;
+  maybeDumpIr(Opts, "ir-lower", &M);
 
   // Tx-consumed metadata fields are externally visible (PHR must keep
   // their SRAM backing).
@@ -76,57 +130,102 @@ std::unique_ptr<CompiledApp> buildOnce(const std::string &Source,
   }
 
   // Functional profiler (Sec. 4.1).
-  profile::Profiler Prof(M);
-  for (const TableInit &T : Tables)
-    Prof.interp().writeGlobal(T.Global, T.Index, T.Value);
-  App->Prof = Prof.run(ProfTrace);
+  {
+    PhaseScope P(Obs, "profile", &M);
+    profile::Profiler Prof(M);
+    for (const TableInit &T : Tables)
+      Prof.interp().writeGlobal(T.Global, T.Index, T.Value);
+    App->Prof = Prof.run(ProfTrace);
+  }
 
   // Aggregate formation (Sec. 5.1). With a valid telemetry overlay the
   // decisions are priced from measurement; the oversize-retry growth
   // (SizeFactor / the configured estimate) scales the measured expansion
   // too, so code-store misses still force splits in feedback mode.
-  map::MapParams MP = Opts.Map;
-  MP.MeInstrsPerIrInstr = SizeFactor;
-  if (Opts.Measured.valid()) {
-    map::MeasuredCostModel CM(App->Prof, MP, Opts.Measured,
-                              SizeFactor / Opts.Map.MeInstrsPerIrInstr);
-    App->Plan = map::formAggregates(M, App->Prof, MP, CM);
-    App->MeInstrsPerIrInstrUsed = CM.meInstrsPerIrInstr();
-  } else {
-    App->Plan = map::formAggregates(M, App->Prof, MP);
-    App->MeInstrsPerIrInstrUsed = SizeFactor;
+  {
+    PhaseScope P(Obs, "aggregate-formation", &M);
+    map::MapParams MP = Opts.Map;
+    MP.MeInstrsPerIrInstr = SizeFactor;
+    if (Opts.Measured.valid()) {
+      map::MeasuredCostModel CM(App->Prof, MP, Opts.Measured,
+                                SizeFactor / Opts.Map.MeInstrsPerIrInstr);
+      App->Plan = map::formAggregates(M, App->Prof, MP, CM);
+      App->MeInstrsPerIrInstrUsed = CM.meInstrsPerIrInstr();
+    } else {
+      App->Plan = map::formAggregates(M, App->Prof, MP);
+      App->MeInstrsPerIrInstrUsed = SizeFactor;
+    }
+    map::applyPlan(M, App->Plan);
   }
-  map::applyPlan(M, App->Plan);
+  maybeDumpIr(Opts, "aggregate-formation", &M);
 
   // The ME has no call hardware: all remaining calls are flattened.
-  opt::inlineCalls(M);
+  {
+    PhaseScope P(Obs, "inline", &M);
+    opt::inlineCalls(M);
+  }
+  maybeDumpIr(Opts, "inline", &M);
 
   // Scalar ladder.
-  if (atLeast(Opts.Level, OptLevel::O1))
-    opt::runO1(M);
-  if (atLeast(Opts.Level, OptLevel::O2))
-    opt::runO2(M);
+  if (atLeast(Opts.Level, OptLevel::O1)) {
+    PhaseScope P(Obs, "o1", &M);
+    P.setRounds(opt::runO1(M, Rem));
+    P.end();
+    maybeDumpIr(Opts, "o1", &M);
+  }
+  if (atLeast(Opts.Level, OptLevel::O2)) {
+    PhaseScope P(Obs, "o2", &M);
+    P.setRounds(opt::runO2(M, Rem));
+    P.end();
+    maybeDumpIr(Opts, "o2", &M);
+  }
 
   // PHR part 1: metadata localization, then clean up the new locals.
   if (atLeast(Opts.Level, OptLevel::Phr)) {
-    pktopt::localizeMetadata(M);
-    opt::runO1(M);
+    {
+      PhaseScope P(Obs, "phr", &M);
+      pktopt::localizeMetadata(M, Rem);
+    }
+    maybeDumpIr(Opts, "phr", &M);
+    {
+      PhaseScope P(Obs, "phr-cleanup", &M);
+      P.setRounds(opt::runO1(M, Rem));
+    }
+    maybeDumpIr(Opts, "phr-cleanup", &M);
   }
-  if (atLeast(Opts.Level, OptLevel::Pac))
-    pktopt::runPac(M);
-  if (atLeast(Opts.Level, OptLevel::Soar))
-    pktopt::runSoar(M);
-  if (atLeast(Opts.Level, OptLevel::Swc))
-    pktopt::runSwc(M, App->Prof, Opts.Swc);
+  if (atLeast(Opts.Level, OptLevel::Pac)) {
+    PhaseScope P(Obs, "pac", &M);
+    pktopt::runPac(M, Rem);
+    P.end();
+    maybeDumpIr(Opts, "pac", &M);
+  }
+  if (atLeast(Opts.Level, OptLevel::Soar)) {
+    PhaseScope P(Obs, "soar", &M);
+    pktopt::runSoar(M, Rem);
+    P.end();
+    maybeDumpIr(Opts, "soar", &M);
+  }
+  if (atLeast(Opts.Level, OptLevel::Swc)) {
+    PhaseScope P(Obs, "swc", &M);
+    pktopt::runSwc(M, App->Prof, Opts.Swc, Rem);
+    P.end();
+    maybeDumpIr(Opts, "swc", &M);
+  }
 
-  std::vector<std::string> Problems = ir::verifyModule(M);
-  for (const std::string &P : Problems)
-    Diags.error(SourceLoc(), "internal: IR verification failed: %s",
-                P.c_str());
+  {
+    PhaseScope P(Obs, "verify", &M);
+    std::vector<std::string> Problems = ir::verifyModule(M);
+    for (const std::string &Pr : Problems)
+      Diags.error(SourceLoc(), "internal: IR verification failed: %s",
+                  Pr.c_str());
+  }
   if (Diags.hasErrors())
     return nullptr;
 
-  App->Map = rts::buildMemoryMap(M);
+  {
+    PhaseScope P(Obs, "memory-map", &M);
+    App->Map = rts::buildMemoryMap(M);
+  }
 
   cg::CgConfig Cfg;
   Cfg.InlineExpansion = atLeast(Opts.Level, OptLevel::O2);
@@ -134,7 +233,9 @@ std::unique_ptr<CompiledApp> buildOnce(const std::string &Source,
   Cfg.Phr = atLeast(Opts.Level, OptLevel::Phr);
   Cfg.Swc = atLeast(Opts.Level, OptLevel::Swc);
   Cfg.StackOpt = Opts.StackOpt;
+  Cfg.Rem = Rem;
 
+  PhaseScope CodegenPhase(Obs, "codegen", &M);
   for (unsigned AggIdx = 0; AggIdx != App->Plan.Aggregates.size();
        ++AggIdx) {
     const map::Aggregate &Agg = App->Plan.Aggregates[AggIdx];
@@ -188,24 +289,39 @@ std::unique_ptr<CompiledApp> sl::driver::compile(
     const std::vector<TableInit> &Tables, const CompileOptions &Opts,
     DiagEngine &Diags) {
   double SizeFactor = Opts.Map.MeInstrsPerIrInstr;
+  obs::CompileObserver *Obs = Opts.Observer;
   for (unsigned Iter = 0; Iter != 6; ++Iter) {
+    if (Obs)
+      Obs->beginAttempt(Iter);
     bool Oversize = false;
     auto App =
         buildOnce(Source, ProfTrace, Tables, Opts, SizeFactor, Diags,
                   Oversize);
     if (App) {
       App->PlanIterations = Iter + 1;
+      if (Obs)
+        Obs->finalize();
       return App;
     }
-    if (!Oversize)
+    if (!Oversize) {
+      if (Obs)
+        Obs->finalize();
       return nullptr; // Real error; diagnostics are set.
+    }
     // Feedback: the estimate was too small — re-plan with a larger one so
     // aggregation splits (pipelines) sooner.
+    if (Obs)
+      Obs->Remarks.remark("driver", obs::RemarkKind::Note,
+                          "code-store-oversize-retry")
+          .arg("attempt", Iter)
+          .arg("sizeFactor", SizeFactor);
     SizeFactor *= 1.8;
     Diags.clear();
   }
   Diags.error(SourceLoc(), "could not fit aggregates into the ME code "
                            "store after repeated re-planning");
+  if (Obs)
+    Obs->finalize();
   return nullptr;
 }
 

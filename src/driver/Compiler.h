@@ -24,6 +24,7 @@
 #include "cg/Wcet.h"
 #include "ixp/Simulator.h"
 #include "map/CostModel.h"
+#include "obs/OptReport.h"
 #include "pktopt/Swc.h"
 #include "profile/Profiler.h"
 
@@ -60,6 +61,16 @@ struct CompileOptions {
   /// formation with a MeasuredCostModel instead of the static estimates;
   /// compileWithFeedback (driver/Feedback.h) fills this per round.
   map::MeasuredCosts Measured;
+  /// Compile observer: when attached, every pipeline phase records wall
+  /// time + before/after IR deltas into it and the optimization passes
+  /// emit structured remarks into Observer->Remarks. Strictly
+  /// observation-only — attaching an observer changes no codegen decision
+  /// and the produced images are bit-identical. Not owned.
+  obs::CompileObserver *Observer = nullptr;
+  /// Debug aid: dump the IR (ir::Printer, to stderr) after the named
+  /// pipeline phase ("o1", "pac", "soar", ... — any phase name the
+  /// observer would record). Empty disables; "*" dumps after every phase.
+  std::string PrintIrAfter;
 };
 
 /// One loadable ME (or XScale) image.

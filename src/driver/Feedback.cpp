@@ -171,12 +171,39 @@ FeedbackResult sl::driver::compileWithFeedback(
   CompileOptions O = Opts;
   O.Measured = map::MeasuredCosts{}; // Round 0 is always the static plan.
 
-  std::vector<std::unique_ptr<CompiledApp>> Candidates;
-  Candidates.push_back(compile(Source, ProfTrace, Tables, O, Diags));
-  if (!Candidates.back())
-    return R;
+  obs::CompileObserver *Obs = Opts.Observer;
+  auto calibrateObserved = [&](const CompiledApp &App) {
+    // Calibration is compile time too: record it like a pass so the
+    // compile-time trace shows where feedback rounds actually go.
+    size_t Tok = Obs ? Obs->beginPass("calibrate") : 0;
+    CalibRun CR = calibrate(App, CalibTraffic, FB);
+    if (Obs)
+      Obs->endPass(Tok);
+    return CR;
+  };
+  auto noteRound = [&](const FeedbackRound &FR, bool FixedPoint) {
+    if (!Obs)
+      return;
+    obs::FeedbackRoundRecord Rec;
+    Rec.Round = FR.Round;
+    Rec.PredictedThroughput = FR.PredictedThroughput;
+    Rec.MeasuredPktPerKCycle = FR.MeasuredPktPerKCycle;
+    Rec.FixedPoint = FixedPoint;
+    Rec.PlanSignature = FR.PlanSignature;
+    Obs->noteFeedbackRound(std::move(Rec));
+  };
 
-  CalibRun C = calibrate(*Candidates.back(), CalibTraffic, FB);
+  std::vector<std::unique_ptr<CompiledApp>> Candidates;
+  if (Obs)
+    Obs->setRound(0);
+  Candidates.push_back(compile(Source, ProfTrace, Tables, O, Diags));
+  if (!Candidates.back()) {
+    if (Obs)
+      Obs->setRound(-1);
+    return R;
+  }
+
+  CalibRun C = calibrateObserved(*Candidates.back());
   {
     FeedbackRound FR;
     FR.Round = 0;
@@ -185,6 +212,7 @@ FeedbackResult sl::driver::compileWithFeedback(
     FR.PlanSignature = planSignature(Candidates.back()->Plan);
     FR.MapLog = Candidates.back()->Plan.Log;
     FR.Groups = C.Groups;
+    noteRound(FR, false);
     R.Rounds.push_back(std::move(FR));
   }
   double BestMeasured = C.PktPerKCycle;
@@ -194,6 +222,8 @@ FeedbackResult sl::driver::compileWithFeedback(
 
   for (unsigned Round = 1; Round < FB.MaxRounds && MC.valid(); ++Round) {
     O.Measured = MC;
+    if (Obs)
+      Obs->setRound(static_cast<int>(Round));
     DiagEngine RoundDiags; // A failed re-plan keeps the incumbent.
     auto Next = compile(Source, ProfTrace, Tables, O, RoundDiags);
     if (!Next)
@@ -211,12 +241,13 @@ FeedbackResult sl::driver::compileWithFeedback(
       FR.Costs = MC;
       FR.PlanSignature = std::move(Sig);
       FR.MapLog = Next->Plan.Log;
+      noteRound(FR, true);
       R.Rounds.push_back(std::move(FR));
       R.FixedPoint = true;
       break;
     }
 
-    C = calibrate(*Next, CalibTraffic, FB);
+    C = calibrateObserved(*Next);
     FeedbackRound FR;
     FR.Round = Round;
     FR.PredictedThroughput = Next->Plan.PredictedThroughput;
@@ -225,6 +256,7 @@ FeedbackResult sl::driver::compileWithFeedback(
     FR.PlanSignature = std::move(Sig);
     FR.MapLog = Next->Plan.Log;
     FR.Groups = C.Groups;
+    noteRound(FR, false);
     R.Rounds.push_back(std::move(FR));
 
     MC = attributeCosts(*Next, C.Telem, C.Stats);
@@ -235,6 +267,8 @@ FeedbackResult sl::driver::compileWithFeedback(
       R.BestRound = Round;
     }
   }
+  if (Obs)
+    Obs->setRound(-1);
 
   R.App = std::move(Candidates[BestCandidate]);
   return R;

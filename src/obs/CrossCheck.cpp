@@ -1,0 +1,64 @@
+//===- obs/CrossCheck.cpp ------------------------------------------------------==//
+
+#include "obs/CrossCheck.h"
+
+#include "obs/Remark.h"
+
+#include <cstdio>
+
+using namespace sl;
+using namespace sl::obs;
+
+void sl::obs::summarizeRemarks(const RemarkEmitter &Rem, LevelObs &L) {
+  L.PacFired = Rem.count("pac", RemarkKind::Fired);
+  L.PacSavedAccesses = static_cast<uint64_t>(
+      Rem.sumArg("pac", RemarkKind::Fired, "savedAccesses"));
+  L.SwcCached = Rem.count("swc", RemarkKind::Fired);
+}
+
+namespace {
+
+/// Measured rates are per-packet averages over a finite run; allow a
+/// small absolute slack before calling a direction violated.
+constexpr double Slack = 0.05;
+
+CrossCheckFinding directional(const char *Check, const LevelObs &Lo,
+                              const LevelObs &Hi, uint64_t FiredCount,
+                              double Before, double After) {
+  CrossCheckFinding F;
+  F.Check = Check;
+  F.Levels = Lo.Level + " -> " + Hi.Level;
+  char Buf[160];
+  if (FiredCount > 0) {
+    // The pass claims it removed accesses: the measured rate must drop.
+    F.Ok = After < Before - Slack;
+    std::snprintf(Buf, sizeof(Buf),
+                  "%llu fired; measured %.2f -> %.2f accesses/pkt (%s)",
+                  static_cast<unsigned long long>(FiredCount), Before,
+                  After, F.Ok ? "drops as claimed" : "DID NOT DROP");
+  } else {
+    // Nothing fired: the rate must not rise (later ladder levels only
+    // ever add optimizations).
+    F.Ok = After <= Before + Slack;
+    std::snprintf(Buf, sizeof(Buf),
+                  "nothing fired; measured %.2f -> %.2f accesses/pkt (%s)",
+                  Before, After, F.Ok ? "no increase" : "ROSE");
+  }
+  F.Detail = Buf;
+  return F;
+}
+
+} // namespace
+
+CrossCheckResult sl::obs::crossCheckTable1(const LevelObs &O1,
+                                           const LevelObs &Pac,
+                                           const LevelObs &Phr,
+                                           const LevelObs &Swc) {
+  CrossCheckResult R;
+  R.Findings.push_back(directional("pac-combining", O1, Pac, Pac.PacFired,
+                                   O1.PktAccessesPerPkt,
+                                   Pac.PktAccessesPerPkt));
+  R.Findings.push_back(directional("swc-caching", Phr, Swc, Swc.SwcCached,
+                                   Phr.AppSramPerPkt, Swc.AppSramPerPkt));
+  return R;
+}

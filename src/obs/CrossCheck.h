@@ -1,0 +1,81 @@
+//===- obs/CrossCheck.h - static remarks vs measured Table-1 deltas ---------------==//
+//
+// Turns Table 1 into a self-validating artifact: the compiler's own
+// remark stream makes static claims ("PAC combined N accesses", "SWC
+// cached table T"), and the simulator measures per-packet memory-access
+// rates at each ladder level. This harness reconciles the two:
+//
+//   * if PAC reported combining at a level, the measured packet-memory
+//     accesses per packet (Scratch+SRAM+DRAM packet traffic) must drop
+//     against the previous ladder level — and must never rise either way;
+//   * if SWC reported caching tables, the measured application-SRAM
+//     accesses per packet must drop against the previous level — and
+//     must never rise either way.
+//
+// The checks are deliberately directional rather than exact: the ladder
+// levels differ by more than one pass (+PAC also enables -O2 inlining),
+// and eliminated static sites execute with data-dependent frequency, so
+// an exact count equation would be fiction. A fired optimization whose
+// measured effect is zero (or negative) is exactly the inconsistency
+// Table 1 must not ship with.
+//
+// Used by tests/OptReportTest.cpp and by bench/table1_mem_accesses,
+// which embeds the findings in its --stats-json output and fails its
+// exit code when a check does not hold.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SL_OBS_CROSSCHECK_H
+#define SL_OBS_CROSSCHECK_H
+
+#include <string>
+#include <vector>
+
+namespace sl::obs {
+
+class RemarkEmitter;
+
+/// What one (app, ladder-level) cell contributes: the static remark
+/// summary from its compile and the measured per-packet rates from its
+/// simulation.
+struct LevelObs {
+  std::string Level; ///< Display name, e.g. "+ PAC".
+
+  // Measured (simulator, per injected packet).
+  double PktAccessesPerPkt = 0.0; ///< Packet traffic: ring+meta+data.
+  double AppSramPerPkt = 0.0;     ///< Application tables (+cache+stack).
+
+  // Static (compiler remarks from this level's build).
+  uint64_t PacFired = 0;         ///< Wide accesses PAC formed.
+  uint64_t PacSavedAccesses = 0; ///< Narrow accesses PAC eliminated.
+  uint64_t SwcCached = 0;        ///< Tables SWC marked cached.
+};
+
+/// Fills the static-side fields of \p L from a compile's remark stream.
+void summarizeRemarks(const RemarkEmitter &Rem, LevelObs &L);
+
+struct CrossCheckFinding {
+  std::string Check;  ///< "pac-combining" | "swc-caching".
+  std::string Levels; ///< "+ -O1 -> + PAC".
+  bool Ok = false;
+  std::string Detail; ///< Human-readable explanation either way.
+};
+
+struct CrossCheckResult {
+  std::vector<CrossCheckFinding> Findings;
+  bool ok() const {
+    for (const CrossCheckFinding &F : Findings)
+      if (!F.Ok)
+        return false;
+    return true;
+  }
+};
+
+/// Reconciles adjacent ladder levels: PAC's claim between \p O1 and
+/// \p Pac, SWC's claim between \p Phr and \p Swc.
+CrossCheckResult crossCheckTable1(const LevelObs &O1, const LevelObs &Pac,
+                                  const LevelObs &Phr, const LevelObs &Swc);
+
+} // namespace sl::obs
+
+#endif // SL_OBS_CROSSCHECK_H

@@ -1,0 +1,290 @@
+//===- obs/OptReport.cpp - pass instrumentation + opt-report writers --------------==//
+
+#include "obs/OptReport.h"
+
+#include "ir/Module.h"
+#include "support/Json.h"
+
+#include <cassert>
+#include <chrono>
+#include <ostream>
+
+using namespace sl;
+using namespace sl::obs;
+using support::JsonWriter;
+
+namespace {
+
+uint64_t steadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool isPktAccess(ir::Op O) {
+  switch (O) {
+  case ir::Op::PktLoad:
+  case ir::Op::PktStore:
+  case ir::Op::MetaLoad:
+  case ir::Op::MetaStore:
+  case ir::Op::PktLoadWide:
+  case ir::Op::PktStoreWide:
+    return true;
+  default:
+    return false;
+  }
+}
+
+void writeIrStats(JsonWriter &W, const IrStats &S) {
+  W.beginObject();
+  W.field("funcs", S.Funcs);
+  W.field("blocks", S.Blocks);
+  W.field("instrs", S.Instrs);
+  W.field("pktAccesses", S.PktAccesses);
+  W.field("globalAccesses", S.GlobalAccesses);
+  W.endObject();
+}
+
+} // namespace
+
+IrStats sl::obs::measureIr(const ir::Function &F) {
+  IrStats S;
+  S.Funcs = 1;
+  S.Blocks = F.numBlocks();
+  for (const auto &BB : F.blocks()) {
+    S.Instrs += BB->size();
+    for (const auto &I : BB->instrs()) {
+      S.PktAccesses += isPktAccess(I->op());
+      S.GlobalAccesses +=
+          I->op() == ir::Op::GLoad || I->op() == ir::Op::GStore;
+    }
+  }
+  return S;
+}
+
+IrStats sl::obs::measureIr(const ir::Module &M) {
+  IrStats S;
+  for (const auto &F : M.functions()) {
+    IrStats FS = measureIr(*F);
+    S.Funcs += FS.Funcs;
+    S.Blocks += FS.Blocks;
+    S.Instrs += FS.Instrs;
+    S.PktAccesses += FS.PktAccesses;
+    S.GlobalAccesses += FS.GlobalAccesses;
+  }
+  return S;
+}
+
+CompileObserver::CompileObserver() : EpochNs(steadyNowNs()) {}
+
+uint64_t CompileObserver::nowUs() const {
+  return (steadyNowNs() - EpochNs) / 1000;
+}
+
+size_t CompileObserver::beginPass(std::string Name, const ir::Module *M) {
+  PassRecord R;
+  R.Name = std::move(Name);
+  R.Attempt = Remarks.attempt();
+  R.Round = Remarks.round();
+  if (M)
+    R.Before = measureIr(*M);
+  R.StartUs = nowUs();
+  Passes.push_back(std::move(R));
+  return Passes.size() - 1;
+}
+
+void CompileObserver::endPass(size_t Token, const ir::Module *M,
+                              unsigned FixpointRounds) {
+  assert(Token < Passes.size() && "endPass without beginPass");
+  PassRecord &R = Passes[Token];
+  R.WallUs = nowUs() - R.StartUs;
+  R.FixpointRounds = FixpointRounds;
+  if (M)
+    R.After = measureIr(*M);
+}
+
+void CompileObserver::beginAttempt(unsigned Attempt) {
+  Remarks.setAttempt(Attempt);
+  if (Attempt + 1 > Attempts)
+    Attempts = Attempt + 1;
+}
+
+void CompileObserver::setRound(int Round) { Remarks.setRound(Round); }
+
+void CompileObserver::noteFeedbackRound(FeedbackRoundRecord R) {
+  Rounds.push_back(std::move(R));
+}
+
+void CompileObserver::finalize() { TotalUs = nowUs(); }
+
+void CompileObserver::setContext(std::string App, std::string Level) {
+  CtxApp = std::move(App);
+  CtxLevel = std::move(Level);
+}
+
+uint64_t CompileObserver::sumPassUs() const {
+  uint64_t Sum = 0;
+  for (const PassRecord &P : Passes)
+    Sum += P.WallUs;
+  return Sum;
+}
+
+void CompileObserver::writeJson(JsonWriter &W) const {
+  W.beginObject();
+  W.field("optReportVersion", uint64_t(1));
+  if (!CtxApp.empty())
+    W.field("app", CtxApp);
+  if (!CtxLevel.empty())
+    W.field("level", CtxLevel);
+  W.field("totalUs", TotalUs);
+  W.field("sumPassUs", sumPassUs());
+  W.field("attempts", uint64_t(Attempts));
+
+  W.key("passes");
+  W.beginArray();
+  for (const PassRecord &P : Passes) {
+    W.beginObject();
+    W.field("name", P.Name);
+    W.field("attempt", uint64_t(P.Attempt));
+    W.field("round", int64_t(P.Round));
+    W.field("startUs", P.StartUs);
+    W.field("wallUs", P.WallUs);
+    if (P.FixpointRounds)
+      W.field("fixpointRounds", uint64_t(P.FixpointRounds));
+    W.key("before");
+    writeIrStats(W, P.Before);
+    W.key("after");
+    writeIrStats(W, P.After);
+    W.endObject();
+  }
+  W.endArray();
+
+  // Per-pass remark tallies, then the remarks themselves.
+  W.key("remarkCounts");
+  W.beginObject();
+  {
+    std::vector<std::string> Seen;
+    for (const Remark &R : Remarks.remarks()) {
+      bool New = true;
+      for (const std::string &S : Seen)
+        New &= (S != R.Pass);
+      if (!New)
+        continue;
+      Seen.push_back(R.Pass);
+      W.key(R.Pass);
+      W.beginObject();
+      W.field("fired", uint64_t(Remarks.count(R.Pass, RemarkKind::Fired)));
+      W.field("missed",
+              uint64_t(Remarks.count(R.Pass, RemarkKind::Missed)));
+      W.field("note", uint64_t(Remarks.count(R.Pass, RemarkKind::Note)));
+      W.endObject();
+    }
+  }
+  W.endObject();
+
+  W.key("remarks");
+  W.beginArray();
+  for (const Remark &R : Remarks.remarks()) {
+    W.beginObject();
+    W.field("pass", R.Pass);
+    W.field("kind", remarkKindName(R.Kind));
+    W.field("reason", R.Reason);
+    if (!R.Function.empty())
+      W.field("function", R.Function);
+    if (R.Loc.isValid()) {
+      W.field("line", uint64_t(R.Loc.Line));
+      W.field("col", uint64_t(R.Loc.Col));
+    }
+    W.field("attempt", uint64_t(R.Attempt));
+    W.field("round", int64_t(R.Round));
+    if (!R.Args.empty()) {
+      W.key("args");
+      W.beginObject();
+      for (const RemarkArg &A : R.Args) {
+        if (!A.IsNum)
+          W.field(A.Key, A.Str);
+        else if (A.IsInt)
+          W.field(A.Key, int64_t(A.Num));
+        else
+          W.field(A.Key, A.Num);
+      }
+      W.endObject();
+    }
+    W.field("message", R.message());
+    W.endObject();
+  }
+  W.endArray();
+
+  if (!Rounds.empty()) {
+    W.key("feedbackRounds");
+    W.beginArray();
+    for (const FeedbackRoundRecord &R : Rounds) {
+      W.beginObject();
+      W.field("round", uint64_t(R.Round));
+      W.field("predictedThroughput", R.PredictedThroughput);
+      W.field("measuredPktPerKCycle", R.MeasuredPktPerKCycle);
+      W.field("fixedPoint", R.FixedPoint);
+      W.field("planSignature", R.PlanSignature);
+      W.endObject();
+    }
+    W.endArray();
+  }
+  W.endObject();
+}
+
+void CompileObserver::writeJson(std::ostream &OS) const {
+  JsonWriter W(OS);
+  writeJson(W);
+  OS << '\n';
+}
+
+void CompileObserver::exportChromeTrace(std::ostream &OS) const {
+  // Same trace-event JSON the simulator tracer emits (PR 1), so both
+  // timelines open in the same viewers. One process per build attempt,
+  // one thread row per feedback round; ts/dur are microseconds of
+  // compile wall time, which is what the viewers natively assume.
+  JsonWriter W(OS, /*Pretty=*/false);
+  W.beginObject();
+  W.key("traceEvents");
+  W.beginArray();
+  for (unsigned A = 0; A != (Attempts ? Attempts : 1u); ++A) {
+    W.beginObject();
+    W.field("name", "process_name");
+    W.field("ph", "M");
+    W.field("pid", uint64_t(A));
+    W.key("args");
+    W.beginObject();
+    W.field("name", ("compile attempt " + std::to_string(A)).c_str());
+    W.endObject();
+    W.endObject();
+  }
+  for (const PassRecord &P : Passes) {
+    W.beginObject();
+    W.field("name", P.Name);
+    W.field("cat", "pass");
+    W.field("ph", "X");
+    W.field("ts", P.StartUs);
+    W.field("dur", P.WallUs);
+    W.field("pid", uint64_t(P.Attempt));
+    W.field("tid", uint64_t(P.Round < 0 ? 0 : P.Round));
+    W.key("args");
+    W.beginObject();
+    W.field("instrsBefore", P.Before.Instrs);
+    W.field("instrsAfter", P.After.Instrs);
+    W.field("pktAccessesBefore", P.Before.PktAccesses);
+    W.field("pktAccessesAfter", P.After.PktAccesses);
+    if (P.FixpointRounds)
+      W.field("fixpointRounds", uint64_t(P.FixpointRounds));
+    W.endObject();
+    W.endObject();
+  }
+  W.endArray();
+  W.key("otherData");
+  W.beginObject();
+  W.field("timestampUnit", "us");
+  W.field("totalUs", TotalUs);
+  W.endObject();
+  W.endObject();
+  OS << '\n';
+}

@@ -1,0 +1,144 @@
+//===- obs/OptReport.h - instrumented pass pipeline + opt-report -----------------==//
+//
+// CompileObserver is the sink the driver threads through the whole
+// pipeline (CompileOptions::Observer). It records, per pass:
+//
+//   * wall time (steady clock, microseconds, relative to the observer's
+//     construction) and, for fixed-point drivers, the round count;
+//   * before/after IR deltas — instructions, basic blocks, functions,
+//     packet/metadata accesses and global accesses — so "what did this
+//     pass actually do to the IR" is a diff, not a guess;
+//   * the oversize-retry attempt and feedback round the pass ran under.
+//
+// It owns the RemarkEmitter the PAC/SOAR/PHR/SWC passes report into, and
+// exports everything as one machine-readable JSON opt-report
+// (writeJson; schema in docs/observability.md) plus a Chrome-trace view
+// of compile time (exportChromeTrace; same trace-event format the PR-1
+// simulator tracer emits, loadable in chrome://tracing / Perfetto).
+//
+// Attaching an observer is observation-only: it changes no compiler
+// decision, and with no observer attached every hook is a null-pointer
+// test.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SL_OBS_OPTREPORT_H
+#define SL_OBS_OPTREPORT_H
+
+#include "obs/Remark.h"
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sl::ir {
+class Function;
+class Module;
+} // namespace sl::ir
+
+namespace sl::support {
+class JsonWriter;
+}
+
+namespace sl::obs {
+
+/// A size snapshot of the IR; PassRecord stores one from before and one
+/// from after each pass so the report carries true deltas.
+struct IrStats {
+  uint64_t Funcs = 0;
+  uint64_t Blocks = 0;
+  uint64_t Instrs = 0;
+  /// Packet-memory traffic sites: Pkt/Meta loads+stores and the wide
+  /// accesses PAC forms (one wide access counts once).
+  uint64_t PktAccesses = 0;
+  /// Global (application-table) access sites: GLoad/GStore.
+  uint64_t GlobalAccesses = 0;
+};
+
+IrStats measureIr(const ir::Module &M);
+IrStats measureIr(const ir::Function &F);
+
+/// One instrumented pass (or pipeline phase) execution.
+struct PassRecord {
+  std::string Name;   ///< "pac", "soar", "phr", "swc", "o1", "codegen"...
+  unsigned Attempt = 0;       ///< Oversize-retry build attempt (0-based).
+  int Round = -1;             ///< Feedback round; -1 outside feedback.
+  uint64_t StartUs = 0;       ///< Since observer construction.
+  uint64_t WallUs = 0;
+  unsigned FixpointRounds = 0; ///< Rounds a fixed-point driver ran; 0 n/a.
+  IrStats Before, After;
+};
+
+/// Per-round summary recorded by compileWithFeedback.
+struct FeedbackRoundRecord {
+  unsigned Round = 0;
+  double PredictedThroughput = 0.0;
+  double MeasuredPktPerKCycle = 0.0;
+  bool FixedPoint = false;
+  std::string PlanSignature;
+};
+
+class CompileObserver {
+public:
+  CompileObserver();
+
+  RemarkEmitter Remarks;
+
+  /// Begins a pass; returns a token for endPass. \p M (nullable) is
+  /// measured for the "before" snapshot.
+  size_t beginPass(std::string Name, const ir::Module *M = nullptr);
+  /// Ends the pass begun with \p Token; measures \p M for "after".
+  void endPass(size_t Token, const ir::Module *M = nullptr,
+               unsigned FixpointRounds = 0);
+
+  /// New oversize-retry attempt inside driver::compile (stamps subsequent
+  /// passes and remarks).
+  void beginAttempt(unsigned Attempt);
+  /// Feedback round context (stamps subsequent passes and remarks; -1
+  /// clears it).
+  void setRound(int Round);
+
+  void noteFeedbackRound(FeedbackRoundRecord R);
+
+  /// Captures total wall time (construction -> now). Called by the driver
+  /// when a compile finishes; callable repeatedly (last call wins), so a
+  /// multi-compile session extends the total.
+  void finalize();
+
+  /// Optional context echoed into the report header.
+  void setContext(std::string App, std::string Level);
+
+  uint64_t nowUs() const;
+  uint64_t totalUs() const { return TotalUs; }
+  unsigned attempts() const { return Attempts; }
+  const std::vector<PassRecord> &passes() const { return Passes; }
+  const std::vector<FeedbackRoundRecord> &feedbackRounds() const {
+    return Rounds;
+  }
+
+  /// Sum of recorded pass wall times (child passes only; attempts add,
+  /// nested records would double-count — the driver records a flat
+  /// sequence, so they do not nest).
+  uint64_t sumPassUs() const;
+
+  /// The machine-readable opt-report.
+  void writeJson(support::JsonWriter &W) const;
+  void writeJson(std::ostream &OS) const;
+
+  /// Chrome-trace view of the compile: one "X" event per pass, one
+  /// process per attempt, one thread row per feedback round.
+  void exportChromeTrace(std::ostream &OS) const;
+
+private:
+  uint64_t EpochNs = 0; ///< steady_clock at construction.
+  uint64_t TotalUs = 0;
+  unsigned Attempts = 0;
+  std::vector<PassRecord> Passes;
+  std::vector<FeedbackRoundRecord> Rounds;
+  std::string CtxApp, CtxLevel;
+};
+
+} // namespace sl::obs
+
+#endif // SL_OBS_OPTREPORT_H

@@ -1,0 +1,116 @@
+//===- obs/Remark.cpp ----------------------------------------------------------==//
+
+#include "obs/Remark.h"
+
+#include <cstdio>
+
+using namespace sl;
+using namespace sl::obs;
+
+const char *sl::obs::remarkKindName(RemarkKind K) {
+  switch (K) {
+  case RemarkKind::Fired:
+    return "fired";
+  case RemarkKind::Missed:
+    return "missed";
+  case RemarkKind::Note:
+    return "note";
+  }
+  return "?";
+}
+
+Remark &Remark::arg(std::string Key, std::string Value) {
+  Args.push_back({std::move(Key), std::move(Value), 0.0, false, false});
+  return *this;
+}
+
+Remark &Remark::arg(std::string Key, const char *Value) {
+  return arg(std::move(Key), std::string(Value));
+}
+
+Remark &Remark::arg(std::string Key, uint64_t Value) {
+  Args.push_back({std::move(Key), {}, double(Value), true, true});
+  return *this;
+}
+
+Remark &Remark::arg(std::string Key, int64_t Value) {
+  Args.push_back({std::move(Key), {}, double(Value), true, true});
+  return *this;
+}
+
+Remark &Remark::arg(std::string Key, double Value) {
+  Args.push_back({std::move(Key), {}, Value, true, false});
+  return *this;
+}
+
+double Remark::argNum(std::string_view Key) const {
+  for (const RemarkArg &A : Args)
+    if (A.IsNum && A.Key == Key)
+      return A.Num;
+  return 0.0;
+}
+
+std::string Remark::message() const {
+  std::string S = Pass;
+  S += ' ';
+  S += remarkKindName(Kind);
+  S += ' ';
+  S += Reason;
+  if (!Function.empty()) {
+    S += " @";
+    S += Function;
+  }
+  if (Loc.isValid()) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), ":%u:%u", Loc.Line, Loc.Col);
+    S += Buf;
+  }
+  for (const RemarkArg &A : Args) {
+    S += ' ';
+    S += A.Key;
+    S += '=';
+    if (!A.IsNum) {
+      S += A.Str;
+    } else {
+      char Buf[40];
+      if (A.IsInt)
+        std::snprintf(Buf, sizeof(Buf), "%lld",
+                      static_cast<long long>(A.Num));
+      else
+        std::snprintf(Buf, sizeof(Buf), "%g", A.Num);
+      S += Buf;
+    }
+  }
+  return S;
+}
+
+Remark &RemarkEmitter::remark(std::string Pass, RemarkKind K,
+                              std::string Reason, std::string Function,
+                              SourceLoc Loc) {
+  Remark R;
+  R.Pass = std::move(Pass);
+  R.Kind = K;
+  R.Reason = std::move(Reason);
+  R.Function = std::move(Function);
+  R.Loc = Loc;
+  R.Attempt = Attempt;
+  R.Round = Round;
+  Remarks.push_back(std::move(R));
+  return Remarks.back();
+}
+
+unsigned RemarkEmitter::count(std::string_view Pass, RemarkKind K) const {
+  unsigned N = 0;
+  for (const Remark &R : Remarks)
+    N += (R.Pass == Pass && R.Kind == K);
+  return N;
+}
+
+double RemarkEmitter::sumArg(std::string_view Pass, RemarkKind K,
+                             std::string_view Key) const {
+  double Sum = 0.0;
+  for (const Remark &R : Remarks)
+    if (R.Pass == Pass && R.Kind == K)
+      Sum += R.argNum(Key);
+  return Sum;
+}

@@ -1,0 +1,118 @@
+//===- obs/Remark.h - structured optimization remarks --------------------------==//
+//
+// The compiler-side half of the observability story: every PAC / SOAR /
+// PHR / SWC decision site can report what it did ("fired") or why it
+// declined ("missed") as a structured remark — pass, kind, a
+// machine-readable reason code, the enclosing function, the source
+// location, and a small bag of typed arguments. Remarks are collected by
+// a RemarkEmitter that the driver threads through the pipeline when an
+// opt-report was requested; every pass takes the emitter as a nullable
+// pointer and pays nothing when it is null.
+//
+// Remarks are observation-only by contract: a pass must make exactly the
+// same decisions whether or not an emitter is attached (OptReportTest
+// asserts the produced images are bit-identical either way).
+//
+// Reason codes are stable kebab-case strings, documented in
+// docs/observability.md; tools should match on them, not on the rendered
+// message.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SL_OBS_REMARK_H
+#define SL_OBS_REMARK_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sl::obs {
+
+enum class RemarkKind : uint8_t {
+  Fired,  ///< The optimization applied at this site.
+  Missed, ///< A candidate site was examined and declined.
+  Note,   ///< Pipeline-level observation (e.g. fixed-point cap hit).
+};
+
+const char *remarkKindName(RemarkKind K);
+
+/// One key/value remark argument. Numeric arguments keep their value so
+/// consumers (the cross-check harness, the JSON writer) never re-parse
+/// rendered text.
+struct RemarkArg {
+  std::string Key;
+  std::string Str;     ///< Valid when !IsNum.
+  double Num = 0.0;    ///< Valid when IsNum.
+  bool IsNum = false;
+  bool IsInt = false;  ///< Render Num without a decimal point.
+};
+
+/// One structured remark.
+struct Remark {
+  std::string Pass;     ///< "pac" | "soar" | "phr" | "swc" | "pipeline".
+  RemarkKind Kind = RemarkKind::Note;
+  std::string Reason;   ///< Machine-readable reason code (kebab-case).
+  std::string Function; ///< Enclosing IR function; empty if module-level.
+  SourceLoc Loc;        ///< Baker source position; invalid if synthetic.
+  unsigned Attempt = 0; ///< Oversize-retry build attempt (0-based).
+  int Round = -1;       ///< Feedback round; -1 outside compileWithFeedback.
+  std::vector<RemarkArg> Args;
+
+  Remark &arg(std::string Key, std::string Value);
+  Remark &arg(std::string Key, const char *Value);
+  Remark &arg(std::string Key, uint64_t Value);
+  Remark &arg(std::string Key, int64_t Value);
+  Remark &arg(std::string Key, unsigned Value) {
+    return arg(std::move(Key), uint64_t(Value));
+  }
+  Remark &arg(std::string Key, int Value) {
+    return arg(std::move(Key), int64_t(Value));
+  }
+  Remark &arg(std::string Key, double Value);
+
+  /// Numeric argument by key (0 when absent or non-numeric).
+  double argNum(std::string_view Key) const;
+
+  /// Human-readable one-liner: "pac fired combined-loads f:12:3 members=3".
+  std::string message() const;
+};
+
+/// Collects remarks. The driver owns one per compilation (inside the
+/// CompileObserver) and sets the attempt/round context; passes append
+/// through remark().
+class RemarkEmitter {
+public:
+  /// Starts a remark; returns a reference valid until the next call, so
+  /// call sites can chain .arg(...) onto it.
+  Remark &remark(std::string Pass, RemarkKind K, std::string Reason,
+                 std::string Function = {}, SourceLoc Loc = {});
+
+  const std::vector<Remark> &remarks() const { return Remarks; }
+  void clear() { Remarks.clear(); }
+
+  /// Number of remarks from \p Pass of kind \p K.
+  unsigned count(std::string_view Pass, RemarkKind K) const;
+
+  /// Sum of numeric argument \p Key over remarks from \p Pass of kind
+  /// \p K (skips remarks without it).
+  double sumArg(std::string_view Pass, RemarkKind K,
+                std::string_view Key) const;
+
+  /// Context stamped onto every subsequent remark.
+  void setAttempt(unsigned A) { Attempt = A; }
+  void setRound(int R) { Round = R; }
+  unsigned attempt() const { return Attempt; }
+  int round() const { return Round; }
+
+private:
+  std::vector<Remark> Remarks;
+  unsigned Attempt = 0;
+  int Round = -1;
+};
+
+} // namespace sl::obs
+
+#endif // SL_OBS_REMARK_H

@@ -12,6 +12,10 @@
 
 #include "ir/Module.h"
 
+namespace sl::obs {
+class RemarkEmitter;
+}
+
 namespace sl::opt {
 
 /// Removes unreachable blocks, folds constant conditional branches, merges
@@ -39,14 +43,21 @@ bool deadCodeElim(ir::Function &F);
 /// recursion). Fully-inlined helpers that became unreferenced are removed.
 void inlineCalls(ir::Module &M, unsigned CalleeSizeLimit = 2048);
 
-/// Runs the -O1 scalar pipeline on one function to a fixed point.
-void runScalarPipeline(ir::Function &F);
+/// Runs the -O1 scalar pipeline on one function to a fixed point. Returns
+/// the number of rounds executed. When the \p MaxRounds safety cap cuts
+/// the iteration off before a fixed point (pass ping-pong), a "pipeline"
+/// note remark with reason "fixed-point-cap-hit" is emitted into \p Rem
+/// (when attached) instead of exiting silently.
+unsigned runScalarPipeline(ir::Function &F,
+                           obs::RemarkEmitter *Rem = nullptr,
+                           unsigned MaxRounds = 8);
 
-/// -O1 over the whole module.
-void runO1(ir::Module &M);
+/// -O1 over the whole module. Returns the maximum fixed-point round count
+/// any function needed.
+unsigned runO1(ir::Module &M, obs::RemarkEmitter *Rem = nullptr);
 
 /// -O2: aggressive inlining, then the scalar pipeline.
-void runO2(ir::Module &M);
+unsigned runO2(ir::Module &M, obs::RemarkEmitter *Rem = nullptr);
 
 /// Shared helper: RAUW-and-erase an instruction that was replaced.
 void replaceAndErase(ir::Instr *I, ir::Value *Replacement);

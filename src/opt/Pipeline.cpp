@@ -1,14 +1,17 @@
 //===- opt/Pipeline.cpp - -O1 / -O2 drivers ------------------------------------==//
 
+#include "obs/Remark.h"
 #include "opt/Passes.h"
 
 using namespace sl;
 using namespace sl::ir;
 
-void sl::opt::runScalarPipeline(Function &F) {
+unsigned sl::opt::runScalarPipeline(Function &F, obs::RemarkEmitter *Rem,
+                                    unsigned MaxRounds) {
   // Iterate the pass sequence until nothing changes (bounded in practice;
   // the cap is a safety net against pass ping-pong).
-  for (unsigned Round = 0; Round != 8; ++Round) {
+  unsigned Round = 0;
+  for (; Round != MaxRounds; ++Round) {
     bool Changed = false;
     Changed |= simplifyCfg(F);
     Changed |= mem2reg(F);
@@ -17,16 +20,27 @@ void sl::opt::runScalarPipeline(Function &F) {
     Changed |= deadCodeElim(F);
     Changed |= simplifyCfg(F);
     if (!Changed)
-      return;
+      return Round + 1;
   }
+  // The cap cut the iteration off while passes were still trading changes.
+  // Surface it: silent exit here hides pass ping-pong from everyone.
+  if (Rem)
+    Rem->remark("pipeline", obs::RemarkKind::Note, "fixed-point-cap-hit",
+                F.name())
+        .arg("rounds", MaxRounds);
+  return Round;
 }
 
-void sl::opt::runO1(Module &M) {
-  for (const auto &F : M.functions())
-    runScalarPipeline(*F);
+unsigned sl::opt::runO1(Module &M, obs::RemarkEmitter *Rem) {
+  unsigned MaxRounds = 0;
+  for (const auto &F : M.functions()) {
+    unsigned R = runScalarPipeline(*F, Rem);
+    MaxRounds = R > MaxRounds ? R : MaxRounds;
+  }
+  return MaxRounds;
 }
 
-void sl::opt::runO2(Module &M) {
+unsigned sl::opt::runO2(Module &M, obs::RemarkEmitter *Rem) {
   inlineCalls(M);
-  runO1(M);
+  return runO1(M, Rem);
 }

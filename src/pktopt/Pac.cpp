@@ -3,6 +3,7 @@
 #include "pktopt/Pac.h"
 
 #include "ir/Dominators.h"
+#include "obs/Remark.h"
 #include "support/Casting.h"
 
 #include <algorithm>
@@ -92,25 +93,57 @@ struct Group {
   /// load executes at the FIRST member\'s position and would read stale
   /// data.
   std::vector<std::pair<unsigned, unsigned>> StoresSeen;
+  /// Why the leader could not join an earlier group (remark reason code);
+  /// null when no same-handle group existed to join.
+  const char *OpenReason = nullptr;
 };
+
+const char *spaceName(WideSpace Space) {
+  return Space == WideSpace::PktData ? "dram" : "sram";
+}
+
+/// Missed remark for an access that stayed narrow: the leader of every
+/// group that never reached two members.
+void emitMissed(obs::RemarkEmitter *Rem, const char *What, const Group &G,
+                WideSpace Space) {
+  if (!Rem || G.Members.size() >= 2)
+    return;
+  const Access &A = G.Members.front();
+  ir::Function *F = A.I->parent()->parent();
+  Rem->remark("pac", obs::RemarkKind::Missed,
+              G.OpenReason ? G.OpenReason : "no-combinable-partner",
+              F ? F->name() : std::string(), A.I->Loc)
+      .arg("access", What)
+      .arg("space", spaceName(Space))
+      .arg("bitOff", A.BitOff)
+      .arg("bitWidth", A.BitWidth);
+}
 
 /// Builds maximal same-handle groups of accesses of \p AccessOp in \p BB.
 /// Groups close at hard barriers and — per the paper's dependence rules —
 /// at accesses of the opposite kind whose ranges may overlap the group
 /// (precisely when the handle matches, conservatively otherwise).
 std::vector<Group> collectGroups(BasicBlock &BB, Op AccessOp, bool ForLoads,
-                                 unsigned MaxWords, int SpaceClass) {
+                                 unsigned MaxWords, int SpaceClass,
+                                 WideSpace Space,
+                                 obs::RemarkEmitter *Rem) {
+  const char *What = ForLoads ? "load" : "store";
   std::vector<Group> Done;
   std::vector<Group> Open;
   auto closeGroup = [&](size_t GIdx) {
     if (Open[GIdx].Members.size() >= 2)
       Done.push_back(std::move(Open[GIdx]));
+    else
+      emitMissed(Rem, What, Open[GIdx], Space);
     Open.erase(Open.begin() + static_cast<ptrdiff_t>(GIdx));
   };
   auto flushAll = [&] {
-    for (Group &G : Open)
+    for (Group &G : Open) {
       if (G.Members.size() >= 2)
         Done.push_back(std::move(G));
+      else
+        emitMissed(Rem, What, G, Space);
+    }
     Open.clear();
   };
 
@@ -126,28 +159,35 @@ std::vector<Group> collectGroups(BasicBlock &BB, Op AccessOp, bool ForLoads,
         if (Open[G].Handle != H)
           closeGroup(G);
       bool Placed = false;
+      const char *RejectReason = nullptr;
       for (Group &G : Open) {
         if (G.Handle != H)
           continue;
         bool Redefined = false;
         for (auto [SLo, SW] : G.StoresSeen)
           Redefined |= (SLo < Off + W && Off < SLo + SW);
-        if (Redefined)
+        if (Redefined) {
+          RejectReason = "bits-redefined";
           continue;
+        }
         unsigned NewMin = std::min(G.MinBit, Off);
         unsigned NewMax = std::max(G.MaxBit, Off + W);
         unsigned StartByte = (NewMin / 8) & ~3u;
         unsigned Span = NewMax - StartByte * 8;
-        if (Span > MaxWords * 32)
+        if (Span > MaxWords * 32) {
+          RejectReason = "span-exceeds-max-width";
           continue;
+        }
         // Gap rule: do not bridge more than MaxGapBits of dead space.
         unsigned Gap = 0;
         if (Off > G.MaxBit)
           Gap = Off - G.MaxBit;
         else if (Off + W < G.MinBit)
           Gap = G.MinBit - (Off + W);
-        if (Gap > MaxGapBits)
+        if (Gap > MaxGapBits) {
+          RejectReason = "gap-too-large";
           continue;
+        }
         G.Members.push_back({I, Off, W});
         G.MinBit = NewMin;
         G.MaxBit = NewMax;
@@ -160,6 +200,7 @@ std::vector<Group> collectGroups(BasicBlock &BB, Op AccessOp, bool ForLoads,
         G.Members.push_back({I, Off, W});
         G.MinBit = Off;
         G.MaxBit = Off + W;
+        G.OpenReason = RejectReason;
         Open.push_back(std::move(G));
       }
       continue;
@@ -199,15 +240,31 @@ std::vector<Group> collectGroups(BasicBlock &BB, Op AccessOp, bool ForLoads,
   return Done;
 }
 
+/// Fired remark for a group that was rewritten into one wide access.
+void emitFired(obs::RemarkEmitter *Rem, const char *Reason, const Group &G,
+               WideSpace Space, unsigned Words, Instr *Anchor) {
+  if (!Rem)
+    return;
+  ir::Function *F = Anchor->parent()->parent();
+  Rem->remark("pac", obs::RemarkKind::Fired, Reason,
+              F ? F->name() : std::string(), Anchor->Loc)
+      .arg("members", static_cast<uint64_t>(G.Members.size()))
+      .arg("words", Words)
+      .arg("space", spaceName(Space))
+      .arg("savedAccesses", static_cast<uint64_t>(G.Members.size() - 1));
+}
+
 /// Rewrites one group of loads into PktLoadWide + WideExtracts. Members
 /// may live in different blocks; the first member (the leader) dominates
 /// all of them.
-void rewriteLoadGroup(const Group &G, WideSpace Space, PacResult &Stats) {
+void rewriteLoadGroup(const Group &G, WideSpace Space, PacResult &Stats,
+                      obs::RemarkEmitter *Rem) {
   unsigned ByteOff = (G.MinBit / 8) & ~3u;
   unsigned Words = (G.MaxBit - ByteOff * 8 + 31) / 32;
   assert(Words >= 1 && "empty group");
 
   Instr *First = G.Members.front().I;
+  emitFired(Rem, "combined-loads", G, Space, Words, First);
   BasicBlock &BB = *First->parent();
   size_t Pos = BB.indexOf(First);
   auto *WideLoad = new Instr(Op::PktLoadWide, Type::wideTy(Words));
@@ -242,9 +299,10 @@ void rewriteLoadGroup(const Group &G, WideSpace Space, PacResult &Stats) {
 
 /// Rewrites one group of stores into (RMW load +) inserts + wide store.
 void rewriteStoreGroup(BasicBlock &BB, const Group &G, WideSpace Space,
-                       PacResult &Stats) {
+                       PacResult &Stats, obs::RemarkEmitter *Rem) {
   unsigned ByteOff = (G.MinBit / 8) & ~3u;
   unsigned Words = (G.MaxBit - ByteOff * 8 + 31) / 32;
+  emitFired(Rem, "combined-stores", G, Space, Words, G.Members.back().I);
 
   // Coverage: when every bit of the region is written we can skip the
   // read-modify-write load.
@@ -313,8 +371,8 @@ void rewriteStoreGroup(BasicBlock &BB, const Group &G, WideSpace Space,
 class GlobalLoadCombiner {
 public:
   GlobalLoadCombiner(ir::Function &F, Op LoadOp, WideSpace Space,
-                     PacResult &Stats)
-      : F(F), LoadOp(LoadOp), Space(Space), Stats(Stats), DT(F),
+                     PacResult &Stats, obs::RemarkEmitter *Rem)
+      : F(F), LoadOp(LoadOp), Space(Space), Stats(Stats), Rem(Rem), DT(F),
         Preds(F.predecessors()) {}
 
   void run() {
@@ -331,26 +389,35 @@ public:
     std::vector<Group> Groups;
     for (Instr *L : Loads) {
       bool Placed = false;
+      const char *RejectReason = nullptr;
       for (Group &G : Groups) {
         if (G.Handle != L->operand(0))
           continue;
         unsigned NewMin = std::min(G.MinBit, L->BitOff);
         unsigned NewMax = std::max(G.MaxBit, L->BitOff + L->BitWidth);
         unsigned StartByte = (NewMin / 8) & ~3u;
-        if (NewMax - StartByte * 8 > MaxWords * 32)
+        if (NewMax - StartByte * 8 > MaxWords * 32) {
+          RejectReason = "span-exceeds-max-width";
           continue;
+        }
         unsigned Gap = 0;
         if (L->BitOff > G.MaxBit)
           Gap = L->BitOff - G.MaxBit;
         else if (L->BitOff + L->BitWidth < G.MinBit)
           Gap = G.MinBit - (L->BitOff + L->BitWidth);
-        if (Gap > MaxGapBits)
+        if (Gap > MaxGapBits) {
+          RejectReason = "gap-too-large";
           continue;
+        }
         Instr *Leader = G.Members.front().I;
-        if (Leader != L && !DT.dominates(Leader, L))
+        if (Leader != L && !DT.dominates(Leader, L)) {
+          RejectReason = "not-dominated";
           continue;
-        if (!pathClean(Leader, L, L->BitOff, L->BitWidth, SpaceClass))
+        }
+        if (!pathClean(Leader, L, L->BitOff, L->BitWidth, SpaceClass)) {
+          RejectReason = "conflict-on-path";
           continue;
+        }
         G.Members.push_back({L, L->BitOff, L->BitWidth});
         G.MinBit = NewMin;
         G.MaxBit = NewMax;
@@ -363,13 +430,17 @@ public:
         G.Members.push_back({L, L->BitOff, L->BitWidth});
         G.MinBit = L->BitOff;
         G.MaxBit = L->BitOff + L->BitWidth;
+        G.OpenReason = RejectReason;
         Groups.push_back(std::move(G));
       }
     }
 
-    for (const Group &G : Groups)
+    for (const Group &G : Groups) {
       if (G.Members.size() >= 2)
-        rewriteLoadGroup(G, Space, Stats);
+        rewriteLoadGroup(G, Space, Stats, Rem);
+      else
+        emitMissed(Rem, "load", G, Space);
+    }
   }
 
 private:
@@ -449,43 +520,45 @@ private:
   Op LoadOp;
   WideSpace Space;
   PacResult &Stats;
+  obs::RemarkEmitter *Rem;
   ir::DomTree DT;
   std::map<BasicBlock *, std::vector<BasicBlock *>> Preds;
 };
 
 void runStoresOnBlock(BasicBlock &BB, Op LoadOp, Op StoreOp,
-                      WideSpace Space, PacResult &Stats) {
+                      WideSpace Space, PacResult &Stats,
+                      obs::RemarkEmitter *Rem) {
   unsigned MaxWords = maxWordsFor(Space);
   int SpaceClass = Space == WideSpace::PktData ? 0 : 1;
   (void)LoadOp;
   for (const Group &G : collectGroups(BB, StoreOp, /*ForLoads=*/false,
-                                      MaxWords, SpaceClass))
-    rewriteStoreGroup(BB, G, Space, Stats);
+                                      MaxWords, SpaceClass, Space, Rem))
+    rewriteStoreGroup(BB, G, Space, Stats, Rem);
 }
 
 } // namespace
 
-PacResult sl::pktopt::runPac(ir::Function &F) {
+PacResult sl::pktopt::runPac(ir::Function &F, obs::RemarkEmitter *Rem) {
   PacResult Stats;
   if (F.numBlocks() == 0)
     return Stats;
   // Loads combine across blocks under dominance; stores stay block-local
   // (a combined store must not move across paths that bypass a member).
-  GlobalLoadCombiner(F, Op::PktLoad, WideSpace::PktData, Stats).run();
-  GlobalLoadCombiner(F, Op::MetaLoad, WideSpace::Meta, Stats).run();
+  GlobalLoadCombiner(F, Op::PktLoad, WideSpace::PktData, Stats, Rem).run();
+  GlobalLoadCombiner(F, Op::MetaLoad, WideSpace::Meta, Stats, Rem).run();
   for (const auto &BB : F.blocks()) {
     runStoresOnBlock(*BB, Op::PktLoad, Op::PktStore, WideSpace::PktData,
-                     Stats);
+                     Stats, Rem);
     runStoresOnBlock(*BB, Op::MetaLoad, Op::MetaStore, WideSpace::Meta,
-                     Stats);
+                     Stats, Rem);
   }
   return Stats;
 }
 
-PacResult sl::pktopt::runPac(ir::Module &M) {
+PacResult sl::pktopt::runPac(ir::Module &M, obs::RemarkEmitter *Rem) {
   PacResult Total;
   for (const auto &F : M.functions()) {
-    PacResult R = runPac(*F);
+    PacResult R = runPac(*F, Rem);
     Total.CombinedLoads += R.CombinedLoads;
     Total.CombinedStores += R.CombinedStores;
     Total.WideLoads += R.WideLoads;

@@ -14,6 +14,10 @@
 
 #include "ir/Module.h"
 
+namespace sl::obs {
+class RemarkEmitter;
+}
+
 namespace sl::pktopt {
 
 struct PacResult {
@@ -26,10 +30,18 @@ struct PacResult {
 /// Runs PAC over one function. Combining is performed within basic blocks
 /// (after -O2 inlining the hot paths are long extended blocks, which is
 /// where the paper's combining opportunities live).
-PacResult runPac(ir::Function &F);
+///
+/// With \p Rem attached each formed wide access emits a "pac" fired
+/// remark (reason "combined-loads" / "combined-stores"; args: members,
+/// words, space, savedAccesses) and each access left uncombined emits a
+/// missed remark whose reason records what blocked combining
+/// (span-exceeds-max-width, gap-too-large, not-dominated,
+/// conflict-on-path, bits-redefined, no-combinable-partner). Remarks are
+/// observation-only: decisions are identical with Rem null.
+PacResult runPac(ir::Function &F, obs::RemarkEmitter *Rem = nullptr);
 
 /// Runs PAC over every function of \p M.
-PacResult runPac(ir::Module &M);
+PacResult runPac(ir::Module &M, obs::RemarkEmitter *Rem = nullptr);
 
 } // namespace sl::pktopt
 

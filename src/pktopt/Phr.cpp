@@ -2,6 +2,7 @@
 
 #include "pktopt/Phr.h"
 
+#include "obs/Remark.h"
 #include "support/Casting.h"
 
 #include <map>
@@ -34,7 +35,8 @@ struct RangeUse {
 
 } // namespace
 
-unsigned sl::pktopt::localizeMetadata(ir::Module &M) {
+unsigned sl::pktopt::localizeMetadata(ir::Module &M,
+                                      obs::RemarkEmitter *Rem) {
   // Gather all metadata accesses, grouped by exact bit range; any wide
   // (already PAC-combined) metadata access disables localization for the
   // bits it covers.
@@ -66,25 +68,56 @@ unsigned sl::pktopt::localizeMetadata(ir::Module &M) {
     return ALo < BLo + BW && BLo < ALo + AW;
   };
 
+  // Remark plumbing: every candidate range reports either a fired
+  // "localized" or the concrete rejection that kept it in SRAM.
+  auto missed = [&](const RangeKey &Key, const RangeUse &Use,
+                    const char *Reason) {
+    if (!Rem)
+      return;
+    Instr *A = Use.Accesses.front();
+    Rem->remark("phr", obs::RemarkKind::Missed, Reason,
+                Use.Funcs.size() == 1 ? (*Use.Funcs.begin())->name()
+                                      : std::string(),
+                A->Loc)
+        .arg("field", A->FieldName)
+        .arg("bitOff", Key.BitOff)
+        .arg("bitWidth", Key.BitWidth)
+        .arg("funcs", static_cast<uint64_t>(Use.Funcs.size()));
+  };
+
   unsigned Localized = 0;
   for (auto &[Key, Use] : Uses) {
-    if (Use.Funcs.size() != 1)
+    if (Use.Funcs.size() != 1) {
+      missed(Key, Use, "multi-function-use");
       continue;
+    }
     Function *F = *Use.Funcs.begin();
-    if (FuncsWithCopy.count(F))
-      continue; // Two live packets could alias one shadow local.
-    if (M.isExternMeta(Key.BitOff, Key.BitWidth))
+    if (FuncsWithCopy.count(F)) {
+      // Two live packets could alias one shadow local.
+      missed(Key, Use, "packet-copy-alias");
       continue;
-    bool Clash = false;
+    }
+    if (M.isExternMeta(Key.BitOff, Key.BitWidth)) {
+      missed(Key, Use, "extern-visible");
+      continue;
+    }
+    bool WideClash = false;
     for (const auto &[WLo, WW] : WideRanges)
-      Clash |= overlaps(Key.BitOff, Key.BitWidth, WLo, WW);
+      WideClash |= overlaps(Key.BitOff, Key.BitWidth, WLo, WW);
+    if (WideClash) {
+      missed(Key, Use, "overlaps-wide-access");
+      continue;
+    }
+    bool RangeClash = false;
     for (const auto &[OtherKey, OtherUse] : Uses)
       if (!(OtherKey.BitOff == Key.BitOff &&
             OtherKey.BitWidth == Key.BitWidth))
-        Clash |= overlaps(Key.BitOff, Key.BitWidth, OtherKey.BitOff,
-                          OtherKey.BitWidth);
-    if (Clash)
+        RangeClash |= overlaps(Key.BitOff, Key.BitWidth, OtherKey.BitOff,
+                               OtherKey.BitWidth);
+    if (RangeClash) {
+      missed(Key, Use, "overlapping-ranges");
       continue;
+    }
 
     // All accesses must share one storage type (they do by construction —
     // same field, same lowering — but verify before rewriting).
@@ -97,8 +130,18 @@ unsigned sl::pktopt::localizeMetadata(ir::Module &M) {
       Type T = A->op() == Op::MetaLoad ? A->type() : A->operand(1)->type();
       TypesAgree &= (T == StoreTy);
     }
-    if (!TypesAgree)
+    if (!TypesAgree) {
+      missed(Key, Use, "type-mismatch");
       continue;
+    }
+
+    if (Rem)
+      Rem->remark("phr", obs::RemarkKind::Fired, "localized", F->name(),
+                  FirstAcc->Loc)
+          .arg("field", FirstAcc->FieldName)
+          .arg("accesses", static_cast<uint64_t>(Use.Accesses.size()))
+          .arg("bitOff", Key.BitOff)
+          .arg("bitWidth", Key.BitWidth);
 
     // Shadow local, zero-initialized like the metadata block itself.
     BasicBlock *Entry = F->entry();

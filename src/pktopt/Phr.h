@@ -22,12 +22,25 @@
 
 #include "ir/Module.h"
 
+namespace sl::obs {
+class RemarkEmitter;
+}
+
 namespace sl::pktopt {
 
 /// Rewrites single-function, non-external metadata fields into stack
 /// locals (run mem2reg afterwards to finish the job). Returns the number
 /// of fields localized.
-unsigned localizeMetadata(ir::Module &M);
+///
+/// With \p Rem attached each candidate range emits a "phr" remark: fired
+/// with reason "localized" (args: field, accesses) when rewritten, missed
+/// otherwise with the rejection reason (multi-function-use,
+/// packet-copy-alias, extern-visible, overlaps-wide-access,
+/// overlapping-ranges, type-mismatch). PHR part 2 (head_ptr maintenance
+/// removal) reports from code generation: CgConfig::Rem makes elided
+/// decap/encap SRAM read-modify-writes emit "phr" fired remarks with
+/// reason "head-update-in-register". Observation-only.
+unsigned localizeMetadata(ir::Module &M, obs::RemarkEmitter *Rem = nullptr);
 
 } // namespace sl::pktopt
 

@@ -2,6 +2,7 @@
 
 #include "pktopt/Soar.h"
 
+#include "obs/Remark.h"
 #include "support/BitUtils.h"
 #include "support/Casting.h"
 
@@ -70,9 +71,37 @@ unsigned alignOfSize(const ir::Value *V) {
   return 1;
 }
 
+/// Why did this handle's offset stay unresolved? Classified from the
+/// handle's defining value — the proximate cause, not the full dataflow
+/// provenance, which is what a programmer acting on the remark needs.
+const char *missReason(const ir::Value *H) {
+  if (isa<ir::Argument>(H))
+    return "unresolved-at-entry";
+  const auto *D = dyn_cast<ir::Instr>(H);
+  if (!D)
+    return "unresolved-upstream";
+  switch (D->op()) {
+  case Op::PktDecap:
+    if (!isa<ir::ConstInt>(D->operand(1)))
+      return "variable-length-header";
+    return "unresolved-upstream";
+  case Op::PktEncap:
+    return "unresolved-upstream";
+  case Op::Phi:
+  case Op::Select:
+    return "merge-conflict";
+  case Op::Load:
+    return "handle-through-stack-slot";
+  case Op::PktCopy:
+    return "copy-of-unresolved";
+  default:
+    return "unresolved-upstream";
+  }
+}
+
 class SoarAnalysis {
 public:
-  explicit SoarAnalysis(ir::Module &M) : M(M) {}
+  SoarAnalysis(ir::Module &M, obs::RemarkEmitter *Rem) : M(M), Rem(Rem) {}
 
   SoarResult run();
 
@@ -94,6 +123,7 @@ private:
   void annotate();
 
   ir::Module &M;
+  obs::RemarkEmitter *Rem;
   SoarResult R;
 };
 
@@ -222,8 +252,17 @@ void SoarAnalysis::annotate() {
           if (isConst(In)) {
             I->StaticHdrOff = decodeOff(In.Off);
             ++R.ResolvedAccesses;
+            if (Rem)
+              Rem->remark("soar", obs::RemarkKind::Fired, "offset-resolved",
+                          F->name(), I->Loc)
+                  .arg("off", I->StaticHdrOff)
+                  .arg("align", In.Align);
           } else {
             I->StaticHdrOff = UnknownOff;
+            if (Rem)
+              Rem->remark("soar", obs::RemarkKind::Missed,
+                          missReason(I->operand(0)), F->name(), I->Loc)
+                  .arg("align", In.Align);
           }
           I->StaticAlign = In.Align;
           break;
@@ -272,7 +311,7 @@ SoarResult SoarAnalysis::run() {
 
 } // namespace
 
-SoarResult sl::pktopt::runSoar(ir::Module &M) {
-  SoarAnalysis A(M);
+SoarResult sl::pktopt::runSoar(ir::Module &M, obs::RemarkEmitter *Rem) {
+  SoarAnalysis A(M, Rem);
   return A.run();
 }

@@ -21,6 +21,10 @@
 #include <cstdint>
 #include <map>
 
+namespace sl::obs {
+class RemarkEmitter;
+}
+
 namespace sl::pktopt {
 
 /// Lattice element for the offset/alignment pair of one handle value.
@@ -46,7 +50,14 @@ struct SoarResult {
 
 /// Runs the analysis and annotates packet-access instructions
 /// (StaticHdrOff / StaticInOff / StaticAlign).
-SoarResult runSoar(ir::Module &M);
+///
+/// With \p Rem attached each DRAM packet access emits a "soar" remark:
+/// fired with reason "offset-resolved" (args: off, align) when the header
+/// offset is a lattice constant, missed otherwise with a reason derived
+/// from the handle's defining instruction (variable-length-header,
+/// merge-conflict, handle-through-stack-slot, unresolved-at-entry,
+/// copy-of-unresolved, unresolved-upstream). Observation-only.
+SoarResult runSoar(ir::Module &M, obs::RemarkEmitter *Rem = nullptr);
 
 } // namespace sl::pktopt
 

@@ -2,6 +2,8 @@
 
 #include "pktopt/Swc.h"
 
+#include "obs/Remark.h"
+
 #include <algorithm>
 #include <cmath>
 #include <set>
@@ -10,10 +12,24 @@ using namespace sl;
 using namespace sl::pktopt;
 
 SwcResult sl::pktopt::runSwc(ir::Module &M, const profile::ProfileData &Prof,
-                             const SwcParams &P) {
+                             const SwcParams &P, obs::RemarkEmitter *Rem) {
   SwcResult R;
-  if (Prof.Packets == 0)
+  if (Prof.Packets == 0) {
+    if (Rem)
+      Rem->remark("swc", obs::RemarkKind::Note, "no-profile-data");
     return R;
+  }
+
+  auto missed = [&](const ir::Global *G, const char *Reason, double LoadRate,
+                    double StoreRate, double HitRate) {
+    if (!Rem)
+      return;
+    Rem->remark("swc", obs::RemarkKind::Missed, Reason)
+        .arg("global", G->name())
+        .arg("loadRate", LoadRate)
+        .arg("storeRate", StoreRate)
+        .arg("hitRate", HitRate);
+  };
 
   struct Candidate {
     ir::Global *G;
@@ -38,20 +54,31 @@ SwcResult sl::pktopt::runSwc(ir::Module &M, const profile::ProfileData &Prof,
 
   for (const auto &GPtr : M.globals()) {
     ir::Global *G = GPtr.get();
-    if (StoredByDataPlane.count(G))
+    if (StoredByDataPlane.count(G)) {
+      missed(G, "written-by-data-plane", 0, 0, 0);
       continue;
+    }
     auto It = Prof.Globals.find(G);
-    if (It == Prof.Globals.end())
+    if (It == Prof.Globals.end()) {
+      // Never touched in the profiling trace: definitionally cold.
+      missed(G, "cold", 0, 0, 0);
       continue;
+    }
     const profile::GlobalStats &S = It->second;
     double LoadRate = double(S.Loads) / double(Prof.Packets);
     double StoreRate = double(S.Stores) / double(Prof.Packets);
-    if (LoadRate < P.MinLoadsPerPacket)
+    if (LoadRate < P.MinLoadsPerPacket) {
+      missed(G, "cold", LoadRate, StoreRate, S.EstHitRate);
       continue;
-    if (StoreRate > P.MaxStoresPerPacket)
+    }
+    if (StoreRate > P.MaxStoresPerPacket) {
+      missed(G, "store-rate-too-high", LoadRate, StoreRate, S.EstHitRate);
       continue;
-    if (S.EstHitRate < P.MinHitRate)
+    }
+    if (S.EstHitRate < P.MinHitRate) {
+      missed(G, "hit-rate-too-low", LoadRate, StoreRate, S.EstHitRate);
       continue;
+    }
     Cands.push_back({G, LoadRate, StoreRate, S.EstHitRate});
   }
 
@@ -62,8 +89,12 @@ SwcResult sl::pktopt::runSwc(ir::Module &M, const profile::ProfileData &Prof,
       return A.LoadRate > B.LoadRate;
     return A.G->sizeBytes() < B.G->sizeBytes();
   });
-  if (Cands.size() > P.MaxCachedGlobals)
+  if (Cands.size() > P.MaxCachedGlobals) {
+    for (size_t K = P.MaxCachedGlobals; K != Cands.size(); ++K)
+      missed(Cands[K].G, "cam-budget-exceeded", Cands[K].LoadRate,
+             Cands[K].StoreRate, Cands[K].HitRate);
     Cands.resize(P.MaxCachedGlobals);
+  }
 
   for (const Candidate &C : Cands) {
     C.G->Cached = true;
@@ -82,6 +113,13 @@ SwcResult sl::pktopt::runSwc(ir::Module &M, const profile::ProfileData &Prof,
     }
     C.G->CacheCheckInterval = Interval;
     R.Cached.push_back(C.G);
+    if (Rem)
+      Rem->remark("swc", obs::RemarkKind::Fired, "cached")
+          .arg("global", C.G->name())
+          .arg("loadRate", C.LoadRate)
+          .arg("storeRate", C.StoreRate)
+          .arg("hitRate", C.HitRate)
+          .arg("interval", Interval);
   }
   return R;
 }

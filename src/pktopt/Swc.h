@@ -22,6 +22,10 @@
 
 #include <vector>
 
+namespace sl::obs {
+class RemarkEmitter;
+}
+
 namespace sl::pktopt {
 
 struct SwcParams {
@@ -44,8 +48,16 @@ struct SwcResult {
 
 /// Selects cache candidates and annotates them (Global::Cached /
 /// Global::CacheCheckInterval).
+///
+/// With \p Rem attached each global emits an "swc" remark: fired with
+/// reason "cached" (args: global, loadRate, storeRate, hitRate, interval)
+/// when selected, missed otherwise with the rejection reason
+/// (written-by-data-plane, cold, store-rate-too-high, hit-rate-too-low,
+/// cam-budget-exceeded); an empty profile emits a single note
+/// "no-profile-data". Observation-only.
 SwcResult runSwc(ir::Module &M, const profile::ProfileData &Prof,
-                 const SwcParams &P = SwcParams());
+                 const SwcParams &P = SwcParams(),
+                 obs::RemarkEmitter *Rem = nullptr);
 
 } // namespace sl::pktopt
 

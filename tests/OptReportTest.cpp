@@ -1,0 +1,264 @@
+//===- tests/OptReportTest.cpp - compiler observability tests ----------------==//
+//
+// Covers the observability layer end to end: the instrumented pass
+// pipeline, the PAC/SOAR/PHR/SWC remark streams, the observation-only
+// contract (attaching an observer changes no produced image), the JSON
+// opt-report, the fixed-point-cap note, feedback-round recording, and the
+// Table-1 cross-check harness on a real compiled+simulated ladder.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+#include "baker/Frontend.h"
+#include "ir/ASTLower.h"
+#include "obs/CrossCheck.h"
+#include "opt/Passes.h"
+#include "tests/TestPrograms.h"
+
+#include <gtest/gtest.h>
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+using namespace sl;
+using obs::RemarkKind;
+
+namespace {
+
+/// Field-by-field rendering of an image, for bit-identity comparison.
+/// Comments are excluded: they are listing text, not code.
+std::string fingerprint(const cg::FlatCode &FC) {
+  std::ostringstream OS;
+  OS << FC.Name << '#' << FC.CodeSlots << '\n';
+  for (const cg::MInstr &I : FC.Code)
+    OS << int(I.Op) << ' ' << int(I.Cond) << ' ' << int(I.Space) << ' '
+       << int(I.Class) << ' ' << I.Dst << ' ' << I.SrcA << ' ' << I.SrcB
+       << ' ' << I.Imm << ' ' << I.Xfer << ' ' << I.Words << ' '
+       << I.Target << ' ' << I.CamBase << ' ' << I.CamSize << ' ' << I.Ring
+       << ' ' << I.LmFast << ' ' << I.StackSlot << ' ' << I.SlotWord << ' '
+       << I.ThreadStack << '\n';
+  return OS.str();
+}
+
+std::string fingerprint(const driver::CompiledApp &App) {
+  std::ostringstream OS;
+  for (const driver::AggregateBinary &B : App.Images)
+    OS << fingerprint(B.Code) << "copies=" << B.Copies
+       << " xscale=" << B.OnXScale << '\n';
+  return OS.str();
+}
+
+TEST(OptReport, L3SwitchSwcReportIsComplete) {
+  obs::CompileObserver Obs;
+  apps::AppBundle App = apps::l3switch();
+  auto Compiled =
+      bench::compileApp(App, driver::OptLevel::Swc, /*NumMEs=*/4, true, &Obs);
+  ASSERT_NE(Compiled, nullptr);
+
+  // All four packet optimizations fired somewhere on L3-Switch at -Oswc.
+  EXPECT_GT(Obs.Remarks.count("pac", RemarkKind::Fired), 0u);
+  EXPECT_GT(Obs.Remarks.count("soar", RemarkKind::Fired), 0u);
+  EXPECT_GT(Obs.Remarks.count("phr", RemarkKind::Fired), 0u);
+  EXPECT_GT(Obs.Remarks.count("swc", RemarkKind::Fired), 0u);
+
+  // At least one missed remark, and every remark carries a concrete
+  // machine-readable reason code.
+  unsigned Missed = 0;
+  for (const obs::Remark &R : Obs.Remarks.remarks()) {
+    EXPECT_FALSE(R.Reason.empty()) << "remark without reason in " << R.Pass;
+    Missed += R.Kind == RemarkKind::Missed;
+  }
+  EXPECT_GE(Missed, 1u);
+
+  // The pipeline phases were all recorded, in order, under attempt 0.
+  const char *Expected[] = {"parse",  "ir-lower", "profile",
+                            "aggregate-formation", "inline", "o1", "o2",
+                            "phr",    "phr-cleanup", "pac", "soar", "swc",
+                            "verify", "memory-map", "codegen"};
+  std::vector<std::string> Names;
+  for (const obs::PassRecord &P : Obs.passes())
+    Names.push_back(P.Name);
+  for (const char *E : Expected)
+    EXPECT_NE(std::find(Names.begin(), Names.end(), E), Names.end())
+        << "missing pass record: " << E;
+
+  // Pass wall times sum to the total within slack (the driver records a
+  // flat sequence covering nearly the whole compile).
+  EXPECT_GT(Obs.totalUs(), 0u);
+  EXPECT_LE(Obs.sumPassUs(), Obs.totalUs());
+  EXPECT_GE(Obs.sumPassUs() * 2, Obs.totalUs())
+      << "pass records cover too little of the compile";
+
+  // The o1 phase ran its fixed point at least once.
+  for (const obs::PassRecord &P : Obs.passes()) {
+    if (P.Name == "o1")
+      EXPECT_GE(P.FixpointRounds, 1u);
+  }
+
+  // The JSON report carries the schema headline fields and the remark
+  // streams.
+  std::ostringstream OS;
+  Obs.writeJson(OS);
+  std::string J = OS.str();
+  for (const char *Needle :
+       {"\"optReportVersion\"", "\"app\": \"L3-Switch\"", "\"level\": \"+SWC\"",
+        "\"passes\"", "\"remarks\"", "\"remarkCounts\"", "\"pac\"",
+        "\"soar\"", "\"phr\"", "\"swc\"", "\"totalUs\""})
+    EXPECT_NE(J.find(Needle), std::string::npos) << "missing: " << Needle;
+
+  // Chrome trace is well-formed enough to have one event per pass.
+  std::ostringstream TS;
+  Obs.exportChromeTrace(TS);
+  std::string T = TS.str();
+  size_t Events = 0;
+  for (size_t P = T.find("\"ph\""); P != std::string::npos;
+       P = T.find("\"ph\"", P + 1))
+    ++Events;
+  EXPECT_GE(Events, Obs.passes().size());
+}
+
+TEST(OptReport, ObserverIsObservationOnly) {
+  apps::AppBundle App = apps::l3switch();
+  auto Plain =
+      bench::compileApp(App, driver::OptLevel::Swc, /*NumMEs=*/2, true);
+  obs::CompileObserver Obs;
+  auto Observed =
+      bench::compileApp(App, driver::OptLevel::Swc, /*NumMEs=*/2, true, &Obs);
+  ASSERT_NE(Plain, nullptr);
+  ASSERT_NE(Observed, nullptr);
+  ASSERT_EQ(Plain->Images.size(), Observed->Images.size());
+  EXPECT_EQ(fingerprint(*Plain), fingerprint(*Observed));
+  // ...and the observer did record something, so the comparison is not
+  // vacuous.
+  EXPECT_FALSE(Obs.passes().empty());
+  EXPECT_FALSE(Obs.Remarks.remarks().empty());
+}
+
+TEST(OptReport, PipelineCapRemark) {
+  DiagEngine Diags;
+  auto Unit = baker::parseAndAnalyze(tests::MiniRouter, Diags);
+  ASSERT_NE(Unit, nullptr) << Diags.str();
+  auto M = ir::lowerProgram(*Unit, Diags);
+  ASSERT_NE(M, nullptr);
+
+  // Freshly lowered IR always changes in round 1 (mem2reg alone), so a
+  // one-round cap cuts the fixed point off and must say so.
+  obs::RemarkEmitter Rem;
+  bool Noted = false;
+  for (const auto &F : M->functions()) {
+    unsigned Rounds = opt::runScalarPipeline(*F, &Rem, /*MaxRounds=*/1);
+    EXPECT_LE(Rounds, 1u);
+  }
+  for (const obs::Remark &R : Rem.remarks())
+    if (R.Pass == "pipeline" && R.Kind == RemarkKind::Note &&
+        R.Reason == "fixed-point-cap-hit") {
+      Noted = true;
+      EXPECT_FALSE(R.Function.empty());
+      EXPECT_EQ(R.argNum("rounds"), 1.0);
+    }
+  EXPECT_TRUE(Noted);
+
+  // With the default cap the same functions reach a fixed point and no
+  // cap note appears.
+  auto Unit2 = baker::parseAndAnalyze(tests::MiniRouter, Diags);
+  ASSERT_NE(Unit2, nullptr);
+  auto M2 = ir::lowerProgram(*Unit2, Diags);
+  obs::RemarkEmitter Rem2;
+  opt::runO1(*M2, &Rem2);
+  EXPECT_EQ(Rem2.count("pipeline", RemarkKind::Note), 0u);
+}
+
+TEST(OptReport, FeedbackRoundsRecorded) {
+  apps::AppBundle App = apps::l3switch();
+  driver::CompileOptions Opts;
+  Opts.Level = driver::OptLevel::Swc;
+  Opts.Map.NumMEs = 2;
+  Opts.TxMetaFields = App.TxMetaFields;
+  obs::CompileObserver Obs;
+  Opts.Observer = &Obs;
+  driver::FeedbackOptions FB;
+  FB.MaxRounds = 2;
+  FB.CalibCycles = 40'000;
+  DiagEngine Diags;
+  profile::Trace ProfTrace = App.makeTrace(0x9999, 128);
+  profile::Trace Calib = App.makeTrace(0x1234, 128);
+  driver::FeedbackResult R = driver::compileWithFeedback(
+      App.Source, ProfTrace, Calib, App.Tables, Opts, FB, Diags);
+  ASSERT_NE(R.App, nullptr) << Diags.str();
+
+  ASSERT_FALSE(Obs.feedbackRounds().empty());
+  ASSERT_EQ(Obs.feedbackRounds().size(), R.Rounds.size());
+  for (size_t I = 0; I != R.Rounds.size(); ++I) {
+    const obs::FeedbackRoundRecord &O = Obs.feedbackRounds()[I];
+    EXPECT_EQ(O.Round, R.Rounds[I].Round);
+    EXPECT_EQ(O.MeasuredPktPerKCycle, R.Rounds[I].MeasuredPktPerKCycle);
+    EXPECT_EQ(O.PlanSignature, R.Rounds[I].PlanSignature);
+  }
+  // Calibration rounds show up as instrumented "calibrate" phases, and
+  // the report serializes the rounds.
+  bool SawCalibrate = false;
+  for (const obs::PassRecord &P : Obs.passes())
+    SawCalibrate |= P.Name == "calibrate";
+  EXPECT_TRUE(SawCalibrate);
+  std::ostringstream OS;
+  Obs.writeJson(OS);
+  EXPECT_NE(OS.str().find("\"feedbackRounds\""), std::string::npos);
+}
+
+TEST(OptReport, CrossCheckL3SwitchLadder) {
+  // Real compiles + short simulations at the four ladder levels Table 1's
+  // cross-check reconciles; this is the bench harness in miniature.
+  apps::AppBundle App = apps::l3switch();
+  profile::Trace Traffic = App.makeTrace(0x717171, 256);
+  struct Row {
+    const char *Name;
+    driver::OptLevel Level;
+  };
+  const Row Rows[] = {{"+ -O1", driver::OptLevel::O1},
+                      {"+ PAC", driver::OptLevel::Pac},
+                      {"+ PHR", driver::OptLevel::Phr},
+                      {"+ SWC", driver::OptLevel::Swc}};
+  std::map<std::string, obs::LevelObs> Levels;
+  for (const Row &R : Rows) {
+    obs::CompileObserver Observer;
+    auto Compiled =
+        bench::compileApp(App, R.Level, /*NumMEs=*/2, true, &Observer);
+    ASSERT_NE(Compiled, nullptr) << R.Name;
+    bench::ForwardResult F =
+        bench::runForwarding(*Compiled, Traffic, 120'000);
+    const ixp::SimStats &S = F.Stats;
+    obs::LevelObs L;
+    L.Level = R.Name;
+    L.PktAccessesPerPkt = S.perPacket(0, cg::MemClass::PktRing) +
+                          S.perPacket(1, cg::MemClass::PktMeta) +
+                          S.perPacket(1, cg::MemClass::PktRing) +
+                          S.perPacket(2, cg::MemClass::PktData);
+    L.AppSramPerPkt = S.perPacket(1, cg::MemClass::App) +
+                      S.perPacket(1, cg::MemClass::AppCache) +
+                      S.perPacket(1, cg::MemClass::Stack);
+    obs::summarizeRemarks(Observer.Remarks, L);
+    Levels[R.Name] = L;
+  }
+
+  // PAC and SWC both claim to fire on L3-Switch; the summaries must have
+  // picked those claims up from the remark streams.
+  EXPECT_GT(Levels["+ PAC"].PacFired, 0u);
+  EXPECT_GT(Levels["+ SWC"].SwcCached, 0u);
+
+  obs::CrossCheckResult CC = obs::crossCheckTable1(
+      Levels["+ -O1"], Levels["+ PAC"], Levels["+ PHR"], Levels["+ SWC"]);
+  EXPECT_FALSE(CC.Findings.empty());
+  for (const obs::CrossCheckFinding &F : CC.Findings)
+    EXPECT_TRUE(F.Ok) << F.Check << ' ' << F.Levels << ": " << F.Detail;
+
+  // The harness itself flags the inconsistency it exists for: a fired
+  // claim whose measured rate went up instead of down.
+  obs::LevelObs BadO1 = Levels["+ -O1"], BadPac = Levels["+ PAC"];
+  BadPac.PktAccessesPerPkt = BadO1.PktAccessesPerPkt * 1.5;
+  obs::CrossCheckResult Bad = obs::crossCheckTable1(
+      BadO1, BadPac, Levels["+ PHR"], Levels["+ SWC"]);
+  EXPECT_FALSE(Bad.ok());
+}
+
+} // namespace

@@ -2,11 +2,13 @@
 
 #include "support/BitUtils.h"
 #include "support/Diagnostics.h"
+#include "support/Json.h"
 #include "support/Rng.h"
 #include "support/StringUtils.h"
 
 #include <gtest/gtest.h>
 #include <set>
+#include <sstream>
 
 using namespace sl;
 
@@ -76,6 +78,55 @@ TEST(Diagnostics, CollectsAndCounts) {
   EXPECT_NE(S.find("3:4: error: bad 42"), std::string::npos);
   D.clear();
   EXPECT_FALSE(D.hasErrors());
+}
+
+TEST(Json, EscapeQuotesAndBackslash) {
+  EXPECT_EQ(support::jsonEscape("plain"), "plain");
+  EXPECT_EQ(support::jsonEscape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(support::jsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(support::jsonEscape("C:\\path\\\"q\""), "C:\\\\path\\\\\\\"q\\\"");
+}
+
+TEST(Json, EscapeControlChars) {
+  EXPECT_EQ(support::jsonEscape("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(support::jsonEscape("cr\rtab\t"), "cr\\rtab\\t");
+  // Other control characters become \u00XX escapes.
+  EXPECT_EQ(support::jsonEscape(std::string_view("\x01", 1)), "\\u0001");
+  EXPECT_EQ(support::jsonEscape(std::string_view("\x1f", 1)), "\\u001f");
+  std::string WithNul("a\0b", 3);
+  EXPECT_EQ(support::jsonEscape(WithNul), "a\\u0000b");
+}
+
+TEST(Json, NonAsciiPassesThrough) {
+  // UTF-8 multibyte sequences are emitted verbatim (valid JSON as long
+  // as the stream is UTF-8, which ours is).
+  std::string Utf8 = "caf\xc3\xa9 \xe2\x82\xac";
+  EXPECT_EQ(support::jsonEscape(Utf8), Utf8);
+  // High bytes are not mistaken for control characters.
+  std::string High("\x80\xff", 2);
+  EXPECT_EQ(support::jsonEscape(High), High);
+}
+
+TEST(Json, WriterEscapesStringsInPlace) {
+  std::ostringstream OS;
+  {
+    support::JsonWriter W(OS, /*Pretty=*/false);
+    W.beginObject();
+    W.field("name", "a\"b\nc");
+    W.key("list");
+    W.beginArray();
+    W.value("x\ty");
+    W.value(uint64_t(7));
+    W.endArray();
+    W.endObject();
+  }
+  std::string S = OS.str();
+  EXPECT_NE(S.find("\"a\\\"b\\nc\""), std::string::npos);
+  EXPECT_NE(S.find("\"x\\ty\""), std::string::npos);
+  EXPECT_NE(S.find("7"), std::string::npos);
+  // The raw control characters must not leak into the output.
+  EXPECT_EQ(S.find('\n'), std::string::npos);
+  EXPECT_EQ(S.find('\t'), std::string::npos);
 }
 
 TEST(Rng, DeterministicAndUniformish) {
