@@ -72,10 +72,14 @@ inline ForwardResult runForwarding(const driver::CompiledApp &App,
 inline std::unique_ptr<driver::CompiledApp>
 compileApp(const apps::AppBundle &App, driver::OptLevel Level,
            unsigned NumMEs, bool StackOpt = true,
-           obs::CompileObserver *Observer = nullptr) {
+           obs::CompileObserver *Observer = nullptr, bool EnableNN = true,
+           unsigned CodeStoreInstrs = 0) {
   driver::CompileOptions Opts;
   Opts.Level = Level;
   Opts.Map.NumMEs = NumMEs;
+  Opts.Map.EnableNN = EnableNN;
+  if (CodeStoreInstrs)
+    Opts.Map.CodeStoreInstrs = CodeStoreInstrs;
   Opts.StackOpt = StackOpt;
   Opts.TxMetaFields = App.TxMetaFields;
   Opts.Observer = Observer;
@@ -92,12 +96,17 @@ compileApp(const apps::AppBundle &App, driver::OptLevel Level,
   return Compiled;
 }
 
-/// True when "--quick" appears in argv (shorter sweeps for CI).
-inline bool quickMode(int argc, char **argv) {
+/// True when \p Flag appears verbatim in argv.
+inline bool flagPresent(int argc, char **argv, const char *Flag) {
   for (int I = 1; I < argc; ++I)
-    if (std::strcmp(argv[I], "--quick") == 0)
+    if (std::strcmp(argv[I], Flag) == 0)
       return true;
   return false;
+}
+
+/// True when "--quick" appears in argv (shorter sweeps for CI).
+inline bool quickMode(int argc, char **argv) {
+  return flagPresent(argc, argv, "--quick");
 }
 
 /// Value of a "--flag <value>" pair or "--flag=value" in argv, or null

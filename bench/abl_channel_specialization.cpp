@@ -1,0 +1,184 @@
+//===- bench/abl_channel_specialization.cpp - NN-ring ablation ----------------==//
+//
+// Channel specialization ablation. Under a constrained code store the
+// mapper must pipeline instead of duplicating, and adjacent single-copy
+// stages qualify for next-neighbor rings: register-file transfers that
+// skip the scratch controller entirely. This ablation compares
+// NN-enabled against scratch-only compiles of the paper's three
+// applications on that constrained configuration.
+//
+// Options:
+//   --stats-json <file>  per-config rates, channel decisions (kind +
+//                        reason), and the full telemetry snapshot
+//                        (per-ring kind/wait/full-stall counters).
+//   --quick              shorter runs for CI.
+//
+// Exit status is nonzero when channel specialization stops paying off:
+// either no NN channel is lowered on any constrained config, or the best
+// measured gain over scratch-only drops below the acceptance threshold.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+using namespace sl;
+using namespace sl::bench;
+
+namespace {
+
+unsigned nnChannels(const driver::CompiledApp &App) {
+  unsigned N = 0;
+  for (const map::ChannelDecision &D : App.Plan.Channels)
+    if (D.Kind == map::ChannelKind::NextNeighbor)
+      ++N;
+  return N;
+}
+
+unsigned meStages(const driver::CompiledApp &App) {
+  unsigned N = 0;
+  for (const map::Aggregate &A : App.Plan.Aggregates)
+    if (!A.OnXScale)
+      ++N;
+  return N;
+}
+
+void writeChannels(support::JsonWriter &W, const map::MappingPlan &Plan) {
+  W.beginArray();
+  for (const map::ChannelDecision &D : Plan.Channels) {
+    W.beginObject();
+    W.field("chan", D.ChanId);
+    W.field("name", D.Name);
+    W.field("kind",
+            D.Kind == map::ChannelKind::NextNeighbor ? "nn" : "scratch");
+    W.field("reason", D.Reason);
+    if (D.Producer != ~0u)
+      W.field("producerSlot", uint64_t(Plan.Aggregates[D.Producer].Slot));
+    if (D.Consumer != ~0u)
+      W.field("consumerSlot", uint64_t(Plan.Aggregates[D.Consumer].Slot));
+    W.field("capacity", uint64_t(D.Capacity));
+    W.field("freq", D.Freq);
+    W.endObject();
+  }
+  W.endArray();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Quick = quickMode(argc, argv);
+  const char *StatsPath = argValue(argc, argv, "--stats-json");
+  uint64_t Cycles = Quick ? 150'000 : 600'000;
+  const char *StoreArg = argValue(argc, argv, "--store");
+  // Small enough to force pipelined plans (hot path split over MEs).
+  const unsigned Store = StoreArg ? unsigned(std::atoi(StoreArg)) : 512;
+  const double MinGain = 0.005; // Acceptance: best gain >= 0.5%.
+
+  // Few MEs keeps every pipeline stage at one copy — the single-producer/
+  // single-consumer shape NN rings require. More MEs let replication kick
+  // in and the mapper correctly falls back to scratch rings.
+  const unsigned MECounts[] = {2, 3, 4, 6};
+
+  std::printf("Channel specialization: NN rings vs scratch-only "
+              "(+SWC, %u-instr store)\n\n", Store);
+  std::printf("%-12s %4s %-10s %7s %5s %10s %7s %8s\n", "app", "MEs",
+              "channels", "stages", "nn", "pkts/kcyc", "Gbps", "gain");
+
+  std::ofstream StatsOS;
+  std::unique_ptr<support::JsonWriter> W;
+  if (StatsPath) {
+    StatsOS.open(StatsPath);
+    if (!StatsOS) {
+      std::fprintf(stderr, "cannot open %s for writing\n", StatsPath);
+      return 1;
+    }
+    W = std::make_unique<support::JsonWriter>(StatsOS);
+    W->beginObject();
+    W->field("bench", "abl_channel_specialization");
+    W->field("codeStoreInstrs", Store);
+    W->field("measuredCycles", Cycles);
+    W->key("configs");
+    W->beginArray();
+  }
+
+  bool AnyNN = false;
+  double BestGain = -1.0;
+  for (const apps::AppBundle &App : apps::allApps()) {
+    profile::Trace Traffic = App.makeTrace(0xC0FFEE, 512);
+    for (unsigned NumMEs : MECounts) {
+      auto Scratch = compileApp(App, driver::OptLevel::Swc, NumMEs,
+                                /*StackOpt=*/true, /*Observer=*/nullptr,
+                                /*EnableNN=*/false, Store);
+      auto NN = compileApp(App, driver::OptLevel::Swc, NumMEs,
+                           /*StackOpt=*/true, /*Observer=*/nullptr,
+                           /*EnableNN=*/true, Store);
+      if (!Scratch || !NN) {
+        std::printf("%-12s %4u %-10s\n", App.Name.c_str(), NumMEs,
+                    "(no fit)");
+        continue;
+      }
+      ForwardResult RS = runForwarding(*Scratch, Traffic, Cycles);
+      ForwardResult RN = runForwarding(*NN, Traffic, Cycles);
+      unsigned NNCh = nnChannels(*NN);
+      double Gain = RS.PktPerKCycle > 0.0
+                        ? RN.PktPerKCycle / RS.PktPerKCycle - 1.0
+                        : 0.0;
+      std::printf("%-12s %4u %-10s %7u %5s %10.2f %7.2f %8s\n",
+                  App.Name.c_str(), NumMEs, "scratch", meStages(*Scratch),
+                  "-", RS.PktPerKCycle, RS.Gbps, "-");
+      std::printf("%-12s %4u %-10s %7u %5u %10.2f %7.2f %+7.1f%%\n",
+                  App.Name.c_str(), NumMEs, "nn", meStages(*NN), NNCh,
+                  RN.PktPerKCycle, RN.Gbps, Gain * 100.0);
+      if (NNCh) {
+        AnyNN = true;
+        BestGain = std::max(BestGain, Gain);
+      }
+      if (W) {
+        for (int Mode = 0; Mode != 2; ++Mode) {
+          const driver::CompiledApp &A = Mode ? *NN : *Scratch;
+          const ForwardResult &R = Mode ? RN : RS;
+          W->beginObject();
+          W->field("app", App.Name);
+          W->field("mes", NumMEs);
+          W->field("mode", Mode ? "nn" : "scratch");
+          W->field("stages", uint64_t(meStages(A)));
+          W->field("nnChannels", uint64_t(nnChannels(A)));
+          W->field("pktPerKCycle", R.PktPerKCycle);
+          W->field("gbps", R.Gbps);
+          W->key("channels");
+          writeChannels(*W, A.Plan);
+          W->key("telemetry");
+          ixp::writeTelemetry(*W, R.Stats, R.Telem);
+          W->endObject();
+        }
+      }
+    }
+  }
+
+  if (W) {
+    W->endArray();
+    W->field("anyNN", AnyNN);
+    W->field("bestGain", BestGain);
+    W->endObject();
+    StatsOS << '\n';
+    std::fprintf(stderr, "stats -> %s\n", StatsPath);
+  }
+
+  if (!AnyNN) {
+    std::fprintf(stderr, "\nFAIL: no next-neighbor channel was lowered on "
+                         "any constrained config\n");
+    return 1;
+  }
+  if (BestGain < MinGain) {
+    std::fprintf(stderr,
+                 "\nFAIL: best NN gain %.2f%% below the %.2f%% acceptance "
+                 "threshold\n",
+                 BestGain * 100.0, MinGain * 100.0);
+    return 1;
+  }
+  std::printf("\n(NN rings skip the scratch controller; best gain %+.1f%%)\n",
+              BestGain * 100.0);
+  return 0;
+}

@@ -36,7 +36,8 @@ namespace {
 void writeCosts(support::JsonWriter &W, const map::MeasuredCosts &MC) {
   W.beginObject();
   W.field("valid", MC.valid());
-  W.field("channelCostCycles", MC.ChannelCostCycles);
+  W.field("scratchChannelCostCycles", MC.ScratchChannelCostCycles);
+  W.field("nnChannelCostCycles", MC.NNChannelCostCycles);
   W.field("meInstrsPerIrInstr", MC.MeInstrsPerIrInstr);
   W.field("memAccessCycles", MC.MemAccessCycles);
   W.field("calibPackets", MC.CalibPackets);
@@ -112,7 +113,7 @@ int main(int argc, char **argv) {
   std::printf("(static model: %.0f cyc/mem, %.0f cyc/crossing, %.1fx "
               "lowering expansion)\n\n",
               map::MapParams().MemAccessCycles,
-              map::MapParams().ChannelCostCycles,
+              map::MapParams().ScratchChannelCostCycles,
               map::MapParams().MeInstrsPerIrInstr);
   std::printf("%-10s %6s %-10s %-18s %10s %7s %7s %6s %6s\n", "app", "store",
               "mapping", "plan", "pkts/kcyc", "Gbps", "gain", "rounds",

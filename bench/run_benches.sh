@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Runs the paper's forwarding benchmarks (Figures 13/14/15) plus the
-# feedback-mapping ablation, each with --stats-json, and consolidates
-# the per-bench outputs into one BENCH_results.json:
+# feedback-mapping and channel-specialization ablations, each with
+# --stats-json, and consolidates the per-bench outputs into one
+# BENCH_results.json:
 #
-#   gbps        per app, per optimization level, per ME count
-#   feedback    static vs feedback pkts/kcycle per app and code store
+#   gbps                  per app, per optimization level, per ME count
+#   feedback              static vs feedback pkts/kcycle per app and code store
+#   channelSpecialization NN vs scratch-only rings on constrained configs
 #
 # Usage: bench/run_benches.sh [--quick] [BUILD_DIR [OUT_DIR]]
 #   --quick    shorter simulations (CI mode), forwarded to every bench
@@ -39,6 +41,7 @@ run fig13_l3switch
 run fig14_firewall
 run fig15_mpls
 run abl_feedback_mapping
+run abl_channel_specialization
 
 python3 - "$OUT_DIR" <<'EOF'
 import json, os, sys
@@ -87,6 +90,34 @@ results["feedback"] = {
     ],
 }
 
+# Channel-specialization ablation: NN rings vs scratch-only on the
+# code-store-constrained configs, with a per-channel kind summary.
+cs = load("abl_channel_specialization")
+by_config = {}
+for c in cs["configs"]:
+    key = (c["app"], c["mes"])
+    by_config.setdefault(key, {})[c["mode"]] = c
+results["channelSpecialization"] = {
+    "codeStoreInstrs": cs["codeStoreInstrs"],
+    "measuredCycles": cs["measuredCycles"],
+    "anyNN": cs["anyNN"],
+    "bestGain": cs["bestGain"],
+    "configs": [
+        {
+            "app": app,
+            "mes": mes,
+            "scratchPktPerKCycle": pair["scratch"]["pktPerKCycle"],
+            "nnPktPerKCycle": pair["nn"]["pktPerKCycle"],
+            "nnChannels": pair["nn"]["nnChannels"],
+            "channelKinds": {
+                ch["name"]: ch["kind"] for ch in pair["nn"]["channels"]
+            },
+        }
+        for (app, mes), pair in sorted(by_config.items())
+        if "scratch" in pair and "nn" in pair
+    ],
+}
+
 path = os.path.join(out_dir, "BENCH_results.json")
 with open(path, "w") as f:
     json.dump(results, f, indent=2)
@@ -95,5 +126,9 @@ print(f"consolidated -> {path}")
 
 if not fb["feedbackAtLeastStatic"]:
     print("FAIL: feedback mapping regressed below static", file=sys.stderr)
+    sys.exit(1)
+if not cs["anyNN"]:
+    print("FAIL: no NN channel lowered on any constrained config",
+          file=sys.stderr)
     sys.exit(1)
 EOF

@@ -3,6 +3,8 @@
 #ifndef SL_CG_CGCONFIG_H
 #define SL_CG_CGCONFIG_H
 
+#include <set>
+
 namespace sl::obs {
 class RemarkEmitter;
 }
@@ -43,6 +45,12 @@ struct CgConfig {
   /// the half of packet handling removal that lives in code generation).
   /// Null disables; codegen decisions never depend on it. Not owned.
   obs::RemarkEmitter *Rem = nullptr;
+
+  /// Channel ids lowered to next-neighbor rings (placement decisions);
+  /// channel_put on one of these emits a RingPut marked NNRing so WCET
+  /// and the simulator price it as a register access, not a scratch
+  /// transaction. Empty = every channel is a scratch ring.
+  std::set<unsigned> NNChannels;
 };
 
 } // namespace sl::cg

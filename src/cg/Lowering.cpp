@@ -1417,6 +1417,10 @@ void Lowerer::lowerInstr(ir::Instr *I) {
     P.Class = MemClass::PktRing;
     P.SrcA = Ctx->HReg;
     P.Ring = I->ChanId == 0 ? rts::TxRing : rts::ringOfChannel(I->ChanId);
+    if (I->ChanId != 0 && Cfg.NNChannels.count(I->ChanId)) {
+      P.NNRing = true;
+      P.Comment = "nn ring";
+    }
     emit(std::move(P));
     return;
   }
@@ -1689,6 +1693,10 @@ LoweredAggregate Lowerer::run(const std::vector<RootInput> &Roots,
     G.Class = MemClass::PktRing;
     G.Dst = reg();
     G.Ring = Roots[K].Ring;
+    if (Roots[K].NN) {
+      G.NNRing = true;
+      G.Comment = "nn ring";
+    }
     int H = emit(std::move(G)).Dst;
     int GotBB = newBlock("got." + Roots[K].Root->name());
     int NextBB = newBlock("poll.next");

@@ -24,6 +24,7 @@ namespace sl::cg {
 struct RootInput {
   ir::Function *Root = nullptr;
   unsigned Ring = 0;
+  bool NN = false; ///< The feeding ring is a next-neighbor ring.
 };
 
 /// Stack slot descriptor produced by lowering / register allocation and

@@ -117,6 +117,9 @@ struct MInstr {
 
   unsigned CamBase = 0, CamSize = 0;
   unsigned Ring = 0;
+  /// RingGet/RingPut: the ring is a next-neighbor register ring (one-hop
+  /// ME-to-ME path; a register access, not a scratch transaction).
+  bool NNRing = false;
 
   bool LmFast = false; ///< Offset-addressable Local Memory access.
 

@@ -33,6 +33,11 @@ double instrCost(const MInstr &I, const ixp::ChipParams &Chip) {
     return 1.0;
   case MOp::RingGet:
   case MOp::RingPut:
+    // Next-neighbor rings are a register access; scratch rings pay a
+    // full scratch transaction.
+    if (I.NNRing)
+      return 1.0 + double(Chip.NNRingAccessCycles);
+    return memCost(Chip.Scratch, 1);
   case MOp::AtomicTestSet:
   case MOp::AtomicClear:
   case MOp::RtsPktDrop:

@@ -4,6 +4,7 @@
 
 #include "cg/Lowering.h"
 #include "ir/ASTLower.h"
+#include "map/Placement.h"
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
 #include "opt/Passes.h"
@@ -11,6 +12,7 @@
 #include "pktopt/Phr.h"
 #include "pktopt/Soar.h"
 
+#include <algorithm>
 #include <cassert>
 #include <iostream>
 
@@ -159,6 +161,42 @@ std::unique_ptr<CompiledApp> buildOnce(const std::string &Source,
   }
   maybeDumpIr(Opts, "aggregate-formation", &M);
 
+  // Placement + channel-implementation selection: order aggregates onto
+  // physical ME slots, lower adjacent single-producer/single-consumer
+  // channels to next-neighbor rings, re-price the winners. Runs after
+  // applyPlan so only real crossings remain.
+  {
+    PhaseScope P(Obs, "placement", &M);
+    map::MapParams MP = Opts.Map;
+    MP.MeInstrsPerIrInstr = SizeFactor;
+    if (Opts.Measured.valid()) {
+      map::MeasuredCostModel CM(App->Prof, MP, Opts.Measured,
+                                SizeFactor / Opts.Map.MeInstrsPerIrInstr);
+      map::placeAggregates(M, App->Prof, MP, CM, App->Plan);
+    } else {
+      map::StaticCostModel CM(App->Prof, MP);
+      map::placeAggregates(M, App->Prof, MP, CM, App->Plan);
+    }
+    if (Rem) {
+      auto AggName = [&](unsigned I) -> std::string {
+        if (I >= App->Plan.Aggregates.size())
+          return "?";
+        const map::Aggregate &A = App->Plan.Aggregates[I];
+        return A.Funcs.empty() ? "?" : A.Funcs.front()->name();
+      };
+      for (const map::ChannelDecision &D : App->Plan.Channels) {
+        bool NN = D.Kind == map::ChannelKind::NextNeighbor;
+        Rem->remark("placement",
+                    NN ? obs::RemarkKind::Fired : obs::RemarkKind::Missed,
+                    D.Reason)
+            .arg("channel", D.Name)
+            .arg("producer", AggName(D.Producer))
+            .arg("consumer", AggName(D.Consumer))
+            .arg("freq", D.Freq);
+      }
+    }
+  }
+
   // The ME has no call hardware: all remaining calls are flattened.
   {
     PhaseScope P(Obs, "inline", &M);
@@ -234,6 +272,9 @@ std::unique_ptr<CompiledApp> buildOnce(const std::string &Source,
   Cfg.Swc = atLeast(Opts.Level, OptLevel::Swc);
   Cfg.StackOpt = Opts.StackOpt;
   Cfg.Rem = Rem;
+  for (const map::ChannelDecision &D : App->Plan.Channels)
+    if (D.Kind == map::ChannelKind::NextNeighbor)
+      Cfg.NNChannels.insert(D.ChanId);
 
   PhaseScope CodegenPhase(Obs, "codegen", &M);
   for (unsigned AggIdx = 0; AggIdx != App->Plan.Aggregates.size();
@@ -252,6 +293,7 @@ std::unique_ptr<CompiledApp> buildOnce(const std::string &Source,
         assert(C && C->Dest && "wired channel");
         R.Root = C->Dest;
         R.Ring = rts::ringOfChannel(Chan);
+        R.NN = Cfg.NNChannels.count(Chan) != 0;
       }
       Roots.push_back(R);
       Rings.push_back(R.Ring);
@@ -336,11 +378,60 @@ sl::driver::makeSimulator(const CompiledApp &App, ixp::ChipParams Chip) {
     assert(G && "unknown table global");
     Sim->writeGlobal(G, T.Index, T.Value);
   }
-  for (const AggregateBinary &Bin : App.Images) {
+  // Load ME images in physical-slot order so core index == planned slot
+  // (the plan keeps MEs first and XScale last; unplaced images keep
+  // their original order). Next-neighbor ring validation in the
+  // simulator depends on this correspondence.
+  std::vector<const AggregateBinary *> Order;
+  Order.reserve(App.Images.size());
+  for (const AggregateBinary &Bin : App.Images)
+    Order.push_back(&Bin);
+  auto SlotOf = [&](const AggregateBinary *B) -> unsigned {
+    if (B->PlanIndex >= App.Plan.Aggregates.size())
+      return ~0u;
+    return App.Plan.Aggregates[B->PlanIndex].Slot;
+  };
+  std::stable_sort(Order.begin(), Order.end(),
+                   [&](const AggregateBinary *A, const AggregateBinary *B) {
+                     if (A->OnXScale != B->OnXScale)
+                       return A->OnXScale < B->OnXScale;
+                     return SlotOf(A) < SlotOf(B);
+                   });
+  for (const AggregateBinary *Bin : Order) {
     bool Loaded =
-        Sim->loadAggregate(Bin.Code, Bin.Rings, Bin.Copies, Bin.OnXScale);
+        Sim->loadAggregate(Bin->Code, Bin->Rings, Bin->Copies, Bin->OnXScale);
     assert(Loaded && "compiler produced an unloadable mapping");
     (void)Loaded;
+  }
+
+  // Apply the placement pass's channel decisions: implementation, labels
+  // and endpoint slots per ring.
+  for (const map::ChannelDecision &D : App.Plan.Channels) {
+    auto AggLabel = [&](unsigned I) -> std::string {
+      if (I >= App.Plan.Aggregates.size() ||
+          App.Plan.Aggregates[I].Funcs.empty())
+        return {};
+      return App.Plan.Aggregates[I].Funcs.front()->name();
+    };
+    auto AggSlot = [&](unsigned I) -> int {
+      if (I >= App.Plan.Aggregates.size())
+        return -1;
+      unsigned S = App.Plan.Aggregates[I].Slot;
+      return S == ~0u ? -1 : static_cast<int>(S);
+    };
+    ixp::RingConfig RC;
+    RC.Impl = D.Kind == map::ChannelKind::NextNeighbor
+                  ? ixp::RingImpl::NextNeighbor
+                  : ixp::RingImpl::Scratch;
+    RC.Capacity = D.Capacity;
+    RC.Name = D.Name;
+    RC.Producer = AggLabel(D.Producer);
+    RC.Consumer = AggLabel(D.Consumer);
+    RC.ProducerME = AggSlot(D.Producer);
+    RC.ConsumerME = AggSlot(D.Consumer);
+    bool Ok = Sim->configureRing(rts::ringOfChannel(D.ChanId), RC);
+    assert(Ok && "placement produced an invalid ring configuration");
+    (void)Ok;
   }
   return Sim;
 }

@@ -19,6 +19,8 @@ std::string sl::driver::planSignature(const map::MappingPlan &Plan) {
       Names.push_back(F->name());
     std::sort(Names.begin(), Names.end());
     std::string L = A.OnXScale ? "XS" : "ME";
+    if (!A.OnXScale && A.Slot != ~0u)
+      L += "@" + std::to_string(A.Slot); // Physical placement is plan state.
     L += " x" + std::to_string(A.OnXScale ? 1u : A.Copies) + ":";
     for (const std::string &N : Names)
       L += " " + N;
@@ -86,35 +88,47 @@ map::MeasuredCosts sl::driver::attributeCosts(const CompiledApp &App,
   std::vector<ixp::GroupTelemetry> GT =
       ixp::attributeToGroups(Telem, coreGroupsOf(App));
 
-  // Ring operations issued by MEs: both ends of every successful transfer
-  // minus the Rx/Tx devices' (uncharged) ends, plus empty polls and full
-  // puts — those pay the scratch access and its wait all the same.
-  uint64_t Enq = 0, Deq = 0, Empty = 0, Full = 0;
+  // Ring operations issued by MEs, split by ring implementation: both
+  // ends of every successful transfer minus the Rx/Tx devices'
+  // (uncharged) ends, plus empty polls and full puts — those pay the
+  // access and its wait all the same. Each ring's WaitCycles already
+  // counts only thread stalls, so per-kind costs fall out directly.
+  uint64_t ScratchOps = 0, NNOps = 0;
+  uint64_t ScratchWait = 0, NNWait = 0;
   for (size_t Ri = 0; Ri != Telem.Rings.size(); ++Ri) {
-    Enq += Telem.Rings[Ri].Enqueues;
-    Deq += Telem.Rings[Ri].Dequeues;
-    Empty += Telem.Rings[Ri].EmptyGets;
-    if (Ri != rts::RxRing) // Rx-ring full-stalls are the Rx device's.
-      Full += Telem.Rings[Ri].FullStalls;
-  }
-  int64_t MEOps = int64_t(Enq + Deq + Empty + Full) -
-                  int64_t(Stats.RxInjected + Stats.TxPackets);
-  if (MEOps < 0)
-    MEOps = 0;
-
-  uint64_t RingWaitTotal = 0, MemStallTotal = 0;
-  for (const ixp::GroupTelemetry &G : GT)
-    if (!G.OnXScale) {
-      RingWaitTotal += G.RingWait;
-      MemStallTotal += G.MemStall;
+    const ixp::RingTelemetry &RT = Telem.Rings[Ri];
+    uint64_t Ops = RT.Enqueues + RT.Dequeues + RT.EmptyGets + RT.FullStalls;
+    uint64_t DeviceOps = 0;
+    if (Ri == rts::RxRing) // Rx enqueues + full-stalls are the device's.
+      DeviceOps = RT.Enqueues + RT.FullStalls;
+    else if (Ri == rts::TxRing) // Tx dequeues are the device's.
+      DeviceOps = RT.Dequeues;
+    Ops -= std::min(Ops, DeviceOps);
+    if (RT.Impl == ixp::RingImpl::NextNeighbor) {
+      NNOps += Ops;
+      NNWait += RT.WaitCycles;
+    } else {
+      ScratchOps += Ops;
+      ScratchWait += RT.WaitCycles;
     }
-  if (MEOps > 0) // A crossing is one put plus one get.
-    MC.ChannelCostCycles = 2.0 * double(RingWaitTotal) / double(MEOps);
+  }
+  if (ScratchOps > 0) // A crossing is one put plus one get.
+    MC.ScratchChannelCostCycles =
+        2.0 * double(ScratchWait) / double(ScratchOps);
+  if (NNOps > 0)
+    MC.NNChannelCostCycles = 2.0 * double(NNWait) / double(NNOps);
+
+  uint64_t MemStallTotal = 0;
+  for (const ixp::GroupTelemetry &G : GT)
+    if (!G.OnXScale)
+      MemStallTotal += G.MemStall;
 
   uint64_t Accesses = 0;
   for (unsigned Sp = 0; Sp != 3; ++Sp)
     Accesses += Telem.Units[Sp].Accesses;
-  int64_t MemOps = int64_t(Accesses) - MEOps; // Non-ring accesses.
+  // Non-ring accesses: NN ring ops never touch a controller, so only the
+  // scratch-ring ops are subtracted from the unit totals.
+  int64_t MemOps = int64_t(Accesses) - int64_t(ScratchOps);
   if (MemOps > 0)
     MC.MemAccessCycles = double(MemStallTotal) / double(MemOps);
 

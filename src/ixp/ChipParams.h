@@ -58,6 +58,13 @@ struct ChipParams {
   unsigned RxBatchPerCycle = 8;
   unsigned BranchPenaltyCycles = 1;
   unsigned LmSlowCycles = 3; ///< Non-offset-addressed Local Memory access.
+
+  // Next-neighbor registers: each ME's 128-word register file is writable
+  // by the physically previous ME only (ME i -> ME i+1). Used as a ring,
+  // a put/get is a plain register access — a few cycles, no shared
+  // controller, no occupancy charged to the scratch unit.
+  unsigned NNRingWords = 128;      ///< NN register file, words per ME pair.
+  unsigned NNRingAccessCycles = 3; ///< Put or get completion latency.
 };
 
 } // namespace sl::ixp

@@ -69,10 +69,49 @@ Simulator::Simulator(const ChipParams &P, const rts::MemoryMap &Map)
 
   Rings.resize(std::max(Map.NumRings, 2u));
   RingStats.resize(Rings.size());
+  RingCap.assign(Rings.size(), P.RingCapacity);
+  for (size_t R = 0; R != RingStats.size(); ++R) {
+    RingStats[R].Capacity = P.RingCapacity;
+    RingStats[R].Name = R == rts::RxRing   ? "rx"
+                        : R == rts::TxRing ? "tx"
+                                           : "ring" + std::to_string(R);
+  }
+  RingStats[rts::RxRing].Producer = "rx-device";
+  RingStats[rts::TxRing].Consumer = "tx-device";
   // Handle 0 is the null handle; pool entries start at index 0 but we skip
   // the one whose address would be 0 (MetaPoolBase is never 0).
   for (unsigned I = 0; I != Map.NumPktHandles; ++I)
     FreeHandles.push_back(Map.MetaPoolBase + I * Map.MetaBlockBytes);
+}
+
+bool Simulator::configureRing(unsigned Ring, const RingConfig &C) {
+  if (Ring >= Rings.size())
+    return false;
+  unsigned Cap = C.Capacity;
+  if (C.Impl == RingImpl::NextNeighbor) {
+    // NN rings are the one-hop register path: they exist only from ME i
+    // to ME i+1 and hold at most the NN register file.
+    if (C.ProducerME < 0 || C.ConsumerME != C.ProducerME + 1 ||
+        static_cast<unsigned>(C.ConsumerME) >= P.ProgrammableMEs)
+      return false;
+    if (Cap == 0)
+      Cap = P.NNRingWords;
+    if (Cap > P.NNRingWords)
+      return false;
+  } else if (Cap == 0) {
+    Cap = P.RingCapacity;
+  }
+  RingCap[Ring] = Cap;
+  RingTelemetry &RS = RingStats[Ring];
+  RS.Impl = C.Impl;
+  RS.Capacity = Cap;
+  if (!C.Name.empty())
+    RS.Name = C.Name;
+  if (!C.Producer.empty())
+    RS.Producer = C.Producer;
+  if (!C.Consumer.empty())
+    RS.Consumer = C.Consumer;
+  return true;
 }
 
 unsigned Simulator::threadsLoaded() const {
@@ -306,7 +345,7 @@ void Simulator::rxInject() {
     return;
   auto &Ring = Rings[rts::RxRing];
   for (unsigned K = 0; K != P.RxBatchPerCycle; ++K) {
-    if (Ring.size() >= P.RingCapacity) {
+    if (Ring.size() >= RingCap[rts::RxRing]) {
       ++RingStats[rts::RxRing].FullStalls;
       return;
     }
@@ -420,6 +459,7 @@ bool Simulator::execInstr(Core &C, Thread &T) {
   ++T.Instrs;
   ++T.Busy; // The issue cycle; blocked cycles are attributed below.
   StallKind SK = StallKind::None;
+  int StallRing = -1; ///< Ring charged for a StallKind::Ring wait.
   unsigned NextPC = T.PC + 1;
   bool Block = false;
 
@@ -609,14 +649,20 @@ bool Simulator::execInstr(Core &C, Thread &T) {
       ++RingStats[I.Ring].EmptyGets;
     }
     setGpr(I.Dst, H);
-    T.ReadyAt = memAccess(SpScratch, 1, I.Class, I.Ring * 64, !C.XScale);
+    // Next-neighbor rings are register reads: a few cycles, no shared
+    // scratch-controller transaction (and no Table-1 access counted).
+    if (RingStats[I.Ring].Impl == RingImpl::NextNeighbor)
+      T.ReadyAt = C.XScale ? Now + 1 : Now + P.NNRingAccessCycles;
+    else
+      T.ReadyAt = memAccess(SpScratch, 1, I.Class, I.Ring * 64, !C.XScale);
     SK = StallKind::Ring;
+    StallRing = static_cast<int>(I.Ring);
     Block = true;
     break;
   }
   case MOp::RingPut: {
     auto &Ring = Rings[I.Ring];
-    if (Ring.size() < P.RingCapacity) {
+    if (Ring.size() < RingCap[I.Ring]) {
       Ring.push_back(gpr(I.SrcA));
       ringEnqueued(I.Ring, CurME, CurThread);
     } else {
@@ -624,8 +670,12 @@ bool Simulator::execInstr(Core &C, Thread &T) {
       ++Stats.RxDroppedFull;
       ++RingStats[I.Ring].FullStalls;
     }
-    T.ReadyAt = memAccess(SpScratch, 1, I.Class, I.Ring * 64, !C.XScale);
+    if (RingStats[I.Ring].Impl == RingImpl::NextNeighbor)
+      T.ReadyAt = C.XScale ? Now + 1 : Now + P.NNRingAccessCycles;
+    else
+      T.ReadyAt = memAccess(SpScratch, 1, I.Class, I.Ring * 64, !C.XScale);
     SK = StallKind::Ring;
+    StallRing = static_cast<int>(I.Ring);
     Block = true;
     break;
   }
@@ -670,12 +720,15 @@ bool Simulator::execInstr(Core &C, Thread &T) {
   // past the end of the run is clamped back out in telemetry().
   if (T.ReadyAt > Now + 1) {
     uint64_t StallCycles = T.ReadyAt - (Now + 1);
-    if (SK == StallKind::Mem)
+    if (SK == StallKind::Mem) {
       T.MemStall += StallCycles;
-    else if (SK == StallKind::Ring)
+    } else if (SK == StallKind::Ring) {
       T.RingWait += StallCycles;
-    else
+      if (StallRing >= 0)
+        RingStats[StallRing].WaitCycles += StallCycles;
+    } else {
       T.Busy += StallCycles; // Execution latency (mul, branch, slow LM).
+    }
   }
   T.LastStall = SK;
 

@@ -70,10 +70,32 @@ struct SimStats {
   }
 };
 
+/// How one ring is realized and labelled. Applied by configureRing();
+/// rings default to anonymous scratch rings at ChipParams::RingCapacity.
+struct RingConfig {
+  RingImpl Impl = RingImpl::Scratch;
+  unsigned Capacity = 0; ///< 0 = implementation default (scratch ring
+                         ///< capacity, or NNRingWords for NN).
+  std::string Name;
+  std::string Producer;
+  std::string Consumer;
+  // Physical ME slots of the endpoints. NN rings exist only between
+  // physically adjacent MEs (producer slot + 1 == consumer slot); a
+  // configureRing() request violating that is rejected.
+  int ProducerME = -1;
+  int ConsumerME = -1;
+};
+
 /// The simulated chip.
 class Simulator {
 public:
   Simulator(const ChipParams &P, const rts::MemoryMap &Map);
+
+  /// Declares \p Ring's implementation, capacity and labels. Returns
+  /// false without changing anything when the request is invalid — in
+  /// particular a next-neighbor ring whose endpoints are not physically
+  /// adjacent MEs (ME i -> ME i+1) or that exceeds the NN register file.
+  bool configureRing(unsigned Ring, const RingConfig &C);
 
   /// Loads \p Code onto \p Copies MEs. XScale aggregates run on a
   /// dedicated management core instead. Returns false (loading nothing)
@@ -206,7 +228,8 @@ private:
   std::vector<std::unique_ptr<Core>> Cores;
   std::vector<std::unique_ptr<cg::FlatCode>> OwnedCode;
   std::vector<std::deque<uint32_t>> Rings;
-  std::vector<RingTelemetry> RingStats;
+  std::vector<RingTelemetry> RingStats; ///< Holds per-ring identity too.
+  std::vector<unsigned> RingCap;        ///< Effective capacity per ring.
   std::vector<uint32_t> FreeHandles;
 
   std::function<const SimPacket *(uint64_t)> Traffic;

@@ -117,11 +117,17 @@ void sl::ixp::writeTelemetry(JsonWriter &W, const SimStats &Stats,
     const RingTelemetry &T = Telem.Rings[R];
     W.beginObject();
     W.field("index", uint64_t(R));
+    W.field("name", T.Name.c_str());
+    W.field("kind", ringImplName(T.Impl));
+    W.field("producer", T.Producer.c_str());
+    W.field("consumer", T.Consumer.c_str());
+    W.field("capacity", T.Capacity);
     W.field("enqueues", T.Enqueues);
     W.field("dequeues", T.Dequeues);
     W.field("maxDepth", T.MaxDepth);
     W.field("fullStalls", T.FullStalls);
     W.field("emptyGets", T.EmptyGets);
+    W.field("waitCycles", T.WaitCycles);
     W.endObject();
   }
   W.endArray();

@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 namespace sl::support {
@@ -107,13 +108,34 @@ struct MemUnitTelemetry {
   }
 };
 
-/// One scratch ring.
+/// How a ring is realized on the chip. Scratch rings go through the shared
+/// scratch controller; next-neighbor rings are per-adjacent-ME-pair
+/// register files with no shared-unit occupancy.
+enum class RingImpl : uint8_t {
+  Scratch,
+  NextNeighbor,
+};
+
+inline const char *ringImplName(RingImpl I) {
+  return I == RingImpl::NextNeighbor ? "nn" : "scratch";
+}
+
+/// One ring (scratch or next-neighbor).
 struct RingTelemetry {
   uint64_t Enqueues = 0;
   uint64_t Dequeues = 0;
   uint64_t MaxDepth = 0;    ///< High-water occupancy.
   uint64_t FullStalls = 0;  ///< Enqueue attempts refused: ring at capacity.
   uint64_t EmptyGets = 0;   ///< Gets that returned the null handle.
+  uint64_t WaitCycles = 0;  ///< Thread cycles stalled on this ring's ops.
+
+  // Identity (filled by Simulator::configureRing; defaults for the two
+  // device rings and any unconfigured channel ring).
+  RingImpl Impl = RingImpl::Scratch;
+  uint64_t Capacity = 0; ///< Handles the ring holds before refusing puts.
+  std::string Name;      ///< Channel name ("rx"/"tx" for device rings).
+  std::string Producer;  ///< Producing aggregate (or device) label.
+  std::string Consumer;  ///< Consuming aggregate (or device) label.
 };
 
 /// Snapshot of everything above. Cheap to copy; taken on demand so the

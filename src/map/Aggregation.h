@@ -37,7 +37,13 @@ struct MapParams {
   double CodeStoreBudget = 0.85;    ///< Fraction usable by one aggregate.
   double MeInstrsPerIrInstr = 3.0;  ///< Lowering expansion estimate.
   double MemAccessCycles = 90.0;    ///< Avg memory latency for cost model.
-  double ChannelCostCycles = 120.0; ///< Ring put+get per crossing.
+  // Per-kind channel costs (ring put + get per crossing). Defaults match
+  // deriveChannelCosts(ixp::ChipParams{}) — a scratch crossing pays the
+  // scratch latency on each side, an NN crossing a register access each
+  // side. Formation prices crossings at the scratch cost (adjacency is
+  // unknown until placement); placement re-prices the NN winners.
+  double ScratchChannelCostCycles = 120.0;
+  double NNChannelCostCycles = 6.0;
   double XScaleFreqThreshold = 0.02; ///< Colder PPFs go to the XScale.
   double DominanceRatio = 1.8;      ///< EXEC_TIME(dom) >> next threshold.
   bool AllowDuplication = true;     ///< Ablation knobs.
@@ -45,6 +51,12 @@ struct MapParams {
   /// Replicate the final pipeline over all remaining MEs. Disable for
   /// deterministic single-copy runs (functional comparisons).
   bool Replicate = true;
+  /// Channel specialization: place aggregates on physical ME slots and
+  /// lower adjacent single-producer/single-consumer channels to
+  /// next-neighbor rings. Off = every crossing is a scratch ring and
+  /// placement is the identity (pre-specialization behavior).
+  bool EnableNN = true;
+  unsigned NNRingWords = 128; ///< NN register file capacity (handles).
 };
 
 /// One aggregate: a set of PPFs (and the helpers they call) co-located on
@@ -58,12 +70,38 @@ struct Aggregate {
   unsigned Copies = 1; ///< MEs this aggregate is loaded onto.
   double CostPerPacket = 0.0; ///< Estimated cycles per packet.
   double EstMeInstrs = 0.0;   ///< Estimated code-store footprint.
+  /// Physical ME slot of the first copy (copies occupy consecutive
+  /// slots). ~0u until the placement pass runs; XScale aggregates keep it.
+  unsigned Slot = ~0u;
+};
+
+/// Channel implementation chosen by the placement pass.
+enum class ChannelKind : uint8_t {
+  Scratch,      ///< Shared scratch ring.
+  NextNeighbor, ///< Per-adjacent-ME-pair NN register ring.
+};
+
+/// One cross-aggregate channel's lowering decision, with the reason in
+/// remark-taxonomy form ("channel-lowered-nn", "nn-missed-non-adjacent",
+/// "nn-missed-multi-consumer", ...).
+struct ChannelDecision {
+  unsigned ChanId = 0;
+  std::string Name;
+  ChannelKind Kind = ChannelKind::Scratch;
+  std::string Reason;
+  unsigned Producer = ~0u; ///< Producing aggregate index (~0u = none/Rx).
+  unsigned Consumer = ~0u; ///< Consuming aggregate index.
+  unsigned Capacity = 0;   ///< Ring capacity granted (handles).
+  double Freq = 0.0;       ///< Traversals per packet (profile).
 };
 
 struct MappingPlan {
   std::vector<Aggregate> Aggregates; ///< ME aggregates first, then XScale.
   double PredictedThroughput = 0.0;  ///< Relative (packets per cycle).
   std::string Log;                   ///< Human-readable decision trail.
+  /// Per-channel implementation decisions (filled by placeAggregates;
+  /// empty means every channel is a scratch ring).
+  std::vector<ChannelDecision> Channels;
 
   /// The aggregate containing \p F, or ~0u. applyPlan calls this per
   /// instruction, so the membership index is built lazily on first use

@@ -37,8 +37,13 @@ public:
   /// plus memory stalls; channel crossings are priced separately).
   virtual double funcCycles(const ir::Function *F) const = 0;
 
-  /// Ring put + get cycles per channel crossing between aggregates.
+  /// Ring put + get cycles per channel crossing between aggregates, for
+  /// a shared scratch ring. Formation prices every crossing at this
+  /// (conservative) rate; placement re-prices next-neighbor winners.
   virtual double channelCostCycles() const = 0;
+
+  /// Ring put + get cycles per crossing over a next-neighbor ring.
+  virtual double nnChannelCostCycles() const = 0;
 
   /// Lowered ME instructions per IR instruction (code-store estimate).
   virtual double meInstrsPerIrInstr() const = 0;
@@ -56,7 +61,12 @@ public:
   double funcCycles(const ir::Function *F) const override {
     return Prof.instrsPerPacket(F) + Prof.memPerPacket(F) * P.MemAccessCycles;
   }
-  double channelCostCycles() const override { return P.ChannelCostCycles; }
+  double channelCostCycles() const override {
+    return P.ScratchChannelCostCycles;
+  }
+  double nnChannelCostCycles() const override {
+    return P.NNChannelCostCycles;
+  }
   double meInstrsPerIrInstr() const override { return P.MeInstrsPerIrInstr; }
   const char *name() const override { return "static"; }
 
@@ -73,9 +83,11 @@ struct MeasuredCosts {
   /// Cycles per packet per PPF (thread-cycles: issue + memory stall).
   /// Helper costs are folded into the PPFs that call them.
   std::map<std::string, double> FuncCycles;
-  /// Measured ring put+get cycles per crossing (0 = no rings observed;
-  /// the model falls back to the static constant).
-  double ChannelCostCycles = 0.0;
+  /// Measured ring put+get cycles per crossing, split by channel
+  /// implementation (0 = that kind was not observed; the model falls
+  /// back to the static constant).
+  double ScratchChannelCostCycles = 0.0;
+  double NNChannelCostCycles = 0.0;
   /// Measured lowering expansion from the actual flattened images.
   double MeInstrsPerIrInstr = 0.0;
   /// Measured average memory-stall cycles per (non-ring) access.
@@ -102,8 +114,12 @@ public:
 
   double funcCycles(const ir::Function *F) const override;
   double channelCostCycles() const override {
-    return MC.ChannelCostCycles > 0.0 ? MC.ChannelCostCycles
-                                      : Fallback.channelCostCycles();
+    return MC.ScratchChannelCostCycles > 0.0 ? MC.ScratchChannelCostCycles
+                                             : Fallback.channelCostCycles();
+  }
+  double nnChannelCostCycles() const override {
+    return MC.NNChannelCostCycles > 0.0 ? MC.NNChannelCostCycles
+                                        : Fallback.nnChannelCostCycles();
   }
   double meInstrsPerIrInstr() const override {
     return MC.MeInstrsPerIrInstr * ExpansionScale;

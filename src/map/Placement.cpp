@@ -1,0 +1,220 @@
+//===- map/Placement.cpp - physical ME placement + channel selection ---------==//
+
+#include "map/Placement.h"
+
+#include "map/CostModel.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+using namespace sl;
+using namespace sl::map;
+using ir::Function;
+using ir::Op;
+
+namespace {
+
+/// All functions an aggregate executes: its PPFs plus the helpers they
+/// transitively call (puts can live in helpers).
+std::set<const Function *> memberClosure(const Aggregate &A) {
+  std::set<const Function *> Seen(A.Funcs.begin(), A.Funcs.end());
+  std::vector<const Function *> Work(A.Funcs.begin(), A.Funcs.end());
+  while (!Work.empty()) {
+    const Function *F = Work.back();
+    Work.pop_back();
+    for (const auto &BB : F->blocks())
+      for (const auto &I : BB->instrs())
+        if (I->op() == Op::Call && Seen.insert(I->Callee).second)
+          Work.push_back(I->Callee);
+  }
+  return Seen;
+}
+
+/// One surviving cross-aggregate channel.
+struct ChanEdge {
+  unsigned ChanId = 0;
+  const ir::Channel *Chan = nullptr;
+  unsigned Consumer = ~0u;
+  std::vector<unsigned> Producers; ///< Aggregates with put sites (sorted).
+  double Freq = 0.0;
+};
+
+double chanFreq(const profile::ProfileData &Prof, unsigned Id) {
+  auto It = Prof.ChannelPuts.find(Id);
+  if (It == Prof.ChannelPuts.end() || Prof.Packets == 0)
+    return 0.0;
+  return double(It->second) / double(Prof.Packets);
+}
+
+} // namespace
+
+void sl::map::placeAggregates(const ir::Module &M,
+                              const profile::ProfileData &Prof,
+                              const MapParams &P, const CostModel &CM,
+                              MappingPlan &Plan) {
+  Plan.Channels.clear();
+
+  // ME aggregates, in plan order (the plan keeps MEs first, XScale last).
+  std::vector<unsigned> MEAggs;
+  for (unsigned I = 0; I != Plan.Aggregates.size(); ++I)
+    if (!Plan.Aggregates[I].OnXScale)
+      MEAggs.push_back(I);
+
+  // Identity placement: slot = prefix sum of copies in plan order. This
+  // is both the EnableNN=false answer and the tie-break baseline, so a
+  // module with no NN opportunity keeps the pre-specialization load
+  // order exactly.
+  auto assignSlots = [&](const std::vector<unsigned> &Order) {
+    for (Aggregate &A : Plan.Aggregates)
+      A.Slot = ~0u;
+    unsigned Next = 0;
+    for (unsigned I : Order) {
+      Plan.Aggregates[I].Slot = Next;
+      Next += Plan.Aggregates[I].Copies;
+    }
+  };
+  assignSlots(MEAggs);
+
+  // Surviving cross-aggregate channels (run after applyPlan, so any put
+  // whose destination shares the aggregate is already a direct call).
+  std::vector<std::set<const Function *>> Members;
+  Members.reserve(Plan.Aggregates.size());
+  for (const Aggregate &A : Plan.Aggregates)
+    Members.push_back(memberClosure(A));
+
+  std::vector<ChanEdge> Edges;
+  for (const ir::Channel &C : M.Channels) {
+    if (C.Id == 0 || !C.Dest)
+      continue;
+    ChanEdge E;
+    E.ChanId = C.Id;
+    E.Chan = &C;
+    E.Consumer = Plan.aggregateOf(C.Dest);
+    E.Freq = chanFreq(Prof, C.Id);
+    for (unsigned A = 0; A != Plan.Aggregates.size(); ++A) {
+      if (A == E.Consumer)
+        continue; // Intra-aggregate puts are calls by now.
+      bool Puts = false;
+      for (const Function *F : Members[A])
+        for (const auto &BB : F->blocks())
+          for (const auto &I : BB->instrs())
+            Puts |= (I->op() == Op::ChannelPut && I->ChanId == C.Id);
+      if (Puts)
+        E.Producers.push_back(A);
+    }
+    if (E.Consumer == ~0u || E.Producers.empty())
+      continue; // Dead or fully internalized channel: no ring needed.
+    Edges.push_back(std::move(E));
+  }
+
+  // Capacity allocation order: hottest first, id as the deterministic
+  // tie-break.
+  std::sort(Edges.begin(), Edges.end(),
+            [](const ChanEdge &A, const ChanEdge &B) {
+              if (A.Freq != B.Freq)
+                return A.Freq > B.Freq;
+              return A.ChanId < B.ChanId;
+            });
+
+  // Walks the edges under a slot assignment; returns the total NN-lowered
+  // traffic and (optionally) records the per-channel decisions.
+  auto evaluate = [&](std::vector<ChannelDecision> *Out) {
+    double Score = 0.0;
+    std::set<unsigned> LinkUsed; // Producer slot of each granted NN ring.
+    for (const ChanEdge &E : Edges) {
+      ChannelDecision D;
+      D.ChanId = E.ChanId;
+      D.Name = E.Chan->Name;
+      D.Consumer = E.Consumer;
+      D.Producer = E.Producers.front();
+      D.Freq = E.Freq;
+      D.Kind = ChannelKind::Scratch;
+
+      const Aggregate &Cons = Plan.Aggregates[E.Consumer];
+      const Aggregate &Prod = Plan.Aggregates[D.Producer];
+      if (!P.EnableNN) {
+        D.Reason = "nn-disabled";
+      } else if (Cons.OnXScale || Prod.OnXScale) {
+        D.Reason = "nn-missed-xscale";
+      } else if (E.Producers.size() > 1 || Prod.Copies > 1) {
+        D.Reason = "nn-missed-multi-producer";
+      } else if (Cons.Copies > 1) {
+        // The consumer is replicated over several MEs: every copy must
+        // poll the ring, which only a shared scratch ring allows.
+        D.Reason = "nn-missed-multi-consumer";
+      } else if (Cons.Slot != Prod.Slot + 1) {
+        D.Reason = "nn-missed-non-adjacent";
+      } else if (LinkUsed.count(Prod.Slot)) {
+        // One NN register file per adjacent ME pair; a second channel on
+        // the same hop keeps the scratch ring.
+        D.Reason = "nn-missed-capacity";
+      } else {
+        D.Kind = ChannelKind::NextNeighbor;
+        D.Reason = "channel-lowered-nn";
+        D.Capacity = P.NNRingWords;
+        LinkUsed.insert(Prod.Slot);
+        Score += E.Freq;
+      }
+      if (Out)
+        Out->push_back(std::move(D));
+    }
+    return Score;
+  };
+
+  if (P.EnableNN && !MEAggs.empty() && MEAggs.size() <= 8 && !Edges.empty()) {
+    // Exhaustive order search (<= 6 ME aggregates, <= 720 orders). The
+    // first order visited is the identity, and strict improvement is
+    // required to move off it, so a module with no NN win keeps the
+    // baseline placement.
+    std::vector<unsigned> Order = MEAggs;
+    std::vector<unsigned> Best = Order;
+    double BestScore = evaluate(nullptr);
+    while (std::next_permutation(Order.begin(), Order.end())) {
+      assignSlots(Order);
+      double S = evaluate(nullptr);
+      if (S > BestScore + 1e-12) {
+        BestScore = S;
+        Best = Order;
+      }
+    }
+    assignSlots(Best);
+  }
+
+  evaluate(&Plan.Channels);
+
+  // Re-price the NN winners: the consumer-side aggregate cost charged a
+  // scratch crossing for each external input; an NN crossing is cheaper
+  // by the cost-model delta. Skipped entirely when nothing was lowered,
+  // so scratch-only plans keep their numbers bit for bit.
+  double Delta = CM.channelCostCycles() - CM.nnChannelCostCycles();
+  bool AnyNN = false;
+  for (const ChannelDecision &D : Plan.Channels) {
+    if (D.Kind != ChannelKind::NextNeighbor)
+      continue;
+    AnyNN = true;
+    Aggregate &Cons = Plan.Aggregates[D.Consumer];
+    Cons.CostPerPacket = std::max(0.0, Cons.CostPerPacket - D.Freq * Delta);
+  }
+  if (AnyNN) {
+    double T = 1e30;
+    for (const Aggregate &A : Plan.Aggregates)
+      if (!A.OnXScale)
+        T = std::min(T, double(A.Copies) / std::max(A.CostPerPacket, 1e-9));
+    if (T < 1e30)
+      Plan.PredictedThroughput = T;
+  }
+
+  // Decision trail.
+  for (const Aggregate &A : Plan.Aggregates)
+    if (!A.OnXScale)
+      Plan.Log += formatString(
+          "place: %s -> slot %u (x%u)\n", A.Funcs.front()->name().c_str(),
+          A.Slot, A.Copies);
+  for (const ChannelDecision &D : Plan.Channels)
+    Plan.Log += formatString(
+        "channel %s: %s (%s, freq %.3f)\n", D.Name.c_str(),
+        D.Kind == ChannelKind::NextNeighbor ? "next-neighbor" : "scratch",
+        D.Reason.c_str(), D.Freq);
+}

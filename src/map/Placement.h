@@ -1,0 +1,56 @@
+//===- map/Placement.h - physical ME placement + channel selection -----------==//
+//
+// The runtime offers two channel implementations: shared scratch rings
+// and next-neighbor (NN) registers between physically adjacent MEs.
+// Aggregate formation decides *what* runs together; this pass decides
+// *where* — it orders the ME aggregates onto physical ME slots to
+// maximize producer->consumer adjacency, then picks an implementation
+// per surviving cross-aggregate channel:
+//
+//   next-neighbor  when the producer sits on slot i and the consumer on
+//                  slot i+1, both ends are single-copy ME aggregates,
+//                  the channel has a single producing aggregate, and the
+//                  NN register file (one per adjacent pair) is free;
+//   scratch ring   otherwise.
+//
+// Every decision carries a kebab-case reason code that the driver turns
+// into a structured remark (channel-lowered-nn, nn-missed-non-adjacent,
+// nn-missed-multi-consumer, ...). With MapParams::EnableNN off the pass
+// assigns the identity placement and scratch everywhere, preserving
+// pre-specialization behavior bit for bit.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SL_MAP_PLACEMENT_H
+#define SL_MAP_PLACEMENT_H
+
+#include "ixp/ChipParams.h"
+#include "map/Aggregation.h"
+
+namespace sl::map {
+
+class CostModel;
+
+/// Derives the per-kind channel costs (and the NN capacity) in \p P from
+/// the chip model — the single source of truth replacing the old
+/// 120-cycle literal. A scratch crossing pays the scratch latency on the
+/// put and on the get; an NN crossing pays a register access each side.
+inline void deriveChannelCosts(MapParams &P, const ixp::ChipParams &Chip) {
+  P.ScratchChannelCostCycles = 2.0 * double(Chip.Scratch.LatencyCycles);
+  P.NNChannelCostCycles = 2.0 * double(Chip.NNRingAccessCycles);
+  P.NNRingWords = Chip.NNRingWords;
+}
+
+/// Places \p Plan's ME aggregates onto physical slots (Aggregate::Slot),
+/// selects a channel implementation per cross-aggregate channel
+/// (MappingPlan::Channels), and re-prices the NN winners through \p CM
+/// (CostPerPacket / PredictedThroughput). Deterministic: same module,
+/// profile and options produce the same slots and decisions. Run after
+/// applyPlan() so intra-aggregate puts are already gone.
+void placeAggregates(const ir::Module &M, const profile::ProfileData &Prof,
+                     const MapParams &P, const CostModel &CM,
+                     MappingPlan &Plan);
+
+} // namespace sl::map
+
+#endif // SL_MAP_PLACEMENT_H

@@ -1,0 +1,448 @@
+//===- tests/ChannelTest.cpp - channel specialization unit tests --------------==//
+//
+// Covers the next-neighbor ring path end to end: simulator-level NN ring
+// semantics (backpressure, drain, no scratch-controller traffic),
+// configureRing's adjacency validation, the placement pass's channel
+// decisions (lowering, downgrade reasons, determinism), and the per-kind
+// channel costs derived from ChipParams.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+#include "apps/Apps.h"
+#include "cg/MEIR.h"
+#include "driver/Feedback.h"
+#include "interp/Bits.h"
+#include "ir/ASTLower.h"
+#include "ixp/Simulator.h"
+#include "map/CostModel.h"
+#include "map/Placement.h"
+#include "rts/MemoryMap.h"
+#include "tests/TestPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace sl;
+using namespace sl::cg;
+using namespace sl::ixp;
+
+namespace {
+
+/// Hand-assembler (same shape as SimulatorTest's).
+struct Asm {
+  MCode C;
+  MBlock *Cur = nullptr;
+
+  Asm() { C.Name = "test"; }
+  int block(const std::string &N) {
+    C.Blocks.push_back(MBlock{N, {}});
+    Cur = &C.Blocks.back();
+    return static_cast<int>(C.Blocks.size() - 1);
+  }
+  MInstr &emit(MOp Op) {
+    Cur->Instrs.push_back(MInstr{});
+    Cur->Instrs.back().Op = Op;
+    return Cur->Instrs.back();
+  }
+  MInstr &movi(int Dst, int64_t V) {
+    MInstr &I = emit(MOp::MovImm);
+    I.Dst = Dst;
+    I.Imm = V;
+    return I;
+  }
+  MInstr &halt() { return emit(MOp::Halt); }
+};
+
+rts::MemoryMap channelMap() {
+  static ir::Module Empty;
+  rts::MemoryMap Map = rts::buildMemoryMap(Empty);
+  Map.NumRings = 3; // rx, tx, one channel ring (index 2).
+  return Map;
+}
+
+/// Producer ME program: put \p Count copies of the value 7 into ring 2,
+/// then halt.
+cg::FlatCode producer(int64_t Count) {
+  Asm A;
+  A.block("entry");
+  A.movi(0, 7);
+  A.movi(1, Count);
+  A.block("loop");
+  {
+    MInstr &I = A.emit(MOp::RingPut);
+    I.Class = MemClass::PktRing;
+    I.SrcA = 0;
+    I.Ring = 2;
+  }
+  {
+    MInstr &I = A.emit(MOp::Add);
+    I.Dst = 1;
+    I.SrcA = 1;
+    I.SrcB = -1;
+    I.Imm = -1;
+  }
+  {
+    MInstr &I = A.emit(MOp::BrCond);
+    I.Cond = MCond::Ne;
+    I.SrcA = 1;
+    I.SrcB = -1;
+    I.Target = 1;
+  }
+  A.halt();
+  return flatten(A.C);
+}
+
+/// Consumer ME program: spin-get until \p Count values arrived from
+/// ring 2, then halt.
+cg::FlatCode consumer(int64_t Count) {
+  Asm A;
+  A.block("entry");
+  A.movi(1, Count);
+  A.block("get");
+  {
+    MInstr &I = A.emit(MOp::RingGet);
+    I.Class = MemClass::PktRing;
+    I.Dst = 2;
+    I.Ring = 2;
+  }
+  {
+    MInstr &I = A.emit(MOp::BrCond); // Empty get: poll again.
+    I.Cond = MCond::Eq;
+    I.SrcA = 2;
+    I.SrcB = -1;
+    I.Target = 1;
+  }
+  {
+    MInstr &I = A.emit(MOp::Add);
+    I.Dst = 1;
+    I.SrcA = 1;
+    I.SrcB = -1;
+    I.Imm = -1;
+  }
+  {
+    MInstr &I = A.emit(MOp::BrCond);
+    I.Cond = MCond::Ne;
+    I.SrcA = 1;
+    I.SrcB = -1;
+    I.Target = 1;
+  }
+  A.halt();
+  return flatten(A.C);
+}
+
+RingConfig nnConfig(int ProducerME, int ConsumerME, unsigned Capacity = 0) {
+  RingConfig C;
+  C.Impl = RingImpl::NextNeighbor;
+  C.Capacity = Capacity;
+  C.Name = "nn_test";
+  C.ProducerME = ProducerME;
+  C.ConsumerME = ConsumerME;
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// Simulator: NN ring semantics
+//===----------------------------------------------------------------------===//
+
+TEST(NNRing, BackpressureFillsToNNCapacity) {
+  // Put more than the NN register file holds with nobody consuming: the
+  // ring fills to exactly NNRingWords and the excess is counted as
+  // full-ring backpressure.
+  ChipParams P;
+  P.ThreadsPerME = 1;
+  rts::MemoryMap Map = channelMap();
+  Simulator Sim(P, Map);
+  ASSERT_TRUE(Sim.loadAggregate(producer(int64_t(P.NNRingWords) + 12), {}, 1));
+  ASSERT_TRUE(Sim.configureRing(2, nnConfig(0, 1)));
+  Sim.run(20'000);
+
+  SimTelemetry T = Sim.telemetry();
+  ASSERT_GT(T.Rings.size(), 2u);
+  const RingTelemetry &R = T.Rings[2];
+  EXPECT_EQ(R.Impl, RingImpl::NextNeighbor);
+  EXPECT_EQ(R.Capacity, uint64_t(P.NNRingWords));
+  EXPECT_EQ(R.Name, "nn_test");
+  EXPECT_EQ(R.Enqueues, uint64_t(P.NNRingWords));
+  EXPECT_EQ(R.MaxDepth, uint64_t(P.NNRingWords));
+  EXPECT_EQ(R.FullStalls, 12u);
+  EXPECT_EQ(R.Dequeues, 0u);
+  EXPECT_FALSE(Sim.drained()) << "a full NN ring is not quiescent";
+}
+
+TEST(NNRing, TransferDrainsWithoutScratchTraffic) {
+  // Producer and consumer in lockstep: every value arrives, the NN ring
+  // drains back to empty, and — the point of the NN path — the scratch
+  // controller never sees a single access.
+  ChipParams P;
+  P.ThreadsPerME = 1;
+  rts::MemoryMap Map = channelMap();
+  Simulator Sim(P, Map);
+  ASSERT_TRUE(Sim.loadAggregate(producer(100), {}, 1));
+  ASSERT_TRUE(Sim.loadAggregate(consumer(100), {}, 1));
+  ASSERT_TRUE(Sim.configureRing(2, nnConfig(0, 1)));
+  Sim.run(20'000);
+
+  SimTelemetry T = Sim.telemetry();
+  const RingTelemetry &R = T.Rings[2];
+  EXPECT_EQ(R.Enqueues, 100u);
+  EXPECT_EQ(R.Dequeues, 100u);
+  EXPECT_EQ(R.FullStalls, 0u);
+  EXPECT_GT(R.WaitCycles, 0u) << "NN ops still cost their access latency";
+  EXPECT_TRUE(Sim.drained()) << "a drained NN ring is quiescent";
+  EXPECT_EQ(T.Units[0].Accesses, 0u)
+      << "NN ring ops must never touch the scratch controller";
+}
+
+TEST(NNRing, ConfigureRingValidatesAdjacency) {
+  ChipParams P;
+  rts::MemoryMap Map = channelMap();
+  Simulator Sim(P, Map);
+
+  EXPECT_TRUE(Sim.configureRing(2, nnConfig(0, 1)));
+  // NN registers only reach the physically next ME.
+  EXPECT_FALSE(Sim.configureRing(2, nnConfig(0, 2)));
+  EXPECT_FALSE(Sim.configureRing(2, nnConfig(1, 0)));
+  EXPECT_FALSE(Sim.configureRing(2, nnConfig(-1, 0)));
+  EXPECT_FALSE(Sim.configureRing(2, nnConfig(int(P.ProgrammableMEs) - 1,
+                                             int(P.ProgrammableMEs))));
+  // Capacity is bounded by the NN register file.
+  EXPECT_FALSE(Sim.configureRing(2, nnConfig(0, 1, P.NNRingWords + 1)));
+  EXPECT_TRUE(Sim.configureRing(2, nnConfig(0, 1, P.NNRingWords)));
+  // Out-of-range ring index.
+  EXPECT_FALSE(Sim.configureRing(99, nnConfig(0, 1)));
+  // Scratch rings carry no adjacency requirement.
+  RingConfig SC;
+  SC.Impl = RingImpl::Scratch;
+  EXPECT_TRUE(Sim.configureRing(2, SC));
+}
+
+//===----------------------------------------------------------------------===//
+// Mapper: placement + channel decisions
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<ir::Module> lower(const char *Src) {
+  DiagEngine Diags;
+  auto Unit = baker::parseAndAnalyze(Src, Diags);
+  EXPECT_NE(Unit, nullptr) << Diags.str();
+  return ir::lowerProgram(*Unit, Diags);
+}
+
+profile::ProfileData routerProfile(ir::Module &M) {
+  profile::Profiler P(M);
+  P.interp().writeGlobal("route_hi", 0xA, 7);
+  profile::Trace T;
+  for (unsigned I = 0; I != 64; ++I) {
+    std::vector<uint8_t> F(64, 0);
+    F[12] = 0x08;
+    interp::writeBitsBE(F.data(), 14 * 8 + 4, 4, 5);
+    interp::writeBitsBE(F.data(), 14 * 8 + 128, 32, 0xA0000001);
+    T.push_back({F, 0});
+  }
+  return P.run(T);
+}
+
+map::MappingPlan placedPlan(ir::Module &M, const map::MapParams &P) {
+  profile::ProfileData Prof = routerProfile(M);
+  map::StaticCostModel CM(Prof, P);
+  map::MappingPlan Plan = map::formAggregates(M, Prof, P, CM);
+  map::placeAggregates(M, Prof, P, CM, Plan);
+  return Plan;
+}
+
+TEST(Placement, PipelinedSingleCopyStagesGetNNChannels) {
+  auto M = lower(sl::tests::MiniRouter);
+  map::MapParams P;
+  P.NumMEs = 4;
+  P.AllowMerging = false; // Force a pipeline of single-copy stages.
+  P.Replicate = false;
+  map::MappingPlan Plan = placedPlan(*M, P);
+
+  ASSERT_FALSE(Plan.Channels.empty());
+  unsigned NN = 0;
+  for (const map::ChannelDecision &D : Plan.Channels) {
+    if (D.Kind != map::ChannelKind::NextNeighbor) {
+      EXPECT_EQ(D.Reason.rfind("nn-", 0), 0u)
+          << "scratch fallback must carry an nn-missed reason, got "
+          << D.Reason;
+      continue;
+    }
+    ++NN;
+    EXPECT_EQ(D.Reason, "channel-lowered-nn");
+    EXPECT_EQ(D.Capacity, P.NNRingWords);
+    ASSERT_NE(D.Producer, ~0u);
+    ASSERT_NE(D.Consumer, ~0u);
+    const map::Aggregate &Prod = Plan.Aggregates[D.Producer];
+    const map::Aggregate &Cons = Plan.Aggregates[D.Consumer];
+    EXPECT_EQ(Cons.Slot, Prod.Slot + 1)
+        << "NN channels require physically adjacent MEs";
+    EXPECT_EQ(Prod.Copies, 1u);
+    EXPECT_EQ(Cons.Copies, 1u);
+  }
+  EXPECT_GE(NN, 1u) << "an adjacent single-copy pipeline must lower at "
+                       "least one NN channel";
+  // Placement is plan state: every ME aggregate got a physical slot.
+  for (const map::Aggregate &A : Plan.Aggregates)
+    if (!A.OnXScale)
+      EXPECT_NE(A.Slot, ~0u);
+}
+
+TEST(Placement, ReplicatedStagesDowngradeToScratch) {
+  // With replication on, stages get multiple copies and NN channels are
+  // impossible; the mapper must downgrade with a reason, not assert.
+  auto M = lower(sl::tests::MiniRouter);
+  map::MapParams P;
+  P.NumMEs = 4;
+  P.AllowMerging = false;
+  P.Replicate = true;
+  map::MappingPlan Plan = placedPlan(*M, P);
+
+  bool AnyCopies = false;
+  for (const map::Aggregate &A : Plan.Aggregates)
+    AnyCopies |= !A.OnXScale && A.Copies > 1;
+  if (!AnyCopies)
+    GTEST_SKIP() << "replication did not produce multi-copy stages";
+  for (const map::ChannelDecision &D : Plan.Channels) {
+    if (D.Consumer == ~0u || D.Producer == ~0u)
+      continue;
+    if (Plan.Aggregates[D.Producer].Copies > 1 ||
+        Plan.Aggregates[D.Consumer].Copies > 1) {
+      EXPECT_EQ(D.Kind, map::ChannelKind::Scratch);
+      EXPECT_TRUE(D.Reason == "nn-missed-multi-producer" ||
+                  D.Reason == "nn-missed-multi-consumer")
+          << D.Reason;
+    }
+  }
+}
+
+TEST(Placement, DisabledNNKeepsEveryChannelOnScratch) {
+  auto M = lower(sl::tests::MiniRouter);
+  map::MapParams P;
+  P.NumMEs = 4;
+  P.AllowMerging = false;
+  P.Replicate = false;
+  P.EnableNN = false;
+  map::MappingPlan Plan = placedPlan(*M, P);
+
+  ASSERT_FALSE(Plan.Channels.empty());
+  for (const map::ChannelDecision &D : Plan.Channels) {
+    EXPECT_EQ(D.Kind, map::ChannelKind::Scratch);
+    EXPECT_EQ(D.Reason, "nn-disabled");
+  }
+}
+
+TEST(Placement, DeterministicAcrossRuns) {
+  // Same module + options -> same slots, same signature, same channel
+  // decisions (the mapper ties placement into the plan signature, so the
+  // feedback loop's fixed-point detection depends on this).
+  auto M1 = lower(sl::tests::MiniRouter);
+  auto M2 = lower(sl::tests::MiniRouter);
+  map::MapParams P;
+  P.NumMEs = 4;
+  P.AllowMerging = false;
+  P.Replicate = false;
+  map::MappingPlan A = placedPlan(*M1, P);
+  map::MappingPlan B = placedPlan(*M2, P);
+
+  EXPECT_EQ(driver::planSignature(A), driver::planSignature(B));
+  ASSERT_EQ(A.Channels.size(), B.Channels.size());
+  for (size_t I = 0; I != A.Channels.size(); ++I) {
+    EXPECT_EQ(A.Channels[I].ChanId, B.Channels[I].ChanId);
+    EXPECT_EQ(A.Channels[I].Kind, B.Channels[I].Kind);
+    EXPECT_EQ(A.Channels[I].Reason, B.Channels[I].Reason);
+    EXPECT_EQ(A.Channels[I].Capacity, B.Channels[I].Capacity);
+  }
+}
+
+TEST(Placement, SignatureEncodesSlots) {
+  // The "@slot" marker must appear for placed ME aggregates so that two
+  // plans differing only in physical placement do not collide.
+  auto M = lower(sl::tests::MiniRouter);
+  map::MapParams P;
+  P.NumMEs = 4;
+  P.AllowMerging = false;
+  P.Replicate = false;
+  map::MappingPlan Plan = placedPlan(*M, P);
+  std::string Sig = driver::planSignature(Plan);
+  EXPECT_NE(Sig.find("@"), std::string::npos);
+}
+
+TEST(Placement, RemarksReachTheObserver) {
+  // The constrained pipelined config that lowers an NN channel (same as
+  // bench/abl_channel_specialization) must surface the decision as a
+  // fired "channel-lowered-nn" remark; with NN disabled every channel
+  // reports "nn-disabled" instead.
+  apps::AppBundle App = apps::l3switch();
+  obs::CompileObserver On;
+  auto WithNN = bench::compileApp(App, driver::OptLevel::Swc, /*NumMEs=*/3,
+                                  /*StackOpt=*/true, &On, /*EnableNN=*/true,
+                                  /*CodeStoreInstrs=*/512);
+  ASSERT_NE(WithNN, nullptr);
+  EXPECT_GT(On.Remarks.count("placement", obs::RemarkKind::Fired), 0u);
+  bool SawLowered = false;
+  for (const obs::Remark &R : On.Remarks.remarks())
+    if (R.Pass == "placement" && R.Reason == "channel-lowered-nn")
+      SawLowered = true;
+  EXPECT_TRUE(SawLowered);
+
+  obs::CompileObserver Off;
+  auto NoNN = bench::compileApp(App, driver::OptLevel::Swc, /*NumMEs=*/3,
+                                /*StackOpt=*/true, &Off, /*EnableNN=*/false,
+                                /*CodeStoreInstrs=*/512);
+  ASSERT_NE(NoNN, nullptr);
+  EXPECT_EQ(Off.Remarks.count("placement", obs::RemarkKind::Fired), 0u);
+  for (const obs::Remark &R : Off.Remarks.remarks())
+    if (R.Pass == "placement")
+      EXPECT_EQ(R.Reason, "nn-disabled");
+}
+
+//===----------------------------------------------------------------------===//
+// Per-kind channel costs
+//===----------------------------------------------------------------------===//
+
+TEST(ChannelCosts, DerivedFromChipParamsMatchDefaults) {
+  // MapParams' documented defaults are exactly what deriveChannelCosts
+  // computes from a default chip; the scratch cost reproduces the
+  // historical 120-cycle constant (2x the scratch latency).
+  map::MapParams P;
+  map::MapParams Derived;
+  map::deriveChannelCosts(Derived, ixp::ChipParams{});
+  EXPECT_DOUBLE_EQ(Derived.ScratchChannelCostCycles,
+                   P.ScratchChannelCostCycles);
+  EXPECT_DOUBLE_EQ(Derived.NNChannelCostCycles, P.NNChannelCostCycles);
+  EXPECT_EQ(Derived.NNRingWords, P.NNRingWords);
+  EXPECT_DOUBLE_EQ(P.ScratchChannelCostCycles, 120.0);
+
+  ixp::ChipParams Chip;
+  EXPECT_DOUBLE_EQ(Derived.ScratchChannelCostCycles,
+                   2.0 * Chip.Scratch.LatencyCycles);
+  EXPECT_DOUBLE_EQ(Derived.NNChannelCostCycles,
+                   2.0 * Chip.NNRingAccessCycles);
+}
+
+TEST(ChannelCosts, MeasuredModelFallsBackPerKind) {
+  auto M = lower(sl::tests::MiniRouter);
+  profile::ProfileData Prof = routerProfile(*M);
+  map::MapParams P;
+
+  map::MeasuredCosts MC;
+  MC.FuncCycles["classify"] = 50.0;
+  MC.MeInstrsPerIrInstr = 2.0;
+  MC.CalibPackets = 10;
+  MC.ScratchChannelCostCycles = 88.0;
+  MC.NNChannelCostCycles = 0.0; // No NN ring ran during calibration.
+  map::MeasuredCostModel CM(Prof, P, MC);
+  EXPECT_DOUBLE_EQ(CM.channelCostCycles(), 88.0);
+  EXPECT_DOUBLE_EQ(CM.nnChannelCostCycles(), P.NNChannelCostCycles);
+
+  MC.NNChannelCostCycles = 4.5;
+  MC.ScratchChannelCostCycles = 0.0;
+  map::MeasuredCostModel CM2(Prof, P, MC);
+  EXPECT_DOUBLE_EQ(CM2.channelCostCycles(), P.ScratchChannelCostCycles);
+  EXPECT_DOUBLE_EQ(CM2.nnChannelCostCycles(), 4.5);
+
+  map::StaticCostModel Static(Prof, P);
+  EXPECT_DOUBLE_EQ(Static.nnChannelCostCycles(), P.NNChannelCostCycles);
+}
+
+} // namespace

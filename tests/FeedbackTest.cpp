@@ -71,7 +71,7 @@ TEST(CostModel, MeasuredOverlayWithStaticFallback) {
 
   map::MeasuredCosts MC;
   MC.FuncCycles["classify"] = 321.5; // Only classify was measured.
-  MC.ChannelCostCycles = 77.0;
+  MC.ScratchChannelCostCycles = 77.0;
   MC.MeInstrsPerIrInstr = 2.25;
   MC.CalibPackets = 100;
   ASSERT_TRUE(MC.valid());
@@ -89,9 +89,9 @@ TEST(CostModel, MeasuredOverlayWithStaticFallback) {
 
   // Zero channel measurement falls back to the static constant.
   map::MeasuredCosts NoChan = MC;
-  NoChan.ChannelCostCycles = 0.0;
+  NoChan.ScratchChannelCostCycles = 0.0;
   map::MeasuredCostModel CM2(Prof, P, NoChan);
-  EXPECT_DOUBLE_EQ(CM2.channelCostCycles(), P.ChannelCostCycles);
+  EXPECT_DOUBLE_EQ(CM2.channelCostCycles(), P.ScratchChannelCostCycles);
 }
 
 TEST(CostModel, HelpersCostZeroUnderMeasuredModel) {
