@@ -73,7 +73,8 @@ inline std::unique_ptr<driver::CompiledApp>
 compileApp(const apps::AppBundle &App, driver::OptLevel Level,
            unsigned NumMEs, bool StackOpt = true,
            obs::CompileObserver *Observer = nullptr, bool EnableNN = true,
-           unsigned CodeStoreInstrs = 0) {
+           unsigned CodeStoreInstrs = 0,
+           driver::AnalyzeMode Analyze = driver::AnalyzeMode::Warn) {
   driver::CompileOptions Opts;
   Opts.Level = Level;
   Opts.Map.NumMEs = NumMEs;
@@ -81,6 +82,7 @@ compileApp(const apps::AppBundle &App, driver::OptLevel Level,
   if (CodeStoreInstrs)
     Opts.Map.CodeStoreInstrs = CodeStoreInstrs;
   Opts.StackOpt = StackOpt;
+  Opts.Analyze = Analyze;
   Opts.TxMetaFields = App.TxMetaFields;
   Opts.Observer = Observer;
   if (Observer)
@@ -109,6 +111,7 @@ inline bool quickMode(int argc, char **argv) {
   return flagPresent(argc, argv, "--quick");
 }
 
+
 /// Value of a "--flag <value>" pair or "--flag=value" in argv, or null
 /// when absent.
 inline const char *argValue(int argc, char **argv, const char *Flag) {
@@ -122,11 +125,24 @@ inline const char *argValue(int argc, char **argv, const char *Flag) {
   return nullptr;
 }
 
+/// Value of the "--analyze <off|warn|error>" safety-analysis gate flag.
+/// Unknown values and an absent flag both give the compiler default
+/// (Warn) so every bench accepts the flag without extra plumbing.
+inline driver::AnalyzeMode analyzeModeFromArgs(int argc, char **argv) {
+  const char *V = argValue(argc, argv, "--analyze");
+  if (V && std::strcmp(V, "off") == 0)
+    return driver::AnalyzeMode::Off;
+  if (V && std::strcmp(V, "error") == 0)
+    return driver::AnalyzeMode::Error;
+  return driver::AnalyzeMode::Warn;
+}
+
 /// Handles the shared compiler-observability flags:
 ///
 ///   --opt-report <file>      machine-readable JSON opt-report
 ///   --compile-trace <file>   Chrome-trace view of compile time
 ///   --print-ir-after <pass>  dump IR to stderr after the named phase
+///   --analyze <mode>         safety-analysis gate (off|warn|error)
 ///
 /// When any is present, runs one instrumented compile of \p App at
 /// \p Level and writes the requested artifacts. Returns true when a flag
@@ -148,6 +164,7 @@ inline bool handleObsFlags(int argc, char **argv, const apps::AppBundle &App,
   Opts.Map.NumMEs = NumMEs;
   Opts.TxMetaFields = App.TxMetaFields;
   Opts.Observer = &Obs;
+  Opts.Analyze = analyzeModeFromArgs(argc, argv);
   if (PrintAfter)
     Opts.PrintIrAfter = PrintAfter;
   DiagEngine Diags;

@@ -1,0 +1,106 @@
+//===- analysis/Analysis.h - Baker safety analyses ----------------------------==//
+//
+// Shared types of the static safety analyses (paper Sec. 2.3: the Baker
+// dialect is restricted — no recursion, no aliasing pointers, channel
+// outputs release their packet — precisely so these analyses can be
+// exact). Two checkers run as driver passes right after inlining, before
+// the scalar ladder mutates the source-faithful IR:
+//
+//   * PacketLifetime.h — packet-handle linearity: use-after-release,
+//     double-release, release-of-uninitialized, path-sensitive leaks.
+//   * StateRace.h — shared-state access discipline: unlocked
+//     read-modify-write sequences, lock-inconsistency, and a per-global
+//     sharing classification consumed by the SWC legality check.
+//
+// Findings carry stable kebab-case reason codes (docs/analysis.md) and
+// Baker source locations; the driver renders them as diagnostics, remarks
+// and the opt-report's "analysis" section depending on --analyze mode.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SL_ANALYSIS_ANALYSIS_H
+#define SL_ANALYSIS_ANALYSIS_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sl::ir {
+class Global;
+}
+
+namespace sl::analysis {
+
+/// Error findings gate compilation under --analyze=error; notes never do
+/// (they record tolerated patterns like unlocked stat counters).
+enum class Severity : uint8_t { Error, Note };
+
+const char *severityName(Severity S);
+
+/// One analysis finding.
+struct Finding {
+  std::string Analysis; ///< "pkt-lifetime" | "state-race".
+  std::string Reason;   ///< Stable kebab-case reason code.
+  Severity Sev = Severity::Error;
+  std::string Function; ///< IR function the finding is in.
+  SourceLoc Loc;        ///< Baker source position; invalid if synthetic IR.
+  std::string Detail;   ///< Rendered human-readable message.
+
+  bool operator==(const Finding &R) const {
+    return Analysis == R.Analysis && Reason == R.Reason && Sev == R.Sev &&
+           Function == R.Function && Loc == R.Loc && Detail == R.Detail;
+  }
+};
+
+/// Who can touch a global, derived from the aggregate plan.
+enum class GlobalScope : uint8_t {
+  Unused,     ///< No data-plane access at all.
+  XScaleOnly, ///< Touched only by the XScale aggregate.
+  PerMe,      ///< One ME aggregate, single copy (still multi-threaded).
+  CrossMe,    ///< Multiple aggregates and/or replicated copies.
+};
+
+const char *globalScopeName(GlobalScope S);
+
+/// Everything the race checker learned about one global.
+struct GlobalFacts {
+  GlobalScope Scope = GlobalScope::Unused;
+  /// Any GStore in the (pre-optimization) data-plane IR. This is the
+  /// checked property SWC legality consumes: the scan is taken before the
+  /// scalar ladder can delete stores it proves dead, so a global is only
+  /// "read-only" if the source program never writes it.
+  bool DataPlaneStores = false;
+  bool UnlockedRmw = false;    ///< Non-benign RMW outside a critical.
+  bool BenignCounter = false;  ///< Only self-feeding counter updates.
+  bool LockInconsistent = false;
+  int ConsistentLock = -1;     ///< Lock id guarding all accesses; -1 none.
+};
+
+/// Per-global classification exported to pktopt/Swc: delayed-update
+/// caching is legal only for globals the checker proved free of
+/// data-plane stores (keyed by global name; all module globals present).
+struct GlobalClassification {
+  bool Valid = false;
+  std::map<std::string, GlobalFacts> Facts;
+
+  const GlobalFacts *facts(const std::string &Name) const {
+    auto It = Facts.find(Name);
+    return It == Facts.end() ? nullptr : &It->second;
+  }
+
+  /// Safe for SWC to cache? Unknown globals are conservatively unsafe
+  /// when the classification is valid.
+  bool cacheSafe(const std::string &Name) const {
+    if (!Valid)
+      return true;
+    const GlobalFacts *F = facts(Name);
+    return F && !F->DataPlaneStores;
+  }
+};
+
+} // namespace sl::analysis
+
+#endif // SL_ANALYSIS_ANALYSIS_H

@@ -1,0 +1,373 @@
+//===- analysis/PacketLifetime.cpp - packet-handle linearity checker --------==//
+//
+// Flow-sensitive lifetime checking of packet handles. Handles that alias
+// the same underlying packet (decap/encap results, phi/select merges,
+// values moved through stack slots) are collapsed into one alias class
+// with a union-find; a forward dataflow over the CFG then tracks, per
+// class, the may-state {Uninit, Live, Released} with set-union join.
+// Release operations (channel_put / packet_drop) perform a strong update
+// to {Released} — Baker aliasing is exact (Sec. 2.3), so a release kills
+// every alias of the handle.
+//
+// Reported:
+//   pkt-use-after-release       touching a handle a release may have killed
+//   pkt-double-release          releasing a handle twice
+//   pkt-release-uninitialized   releasing a never-initialized handle
+//   pkt-leak                    a PPF exit reachable with a live handle
+//
+// Handles that escape through a call boundary (call argument or result,
+// or returned from a helper) are exempt from every check: the analysis
+// runs after inlining, so remaining calls are opaque.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/PacketLifetime.h"
+
+#include "ir/Module.h"
+#include "support/Casting.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace sl;
+using namespace sl::analysis;
+using namespace sl::ir;
+
+namespace {
+
+// May-state bits of one alias class.
+enum : uint8_t { StUninit = 1, StLive = 2, StReleased = 4 };
+
+/// True if \p V holds a packet handle: a packet-typed value, or a stack
+/// slot whose element type is a packet (the alloca itself is i32-typed).
+bool holdsPacket(const Value *V) {
+  if (V->type().isPacket())
+    return true;
+  if (const auto *I = dyn_cast<Instr>(V))
+    return I->op() == Op::Alloca && I->AllocTy.isPacket();
+  return false;
+}
+
+bool isReleaseOp(Op O) { return O == Op::PktDrop || O == Op::ChannelPut; }
+
+/// True for packet ops that read their handle operand (operand 0).
+bool isHandleUseOp(Op O) {
+  switch (O) {
+  case Op::PktLoad:
+  case Op::PktStore:
+  case Op::MetaLoad:
+  case Op::MetaStore:
+  case Op::PktDecap:
+  case Op::PktEncap:
+  case Op::PktCopy:
+  case Op::PktLength:
+  case Op::PktLoadWide:
+  case Op::PktStoreWide:
+    return true;
+  default:
+    return false;
+  }
+}
+
+class LifetimeChecker {
+public:
+  LifetimeChecker(const Function &F, std::vector<Finding> &Out)
+      : F(F), Out(Out) {}
+
+  void run() {
+    if (F.numBlocks() == 0)
+      return;
+    collectClasses();
+    if (Parent.empty())
+      return;
+    compress();
+    markEscapes();
+    solve();
+    emitPass();
+  }
+
+private:
+  const Function &F;
+  std::vector<Finding> &Out;
+
+  // Union-find over tracked values.
+  std::map<const Value *, unsigned> Ids; ///< Value -> union-find node.
+  std::vector<unsigned> Parent;
+  std::vector<unsigned> Compact;      ///< UF root -> dense class id.
+  unsigned NumClasses = 0;
+  std::vector<bool> Escaped;          ///< Per dense class.
+  std::vector<std::string> ClassName; ///< Representative handle name.
+  std::vector<bool> HasArg;           ///< Class contains a function argument.
+
+  using State = std::vector<uint8_t>; ///< Per dense class: may-state bits.
+  std::map<const BasicBlock *, State> In;
+
+  unsigned node(const Value *V) {
+    auto It = Ids.find(V);
+    if (It != Ids.end())
+      return It->second;
+    unsigned N = static_cast<unsigned>(Parent.size());
+    Ids.emplace(V, N);
+    Parent.push_back(N);
+    return N;
+  }
+
+  unsigned find(unsigned N) {
+    while (Parent[N] != N) {
+      Parent[N] = Parent[Parent[N]];
+      N = Parent[N];
+    }
+    return N;
+  }
+
+  void unite(const Value *A, const Value *B) {
+    unsigned RA = find(node(A)), RB = find(node(B));
+    if (RA != RB)
+      Parent[RB] = RA;
+  }
+
+  void collectClasses() {
+    for (unsigned I = 0; I != F.numArgs(); ++I)
+      if (F.arg(I)->type().isPacket())
+        node(F.arg(I));
+    for (const auto &BB : F.blocks()) {
+      for (const auto &IP : BB->instrs()) {
+        const Instr *I = IP.get();
+        if (holdsPacket(I))
+          node(I);
+        for (unsigned K = 0; K != I->numOperands(); ++K)
+          if (Value *OpV = I->operand(K); OpV && holdsPacket(OpV))
+            node(OpV);
+        switch (I->op()) {
+        case Op::PktDecap:
+        case Op::PktEncap:
+          // The result handle still designates the same packet.
+          unite(I, I->operand(0));
+          break;
+        case Op::Phi:
+          if (I->type().isPacket())
+            for (unsigned K = 0; K != I->numOperands(); ++K)
+              unite(I, I->operand(K));
+          break;
+        case Op::Select:
+          if (I->type().isPacket()) {
+            unite(I, I->operand(1));
+            unite(I, I->operand(2));
+          }
+          break;
+        case Op::Store:
+          // Moving a handle through a stack slot aliases slot and value.
+          if (holdsPacket(I->operand(1)))
+            unite(I->operand(0), I->operand(1));
+          break;
+        case Op::Load:
+          if (I->type().isPacket())
+            unite(I, I->operand(0));
+          break;
+        default:
+          // PktCopy deliberately NOT united with its operand: the copy is
+          // a fresh packet with its own lifetime.
+          break;
+        }
+      }
+    }
+  }
+
+  void compress() {
+    Compact.assign(Parent.size(), ~0u);
+    for (const auto &[V, N] : Ids) {
+      (void)V;
+      unsigned R = find(N);
+      if (Compact[R] == ~0u)
+        Compact[R] = NumClasses++;
+    }
+    Escaped.assign(NumClasses, false);
+    ClassName.assign(NumClasses, "");
+    HasArg.assign(NumClasses, false);
+    // Prefer argument names as the class representative; insertion into
+    // Ids is deterministic only up to pointer order, so pick names by
+    // walking args then blocks in program order.
+    for (unsigned I = 0; I != F.numArgs(); ++I) {
+      const Argument *A = F.arg(I);
+      if (!A->type().isPacket())
+        continue;
+      unsigned C = classOf(A);
+      HasArg[C] = true;
+      if (ClassName[C].empty() && !A->name().empty())
+        ClassName[C] = A->name();
+    }
+    for (const auto &BB : F.blocks())
+      for (const auto &IP : BB->instrs())
+        if (holdsPacket(IP.get())) {
+          unsigned C = classOf(IP.get());
+          if (ClassName[C].empty() && !IP->name().empty())
+            ClassName[C] = IP->name();
+        }
+  }
+
+  unsigned classOf(const Value *V) {
+    auto It = Ids.find(V);
+    assert(It != Ids.end() && "untracked packet value");
+    return Compact[find(It->second)];
+  }
+
+  void markEscapes() {
+    for (const auto &BB : F.blocks()) {
+      for (const auto &IP : BB->instrs()) {
+        const Instr *I = IP.get();
+        if (I->op() == Op::Call) {
+          for (unsigned K = 0; K != I->numOperands(); ++K)
+            if (holdsPacket(I->operand(K)))
+              Escaped[classOf(I->operand(K))] = true;
+          if (I->type().isPacket())
+            Escaped[classOf(I)] = true;
+        } else if (I->op() == Op::Ret && I->numOperands() == 1 &&
+                   holdsPacket(I->operand(0))) {
+          Escaped[classOf(I->operand(0))] = true;
+        }
+      }
+    }
+  }
+
+  State entryState() const {
+    State S(NumClasses, StUninit);
+    for (unsigned C = 0; C != NumClasses; ++C)
+      if (HasArg[C])
+        S[C] = StLive;
+    return S;
+  }
+
+  /// Applies \p I to \p S. When \p Emit is set, reports findings.
+  void step(const Instr *I, State &S, bool Emit) {
+    Op O = I->op();
+    if (isHandleUseOp(O) && I->operand(0)->type().isPacket()) {
+      unsigned C = classOf(I->operand(0));
+      if (!Escaped[C] && (S[C] & StReleased) && Emit)
+        report("pkt-use-after-release", Severity::Error, I->Loc,
+               "packet handle %s read by %s after %s release", nameOf(C).c_str(),
+               opName(O), (S[C] & StLive) ? "a possible" : "its");
+    }
+    if (O == Op::PktCopy) {
+      S[classOf(I)] = StLive;
+      return;
+    }
+    if (isReleaseOp(O) && I->operand(0)->type().isPacket()) {
+      unsigned C = classOf(I->operand(0));
+      if (!Escaped[C] && Emit) {
+        const char *What = O == Op::PktDrop ? "packet_drop" : "channel_put";
+        if (S[C] & StReleased)
+          report("pkt-double-release", Severity::Error, I->Loc,
+                 "packet handle %s released again by %s", nameOf(C).c_str(), What);
+        else if ((S[C] & StUninit) && !(S[C] & StLive))
+          report("pkt-release-uninitialized", Severity::Error, I->Loc,
+                 "%s releases packet handle %s which was never initialized",
+                 What, nameOf(C).c_str());
+      }
+      S[C] = StReleased; // Strong update: kills every alias.
+      return;
+    }
+    if (O == Op::Ret && F.isPpf() && Emit) {
+      for (unsigned C = 0; C != NumClasses; ++C)
+        if (!Escaped[C] && (S[C] & StLive))
+          report("pkt-leak", Severity::Error, I->Loc,
+                 "packet handle %s is still live at PPF exit%s", nameOf(C).c_str(),
+                 (S[C] & StReleased) ? " on some path" : "");
+    }
+  }
+
+  void solve() {
+    std::deque<const BasicBlock *> Work;
+    In[F.entry()] = entryState();
+    Work.push_back(F.entry());
+    while (!Work.empty()) {
+      const BasicBlock *BB = Work.front();
+      Work.pop_front();
+      State S = In[BB];
+      for (const auto &IP : BB->instrs())
+        step(IP.get(), S, /*Emit=*/false);
+      const Instr *T = BB->terminator();
+      if (!T)
+        continue;
+      for (BasicBlock *Succ : T->succs()) {
+        auto It = In.find(Succ);
+        if (It == In.end()) {
+          In[Succ] = S;
+          Work.push_back(Succ);
+          continue;
+        }
+        bool Changed = false;
+        for (unsigned C = 0; C != NumClasses; ++C) {
+          uint8_t Merged = static_cast<uint8_t>(It->second[C] | S[C]);
+          if (Merged != It->second[C]) {
+            It->second[C] = Merged;
+            Changed = true;
+          }
+        }
+        if (Changed)
+          Work.push_back(Succ);
+      }
+    }
+  }
+
+  void emitPass() {
+    // One deterministic reporting sweep with the fixpoint block-entry
+    // states (unreachable blocks have no state and are skipped).
+    for (const auto &BB : F.blocks()) {
+      auto It = In.find(BB.get());
+      if (It == In.end())
+        continue;
+      State S = It->second;
+      for (const auto &IP : BB->instrs())
+        step(IP.get(), S, /*Emit=*/true);
+    }
+  }
+
+  std::string nameOf(unsigned C) const {
+    return ClassName[C].empty() ? std::string("<packet>")
+                                : "'" + ClassName[C] + "'";
+  }
+
+#if defined(__GNUC__) || defined(__clang__)
+  __attribute__((format(printf, 5, 6)))
+#endif
+  void
+  report(const char *Reason, Severity Sev, SourceLoc Loc, const char *Fmt,
+         ...) {
+    char Msg[256];
+    va_list Ap;
+    va_start(Ap, Fmt);
+    std::vsnprintf(Msg, sizeof(Msg), Fmt, Ap);
+    va_end(Ap);
+    Out.push_back({"pkt-lifetime", Reason, Sev, F.name(), Loc, Msg});
+  }
+};
+
+} // namespace
+
+void analysis::checkPacketLifetime(const Function &F,
+                                   std::vector<Finding> &Out) {
+  LifetimeChecker(F, Out).run();
+}
+
+void analysis::checkPacketLifetime(const Module &M,
+                                   std::vector<Finding> &Out) {
+  std::vector<Finding> Raw;
+  for (const auto &F : M.functions())
+    checkPacketLifetime(*F, Raw);
+  // The inliner clones instructions (source locations included), so the
+  // same source defect can surface once per inlined copy. Report each
+  // (reason, location) pair once; findings without a location (synthetic
+  // IR) are kept as-is.
+  std::set<std::tuple<std::string, unsigned, unsigned>> Seen;
+  for (Finding &Fi : Raw) {
+    if (Fi.Loc.isValid() &&
+        !Seen.insert({Fi.Reason, Fi.Loc.Line, Fi.Loc.Col}).second)
+      continue;
+    Out.push_back(std::move(Fi));
+  }
+}

@@ -1,0 +1,27 @@
+//===- analysis/PacketLifetime.h - packet-handle linearity checker ----------==//
+
+#ifndef SL_ANALYSIS_PACKETLIFETIME_H
+#define SL_ANALYSIS_PACKETLIFETIME_H
+
+#include "analysis/Analysis.h"
+
+namespace sl::ir {
+class Function;
+class Module;
+}
+
+namespace sl::analysis {
+
+/// Checks packet-handle linearity for every function in \p M (paper
+/// Sec. 2.3: a channel output releases its packet; the program must not
+/// touch, re-release, or leak a handle afterwards). Appends findings with
+/// reason codes pkt-use-after-release / pkt-double-release /
+/// pkt-release-uninitialized / pkt-leak.
+void checkPacketLifetime(const ir::Module &M, std::vector<Finding> &Out);
+
+/// Single-function variant (used by the module pass and tests).
+void checkPacketLifetime(const ir::Function &F, std::vector<Finding> &Out);
+
+} // namespace sl::analysis
+
+#endif // SL_ANALYSIS_PACKETLIFETIME_H

@@ -1,0 +1,404 @@
+//===- analysis/StateRace.cpp - shared-state race checker -------------------==//
+//
+// Three cooperating pieces (SNAP-style shared-state discipline checking):
+//
+//  1. A per-function forward lockset dataflow: the set of locks certainly
+//     held at each program point (intersection join over CFG paths;
+//     LockAcquire adds, LockRelease removes). Baker's `critical` blocks
+//     are structured, so the lattice is tiny and converges fast.
+//
+//  2. A per-global access census. Every GLoad/GStore site records its
+//     function, direction, and lockset; the aggregate plan from src/map
+//     then classifies the global's sharing scope: XScale-only (single
+//     control core), per-ME (one aggregate, one copy — still shared by
+//     that ME's threads), or cross-ME (multiple aggregates or replicated
+//     copies).
+//
+//  3. Race detection on the census. A store whose value backward-slices
+//     to a load of the same global is a read-modify-write; an RMW outside
+//     any critical section on an ME-shared global races. The one
+//     tolerated shape is the paper's fire-and-forget stat counter: if
+//     every load of the global module-wide flows only back into stores of
+//     the same global (never into a packet, another global, a branch, or
+//     a channel), lost updates are unobservable and the RMW is demoted to
+//     a benign-counter-rmw note. Lock inconsistency fires when all
+//     accesses are locked but no single lock covers them all.
+//
+// The returned GlobalClassification (keyed by global name) is what turns
+// SWC legality into a checked property: the DataPlaneStores bit is
+// computed *before* the scalar ladder runs, so stores the optimizer later
+// proves dead still count — pktopt/Swc consults it via cacheSafe().
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/StateRace.h"
+
+#include "ir/Module.h"
+#include "map/Aggregation.h"
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace sl;
+using namespace sl::analysis;
+using namespace sl::ir;
+
+namespace {
+
+using LockSet = std::set<unsigned>;
+
+/// One global access site, in deterministic module order.
+struct Site {
+  const Instr *I = nullptr;
+  const Function *F = nullptr;
+  bool IsStore = false;
+  LockSet Locks; ///< Locks certainly held at the access.
+};
+
+/// Ops through which a value "stays a value" for slicing/taint purposes.
+bool isFlowOp(Op O) {
+  switch (O) {
+  case Op::ZExt:
+  case Op::SExt:
+  case Op::Trunc:
+  case Op::Phi:
+  case Op::Select:
+    return true;
+  default:
+    return isBinaryOp(O);
+  }
+}
+
+class RaceChecker {
+public:
+  RaceChecker(const Module &M, const map::MappingPlan &Plan,
+              std::vector<Finding> &Out)
+      : M(M), Plan(Plan), Out(Out) {}
+
+  GlobalClassification run() {
+    for (const auto &F : M.functions())
+      computeLocksets(*F);
+    collectSites();
+    GlobalClassification Cls;
+    Cls.Valid = true;
+    for (const auto &G : M.globals())
+      Cls.Facts.emplace(G->name(), classify(G.get()));
+    dedupFindings();
+    return Cls;
+  }
+
+private:
+  const Module &M;
+  const map::MappingPlan &Plan;
+  std::vector<Finding> &Out;
+
+  std::map<const Instr *, LockSet> LocksAt; ///< At each GLoad/GStore.
+  std::map<const Global *, std::vector<Site>> Sites;
+
+  std::string lockName(unsigned Id) const {
+    if (Id < M.LockNames.size() && !M.LockNames[Id].empty())
+      return M.LockNames[Id];
+    return "lock" + std::to_string(Id);
+  }
+
+  // -- Lockset dataflow -----------------------------------------------------
+
+  static void apply(const Instr *I, LockSet &S) {
+    if (I->op() == Op::LockAcquire)
+      S.insert(I->LockId);
+    else if (I->op() == Op::LockRelease)
+      S.erase(I->LockId);
+  }
+
+  void computeLocksets(const Function &F) {
+    if (F.numBlocks() == 0)
+      return;
+    std::map<const BasicBlock *, LockSet> In;
+    std::deque<const BasicBlock *> Work;
+    In[F.entry()] = {};
+    Work.push_back(F.entry());
+    while (!Work.empty()) {
+      const BasicBlock *BB = Work.front();
+      Work.pop_front();
+      LockSet S = In[BB];
+      for (const auto &IP : BB->instrs())
+        apply(IP.get(), S);
+      const Instr *T = BB->terminator();
+      if (!T)
+        continue;
+      for (BasicBlock *Succ : T->succs()) {
+        auto It = In.find(Succ);
+        if (It == In.end()) {
+          In[Succ] = S;
+          Work.push_back(Succ);
+          continue;
+        }
+        // Must-hold join: intersection.
+        LockSet Merged;
+        std::set_intersection(It->second.begin(), It->second.end(), S.begin(),
+                              S.end(), std::inserter(Merged, Merged.begin()));
+        if (Merged != It->second) {
+          It->second = std::move(Merged);
+          Work.push_back(Succ);
+        }
+      }
+    }
+    for (const auto &BB : F.blocks()) {
+      auto It = In.find(BB.get());
+      if (It == In.end())
+        continue; // Unreachable.
+      LockSet S = It->second;
+      for (const auto &IP : BB->instrs()) {
+        if (IP->op() == Op::GLoad || IP->op() == Op::GStore)
+          LocksAt[IP.get()] = S;
+        apply(IP.get(), S);
+      }
+    }
+  }
+
+  void collectSites() {
+    for (const auto &F : M.functions())
+      for (const auto &BB : F->blocks())
+        for (const auto &IP : BB->instrs()) {
+          const Instr *I = IP.get();
+          if (I->op() != Op::GLoad && I->op() != Op::GStore)
+            continue;
+          auto It = LocksAt.find(I);
+          if (It == LocksAt.end())
+            continue; // Unreachable code.
+          Sites[I->GlobalRef].push_back(
+              {I, F.get(), I->op() == Op::GStore, It->second});
+        }
+  }
+
+  // -- Sharing scope --------------------------------------------------------
+
+  GlobalScope scopeOf(const std::vector<Site> &GS) const {
+    if (GS.empty())
+      return GlobalScope::Unused;
+    std::set<unsigned> Aggs;
+    for (const Site &S : GS) {
+      unsigned A = Plan.aggregateOf(S.F);
+      if (A == ~0u)
+        return GlobalScope::CrossMe; // Unplanned helper: assume shared.
+      Aggs.insert(A);
+    }
+    if (Aggs.size() > 1)
+      return GlobalScope::CrossMe;
+    const map::Aggregate &A = Plan.Aggregates[*Aggs.begin()];
+    if (A.OnXScale)
+      return GlobalScope::XScaleOnly;
+    return A.Copies > 1 ? GlobalScope::CrossMe : GlobalScope::PerMe;
+  }
+
+  // -- RMW detection --------------------------------------------------------
+
+  /// Does \p Root (a store's value operand) backward-slice to a load of
+  /// \p G? Walks pure value flow and scalar stack slots, flow-insensitively.
+  bool slicesToLoadOf(const Value *Root, const Global *G) const {
+    std::set<const Value *> Visited;
+    std::deque<const Value *> Work{Root};
+    while (!Work.empty()) {
+      const Value *V = Work.front();
+      Work.pop_front();
+      if (!Visited.insert(V).second)
+        continue;
+      const auto *I = dyn_cast<Instr>(V);
+      if (!I)
+        continue;
+      if (I->op() == Op::GLoad) {
+        if (I->GlobalRef == G)
+          return true;
+        continue;
+      }
+      if (I->op() == Op::Load) {
+        // Pull in everything stored to the slot.
+        for (const Instr *U : I->operand(0)->users())
+          if (U->op() == Op::Store && U->operand(0) == I->operand(0))
+            Work.push_back(U->operand(1));
+        continue;
+      }
+      if (isFlowOp(I->op()) || isCompareOp(I->op()))
+        for (unsigned K = 0; K != I->numOperands(); ++K)
+          Work.push_back(I->operand(K));
+    }
+    return false;
+  }
+
+  /// The benign-counter test: true when no load of \p G anywhere in the
+  /// module escapes — each one feeds (through arithmetic, phis, and stack
+  /// slots) only value operands of stores back to \p G. Then the global
+  /// is write-only state as far as packets, branches, and other globals
+  /// can observe, and a lost update is invisible.
+  bool loadsNeverEscape(const Global *G) const {
+    std::set<const Value *> Taint;
+    std::deque<const Value *> Work;
+    for (const auto &F : M.functions())
+      for (const auto &BB : F->blocks())
+        for (const auto &IP : BB->instrs())
+          if (IP->op() == Op::GLoad && IP->GlobalRef == G) {
+            Taint.insert(IP.get());
+            Work.push_back(IP.get());
+          }
+    while (!Work.empty()) {
+      const Value *V = Work.front();
+      Work.pop_front();
+      for (const Instr *U : V->users()) {
+        if (U->op() == Op::GStore && U->GlobalRef == G &&
+            U->operand(1) == V && U->operand(0) != V)
+          continue; // The one legal sink: stored back into G.
+        if (U->op() == Op::Store && U->operand(1) == V) {
+          // Through a stack slot: taint the slot's loads.
+          for (const Instr *L : U->operand(0)->users())
+            if (L->op() == Op::Load && Taint.insert(L).second)
+              Work.push_back(L);
+          continue;
+        }
+        if (isFlowOp(U->op())) {
+          if (Taint.insert(U).second)
+            Work.push_back(U);
+          continue;
+        }
+        return false; // Packet store, branch, compare, index, call, ...
+      }
+    }
+    return true;
+  }
+
+  // -- Per-global verdict ---------------------------------------------------
+
+  GlobalFacts classify(const Global *G) {
+    GlobalFacts Facts;
+    auto SIt = Sites.find(G);
+    const std::vector<Site> Empty;
+    const std::vector<Site> &GS = SIt == Sites.end() ? Empty : SIt->second;
+    Facts.Scope = scopeOf(GS);
+    for (const Site &S : GS)
+      Facts.DataPlaneStores |= S.IsStore;
+
+    // Races need concurrency: XScale globals are touched by one control
+    // core only, unused globals by nobody.
+    bool Shared = Facts.Scope == GlobalScope::PerMe ||
+                  Facts.Scope == GlobalScope::CrossMe;
+
+    if (Shared) {
+      bool Benign = false, BenignKnown = false;
+      for (const Site &S : GS) {
+        if (!S.IsStore || !S.Locks.empty())
+          continue;
+        if (!slicesToLoadOf(S.I->operand(1), G))
+          continue; // Blind store: last-writer-wins by design.
+        if (!BenignKnown) {
+          Benign = loadsNeverEscape(G);
+          BenignKnown = true;
+        }
+        if (Benign) {
+          if (!Facts.BenignCounter) {
+            Facts.BenignCounter = true;
+            report("benign-counter-rmw", Severity::Note, *S.F, S.I->Loc,
+                   "unlocked counter update of global '%s' (%s): value never "
+                   "observed, lost increments are benign",
+                   G->name().c_str(), globalScopeName(Facts.Scope));
+          }
+        } else {
+          Facts.UnlockedRmw = true;
+          report("race-unlocked-rmw", Severity::Error, *S.F, S.I->Loc,
+                 "read-modify-write of %s global '%s' outside any critical "
+                 "section",
+                 globalScopeName(Facts.Scope), G->name().c_str());
+        }
+      }
+    }
+
+    // Lock-consistency: when every access is locked, some single lock
+    // must cover them all.
+    if (GS.size() >= 2 &&
+        std::all_of(GS.begin(), GS.end(),
+                    [](const Site &S) { return !S.Locks.empty(); })) {
+      LockSet Inter = GS.front().Locks;
+      for (const Site &S : GS) {
+        LockSet Next;
+        std::set_intersection(Inter.begin(), Inter.end(), S.Locks.begin(),
+                              S.Locks.end(),
+                              std::inserter(Next, Next.begin()));
+        if (Next.empty()) {
+          Facts.LockInconsistent = true;
+          if (Shared)
+            report("race-lock-inconsistency", Severity::Error, *S.F, S.I->Loc,
+                   "global '%s' accessed under lock '%s' here but under lock "
+                   "'%s' elsewhere",
+                   G->name().c_str(), lockName(*S.Locks.begin()).c_str(),
+                   lockName(*Inter.begin()).c_str());
+          break;
+        }
+        Inter = std::move(Next);
+      }
+      if (!Facts.LockInconsistent)
+        Facts.ConsistentLock = static_cast<int>(*Inter.begin());
+    }
+    return Facts;
+  }
+
+#if defined(__GNUC__) || defined(__clang__)
+  __attribute__((format(printf, 6, 7)))
+#endif
+  void
+  report(const char *Reason, Severity Sev, const Function &F, SourceLoc Loc,
+         const char *Fmt, ...) {
+    char Msg[256];
+    va_list Ap;
+    va_start(Ap, Fmt);
+    std::vsnprintf(Msg, sizeof(Msg), Fmt, Ap);
+    va_end(Ap);
+    Out.push_back({"state-race", Reason, Sev, F.name(), Loc, Msg});
+  }
+
+  void dedupFindings() {
+    // Inlined clones share source locations; report each (reason, loc)
+    // once. Findings were appended by this run only when Out started
+    // empty; dedup conservatively over the whole vector.
+    std::set<std::tuple<std::string, unsigned, unsigned>> Seen;
+    std::vector<Finding> Kept;
+    Kept.reserve(Out.size());
+    for (Finding &Fi : Out) {
+      if (Fi.Analysis == "state-race" && Fi.Loc.isValid() &&
+          !Seen.insert({Fi.Reason, Fi.Loc.Line, Fi.Loc.Col}).second)
+        continue;
+      Kept.push_back(std::move(Fi));
+    }
+    Out = std::move(Kept);
+  }
+};
+
+} // namespace
+
+const char *analysis::severityName(Severity S) {
+  return S == Severity::Error ? "error" : "note";
+}
+
+const char *analysis::globalScopeName(GlobalScope S) {
+  switch (S) {
+  case GlobalScope::Unused:
+    return "unused";
+  case GlobalScope::XScaleOnly:
+    return "xscale-only";
+  case GlobalScope::PerMe:
+    return "per-me";
+  case GlobalScope::CrossMe:
+    return "cross-me";
+  }
+  return "unknown";
+}
+
+GlobalClassification analysis::checkStateRace(const Module &M,
+                                              const map::MappingPlan &Plan,
+                                              std::vector<Finding> &Out) {
+  return RaceChecker(M, Plan, Out).run();
+}

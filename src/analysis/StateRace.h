@@ -1,0 +1,28 @@
+//===- analysis/StateRace.h - shared-state race checker ---------------------==//
+
+#ifndef SL_ANALYSIS_STATERACE_H
+#define SL_ANALYSIS_STATERACE_H
+
+#include "analysis/Analysis.h"
+
+namespace sl::ir {
+class Module;
+}
+namespace sl::map {
+struct MappingPlan;
+}
+
+namespace sl::analysis {
+
+/// Classifies every module global by who touches it (using the aggregate
+/// plan) and by access discipline (lockset dataflow over `critical`
+/// sections). Emits race-unlocked-rmw / race-lock-inconsistency errors
+/// and benign-counter-rmw notes into \p Out, and returns the per-global
+/// classification pktopt/Swc consults for cache legality.
+GlobalClassification checkStateRace(const ir::Module &M,
+                                    const map::MappingPlan &Plan,
+                                    std::vector<Finding> &Out);
+
+} // namespace sl::analysis
+
+#endif // SL_ANALYSIS_STATERACE_H

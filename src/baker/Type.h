@@ -73,10 +73,16 @@ public:
       return "void";
     case Kind::Bool:
       return "bool";
-    case Kind::Int:
+    case Kind::Int: {
       if (Signed)
         return "int";
-      return "u" + std::to_string(Bits);
+      // Built up in place: `"u" + std::to_string(...)` selects
+      // operator+(const char*, string&&), which GCC 12's -Wrestrict
+      // misanalyzes into a spurious overlap error under -Werror.
+      std::string S = "u";
+      S += std::to_string(Bits);
+      return S;
+    }
     case Kind::Packet:
       return Proto + "_pkt *";
     }

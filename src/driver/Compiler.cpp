@@ -2,6 +2,8 @@
 
 #include "driver/Compiler.h"
 
+#include "analysis/PacketLifetime.h"
+#include "analysis/StateRace.h"
 #include "cg/Lowering.h"
 #include "ir/ASTLower.h"
 #include "map/Placement.h"
@@ -35,6 +37,18 @@ const char *sl::driver::optLevelName(OptLevel L) {
     return "+PHR";
   case OptLevel::Swc:
     return "+SWC";
+  }
+  return "?";
+}
+
+const char *sl::driver::analyzeModeName(AnalyzeMode M) {
+  switch (M) {
+  case AnalyzeMode::Off:
+    return "off";
+  case AnalyzeMode::Warn:
+    return "warn";
+  case AnalyzeMode::Error:
+    return "error";
   }
   return "?";
 }
@@ -204,6 +218,62 @@ std::unique_ptr<CompiledApp> buildOnce(const std::string &Source,
   }
   maybeDumpIr(Opts, "inline", &M);
 
+  // Safety analyses (packet lifetime + shared-state races). They run on
+  // the post-inline but pre-optimization IR on purpose: the scalar ladder
+  // may delete a defective-but-dead access, and legality must reflect
+  // what the programmer wrote, not what the optimizer kept. The race
+  // classification is what SWC consults for cache legality below.
+  if (Opts.Analyze != AnalyzeMode::Off) {
+    {
+      PhaseScope P(Obs, "pkt-lifetime", &M);
+      analysis::checkPacketLifetime(M, App->Findings);
+    }
+    {
+      PhaseScope P(Obs, "state-race", &M);
+      App->Races = analysis::checkStateRace(M, App->Plan, App->Findings);
+    }
+    bool AnyError = false;
+    for (const analysis::Finding &F : App->Findings) {
+      if (Rem)
+        Rem->remark("analysis", obs::RemarkKind::Note, F.Reason, F.Function,
+                    F.Loc)
+            .arg("analysis", F.Analysis)
+            .arg("severity", analysis::severityName(F.Sev))
+            .arg("detail", F.Detail);
+      if (F.Sev != analysis::Severity::Error)
+        continue;
+      AnyError = true;
+      if (Opts.Analyze == AnalyzeMode::Error)
+        Diags.error(F.Loc, "%s [%s]", F.Detail.c_str(), F.Reason.c_str());
+      else
+        Diags.warning(F.Loc, "%s [%s]", F.Detail.c_str(), F.Reason.c_str());
+    }
+    if (Obs) {
+      obs::AnalysisReport AR;
+      AR.Present = true;
+      AR.Mode = analyzeModeName(Opts.Analyze);
+      for (const analysis::Finding &F : App->Findings)
+        AR.Findings.push_back({F.Analysis, F.Reason,
+                               analysis::severityName(F.Sev), F.Function,
+                               F.Loc.isValid() ? F.Loc.Line : 0,
+                               F.Loc.isValid() ? F.Loc.Col : 0, F.Detail});
+      for (const auto &G : M.globals()) {
+        const analysis::GlobalFacts *GF = App->Races.facts(G->name());
+        if (!GF)
+          continue;
+        AR.Globals.push_back({G->name(),
+                              analysis::globalScopeName(GF->Scope),
+                              GF->DataPlaneStores,
+                              App->Races.cacheSafe(G->name()),
+                              GF->UnlockedRmw, GF->BenignCounter,
+                              GF->LockInconsistent, GF->ConsistentLock});
+      }
+      Obs->setAnalysisReport(std::move(AR));
+    }
+    if (AnyError && Opts.Analyze == AnalyzeMode::Error)
+      return nullptr;
+  }
+
   // Scalar ladder.
   if (atLeast(Opts.Level, OptLevel::O1)) {
     PhaseScope P(Obs, "o1", &M);
@@ -245,7 +315,8 @@ std::unique_ptr<CompiledApp> buildOnce(const std::string &Source,
   }
   if (atLeast(Opts.Level, OptLevel::Swc)) {
     PhaseScope P(Obs, "swc", &M);
-    pktopt::runSwc(M, App->Prof, Opts.Swc, Rem);
+    pktopt::runSwc(M, App->Prof, Opts.Swc, Rem,
+                   App->Races.Valid ? &App->Races : nullptr);
     P.end();
     maybeDumpIr(Opts, "swc", &M);
   }

@@ -17,6 +17,7 @@
 #ifndef SL_DRIVER_COMPILER_H
 #define SL_DRIVER_COMPILER_H
 
+#include "analysis/Analysis.h"
 #include "baker/Frontend.h"
 #include "cg/CgConfig.h"
 #include "cg/RegAlloc.h"
@@ -38,6 +39,15 @@ namespace sl::driver {
 enum class OptLevel : uint8_t { Base, O1, O2, Pac, Soar, Phr, Swc };
 
 const char *optLevelName(OptLevel L);
+
+/// How the Baker safety analyses (src/analysis) gate the build.
+///   Off   — analyses do not run; SWC falls back to its own legality scan.
+///   Warn  — analyses run; error findings become warnings; the race
+///           classification feeds SWC legality. The default.
+///   Error — like Warn, but any error-severity finding fails the compile.
+enum class AnalyzeMode : uint8_t { Off, Warn, Error };
+
+const char *analyzeModeName(AnalyzeMode M);
 
 /// Initial contents of an application table (applied before profiling and
 /// before simulation — the control-plane configuration).
@@ -71,6 +81,8 @@ struct CompileOptions {
   /// pipeline phase ("o1", "pac", "soar", ... — any phase name the
   /// observer would record). Empty disables; "*" dumps after every phase.
   std::string PrintIrAfter;
+  /// Safety-analysis gate (packet lifetime + shared-state races).
+  AnalyzeMode Analyze = AnalyzeMode::Warn;
 };
 
 /// One loadable ME (or XScale) image.
@@ -96,6 +108,10 @@ struct CompiledApp {
   std::vector<AggregateBinary> Images;
   std::vector<TableInit> Tables;
   CompileOptions Opts;
+  /// Findings and per-global race classification from the safety
+  /// analyses (empty / !Races.Valid when Analyze == Off).
+  std::vector<analysis::Finding> Findings;
+  analysis::GlobalClassification Races;
   unsigned PlanIterations = 0;
   /// Expansion factor the final plan was formed with (measured or static,
   /// including oversize-retry growth) — needed to recover per-aggregate

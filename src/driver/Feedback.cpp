@@ -18,12 +18,21 @@ std::string sl::driver::planSignature(const map::MappingPlan &Plan) {
     for (const ir::Function *F : A.Funcs)
       Names.push_back(F->name());
     std::sort(Names.begin(), Names.end());
+    // Appended piecewise: `"@" + std::to_string(...)` selects
+    // operator+(const char*, string&&), which GCC 12's -Wrestrict
+    // misanalyzes into a spurious overlap error under -Werror.
     std::string L = A.OnXScale ? "XS" : "ME";
-    if (!A.OnXScale && A.Slot != ~0u)
-      L += "@" + std::to_string(A.Slot); // Physical placement is plan state.
-    L += " x" + std::to_string(A.OnXScale ? 1u : A.Copies) + ":";
-    for (const std::string &N : Names)
-      L += " " + N;
+    if (!A.OnXScale && A.Slot != ~0u) {
+      L += '@'; // Physical placement is plan state.
+      L += std::to_string(A.Slot);
+    }
+    L += " x";
+    L += std::to_string(A.OnXScale ? 1u : A.Copies);
+    L += ':';
+    for (const std::string &N : Names) {
+      L += ' ';
+      L += N;
+    }
     Lines.push_back(std::move(L));
   }
   std::sort(Lines.begin(), Lines.end());

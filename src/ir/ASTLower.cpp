@@ -86,6 +86,9 @@ void Lowering::declareModuleEntities() {
   M = std::make_unique<Module>();
   M->MetaBits = Sema.MetaBits;
   M->NumLocks = static_cast<unsigned>(Sema.Locks.size());
+  M->LockNames.resize(Sema.Locks.size());
+  for (const auto &[LockName, LockId] : Sema.Locks)
+    M->LockNames[LockId] = LockName;
 
   for (const auto &P : AST.Protocols) {
     ProtoInfo PI;
@@ -313,10 +316,10 @@ void Lowering::lowerStmt(const baker::Stmt *S) {
     return;
   case baker::Stmt::Kind::Critical: {
     const auto *C = cast<baker::CriticalStmt>(S);
-    B->createLockAcquire(C->LockId);
+    B->createLockAcquire(C->LockId)->Loc = C->Loc;
     lowerStmt(C->Body.get());
     if (!B->terminated())
-      B->createLockRelease(C->LockId);
+      B->createLockRelease(C->LockId)->Loc = C->Loc;
     return;
   }
   }
@@ -473,7 +476,7 @@ void Lowering::lowerAssign(const baker::AssignExpr *A) {
     assert(V->Global && "unresolved variable");
     Global *G = GlobalMap.at(V->Global);
     Value *Conv = convertToIr(R, false, Type::intTy(G->elemBits()));
-    B->createGStore(G, B->i32(0), Conv);
+    B->createGStore(G, B->i32(0), Conv)->Loc = V->Loc;
     return;
   }
   case baker::Expr::Kind::Index: {
@@ -483,7 +486,7 @@ void Lowering::lowerAssign(const baker::AssignExpr *A) {
     Value *Idx = rvalue(I->Index.get());
     Idx = convertToIr(Idx, I->Index->Ty.isSigned(), Type::intTy(32));
     Value *Conv = convertToIr(R, false, Type::intTy(G->elemBits()));
-    B->createGStore(G, Idx, Conv);
+    B->createGStore(G, Idx, Conv)->Loc = I->Loc;
     return;
   }
   case baker::Expr::Kind::PktField: {
@@ -564,6 +567,7 @@ Value *Lowering::rvalue(const baker::Expr *E) {
     assert(V->Global && "unresolved variable");
     Global *G = GlobalMap.at(V->Global);
     Instr *L = B->createGLoad(G, B->i32(0));
+    L->Loc = E->Loc;
     return convertToIr(L, false, irType(E->Ty));
   }
 
@@ -732,6 +736,7 @@ Value *Lowering::rvalue(const baker::Expr *E) {
     Value *Idx = rvalue(I->Index.get());
     Idx = convertToIr(Idx, I->Index->Ty.isSigned(), Type::intTy(32));
     Instr *L = B->createGLoad(G, Idx);
+    L->Loc = E->Loc;
     return convertToIr(L, false, irType(E->Ty));
   }
 

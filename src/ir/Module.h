@@ -119,6 +119,9 @@ public:
   Function *EntryPpf = nullptr;  ///< Receives packets from Rx.
   unsigned MetaBits = 16;        ///< User metadata block size (incl rx_port).
   unsigned NumLocks = 0;
+  /// Source names of the locks, indexed by lock id (parallel to the ids
+  /// Sema assigned). Diagnostics only; may be empty for synthetic IR.
+  std::vector<std::string> LockNames;
 
   /// Metadata bit ranges visible outside the PPF dataflow (written by Rx or
   /// consumed by Tx); PHR must not localize accesses to these. rx_port

@@ -65,15 +65,23 @@ public:
   bool operator!=(const Type &RHS) const { return !(*this == RHS); }
 
   std::string str() const {
+    // Built up in place: `"i" + std::to_string(...)` selects
+    // operator+(const char*, string&&), which GCC 12's -Wrestrict
+    // misanalyzes into a spurious overlap error under -Werror.
+    std::string S;
     switch (K) {
     case Kind::Void:
       return "void";
     case Kind::Int:
-      return "i" + std::to_string(Bits);
+      S = "i";
+      S += std::to_string(Bits);
+      return S;
     case Kind::Packet:
       return "pkt";
     case Kind::Wide:
-      return "w" + std::to_string(Words);
+      S = "w";
+      S += std::to_string(Words);
+      return S;
     }
     return "<invalid>";
   }

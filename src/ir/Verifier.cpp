@@ -27,6 +27,7 @@ private:
   void checkBlock(BasicBlock &BB);
   void checkInstr(Instr &I);
   void checkTyping(Instr &I);
+  void checkHandleProducer(Instr &I);
   void checkDominance(DomTree &DT);
 
   Function &F;
@@ -80,6 +81,34 @@ void Verifier::checkInstr(Instr &I) {
       fail(&I, "operand of '%s' does not list it as user", opName(I.op()));
   }
   checkTyping(I);
+}
+
+// Packet handles have a closed set of producers: the PPF's packet
+// argument, the SSA undef placeholder, decap/encap/copy results, handles
+// merged by phis/selects, handles moved through stack slots, or a helper
+// call's return value. Anything else (say a GLoad retyped as a packet)
+// is malformed IR that must fail here instead of reaching the lifetime
+// analyzer.
+void Verifier::checkHandleProducer(Instr &I) {
+  Value *H = I.operand(0);
+  if (!H || !H->type().isPacket())
+    return; // Typing check already reported it.
+  if (isa<Argument>(H) || isa<ConstInt>(H))
+    return;
+  auto *P = cast<Instr>(H);
+  switch (P->op()) {
+  case Op::PktDecap:
+  case Op::PktEncap:
+  case Op::PktCopy:
+  case Op::Phi:
+  case Op::Select:
+  case Op::Load:
+  case Op::Call:
+    return;
+  default:
+    fail(&I, "packet operand of '%s' produced by illegal '%s'",
+         opName(I.op()), opName(P->op()));
+  }
 }
 
 void Verifier::checkTyping(Instr &I) {
@@ -185,34 +214,41 @@ void Verifier::checkTyping(Instr &I) {
     if (!opTy(0).isPacket() || !I.type().isInt() || I.BitWidth == 0 ||
         I.BitWidth > I.type().bits())
       fail(&I, "bad packet/meta load");
+    checkHandleProducer(I);
     return;
   case Op::PktStore:
   case Op::MetaStore:
     if (!opTy(0).isPacket() || !opTy(1).isInt() || I.BitWidth == 0 ||
         I.BitWidth > opTy(1).bits())
       fail(&I, "bad packet/meta store");
+    checkHandleProducer(I);
     return;
   case Op::PktDecap:
     if (!opTy(0).isPacket() || opTy(1) != Type::intTy(32) ||
         !I.type().isPacket())
       fail(&I, "bad decap");
+    checkHandleProducer(I);
     return;
   case Op::PktEncap:
     if (!opTy(0).isPacket() || !I.type().isPacket() || I.SizeBytes == 0)
       fail(&I, "bad encap");
+    checkHandleProducer(I);
     return;
   case Op::PktCopy:
     if (!opTy(0).isPacket() || !I.type().isPacket())
       fail(&I, "bad copy");
+    checkHandleProducer(I);
     return;
   case Op::PktDrop:
   case Op::ChannelPut:
     if (!opTy(0).isPacket())
       fail(&I, "'%s' needs a packet handle", opName(I.op()));
+    checkHandleProducer(I);
     return;
   case Op::PktLength:
     if (!opTy(0).isPacket() || I.type() != Type::intTy(32))
       fail(&I, "bad pkt.length");
+    checkHandleProducer(I);
     return;
   case Op::LockAcquire:
   case Op::LockRelease:
@@ -221,11 +257,13 @@ void Verifier::checkTyping(Instr &I) {
     if (!opTy(0).isPacket() || !I.type().isWide() ||
         I.type().words() != I.Words || I.Words == 0)
       fail(&I, "bad wide load");
+    checkHandleProducer(I);
     return;
   case Op::PktStoreWide:
     if (!opTy(0).isPacket() || !opTy(1).isWide() ||
         opTy(1).words() != I.Words)
       fail(&I, "bad wide store");
+    checkHandleProducer(I);
     return;
   case Op::WideExtract:
     if (!opTy(0).isWide() || !I.type().isInt() || I.BitWidth == 0 ||

@@ -216,6 +216,45 @@ void CompileObserver::writeJson(JsonWriter &W) const {
   }
   W.endArray();
 
+  if (Analysis.Present) {
+    W.key("analysis");
+    W.beginObject();
+    W.field("mode", Analysis.Mode);
+    W.key("findings");
+    W.beginArray();
+    for (const AnalysisFinding &F : Analysis.Findings) {
+      W.beginObject();
+      W.field("analysis", F.Analysis);
+      W.field("reason", F.Reason);
+      W.field("severity", F.Severity);
+      if (!F.Function.empty())
+        W.field("function", F.Function);
+      if (F.Line) {
+        W.field("line", uint64_t(F.Line));
+        W.field("col", uint64_t(F.Col));
+      }
+      W.field("detail", F.Detail);
+      W.endObject();
+    }
+    W.endArray();
+    W.key("globals");
+    W.beginArray();
+    for (const AnalysisGlobalRecord &G : Analysis.Globals) {
+      W.beginObject();
+      W.field("name", G.Name);
+      W.field("scope", G.Scope);
+      W.field("dataPlaneStores", G.DataPlaneStores);
+      W.field("cacheSafe", G.CacheSafe);
+      W.field("unlockedRmw", G.UnlockedRmw);
+      W.field("benignCounter", G.BenignCounter);
+      W.field("lockInconsistent", G.LockInconsistent);
+      W.field("consistentLock", int64_t(G.ConsistentLock));
+      W.endObject();
+    }
+    W.endArray();
+    W.endObject();
+  }
+
   if (!Rounds.empty()) {
     W.key("feedbackRounds");
     W.beginArray();

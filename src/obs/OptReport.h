@@ -70,6 +70,39 @@ struct PassRecord {
   IrStats Before, After;
 };
 
+/// One safety-analysis finding, as exported to the opt-report. The driver
+/// converts analysis::Finding into this obs-local mirror so the obs
+/// library stays independent of src/analysis.
+struct AnalysisFinding {
+  std::string Analysis; ///< "pkt-lifetime" | "state-race".
+  std::string Reason;   ///< Kebab-case reason code.
+  std::string Severity; ///< "error" | "note".
+  std::string Function;
+  unsigned Line = 0, Col = 0; ///< 0 when no source location.
+  std::string Detail;
+};
+
+/// One global's sharing classification, as exported to the opt-report.
+struct AnalysisGlobalRecord {
+  std::string Name;
+  std::string Scope; ///< "unused" | "xscale-only" | "per-me" | "cross-me".
+  bool DataPlaneStores = false;
+  bool CacheSafe = false;
+  bool UnlockedRmw = false;
+  bool BenignCounter = false;
+  bool LockInconsistent = false;
+  int ConsistentLock = -1;
+};
+
+/// The opt-report's "analysis" section (absent until the driver runs the
+/// safety analyses and calls setAnalysisReport).
+struct AnalysisReport {
+  bool Present = false;
+  std::string Mode; ///< "off" | "warn" | "error".
+  std::vector<AnalysisFinding> Findings;
+  std::vector<AnalysisGlobalRecord> Globals;
+};
+
 /// Per-round summary recorded by compileWithFeedback.
 struct FeedbackRoundRecord {
   unsigned Round = 0;
@@ -100,6 +133,11 @@ public:
   void setRound(int Round);
 
   void noteFeedbackRound(FeedbackRoundRecord R);
+
+  /// Installs the safety-analysis section (last call wins — the oversize
+  /// retry loop re-runs the analyses per attempt).
+  void setAnalysisReport(AnalysisReport R) { Analysis = std::move(R); }
+  const AnalysisReport &analysisReport() const { return Analysis; }
 
   /// Captures total wall time (construction -> now). Called by the driver
   /// when a compile finishes; callable repeatedly (last call wins), so a
@@ -136,6 +174,7 @@ private:
   unsigned Attempts = 0;
   std::vector<PassRecord> Passes;
   std::vector<FeedbackRoundRecord> Rounds;
+  AnalysisReport Analysis;
   std::string CtxApp, CtxLevel;
 };
 

@@ -2,6 +2,7 @@
 
 #include "pktopt/Swc.h"
 
+#include "analysis/Analysis.h"
 #include "obs/Remark.h"
 
 #include <algorithm>
@@ -12,7 +13,8 @@ using namespace sl;
 using namespace sl::pktopt;
 
 SwcResult sl::pktopt::runSwc(ir::Module &M, const profile::ProfileData &Prof,
-                             const SwcParams &P, obs::RemarkEmitter *Rem) {
+                             const SwcParams &P, obs::RemarkEmitter *Rem,
+                             const analysis::GlobalClassification *Cls) {
   SwcResult R;
   if (Prof.Packets == 0) {
     if (Rem)
@@ -56,6 +58,15 @@ SwcResult sl::pktopt::runSwc(ir::Module &M, const profile::ProfileData &Prof,
     ir::Global *G = GPtr.get();
     if (StoredByDataPlane.count(G)) {
       missed(G, "written-by-data-plane", 0, 0, 0);
+      continue;
+    }
+    // The race checker classified this global before the scalar ladder
+    // ran; if it saw a data-plane store that the optimizer has since
+    // deleted, the scan above is blind to it and only the classification
+    // can veto. Distinct reason code: this rejection is the analysis
+    // overriding an otherwise-cacheable candidate.
+    if (Cls && Cls->Valid && !Cls->cacheSafe(G->name())) {
+      missed(G, "swc-unsafe-shared", 0, 0, 0);
       continue;
     }
     auto It = Prof.Globals.find(G);

@@ -25,6 +25,9 @@
 namespace sl::obs {
 class RemarkEmitter;
 }
+namespace sl::analysis {
+struct GlobalClassification;
+}
 
 namespace sl::pktopt {
 
@@ -52,12 +55,20 @@ struct SwcResult {
 /// With \p Rem attached each global emits an "swc" remark: fired with
 /// reason "cached" (args: global, loadRate, storeRate, hitRate, interval)
 /// when selected, missed otherwise with the rejection reason
-/// (written-by-data-plane, cold, store-rate-too-high, hit-rate-too-low,
-/// cam-budget-exceeded); an empty profile emits a single note
-/// "no-profile-data". Observation-only.
+/// (written-by-data-plane, swc-unsafe-shared, cold, store-rate-too-high,
+/// hit-rate-too-low, cam-budget-exceeded); an empty profile emits a
+/// single note "no-profile-data". Observation-only.
+///
+/// \p Cls is the race checker's per-global classification (driver
+/// Analyze != Off). When present it is the legality authority: SWC's own
+/// IR scan runs after the scalar ladder, so a data-plane store the
+/// optimizer deleted is invisible to it — the pre-optimization
+/// classification still vetoes such globals (reason swc-unsafe-shared).
+/// Null preserves the scan-only legacy behavior.
 SwcResult runSwc(ir::Module &M, const profile::ProfileData &Prof,
                  const SwcParams &P = SwcParams(),
-                 obs::RemarkEmitter *Rem = nullptr);
+                 obs::RemarkEmitter *Rem = nullptr,
+                 const analysis::GlobalClassification *Cls = nullptr);
 
 } // namespace sl::pktopt
 

@@ -1,0 +1,320 @@
+//===- tests/AnalysisTest.cpp - Baker safety analyses ------------------------==//
+//
+// Covers the packet-lifetime linearity checker and the shared-state race
+// checker (src/analysis): the seeded bug corpus under examples/bad/ is
+// rejected with exactly the expected reason codes, the three paper
+// applications compile clean at --analyze=error, the race classification
+// is the SWC legality authority (a store the optimizer deletes still
+// vetoes caching), and findings are deterministic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/PacketLifetime.h"
+#include "analysis/StateRace.h"
+#include "apps/Apps.h"
+#include "driver/Compiler.h"
+#include "ir/ASTLower.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+#include "obs/OptReport.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+using namespace sl;
+using namespace sl::driver;
+
+namespace {
+
+std::string readFile(const std::string &Path) {
+  std::ifstream IS(Path);
+  EXPECT_TRUE(IS.good()) << "cannot open " << Path;
+  std::ostringstream SS;
+  SS << IS.rdbuf();
+  return SS.str();
+}
+
+/// Deterministic 64-byte ether frames; types alternate so both sides of
+/// protocol-type branches execute during profiling.
+profile::Trace corpusTrace() {
+  profile::Trace T;
+  for (unsigned I = 0; I != 16; ++I) {
+    std::vector<uint8_t> F(64, static_cast<uint8_t>(I));
+    uint16_t Type = (I & 1) ? 0x0800 : 0x0806;
+    F[12] = static_cast<uint8_t>(Type >> 8);
+    F[13] = static_cast<uint8_t>(Type & 0xFF);
+    T.push_back({F, static_cast<uint16_t>(I & 3)});
+  }
+  return T;
+}
+
+std::unique_ptr<CompiledApp> compileSource(const std::string &Src,
+                                           AnalyzeMode Mode,
+                                           DiagEngine &Diags,
+                                           obs::CompileObserver *Obs = nullptr) {
+  CompileOptions Opts;
+  Opts.Level = OptLevel::Swc;
+  Opts.Map.NumMEs = 2;
+  Opts.Analyze = Mode;
+  Opts.Observer = Obs;
+  return compile(Src, corpusTrace(), {}, Opts, Diags);
+}
+
+std::set<std::string> errorReasons(const CompiledApp &App) {
+  std::set<std::string> R;
+  for (const analysis::Finding &F : App.Findings)
+    if (F.Sev == analysis::Severity::Error)
+      R.insert(F.Reason);
+  return R;
+}
+
+struct CorpusCase {
+  const char *File;
+  std::set<std::string> Expected;
+};
+
+class BadCorpus : public ::testing::TestWithParam<CorpusCase> {};
+
+// Every corpus program compiles at --analyze=warn (findings demoted to
+// warnings) with exactly the expected error-severity reason codes, and is
+// rejected outright at --analyze=error with those codes in the
+// diagnostics.
+TEST_P(BadCorpus, ExactReasonCodes) {
+  const CorpusCase &C = GetParam();
+  std::string Src =
+      readFile(std::string(SL_SOURCE_DIR "/examples/bad/") + C.File);
+  ASSERT_FALSE(Src.empty());
+
+  DiagEngine WarnDiags;
+  auto App = compileSource(Src, AnalyzeMode::Warn, WarnDiags);
+  ASSERT_NE(App, nullptr) << WarnDiags.str();
+  EXPECT_EQ(errorReasons(*App), C.Expected);
+
+  DiagEngine ErrDiags;
+  auto Rejected = compileSource(Src, AnalyzeMode::Error, ErrDiags);
+  EXPECT_EQ(Rejected, nullptr);
+  for (const std::string &Reason : C.Expected)
+    EXPECT_NE(ErrDiags.str().find(Reason), std::string::npos)
+        << "missing reason '" << Reason << "' in:\n"
+        << ErrDiags.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeded, BadCorpus,
+    ::testing::Values(
+        CorpusCase{"use_after_put.baker", {"pkt-use-after-release"}},
+        CorpusCase{"use_after_drop.baker", {"pkt-use-after-release"}},
+        CorpusCase{"double_drop.baker", {"pkt-double-release"}},
+        CorpusCase{"put_then_drop.baker", {"pkt-double-release"}},
+        CorpusCase{"leak_one_path.baker", {"pkt-leak"}},
+        CorpusCase{"leak_copy.baker", {"pkt-leak"}},
+        CorpusCase{"conditional_drop_use.baker",
+                   {"pkt-use-after-release", "pkt-double-release"}},
+        CorpusCase{"unlocked_rmw.baker", {"race-unlocked-rmw"}},
+        CorpusCase{"two_locks.baker", {"race-lock-inconsistency"}},
+        CorpusCase{"rmw_partial_lock.baker", {"race-unlocked-rmw"}}),
+    [](const ::testing::TestParamInfo<CorpusCase> &Info) {
+      std::string N = Info.param.File;
+      return N.substr(0, N.find('.'));
+    });
+
+// The three paper applications carry no lifetime or race errors: they
+// must compile unchanged at the strictest gate.
+TEST(Analysis, AppsCompileCleanAtError) {
+  for (const apps::AppBundle &A : apps::allApps()) {
+    CompileOptions Opts;
+    Opts.Level = OptLevel::Swc;
+    Opts.Map.NumMEs = 4;
+    Opts.TxMetaFields = A.TxMetaFields;
+    Opts.Analyze = AnalyzeMode::Error;
+    DiagEngine Diags;
+    auto App = compile(A.Source, A.makeTrace(0x9999, 256), A.Tables, Opts,
+                       Diags);
+    ASSERT_NE(App, nullptr) << A.Name << ":\n" << Diags.str();
+    EXPECT_TRUE(errorReasons(*App).empty()) << A.Name;
+  }
+}
+
+// The L3 switch's `drops = drops + 1` style counters are unlocked RMWs
+// whose loads never escape — tolerated, but recorded as notes.
+TEST(Analysis, BenignCountersAreNotes) {
+  apps::AppBundle A = apps::l3switch();
+  CompileOptions Opts;
+  Opts.Level = OptLevel::Swc;
+  Opts.Map.NumMEs = 4;
+  Opts.TxMetaFields = A.TxMetaFields;
+  DiagEngine Diags;
+  auto App =
+      compile(A.Source, A.makeTrace(0x9999, 256), A.Tables, Opts, Diags);
+  ASSERT_NE(App, nullptr) << Diags.str();
+  unsigned Benign = 0;
+  for (const analysis::Finding &F : App->Findings)
+    if (F.Reason == "benign-counter-rmw") {
+      EXPECT_EQ(F.Sev, analysis::Severity::Note);
+      ++Benign;
+    }
+  EXPECT_GE(Benign, 1u);
+}
+
+// Findings are a deterministic function of the program: two independent
+// compiles produce identical finding lists (order included).
+TEST(Analysis, FindingsAreDeterministic) {
+  std::string Src = readFile(
+      std::string(SL_SOURCE_DIR "/examples/bad/conditional_drop_use.baker"));
+  DiagEngine D1, D2;
+  auto A1 = compileSource(Src, AnalyzeMode::Warn, D1);
+  auto A2 = compileSource(Src, AnalyzeMode::Warn, D2);
+  ASSERT_NE(A1, nullptr);
+  ASSERT_NE(A2, nullptr);
+  ASSERT_EQ(A1->Findings.size(), A2->Findings.size());
+  for (size_t I = 0; I != A1->Findings.size(); ++I)
+    EXPECT_TRUE(A1->Findings[I] == A2->Findings[I]) << "finding " << I;
+}
+
+// The checked-property test for SWC legality: the data-plane store below
+// is dead (t is always 0), so the scalar ladder deletes it and SWC's own
+// post-optimization scan sees a read-only table. Only the pre-ladder race
+// classification knows better. With analyses off, SWC caches the table;
+// with them on, it refuses with the swc-unsafe-shared remark.
+TEST(Analysis, SwcConsultsRaceClassification) {
+  static const char *Src = R"(
+protocol ether {
+  dst : 48;
+  src : 48;
+  type : 16;
+  demux { 14 };
+};
+
+metadata {
+  tx_port : 16;
+};
+
+module swc_trap {
+  u32 route[16];
+
+  ppf fwd(ether_pkt * ph) {
+    u32 t = 0;
+    if (t == 1) {
+      route[0] = 1;
+    }
+    ph->meta.tx_port = route[ph->meta.rx_port & 15] & 3;
+    channel_put(tx, ph);
+  }
+
+  wire rx -> fwd;
+}
+)";
+
+  // Legacy behavior: analyses off, the dead store is gone by SWC time,
+  // the table looks read-only and hot, and gets cached.
+  DiagEngine OffDiags;
+  auto Off = compileSource(Src, AnalyzeMode::Off, OffDiags);
+  ASSERT_NE(Off, nullptr) << OffDiags.str();
+  ASSERT_FALSE(Off->Races.Valid);
+  ir::Global *OffRoute = Off->IR->findGlobal("route");
+  ASSERT_NE(OffRoute, nullptr);
+  EXPECT_TRUE(OffRoute->Cached)
+      << "premise broken: SWC no longer caches the dead-store table";
+
+  // Checked behavior: the classification (taken before the ladder) saw
+  // the store and vetoes the cache.
+  obs::CompileObserver Obs;
+  DiagEngine WarnDiags;
+  auto Warn = compileSource(Src, AnalyzeMode::Warn, WarnDiags, &Obs);
+  ASSERT_NE(Warn, nullptr) << WarnDiags.str();
+  ASSERT_TRUE(Warn->Races.Valid);
+  const analysis::GlobalFacts *F = Warn->Races.facts("route");
+  ASSERT_NE(F, nullptr);
+  EXPECT_TRUE(F->DataPlaneStores);
+  EXPECT_FALSE(Warn->Races.cacheSafe("route"));
+  ir::Global *WarnRoute = Warn->IR->findGlobal("route");
+  ASSERT_NE(WarnRoute, nullptr);
+  EXPECT_FALSE(WarnRoute->Cached);
+
+  bool SawVeto = false;
+  for (const obs::Remark &R : Obs.Remarks.remarks())
+    if (R.Pass == "swc" && R.Reason == "swc-unsafe-shared")
+      SawVeto = true;
+  EXPECT_TRUE(SawVeto);
+}
+
+// Releasing a handle that was never produced by decap/encap/copy or a
+// function argument is reported as pkt-release-uninitialized. Baker's
+// Sema rejects such programs, so build the IR directly.
+TEST(PacketLifetime, ReleaseOfUndefHandle) {
+  ir::Function F("f", ir::Type::voidTy(), /*IsPpf=*/true);
+  ir::IRBuilder B(&F);
+  B.setInsertBlock(F.addBlock("entry"));
+  B.createPktDrop(F.undef(ir::Type::packetTy()));
+  B.createRet(nullptr);
+
+  std::vector<analysis::Finding> Out;
+  analysis::checkPacketLifetime(F, Out);
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out[0].Reason, "pkt-release-uninitialized");
+  EXPECT_EQ(Out[0].Sev, analysis::Severity::Error);
+  EXPECT_EQ(Out[0].Function, "f");
+}
+
+// The verifier now enforces the producer invariant the lifetime checker
+// relies on: packet operands must come from decap/encap/copy, phi,
+// select, load, call, or a function argument.
+TEST(Verifier, RejectsIllegalPacketProducer) {
+  ir::Function F("f", ir::Type::voidTy(), /*IsPpf=*/true);
+  ir::IRBuilder B(&F);
+  B.setInsertBlock(F.addBlock("entry"));
+  // A packet-typed value minted by an arithmetic op is never legal.
+  ir::Instr *Bogus = B.createBin(ir::Op::Add, B.i32(1), B.i32(2));
+  Bogus->setType(ir::Type::packetTy());
+  B.createPktDrop(Bogus);
+  B.createRet(nullptr);
+
+  std::vector<std::string> Problems = ir::verifyFunction(F);
+  bool Found = false;
+  for (const std::string &P : Problems)
+    if (P.find("illegal") != std::string::npos)
+      Found = true;
+  EXPECT_TRUE(Found) << "verifier accepted an arithmetic packet producer";
+}
+
+// Lock names survive lowering so race findings can name the locks
+// involved instead of printing raw ids.
+TEST(Analysis, LockNamesExported) {
+  static const char *Src = R"(
+protocol p {
+  f : 32;
+  demux { 4 };
+};
+
+metadata {
+  m : 16;
+};
+
+module locks {
+  u32 g;
+  ppf f(p_pkt * ph) {
+    critical (alpha) {
+      g = 1;
+    }
+    critical (beta) {
+      g = 2;
+    }
+    packet_drop(ph);
+  }
+  wire rx -> f;
+}
+)";
+  DiagEngine Diags;
+  auto Unit = baker::parseAndAnalyze(Src, Diags);
+  ASSERT_NE(Unit, nullptr) << Diags.str();
+  auto M = ir::lowerProgram(*Unit, Diags);
+  ASSERT_NE(M, nullptr);
+  ASSERT_EQ(M->LockNames.size(), 2u);
+  EXPECT_EQ(M->LockNames[0], "alpha");
+  EXPECT_EQ(M->LockNames[1], "beta");
+}
+
+} // namespace

@@ -282,9 +282,11 @@ TEST(Placement, PipelinedSingleCopyStagesGetNNChannels) {
   EXPECT_GE(NN, 1u) << "an adjacent single-copy pipeline must lower at "
                        "least one NN channel";
   // Placement is plan state: every ME aggregate got a physical slot.
-  for (const map::Aggregate &A : Plan.Aggregates)
-    if (!A.OnXScale)
+  for (const map::Aggregate &A : Plan.Aggregates) {
+    if (!A.OnXScale) {
       EXPECT_NE(A.Slot, ~0u);
+    }
+  }
 }
 
 TEST(Placement, ReplicatedStagesDowngradeToScratch) {
@@ -391,9 +393,11 @@ TEST(Placement, RemarksReachTheObserver) {
                                 /*CodeStoreInstrs=*/512);
   ASSERT_NE(NoNN, nullptr);
   EXPECT_EQ(Off.Remarks.count("placement", obs::RemarkKind::Fired), 0u);
-  for (const obs::Remark &R : Off.Remarks.remarks())
-    if (R.Pass == "placement")
+  for (const obs::Remark &R : Off.Remarks.remarks()) {
+    if (R.Pass == "placement") {
       EXPECT_EQ(R.Reason, "nn-disabled");
+    }
+  }
 }
 
 //===----------------------------------------------------------------------===//

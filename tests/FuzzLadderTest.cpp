@@ -9,6 +9,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/PacketLifetime.h"
+#include "analysis/StateRace.h"
 #include "driver/Compiler.h"
 #include "interp/Interp.h"
 #include "ir/ASTLower.h"
@@ -205,6 +207,19 @@ TEST_P(FuzzLadder, SimMatchesInterpreter) {
     DiagEngine Diags;
     auto App = compile(Src, Trace, {}, Opts, Diags);
     ASSERT_NE(App, nullptr) << Diags.str();
+
+    // The safety analyses must digest the surviving IR at every ladder
+    // stage without crashing, and twice over the same module must yield
+    // identical findings (order included) — they are pure functions of
+    // the program.
+    std::vector<analysis::Finding> F1, F2;
+    analysis::checkPacketLifetime(*App->IR, F1);
+    analysis::checkStateRace(*App->IR, App->Plan, F1);
+    analysis::checkPacketLifetime(*App->IR, F2);
+    analysis::checkStateRace(*App->IR, App->Plan, F2);
+    ASSERT_EQ(F1.size(), F2.size()) << optLevelName(L);
+    for (size_t K = 0; K != F1.size(); ++K)
+      ASSERT_TRUE(F1[K] == F2[K]) << optLevelName(L) << " finding " << K;
 
     ixp::ChipParams Chip;
     Chip.ThreadsPerME = 1;

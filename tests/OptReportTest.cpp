@@ -73,7 +73,8 @@ TEST(OptReport, L3SwitchSwcReportIsComplete) {
 
   // The pipeline phases were all recorded, in order, under attempt 0.
   const char *Expected[] = {"parse",  "ir-lower", "profile",
-                            "aggregate-formation", "inline", "o1", "o2",
+                            "aggregate-formation", "inline", "pkt-lifetime",
+                            "state-race", "o1", "o2",
                             "phr",    "phr-cleanup", "pac", "soar", "swc",
                             "verify", "memory-map", "codegen"};
   std::vector<std::string> Names;
@@ -92,8 +93,9 @@ TEST(OptReport, L3SwitchSwcReportIsComplete) {
 
   // The o1 phase ran its fixed point at least once.
   for (const obs::PassRecord &P : Obs.passes()) {
-    if (P.Name == "o1")
+    if (P.Name == "o1") {
       EXPECT_GE(P.FixpointRounds, 1u);
+    }
   }
 
   // The JSON report carries the schema headline fields and the remark
@@ -116,6 +118,73 @@ TEST(OptReport, L3SwitchSwcReportIsComplete) {
        P = T.find("\"ph\"", P + 1))
     ++Events;
   EXPECT_GE(Events, Obs.passes().size());
+}
+
+TEST(OptReport, AnalysisSectionSchema) {
+  obs::CompileObserver Obs;
+  apps::AppBundle App = apps::l3switch();
+  auto Compiled =
+      bench::compileApp(App, driver::OptLevel::Swc, /*NumMEs=*/4, true, &Obs);
+  ASSERT_NE(Compiled, nullptr);
+
+  // The observer captured the analysis run: default mode, one global
+  // record per module global, benign counters among the findings.
+  const obs::AnalysisReport &A = Obs.analysisReport();
+  ASSERT_TRUE(A.Present);
+  EXPECT_EQ(A.Mode, "warn");
+  size_t NumGlobals = 0;
+  for (const auto &G : Compiled->IR->globals()) {
+    (void)G;
+    ++NumGlobals;
+  }
+  EXPECT_EQ(A.Globals.size(), NumGlobals);
+  for (const obs::AnalysisGlobalRecord &G : A.Globals) {
+    EXPECT_FALSE(G.Name.empty());
+    EXPECT_FALSE(G.Scope.empty());
+    // The exported SWC legality bit is exactly the negation of a
+    // data-plane store having been seen.
+    EXPECT_EQ(G.CacheSafe, !G.DataPlaneStores);
+  }
+  bool SawBenign = false;
+  for (const obs::AnalysisFinding &F : A.Findings) {
+    EXPECT_FALSE(F.Analysis.empty());
+    EXPECT_FALSE(F.Reason.empty());
+    SawBenign |= F.Reason == "benign-counter-rmw";
+  }
+  EXPECT_TRUE(SawBenign) << "L3-Switch counters should be noted";
+
+  // The JSON rendering carries the section with its schema fields.
+  std::ostringstream OS;
+  Obs.writeJson(OS);
+  std::string J = OS.str();
+  for (const char *Needle :
+       {"\"analysis\"", "\"mode\": \"warn\"", "\"findings\"", "\"globals\"",
+        "\"scope\"", "\"dataPlaneStores\"", "\"cacheSafe\"",
+        "\"benignCounter\"", "\"consistentLock\"", "benign-counter-rmw"})
+    EXPECT_NE(J.find(Needle), std::string::npos) << "missing: " << Needle;
+
+  // The analysis remark stream mirrors the findings.
+  EXPECT_GE(Obs.Remarks.count("analysis", RemarkKind::Note),
+            A.Findings.size());
+}
+
+TEST(OptReport, AnalyzeWarnKeepsImagesIdentical) {
+  // Running the analyses must not perturb codegen on a clean app: the
+  // fig13-style +SWC build is bit-identical with --analyze=off and the
+  // default warn mode (the race classification and SWC's own scan agree
+  // on every L3-Switch global).
+  apps::AppBundle App = apps::l3switch();
+  auto Off = bench::compileApp(App, driver::OptLevel::Swc, /*NumMEs=*/4,
+                               true, nullptr, true, 0,
+                               driver::AnalyzeMode::Off);
+  auto Warn = bench::compileApp(App, driver::OptLevel::Swc, /*NumMEs=*/4,
+                                true, nullptr, true, 0,
+                                driver::AnalyzeMode::Warn);
+  ASSERT_NE(Off, nullptr);
+  ASSERT_NE(Warn, nullptr);
+  EXPECT_FALSE(Off->Races.Valid);
+  EXPECT_TRUE(Warn->Races.Valid);
+  EXPECT_EQ(fingerprint(*Off), fingerprint(*Warn));
 }
 
 TEST(OptReport, ObserverIsObservationOnly) {
