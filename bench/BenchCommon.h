@@ -9,6 +9,7 @@
 #include "support/Json.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
@@ -31,6 +32,14 @@ inline ForwardResult runForwarding(const driver::CompiledApp &App,
                                    uint64_t Cycles,
                                    unsigned ThreadsPerME = 8,
                                    ixp::Simulator *Prebuilt = nullptr) {
+  // An empty trace would make the modulo below undefined behaviour and
+  // can only mean a broken generator upstream: fail loudly instead.
+  if (Traffic.empty()) {
+    std::fprintf(stderr,
+                 "runForwarding: empty traffic trace (generator produced "
+                 "no packets)\n");
+    std::exit(2);
+  }
   ixp::ChipParams Chip;
   Chip.ThreadsPerME = ThreadsPerME;
   std::unique_ptr<ixp::Simulator> Owned;

@@ -1,0 +1,274 @@
+//===- bench/StatefulBench.h - per-app acceptance harness ---------------------==//
+//
+// Shared driver for the stateful-tier acceptance benches (fig_nat,
+// fig_slb, fig_synflood). Each bench is one app swept over every
+// adversarial traffic profile, with exit status as the acceptance check.
+// A run passes only if ALL of:
+//
+//   1. the app compiles at +SWC (under whatever --analyze mode is given;
+//      CI uses `error` so any safety-analysis finding fails the build),
+//   2. the app's correctness oracle holds on the reference interpreter
+//      (translation consistency / flow affinity / FP-FN bounds),
+//   3. packet conservation (injected == tx + drop counters) holds under
+//      every profile, malformed input included,
+//   4. SWC vetoed every data-plane-mutable table with a reason code and
+//      cached the app's hot read-only config,
+//   5. measured forwarding stays above the per-profile pkts/kcycle
+//      floor, and
+//   6. feedback mapping does not regress below the static plan.
+//
+// Options: --quick (shorter sweeps), --stats-json <file>, --analyze
+// <off|warn|error>, plus the shared observability flags (--opt-report,
+// --compile-trace, --print-ir-after).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SL_BENCH_STATEFULBENCH_H
+#define SL_BENCH_STATEFULBENCH_H
+
+#include "bench/BenchCommon.h"
+#include "obs/OptReport.h"
+
+#include <map>
+#include <set>
+
+namespace sl::bench {
+
+struct StatefulFig {
+  const char *Bench = nullptr; ///< e.g. "fig_nat".
+  apps::AppBundle App;
+  apps::OracleResult (*Oracle)(uint64_t) = nullptr;
+  /// Minimum pkts/kcycle per profile, in traffic::allProfiles() order.
+  /// Calibrated to ~60% of the measured rate on the reference machine so
+  /// real regressions trip while scheduling noise does not.
+  double Floors[5] = {0, 0, 0, 0, 0};
+  /// Data-plane-mutable tables SWC must refuse to cache (reason-coded).
+  std::vector<std::string> MustVeto;
+  /// Hot read-only config SWC must cache.
+  std::vector<std::string> MustCache;
+};
+
+inline int runStatefulFig(int argc, char **argv, const StatefulFig &Fig) {
+  bool Quick = quickMode(argc, argv);
+  const char *StatsPath = argValue(argc, argv, "--stats-json");
+  driver::AnalyzeMode Analyze = analyzeModeFromArgs(argc, argv);
+  const unsigned NumMEs = 4;
+  const uint64_t Cycles = Quick ? 200'000 : 800'000;
+  const unsigned TraceLen = Quick ? 256 : 1024;
+  const uint64_t TraceSeed = 0xBE7C4;
+
+  handleObsFlags(argc, argv, Fig.App);
+
+  std::printf("%s: %s acceptance under adversarial traffic (+SWC, %u MEs, "
+              "analyze=%s)\n\n",
+              Fig.Bench, Fig.App.Name.c_str(), NumMEs,
+              driver::analyzeModeName(Analyze));
+
+  // 1. Compile with remarks.
+  obs::CompileObserver Obs;
+  auto App = compileApp(Fig.App, driver::OptLevel::Swc, NumMEs,
+                        /*StackOpt=*/true, &Obs, /*EnableNN=*/true,
+                        /*CodeStoreInstrs=*/0, Analyze);
+  if (!App)
+    return 1;
+
+  // 2. Correctness oracle (reference interpreter).
+  apps::OracleResult Oracle = Fig.Oracle(1);
+  std::printf("oracle: %s\n  %s\n", Oracle.Ok ? "PASS" : "FAIL",
+              Oracle.Log.c_str());
+
+  // 3. Conservation per profile (on a short interpreter-run prefix).
+  struct ConsRow {
+    traffic::Profile P;
+    apps::OracleResult R;
+  };
+  std::vector<ConsRow> Cons;
+  bool ConsOk = true;
+  for (traffic::Profile P : traffic::allProfiles()) {
+    profile::Trace T = apps::adversarialTrace(
+        Fig.App, P, TraceSeed, std::min(TraceLen, 400u));
+    apps::OracleResult R = apps::conservationOracle(Fig.App, T);
+    ConsOk = ConsOk && R.Ok;
+    Cons.push_back({P, R});
+    std::printf("conservation %-9s %s  (%s)\n", traffic::profileName(P),
+                R.Ok ? "PASS" : "FAIL", R.Log.c_str());
+  }
+
+  // 4. SWC legality: every mutable table vetoed, hot config cached.
+  std::map<std::string, std::string> Vetoed;
+  std::set<std::string> Cached;
+  for (const obs::Remark &R : Obs.Remarks.remarks()) {
+    if (R.Pass != "swc")
+      continue;
+    std::string G;
+    for (const obs::RemarkArg &A : R.Args)
+      if (A.Key == "global")
+        G = A.Str;
+    if (G.empty())
+      continue;
+    if (R.Kind == obs::RemarkKind::Fired && R.Reason == "cached")
+      Cached.insert(G);
+    else if (R.Kind == obs::RemarkKind::Missed &&
+             (R.Reason == "written-by-data-plane" ||
+              R.Reason == "swc-unsafe-shared"))
+      Vetoed[G] = R.Reason;
+  }
+  bool SwcOk = true;
+  for (const std::string &G : Fig.MustVeto) {
+    auto It = Vetoed.find(G);
+    bool Ok = It != Vetoed.end();
+    SwcOk = SwcOk && Ok;
+    std::printf("swc veto     %-12s %s%s%s\n", G.c_str(),
+                Ok ? "PASS" : "FAIL", Ok ? "  reason=" : "",
+                Ok ? It->second.c_str() : "");
+  }
+  for (const std::string &G : Fig.MustCache) {
+    bool Ok = Cached.count(G) != 0;
+    SwcOk = SwcOk && Ok;
+    std::printf("swc cache    %-12s %s\n", G.c_str(), Ok ? "PASS" : "FAIL");
+  }
+
+  // 5. Throughput floors per adversarial profile.
+  std::printf("\n%-10s %10s %7s %9s %7s  %s\n", "profile", "pkts/kcyc",
+              "Gbps", "floor", "txPkts", "verdict");
+  struct ProfRow {
+    traffic::Profile P;
+    ForwardResult R;
+    double Floor;
+    bool Pass;
+  };
+  std::vector<ProfRow> Rows;
+  bool FloorsOk = true;
+  auto Profiles = traffic::allProfiles();
+  for (size_t K = 0; K != Profiles.size(); ++K) {
+    profile::Trace T =
+        apps::adversarialTrace(Fig.App, Profiles[K], TraceSeed, TraceLen);
+    ForwardResult R = runForwarding(*App, T, Cycles);
+    double Floor = Fig.Floors[K];
+    bool Pass = R.PktPerKCycle >= Floor;
+    FloorsOk = FloorsOk && Pass;
+    Rows.push_back({Profiles[K], R, Floor, Pass});
+    std::printf("%-10s %10.3f %7.2f %9.3f %7llu  %s\n",
+                traffic::profileName(Profiles[K]), R.PktPerKCycle, R.Gbps,
+                Floor,
+                static_cast<unsigned long long>(R.Stats.TxPackets),
+                Pass ? "PASS" : "FAIL << below floor");
+  }
+
+  // 6. Feedback mapping must not regress below the static plan (benign
+  // profile traffic drives calibration and measurement).
+  profile::Trace Benign = apps::adversarialTrace(
+      Fig.App, traffic::Profile::Benign, TraceSeed, TraceLen);
+  ForwardResult StaticR = runForwarding(*App, Benign, Cycles);
+  driver::CompileOptions FbOpts;
+  FbOpts.Level = driver::OptLevel::Swc;
+  FbOpts.Map.NumMEs = NumMEs;
+  FbOpts.TxMetaFields = Fig.App.TxMetaFields;
+  FbOpts.Analyze = Analyze;
+  driver::FeedbackOptions FB;
+  DiagEngine FbDiags;
+  driver::FeedbackResult FR = driver::compileWithFeedback(
+      Fig.App.Source, Fig.App.makeTrace(0x9999, 256), Benign,
+      Fig.App.Tables, FbOpts, FB, FbDiags);
+  bool FeedbackOk = FR.App != nullptr;
+  double FbPkc = 0.0;
+  if (FR.App) {
+    ForwardResult FbR = runForwarding(*FR.App, Benign, Cycles);
+    FbPkc = FbR.PktPerKCycle;
+    FeedbackOk = FbPkc >= StaticR.PktPerKCycle * (1.0 - 1e-9);
+  } else {
+    std::fprintf(stderr, "feedback compile failed:\n%s\n",
+                 FbDiags.str().c_str());
+  }
+  std::printf("\nfeedback: static %.3f vs feedback %.3f pkts/kcyc  %s\n",
+              StaticR.PktPerKCycle, FbPkc,
+              FeedbackOk ? "PASS" : "FAIL << regression");
+
+  bool AllOk =
+      Oracle.Ok && ConsOk && SwcOk && FloorsOk && FeedbackOk;
+  std::printf("\n%s: %s\n", Fig.Bench, AllOk ? "ACCEPT" : "REJECT");
+
+  if (StatsPath) {
+    std::ofstream OS(StatsPath);
+    if (!OS) {
+      std::fprintf(stderr, "cannot open %s for writing\n", StatsPath);
+      return 1;
+    }
+    support::JsonWriter W(OS);
+    W.beginObject();
+    W.field("bench", Fig.Bench);
+    W.field("app", Fig.App.Name);
+    W.field("level", "+SWC");
+    W.field("mes", NumMEs);
+    W.field("measuredCycles", Cycles);
+    W.field("traceLen", TraceLen);
+    W.field("analyze", driver::analyzeModeName(Analyze));
+    W.key("oracle");
+    W.beginObject();
+    W.field("ok", Oracle.Ok);
+    W.field("log", Oracle.Log);
+    W.endObject();
+    W.key("conservation");
+    W.beginArray();
+    for (const ConsRow &C : Cons) {
+      W.beginObject();
+      W.field("profile", traffic::profileName(C.P));
+      W.field("ok", C.R.Ok);
+      W.field("log", C.R.Log);
+      W.endObject();
+    }
+    W.endArray();
+    W.key("swc");
+    W.beginObject();
+    W.key("vetoed");
+    W.beginObject();
+    for (const auto &[G, Reason] : Vetoed)
+      W.field(G, Reason);
+    W.endObject();
+    W.key("cached");
+    W.beginArray();
+    for (const std::string &G : Cached)
+      W.value(G);
+    W.endArray();
+    W.field("ok", SwcOk);
+    W.endObject();
+    W.key("profiles");
+    W.beginArray();
+    for (const ProfRow &R : Rows) {
+      W.beginObject();
+      W.field("profile", traffic::profileName(R.P));
+      W.field("pktPerKCycle", R.R.PktPerKCycle);
+      W.field("gbps", R.R.Gbps);
+      W.field("txPackets", R.R.Stats.TxPackets);
+      W.field("floor", R.Floor);
+      W.field("pass", R.Pass);
+      W.endObject();
+    }
+    W.endArray();
+    W.key("feedback");
+    W.beginObject();
+    W.field("staticPktPerKCycle", StaticR.PktPerKCycle);
+    W.field("feedbackPktPerKCycle", FbPkc);
+    W.field("rounds", FR.App ? FR.Rounds.size() : size_t(0));
+    W.field("ok", FeedbackOk);
+    W.endObject();
+    W.key("acceptance");
+    W.beginObject();
+    W.field("oracleOk", Oracle.Ok);
+    W.field("conservationOk", ConsOk);
+    W.field("swcOk", SwcOk);
+    W.field("floorsOk", FloorsOk);
+    W.field("feedbackOk", FeedbackOk);
+    W.field("allOk", AllOk);
+    W.endObject();
+    W.endObject();
+    OS << '\n';
+    std::fprintf(stderr, "stats -> %s\n", StatsPath);
+  }
+
+  return AllOk ? 0 : 1;
+}
+
+} // namespace sl::bench
+
+#endif // SL_BENCH_STATEFULBENCH_H

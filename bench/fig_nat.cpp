@@ -1,0 +1,31 @@
+//===- bench/fig_nat.cpp - NAT acceptance bench ------------------------------==//
+//
+// NAT with per-flow port allocation under the adversarial profile sweep.
+// Thrash deliberately overruns the 1024-slot binding table (evictions are
+// the app's documented behaviour, not a failure), so its floor sits well
+// below the benign one: every packet takes the locked allocation path.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/StatefulBench.h"
+
+using namespace sl;
+using namespace sl::bench;
+
+int main(int argc, char **argv) {
+  StatefulFig Fig;
+  Fig.Bench = "fig_nat";
+  Fig.App = apps::nat();
+  Fig.Oracle = apps::natOracle;
+  // benign, zipf, bursty, thrash, malformed — ~half the slower of the
+  // measured quick/full rates (quick: 0.67/3.97/7.71/0.48/1.90, full:
+  // 5.70/6.37/8.29/0.49/4.90 pkts/kcycle).
+  Fig.Floors[0] = 0.30;
+  Fig.Floors[1] = 1.80;
+  Fig.Floors[2] = 3.50;
+  Fig.Floors[3] = 0.22;
+  Fig.Floors[4] = 0.90;
+  Fig.MustVeto = {"fwd_key", "fwd_port", "rev_key", "next_port"};
+  Fig.MustCache = {"nat_ip"};
+  return runStatefulFig(argc, argv, Fig);
+}

@@ -1,0 +1,33 @@
+//===- bench/fig_slb.cpp - stateful load balancer acceptance bench -----------==//
+//
+// Consistent-hash load balancer under the adversarial profile sweep. The
+// interesting split for SWC: the ring/backend config is read-only and
+// must cache, while the affinity table takes data-plane stores and must
+// be vetoed. Thrash defeats the affinity cache by design (every packet a
+// fresh flow walks the ring and inserts), which is exactly the regime the
+// thrash floor guards.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/StatefulBench.h"
+
+using namespace sl;
+using namespace sl::bench;
+
+int main(int argc, char **argv) {
+  StatefulFig Fig;
+  Fig.Bench = "fig_slb";
+  Fig.App = apps::slb();
+  Fig.Oracle = apps::slbOracle;
+  // benign, zipf, bursty, thrash, malformed — ~half the slower of the
+  // measured quick/full rates (quick: 0.91/6.06/10.35/0.57/2.40, full:
+  // 7.93/8.23/10.32/0.58/6.49 pkts/kcycle).
+  Fig.Floors[0] = 0.40;
+  Fig.Floors[1] = 2.80;
+  Fig.Floors[2] = 4.80;
+  Fig.Floors[3] = 0.25;
+  Fig.Floors[4] = 1.10;
+  Fig.MustVeto = {"aff_key", "aff_be"};
+  Fig.MustCache = {"vip"};
+  return runStatefulFig(argc, argv, Fig);
+}

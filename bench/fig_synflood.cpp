@@ -1,0 +1,32 @@
+//===- bench/fig_synflood.cpp - SYN-flood mitigator acceptance bench ---------==//
+//
+// Per-source token-bucket SYN gate under the adversarial profile sweep.
+// The oracle bounds both error directions (attackers throttled to the
+// bucket rate, benign sources and established-flow ACKs untouched); the
+// bench adds the SWC veto guard for the bucket state and the virtual
+// clock, both of which live under one lock.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/StatefulBench.h"
+
+using namespace sl;
+using namespace sl::bench;
+
+int main(int argc, char **argv) {
+  StatefulFig Fig;
+  Fig.Bench = "fig_synflood";
+  Fig.App = apps::synflood();
+  Fig.Oracle = apps::synfloodOracle;
+  // benign, zipf, bursty, thrash, malformed — ~half the slower of the
+  // measured quick/full rates (quick: 1.67/1.11/3.13/1.11/1.80, full:
+  // 4.27/1.22/4.23/1.11/4.05 pkts/kcycle).
+  Fig.Floors[0] = 0.75;
+  Fig.Floors[1] = 0.50;
+  Fig.Floors[2] = 1.40;
+  Fig.Floors[3] = 0.50;
+  Fig.Floors[4] = 0.80;
+  Fig.MustVeto = {"tb_tokens", "tb_tick", "now"};
+  Fig.MustCache = {};
+  return runStatefulFig(argc, argv, Fig);
+}

@@ -1,12 +1,19 @@
 #!/usr/bin/env bash
-# Runs the paper's forwarding benchmarks (Figures 13/14/15) plus the
-# feedback-mapping and channel-specialization ablations, each with
+# Runs the paper's forwarding benchmarks (Figures 13/14/15), the
+# feedback-mapping and channel-specialization ablations, and the
+# stateful-tier acceptance benches (NAT / SLB / SYN-flood), each with
 # --stats-json, and consolidates the per-bench outputs into one
 # BENCH_results.json:
 #
 #   gbps                  per app, per optimization level, per ME count
 #   feedback              static vs feedback pkts/kcycle per app and code store
 #   channelSpecialization NN vs scratch-only rings on constrained configs
+#   stateful              per-app acceptance: oracle + conservation + SWC
+#                         veto reasons + per-profile throughput vs floor
+#
+# The stateful benches are acceptance tests: any oracle, conservation,
+# SWC-legality, floor, or feedback failure exits nonzero both in the
+# bench itself (run() aborts via set -e) and in the consolidation below.
 #
 # Usage: bench/run_benches.sh [--quick] [BUILD_DIR [OUT_DIR]]
 #   --quick    shorter simulations (CI mode), forwarded to every bench
@@ -42,6 +49,9 @@ run fig14_firewall
 run fig15_mpls
 run abl_feedback_mapping
 run abl_channel_specialization
+run fig_nat
+run fig_slb
+run fig_synflood
 
 python3 - "$OUT_DIR" <<'EOF'
 import json, os, sys
@@ -118,6 +128,42 @@ results["channelSpecialization"] = {
     ],
 }
 
+# Stateful acceptance tier: per-app oracle verdicts, conservation under
+# every adversarial profile, SWC veto reasons for mutable state, and
+# per-profile throughput against the committed floors.
+results["stateful"] = {}
+stateful_fail = []
+for fig in ("fig_nat", "fig_slb", "fig_synflood"):
+    d = load(fig)
+    results["stateful"][d["app"]] = {
+        "bench": d["bench"],
+        "level": d["level"],
+        "mes": d["mes"],
+        "measuredCycles": d["measuredCycles"],
+        "oracle": d["oracle"],
+        "conservation": {
+            c["profile"]: c["ok"] for c in d["conservation"]
+        },
+        "swcVetoed": d["swc"]["vetoed"],
+        "swcCached": d["swc"]["cached"],
+        "profiles": {
+            p["profile"]: {
+                "pktPerKCycle": p["pktPerKCycle"],
+                "gbps": p["gbps"],
+                "floor": p["floor"],
+                "pass": p["pass"],
+            }
+            for p in d["profiles"]
+        },
+        "feedback": d["feedback"],
+        "acceptance": d["acceptance"],
+    }
+    a = d["acceptance"]
+    for gate in ("oracleOk", "conservationOk", "swcOk", "floorsOk",
+                 "feedbackOk"):
+        if not a[gate]:
+            stateful_fail.append(f"{d['bench']}: {gate} failed")
+
 path = os.path.join(out_dir, "BENCH_results.json")
 with open(path, "w") as f:
     json.dump(results, f, indent=2)
@@ -130,5 +176,9 @@ if not fb["feedbackAtLeastStatic"]:
 if not cs["anyNN"]:
     print("FAIL: no NN channel lowered on any constrained config",
           file=sys.stderr)
+    sys.exit(1)
+if stateful_fail:
+    for msg in stateful_fail:
+        print(f"FAIL: {msg}", file=sys.stderr)
     sys.exit(1)
 EOF

@@ -614,6 +614,11 @@ AppBundle sl::apps::mpls() {
 //===----------------------------------------------------------------------===//
 
 profile::Trace AppBundle::makeTrace(uint64_t Seed, unsigned N) const {
+  // The stateful tier's representative traces are its benign adversarial
+  // profile (uniform flows through the app's flow-keyed builder).
+  if (Name == "NAT" || Name == "SLB" || Name == "SYN-Flood")
+    return adversarialTrace(*this, traffic::Profile::Benign, Seed, N);
+
   profile::Trace T;
   Rng R(Seed ^ 0x5EED0000);
 

@@ -19,9 +19,15 @@
 
 #include "driver/Compiler.h"
 #include "profile/Profiler.h"
+#include "traffic/Traffic.h"
 
+#include <memory>
 #include <string>
 #include <vector>
+
+namespace sl::interp {
+class Interpreter;
+}
 
 namespace sl::apps {
 
@@ -30,6 +36,11 @@ struct AppBundle {
   const char *Source = nullptr;
   std::vector<driver::TableInit> Tables;
   std::vector<std::string> TxMetaFields;
+
+  /// Globals counting dropped packets, one per drop site, so harnesses
+  /// can check conservation: injected == tx + sum of these. Empty for
+  /// the paper apps (their drop accounting predates this contract).
+  std::vector<std::string> DropCounters;
 
   /// Generates a representative trace of \p N frames (64-byte minimum
   /// frames unless the app needs larger).
@@ -42,6 +53,66 @@ AppBundle mpls();
 
 /// All three, in paper order.
 std::vector<AppBundle> allApps();
+
+//===----------------------------------------------------------------------===//
+// Stateful workload tier (NAT / SLB / SYN-Flood)
+//===----------------------------------------------------------------------===//
+
+AppBundle nat();      ///< Source NAT with dynamic port allocation.
+AppBundle slb();      ///< Consistent-hash load balancer with flow affinity.
+AppBundle synflood(); ///< Per-source token-bucket SYN-flood mitigator.
+
+/// The stateful tier, in docs order.
+std::vector<AppBundle> statefulApps();
+
+/// Frame builders keyed by abstract flow id, for the traffic generators.
+/// \p InboundPct of NAT frames are replies arriving on the outside port.
+traffic::FrameBuilder natFrames(unsigned InboundPct = 20);
+traffic::FrameBuilder slbFrames();
+/// Flows below \p AttackersBelow send pure SYN floods; the rest open one
+/// connection per eight packets.
+traffic::FrameBuilder synfloodFrames(uint64_t AttackersBelow = 4);
+
+/// Builds an \p N-packet trace for \p App under adversarial profile \p P.
+/// Deterministic in (App.Name, P, Seed). For the paper apps (which have
+/// no flow-keyed builder) this falls back to their native makeTrace.
+profile::Trace adversarialTrace(const AppBundle &App, traffic::Profile P,
+                                uint64_t Seed, unsigned N);
+
+//===----------------------------------------------------------------------===//
+// Reference-interpreter plumbing + per-app oracles
+//===----------------------------------------------------------------------===//
+
+/// A compiled app plus a live interpreter with its tables installed.
+/// On failure \p I is null and \p Error holds the diagnostics.
+struct AppInterp {
+  std::unique_ptr<baker::CompiledUnit> Unit;
+  std::unique_ptr<ir::Module> M;
+  std::unique_ptr<interp::Interpreter> I;
+  std::string Error;
+};
+
+AppInterp makeAppInterp(const AppBundle &App);
+
+/// Outcome of one oracle run: Ok plus a human-readable account that
+/// benches embed in their JSON and tests print on failure.
+struct OracleResult {
+  bool Ok = true;
+  std::string Log;
+};
+
+/// NAT translation consistency: stable distinct bindings, reverse-map
+/// round trip, no eviction below capacity, unbound ports dropped.
+OracleResult natOracle(uint64_t Seed);
+/// SLB flow affinity under backend death + consistent-hash remap bound.
+OracleResult slbOracle(uint64_t Seed);
+/// SYN-flood FP/FN bounds: flood throttled but not blackholed, light
+/// sources admitted, established traffic untouched.
+OracleResult synfloodOracle(uint64_t Seed);
+/// Packet conservation over an arbitrary trace:
+/// injected == tx + sum(App.DropCounters).
+OracleResult conservationOracle(const AppBundle &App,
+                                const profile::Trace &T);
 
 } // namespace sl::apps
 

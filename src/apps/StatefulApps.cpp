@@ -1,0 +1,1143 @@
+//===- apps/StatefulApps.cpp - the stateful workload tier --------------------==//
+//
+// Three Baker applications whose correctness depends on mutable per-flow
+// state surviving across packets — the workload class the paper's three
+// benchmarks deliberately avoid, and the one that stresses every shared-
+// state subsystem at once (SWC legality, StateRace classification, lock
+// lowering, cross-ME table placement):
+//
+//   NAT       — source NAT with dynamic port allocation. A critical
+//               section guards the forward/reverse map pair; the hit path
+//               probes lock-free and falls back to the locked allocator.
+//   SLB       — stateful load balancer: consistent-hash ring (read-only)
+//               plus a flow-affinity cache (mutable) so established flows
+//               stick to their backend even when the ring changes.
+//   SYN-Flood — per-source token buckets over a virtual clock that ticks
+//               once per SYN, so heavy SYN sources starve themselves while
+//               light sources refill fully between their own SYNs.
+//
+// Each app keeps one named lock, routes every read-modify-write of shared
+// tables through it, and counts every drop in a dedicated counter so the
+// acceptance harness can check packet conservation:
+//   injected == transmitted + sum(DropCounters).
+//
+// The oracles at the bottom are the per-app correctness checks shared by
+// tests/StatefulAppsTest.cpp and the bench/fig_{nat,slb,synflood}
+// acceptance guards: they run small deterministic scenarios through the
+// reference interpreter and validate the app-level contract (translation
+// consistency, flow affinity + bounded remap, FP/FN bounds).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+
+#include "interp/Bits.h"
+#include "interp/Interp.h"
+#include "ir/ASTLower.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+#include <sstream>
+
+using namespace sl;
+using namespace sl::apps;
+
+using interp::readBitsBE;
+using interp::writeBitsBE;
+
+//===----------------------------------------------------------------------===//
+// Shared frame constants and builders
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+// Addressing plan shared by builders and oracles.
+constexpr uint64_t kGwMac = 0x00DD00000001ull;   ///< The appliance itself.
+constexpr uint64_t kHostMacBase = 0x00CC00000000ull;
+constexpr uint32_t kNatIp = 0xC0A80001;          ///< 192.168.0.1
+constexpr uint32_t kInsideBase = 0x0A640000;     ///< 10.100.0.0/16
+constexpr uint32_t kServerIp = 0x08080808;       ///< 8.8.8.8
+constexpr uint32_t kVip = 0x0A0A0A0A;            ///< 10.10.10.10
+constexpr uint32_t kClientBase = 0x0A640000;
+constexpr uint32_t kSynBase = 0x0A000000;        ///< SYN-flood sources.
+constexpr uint32_t kProtectedIp = 0xAC100050;    ///< Server behind mitigator.
+constexpr unsigned kNumBackends = 8;
+
+std::vector<uint8_t> ether(uint64_t Dst, uint64_t Src, uint16_t Type,
+                           size_t Len = 64) {
+  std::vector<uint8_t> F(Len, 0);
+  writeBitsBE(F.data(), 0, 48, Dst);
+  writeBitsBE(F.data(), 48, 48, Src);
+  writeBitsBE(F.data(), 96, 16, Type);
+  return F;
+}
+
+void ipv4At(std::vector<uint8_t> &F, size_t ByteOff, uint32_t Saddr,
+            uint32_t Daddr, uint8_t Ttl, uint8_t Proto) {
+  size_t B = ByteOff * 8;
+  writeBitsBE(F.data(), B + 0, 4, 4);
+  writeBitsBE(F.data(), B + 4, 4, 5);
+  writeBitsBE(F.data(), B + 16, 16,
+              static_cast<uint64_t>(F.size() - ByteOff));
+  writeBitsBE(F.data(), B + 64, 8, Ttl);
+  writeBitsBE(F.data(), B + 72, 8, Proto);
+  writeBitsBE(F.data(), B + 80, 16, 0xBEEF); // Pseudo checksum.
+  writeBitsBE(F.data(), B + 96, 32, Saddr);
+  writeBitsBE(F.data(), B + 128, 32, Daddr);
+}
+
+void portsAt(std::vector<uint8_t> &F, size_t ByteOff, uint16_t Sport,
+             uint16_t Dport) {
+  writeBitsBE(F.data(), ByteOff * 8, 16, Sport);
+  writeBitsBE(F.data(), ByteOff * 8 + 16, 16, Dport);
+}
+
+void tcpAt(std::vector<uint8_t> &F, size_t ByteOff, uint16_t Sport,
+           uint16_t Dport, uint8_t Flags) {
+  portsAt(F, ByteOff, Sport, Dport);
+  size_t B = ByteOff * 8;
+  writeBitsBE(F.data(), B + 96, 4, 5); // doff = 5 (20-byte header).
+  writeBitsBE(F.data(), B + 104, 8, Flags);
+  writeBitsBE(F.data(), B + 112, 16, 0x2000); // window
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// NAT: source NAT with dynamic port allocation
+//===----------------------------------------------------------------------===//
+
+static const char *NatSource = R"BAKER(
+// NAT: rewrites outbound (inside -> outside) flows to (nat_ip, allocated
+// port) and reverses inbound replies through the reverse map. The forward
+// map is a direct-hash table with bounded linear probing; the allocator
+// and both maps are guarded by one lock, while the forward hit path
+// probes lock-free and re-checks under the lock before allocating.
+protocol ether {
+  dst : 48;
+  src : 48;
+  type : 16;
+  demux { 14 };
+};
+
+protocol ip5 {
+  ver : 4;
+  hlen : 4;
+  tos : 8;
+  total_len : 16;
+  id : 16;
+  fl : 16;
+  ttl : 8;
+  proto : 8;
+  checksum : 16;
+  saddr : 32;
+  daddr : 32;
+  sport : 16;
+  dport : 16;
+  demux { 24 };
+};
+
+metadata {
+  tx_port : 16;
+};
+
+module nat {
+  u32 nat_ip;          // This box's external address (control-plane set).
+  u64 fwd_key[1024];   // (saddr << 16 | sport) per slot; 0 = empty.
+  u32 fwd_port[1024];  // Allocated external port for that slot.
+  u64 rev_key[4096];   // External port - 32768 -> original (saddr<<16|sport).
+  u32 next_port;       // Allocation cursor (wraps through 4096 ports).
+  u32 evictions;       // Probe window full: an old binding was replaced.
+  u32 alloc_calls;     // Slow-path entries (stat only).
+  u32 non_ip;          // Drop counters, one per drop site.
+  u32 malformed;
+  u32 bad_dst;
+  u32 rev_miss;
+
+  channel out_cc : ip5;
+  channel in_cc : ip5;
+
+  ppf nat_clsfr(ether_pkt * ph) {
+    if (ph->type != 0x0800) {
+      non_ip = non_ip + 1;
+      packet_drop(ph);
+      return;
+    }
+    if (packet_length(ph) < 38) {
+      malformed = malformed + 1;
+      packet_drop(ph);
+      return;
+    }
+    ip5_pkt * iph = packet_decap(ph);
+    if (iph->ver != 4 || iph->hlen != 5) {
+      malformed = malformed + 1;
+      packet_drop(iph);
+      return;
+    }
+    if (iph->meta.rx_port == 0) {
+      channel_put(out_cc, iph);
+      return;
+    }
+    channel_put(in_cc, iph);
+  }
+
+  ppf nat_out(ip5_pkt * iph) {
+    u64 key = iph->saddr;
+    key = (key << 16) | iph->sport;
+    // Multiplicative mix: saddr and sport are correlated in real traffic
+    // (sequential hosts, sequential ports), so plain xor-folding degrades
+    // to massive clustering.
+    u32 h = key ^ (key >> 32);
+    h = h * 0x9E3779B1;
+    h = (h ^ (h >> 16)) & 1023;
+    u32 p = 0;
+    u32 i = h;
+    u32 tries = 0;
+    // Lock-free forward probe: established flows never take the lock.
+    while (tries < 8) {
+      if (fwd_key[i & 1023] == key) {
+        p = fwd_port[i & 1023];
+        break;
+      }
+      i = i + 1;
+      tries = tries + 1;
+    }
+    if (p == 0) {
+      alloc_calls = alloc_calls + 1;
+      critical (nat_lock) {
+        // Re-probe under the lock: another thread may have allocated
+        // this flow between our probe and the acquire.
+        u32 j = h;
+        u32 t = 0;
+        u32 slot = 65535;
+        while (t < 8) {
+          u64 k2 = fwd_key[j & 1023];
+          if (k2 == key) {
+            p = fwd_port[j & 1023];
+            slot = 65534;
+            t = 8;
+          } else {
+            if (k2 == 0 && slot == 65535) {
+              slot = j & 1023;
+            }
+            j = j + 1;
+            t = t + 1;
+          }
+        }
+        if (slot != 65534) {
+          if (slot == 65535) {
+            slot = h;
+            evictions = evictions + 1;
+          }
+          u32 np = next_port;
+          next_port = np + 1;
+          p = 32768 + (np & 4095);
+          fwd_port[slot] = p;
+          fwd_key[slot] = key;
+          rev_key[(p - 32768) & 4095] = key;
+        }
+      }
+    }
+    iph->saddr = nat_ip;
+    iph->sport = p;
+    ether_pkt * eph = packet_encap(iph);
+    eph->meta.tx_port = 1;
+    channel_put(tx, eph);
+  }
+
+  ppf nat_in(ip5_pkt * iph) {
+    if (iph->daddr != nat_ip) {
+      bad_dst = bad_dst + 1;
+      packet_drop(iph);
+      return;
+    }
+    u32 dp = iph->dport;
+    if (dp < 32768) {
+      rev_miss = rev_miss + 1;
+      packet_drop(iph);
+      return;
+    }
+    u64 key = rev_key[(dp - 32768) & 4095];
+    if (key == 0) {
+      rev_miss = rev_miss + 1;
+      packet_drop(iph);
+      return;
+    }
+    iph->daddr = key >> 16;
+    iph->dport = key & 0xFFFF;
+    ether_pkt * eph = packet_encap(iph);
+    eph->meta.tx_port = 0;
+    channel_put(tx, eph);
+  }
+
+  wire rx -> nat_clsfr;
+  wire out_cc -> nat_out;
+  wire in_cc -> nat_in;
+}
+)BAKER";
+
+AppBundle sl::apps::nat() {
+  AppBundle B;
+  B.Name = "NAT";
+  B.Source = NatSource;
+  B.TxMetaFields = {"tx_port"};
+  B.DropCounters = {"non_ip", "malformed", "bad_dst", "rev_miss"};
+  B.Tables.push_back({"nat_ip", 0, kNatIp});
+  return B;
+}
+
+//===----------------------------------------------------------------------===//
+// SLB: stateful load balancer with consistent hashing
+//===----------------------------------------------------------------------===//
+
+static const char *SlbSource = R"BAKER(
+// SLB: flows to the VIP are spread over backends via a consistent-hash
+// ring (read-only; control-plane built) and pinned by a flow-affinity
+// cache so established flows survive ring changes. Backend health
+// (be_up) is control-plane toggled; a cached backend that went down
+// forces a fresh ring walk and re-pin.
+protocol ether {
+  dst : 48;
+  src : 48;
+  type : 16;
+  demux { 14 };
+};
+
+protocol ip5 {
+  ver : 4;
+  hlen : 4;
+  tos : 8;
+  total_len : 16;
+  id : 16;
+  fl : 16;
+  ttl : 8;
+  proto : 8;
+  checksum : 16;
+  saddr : 32;
+  daddr : 32;
+  sport : 16;
+  dport : 16;
+  demux { 24 };
+};
+
+metadata {
+  tx_port : 16;
+};
+
+module slb {
+  u32 vip;             // The virtual IP this balancer answers for.
+  u32 ring[256];       // Consistent-hash ring: backend id (1-based); 0 = hole.
+  u32 be_up[16];       // Health per backend (control-plane toggled).
+  u32 be_ip[16];       // Rewrite target per backend.
+  u64 aff_key[2048];   // Affinity cache: (saddr<<16|sport); 0 = empty.
+  u32 aff_be[2048];    // Pinned backend id for that slot.
+  u32 be_pkts[16];     // Per-backend packet counters (stats only).
+  u32 new_flows;       // Ring-walk path entries (stat only).
+  u32 evictions;       // Affinity probe window full.
+  u32 non_ip;          // Drop counters, one per drop site.
+  u32 malformed;
+  u32 not_vip;
+  u32 no_backend;
+
+  channel lb_cc : ip5;
+
+  ppf slb_clsfr(ether_pkt * ph) {
+    if (ph->type != 0x0800) {
+      non_ip = non_ip + 1;
+      packet_drop(ph);
+      return;
+    }
+    if (packet_length(ph) < 38) {
+      malformed = malformed + 1;
+      packet_drop(ph);
+      return;
+    }
+    ip5_pkt * iph = packet_decap(ph);
+    if (iph->ver != 4 || iph->hlen != 5) {
+      malformed = malformed + 1;
+      packet_drop(iph);
+      return;
+    }
+    if (iph->daddr != vip) {
+      not_vip = not_vip + 1;
+      packet_drop(iph);
+      return;
+    }
+    channel_put(lb_cc, iph);
+  }
+
+  ppf slb_fwd(ip5_pkt * iph) {
+    u64 key = iph->saddr;
+    key = (key << 16) | iph->sport;
+    // Same multiplicative mix as NAT: correlated 5-tuples must spread
+    // over both the affinity slots and the ring arc space.
+    u32 h = key ^ (key >> 32);
+    h = h * 0x9E3779B1;
+    h = h ^ (h >> 16);
+    u32 slot = h & 2047;
+    u32 be = 0;
+    u32 i = slot;
+    u32 tries = 0;
+    // Affinity hit path: lock-free probe.
+    while (tries < 8) {
+      if (aff_key[i & 2047] == key) {
+        be = aff_be[i & 2047];
+        break;
+      }
+      i = i + 1;
+      tries = tries + 1;
+    }
+    if (be != 0) {
+      if (be_up[(be - 1) & 15] == 0) {
+        be = 0;    // Pinned backend died: fall through to the ring.
+      }
+    }
+    if (be == 0) {
+      u32 k = 0;
+      while (k < 16) {
+        u32 cand = ring[(h + k) & 255];
+        u32 live = 0;
+        if (cand != 0) {
+          live = be_up[(cand - 1) & 15];
+        }
+        if (live == 1) {
+          be = cand;
+          k = 16;
+        } else {
+          k = k + 1;
+        }
+      }
+      if (be == 0) {
+        no_backend = no_backend + 1;
+        packet_drop(iph);
+        return;
+      }
+      new_flows = new_flows + 1;
+      critical (slb_lock) {
+        u32 j = slot;
+        u32 t = 0;
+        u32 w = 65535;
+        while (t < 8) {
+          u64 k2 = aff_key[j & 2047];
+          if (k2 == key) {
+            w = 65534;   // Raced: another thread pinned this flow.
+            t = 8;
+          } else {
+            if (k2 == 0 && w == 65535) {
+              w = j & 2047;
+            }
+            j = j + 1;
+            t = t + 1;
+          }
+        }
+        if (w != 65534) {
+          if (w == 65535) {
+            w = slot;
+            evictions = evictions + 1;
+          }
+          aff_be[w] = be;
+          aff_key[w] = key;
+        }
+      }
+    }
+    u32 bi = (be - 1) & 15;
+    be_pkts[bi] = be_pkts[bi] + 1;
+    iph->daddr = be_ip[bi];
+    ether_pkt * eph = packet_encap(iph);
+    eph->meta.tx_port = bi & 3;
+    channel_put(tx, eph);
+  }
+
+  wire rx -> slb_clsfr;
+  wire lb_cc -> slb_fwd;
+}
+)BAKER";
+
+AppBundle sl::apps::slb() {
+  AppBundle B;
+  B.Name = "SLB";
+  B.Source = SlbSource;
+  B.TxMetaFields = {"tx_port"};
+  B.DropCounters = {"non_ip", "malformed", "not_vip", "no_backend"};
+  B.Tables.push_back({"vip", 0, kVip});
+
+  // Consistent-hash ring: each backend hashes 32 virtual nodes onto the
+  // 256-slot ring; empty slots inherit the next clockwise owner so every
+  // slot resolves in one read. Removing a backend (be_up toggle) only
+  // remaps the flows that hashed to its arcs.
+  uint32_t Ring[256] = {};
+  for (unsigned Be = 1; Be <= kNumBackends; ++Be) {
+    uint64_t H = Be * 0x9E3779B97F4A7C15ull;
+    for (unsigned V = 0; V != 32; ++V) {
+      H ^= H >> 33;
+      H *= 0xFF51AFD7ED558CCDull;
+      H ^= H >> 29;
+      Ring[H & 255] = Be;
+    }
+  }
+  // Fill holes clockwise (walk backwards twice so wrap-around resolves).
+  for (int Pass = 0; Pass != 2; ++Pass)
+    for (int S = 255; S >= 0; --S)
+      if (Ring[S] == 0)
+        Ring[S] = Ring[(S + 1) & 255];
+  for (unsigned S = 0; S != 256; ++S)
+    B.Tables.push_back({"ring", S, Ring[S]});
+  for (unsigned Be = 0; Be != kNumBackends; ++Be) {
+    B.Tables.push_back({"be_up", Be, 1});
+    B.Tables.push_back({"be_ip", Be, 0xAC100001u + Be});
+  }
+  return B;
+}
+
+//===----------------------------------------------------------------------===//
+// SYN-Flood mitigator: per-source token buckets
+//===----------------------------------------------------------------------===//
+
+static const char *SynFloodSource = R"BAKER(
+// SYN-flood mitigator: every TCP SYN spends syn_cost tokens from its
+// source's bucket; buckets refill syn_rate per tick of a virtual clock
+// that advances once per SYN seen. A source whose SYN share exceeds
+// syn_rate/syn_cost of the total SYN stream starves; light sources
+// refill fully between their own SYNs. Non-SYN TCP and non-TCP traffic
+// forwards untouched with no state access.
+protocol ether {
+  dst : 48;
+  src : 48;
+  type : 16;
+  demux { 14 };
+};
+
+protocol ip20 {
+  ver : 4;
+  hlen : 4;
+  tos : 8;
+  total_len : 16;
+  id : 16;
+  fl : 16;
+  ttl : 8;
+  proto : 8;
+  checksum : 16;
+  saddr : 32;
+  daddr : 32;
+  demux { 20 };
+};
+
+protocol tcp20 {
+  sport : 16;
+  dport : 16;
+  seqno : 32;
+  ackno : 32;
+  doff : 4;
+  rsvd : 4;
+  flags : 8;
+  win : 16;
+  cksum : 16;
+  urg : 16;
+  demux { 20 };
+};
+
+metadata {
+  tx_port : 16;
+};
+
+module synflood {
+  u32 tb_tokens[1024]; // Token bucket per source-hash.
+  u32 tb_tick[1024];   // Virtual-clock stamp of the bucket's last update.
+  u32 now;             // Virtual clock: ticks once per SYN inspected.
+  u32 syn_cost;        // Tokens one SYN spends (control-plane set).
+  u32 syn_rate;        // Tokens refilled per clock tick.
+  u32 syn_cap;         // Bucket capacity (burst allowance).
+  u32 syn_pass;        // Admitted SYNs (stat only).
+  u32 non_tcp;         // Pass-through non-TCP frames (stat only).
+  u32 non_ip;          // Drop counters, one per drop site.
+  u32 malformed;
+  u32 syn_drop;
+
+  channel tcp_cc : ip20;
+
+  ppf syn_clsfr(ether_pkt * ph) {
+    if (ph->type != 0x0800) {
+      non_ip = non_ip + 1;
+      packet_drop(ph);
+      return;
+    }
+    if (packet_length(ph) < 54) {
+      malformed = malformed + 1;
+      packet_drop(ph);
+      return;
+    }
+    ip20_pkt * iph = packet_decap(ph);
+    if (iph->ver != 4 || iph->hlen != 5) {
+      malformed = malformed + 1;
+      packet_drop(iph);
+      return;
+    }
+    if (iph->proto != 6) {
+      non_tcp = non_tcp + 1;
+      ether_pkt * e0 = packet_encap(iph);
+      e0->meta.tx_port = e0->meta.rx_port ^ 1;
+      channel_put(tx, e0);
+      return;
+    }
+    channel_put(tcp_cc, iph);
+  }
+
+  ppf syn_gate(ip20_pkt * iph) {
+    u32 src = iph->saddr;
+    tcp20_pkt * tp = packet_decap(iph);
+    u32 fl = tp->flags;
+    if ((fl & 0x12) != 0x02) {
+      // Established / non-SYN TCP: stateless forward.
+      ip20_pkt * i1 = packet_encap(tp);
+      ether_pkt * e1 = packet_encap(i1);
+      e1->meta.tx_port = e1->meta.rx_port ^ 1;
+      channel_put(tx, e1);
+      return;
+    }
+    u32 hh = src ^ (src >> 16);
+    hh = (hh ^ (hh >> 8)) & 1023;
+    u32 allow = 0;
+    critical (tb_lock) {
+      u32 t = now;
+      now = t + 1;
+      u32 tok = tb_tokens[hh];
+      u32 dt = t - tb_tick[hh];
+      if (dt > 4096) {
+        dt = 4096;       // Clamp: fresh/idle buckets refill to cap.
+      }
+      tok = tok + dt * syn_rate;
+      u32 cap = syn_cap;
+      if (tok > cap) {
+        tok = cap;
+      }
+      tb_tick[hh] = t;
+      u32 cost = syn_cost;
+      if (tok >= cost) {
+        tok = tok - cost;
+        allow = 1;
+      }
+      tb_tokens[hh] = tok;
+    }
+    if (allow == 0) {
+      syn_drop = syn_drop + 1;
+      packet_drop(tp);
+      return;
+    }
+    syn_pass = syn_pass + 1;
+    ip20_pkt * i2 = packet_encap(tp);
+    ether_pkt * e2 = packet_encap(i2);
+    e2->meta.tx_port = e2->meta.rx_port ^ 1;
+    channel_put(tx, e2);
+  }
+
+  wire rx -> syn_clsfr;
+  wire tcp_cc -> syn_gate;
+}
+)BAKER";
+
+AppBundle sl::apps::synflood() {
+  AppBundle B;
+  B.Name = "SYN-Flood";
+  B.Source = SynFloodSource;
+  B.TxMetaFields = {"tx_port"};
+  B.DropCounters = {"non_ip", "malformed", "syn_drop"};
+  B.Tables.push_back({"syn_cost", 0, 16});
+  B.Tables.push_back({"syn_rate", 0, 1});
+  B.Tables.push_back({"syn_cap", 0, 96});
+  // Start the virtual clock past the refill clamp so untouched buckets
+  // (tick 0) read as full: a source's very first SYN is always admitted.
+  B.Tables.push_back({"now", 0, 4096});
+  return B;
+}
+
+std::vector<AppBundle> sl::apps::statefulApps() {
+  return {nat(), slb(), synflood()};
+}
+
+//===----------------------------------------------------------------------===//
+// Frame builders
+//===----------------------------------------------------------------------===//
+
+traffic::FrameBuilder sl::apps::natFrames(unsigned InboundPct) {
+  return [InboundPct](uint64_t Flow, uint64_t Seq,
+                      Rng &R) -> profile::TracePacket {
+    (void)Seq;
+    if (R.nextBelow(100) < InboundPct) {
+      // Inbound reply: external server to a guessed allocated port. Hits
+      // rev_key when the port is bound, rev_miss otherwise.
+      std::vector<uint8_t> F = ether(kGwMac, kHostMacBase + 0xEE, 0x0800);
+      ipv4At(F, 14, kServerIp, kNatIp, 64, 6);
+      portsAt(F, 34, 80,
+              static_cast<uint16_t>(32768 + R.nextBelow(4096)));
+      return {std::move(F), 1};
+    }
+    std::vector<uint8_t> F =
+        ether(kGwMac, kHostMacBase + (Flow & 0xFF), 0x0800);
+    ipv4At(F, 14, kInsideBase | static_cast<uint32_t>(Flow & 0xFFFF),
+           kServerIp, 64, 6);
+    portsAt(F, 34, static_cast<uint16_t>(10000 + ((Flow >> 16) & 0x3FFF)),
+            80);
+    return {std::move(F), 0};
+  };
+}
+
+traffic::FrameBuilder sl::apps::slbFrames() {
+  return [](uint64_t Flow, uint64_t Seq, Rng &R) -> profile::TracePacket {
+    (void)Seq;
+    std::vector<uint8_t> F =
+        ether(kGwMac, kHostMacBase + (Flow & 0xFF), 0x0800);
+    ipv4At(F, 14, kClientBase | static_cast<uint32_t>(Flow & 0xFFFF), kVip,
+           64, 6);
+    portsAt(F, 34, static_cast<uint16_t>(10000 + ((Flow >> 16) & 0x3FFF)),
+            80);
+    return {std::move(F), static_cast<uint16_t>(R.nextBelow(4))};
+  };
+}
+
+traffic::FrameBuilder sl::apps::synfloodFrames(uint64_t AttackersBelow) {
+  return [AttackersBelow](uint64_t Flow, uint64_t Seq,
+                          Rng &R) -> profile::TracePacket {
+    uint32_t Src = kSynBase | static_cast<uint32_t>(Flow & 0xFFFF);
+    // Attackers blast pure SYNs; normal sources open one connection per
+    // eight packets and send established traffic otherwise.
+    bool Syn = Flow < AttackersBelow || (Seq % 8) == 0;
+    uint8_t Flags = Syn ? 0x02 : 0x10;
+    uint16_t Sport = Syn ? static_cast<uint16_t>(1024 + R.nextBelow(60000))
+                         : static_cast<uint16_t>(1024 + (Flow & 0x7FFF));
+    std::vector<uint8_t> F =
+        ether(kGwMac, kHostMacBase + (Flow & 0xFF), 0x0800);
+    ipv4At(F, 14, Src, kProtectedIp, 64, 6);
+    tcpAt(F, 34, Sport, 80, Flags);
+    return {std::move(F), 0};
+  };
+}
+
+//===----------------------------------------------------------------------===//
+// Adversarial profile dispatch
+//===----------------------------------------------------------------------===//
+
+profile::Trace sl::apps::adversarialTrace(const AppBundle &App,
+                                          traffic::Profile P, uint64_t Seed,
+                                          unsigned N) {
+  traffic::FrameBuilder Build;
+  if (App.Name == "NAT")
+    Build = natFrames();
+  else if (App.Name == "SLB")
+    Build = slbFrames();
+  else if (App.Name == "SYN-Flood")
+    Build = synfloodFrames();
+  else {
+    // Paper apps have no flow-keyed builder; reuse their native traces.
+    return App.makeTrace(Seed, N);
+  }
+
+  switch (P) {
+  case traffic::Profile::Benign: {
+    // Uniform flows over a table-friendly universe (Zipf with skew 0).
+    traffic::ZipfParams Z;
+    Z.NumFlows = 256;
+    Z.Skew = 0.0;
+    return traffic::makeZipf(Seed, N, Z, Build);
+  }
+  case traffic::Profile::Zipf: {
+    traffic::ZipfParams Z;
+    Z.NumFlows = 1024;
+    Z.Skew = 1.2;
+    return traffic::makeZipf(Seed, N, Z, Build);
+  }
+  case traffic::Profile::Bursty: {
+    traffic::BurstParams BP;
+    BP.NumFlows = 64;
+    BP.MinBurst = 8;
+    BP.MaxBurst = 48;
+    return traffic::makeBursty(Seed, N, BP, Build);
+  }
+  case traffic::Profile::Thrash: {
+    traffic::ThrashParams TP;
+    TP.FlowUniverse = 1ull << 15; // Far above every app's table capacity.
+    TP.PacketsPerFlow = 1;
+    return traffic::makeThrash(Seed, N, TP, Build);
+  }
+  case traffic::Profile::Malformed: {
+    traffic::ZipfParams Z;
+    Z.NumFlows = 256;
+    Z.Skew = 0.0;
+    profile::Trace T = traffic::makeZipf(Seed, N, Z, Build);
+    traffic::MalformParams MP;
+    MP.Fraction = 0.3;
+    T = traffic::truncateFrames(Seed + 1, T, MP);
+    return traffic::corruptHeaders(Seed + 2, T, MP);
+  }
+  }
+  return {};
+}
+
+//===----------------------------------------------------------------------===//
+// Reference-interpreter plumbing
+//===----------------------------------------------------------------------===//
+
+AppInterp sl::apps::makeAppInterp(const AppBundle &App) {
+  AppInterp AI;
+  DiagEngine Diags;
+  AI.Unit = baker::parseAndAnalyze(App.Source, Diags);
+  if (!AI.Unit) {
+    AI.Error = Diags.str();
+    return AI;
+  }
+  AI.M = ir::lowerProgram(*AI.Unit, Diags);
+  if (!AI.M || Diags.hasErrors()) {
+    AI.Error = Diags.str();
+    AI.M.reset();
+    return AI;
+  }
+  AI.I = std::make_unique<interp::Interpreter>(*AI.M);
+  for (const driver::TableInit &T : App.Tables)
+    AI.I->writeGlobal(T.Global, T.Index, T.Value);
+  return AI;
+}
+
+//===----------------------------------------------------------------------===//
+// Oracles
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Fails \p O with a formatted message; returns false for chaining.
+bool oracleFail(OracleResult &O, const std::string &Msg) {
+  O.Ok = false;
+  if (!O.Log.empty())
+    O.Log += "; ";
+  O.Log += Msg;
+  return false;
+}
+
+std::vector<uint8_t> natOutFrame(uint32_t Fl) {
+  std::vector<uint8_t> F = ether(kGwMac, kHostMacBase + (Fl & 0xFF), 0x0800);
+  ipv4At(F, 14, kInsideBase | Fl, kServerIp, 64, 6);
+  portsAt(F, 34, static_cast<uint16_t>(10000 + (Fl & 0xFF)), 80);
+  return F;
+}
+
+std::vector<uint8_t> slbFrame(uint32_t Fl) {
+  std::vector<uint8_t> F = ether(kGwMac, kHostMacBase + (Fl & 0xFF), 0x0800);
+  ipv4At(F, 14, kClientBase | Fl, kVip, 64, 6);
+  portsAt(F, 34, static_cast<uint16_t>(10000 + (Fl & 0xFF)), 80);
+  return F;
+}
+
+std::vector<uint8_t> synFrame(uint32_t Fl, uint16_t Sport, uint8_t Flags) {
+  std::vector<uint8_t> F = ether(kGwMac, kHostMacBase + (Fl & 0xFF), 0x0800);
+  ipv4At(F, 14, kSynBase | Fl, kProtectedIp, 64, 6);
+  tcpAt(F, 34, Sport, 80, Flags);
+  return F;
+}
+
+uint32_t frameSaddr(const std::vector<uint8_t> &F) {
+  return static_cast<uint32_t>(readBitsBE(F.data(), 26 * 8, 32));
+}
+uint32_t frameDaddr(const std::vector<uint8_t> &F) {
+  return static_cast<uint32_t>(readBitsBE(F.data(), 30 * 8, 32));
+}
+uint16_t frameSport(const std::vector<uint8_t> &F) {
+  return static_cast<uint16_t>(readBitsBE(F.data(), 34 * 8, 16));
+}
+uint16_t frameDport(const std::vector<uint8_t> &F) {
+  return static_cast<uint16_t>(readBitsBE(F.data(), 36 * 8, 16));
+}
+
+} // namespace
+
+OracleResult sl::apps::natOracle(uint64_t Seed) {
+  OracleResult O;
+  (void)Seed; // The scenario is fully deterministic.
+  AppBundle App = nat();
+  AppInterp AI = makeAppInterp(App);
+  if (!AI.I) {
+    oracleFail(O, "NAT failed to compile: " + AI.Error);
+    return O;
+  }
+
+  // Translation consistency: every flow's (external ip, port) binding must
+  // be identical on every packet, and distinct across flows.
+  const unsigned NumFlows = 96;
+  std::map<uint32_t, uint16_t> Binding;
+  std::set<uint16_t> Ports;
+  for (unsigned Round = 0; Round != 3; ++Round) {
+    for (unsigned Fl = 0; Fl != NumFlows; ++Fl) {
+      interp::RunResult R = AI.I->inject(natOutFrame(Fl), 0);
+      if (R.Error || R.Tx.size() != 1) {
+        oracleFail(O, "outbound flow " + std::to_string(Fl) + " round " +
+                          std::to_string(Round) + ": " +
+                          (R.Error ? R.ErrorMsg : "no output"));
+        return O;
+      }
+      const auto &F = R.Tx[0].Frame;
+      if (frameSaddr(F) != kNatIp) {
+        oracleFail(O, "outbound not rewritten to nat_ip");
+        return O;
+      }
+      uint16_t Pt = frameSport(F);
+      if (Round == 0) {
+        if (!Ports.insert(Pt).second) {
+          oracleFail(O, "port " + std::to_string(Pt) +
+                            " allocated to two flows");
+          return O;
+        }
+        Binding[Fl] = Pt;
+      } else if (Binding[Fl] != Pt) {
+        oracleFail(O, "flow " + std::to_string(Fl) + " rebound: port " +
+                          std::to_string(Binding[Fl]) + " -> " +
+                          std::to_string(Pt));
+        return O;
+      }
+    }
+  }
+
+  // The scenario is far below table capacity: nothing may be evicted.
+  if (AI.I->readGlobal("evictions", 0) != 0) {
+    oracleFail(O, "evictions on an underfull table");
+    return O;
+  }
+
+  // Reverse consistency: a reply to each allocated port must come back
+  // translated to exactly the original (inside ip, port).
+  for (const auto &[Fl, Pt] : Binding) {
+    std::vector<uint8_t> In = ether(kGwMac, kHostMacBase + 0xEE, 0x0800);
+    ipv4At(In, 14, kServerIp, kNatIp, 64, 6);
+    portsAt(In, 34, 80, Pt);
+    interp::RunResult R = AI.I->inject(In, 1);
+    if (R.Error || R.Tx.size() != 1) {
+      oracleFail(O, "inbound to port " + std::to_string(Pt) + " dropped");
+      return O;
+    }
+    const auto &F = R.Tx[0].Frame;
+    if (frameDaddr(F) != (kInsideBase | Fl) ||
+        frameDport(F) != static_cast<uint16_t>(10000 + (Fl & 0xFF))) {
+      oracleFail(O, "reverse translation mismatch for flow " +
+                        std::to_string(Fl));
+      return O;
+    }
+  }
+
+  // An unbound port must be dropped and counted, not forwarded.
+  {
+    std::vector<uint8_t> In = ether(kGwMac, kHostMacBase + 0xEE, 0x0800);
+    ipv4At(In, 14, kServerIp, kNatIp, 64, 6);
+    portsAt(In, 34, 80, 36000); // next_port never reached this.
+    interp::RunResult R = AI.I->inject(In, 1);
+    if (R.Error || !R.Tx.empty() || AI.I->readGlobal("rev_miss", 0) == 0) {
+      oracleFail(O, "unbound inbound port was not dropped");
+      return O;
+    }
+  }
+
+  O.Log = "NAT: " + std::to_string(NumFlows) +
+          " flows stable over 3 rounds, reverse map consistent, 0 evictions";
+  return O;
+}
+
+OracleResult sl::apps::slbOracle(uint64_t Seed) {
+  OracleResult O;
+  (void)Seed;
+  AppBundle App = slb();
+  const unsigned NumFlows = 160;
+  const uint32_t DeadBe = 3; // 0-based index; id 4 on the ring.
+
+  // Maps each flow to the backend index chosen by a given interpreter.
+  auto mapFlows = [&](interp::Interpreter &I,
+                      std::map<uint32_t, uint32_t> &Out) -> bool {
+    for (unsigned Fl = 0; Fl != NumFlows; ++Fl) {
+      interp::RunResult R = I.inject(slbFrame(Fl), 0);
+      if (R.Error || R.Tx.size() != 1)
+        return oracleFail(O, "flow " + std::to_string(Fl) + ": " +
+                                 (R.Error ? R.ErrorMsg : "dropped"));
+      uint32_t Da = frameDaddr(R.Tx[0].Frame);
+      if (Da < 0xAC100001u || Da >= 0xAC100001u + kNumBackends)
+        return oracleFail(O, "rewritten daddr is not a backend");
+      Out[Fl] = Da - 0xAC100001u;
+    }
+    return true;
+  };
+
+  // Affinity: with all backends up, the mapping must be stable across
+  // repeated packets of the same flows.
+  AppInterp A = makeAppInterp(App);
+  if (!A.I) {
+    oracleFail(O, "SLB failed to compile: " + A.Error);
+    return O;
+  }
+  std::map<uint32_t, uint32_t> MapA, MapA2;
+  if (!mapFlows(*A.I, MapA) || !mapFlows(*A.I, MapA2))
+    return O;
+  if (MapA != MapA2) {
+    oracleFail(O, "mapping changed between rounds with stable backends");
+    return O;
+  }
+
+  // Kill one backend in the SAME interpreter: established flows pinned
+  // elsewhere must keep their backend; flows pinned to the dead one must
+  // move to a live backend.
+  A.I->writeGlobal("be_up", DeadBe, 0);
+  std::map<uint32_t, uint32_t> MapDown;
+  if (!mapFlows(*A.I, MapDown))
+    return O;
+  unsigned OnDead = 0, Moved = 0;
+  for (const auto &[Fl, Be] : MapA) {
+    if (Be == DeadBe) {
+      ++OnDead;
+      if (MapDown[Fl] == DeadBe)
+        return (void)oracleFail(O, "flow still on dead backend"), O;
+    } else if (MapDown[Fl] != Be) {
+      ++Moved;
+    }
+  }
+  if (OnDead == 0) {
+    oracleFail(O, "scenario too small: no flow hit the dead backend");
+    return O;
+  }
+  if (Moved != 0) {
+    oracleFail(O, std::to_string(Moved) +
+                      " flows lost affinity though their backend stayed up");
+    return O;
+  }
+
+  // Consistent-hash remap bound: a FRESH balancer without that backend
+  // must agree with the all-up mapping on every flow that was not on it.
+  AppInterp B = makeAppInterp(App);
+  if (!B.I) {
+    oracleFail(O, "SLB failed to compile: " + B.Error);
+    return O;
+  }
+  B.I->writeGlobal("be_up", DeadBe, 0);
+  std::map<uint32_t, uint32_t> MapB;
+  if (!mapFlows(*B.I, MapB))
+    return O;
+  unsigned Remapped = 0;
+  for (const auto &[Fl, Be] : MapA) {
+    if (MapB[Fl] != Be)
+      ++Remapped;
+    if (Be != DeadBe && MapB[Fl] != Be)
+      return (void)oracleFail(
+                 O, "consistent hashing violated: flow " +
+                        std::to_string(Fl) + " moved off a live backend"),
+             O;
+  }
+  if (Remapped != OnDead) {
+    oracleFail(O, "remap count " + std::to_string(Remapped) +
+                      " != dead-backend flow count " +
+                      std::to_string(OnDead));
+    return O;
+  }
+
+  O.Log = "SLB: affinity stable, " + std::to_string(OnDead) + "/" +
+          std::to_string(NumFlows) +
+          " flows remapped on backend death (consistent-hash bound holds)";
+  return O;
+}
+
+OracleResult sl::apps::synfloodOracle(uint64_t Seed) {
+  OracleResult O;
+  AppBundle App = synflood();
+  AppInterp AI = makeAppInterp(App);
+  if (!AI.I) {
+    oracleFail(O, "SYN-Flood failed to compile: " + AI.Error);
+    return O;
+  }
+
+  Rng R(Seed ^ 0x5F00D5EEDull);
+  // Mix: 2 attackers each sending 2 SYNs per round (40% of the SYN
+  // stream each), 16 normal sources taking turns opening one connection
+  // per round, plus established traffic that must never be touched.
+  const unsigned Rounds = 400;
+  const uint32_t Attackers[2] = {0x100, 0x101};
+  const unsigned NumBenign = 16;
+  uint64_t AtkSyn = 0, AtkPass = 0, BenSyn = 0, BenPass = 0, AckDrop = 0;
+
+  auto injectSyn = [&](uint32_t Fl) -> bool {
+    auto Sport = static_cast<uint16_t>(1024 + R.nextBelow(60000));
+    interp::RunResult RR = AI.I->inject(synFrame(Fl, Sport, 0x02), 0);
+    if (RR.Error)
+      return oracleFail(O, "interp error: " + RR.ErrorMsg), false;
+    return !RR.Tx.empty();
+  };
+
+  for (unsigned Rd = 0; Rd != Rounds; ++Rd) {
+    for (unsigned Rep = 0; Rep != 2; ++Rep)
+      for (uint32_t A : Attackers) {
+        ++AtkSyn;
+        AtkPass += injectSyn(A);
+        if (!O.Ok)
+          return O;
+      }
+    uint32_t Ben = 0x200 + (Rd % NumBenign);
+    ++BenSyn;
+    BenPass += injectSyn(Ben);
+    if (!O.Ok)
+      return O;
+    // Established traffic: forwarded statelessly, never rate-limited.
+    for (unsigned K = 0; K != 4; ++K) {
+      uint32_t Src = 0x200 + ((Rd + K) % NumBenign);
+      interp::RunResult RR = AI.I->inject(
+          synFrame(Src, static_cast<uint16_t>(2048 + Src), 0x10), 0);
+      if (RR.Error || RR.Tx.empty())
+        ++AckDrop;
+    }
+  }
+
+  double AtkRate = double(AtkPass) / double(AtkSyn);
+  double BenRate = double(BenPass) / double(BenSyn);
+  std::ostringstream SS;
+  SS << "SYN-Flood: attacker admit " << AtkPass << "/" << AtkSyn << " ("
+     << AtkRate << "), benign admit " << BenPass << "/" << BenSyn << " ("
+     << BenRate << "), established drops " << AckDrop;
+  // FN bound: the flood must be squeezed to its fair sustained share.
+  if (AtkRate > 0.35)
+    oracleFail(O, "flood under-throttled: " + SS.str());
+  // The mitigator is a limiter, not a blackhole.
+  if (AtkPass == 0)
+    oracleFail(O, "flood fully blackholed: " + SS.str());
+  // FP bound: light sources refill fully between their own SYNs.
+  if (BenRate < 0.9)
+    oracleFail(O, "benign SYNs over-dropped: " + SS.str());
+  if (AckDrop != 0)
+    oracleFail(O, "established traffic was rate-limited: " + SS.str());
+  if (O.Ok)
+    O.Log = SS.str();
+  return O;
+}
+
+OracleResult sl::apps::conservationOracle(const AppBundle &App,
+                                          const profile::Trace &T) {
+  OracleResult O;
+  AppInterp AI = makeAppInterp(App);
+  if (!AI.I) {
+    oracleFail(O, App.Name + " failed to compile: " + AI.Error);
+    return O;
+  }
+  uint64_t Tx = 0;
+  for (const auto &P : T) {
+    interp::RunResult R = AI.I->inject(P.Frame, P.Port);
+    if (R.Error) {
+      oracleFail(O, App.Name + " interp error: " + R.ErrorMsg);
+      return O;
+    }
+    Tx += R.Tx.size();
+  }
+  uint64_t Dropped = 0;
+  for (const std::string &C : App.DropCounters)
+    Dropped += AI.I->readGlobal(C, 0);
+  if (Tx + Dropped != T.size()) {
+    oracleFail(O, App.Name + " conservation violated: " +
+                      std::to_string(T.size()) + " injected != " +
+                      std::to_string(Tx) + " tx + " +
+                      std::to_string(Dropped) + " dropped");
+    return O;
+  }
+  O.Log = App.Name + ": " + std::to_string(T.size()) + " injected = " +
+          std::to_string(Tx) + " tx + " + std::to_string(Dropped) +
+          " dropped";
+  return O;
+}

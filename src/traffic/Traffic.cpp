@@ -1,0 +1,204 @@
+//===- traffic/Traffic.cpp ----------------------------------------------------==//
+
+#include "traffic/Traffic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace sl;
+using namespace sl::traffic;
+
+//===----------------------------------------------------------------------===//
+// Zipf
+//===----------------------------------------------------------------------===//
+
+ZipfSampler::ZipfSampler(unsigned NumFlows, double Skew) {
+  assert(NumFlows > 0 && "empty flow universe");
+  Cdf.resize(NumFlows);
+  double Acc = 0.0;
+  for (unsigned K = 0; K != NumFlows; ++K) {
+    Acc += 1.0 / std::pow(double(K + 1), Skew);
+    Cdf[K] = Acc;
+  }
+  // Normalize so the last entry is exactly 1.0 regardless of rounding.
+  for (double &C : Cdf)
+    C /= Acc;
+  Cdf.back() = 1.0;
+}
+
+uint64_t ZipfSampler::sample(Rng &R) const {
+  // 53-bit uniform in [0, 1): plenty of resolution for any realistic
+  // flow count, and bit-stable across platforms.
+  double U = double(R.next() >> 11) * 0x1p-53;
+  auto It = std::upper_bound(Cdf.begin(), Cdf.end(), U);
+  if (It == Cdf.end())
+    --It;
+  return static_cast<uint64_t>(It - Cdf.begin());
+}
+
+profile::Trace traffic::makeZipf(uint64_t Seed, unsigned N,
+                                 const ZipfParams &P,
+                                 const FrameBuilder &Build) {
+  Rng R(Seed ^ 0x21BF1ECAFE5EEDull);
+  ZipfSampler Z(P.NumFlows, P.Skew);
+  std::map<uint64_t, uint64_t> Seq;
+  profile::Trace T;
+  T.reserve(N);
+  for (unsigned I = 0; I != N; ++I) {
+    uint64_t Flow = Z.sample(R);
+    T.push_back(Build(Flow, Seq[Flow]++, R));
+  }
+  return T;
+}
+
+//===----------------------------------------------------------------------===//
+// Bursty
+//===----------------------------------------------------------------------===//
+
+profile::Trace traffic::makeBursty(uint64_t Seed, unsigned N,
+                                   const BurstParams &P,
+                                   const FrameBuilder &Build) {
+  assert(P.NumFlows > 0 && P.MinBurst > 0 && P.MinBurst <= P.MaxBurst);
+  Rng R(Seed ^ 0xB0857B0857B085ull);
+  std::map<uint64_t, uint64_t> Seq;
+  profile::Trace T;
+  T.reserve(N);
+  while (T.size() < N) {
+    uint64_t Flow = R.nextBelow(P.NumFlows);
+    uint64_t Len = R.nextInRange(P.MinBurst, P.MaxBurst);
+    for (uint64_t K = 0; K != Len && T.size() < N; ++K)
+      T.push_back(Build(Flow, Seq[Flow]++, R));
+  }
+  return T;
+}
+
+//===----------------------------------------------------------------------===//
+// Thrash
+//===----------------------------------------------------------------------===//
+
+profile::Trace traffic::makeThrash(uint64_t Seed, unsigned N,
+                                   const ThrashParams &P,
+                                   const FrameBuilder &Build) {
+  assert(P.FlowUniverse > 0 && P.PacketsPerFlow > 0);
+  Rng R(Seed ^ 0x7412A5421412A54ull);
+  // A large odd stride is coprime with any power-of-two universe (and
+  // with high probability otherwise), so consecutive flows land far
+  // apart in any power-of-two hash table.
+  uint64_t Stride = (R.next() | 1) % P.FlowUniverse;
+  if (Stride == 0)
+    Stride = 1;
+  uint64_t Flow = R.nextBelow(P.FlowUniverse);
+  profile::Trace T;
+  T.reserve(N);
+  while (T.size() < N) {
+    for (unsigned K = 0; K != P.PacketsPerFlow && T.size() < N; ++K)
+      T.push_back(Build(Flow, K, R));
+    Flow = (Flow + Stride) % P.FlowUniverse;
+  }
+  return T;
+}
+
+//===----------------------------------------------------------------------===//
+// Malformed mutators
+//===----------------------------------------------------------------------===//
+
+profile::Trace traffic::truncateFrames(uint64_t Seed, const profile::Trace &T,
+                                       const MalformParams &P) {
+  Rng R(Seed ^ 0x7254CA7E7254CAull);
+  profile::Trace Out = T;
+  auto Num = static_cast<uint64_t>(P.Fraction * 4096.0);
+  for (auto &Pkt : Out) {
+    if (!R.chance(Num, 4096) || Pkt.Frame.size() <= P.MinBytes)
+      continue;
+    size_t NewLen =
+        P.MinBytes + R.nextBelow(Pkt.Frame.size() - P.MinBytes);
+    Pkt.Frame.resize(NewLen);
+  }
+  return Out;
+}
+
+profile::Trace traffic::corruptHeaders(uint64_t Seed, const profile::Trace &T,
+                                       const MalformParams &P) {
+  Rng R(Seed ^ 0xC0B2FD7C0B2FDull);
+  profile::Trace Out = T;
+  auto Num = static_cast<uint64_t>(P.Fraction * 4096.0);
+  for (auto &Pkt : Out) {
+    if (Pkt.Frame.size() < 15 || !R.chance(Num, 4096))
+      continue;
+    // Only meaningful on IPv4 frames (ethertype 0x0800).
+    if (Pkt.Frame[12] != 0x08 || Pkt.Frame[13] != 0x00)
+      continue;
+    // Half get a bad version nibble, half an options-bearing hlen; either
+    // way the fast-path "ver == 4 && hlen == 5" check must reject them.
+    if (R.chance(1, 2))
+      Pkt.Frame[14] = 0x65; // Version 6.
+    else
+      Pkt.Frame[14] = 0x4F; // Version 4, hlen 15 (60-byte header).
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Profiles
+//===----------------------------------------------------------------------===//
+
+const char *traffic::profileName(Profile P) {
+  switch (P) {
+  case Profile::Benign:
+    return "benign";
+  case Profile::Zipf:
+    return "zipf";
+  case Profile::Bursty:
+    return "bursty";
+  case Profile::Thrash:
+    return "thrash";
+  case Profile::Malformed:
+    return "malformed";
+  }
+  return "unknown";
+}
+
+std::vector<Profile> traffic::allProfiles() {
+  return {Profile::Benign, Profile::Zipf, Profile::Bursty, Profile::Thrash,
+          Profile::Malformed};
+}
+
+//===----------------------------------------------------------------------===//
+// Statistics
+//===----------------------------------------------------------------------===//
+
+std::map<uint64_t, uint64_t> traffic::flowCounts(
+    const profile::Trace &T,
+    const std::function<uint64_t(const profile::TracePacket &)> &FlowOf) {
+  std::map<uint64_t, uint64_t> Counts;
+  for (const auto &P : T)
+    ++Counts[FlowOf(P)];
+  return Counts;
+}
+
+double traffic::topFlowShare(const std::map<uint64_t, uint64_t> &Counts) {
+  uint64_t Total = 0, Top = 0;
+  for (const auto &[Flow, C] : Counts) {
+    Total += C;
+    Top = std::max(Top, C);
+  }
+  return Total ? double(Top) / double(Total) : 0.0;
+}
+
+uint64_t traffic::traceFingerprint(const profile::Trace &T) {
+  uint64_t H = 0xCBF29CE484222325ull;
+  auto mix = [&H](uint8_t B) {
+    H ^= B;
+    H *= 0x100000001B3ull;
+  };
+  for (const auto &P : T) {
+    for (unsigned Shift = 0; Shift != 64; Shift += 8)
+      mix(static_cast<uint8_t>(uint64_t(P.Frame.size()) >> Shift));
+    mix(static_cast<uint8_t>(P.Port));
+    mix(static_cast<uint8_t>(P.Port >> 8));
+    for (uint8_t B : P.Frame)
+      mix(B);
+  }
+  return H;
+}

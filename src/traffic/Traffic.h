@@ -1,0 +1,171 @@
+//===- traffic/Traffic.h - adversarial trace generators ----------------------==//
+//
+// Deterministic, seeded generators for the hostile traffic the stateful
+// workload tier runs against. The paper's three applications are
+// header-rewrite pipelines over benign traces; the stateful apps (NAT,
+// load balancer, SYN-flood mitigator) live and die by *which flow sends
+// the next packet*, so every generator here separates two concerns:
+//
+//   * an arrival process deciding the flow sequence (Zipf heavy-hitter
+//     skew, bursty on/off trains, flow-table-thrashing strides), and
+//   * an app-supplied FrameBuilder turning (flow, seq) into the actual
+//     frame bytes for that application's protocol stack.
+//
+// All randomness comes from the explicit xorshift64* Rng (support/Rng.h),
+// so a (seed, params) pair reproduces the exact same profile::Trace on
+// every platform — the property TrafficTest's golden snapshots pin down.
+//
+// Mutators (truncateFrames, corruptHeaders) take an existing trace and
+// damage a deterministic subset of it, for the malformed-input paths.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SL_TRAFFIC_TRAFFIC_H
+#define SL_TRAFFIC_TRAFFIC_H
+
+#include "profile/Profiler.h"
+#include "support/Rng.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace sl::traffic {
+
+/// Builds one frame for packet number \p Seq of flow \p Flow. \p R is for
+/// per-packet jitter (payload bytes, ports within the flow's range, ...);
+/// everything identifying the flow must derive from \p Flow alone so the
+/// arrival process fully controls state churn.
+using FrameBuilder =
+    std::function<profile::TracePacket(uint64_t Flow, uint64_t Seq, Rng &R)>;
+
+//===----------------------------------------------------------------------===//
+// Zipf heavy-hitter skew
+//===----------------------------------------------------------------------===//
+
+/// Draws flow ranks 0..NumFlows-1 with P(rank k) proportional to
+/// 1/(k+1)^Skew — the classic heavy-hitter distribution of real traffic
+/// mixes. Deterministic: a precomputed CDF plus binary search, no
+/// <random>.
+class ZipfSampler {
+public:
+  ZipfSampler(unsigned NumFlows, double Skew);
+
+  /// Next rank in [0, NumFlows).
+  uint64_t sample(Rng &R) const;
+
+  unsigned numFlows() const { return static_cast<unsigned>(Cdf.size()); }
+
+private:
+  std::vector<double> Cdf; ///< Inclusive cumulative mass per rank.
+};
+
+struct ZipfParams {
+  unsigned NumFlows = 256;
+  double Skew = 1.1;      ///< 0 = uniform; >1 = strong heavy hitters.
+};
+
+/// \p N packets whose flows follow a Zipf law. Flow ids are the ranks, so
+/// flow 0 is the heaviest hitter.
+profile::Trace makeZipf(uint64_t Seed, unsigned N, const ZipfParams &P,
+                        const FrameBuilder &Build);
+
+//===----------------------------------------------------------------------===//
+// Bursty arrivals
+//===----------------------------------------------------------------------===//
+
+struct BurstParams {
+  unsigned NumFlows = 64;
+  unsigned MinBurst = 4;  ///< Shortest back-to-back train from one flow.
+  unsigned MaxBurst = 32; ///< Longest.
+};
+
+/// On/off arrival trains: pick a flow uniformly, emit a burst of
+/// MinBurst..MaxBurst consecutive packets from it, repeat until \p N
+/// packets exist (the final burst is clipped). Stresses lock convoys and
+/// per-flow state hot spots.
+profile::Trace makeBursty(uint64_t Seed, unsigned N, const BurstParams &P,
+                          const FrameBuilder &Build);
+
+//===----------------------------------------------------------------------===//
+// Flow-table thrashing
+//===----------------------------------------------------------------------===//
+
+struct ThrashParams {
+  /// Size of the flow universe swept through. Choose well above the
+  /// app's flow-table capacity so nearly every packet misses and
+  /// allocates.
+  uint64_t FlowUniverse = 1 << 16;
+  /// Packets per flow before moving on (1 = pure churn: every packet a
+  /// brand-new flow).
+  unsigned PacketsPerFlow = 1;
+};
+
+/// Marches through a large flow universe with a coprime stride so
+/// successive flows never share hash neighborhoods: worst-case table
+/// churn for NAT port allocation and LB affinity caches.
+profile::Trace makeThrash(uint64_t Seed, unsigned N, const ThrashParams &P,
+                          const FrameBuilder &Build);
+
+//===----------------------------------------------------------------------===//
+// Malformed / truncated input mutators
+//===----------------------------------------------------------------------===//
+
+struct MalformParams {
+  /// Fraction of packets damaged, in [0, 1].
+  double Fraction = 0.25;
+  /// Truncation keeps at least this many bytes so the Ethernet header
+  /// (14B) every PPF reads first stays addressable. Apps must
+  /// packet_length-guard anything deeper.
+  unsigned MinBytes = 16;
+};
+
+/// Truncates a deterministic ~Fraction of \p T to random short lengths in
+/// [MinBytes, original). Frames already at MinBytes are left alone.
+profile::Trace truncateFrames(uint64_t Seed, const profile::Trace &T,
+                              const MalformParams &P);
+
+/// Corrupts the IPv4 version/hlen byte (offset 14) of ~Fraction of the
+/// IPv4 frames in \p T: wrong version nibble or an options-bearing hlen,
+/// both of which must bounce to the app's malformed/slow path.
+profile::Trace corruptHeaders(uint64_t Seed, const profile::Trace &T,
+                              const MalformParams &P);
+
+//===----------------------------------------------------------------------===//
+// Profile registry (benches / acceptance harness)
+//===----------------------------------------------------------------------===//
+
+/// The adversarial profiles every stateful acceptance bench sweeps.
+enum class Profile : uint8_t {
+  Benign,    ///< The app's own representative trace.
+  Zipf,      ///< Heavy-hitter skew (hot flows hammer shared slots).
+  Bursty,    ///< On/off trains (lock convoys).
+  Thrash,    ///< Flow-table churn (allocation path saturated).
+  Malformed, ///< Truncated + corrupted headers over a benign mix.
+};
+
+const char *profileName(Profile P);
+
+/// All profiles, in the order benches report them.
+std::vector<Profile> allProfiles();
+
+//===----------------------------------------------------------------------===//
+// Trace statistics (tests + acceptance checks)
+//===----------------------------------------------------------------------===//
+
+/// Packets per flow id, as recovered by \p FlowOf from each frame.
+std::map<uint64_t, uint64_t>
+flowCounts(const profile::Trace &T,
+           const std::function<uint64_t(const profile::TracePacket &)> &FlowOf);
+
+/// Share of packets belonging to the single heaviest flow in \p Counts.
+double topFlowShare(const std::map<uint64_t, uint64_t> &Counts);
+
+/// FNV-1a over every frame's bytes, port, and length — the golden-trace
+/// fingerprint TrafficTest snapshots.
+uint64_t traceFingerprint(const profile::Trace &T);
+
+} // namespace sl::traffic
+
+#endif // SL_TRAFFIC_TRAFFIC_H

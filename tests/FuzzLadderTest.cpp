@@ -11,6 +11,7 @@
 
 #include "analysis/PacketLifetime.h"
 #include "analysis/StateRace.h"
+#include "apps/Apps.h"
 #include "driver/Compiler.h"
 #include "interp/Interp.h"
 #include "ir/ASTLower.h"
@@ -255,5 +256,98 @@ TEST_P(FuzzLadder, SimMatchesInterpreter) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzLadder,
                          ::testing::Range<uint64_t>(1, 21));
+
+//===----------------------------------------------------------------------===//
+// Stateful app at every ladder stage
+//===----------------------------------------------------------------------===//
+
+// The random programs above have no critical sections: NAT brings the
+// lock-guarded RMW pattern through the same every-stage differential.
+class StatefulLadder : public ::testing::TestWithParam<OptLevel> {};
+
+TEST_P(StatefulLadder, NatMatchesInterpreter) {
+  apps::AppBundle App = apps::nat();
+  profile::Trace Trace = App.makeTrace(0x57A7E, 48);
+
+  // Reference.
+  DiagEngine D;
+  auto Unit = baker::parseAndAnalyze(App.Source, D);
+  ASSERT_NE(Unit, nullptr) << D.str();
+  auto RefM = ir::lowerProgram(*Unit, D);
+  interp::Interpreter RefI(*RefM);
+  for (const auto &T : App.Tables)
+    RefI.writeGlobal(T.Global, T.Index, T.Value);
+  std::vector<interp::TxPacket> Ref;
+  for (const auto &P : Trace) {
+    auto Res = RefI.inject(P.Frame, P.Port);
+    ASSERT_FALSE(Res.Error) << Res.ErrorMsg;
+    for (auto &T : Res.Tx)
+      Ref.push_back(std::move(T));
+  }
+
+  CompileOptions Opts;
+  Opts.Level = GetParam();
+  Opts.TxMetaFields = App.TxMetaFields;
+  Opts.Map.NumMEs = 3;
+  Opts.Map.Replicate = false;
+  Opts.Map.AllowDuplication = false;
+  DiagEngine Diags;
+  auto Compiled = compile(App.Source, Trace, App.Tables, Opts, Diags);
+  ASSERT_NE(Compiled, nullptr) << Diags.str();
+
+  // The safety analyses must be deterministic over the surviving IR.
+  std::vector<analysis::Finding> F1, F2;
+  analysis::checkPacketLifetime(*Compiled->IR, F1);
+  analysis::checkStateRace(*Compiled->IR, Compiled->Plan, F1);
+  analysis::checkPacketLifetime(*Compiled->IR, F2);
+  analysis::checkStateRace(*Compiled->IR, Compiled->Plan, F2);
+  ASSERT_EQ(F1.size(), F2.size());
+  for (size_t K = 0; K != F1.size(); ++K)
+    ASSERT_TRUE(F1[K] == F2[K]) << "finding " << K;
+
+  ixp::ChipParams Chip;
+  Chip.ThreadsPerME = 1;
+  auto Sim = makeSimulator(*Compiled, Chip);
+  Sim->enableCapture();
+  Sim->setMaxInjected(Trace.size());
+  Sim->setTraffic([&Trace](uint64_t I) -> const ixp::SimPacket * {
+    static thread_local ixp::SimPacket P;
+    if (I >= Trace.size())
+      return nullptr;
+    P.Frame = Trace[I].Frame;
+    P.Port = Trace[I].Port;
+    return &P;
+  });
+  Sim->run(80'000'000);
+  ASSERT_TRUE(Sim->drained());
+  const auto &Got = Sim->captured();
+  ASSERT_EQ(Got.size(), Ref.size());
+  for (size_t K = 0; K != Ref.size(); ++K)
+    ASSERT_EQ(Got[K].Frame, Ref[K].Frame) << "packet " << K;
+
+  // Shared-table state must match the reference exactly too: the NAT
+  // binding tables are the whole point of the app.
+  ir::Global *Fwd = Compiled->IR->findGlobal("fwd_port");
+  ASSERT_NE(Fwd, nullptr);
+  for (unsigned K = 0; K != 1024; ++K)
+    ASSERT_EQ(Sim->readGlobal(Fwd, K), RefI.readGlobal("fwd_port", K))
+        << "fwd_port[" << K << "]";
+  ir::Global *Np = Compiled->IR->findGlobal("next_port");
+  EXPECT_EQ(Sim->readGlobal(Np, 0), RefI.readGlobal("next_port", 0));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ladder, StatefulLadder,
+    ::testing::Values(OptLevel::Base, OptLevel::O1, OptLevel::O2,
+                      OptLevel::Pac, OptLevel::Soar, OptLevel::Phr,
+                      OptLevel::Swc),
+    [](const auto &Info) {
+      std::string N = optLevelName(Info.param);
+      std::string Out;
+      for (char C : N)
+        if (std::isalnum(static_cast<unsigned char>(C)))
+          Out += C;
+      return Out;
+    });
 
 } // namespace

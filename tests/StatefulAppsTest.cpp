@@ -1,0 +1,225 @@
+//===- tests/StatefulAppsTest.cpp - the stateful workload tier ---------------==//
+//
+// Per-app correctness oracles on small deterministic traces (NAT mapping
+// stability, SLB consistent-hash remap bound, token-bucket refill math),
+// packet conservation under every adversarial profile, the StateRace
+// classification of each app's globals, and the --analyze error
+// clean-compile gate.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+#include "driver/Compiler.h"
+#include "interp/Bits.h"
+#include "interp/Interp.h"
+#include "traffic/Traffic.h"
+
+#include <gtest/gtest.h>
+
+using namespace sl;
+using namespace sl::apps;
+using namespace sl::driver;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Oracles
+//===----------------------------------------------------------------------===//
+
+TEST(StatefulApps, NatTranslationConsistency) {
+  OracleResult O = natOracle(1);
+  EXPECT_TRUE(O.Ok) << O.Log;
+}
+
+TEST(StatefulApps, SlbAffinityAndRemapBound) {
+  OracleResult O = slbOracle(1);
+  EXPECT_TRUE(O.Ok) << O.Log;
+}
+
+TEST(StatefulApps, SynfloodFpFnBounds) {
+  OracleResult O = synfloodOracle(1);
+  EXPECT_TRUE(O.Ok) << O.Log;
+}
+
+// Exact token-bucket arithmetic, packet by packet: cap 96 / cost 16 admits
+// a burst of exactly 6, the 7th is dropped, and 32 ticks of other-source
+// SYNs later (32 tokens earned, 6 banked) the source is admitted again.
+TEST(StatefulApps, TokenBucketRefillMath) {
+  AppInterp AI = makeAppInterp(synflood());
+  ASSERT_NE(AI.I, nullptr) << AI.Error;
+
+  auto syn = [&](uint32_t SrcLow, uint16_t Sport) {
+    std::vector<uint8_t> F(64, 0);
+    interp::writeBitsBE(F.data(), 96, 16, 0x0800);
+    interp::writeBitsBE(F.data(), 14 * 8 + 0, 4, 4);
+    interp::writeBitsBE(F.data(), 14 * 8 + 4, 4, 5);
+    interp::writeBitsBE(F.data(), 14 * 8 + 72, 8, 6); // proto TCP
+    interp::writeBitsBE(F.data(), 14 * 8 + 96, 32, 0x0A000000u | SrcLow);
+    interp::writeBitsBE(F.data(), 34 * 8, 16, Sport);
+    interp::writeBitsBE(F.data(), 34 * 8 + 104, 8, 0x02); // SYN
+    interp::RunResult R = AI.I->inject(F, 0);
+    EXPECT_FALSE(R.Error) << R.ErrorMsg;
+    return !R.Tx.empty();
+  };
+
+  // Back-to-back burst from one source: 96/16 = 6 admitted. Each SYN also
+  // ticks the clock, refilling 1 token/SYN, but 16-token cost dominates.
+  for (unsigned K = 0; K != 6; ++K)
+    EXPECT_TRUE(syn(0x42, static_cast<uint16_t>(1000 + K)))
+        << "burst SYN " << K << " should pass";
+  EXPECT_FALSE(syn(0x42, 1006)) << "7th SYN must exceed the burst cap";
+
+  // 32 SYNs from 32 distinct other sources tick the clock by 32: the
+  // throttled source earns 32 tokens on top of its banked 6 >= cost 16.
+  for (unsigned K = 0; K != 32; ++K)
+    EXPECT_TRUE(syn(0x1000 + K, 2000)) << "fresh source " << K;
+  EXPECT_TRUE(syn(0x42, 1007)) << "refilled source must be admitted";
+}
+
+// Thrash traffic overruns the 1024-slot NAT table by design: the app must
+// survive it (no interpreter faults), keep conservation, and actually
+// exercise the eviction path.
+TEST(StatefulApps, NatThrashChurnsAndConserves) {
+  AppBundle App = nat();
+  profile::Trace T =
+      adversarialTrace(App, traffic::Profile::Thrash, 7, 1500);
+  OracleResult O = conservationOracle(App, T);
+  EXPECT_TRUE(O.Ok) << O.Log;
+
+  AppInterp AI = makeAppInterp(App);
+  ASSERT_NE(AI.I, nullptr);
+  for (const auto &P : T) {
+    interp::RunResult R = AI.I->inject(P.Frame, P.Port);
+    ASSERT_FALSE(R.Error) << R.ErrorMsg;
+  }
+  EXPECT_GT(AI.I->readGlobal("evictions", 0), 0u)
+      << "32768-flow churn against 1024 slots must evict";
+}
+
+// injected == tx + sum(DropCounters) for every app under every profile,
+// malformed/truncated input included.
+class Conservation
+    : public ::testing::TestWithParam<std::tuple<int, traffic::Profile>> {};
+
+TEST_P(Conservation, Holds) {
+  AppBundle App = statefulApps()[std::get<0>(GetParam())];
+  traffic::Profile P = std::get<1>(GetParam());
+  profile::Trace T = adversarialTrace(App, P, 0xC0DE, 600);
+  ASSERT_EQ(T.size(), 600u);
+  OracleResult O = conservationOracle(App, T);
+  EXPECT_TRUE(O.Ok) << traffic::profileName(P) << ": " << O.Log;
+}
+
+std::string conservationName(
+    const ::testing::TestParamInfo<std::tuple<int, traffic::Profile>>
+        &Info) {
+  static const char *Names[] = {"NAT", "SLB", "SynFlood"};
+  return std::string(Names[std::get<0>(Info.param)]) + "_" +
+         traffic::profileName(std::get<1>(Info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AppsByProfile, Conservation,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::ValuesIn(traffic::allProfiles())),
+    conservationName);
+
+//===----------------------------------------------------------------------===//
+// Static safety: StateRace classification + --analyze error gate
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<CompiledApp> compileStateful(const AppBundle &App,
+                                             AnalyzeMode Mode,
+                                             std::string &Err) {
+  CompileOptions Opts;
+  Opts.Level = OptLevel::Swc;
+  Opts.TxMetaFields = App.TxMetaFields;
+  Opts.Analyze = Mode;
+  DiagEngine Diags;
+  auto C = compile(App.Source, App.makeTrace(3, 256), App.Tables, Opts,
+                   Diags);
+  Err = Diags.str();
+  return C;
+}
+
+TEST(StatefulApps, AnalyzeErrorCleanCompile) {
+  for (const AppBundle &App : statefulApps()) {
+    std::string Err;
+    auto C = compileStateful(App, AnalyzeMode::Error, Err);
+    EXPECT_NE(C, nullptr) << App.Name << " rejected at --analyze error: "
+                          << Err;
+  }
+}
+
+TEST(StatefulApps, NatRaceClassification) {
+  std::string Err;
+  auto C = compileStateful(nat(), AnalyzeMode::Warn, Err);
+  ASSERT_NE(C, nullptr) << Err;
+  ASSERT_TRUE(C->Races.Valid);
+  for (const auto &F : C->Findings)
+    EXPECT_NE(F.Sev, analysis::Severity::Error) << F.Detail;
+
+  // Config is read-only and cacheable; the flow tables are data-plane
+  // mutable and must be vetoed for SWC.
+  EXPECT_TRUE(C->Races.cacheSafe("nat_ip"));
+  for (const char *G : {"fwd_key", "fwd_port", "rev_key", "next_port"}) {
+    const auto *F = C->Races.facts(G);
+    ASSERT_NE(F, nullptr) << G;
+    EXPECT_TRUE(F->DataPlaneStores) << G;
+    EXPECT_FALSE(C->Races.cacheSafe(G)) << G;
+    EXPECT_FALSE(F->UnlockedRmw) << G << ": all RMWs sit under nat_lock";
+    EXPECT_FALSE(F->LockInconsistent) << G;
+  }
+  // The allocation cursor is only ever touched inside the critical.
+  EXPECT_NE(C->Races.facts("next_port")->ConsistentLock, -1);
+  // Stat counters are recognized self-feeding benign increments.
+  for (const char *G : {"alloc_calls", "non_ip", "malformed", "rev_miss"})
+    EXPECT_TRUE(C->Races.facts(G)->BenignCounter) << G;
+}
+
+TEST(StatefulApps, SlbRaceClassification) {
+  std::string Err;
+  auto C = compileStateful(slb(), AnalyzeMode::Warn, Err);
+  ASSERT_NE(C, nullptr) << Err;
+  ASSERT_TRUE(C->Races.Valid);
+  for (const auto &F : C->Findings)
+    EXPECT_NE(F.Sev, analysis::Severity::Error) << F.Detail;
+
+  // The consistent-hash ring and backend config never see data-plane
+  // stores: exactly the split that keeps the hot lookup SWC-cacheable
+  // while the affinity cache stays uncached.
+  for (const char *G : {"vip", "ring", "be_up", "be_ip"})
+    EXPECT_TRUE(C->Races.cacheSafe(G)) << G;
+  for (const char *G : {"aff_key", "aff_be"}) {
+    const auto *F = C->Races.facts(G);
+    ASSERT_NE(F, nullptr) << G;
+    EXPECT_FALSE(C->Races.cacheSafe(G)) << G;
+    EXPECT_FALSE(F->UnlockedRmw) << G;
+  }
+  EXPECT_TRUE(C->Races.facts("be_pkts")->BenignCounter);
+}
+
+TEST(StatefulApps, SynfloodRaceClassification) {
+  std::string Err;
+  auto C = compileStateful(synflood(), AnalyzeMode::Warn, Err);
+  ASSERT_NE(C, nullptr) << Err;
+  ASSERT_TRUE(C->Races.Valid);
+  for (const auto &F : C->Findings)
+    EXPECT_NE(F.Sev, analysis::Severity::Error) << F.Detail;
+
+  for (const char *G : {"syn_cost", "syn_rate", "syn_cap"})
+    EXPECT_TRUE(C->Races.cacheSafe(G)) << G;
+  for (const char *G : {"tb_tokens", "tb_tick", "now"}) {
+    const auto *F = C->Races.facts(G);
+    ASSERT_NE(F, nullptr) << G;
+    EXPECT_FALSE(C->Races.cacheSafe(G)) << G;
+    EXPECT_FALSE(F->UnlockedRmw) << G;
+    EXPECT_FALSE(F->LockInconsistent) << G;
+  }
+  // The virtual clock is the classic all-accesses-one-lock global.
+  EXPECT_NE(C->Races.facts("now")->ConsistentLock, -1);
+  for (const char *G : {"syn_pass", "syn_drop", "non_tcp"})
+    EXPECT_TRUE(C->Races.facts(G)->BenignCounter) << G;
+}
+
+} // namespace

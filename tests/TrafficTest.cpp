@@ -1,0 +1,200 @@
+//===- tests/TrafficTest.cpp - adversarial traffic generators ----------------==//
+//
+// The generator contract the acceptance harness leans on: byte-for-byte
+// determinism under a fixed seed, the statistical shape of each arrival
+// process (Zipf skew, burst trains, thrash churn), malformed-header
+// coverage, and golden-trace fingerprints pinning the exact output so a
+// generator change cannot silently invalidate recorded bench baselines.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+#include "interp/Bits.h"
+#include "traffic/Traffic.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace sl;
+using namespace sl::traffic;
+
+namespace {
+
+/// Flow id as the builders encode it: low 16 bits of the IPv4 source.
+uint64_t flowOf(const profile::TracePacket &P) {
+  if (P.Frame.size() < 30)
+    return ~0ull;
+  return interp::readBitsBE(P.Frame.data(), 26 * 8, 32) & 0xFFFF;
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism
+//===----------------------------------------------------------------------===//
+
+TEST(Traffic, DeterministicUnderFixedSeed) {
+  for (const apps::AppBundle &App : apps::statefulApps())
+    for (Profile P : allProfiles()) {
+      profile::Trace A = apps::adversarialTrace(App, P, 99, 300);
+      profile::Trace B = apps::adversarialTrace(App, P, 99, 300);
+      ASSERT_EQ(A.size(), B.size());
+      EXPECT_EQ(traceFingerprint(A), traceFingerprint(B))
+          << App.Name << "/" << profileName(P);
+      // And a different seed must actually change the bytes.
+      profile::Trace C = apps::adversarialTrace(App, P, 100, 300);
+      EXPECT_NE(traceFingerprint(A), traceFingerprint(C))
+          << App.Name << "/" << profileName(P);
+    }
+}
+
+//===----------------------------------------------------------------------===//
+// Zipf skew statistics
+//===----------------------------------------------------------------------===//
+
+TEST(Traffic, ZipfSkewStatistics) {
+  ZipfParams Z;
+  Z.NumFlows = 1024;
+  Z.Skew = 1.2;
+  profile::Trace T = makeZipf(5, 20000, Z, apps::slbFrames());
+  auto Counts = flowCounts(T, flowOf);
+
+  // Rank 0 is the heavy hitter: a solid share of all packets, and the
+  // rank ordering must decay monotonically in expectation.
+  EXPECT_GT(topFlowShare(Counts), 0.10);
+  EXPECT_GT(Counts[0], Counts[10]);
+  EXPECT_GT(Counts[10], Counts[200]);
+
+  // Skew 0 degenerates to uniform: no flow stands out.
+  Z.Skew = 0.0;
+  profile::Trace U = makeZipf(5, 20000, Z, apps::slbFrames());
+  EXPECT_LT(topFlowShare(flowCounts(U, flowOf)), 0.01);
+}
+
+//===----------------------------------------------------------------------===//
+// Burst shape
+//===----------------------------------------------------------------------===//
+
+TEST(Traffic, BurstShape) {
+  BurstParams B;
+  B.NumFlows = 64;
+  B.MinBurst = 8;
+  B.MaxBurst = 48;
+  const unsigned N = 8000;
+  profile::Trace T = makeBursty(11, N, B, apps::slbFrames());
+  ASSERT_EQ(T.size(), N);
+
+  // Count flow switches: trains of >= MinBurst mean there are at most
+  // N/MinBurst switches (adjacent bursts of one flow merge runs, so this
+  // is an upper bound), and MaxBurst bounds them below.
+  unsigned Switches = 0;
+  for (unsigned I = 1; I != N; ++I)
+    Switches += flowOf(T[I]) != flowOf(T[I - 1]);
+  EXPECT_LE(Switches, N / B.MinBurst);
+  EXPECT_GE(Switches, N / (2 * B.MaxBurst));
+
+  // Every run except the clipped last one is at least MinBurst long
+  // (merged adjacent bursts can only lengthen runs).
+  unsigned Run = 1;
+  for (unsigned I = 1; I != N; ++I) {
+    if (flowOf(T[I]) == flowOf(T[I - 1])) {
+      ++Run;
+      continue;
+    }
+    EXPECT_GE(Run, B.MinBurst) << "short burst ending at packet " << I;
+    Run = 1;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Thrash churn
+//===----------------------------------------------------------------------===//
+
+TEST(Traffic, ThrashIsPureChurn) {
+  ThrashParams P;
+  P.FlowUniverse = 1 << 15;
+  P.PacketsPerFlow = 1;
+  const unsigned N = 3000;
+  profile::Trace T = makeThrash(23, N, P, apps::natFrames(0));
+  ASSERT_EQ(T.size(), N);
+  std::set<uint64_t> Flows;
+  for (const auto &Pk : T)
+    Flows.insert(flowOf(Pk));
+  // The coprime stride must keep nearly every packet on a fresh flow.
+  EXPECT_GE(Flows.size(), size_t(N * 95 / 100));
+}
+
+//===----------------------------------------------------------------------===//
+// Malformed coverage
+//===----------------------------------------------------------------------===//
+
+TEST(Traffic, MalformedCoverage) {
+  ZipfParams Z;
+  Z.NumFlows = 256;
+  Z.Skew = 0.0;
+  const unsigned N = 4000;
+  profile::Trace Clean = makeZipf(31, N, Z, apps::natFrames(0));
+  MalformParams M;
+  M.Fraction = 0.3;
+  profile::Trace T = corruptHeaders(33, truncateFrames(32, Clean, M), M);
+  ASSERT_EQ(T.size(), N);
+
+  unsigned Truncated = 0, Corrupted = 0, Intact = 0;
+  for (unsigned I = 0; I != N; ++I) {
+    // The Ethernet header every PPF reads first must survive.
+    ASSERT_GE(T[I].Frame.size(), M.MinBytes);
+    bool Short = T[I].Frame.size() < Clean[I].Frame.size();
+    bool BadVh = T[I].Frame.size() > 14 && T[I].Frame[14] != 0x45;
+    Truncated += Short;
+    Corrupted += BadVh;
+    Intact += !Short && !BadVh;
+  }
+  // Both damage classes are well represented, and plenty of frames stay
+  // clean so the fast path is exercised in the same run.
+  EXPECT_GT(Truncated, N / 10);
+  EXPECT_LT(Truncated, N / 2);
+  EXPECT_GT(Corrupted, N / 10);
+  EXPECT_LT(Corrupted, N / 2);
+  EXPECT_GT(Intact, N / 4);
+}
+
+//===----------------------------------------------------------------------===//
+// Golden-trace regression snapshots
+//===----------------------------------------------------------------------===//
+
+// Pins the exact bytes each (app, profile) pair produces for seed 42 /
+// 256 packets. A deliberate generator change must update these in the
+// same commit that re-records the bench baselines.
+TEST(Traffic, GoldenTraceFingerprints) {
+  struct Golden {
+    const char *App;
+    Profile P;
+    uint64_t Fp;
+  };
+  static const Golden Table[] = {
+      {"NAT", Profile::Benign, 0x8cb971d0ee381a11ull},
+      {"NAT", Profile::Zipf, 0xa53e1927bdb8ebb3ull},
+      {"NAT", Profile::Bursty, 0xf25729da017cdadfull},
+      {"NAT", Profile::Thrash, 0x00d9211c619cb3e4ull},
+      {"NAT", Profile::Malformed, 0xa04ebe846770d30full},
+      {"SLB", Profile::Benign, 0x801affad7fe0061cull},
+      {"SLB", Profile::Thrash, 0x3a62299e933d2f81ull},
+      {"SYN-Flood", Profile::Benign, 0xfef69b4dd0a5ab50ull},
+      {"SYN-Flood", Profile::Zipf, 0x662f5e43305be25eull},
+      {"SYN-Flood", Profile::Malformed, 0x8fb55df508eb21c6ull},
+  };
+  auto bundle = [](const std::string &Name) {
+    for (const apps::AppBundle &App : apps::statefulApps())
+      if (App.Name == Name)
+        return App;
+    ADD_FAILURE() << "no app " << Name;
+    return apps::AppBundle{};
+  };
+  for (const Golden &G : Table) {
+    profile::Trace T = apps::adversarialTrace(bundle(G.App), G.P, 42, 256);
+    uint64_t Fp = traceFingerprint(T);
+    EXPECT_EQ(Fp, G.Fp) << G.App << "/" << profileName(G.P)
+                        << " fingerprint drifted: 0x" << std::hex << Fp;
+  }
+}
+
+} // namespace
